@@ -1,0 +1,169 @@
+//! Ablation studies on the design choices DESIGN.md calls out: the
+//! collective algorithms inside the parallel CHARMM engine, the PME
+//! mesh resolution, the spline order and the CPU clock. `harness =
+//! false` — the reported times are virtual cluster seconds.
+
+use cpc_charmm::{CommTuning, MdConfig};
+use cpc_cluster::{ClusterConfig, NetworkKind};
+use cpc_fft::Dims3;
+use cpc_md::pme::PmeParams;
+use cpc_md::EnergyModel;
+use cpc_mpi::{CombineAlgo, Middleware};
+use cpc_workload::runner::{myoglobin_shared, paper_pme_params, quick_pme_params};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (system, base_model, steps) = if quick {
+        (
+            cpc_workload::runner::quick_system(),
+            EnergyModel::Pme(quick_pme_params()),
+            2,
+        )
+    } else {
+        (
+            myoglobin_shared().clone(),
+            EnergyModel::Pme(paper_pme_params()),
+            10,
+        )
+    };
+    let run = |model: EnergyModel, cluster: ClusterConfig, tuning: CommTuning| {
+        let cfg = MdConfig {
+            steps,
+            tuning,
+            ..MdConfig::paper_protocol(model, Middleware::Mpi, cluster)
+        };
+        cpc_charmm::run_parallel_md(&system, &cfg)
+    };
+
+    println!("=== Ablation 1: force-combine algorithm (TCP/IP, PME model) ===");
+    println!(
+        "{:<16} {:>3} {:>12} {:>12}",
+        "algorithm", "p", "classic(s)", "total(s)"
+    );
+    for algo in CombineAlgo::ALL {
+        for p in [2usize, 8] {
+            let tuning = CommTuning {
+                force_combine: algo,
+                ..CommTuning::default()
+            };
+            let r = run(
+                base_model,
+                ClusterConfig::uni(p, NetworkKind::TcpGigE),
+                tuning,
+            );
+            println!(
+                "{:<16} {:>3} {:>12.3} {:>12.3}",
+                algo.label(),
+                p,
+                r.classic_time(),
+                r.energy_time()
+            );
+        }
+    }
+    println!(
+        "(the small 85 KB force array is latency-bound: the algorithms are\n\
+         close at p=2 and the flat master combine pays for its incast at p=8)\n"
+    );
+
+    println!("=== Ablation 2: PME charge-grid sum algorithm (TCP/IP, p=8) ===");
+    println!("{:<16} {:>12} {:>12}", "algorithm", "pme(s)", "total(s)");
+    for algo in CombineAlgo::ALL {
+        let tuning = CommTuning {
+            grid_sum: algo,
+            ..CommTuning::default()
+        };
+        let r = run(
+            base_model,
+            ClusterConfig::uni(8, NetworkKind::TcpGigE),
+            tuning,
+        );
+        println!(
+            "{:<16} {:>12.3} {:>12.3}",
+            algo.label(),
+            r.pme_time(),
+            r.energy_time()
+        );
+    }
+    println!(
+        "(the mesh is megabytes: tree/flat sums move the full mesh per level\n\
+         while the ring moves 2(p-1)/p of it total — the bandwidth-optimal\n\
+         choice matters here, unlike for the force combine)\n"
+    );
+
+    if !quick {
+        println!("=== Ablation 3: PME mesh resolution (TCP/IP, p=4) ===");
+        println!(
+            "{:<14} {:>12} {:>12} {:>12}",
+            "mesh", "classic(s)", "pme(s)", "total(s)"
+        );
+        for grid in [
+            Dims3::new(40, 18, 24),
+            Dims3::new(80, 36, 48),
+            Dims3::new(120, 54, 72),
+        ] {
+            let model = EnergyModel::Pme(PmeParams {
+                grid,
+                ..paper_pme_params()
+            });
+            let r = run(
+                model,
+                ClusterConfig::uni(4, NetworkKind::TcpGigE),
+                CommTuning::default(),
+            );
+            println!(
+                "{:<14} {:>12.3} {:>12.3} {:>12.3}",
+                format!("{}x{}x{}", grid.nx, grid.ny, grid.nz),
+                r.classic_time(),
+                r.pme_time(),
+                r.energy_time()
+            );
+        }
+        println!("(mesh resolution trades accuracy against both FFT flops and transfer volume)\n");
+
+        println!("=== Ablation 4: B-spline interpolation order (TCP/IP, p=4) ===");
+        println!("{:<8} {:>12} {:>12}", "order", "pme(s)", "total(s)");
+        for order in [4usize, 6] {
+            let model = EnergyModel::Pme(PmeParams {
+                order,
+                ..paper_pme_params()
+            });
+            let r = run(
+                model,
+                ClusterConfig::uni(4, NetworkKind::TcpGigE),
+                CommTuning::default(),
+            );
+            println!(
+                "{:<8} {:>12.3} {:>12.3}",
+                order,
+                r.pme_time(),
+                r.energy_time()
+            );
+        }
+        println!("(order 6 spreads 3.4x more mesh points per atom for higher accuracy)\n");
+    }
+
+    println!("=== Ablation 5: CPU clock (TCP/IP, p=8, PME model) ===");
+    println!(
+        "{:<8} {:>12} {:>8} {:>8} {:>8}",
+        "GHz", "total(s)", "comp%", "comm%", "sync%"
+    );
+    for ghz in [0.5, 1.0, 2.0] {
+        let mut cluster = ClusterConfig::uni(8, NetworkKind::TcpGigE);
+        cluster.cpu.ghz = ghz;
+        let r = run(base_model, cluster, CommTuning::default());
+        let b = r.energy_breakdown();
+        let (comp, comm, sync) = cpc_charmm::RunReport::percentages(&b);
+        println!(
+            "{:<8} {:>12.3} {:>7.1}% {:>7.1}% {:>7.1}%",
+            ghz,
+            r.energy_time(),
+            comp,
+            comm,
+            sync
+        );
+    }
+    println!(
+        "(doubling the CPU clock barely helps at p=8 on TCP — the calculation\n\
+         is communication-bound, the paper's core message)"
+    );
+}

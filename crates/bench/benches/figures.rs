@@ -1,0 +1,54 @@
+//! The paper-regeneration harness: running `cargo bench` renders every
+//! table and figure of the evaluation from fresh virtual-cluster
+//! measurements of the full 3552-atom myoglobin workload, then checks
+//! each of the paper's qualitative findings.
+//!
+//! This is not a criterion benchmark (the times of interest are
+//! *virtual* cluster seconds, not host seconds), so it uses
+//! `harness = false`.
+
+use cpc_workload::expectations::{render_findings, verify_findings};
+use cpc_workload::figures::{all_figures, Lab};
+use cpc_workload::runner::myoglobin_shared;
+
+fn main() {
+    // `cargo bench -- --test` and friends pass flags; a quick mode is
+    // available for smoke runs.
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    println!("================================================================");
+    println!(" Reproducing every figure of:");
+    println!("   'Performance Characterization of a Molecular Dynamics Code");
+    println!("    on PC Clusters: Is There Any Easy Parallelism in CHARMM?'");
+    println!("   (Taufer, Perathoner, Cavalli, Caflisch, Stricker, IPPS 2002)");
+    println!("================================================================\n");
+
+    if quick {
+        let system = cpc_workload::runner::quick_system();
+        let mut lab = Lab::custom(
+            &system,
+            2,
+            cpc_md::EnergyModel::Pme(cpc_workload::runner::quick_pme_params()),
+        );
+        println!("{}", all_figures(&mut lab));
+        return;
+    }
+
+    let system = myoglobin_shared();
+    println!(
+        "workload: myoglobin-class system, {} atoms, PME mesh 80x36x48,\n\
+         10 MD steps per measurement, virtual Pentium III / 1 GHz nodes\n",
+        system.n_atoms()
+    );
+
+    let mut lab = Lab::paper(system);
+    println!("{}", all_figures(&mut lab));
+
+    println!("\n================================================================");
+    println!(" Paper findings vs this reproduction");
+    println!("================================================================\n");
+    let findings = verify_findings(&mut lab);
+    println!("{}", render_findings(&findings));
+    let held = findings.iter().filter(|f| f.holds).count();
+    println!("\n{held} of {} findings hold", findings.len());
+}

@@ -1,0 +1,149 @@
+//! Criterion microbenchmarks of the compute kernels that dominate the
+//! CHARMM energy calculation: FFTs, the nonbonded pair loop, PME charge
+//! spreading/interpolation and neighbour-list construction.
+//!
+//! These measure *real* host time (the simulator charges virtual time
+//! from operation counts; these benches document how fast the actual
+//! Rust kernels run).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use cpc_fft::{Complex64, Dims3, Fft3d, FftPlan};
+use cpc_md::builder::water_box;
+use cpc_md::neighbor::NeighborList;
+use cpc_md::nonbonded::{nonbonded_energy_forces, NonbondedOptions};
+use cpc_md::pme::{compute_splines, spread_charges, Pme, PmeParams};
+use cpc_md::{EnergyModel, Evaluator, Vec3};
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    // The paper's mesh extents plus a power of two and a Bluestein prime.
+    for n in [36usize, 48, 80, 128, 97] {
+        let plan = FftPlan::new(n);
+        let x = signal(n);
+        let mut y = vec![Complex64::ZERO; n];
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| plan.forward(black_box(&x), &mut y));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_3d_paper_grid(c: &mut Criterion) {
+    let dims = Dims3::new(80, 36, 48);
+    let fft = Fft3d::new(dims);
+    let x = signal(dims.len());
+    c.bench_function("fft_3d_80x36x48", |b| {
+        b.iter_batched(
+            || x.clone(),
+            |mut data| fft.forward(black_box(&mut data)),
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_nonbonded(c: &mut Criterion) {
+    let sys = water_box(6, 3.1);
+    let opts = NonbondedOptions::classic();
+    let list = NeighborList::build(&sys.topology, &sys.pbox, &sys.positions, opts.cutoff, 2.0);
+    let mut forces = vec![Vec3::ZERO; sys.n_atoms()];
+    c.bench_function(&format!("nonbonded_{}_pairs", list.pairs.len()), |b| {
+        b.iter(|| {
+            nonbonded_energy_forces(
+                &sys.topology,
+                &sys.pbox,
+                black_box(&sys.positions),
+                &list.pairs,
+                &opts,
+                &mut forces,
+            )
+        });
+    });
+}
+
+fn bench_neighbor_build(c: &mut Criterion) {
+    let sys = water_box(6, 3.1);
+    c.bench_function("neighbor_list_build_648_atoms", |b| {
+        b.iter(|| {
+            NeighborList::build(
+                &sys.topology,
+                &sys.pbox,
+                black_box(&sys.positions),
+                10.0,
+                2.0,
+            )
+        });
+    });
+}
+
+fn bench_pme_spread(c: &mut Criterion) {
+    let sys = water_box(6, 3.1);
+    let grid = Dims3::new(20, 20, 20);
+    let splines = compute_splines(&sys.pbox, &sys.positions, grid, 4);
+    let mut mesh = vec![Complex64::ZERO; grid.len()];
+    c.bench_function("pme_spread_648_atoms", |b| {
+        b.iter(|| spread_charges(&sys.topology, black_box(&splines), grid, 4, &mut mesh));
+    });
+}
+
+fn bench_pme_full(c: &mut Criterion) {
+    let sys = water_box(6, 3.1);
+    let params = PmeParams {
+        grid: Dims3::new(20, 20, 20),
+        order: 4,
+        beta: 0.34,
+    };
+    let mut pme = Pme::new(params, &sys.pbox);
+    let mut forces = vec![Vec3::ZERO; sys.n_atoms()];
+    c.bench_function("pme_full_evaluation", |b| {
+        b.iter(|| {
+            pme.energy_forces(
+                &sys.topology,
+                &sys.pbox,
+                black_box(&sys.positions),
+                &mut forces,
+            )
+        });
+    });
+}
+
+fn bench_full_energy(c: &mut Criterion) {
+    let sys = water_box(6, 3.1);
+    let mut evaluator = Evaluator::new(EnergyModel::Classic);
+    let mut forces = vec![Vec3::ZERO; sys.n_atoms()];
+    c.bench_function("full_classic_energy_648_atoms", |b| {
+        b.iter(|| evaluator.evaluate(black_box(&sys), &mut forces));
+    });
+}
+
+fn bench_special_functions(c: &mut Criterion) {
+    c.bench_function("erfc", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += cpc_md::special::erfc(black_box(i as f64 * 0.05));
+            }
+            acc
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft_1d,
+    bench_fft_3d_paper_grid,
+    bench_nonbonded,
+    bench_neighbor_build,
+    bench_pme_spread,
+    bench_pme_full,
+    bench_full_energy,
+    bench_special_functions
+);
+criterion_main!(benches);

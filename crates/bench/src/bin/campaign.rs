@@ -1,0 +1,50 @@
+//! Runs the complete reproduction campaign and writes a self-contained
+//! artifact directory (figures, findings, factor effects, raw JSON,
+//! paper-vs-measured table).
+//!
+//! ```text
+//! cargo run --release -p cpc-bench --bin campaign [--quick] [--out DIR]
+//! ```
+use cpc_md::EnergyModel;
+use cpc_workload::figures::Lab;
+use cpc_workload::report::run_campaign;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results".to_string());
+
+    let system = if quick {
+        cpc_workload::runner::quick_system()
+    } else {
+        cpc_workload::runner::myoglobin_shared().clone()
+    };
+    let mut lab = if quick {
+        Lab::custom(
+            &system,
+            2,
+            EnergyModel::Pme(cpc_workload::runner::quick_pme_params()),
+        )
+    } else {
+        Lab::paper(&system)
+    };
+    let artifacts = run_campaign(&mut lab, &out).expect("write campaign artifacts");
+    println!(
+        "campaign complete: {}/{} findings hold",
+        artifacts.findings_held, artifacts.findings_total
+    );
+    println!("artifacts in {}:", artifacts.dir.display());
+    for p in [
+        &artifacts.figures,
+        &artifacts.findings,
+        &artifacts.factor_effects,
+        &artifacts.comparison,
+        &artifacts.measurements,
+    ] {
+        println!("  {}", p.display());
+    }
+}

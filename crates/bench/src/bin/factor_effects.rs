@@ -1,0 +1,17 @@
+//! Quantifies the effect of every platform factor on the energy
+//! calculation time: the 2^3 factorial analysis (Jain \[11\]) the paper's
+//! experimental design is built on, plus marginal means over the full
+//! three-network factorial.
+use cpc_bench::FigureArgs;
+use cpc_workload::analysis::{factorial_2k, marginal_means};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let system = args.system();
+    let mut lab = args.lab(&system);
+    for procs in [2usize, 4, 8] {
+        println!("{}\n", factorial_2k(&mut lab, procs).render());
+    }
+    println!("{}", marginal_means(&mut lab, 8));
+    args.finish(&lab);
+}

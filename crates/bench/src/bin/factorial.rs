@@ -1,0 +1,10 @@
+//! Regenerates the full factorial design table (paper Section 3.1).
+use cpc_bench::FigureArgs;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let system = args.system();
+    let mut lab = args.lab(&system);
+    println!("{}", cpc_workload::figures::factorial_table(&mut lab));
+    args.finish(&lab);
+}

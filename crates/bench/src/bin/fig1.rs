@@ -1,0 +1,4 @@
+//! Prints the factor space of the experimental design (paper Figure 1).
+fn main() {
+    println!("{}", cpc_workload::figures::factor_space());
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Figure 3 from virtual-cluster measurements.
+use cpc_bench::FigureArgs;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let system = args.system();
+    let mut lab = args.lab(&system);
+    println!("{}", cpc_workload::figures::fig3(&mut lab));
+    args.finish(&lab);
+}

@@ -1,0 +1,11 @@
+//! Regenerates every figure and the factorial table in one run
+//! (measurements are shared across figures).
+use cpc_bench::FigureArgs;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let system = args.system();
+    let mut lab = args.lab(&system);
+    println!("{}", cpc_workload::figures::all_figures(&mut lab));
+    args.finish(&lab);
+}

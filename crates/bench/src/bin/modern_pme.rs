@@ -1,0 +1,71 @@
+//! "Future work, implemented": how much of the paper's PME scalability
+//! wall is the replicated-data implementation rather than the
+//! algorithm? Compares CHARMM-style parallel PME (full-mesh global
+//! sum plus convolution-mesh allgather) against a spatially decomposed
+//! PME (halo exchanges only) on the same virtual clusters.
+use cpc_bench::FigureArgs;
+use cpc_charmm::{ParallelPme, SpatialPme};
+use cpc_cluster::{elapsed_time, run_cluster, ClusterConfig, NetworkKind, Phase, PIII_1GHZ};
+use cpc_mpi::{Comm, Middleware};
+
+fn main() {
+    let args = FigureArgs::parse();
+    let system = args.system();
+    let params = if args.quick {
+        cpc_workload::runner::quick_pme_params()
+    } else {
+        cpc_workload::runner::paper_pme_params()
+    };
+
+    println!(
+        "One PME k-space evaluation, {} atoms, mesh {}x{}x{} (virtual time):\n",
+        system.n_atoms(),
+        params.grid.nx,
+        params.grid.ny,
+        params.grid.nz
+    );
+    println!(
+        "{:<24} {:>3} {:>16} {:>16} {:>9}",
+        "network", "p", "replicated (ms)", "spatial (ms)", "speedup"
+    );
+    for network in [
+        NetworkKind::TcpGigE,
+        NetworkKind::ScoreGigE,
+        NetworkKind::MyrinetGm,
+    ] {
+        for p in [2usize, 4, 8] {
+            let sys = &system;
+            let time_for = |spatial: bool| {
+                let cfg = ClusterConfig::uni(p, network);
+                let out = run_cluster(cfg, |ctx| {
+                    ctx.set_phase(Phase::Pme);
+                    let mut comm = Comm::new(ctx, Middleware::Mpi);
+                    if spatial {
+                        SpatialPme::new(params, p).energy_forces(&mut comm, sys, &PIII_1GHZ);
+                    } else {
+                        ParallelPme::new(params, p).energy_forces(&mut comm, sys, &PIII_1GHZ);
+                    }
+                });
+                elapsed_time(&out)
+            };
+            let replicated = time_for(false);
+            let spatial = time_for(true);
+            println!(
+                "{:<24} {:>3} {:>16.2} {:>16.2} {:>8.2}x",
+                network.label(),
+                p,
+                replicated * 1e3,
+                spatial * 1e3,
+                replicated / spatial
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading: a mesh-aware decomposition removes the two full-mesh\n\
+         exchanges per step. On TCP at p=8 that is most of the PME overhead —\n\
+         the paper's PME wall is largely the replicated-data implementation,\n\
+         which is exactly how later MD engines (NAMD, GROMACS 4, LAMMPS)\n\
+         escaped it."
+    );
+}

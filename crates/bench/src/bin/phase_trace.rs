@@ -1,0 +1,4 @@
+//! Prints the structure of the energy calculation (paper Figure 2).
+fn main() {
+    println!("{}", cpc_workload::figures::phase_trace());
+}

@@ -1,0 +1,65 @@
+//! Tests the paper's closing quantitative claims (Section 5): "the
+//! amount of parallelism in CHARMM should suffice to run efficient
+//! parallel calculations on clusters with up to the 32 to 64
+//! processors ... for PME, good scalability is limited to a reasonable
+//! fraction (e.g. a quarter) of such a cluster."
+//!
+//! Measures classic-only and PME calculations out to 32 processors on
+//! SCore (the "improved communication system software" the conclusion
+//! recommends) and reports where parallel efficiency crosses 50%.
+use cpc_bench::FigureArgs;
+use cpc_cluster::NetworkKind;
+use cpc_md::EnergyModel;
+use cpc_workload::runner::{measure_with_model, paper_pme_params, quick_pme_params};
+use cpc_workload::ExperimentPoint;
+
+fn main() {
+    let args = FigureArgs::parse();
+    let system = args.system();
+    let (pme_model, steps) = if args.quick {
+        (EnergyModel::Pme(quick_pme_params()), 2)
+    } else {
+        (EnergyModel::Pme(paper_pme_params()), 10)
+    };
+
+    for (label, model) in [
+        ("classic (switch/shift) model", EnergyModel::Classic),
+        ("PME model", pme_model),
+    ] {
+        println!("=== {label}, SCore on Ethernet ===");
+        println!(
+            "{:>4} {:>10} {:>9} {:>11}",
+            "p", "total(s)", "speedup", "efficiency"
+        );
+        let mut t1 = 0.0;
+        let mut half_eff_at = None;
+        for p in [1usize, 2, 4, 8, 16, 32] {
+            let point = ExperimentPoint {
+                network: NetworkKind::ScoreGigE,
+                ..ExperimentPoint::focal(p)
+            };
+            let m = measure_with_model(&system, point, steps, model);
+            let total = m.energy_time();
+            if p == 1 {
+                t1 = total;
+            }
+            let speedup = t1 / total;
+            let eff = speedup / p as f64;
+            if eff < 0.5 && half_eff_at.is_none() && p > 1 {
+                half_eff_at = Some(p);
+            }
+            println!(
+                "{p:>4} {total:>10.3} {speedup:>8.2}x {:>10.1}%",
+                100.0 * eff
+            );
+        }
+        match half_eff_at {
+            Some(p) => println!("-> efficiency drops below 50% at p = {p}\n"),
+            None => println!("-> efficiency stays above 50% through p = 32\n"),
+        }
+    }
+    println!(
+        "Paper's claim: classic parallelism carries to 32-64 processors with\n\
+         good communication software; PME to roughly a quarter of that."
+    );
+}

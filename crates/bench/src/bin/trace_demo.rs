@@ -1,0 +1,49 @@
+//! Visualizes one PME energy evaluation as a message timeline per rank
+//! — the instrument behind the paper's breakdown, made visible.
+use cpc_charmm::ParallelPme;
+use cpc_cluster::{
+    render_timeline, run_cluster, summarize_trace, ClusterConfig, NetworkKind, Phase, PIII_1GHZ,
+};
+use cpc_mpi::{Comm, Middleware};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let system = if quick {
+        cpc_workload::runner::quick_system()
+    } else {
+        cpc_workload::runner::myoglobin_shared().clone()
+    };
+    let params = if quick {
+        cpc_workload::runner::quick_pme_params()
+    } else {
+        cpc_workload::runner::paper_pme_params()
+    };
+    for network in [NetworkKind::TcpGigE, NetworkKind::MyrinetGm] {
+        let p = 4;
+        let mut cfg = ClusterConfig::uni(p, network);
+        cfg.record_trace = true;
+        let sys = &system;
+        let out = run_cluster(cfg, |ctx| {
+            ctx.set_phase(Phase::Pme);
+            let mut comm = Comm::new(ctx, Middleware::Mpi);
+            ParallelPme::new(params, p).energy_forces(&mut comm, sys, &PIII_1GHZ);
+        });
+        let events: Vec<_> = out
+            .iter()
+            .flat_map(|o| o.stats.trace.iter().copied())
+            .collect();
+        let s = summarize_trace(&events);
+        println!(
+            "=== one PME evaluation on {} (p = {p}) ===",
+            network.label()
+        );
+        println!(
+            "{} messages, {:.2} MB payload, {} control, mean payload wire {:.2} ms\n",
+            s.messages,
+            s.payload_bytes as f64 / 1e6,
+            s.control_messages,
+            s.mean_payload_wire * 1e3
+        );
+        println!("{}", render_timeline(&events, p, 100));
+    }
+}

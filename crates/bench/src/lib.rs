@@ -1,0 +1,89 @@
+//! # cpc-bench
+//!
+//! Benchmark harness: one binary per paper figure (regenerating the
+//! figure from virtual-cluster measurements), a `figures` bench target
+//! that renders everything, and criterion microbenchmarks of the
+//! compute kernels.
+//!
+//! Every figure binary accepts `--quick` to run on a small water system
+//! (seconds instead of minutes) and `--json FILE` to dump the raw
+//! measurements.
+
+#![warn(missing_docs)]
+
+use cpc_md::{EnergyModel, System};
+use cpc_workload::figures::Lab;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Default)]
+pub struct FigureArgs {
+    /// Use the small quick system instead of full myoglobin.
+    pub quick: bool,
+    /// Optional path to dump raw measurements as JSON.
+    pub json: Option<String>,
+}
+
+impl FigureArgs {
+    /// Parses `--quick` and `--json FILE` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut out = FigureArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--json" => out.json = args.next(),
+                "--help" | "-h" => {
+                    eprintln!("usage: [--quick] [--json FILE]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds the measurement system for these options.
+    pub fn system(&self) -> System {
+        if self.quick {
+            cpc_workload::runner::quick_system()
+        } else {
+            cpc_workload::runner::myoglobin_shared().clone()
+        }
+    }
+
+    /// Builds a lab bound to `system` for these options.
+    pub fn lab<'a>(&self, system: &'a System) -> Lab<'a> {
+        if self.quick {
+            Lab::custom(
+                system,
+                2,
+                EnergyModel::Pme(cpc_workload::runner::quick_pme_params()),
+            )
+        } else {
+            Lab::paper(system)
+        }
+    }
+
+    /// Writes the JSON dump if requested.
+    pub fn finish(&self, lab: &Lab<'_>) {
+        if let Some(path) = &self.json {
+            std::fs::write(path, lab.to_json()).expect("write json dump");
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_args() {
+        let a = FigureArgs::default();
+        assert!(!a.quick);
+        assert!(a.json.is_none());
+    }
+}

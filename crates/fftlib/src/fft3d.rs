@@ -1,0 +1,320 @@
+//! Three-dimensional complex FFTs over row-major grids, plus the
+//! axis-wise batch transforms used by the slab-decomposed parallel PME.
+//!
+//! Grid layout: `data[(x * ny + y) * nz + z]` — `z` is the fastest axis.
+
+use crate::complex::Complex64;
+use crate::plan::{flops_estimate, Direction, FftPlan};
+
+/// Grid dimensions for 3D transforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dims3 {
+    /// Extent along x (slowest axis).
+    pub nx: usize,
+    /// Extent along y.
+    pub ny: usize,
+    /// Extent along z (fastest axis).
+    pub nz: usize,
+}
+
+impl Dims3 {
+    /// Creates dimensions; all extents must be positive.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid extents must be positive");
+        Dims3 { nx, ny, nz }
+    }
+
+    /// Total number of grid points.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Always false (extents are positive).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Linear index of `(x, y, z)`.
+    #[inline(always)]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (x * self.ny + y) * self.nz + z
+    }
+}
+
+/// Axis selector for batched 1D transforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Slowest axis.
+    X,
+    /// Middle axis.
+    Y,
+    /// Fastest axis.
+    Z,
+}
+
+/// Applies the plan along `axis` to every line of the grid.
+///
+/// `plan.len()` must equal the extent of the grid along `axis`. This is
+/// the building block the parallel PME uses on its local slabs (where
+/// `dims.nx` is the local slab thickness rather than the global extent).
+pub fn transform_axis(
+    data: &mut [Complex64],
+    dims: Dims3,
+    axis: Axis,
+    plan: &FftPlan,
+    dir: Direction,
+) {
+    assert_eq!(data.len(), dims.len(), "grid size mismatch");
+    let (len, stride, lines) = match axis {
+        Axis::Z => (dims.nz, 1, dims.nx * dims.ny),
+        Axis::Y => (dims.ny, dims.nz, dims.nx * dims.nz),
+        Axis::X => (dims.nx, dims.ny * dims.nz, dims.ny * dims.nz),
+    };
+    assert_eq!(plan.len(), len, "plan length must match axis extent");
+
+    let mut line_in = vec![Complex64::ZERO; len];
+    let mut line_out = vec![Complex64::ZERO; len];
+
+    match axis {
+        Axis::Z => {
+            for l in 0..lines {
+                let base = l * len;
+                line_in.copy_from_slice(&data[base..base + len]);
+                plan.execute(&line_in, &mut line_out, dir);
+                data[base..base + len].copy_from_slice(&line_out);
+            }
+        }
+        Axis::Y => {
+            // Lines indexed by (x, z): base = x*ny*nz + z, stride nz.
+            for x in 0..dims.nx {
+                for z in 0..dims.nz {
+                    let base = x * dims.ny * dims.nz + z;
+                    gather(data, base, stride, &mut line_in);
+                    plan.execute(&line_in, &mut line_out, dir);
+                    scatter(data, base, stride, &line_out);
+                }
+            }
+        }
+        Axis::X => {
+            // Lines indexed by (y, z): base = y*nz + z, stride ny*nz.
+            for yz in 0..dims.ny * dims.nz {
+                gather(data, yz, stride, &mut line_in);
+                plan.execute(&line_in, &mut line_out, dir);
+                scatter(data, yz, stride, &line_out);
+            }
+        }
+    }
+}
+
+#[inline]
+fn gather(data: &[Complex64], base: usize, stride: usize, line: &mut [Complex64]) {
+    for (i, slot) in line.iter_mut().enumerate() {
+        *slot = data[base + i * stride];
+    }
+}
+
+#[inline]
+fn scatter(data: &mut [Complex64], base: usize, stride: usize, line: &[Complex64]) {
+    for (i, &v) in line.iter().enumerate() {
+        data[base + i * stride] = v;
+    }
+}
+
+/// A reusable full 3D transform.
+pub struct Fft3d {
+    dims: Dims3,
+    plan_x: FftPlan,
+    plan_y: FftPlan,
+    plan_z: FftPlan,
+}
+
+impl Fft3d {
+    /// Builds plans for all three axes of `dims`.
+    pub fn new(dims: Dims3) -> Self {
+        Fft3d {
+            dims,
+            plan_x: FftPlan::new(dims.nx),
+            plan_y: FftPlan::new(dims.ny),
+            plan_z: FftPlan::new(dims.nz),
+        }
+    }
+
+    /// Grid dimensions.
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    /// Forward 3D transform in place.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.execute(data, Direction::Forward);
+    }
+
+    /// Normalized inverse 3D transform in place (`inverse(forward(x)) == x`).
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.execute(data, Direction::Inverse);
+        let inv = 1.0 / self.dims.len() as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+
+    /// Unscaled transform in the given direction.
+    pub fn execute(&self, data: &mut [Complex64], dir: Direction) {
+        transform_axis(data, self.dims, Axis::Z, &self.plan_z, dir);
+        transform_axis(data, self.dims, Axis::Y, &self.plan_y, dir);
+        transform_axis(data, self.dims, Axis::X, &self.plan_x, dir);
+    }
+
+    /// Flop estimate for one full 3D transform, used by the cluster cost
+    /// model.
+    pub fn flops(&self) -> f64 {
+        let Dims3 { nx, ny, nz } = self.dims;
+        (ny * nz) as f64 * flops_estimate(nx)
+            + (nx * nz) as f64 * flops_estimate(ny)
+            + (nx * ny) as f64 * flops_estimate(nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    fn signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = ((s >> 11) as f64) / (1u64 << 53) as f64 - 0.5;
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let b = ((s >> 11) as f64) / (1u64 << 53) as f64 - 0.5;
+                Complex64::new(a, b)
+            })
+            .collect()
+    }
+
+    /// Reference 3D DFT built from the naive 1D DFT axis by axis.
+    fn dft3_reference(data: &[Complex64], dims: Dims3) -> Vec<Complex64> {
+        let mut out = data.to_vec();
+        // z axis
+        for l in 0..dims.nx * dims.ny {
+            let base = l * dims.nz;
+            let line: Vec<Complex64> = out[base..base + dims.nz].to_vec();
+            out[base..base + dims.nz].copy_from_slice(&dft(&line));
+        }
+        // y axis
+        for x in 0..dims.nx {
+            for z in 0..dims.nz {
+                let line: Vec<Complex64> = (0..dims.ny).map(|y| out[dims.idx(x, y, z)]).collect();
+                let t = dft(&line);
+                for (y, v) in t.iter().enumerate() {
+                    out[dims.idx(x, y, z)] = *v;
+                }
+            }
+        }
+        // x axis
+        for y in 0..dims.ny {
+            for z in 0..dims.nz {
+                let line: Vec<Complex64> = (0..dims.nx).map(|x| out[dims.idx(x, y, z)]).collect();
+                let t = dft(&line);
+                for (x, v) in t.iter().enumerate() {
+                    out[dims.idx(x, y, z)] = *v;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_3d_dft() {
+        let dims = Dims3::new(4, 6, 5);
+        let x = signal(dims.len(), 3);
+        let fft = Fft3d::new(dims);
+        let mut y = x.clone();
+        fft.forward(&mut y);
+        let reference = dft3_reference(&x, dims);
+        let err = y
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-9, "err={err}");
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        let dims = Dims3::new(8, 6, 10);
+        let x = signal(dims.len(), 11);
+        let fft = Fft3d::new(dims);
+        let mut y = x.clone();
+        fft.forward(&mut y);
+        fft.inverse(&mut y);
+        let err = y
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-10, "err={err}");
+    }
+
+    #[test]
+    fn paper_grid_roundtrip() {
+        // The exact PME grid from the paper: 80 x 36 x 48.
+        let dims = Dims3::new(80, 36, 48);
+        let x = signal(dims.len(), 2002);
+        let fft = Fft3d::new(dims);
+        let mut y = x.clone();
+        fft.forward(&mut y);
+        fft.inverse(&mut y);
+        let err = y
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-9, "err={err}");
+    }
+
+    #[test]
+    fn axis_transforms_compose_to_full_3d() {
+        let dims = Dims3::new(4, 4, 4);
+        let x = signal(dims.len(), 5);
+        let fft = Fft3d::new(dims);
+        let mut whole = x.clone();
+        fft.forward(&mut whole);
+
+        let mut by_axis = x.clone();
+        let p = FftPlan::new(4);
+        transform_axis(&mut by_axis, dims, Axis::Z, &p, Direction::Forward);
+        transform_axis(&mut by_axis, dims, Axis::Y, &p, Direction::Forward);
+        transform_axis(&mut by_axis, dims, Axis::X, &p, Direction::Forward);
+
+        let err = whole
+            .iter()
+            .zip(&by_axis)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-12);
+    }
+
+    #[test]
+    fn constant_grid_transforms_to_single_spike() {
+        let dims = Dims3::new(4, 3, 5);
+        let mut data = vec![Complex64::ONE; dims.len()];
+        let fft = Fft3d::new(dims);
+        fft.forward(&mut data);
+        assert!((data[0].re - dims.len() as f64).abs() < 1e-9);
+        for v in &data[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flops_positive() {
+        let fft = Fft3d::new(Dims3::new(80, 36, 48));
+        assert!(fft.flops() > 0.0);
+    }
+}

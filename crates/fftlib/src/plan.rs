@@ -1,0 +1,388 @@
+//! FFT plans: precomputed factorizations and twiddle tables.
+//!
+//! Sizes whose prime factors are all <= 7 run through a recursive
+//! mixed-radix Cooley-Tukey decimation-in-time kernel. Any other size is
+//! delegated to the Bluestein chirp-z algorithm (see [`crate::bluestein`]).
+//!
+//! The PME grids used by the molecular dynamics code (80 x 36 x 48 in the
+//! paper's myoglobin run) are all smooth sizes and take the mixed-radix
+//! path.
+
+use crate::bluestein::Bluestein;
+use crate::complex::Complex64;
+use std::f64::consts::TAU;
+
+/// Largest prime handled by the mixed-radix kernel directly.
+pub const MAX_RADIX: usize = 7;
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `e^{-2 pi i j k / n}` kernel.
+    Forward,
+    /// `e^{+2 pi i j k / n}` kernel (unscaled; see [`FftPlan::inverse`]).
+    Inverse,
+}
+
+/// Returns the prime factorization of `n` in nondecreasing order.
+pub fn factorize(mut n: usize) -> Vec<usize> {
+    let mut factors = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        while n.is_multiple_of(p) {
+            factors.push(p);
+            n /= p;
+        }
+        p += if p == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+/// True when every prime factor of `n` is at most [`MAX_RADIX`].
+pub fn is_smooth(n: usize) -> bool {
+    n > 0 && factorize(n).iter().all(|&f| f <= MAX_RADIX)
+}
+
+/// Standard flop estimate for an FFT of size `n` (5 n log2 n).
+///
+/// Used by the virtual-cluster cost model to charge computation time for
+/// transforms without timing the host machine.
+pub fn flops_estimate(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+/// One recursion level of the mixed-radix kernel.
+#[derive(Debug, Clone)]
+struct Stage {
+    /// Transform size at this depth.
+    n: usize,
+    /// Radix split off at this depth (`n = radix * (n / radix)`).
+    radix: usize,
+    /// Twiddle table `w[t] = e^{-2 pi i t / n}` for `t` in `0..n`.
+    twiddle: Vec<Complex64>,
+}
+
+enum Kind {
+    MixedRadix(Vec<Stage>),
+    Bluestein(Box<Bluestein>),
+}
+
+/// A reusable plan for complex transforms of one fixed size.
+pub struct FftPlan {
+    n: usize,
+    kind: Kind,
+}
+
+impl std::fmt::Debug for FftPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            Kind::MixedRadix(_) => "mixed-radix",
+            Kind::Bluestein(_) => "bluestein",
+        };
+        write!(f, "FftPlan(n={}, kind={kind})", self.n)
+    }
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT size must be positive");
+        let kind = if is_smooth(n) {
+            Kind::MixedRadix(build_stages(n))
+        } else {
+            Kind::Bluestein(Box::new(Bluestein::new(n)))
+        };
+        FftPlan { n, kind }
+    }
+
+    /// Transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false; plans of length zero cannot be constructed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward transform, out of place. `input` and `output` must both
+    /// have length `self.len()`.
+    pub fn forward(&self, input: &[Complex64], output: &mut [Complex64]) {
+        self.execute(input, output, Direction::Forward);
+    }
+
+    /// Normalized inverse transform (includes the `1/n` factor), out of
+    /// place, so `inverse(forward(x)) == x`.
+    pub fn inverse(&self, input: &[Complex64], output: &mut [Complex64]) {
+        self.execute(input, output, Direction::Inverse);
+        let inv = 1.0 / self.n as f64;
+        for v in output.iter_mut() {
+            *v = v.scale(inv);
+        }
+    }
+
+    /// Unscaled transform in the given direction, out of place.
+    pub fn execute(&self, input: &[Complex64], output: &mut [Complex64], dir: Direction) {
+        assert_eq!(input.len(), self.n, "input length mismatch");
+        assert_eq!(output.len(), self.n, "output length mismatch");
+        match &self.kind {
+            Kind::MixedRadix(stages) => {
+                exec_recursive(stages, 0, input, 1, output, dir);
+            }
+            Kind::Bluestein(b) => match dir {
+                Direction::Forward => b.forward(input, output),
+                Direction::Inverse => {
+                    // IDFT(x) = conj(DFT(conj(x))) (unscaled).
+                    let conj_in: Vec<Complex64> = input.iter().map(|z| z.conj()).collect();
+                    b.forward(&conj_in, output);
+                    for v in output.iter_mut() {
+                        *v = v.conj();
+                    }
+                }
+            },
+        }
+    }
+
+    /// In-place convenience wrapper (allocates one scratch buffer).
+    pub fn execute_in_place(&self, data: &mut [Complex64], dir: Direction) {
+        let input = data.to_vec();
+        self.execute(&input, data, dir);
+    }
+}
+
+fn build_stages(n: usize) -> Vec<Stage> {
+    let factors = factorize(n);
+    let mut stages = Vec::with_capacity(factors.len());
+    let mut size = n;
+    for &radix in &factors {
+        let twiddle = (0..size)
+            .map(|t| Complex64::cis(-TAU * t as f64 / size as f64))
+            .collect();
+        stages.push(Stage {
+            n: size,
+            radix,
+            twiddle,
+        });
+        size /= radix;
+    }
+    debug_assert_eq!(size, 1);
+    stages
+}
+
+/// Recursive decimation-in-time. Reads `input` with stride `in_stride`
+/// and writes the transform of size `stages[depth].n` contiguously into
+/// `output`.
+fn exec_recursive(
+    stages: &[Stage],
+    depth: usize,
+    input: &[Complex64],
+    in_stride: usize,
+    output: &mut [Complex64],
+    dir: Direction,
+) {
+    if depth == stages.len() {
+        // Size-1 transform: copy the single element.
+        output[0] = input[0];
+        return;
+    }
+    let stage = &stages[depth];
+    let n = stage.n;
+    let r = stage.radix;
+    let m = n / r;
+
+    // Transform the r decimated subsequences.
+    for j in 0..r {
+        exec_recursive(
+            stages,
+            depth + 1,
+            &input[j * in_stride..],
+            in_stride * r,
+            &mut output[j * m..(j + 1) * m],
+            dir,
+        );
+    }
+
+    // Combine: X[k + q m] = sum_j w_n^{jk} w_r^{jq} Y_j[k].
+    // w_r^{jq} = w_n^{j q m}, so a single table indexed mod n suffices.
+    let tw = &stage.twiddle;
+    let mut tmp = [Complex64::ZERO; MAX_RADIX];
+    for k in 0..m {
+        for (j, slot) in tmp[..r].iter_mut().enumerate() {
+            let w = twiddle_at(tw, (j * k) % n, dir);
+            *slot = output[j * m + k] * w;
+        }
+        for q in 0..r {
+            let mut acc = tmp[0];
+            for (j, &t) in tmp[..r].iter().enumerate().skip(1) {
+                let w = twiddle_at(tw, (j * q * m) % n, dir);
+                acc = acc.mul_add(t, w);
+            }
+            output[q * m + k] = acc;
+        }
+    }
+}
+
+#[inline(always)]
+fn twiddle_at(tw: &[Complex64], idx: usize, dir: Direction) -> Complex64 {
+    let w = tw[idx];
+    match dir {
+        Direction::Forward => w,
+        Direction::Inverse => w.conj(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{dft, idft};
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        // Small deterministic LCG; test-only.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let a = ((state >> 11) as f64) / (1u64 << 53) as f64 - 0.5;
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let b = ((state >> 11) as f64) / (1u64 << 53) as f64 - 0.5;
+                Complex64::new(a, b)
+            })
+            .collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn factorize_basic() {
+        assert_eq!(factorize(1), vec![]);
+        assert_eq!(factorize(2), vec![2]);
+        assert_eq!(factorize(36), vec![2, 2, 3, 3]);
+        assert_eq!(factorize(80), vec![2, 2, 2, 2, 5]);
+        assert_eq!(factorize(97), vec![97]);
+    }
+
+    #[test]
+    fn smoothness() {
+        assert!(is_smooth(48));
+        assert!(is_smooth(80));
+        assert!(is_smooth(36));
+        assert!(!is_smooth(97));
+        assert!(!is_smooth(2 * 11));
+    }
+
+    #[test]
+    fn matches_naive_dft_for_many_sizes() {
+        for n in [
+            1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 20, 24, 25, 27, 30, 32, 36, 48, 60, 64,
+            80,
+        ] {
+            let plan = FftPlan::new(n);
+            let x = rand_signal(n, n as u64);
+            let mut y = vec![Complex64::ZERO; n];
+            plan.forward(&x, &mut y);
+            let reference = dft(&x);
+            assert!(max_err(&y, &reference) < 1e-9 * (n as f64), "size {n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_sizes_match_naive_dft() {
+        for n in [11usize, 13, 17, 22, 26, 97, 101] {
+            let plan = FftPlan::new(n);
+            let x = rand_signal(n, 1000 + n as u64);
+            let mut y = vec![Complex64::ZERO; n];
+            plan.forward(&x, &mut y);
+            let reference = dft(&x);
+            assert!(max_err(&y, &reference) < 1e-8 * (n as f64), "size {n}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for n in [8usize, 36, 48, 80, 97] {
+            let plan = FftPlan::new(n);
+            let x = rand_signal(n, 7 * n as u64);
+            let mut y = vec![Complex64::ZERO; n];
+            let mut z = vec![Complex64::ZERO; n];
+            plan.forward(&x, &mut y);
+            plan.inverse(&y, &mut z);
+            assert!(max_err(&x, &z) < 1e-9 * n as f64, "size {n}");
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_idft() {
+        let n = 36;
+        let plan = FftPlan::new(n);
+        let x = rand_signal(n, 99);
+        let mut y = vec![Complex64::ZERO; n];
+        plan.inverse(&x, &mut y);
+        let reference = idft(&x);
+        assert!(max_err(&y, &reference) < 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 80;
+        let plan = FftPlan::new(n);
+        let x = rand_signal(n, 4);
+        let mut y = vec![Complex64::ZERO; n];
+        plan.forward(&x, &mut y);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() < 1e-9 * ex.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 48;
+        let plan = FftPlan::new(n);
+        let x = rand_signal(n, 5);
+        let y = rand_signal(n, 6);
+        let sum: Vec<Complex64> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        let mut fx = vec![Complex64::ZERO; n];
+        let mut fy = vec![Complex64::ZERO; n];
+        let mut fs = vec![Complex64::ZERO; n];
+        plan.forward(&x, &mut fx);
+        plan.forward(&y, &mut fy);
+        plan.forward(&sum, &mut fs);
+        let expect: Vec<Complex64> = fx.iter().zip(&fy).map(|(a, b)| *a + *b).collect();
+        assert!(max_err(&fs, &expect) < 1e-9);
+    }
+
+    #[test]
+    fn in_place_matches_out_of_place() {
+        let n = 60;
+        let plan = FftPlan::new(n);
+        let x = rand_signal(n, 42);
+        let mut out = vec![Complex64::ZERO; n];
+        plan.forward(&x, &mut out);
+        let mut inplace = x.clone();
+        plan.execute_in_place(&mut inplace, Direction::Forward);
+        assert!(max_err(&out, &inplace) < 1e-12);
+    }
+
+    #[test]
+    fn flops_estimate_monotone() {
+        assert_eq!(flops_estimate(1), 0.0);
+        assert!(flops_estimate(64) > flops_estimate(32));
+    }
+}

@@ -1,0 +1,177 @@
+//! Real-input transforms built on the complex FFT.
+//!
+//! `n` real samples are packed into `n/2` complex samples, transformed
+//! with a half-length complex FFT, and unpacked with the standard
+//! split/merge identities. Only even `n` takes the fast path; odd `n`
+//! falls back to a full complex transform.
+
+use crate::complex::Complex64;
+use crate::plan::FftPlan;
+use std::f64::consts::TAU;
+
+/// Forward transform of real input; returns the `n/2 + 1` nonredundant
+/// spectrum bins (the rest follow from Hermitian symmetry).
+pub struct RealFft {
+    n: usize,
+    half_plan: Option<FftPlan>,
+    full_plan: Option<FftPlan>,
+}
+
+impl RealFft {
+    /// Builds a real-input plan for length `n > 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0);
+        if n.is_multiple_of(2) && n >= 2 {
+            RealFft {
+                n,
+                half_plan: Some(FftPlan::new(n / 2)),
+                full_plan: None,
+            }
+        } else {
+            RealFft {
+                n,
+                half_plan: None,
+                full_plan: Some(FftPlan::new(n)),
+            }
+        }
+    }
+
+    /// Input length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of nonredundant output bins, `n/2 + 1`.
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward transform. `input.len() == n`, returns `n/2 + 1` bins.
+    pub fn forward(&self, input: &[f64]) -> Vec<Complex64> {
+        assert_eq!(input.len(), self.n);
+        if let Some(full) = &self.full_plan {
+            let cx: Vec<Complex64> = input.iter().map(|&r| Complex64::from_real(r)).collect();
+            let mut out = vec![Complex64::ZERO; self.n];
+            full.forward(&cx, &mut out);
+            out.truncate(self.spectrum_len());
+            return out;
+        }
+        let half = self.n / 2;
+        let plan = self.half_plan.as_ref().expect("even path has half plan");
+
+        // Pack consecutive real pairs into complex samples.
+        let packed: Vec<Complex64> = (0..half)
+            .map(|i| Complex64::new(input[2 * i], input[2 * i + 1]))
+            .collect();
+        let mut z = vec![Complex64::ZERO; half];
+        plan.forward(&packed, &mut z);
+
+        // Unpack: X[k] = E[k] + e^{-2 pi i k / n} O[k].
+        let mut out = vec![Complex64::ZERO; self.spectrum_len()];
+        for k in 0..=half {
+            let zk = if k == half { z[0] } else { z[k] };
+            let zc = z[(half - k) % half].conj();
+            let even = (zk + zc).scale(0.5);
+            let odd = (zk - zc) * Complex64::new(0.0, -0.5);
+            let w = Complex64::cis(-TAU * k as f64 / self.n as f64);
+            out[k] = even + w * odd;
+        }
+        out
+    }
+
+    /// Inverse transform from `n/2 + 1` bins back to `n` real samples
+    /// (normalized so `inverse(forward(x)) == x`).
+    pub fn inverse(&self, spectrum: &[Complex64]) -> Vec<f64> {
+        assert_eq!(spectrum.len(), self.spectrum_len());
+        // Reconstruct the full Hermitian spectrum and run a complex
+        // inverse. Simple and robust; the hot 3D path in PME uses the
+        // complex transforms directly.
+        let full = FftPlan::new(self.n);
+        let mut spec_full = vec![Complex64::ZERO; self.n];
+        spec_full[..spectrum.len()].copy_from_slice(spectrum);
+        for k in spectrum.len()..self.n {
+            spec_full[k] = spectrum[self.n - k].conj();
+        }
+        let mut time = vec![Complex64::ZERO; self.n];
+        full.inverse(&spec_full, &mut time);
+        time.iter().map(|z| z.re).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.3 * (i as f64 * 1.7).cos())
+            .collect()
+    }
+
+    #[test]
+    fn matches_complex_dft_even() {
+        for n in [2usize, 4, 8, 12, 16, 36, 48, 80] {
+            let x = real_signal(n);
+            let rf = RealFft::new(n);
+            let got = rf.forward(&x);
+            let cx: Vec<Complex64> = x.iter().map(|&r| Complex64::from_real(r)).collect();
+            let reference = dft(&cx);
+            for k in 0..rf.spectrum_len() {
+                assert!(
+                    (got[k] - reference[k]).abs() < 1e-9 * n as f64,
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_complex_dft_odd() {
+        for n in [1usize, 3, 5, 9, 15] {
+            let x = real_signal(n);
+            let rf = RealFft::new(n);
+            let got = rf.forward(&x);
+            let cx: Vec<Complex64> = x.iter().map(|&r| Complex64::from_real(r)).collect();
+            let reference = dft(&cx);
+            for k in 0..rf.spectrum_len() {
+                assert!((got[k] - reference[k]).abs() < 1e-9 * (n as f64).max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for n in [4usize, 10, 36, 48] {
+            let x = real_signal(n);
+            let rf = RealFft::new(n);
+            let y = rf.inverse(&rf.forward(&x));
+            for (a, b) in x.iter().zip(&y) {
+                assert!((a - b).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_bin_is_sum() {
+        let x = real_signal(24);
+        let rf = RealFft::new(24);
+        let spec = rf.forward(&x);
+        let sum: f64 = x.iter().sum();
+        assert!((spec[0].re - sum).abs() < 1e-9);
+        assert!(spec[0].im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn nyquist_bin_is_real() {
+        let x = real_signal(16);
+        let rf = RealFft::new(16);
+        let spec = rf.forward(&x);
+        assert!(spec[8].im.abs() < 1e-9);
+    }
+}

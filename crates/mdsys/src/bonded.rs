@@ -1,0 +1,642 @@
+//! Bonded energy terms and their analytic forces: bonds, angles, proper
+//! dihedrals and harmonic impropers.
+//!
+//! Every kernel adds its forces into the caller's force array and
+//! returns the term energy plus the number of terms evaluated (the
+//! operation count feeds the virtual-cluster cost model).
+
+use crate::pbc::PbcBox;
+use crate::topology::Topology;
+use crate::vec3::Vec3;
+use std::f64::consts::PI;
+
+/// Accumulated bonded energies in kcal/mol.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BondedEnergies {
+    /// Bond stretching energy.
+    pub bond: f64,
+    /// Angle bending energy (including Urey-Bradley 1-3 springs).
+    pub angle: f64,
+    /// Proper dihedral energy.
+    pub dihedral: f64,
+    /// Improper (out-of-plane) energy.
+    pub improper: f64,
+}
+
+impl BondedEnergies {
+    /// Sum of all bonded terms.
+    pub fn total(&self) -> f64 {
+        self.bond + self.angle + self.dihedral + self.improper
+    }
+}
+
+/// Evaluates every bonded term of `topo` at `positions`, accumulating
+/// into `forces`. Returns the energies and the number of bonded terms
+/// evaluated.
+pub fn bonded_energy_forces(
+    topo: &Topology,
+    pbox: &PbcBox,
+    positions: &[Vec3],
+    forces: &mut [Vec3],
+) -> (BondedEnergies, usize) {
+    bonded_energy_forces_range(
+        topo,
+        pbox,
+        positions,
+        forces,
+        0..topo.bonds.len(),
+        0..topo.angles.len(),
+        0..topo.dihedrals.len(),
+        0..topo.impropers.len(),
+    )
+}
+
+/// Range-restricted variant used by the parallel decomposition: each
+/// rank evaluates a contiguous block of every term type.
+#[allow(clippy::too_many_arguments)]
+pub fn bonded_energy_forces_range(
+    topo: &Topology,
+    pbox: &PbcBox,
+    positions: &[Vec3],
+    forces: &mut [Vec3],
+    bonds: std::ops::Range<usize>,
+    angles: std::ops::Range<usize>,
+    dihedrals: std::ops::Range<usize>,
+    impropers: std::ops::Range<usize>,
+) -> (BondedEnergies, usize) {
+    let mut e = BondedEnergies::default();
+    let mut count = 0usize;
+
+    for b in &topo.bonds[bonds] {
+        e.bond += bond_term(pbox, positions, forces, b.i, b.j, b.param.k, b.param.r0);
+        count += 1;
+    }
+    for a in &topo.angles[angles] {
+        e.angle += angle_term(
+            pbox,
+            positions,
+            forces,
+            a.i,
+            a.j,
+            a.k,
+            a.param.k,
+            a.param.theta0,
+        );
+        if a.param.kub != 0.0 {
+            // CHARMM Urey-Bradley: a 1-3 harmonic spring, mechanically
+            // identical to a bond between the angle's end atoms.
+            e.angle += bond_term(pbox, positions, forces, a.i, a.k, a.param.kub, a.param.s0);
+        }
+        count += 1;
+    }
+    for d in &topo.dihedrals[dihedrals] {
+        e.dihedral += torsion_term(
+            pbox,
+            positions,
+            forces,
+            [d.i, d.j, d.k, d.l],
+            TorsionKind::Cosine {
+                k: d.param.k,
+                n: d.param.n,
+                delta: d.param.delta,
+            },
+        );
+        count += 1;
+    }
+    for d in &topo.impropers[impropers] {
+        e.improper += torsion_term(
+            pbox,
+            positions,
+            forces,
+            [d.i, d.j, d.k, d.l],
+            TorsionKind::Harmonic {
+                k: d.param.k,
+                psi0: d.param.psi0,
+            },
+        );
+        count += 1;
+    }
+    (e, count)
+}
+
+/// Single harmonic bond: `E = k (r - r0)^2`.
+#[inline]
+fn bond_term(
+    pbox: &PbcBox,
+    positions: &[Vec3],
+    forces: &mut [Vec3],
+    i: usize,
+    j: usize,
+    k: f64,
+    r0: f64,
+) -> f64 {
+    let d = pbox.min_image(positions[i], positions[j]);
+    let r = d.norm();
+    let dr = r - r0;
+    let energy = k * dr * dr;
+    // dE/dr = 2 k dr; F_i = -dE/dr * d/r.
+    let coef = -2.0 * k * dr / r;
+    let f = d * coef;
+    forces[i] += f;
+    forces[j] -= f;
+    energy
+}
+
+/// Single harmonic angle: `E = k (theta - theta0)^2` for `i-j-k`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn angle_term(
+    pbox: &PbcBox,
+    positions: &[Vec3],
+    forces: &mut [Vec3],
+    i: usize,
+    j: usize,
+    kk: usize,
+    k: f64,
+    theta0: f64,
+) -> f64 {
+    let d1 = pbox.min_image(positions[i], positions[j]);
+    let d2 = pbox.min_image(positions[kk], positions[j]);
+    let r1 = d1.norm();
+    let r2 = d2.norm();
+    let u = d1 / r1;
+    let v = d2 / r2;
+    let cos_t = u.dot(v).clamp(-1.0, 1.0);
+    let theta = cos_t.acos();
+    let dt = theta - theta0;
+    let energy = k * dt * dt;
+
+    // dtheta/dcos = -1/sin; guard near-linear geometries.
+    let sin_t = (1.0 - cos_t * cos_t).sqrt().max(1e-8);
+    let de_dtheta = 2.0 * k * dt;
+    // dcos/dri = (v - cos u)/r1 ; F_i = -dE/dtheta * dtheta/dri
+    //          = de_dtheta / sin * dcos/dri.
+    let fi = (v - u * cos_t) * (de_dtheta / (sin_t * r1));
+    let fk = (u - v * cos_t) * (de_dtheta / (sin_t * r2));
+    forces[i] += fi;
+    forces[kk] += fk;
+    forces[j] -= fi + fk;
+    energy
+}
+
+enum TorsionKind {
+    Cosine { k: f64, n: u32, delta: f64 },
+    Harmonic { k: f64, psi0: f64 },
+}
+
+/// Shared torsion machinery for proper dihedrals and impropers.
+///
+/// Gradient formulation after Bekker et al. (the `do_dih_fup` scheme
+/// used by GROMACS): with `r_ij = r_i - r_j`, `r_kj = r_k - r_j`,
+/// `r_kl = r_k - r_l`, `m = r_ij x r_kj`, `n = r_kj x r_kl`,
+/// `|phi|` is the angle between `m` and `n` and its sign follows
+/// `r_ij . n`.
+fn torsion_term(
+    pbox: &PbcBox,
+    positions: &[Vec3],
+    forces: &mut [Vec3],
+    [i, j, k, l]: [usize; 4],
+    kind: TorsionKind,
+) -> f64 {
+    let r_ij = pbox.min_image(positions[i], positions[j]);
+    let r_kj = pbox.min_image(positions[k], positions[j]);
+    let r_kl = pbox.min_image(positions[k], positions[l]);
+
+    let m = r_ij.cross(r_kj);
+    let n = r_kj.cross(r_kl);
+    let m2 = m.norm_sqr().max(1e-12);
+    let n2 = n.norm_sqr().max(1e-12);
+    let nrkj2 = r_kj.norm_sqr();
+    let nrkj = nrkj2.sqrt();
+
+    let cos_phi = (m.dot(n) / (m2 * n2).sqrt()).clamp(-1.0, 1.0);
+    let phi = if r_ij.dot(n) < 0.0 {
+        -cos_phi.acos()
+    } else {
+        cos_phi.acos()
+    };
+
+    let (energy, de_dphi) = match kind {
+        TorsionKind::Cosine { k, n, delta } => {
+            let arg = n as f64 * phi - delta;
+            (k * (1.0 + arg.cos()), -k * n as f64 * arg.sin())
+        }
+        TorsionKind::Harmonic { k, psi0 } => {
+            // Wrap the deviation into (-pi, pi] so the restraint is
+            // continuous across the branch cut.
+            let mut dp = phi - psi0;
+            while dp > PI {
+                dp -= 2.0 * PI;
+            }
+            while dp <= -PI {
+                dp += 2.0 * PI;
+            }
+            (k * dp * dp, 2.0 * k * dp)
+        }
+    };
+
+    // do_dih_fup: forces from dE/dphi.
+    let fi = m * (-de_dphi * nrkj / m2);
+    let fl = n * (de_dphi * nrkj / n2);
+    let p = r_ij.dot(r_kj) / nrkj2;
+    let q = r_kl.dot(r_kj) / nrkj2;
+    let sv = fi * p - fl * q;
+    let fj = sv - fi;
+    let fk = -sv - fl;
+
+    forces[i] += fi;
+    forces[j] += fj;
+    forces[k] += fk;
+    forces[l] += fl;
+    energy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forcefield::{params, AtomClass};
+    use crate::topology::{Angle, Atom, Bond, Dihedral, Improper, Topology};
+
+    fn big_box() -> PbcBox {
+        PbcBox::new(100.0, 100.0, 100.0)
+    }
+
+    fn numerical_gradient_check(topo: &Topology, positions: &[Vec3], tol: f64) {
+        let pbox = big_box();
+        let n = positions.len();
+        let mut forces = vec![Vec3::ZERO; n];
+        let (_, _) = bonded_energy_forces(topo, &pbox, positions, &mut forces);
+        let h = 1e-6;
+        for a in 0..n {
+            for c in 0..3 {
+                let mut plus = positions.to_vec();
+                let mut minus = positions.to_vec();
+                plus[a][c] += h;
+                minus[a][c] -= h;
+                let mut dummy = vec![Vec3::ZERO; n];
+                let (ep, _) = bonded_energy_forces(topo, &pbox, &plus, &mut dummy);
+                let mut dummy = vec![Vec3::ZERO; n];
+                let (em, _) = bonded_energy_forces(topo, &pbox, &minus, &mut dummy);
+                let numeric = -(ep.total() - em.total()) / (2.0 * h);
+                assert!(
+                    (forces[a][c] - numeric).abs() < tol,
+                    "atom {a} comp {c}: analytic {} vs numeric {numeric}",
+                    forces[a][c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bond_force_matches_numerical_gradient() {
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::CT,
+                    charge: 0.0
+                };
+                2
+            ],
+            ..Default::default()
+        };
+        topo.bonds.push(Bond {
+            i: 0,
+            j: 1,
+            param: params::BOND_HEAVY,
+        });
+        topo.rebuild_exclusions();
+        let positions = vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(2.3, 2.9, 3.4)];
+        numerical_gradient_check(&topo, &positions, 1e-5);
+    }
+
+    #[test]
+    fn bond_at_equilibrium_has_zero_energy_and_force() {
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::CT,
+                    charge: 0.0
+                };
+                2
+            ],
+            ..Default::default()
+        };
+        topo.bonds.push(Bond {
+            i: 0,
+            j: 1,
+            param: params::BOND_HEAVY,
+        });
+        let positions = vec![Vec3::ZERO, Vec3::new(params::BOND_HEAVY.r0, 0.0, 0.0)];
+        let mut forces = vec![Vec3::ZERO; 2];
+        let (e, count) = bonded_energy_forces(&topo, &big_box(), &positions, &mut forces);
+        assert!(e.total().abs() < 1e-12);
+        assert!(forces[0].norm() < 1e-12);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn angle_force_matches_numerical_gradient() {
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::CT,
+                    charge: 0.0
+                };
+                3
+            ],
+            ..Default::default()
+        };
+        topo.angles.push(Angle {
+            i: 0,
+            j: 1,
+            k: 2,
+            param: params::ANGLE_HEAVY,
+        });
+        let positions = vec![
+            Vec3::new(1.0, 0.2, 0.0),
+            Vec3::new(0.0, 0.0, 0.1),
+            Vec3::new(-0.3, 1.1, 0.4),
+        ];
+        numerical_gradient_check(&topo, &positions, 1e-4);
+    }
+
+    #[test]
+    fn urey_bradley_force_matches_numerical_gradient() {
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::CT,
+                    charge: 0.0
+                };
+                3
+            ],
+            ..Default::default()
+        };
+        topo.angles.push(Angle {
+            i: 0,
+            j: 1,
+            k: 2,
+            param: crate::forcefield::AngleParam::with_ub(60.0, 1.939, 12.0, 2.4),
+        });
+        let positions = vec![
+            Vec3::new(1.2, 0.1, 0.0),
+            Vec3::new(0.0, 0.0, 0.2),
+            Vec3::new(-0.4, 1.2, 0.3),
+        ];
+        numerical_gradient_check(&topo, &positions, 1e-4);
+    }
+
+    #[test]
+    fn urey_bradley_adds_energy_at_stretched_13_distance() {
+        let mk = |kub: f64| {
+            let mut topo = Topology {
+                atoms: vec![
+                    Atom {
+                        class: AtomClass::CT,
+                        charge: 0.0
+                    };
+                    3
+                ],
+                ..Default::default()
+            };
+            topo.angles.push(Angle {
+                i: 0,
+                j: 1,
+                k: 2,
+                param: crate::forcefield::AngleParam::with_ub(60.0, 1.911, kub, 2.0),
+            });
+            let positions = vec![
+                Vec3::new(1.5, 0.0, 0.0),
+                Vec3::new(0.0, 0.0, 0.0),
+                Vec3::new(-0.5, 1.45, 0.0),
+            ];
+            let mut f = vec![Vec3::ZERO; 3];
+            bonded_energy_forces(&topo, &big_box(), &positions, &mut f)
+                .0
+                .angle
+        };
+        let without = mk(0.0);
+        let with = mk(12.0);
+        assert!(with > without, "UB term must add energy off its minimum");
+    }
+
+    #[test]
+    fn dihedral_force_matches_numerical_gradient() {
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::CT,
+                    charge: 0.0
+                };
+                4
+            ],
+            ..Default::default()
+        };
+        topo.dihedrals.push(Dihedral {
+            i: 0,
+            j: 1,
+            k: 2,
+            l: 3,
+            param: params::DIHEDRAL_BACKBONE,
+        });
+        let positions = vec![
+            Vec3::new(0.1, 1.1, -0.2),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.5, 0.1, 0.2),
+            Vec3::new(1.9, 1.0, 1.0),
+        ];
+        numerical_gradient_check(&topo, &positions, 1e-4);
+    }
+
+    #[test]
+    fn improper_force_matches_numerical_gradient() {
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::C,
+                    charge: 0.0
+                };
+                4
+            ],
+            ..Default::default()
+        };
+        topo.impropers.push(Improper {
+            i: 0,
+            j: 1,
+            k: 2,
+            l: 3,
+            param: params::IMPROPER_CARBONYL,
+        });
+        let positions = vec![
+            Vec3::new(0.0, 0.0, 0.3),
+            Vec3::new(1.4, 0.1, -0.1),
+            Vec3::new(-0.8, 1.2, 0.0),
+            Vec3::new(-0.7, -1.2, 0.1),
+        ];
+        numerical_gradient_check(&topo, &positions, 1e-4);
+    }
+
+    #[test]
+    fn bonded_forces_sum_to_zero() {
+        // Newton's third law: internal forces cancel.
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::CT,
+                    charge: 0.0
+                };
+                4
+            ],
+            ..Default::default()
+        };
+        topo.bonds.push(Bond {
+            i: 0,
+            j: 1,
+            param: params::BOND_HEAVY,
+        });
+        topo.bonds.push(Bond {
+            i: 1,
+            j: 2,
+            param: params::BOND_PEPTIDE,
+        });
+        topo.angles.push(Angle {
+            i: 0,
+            j: 1,
+            k: 2,
+            param: params::ANGLE_BACKBONE,
+        });
+        topo.dihedrals.push(Dihedral {
+            i: 0,
+            j: 1,
+            k: 2,
+            l: 3,
+            param: params::DIHEDRAL_OMEGA,
+        });
+        let positions = vec![
+            Vec3::new(0.3, 0.1, 0.9),
+            Vec3::new(1.5, 0.2, 0.8),
+            Vec3::new(2.0, 1.4, 0.2),
+            Vec3::new(3.1, 1.5, 1.0),
+        ];
+        let mut forces = vec![Vec3::ZERO; 4];
+        bonded_energy_forces(&topo, &big_box(), &positions, &mut forces);
+        let net: Vec3 = forces.iter().fold(Vec3::ZERO, |acc, &f| acc + f);
+        assert!(net.norm() < 1e-10, "net bonded force {net:?}");
+    }
+
+    #[test]
+    fn omega_term_vanishes_at_planar_geometries() {
+        // The omega term (n=2, delta=pi) is E = k (1 - cos 2 phi):
+        // zero at both planar configurations (phi = 0 and pi), maximal
+        // at phi = pi/2.
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::CT,
+                    charge: 0.0
+                };
+                4
+            ],
+            ..Default::default()
+        };
+        topo.dihedrals.push(Dihedral {
+            i: 0,
+            j: 1,
+            k: 2,
+            l: 3,
+            param: params::DIHEDRAL_OMEGA,
+        });
+        // Planar trans arrangement.
+        let trans = vec![
+            Vec3::new(-1.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.5, 0.0, 0.0),
+            Vec3::new(2.5, -1.0, 0.0),
+        ];
+        // Planar cis arrangement.
+        let cis = vec![
+            Vec3::new(-1.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.5, 0.0, 0.0),
+            Vec3::new(2.5, 1.0, 0.0),
+        ];
+        // Perpendicular arrangement (phi = pi/2).
+        let perp = vec![
+            Vec3::new(-1.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.5, 0.0, 0.0),
+            Vec3::new(2.5, 0.0, 1.0),
+        ];
+        let mut f = vec![Vec3::ZERO; 4];
+        let (e_trans, _) = bonded_energy_forces(&topo, &big_box(), &trans, &mut f);
+        let mut f = vec![Vec3::ZERO; 4];
+        let (e_cis, _) = bonded_energy_forces(&topo, &big_box(), &cis, &mut f);
+        let mut f = vec![Vec3::ZERO; 4];
+        let (e_perp, _) = bonded_energy_forces(&topo, &big_box(), &perp, &mut f);
+        assert!(e_trans.dihedral.abs() < 1e-9, "trans {}", e_trans.dihedral);
+        assert!(e_cis.dihedral.abs() < 1e-9, "cis {}", e_cis.dihedral);
+        assert!((e_perp.dihedral - 2.0 * params::DIHEDRAL_OMEGA.k).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_restricted_sums_to_full() {
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::CT,
+                    charge: 0.0
+                };
+                5
+            ],
+            ..Default::default()
+        };
+        for i in 0..4 {
+            topo.bonds.push(Bond {
+                i,
+                j: i + 1,
+                param: params::BOND_HEAVY,
+            });
+        }
+        for i in 0..3 {
+            topo.angles.push(Angle {
+                i,
+                j: i + 1,
+                k: i + 2,
+                param: params::ANGLE_HEAVY,
+            });
+        }
+        let positions: Vec<Vec3> = (0..5)
+            .map(|i| Vec3::new(i as f64 * 1.4, (i % 2) as f64, 0.3 * i as f64))
+            .collect();
+        let pbox = big_box();
+
+        let mut f_full = vec![Vec3::ZERO; 5];
+        let (e_full, _) = bonded_energy_forces(&topo, &pbox, &positions, &mut f_full);
+
+        let mut f_split = vec![Vec3::ZERO; 5];
+        let (e1, _) = bonded_energy_forces_range(
+            &topo,
+            &pbox,
+            &positions,
+            &mut f_split,
+            0..2,
+            0..1,
+            0..0,
+            0..0,
+        );
+        let (e2, _) = bonded_energy_forces_range(
+            &topo,
+            &pbox,
+            &positions,
+            &mut f_split,
+            2..4,
+            1..3,
+            0..0,
+            0..0,
+        );
+        assert!((e_full.total() - e1.total() - e2.total()).abs() < 1e-12);
+        for (a, b) in f_full.iter().zip(&f_split) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! SHAKE / RATTLE holonomic bond constraints — CHARMM's standard tool
+//! for freezing fast X-H vibrations so production runs can use 2 fs
+//! timesteps.
+//!
+//! `Shake` iteratively corrects positions until every constrained bond
+//! is at its reference length (SHAKE); the RATTLE half removes the
+//! velocity components along the constraints so the kinetic energy is
+//! consistent with the constrained manifold.
+
+use crate::pbc::PbcBox;
+use crate::system::System;
+use crate::topology::Topology;
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// One distance constraint between atoms `i` and `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// First atom.
+    pub i: usize,
+    /// Second atom.
+    pub j: usize,
+    /// Constrained distance in Angstrom.
+    pub length: f64,
+}
+
+/// SHAKE solver state.
+#[derive(Debug, Clone)]
+pub struct Shake {
+    constraints: Vec<Constraint>,
+    inv_mass: Vec<f64>,
+    tolerance: f64,
+    max_iter: usize,
+}
+
+/// Result of one SHAKE solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShakeResult {
+    /// Iterations used.
+    pub iterations: usize,
+    /// Largest relative violation after the solve.
+    pub max_violation: f64,
+    /// Whether the solve converged within tolerance.
+    pub converged: bool,
+}
+
+impl Shake {
+    /// Builds a solver for an explicit constraint set.
+    pub fn new(topo: &Topology, constraints: Vec<Constraint>) -> Self {
+        for c in &constraints {
+            assert!(c.i < topo.n_atoms() && c.j < topo.n_atoms() && c.i != c.j);
+            assert!(c.length > 0.0);
+        }
+        let inv_mass = topo.atoms.iter().map(|a| 1.0 / a.class.mass()).collect();
+        Shake {
+            constraints,
+            inv_mass,
+            tolerance: 1e-8,
+            max_iter: 500,
+        }
+    }
+
+    /// Constrains every X-H bond of the topology (CHARMM's
+    /// `SHAKE BONH`): bonds where exactly one partner is a hydrogen.
+    pub fn bonds_with_hydrogen(topo: &Topology) -> Self {
+        use crate::forcefield::AtomClass;
+        let is_h = |i: usize| {
+            matches!(
+                topo.atoms[i].class,
+                AtomClass::H | AtomClass::HA | AtomClass::HW
+            )
+        };
+        let constraints = topo
+            .bonds
+            .iter()
+            .filter(|b| is_h(b.i) != is_h(b.j))
+            .map(|b| Constraint {
+                i: b.i,
+                j: b.j,
+                length: b.param.r0,
+            })
+            .collect();
+        Shake::new(topo, constraints)
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when there are no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Sets the convergence tolerance (relative bond-length error).
+    pub fn set_tolerance(&mut self, tol: f64) {
+        assert!(tol > 0.0);
+        self.tolerance = tol;
+    }
+
+    /// SHAKE position correction: iteratively projects `positions` back
+    /// onto the constraint manifold. `reference` holds the positions
+    /// *before* the unconstrained move (the constraint directions are
+    /// evaluated there, as in the original algorithm).
+    pub fn apply_positions(
+        &self,
+        pbox: &PbcBox,
+        reference: &[Vec3],
+        positions: &mut [Vec3],
+    ) -> ShakeResult {
+        let mut iterations = 0;
+        let mut max_violation = 0.0;
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            max_violation = 0.0f64;
+            for c in &self.constraints {
+                let d = pbox.min_image(positions[c.i], positions[c.j]);
+                let r2 = d.norm_sqr();
+                let target2 = c.length * c.length;
+                let diff = r2 - target2;
+                let violation = (diff / target2).abs();
+                max_violation = max_violation.max(violation);
+                if violation < self.tolerance {
+                    continue;
+                }
+                // Standard SHAKE update along the pre-move direction.
+                let d_ref = pbox.min_image(reference[c.i], reference[c.j]);
+                let denom = 2.0 * (self.inv_mass[c.i] + self.inv_mass[c.j]) * d.dot(d_ref);
+                if denom.abs() < 1e-12 {
+                    continue; // pathological geometry; skip this pass
+                }
+                let g = diff / denom;
+                positions[c.i] -= d_ref * (g * self.inv_mass[c.i]);
+                positions[c.j] += d_ref * (g * self.inv_mass[c.j]);
+            }
+            if max_violation < self.tolerance {
+                return ShakeResult {
+                    iterations,
+                    max_violation,
+                    converged: true,
+                };
+            }
+        }
+        ShakeResult {
+            iterations,
+            max_violation,
+            converged: false,
+        }
+    }
+
+    /// RATTLE velocity correction: removes the relative velocity
+    /// component along each (satisfied) constraint.
+    pub fn apply_velocities(
+        &self,
+        pbox: &PbcBox,
+        positions: &[Vec3],
+        velocities: &mut [Vec3],
+    ) -> ShakeResult {
+        let mut iterations = 0;
+        let mut max_violation = 0.0;
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            max_violation = 0.0f64;
+            for c in &self.constraints {
+                let d = pbox.min_image(positions[c.i], positions[c.j]);
+                let v_rel = velocities[c.i] - velocities[c.j];
+                let proj = d.dot(v_rel);
+                // Dimensionless measure: projected speed over bond
+                // length per ps.
+                let violation = proj.abs() / (c.length * c.length);
+                max_violation = max_violation.max(violation);
+                if violation < self.tolerance * 1e3 {
+                    continue;
+                }
+                let denom = d.norm_sqr() * (self.inv_mass[c.i] + self.inv_mass[c.j]);
+                let k = proj / denom;
+                velocities[c.i] -= d * (k * self.inv_mass[c.i]);
+                velocities[c.j] += d * (k * self.inv_mass[c.j]);
+            }
+            if max_violation < self.tolerance * 1e3 {
+                return ShakeResult {
+                    iterations,
+                    max_violation,
+                    converged: true,
+                };
+            }
+        }
+        ShakeResult {
+            iterations,
+            max_violation,
+            converged: false,
+        }
+    }
+
+    /// Number of degrees of freedom removed (one per constraint) — used
+    /// for constrained-temperature reporting.
+    pub fn removed_dof(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Constrained-ensemble temperature of a system.
+    pub fn temperature(&self, system: &System) -> f64 {
+        let dof = (3 * system.n_atoms()).saturating_sub(self.removed_dof()) as f64;
+        if dof == 0.0 {
+            return 0.0;
+        }
+        2.0 * system.kinetic_energy() / (dof * crate::units::K_BOLTZMANN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::water_box;
+
+    #[test]
+    fn water_xh_constraints_found() {
+        let sys = water_box(2, 3.1);
+        let shake = Shake::bonds_with_hydrogen(&sys.topology);
+        // Two O-H bonds per water.
+        assert_eq!(shake.len(), 16);
+        assert!(!shake.is_empty());
+    }
+
+    #[test]
+    fn positions_projected_back_to_bond_lengths() {
+        let sys = water_box(2, 3.1);
+        let shake = Shake::bonds_with_hydrogen(&sys.topology);
+        let reference = sys.positions.clone();
+        // Perturb the hydrogens.
+        let mut moved = reference.clone();
+        let mut state = 7u64;
+        for p in &mut moved {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            p.x += ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.12;
+            p.y += ((state >> 17) as f64 / (1u64 << 47) as f64 - 0.5) * 0.05;
+        }
+        let result = shake.apply_positions(&sys.pbox, &reference, &mut moved);
+        assert!(result.converged, "SHAKE failed: {result:?}");
+        for b in &sys.topology.bonds {
+            let r = sys.pbox.distance(moved[b.i], moved[b.j]);
+            assert!(
+                (r - b.param.r0).abs() / b.param.r0 < 1e-4,
+                "bond {}-{} at {r} (target {})",
+                b.i,
+                b.j,
+                b.param.r0
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_atom_moves_less_than_hydrogen() {
+        // Momentum conservation: corrections are mass weighted.
+        let sys = water_box(1, 3.1);
+        let shake = Shake::bonds_with_hydrogen(&sys.topology);
+        let reference = sys.positions.clone();
+        let mut moved = reference.clone();
+        moved[1].x += 0.2; // hydrogen displaced
+        shake.apply_positions(&sys.pbox, &reference, &mut moved);
+        let o_move = (moved[0] - reference[0]).norm();
+        let h_move = (moved[1] - (reference[1] + Vec3::new(0.2, 0.0, 0.0))).norm();
+        assert!(
+            o_move < h_move / 10.0,
+            "O moved {o_move}, H corrected {h_move}"
+        );
+    }
+
+    #[test]
+    fn velocity_projection_removes_bond_stretch_velocity() {
+        let sys = water_box(1, 3.1);
+        let shake = Shake::bonds_with_hydrogen(&sys.topology);
+        let mut velocities = vec![Vec3::ZERO; sys.n_atoms()];
+        // Hydrogen flying away from oxygen along the bond.
+        let d = sys
+            .pbox
+            .min_image(sys.positions[1], sys.positions[0])
+            .normalized();
+        velocities[1] = d * 5.0;
+        let result = shake.apply_velocities(&sys.pbox, &sys.positions, &mut velocities);
+        assert!(result.converged);
+        for c in 0..shake.len() {
+            let con = shake.constraints[c];
+            let dd = sys
+                .pbox
+                .min_image(sys.positions[con.i], sys.positions[con.j]);
+            let v_rel = velocities[con.i] - velocities[con.j];
+            assert!(dd.dot(v_rel).abs() < 1e-4, "residual stretch velocity");
+        }
+    }
+
+    #[test]
+    fn constrained_temperature_uses_reduced_dof() {
+        let mut sys = water_box(2, 3.1);
+        sys.assign_velocities(300.0, 3);
+        let shake = Shake::bonds_with_hydrogen(&sys.topology);
+        let t_unconstrained = sys.temperature();
+        let t_constrained = shake.temperature(&sys);
+        // Fewer DoF, same kinetic energy: higher apparent temperature.
+        assert!(t_constrained > t_unconstrained);
+        let dof_ratio = (3.0 * sys.n_atoms() as f64)
+            / (3.0 * sys.n_atoms() as f64 - shake.removed_dof() as f64);
+        assert!((t_constrained / t_unconstrained - dof_ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn momentum_is_conserved_by_corrections() {
+        let sys = water_box(1, 3.1);
+        let shake = Shake::bonds_with_hydrogen(&sys.topology);
+        let reference = sys.positions.clone();
+        let mut moved = reference.clone();
+        moved[1].y += 0.15;
+        moved[2].z -= 0.1;
+        shake.apply_positions(&sys.pbox, &reference, &mut moved);
+        // Mass-weighted sum of corrections (relative to the perturbed
+        // state) must vanish: SHAKE applies equal and opposite impulses.
+        let perturbed = {
+            let mut p = reference.clone();
+            p[1].y += 0.15;
+            p[2].z -= 0.1;
+            p
+        };
+        let mut net = Vec3::ZERO;
+        for i in 0..sys.n_atoms() {
+            let m = sys.topology.atoms[i].class.mass();
+            net += (moved[i] - perturbed[i]) * m;
+        }
+        assert!(net.norm() < 1e-9, "net mass-weighted correction {net:?}");
+    }
+}

@@ -1,0 +1,275 @@
+//! Classical Ewald summation: the exact (naive) reciprocal-space sum
+//! used as the correctness reference for the PME solver, plus a helper
+//! assembling the full electrostatic energy.
+
+use crate::nonbonded::{ewald_excluded_correction, ewald_self_energy};
+use crate::pbc::PbcBox;
+use crate::topology::Topology;
+use crate::units::COULOMB;
+use crate::vec3::Vec3;
+use std::f64::consts::TAU;
+
+/// Naive O(N * K^3) reciprocal-space Ewald sum.
+///
+/// `kmax` bounds the integer reciprocal vector components. Forces are
+/// accumulated into `forces`; the energy is returned in kcal/mol.
+pub fn ewald_recip_reference(
+    topo: &Topology,
+    pbox: &PbcBox,
+    positions: &[Vec3],
+    beta: f64,
+    kmax: i32,
+    forces: &mut [Vec3],
+) -> f64 {
+    let v = pbox.volume();
+    let prefactor = COULOMB * TAU / v; // C * 2 pi / V
+    let gamma = 1.0 / (4.0 * beta * beta);
+    let l = pbox.lengths;
+    let mut energy = 0.0;
+
+    for nx in -kmax..=kmax {
+        for ny in -kmax..=kmax {
+            for nz in -kmax..=kmax {
+                if nx == 0 && ny == 0 && nz == 0 {
+                    continue;
+                }
+                let k = Vec3::new(
+                    TAU * nx as f64 / l.x,
+                    TAU * ny as f64 / l.y,
+                    TAU * nz as f64 / l.z,
+                );
+                let k2 = k.norm_sqr();
+                let w = (-gamma * k2).exp() / k2;
+
+                // Structure factor S(k) = sum q e^{i k.r}.
+                let mut s_re = 0.0;
+                let mut s_im = 0.0;
+                for (a, &p) in topo.atoms.iter().zip(positions) {
+                    let phase = k.dot(p);
+                    s_re += a.charge * phase.cos();
+                    s_im += a.charge * phase.sin();
+                }
+                energy += prefactor * w * (s_re * s_re + s_im * s_im);
+
+                // F_i = C (2 pi / V) w * 2 q_i k Im[S* e^{i k r_i}].
+                for (a, (&p, f)) in topo
+                    .atoms
+                    .iter()
+                    .zip(positions.iter().zip(forces.iter_mut()))
+                {
+                    let phase = k.dot(p);
+                    let (sin_p, cos_p) = phase.sin_cos();
+                    // Im[(s_re - i s_im)(cos + i sin)] = s_re sin - s_im cos.
+                    let im = s_re * sin_p - s_im * cos_p;
+                    *f += k * (prefactor * w * 2.0 * a.charge * im);
+                }
+            }
+        }
+    }
+    energy
+}
+
+/// Components of a full Ewald electrostatic energy.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EwaldEnergies {
+    /// Reciprocal-space sum.
+    pub recip: f64,
+    /// Self-interaction correction (negative).
+    pub self_term: f64,
+    /// Excluded-pair correction (removes k-space contribution of bonded
+    /// neighbours).
+    pub excluded: f64,
+}
+
+impl EwaldEnergies {
+    /// Sum of the k-space-side terms.
+    pub fn total(&self) -> f64 {
+        self.recip + self.self_term + self.excluded
+    }
+}
+
+/// Full reference evaluation of the k-space side of an Ewald sum
+/// (reciprocal + self + exclusion corrections) with forces.
+pub fn ewald_kspace_reference(
+    topo: &Topology,
+    pbox: &PbcBox,
+    positions: &[Vec3],
+    beta: f64,
+    kmax: i32,
+    forces: &mut [Vec3],
+) -> EwaldEnergies {
+    let recip = ewald_recip_reference(topo, pbox, positions, beta, kmax, forces);
+    let self_term = ewald_self_energy(topo, beta);
+    let (excluded, _) = ewald_excluded_correction(topo, pbox, positions, beta, forces);
+    EwaldEnergies {
+        recip,
+        self_term,
+        excluded,
+    }
+}
+
+/// A reasonable Ewald splitting parameter for a given cutoff: chooses
+/// `beta` such that `erfc(beta * cutoff) ~ tolerance`.
+pub fn beta_for_cutoff(cutoff: f64, tolerance: f64) -> f64 {
+    // Solve erfc(beta * rc) = tol by bisection on beta.
+    let mut lo = 0.01;
+    let mut hi = 10.0;
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if crate::special::erfc(mid * cutoff) > tolerance {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forcefield::AtomClass;
+    use crate::topology::Atom;
+
+    fn ion_pair() -> (Topology, PbcBox, Vec<Vec3>) {
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::N,
+                    charge: 1.0,
+                },
+                Atom {
+                    class: AtomClass::O,
+                    charge: -1.0,
+                },
+            ],
+            ..Default::default()
+        };
+        topo.rebuild_exclusions();
+        let pbox = PbcBox::new(20.0, 20.0, 20.0);
+        let positions = vec![Vec3::new(5.0, 5.0, 5.0), Vec3::new(8.1, 6.0, 5.5)];
+        (topo, pbox, positions)
+    }
+
+    #[test]
+    fn madelung_nacl() {
+        // Rock-salt lattice of +-1 charges, lattice constant a: the
+        // Madelung constant is 1.7476 per ion pair. Total electrostatic
+        // energy = -C * M * N_pairs / r_nn.
+        let a = 5.0_f64;
+        let cells = 2; // 2x2x2 unit cells, 64 ions
+        let mut topo = Topology::default();
+        let mut positions = Vec::new();
+        let half = a / 2.0;
+        for ix in 0..2 * cells {
+            for iy in 0..2 * cells {
+                for iz in 0..2 * cells {
+                    let q = if (ix + iy + iz) % 2 == 0 { 1.0 } else { -1.0 };
+                    topo.atoms.push(Atom {
+                        class: AtomClass::N,
+                        charge: q,
+                    });
+                    positions.push(Vec3::new(
+                        half * ix as f64,
+                        half * iy as f64,
+                        half * iz as f64,
+                    ));
+                }
+            }
+        }
+        topo.rebuild_exclusions();
+        let pbox = PbcBox::new(a * cells as f64, a * cells as f64, a * cells as f64);
+
+        let beta = 0.9; // strong screening so the direct sum converges fast
+        let n = positions.len();
+        let mut forces = vec![Vec3::ZERO; n];
+        let e = ewald_kspace_reference(&topo, &pbox, &positions, beta, 12, &mut forces);
+
+        // Direct-space part via erfc over minimum images.
+        let mut direct = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let r = pbox.distance(positions[i], positions[j]);
+                direct += COULOMB
+                    * topo.atoms[i].charge
+                    * topo.atoms[j].charge
+                    * crate::special::erfc(beta * r)
+                    / r;
+            }
+        }
+        let total = e.total() + direct;
+        let n_ions = n as f64;
+        let madelung = -total / (COULOMB * n_ions / 2.0) * half;
+        assert!(
+            (madelung - 1.7476).abs() < 2e-3,
+            "madelung constant {madelung} (total {total})"
+        );
+        // Forces vanish by symmetry on a perfect lattice.
+        for f in &forces {
+            assert!(f.norm() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn recip_forces_match_numeric_gradient() {
+        let (topo, pbox, positions) = ion_pair();
+        let beta = 0.35;
+        let kmax = 8;
+        let mut forces = vec![Vec3::ZERO; 2];
+        ewald_recip_reference(&topo, &pbox, &positions, beta, kmax, &mut forces);
+        let h = 1e-5;
+        for c in 0..3 {
+            let mut plus = positions.clone();
+            let mut minus = positions.clone();
+            plus[0][c] += h;
+            minus[0][c] -= h;
+            let mut dummy = vec![Vec3::ZERO; 2];
+            let ep = ewald_recip_reference(&topo, &pbox, &plus, beta, kmax, &mut dummy);
+            let mut dummy = vec![Vec3::ZERO; 2];
+            let em = ewald_recip_reference(&topo, &pbox, &minus, beta, kmax, &mut dummy);
+            let numeric = -(ep - em) / (2.0 * h);
+            assert!(
+                (forces[0][c] - numeric).abs() < 1e-6,
+                "component {c}: {} vs {numeric}",
+                forces[0][c]
+            );
+        }
+    }
+
+    #[test]
+    fn total_ewald_independent_of_beta() {
+        // The physical energy must not depend on the splitting parameter
+        // (within truncation error).
+        let (topo, pbox, positions) = ion_pair();
+        let total_for = |beta: f64, kmax: i32| {
+            let mut forces = vec![Vec3::ZERO; 2];
+            let k = ewald_kspace_reference(&topo, &pbox, &positions, beta, kmax, &mut forces);
+            let r = pbox.distance(positions[0], positions[1]);
+            let direct = COULOMB
+                * topo.atoms[0].charge
+                * topo.atoms[1].charge
+                * crate::special::erfc(beta * r)
+                / r;
+            k.total() + direct
+        };
+        let e1 = total_for(0.35, 10);
+        let e2 = total_for(0.5, 14);
+        assert!((e1 - e2).abs() < 1e-3, "{e1} vs {e2}");
+    }
+
+    #[test]
+    fn beta_for_cutoff_hits_tolerance() {
+        let beta = beta_for_cutoff(10.0, 1e-6);
+        let v = crate::special::erfc(beta * 10.0);
+        assert!((v - 1e-6).abs() < 1e-8, "erfc(beta rc) = {v}");
+    }
+
+    #[test]
+    fn neutral_pair_recip_energy_is_positive_quantity_sum() {
+        // |S(k)|^2 >= 0 and the weights are positive, so recip >= 0.
+        let (topo, pbox, positions) = ion_pair();
+        let mut forces = vec![Vec3::ZERO; 2];
+        let e = ewald_recip_reference(&topo, &pbox, &positions, 0.4, 6, &mut forces);
+        assert!(e >= 0.0);
+    }
+}

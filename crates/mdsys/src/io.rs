@@ -1,0 +1,130 @@
+//! System serialization: JSON checkpoints (full fidelity, via serde)
+//! and XYZ trajectory frames (interoperable with standard viewers).
+
+use crate::system::System;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// Saves a full-fidelity JSON checkpoint of the system.
+pub fn save_checkpoint(system: &System, path: impl AsRef<Path>) -> io::Result<()> {
+    let json =
+        serde_json::to_string(system).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Loads a JSON checkpoint.
+pub fn load_checkpoint(path: impl AsRef<Path>) -> io::Result<System> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Element symbol used in XYZ output for an atom class.
+fn element(class: crate::forcefield::AtomClass) -> &'static str {
+    use crate::forcefield::AtomClass::*;
+    match class {
+        C | CT => "C",
+        N => "N",
+        H | HA | HW => "H",
+        O | OW => "O",
+        S => "S",
+    }
+}
+
+/// Writes one XYZ frame (atom count, comment, element + coordinates).
+pub fn write_xyz_frame(system: &System, comment: &str, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "{}", system.n_atoms())?;
+    writeln!(w, "{}", comment.replace('\n', " "))?;
+    for (a, p) in system.topology.atoms.iter().zip(&system.positions) {
+        writeln!(w, "{} {:.6} {:.6} {:.6}", element(a.class), p.x, p.y, p.z)?;
+    }
+    Ok(())
+}
+
+/// Reads coordinates back from a single-frame XYZ stream (topology is
+/// not reconstructable from XYZ; returns element symbols + positions).
+pub fn read_xyz_frame(r: &mut impl BufRead) -> io::Result<Vec<(String, crate::vec3::Vec3)>> {
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let n: usize = line
+        .trim()
+        .parse()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad count: {e}")))?;
+    line.clear();
+    r.read_line(&mut line)?; // comment
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        line.clear();
+        r.read_line(&mut line)?;
+        let mut it = line.split_whitespace();
+        let sym = it
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing element"))?
+            .to_string();
+        let mut coord = [0.0f64; 3];
+        for c in &mut coord {
+            *c = it
+                .next()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing coord"))?
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e}")))?;
+        }
+        out.push((sym, crate::vec3::Vec3::new(coord[0], coord[1], coord[2])));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::water_box;
+    use std::io::BufReader;
+
+    #[test]
+    fn json_checkpoint_roundtrip() {
+        let sys = water_box(2, 3.1);
+        let dir = std::env::temp_dir().join("cpc_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        save_checkpoint(&sys, &path).unwrap();
+        let loaded = load_checkpoint(&path).unwrap();
+        assert_eq!(loaded.n_atoms(), sys.n_atoms());
+        // JSON float formatting can differ in the last ulp.
+        for (a, b) in loaded.positions.iter().zip(&sys.positions) {
+            assert!((*a - *b).norm() < 1e-12);
+        }
+        assert_eq!(loaded.topology.bonds.len(), sys.topology.bonds.len());
+        assert_eq!(loaded.pbox, sys.pbox);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn xyz_roundtrip() {
+        let sys = water_box(2, 3.1);
+        let mut buf = Vec::new();
+        write_xyz_frame(&sys, "test frame", &mut buf).unwrap();
+        let frame = read_xyz_frame(&mut BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(frame.len(), sys.n_atoms());
+        assert_eq!(frame[0].0, "O");
+        assert_eq!(frame[1].0, "H");
+        for ((_, p), q) in frame.iter().zip(&sys.positions) {
+            assert!((*p - *q).norm() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn xyz_rejects_garbage() {
+        let garbage = b"not a number\nxx\n";
+        assert!(read_xyz_frame(&mut BufReader::new(&garbage[..])).is_err());
+    }
+
+    #[test]
+    fn xyz_comment_newlines_are_sanitized() {
+        let sys = water_box(1, 3.1);
+        let mut buf = Vec::new();
+        write_xyz_frame(&sys, "line1\nline2", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[1], "line1 line2");
+        assert_eq!(lines.len(), 2 + sys.n_atoms());
+    }
+}

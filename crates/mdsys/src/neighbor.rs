@@ -1,0 +1,344 @@
+//! Verlet pair lists built through a periodic cell (linked-list) grid.
+//!
+//! The list stores all non-excluded pairs within `cutoff + skin` of each
+//! other and is rebuilt when any atom has moved more than `skin / 2`
+//! since the last build — the standard displacement criterion.
+
+use crate::pbc::PbcBox;
+use crate::topology::Topology;
+use crate::vec3::Vec3;
+
+/// A half pair list (`i < j`) of candidate interacting pairs.
+#[derive(Debug, Clone)]
+pub struct NeighborList {
+    /// Candidate pairs, each within `cutoff + skin` at build time.
+    pub pairs: Vec<(u32, u32)>,
+    cutoff: f64,
+    skin: f64,
+    reference: Vec<Vec3>,
+}
+
+impl NeighborList {
+    /// Builds a fresh list.
+    ///
+    /// # Panics
+    /// Panics if `cutoff + skin` exceeds the minimum half-edge of the box
+    /// (the minimum-image convention would be violated).
+    pub fn build(
+        topo: &Topology,
+        pbox: &PbcBox,
+        positions: &[Vec3],
+        cutoff: f64,
+        skin: f64,
+    ) -> Self {
+        let reach = cutoff + skin;
+        assert!(
+            reach <= pbox.min_half_edge() + 1e-9,
+            "cutoff + skin ({reach}) exceeds half the box ({})",
+            pbox.min_half_edge()
+        );
+        let pairs = build_pairs(topo, pbox, positions, reach);
+        NeighborList {
+            pairs,
+            cutoff,
+            skin,
+            reference: positions.to_vec(),
+        }
+    }
+
+    /// The cutoff this list was built for.
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    /// The skin distance.
+    pub fn skin(&self) -> f64 {
+        self.skin
+    }
+
+    /// True when some atom has drifted more than `skin / 2` from its
+    /// position at build time.
+    pub fn needs_rebuild(&self, pbox: &PbcBox, positions: &[Vec3]) -> bool {
+        let limit = self.skin * 0.5;
+        let limit2 = limit * limit;
+        positions
+            .iter()
+            .zip(&self.reference)
+            .any(|(&p, &r)| pbox.min_image(p, r).norm_sqr() > limit2)
+    }
+
+    /// Rebuilds in place, reusing the pair vector's allocation.
+    pub fn rebuild(&mut self, topo: &Topology, pbox: &PbcBox, positions: &[Vec3]) {
+        let reach = self.cutoff + self.skin;
+        self.pairs.clear();
+        build_pairs_into(topo, pbox, positions, reach, &mut self.pairs);
+        self.reference.clear();
+        self.reference.extend_from_slice(positions);
+    }
+}
+
+fn build_pairs(topo: &Topology, pbox: &PbcBox, positions: &[Vec3], reach: f64) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    build_pairs_into(topo, pbox, positions, reach, &mut pairs);
+    pairs
+}
+
+fn build_pairs_into(
+    topo: &Topology,
+    pbox: &PbcBox,
+    positions: &[Vec3],
+    reach: f64,
+    pairs: &mut Vec<(u32, u32)>,
+) {
+    let n = positions.len();
+    let reach2 = reach * reach;
+
+    // Grid resolution: cells at least `reach` wide in each dimension.
+    let ncx = (pbox.lengths.x / reach).floor().max(1.0) as usize;
+    let ncy = (pbox.lengths.y / reach).floor().max(1.0) as usize;
+    let ncz = (pbox.lengths.z / reach).floor().max(1.0) as usize;
+    let ncell = ncx * ncy * ncz;
+
+    if ncell < 27 {
+        // Too few cells for the stencil to prune anything; do the O(N^2)
+        // sweep (still exact).
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if pbox.min_image(positions[i], positions[j]).norm_sqr() < reach2
+                    && !topo.is_excluded(i, j)
+                {
+                    pairs.push((i as u32, j as u32));
+                }
+            }
+        }
+        return;
+    }
+
+    // Bin atoms.
+    let mut head: Vec<i32> = vec![-1; ncell];
+    let mut next: Vec<i32> = vec![-1; n];
+    let cell_of = |p: Vec3| -> usize {
+        let f = pbox.fractional(p);
+        let cx = ((f.x * ncx as f64) as usize).min(ncx - 1);
+        let cy = ((f.y * ncy as f64) as usize).min(ncy - 1);
+        let cz = ((f.z * ncz as f64) as usize).min(ncz - 1);
+        (cx * ncy + cy) * ncz + cz
+    };
+    for (i, &p) in positions.iter().enumerate() {
+        let c = cell_of(p);
+        next[i] = head[c];
+        head[c] = i as i32;
+    }
+
+    // Precompute the (deduplicated) half stencil of neighbour cells.
+    let mut stencil: Vec<usize> = Vec::with_capacity(14);
+    for cx in 0..ncx {
+        for cy in 0..ncy {
+            for cz in 0..ncz {
+                let c = (cx * ncy + cy) * ncz + cz;
+                stencil.clear();
+                for dx in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dz in -1i64..=1 {
+                            let nx = (cx as i64 + dx).rem_euclid(ncx as i64) as usize;
+                            let ny = (cy as i64 + dy).rem_euclid(ncy as i64) as usize;
+                            let nz = (cz as i64 + dz).rem_euclid(ncz as i64) as usize;
+                            let nc = (nx * ncy + ny) * ncz + nz;
+                            // Half stencil: only visit cells with index
+                            // >= c; the self cell handles i<j itself.
+                            if nc >= c && !stencil.contains(&nc) {
+                                stencil.push(nc);
+                            }
+                        }
+                    }
+                }
+                for &nc in &stencil {
+                    let mut i = head[c];
+                    while i >= 0 {
+                        let iu = i as usize;
+                        let mut j = if nc == c { next[iu] } else { head[nc] };
+                        while j >= 0 {
+                            let ju = j as usize;
+                            let (a, b) = if iu < ju { (iu, ju) } else { (ju, iu) };
+                            if pbox.min_image(positions[a], positions[b]).norm_sqr() < reach2
+                                && !topo.is_excluded(a, b)
+                            {
+                                pairs.push((a as u32, b as u32));
+                            }
+                            j = next[ju];
+                        }
+                        i = next[iu];
+                    }
+                }
+            }
+        }
+    }
+    // Cross-cell visits can see a pair from both sides when the periodic
+    // stencil wraps; dedup to keep the list exact.
+    pairs.sort_unstable();
+    pairs.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forcefield::AtomClass;
+    use crate::topology::Atom;
+
+    fn random_positions(n: usize, pbox: &PbcBox, seed: u64) -> Vec<Vec3> {
+        let mut s = seed | 1;
+        let mut rng = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64) / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng() * pbox.lengths.x,
+                    rng() * pbox.lengths.y,
+                    rng() * pbox.lengths.z,
+                )
+            })
+            .collect()
+    }
+
+    fn free_topo(n: usize) -> Topology {
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::CT,
+                    charge: 0.0
+                };
+                n
+            ],
+            ..Default::default()
+        };
+        topo.rebuild_exclusions();
+        topo
+    }
+
+    fn brute_force(
+        topo: &Topology,
+        pbox: &PbcBox,
+        positions: &[Vec3],
+        reach: f64,
+    ) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        let reach2 = reach * reach;
+        for i in 0..positions.len() {
+            for j in (i + 1)..positions.len() {
+                if pbox.min_image(positions[i], positions[j]).norm_sqr() < reach2
+                    && !topo.is_excluded(i, j)
+                {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_large_box() {
+        let pbox = PbcBox::new(40.0, 35.0, 50.0);
+        let topo = free_topo(200);
+        let positions = random_positions(200, &pbox, 17);
+        let list = NeighborList::build(&topo, &pbox, &positions, 9.0, 1.0);
+        let mut got = list.pairs.clone();
+        got.sort_unstable();
+        let mut want = brute_force(&topo, &pbox, &positions, 10.0);
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_brute_force_small_box_fallback() {
+        // Box too small for a 3x3x3 stencil: exercises the O(N^2) path.
+        let pbox = PbcBox::new(12.0, 12.0, 12.0);
+        let topo = free_topo(60);
+        let positions = random_positions(60, &pbox, 3);
+        let list = NeighborList::build(&topo, &pbox, &positions, 5.0, 0.5);
+        let mut got = list.pairs.clone();
+        got.sort_unstable();
+        let mut want = brute_force(&topo, &pbox, &positions, 5.5);
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn respects_exclusions() {
+        let pbox = PbcBox::new(30.0, 30.0, 30.0);
+        let mut topo = free_topo(3);
+        topo.bonds.push(crate::topology::Bond {
+            i: 0,
+            j: 1,
+            param: crate::forcefield::params::BOND_HEAVY,
+        });
+        topo.rebuild_exclusions();
+        let positions = vec![
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(2.0, 1.0, 1.0),
+            Vec3::new(3.0, 1.0, 1.0),
+        ];
+        let list = NeighborList::build(&topo, &pbox, &positions, 8.0, 1.0);
+        assert!(
+            !list.pairs.contains(&(0, 1)),
+            "bonded pair must be excluded"
+        );
+        assert!(list.pairs.contains(&(0, 2)));
+        assert!(list.pairs.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn rebuild_criterion() {
+        let pbox = PbcBox::new(40.0, 40.0, 40.0);
+        let topo = free_topo(10);
+        let mut positions = random_positions(10, &pbox, 5);
+        let list = NeighborList::build(&topo, &pbox, &positions, 9.0, 2.0);
+        assert!(!list.needs_rebuild(&pbox, &positions));
+        positions[3].x += 0.9; // less than skin/2
+        assert!(!list.needs_rebuild(&pbox, &positions));
+        positions[3].x += 0.3; // now over skin/2 total
+        assert!(list.needs_rebuild(&pbox, &positions));
+    }
+
+    #[test]
+    fn rebuild_refreshes_reference() {
+        let pbox = PbcBox::new(40.0, 40.0, 40.0);
+        let topo = free_topo(20);
+        let mut positions = random_positions(20, &pbox, 9);
+        let mut list = NeighborList::build(&topo, &pbox, &positions, 9.0, 2.0);
+        for p in &mut positions {
+            p.x += 3.0;
+        }
+        assert!(list.needs_rebuild(&pbox, &positions));
+        list.rebuild(&topo, &pbox, &positions);
+        assert!(!list.needs_rebuild(&pbox, &positions));
+        // And the rebuilt list is still exact.
+        let mut got = list.pairs.clone();
+        got.sort_unstable();
+        let mut want = brute_force(&topo, &pbox, &positions, 11.0);
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn wrap_around_pairs_found() {
+        // Atoms across the periodic boundary must pair up.
+        let pbox = PbcBox::new(40.0, 40.0, 40.0);
+        let topo = free_topo(2);
+        let positions = vec![Vec3::new(0.5, 20.0, 20.0), Vec3::new(39.5, 20.0, 20.0)];
+        let list = NeighborList::build(&topo, &pbox, &positions, 9.0, 1.0);
+        assert_eq!(list.pairs, vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_cutoff_rejected() {
+        let pbox = PbcBox::new(15.0, 40.0, 40.0);
+        let topo = free_topo(2);
+        let positions = vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)];
+        let _ = NeighborList::build(&topo, &pbox, &positions, 8.0, 1.0);
+    }
+}

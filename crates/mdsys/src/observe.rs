@@ -1,0 +1,204 @@
+//! Trajectory observables: the structural and dynamical quantities a
+//! downstream user of the MD engine actually inspects — radius of
+//! gyration, RMSD, mean-square displacement and radial distribution
+//! functions.
+
+use crate::system::System;
+use crate::vec3::Vec3;
+
+/// Mass-weighted centre of a selection of atoms.
+pub fn center_of_mass(system: &System, selection: &[usize]) -> Vec3 {
+    assert!(!selection.is_empty());
+    let mut com = Vec3::ZERO;
+    let mut mass = 0.0;
+    for &i in selection {
+        let m = system.topology.atoms[i].class.mass();
+        com += system.positions[i] * m;
+        mass += m;
+    }
+    com / mass
+}
+
+/// Mass-weighted radius of gyration of a selection, in Angstrom.
+///
+/// Valid for selections that do not wrap around the periodic box
+/// (e.g. the protein in the myoglobin system).
+pub fn radius_of_gyration(system: &System, selection: &[usize]) -> f64 {
+    let com = center_of_mass(system, selection);
+    let mut num = 0.0;
+    let mut mass = 0.0;
+    for &i in selection {
+        let m = system.topology.atoms[i].class.mass();
+        num += m * (system.positions[i] - com).norm_sqr();
+        mass += m;
+    }
+    (num / mass).sqrt()
+}
+
+/// Plain (unfitted) RMSD between two coordinate sets over a selection,
+/// in Angstrom. No optimal superposition is performed; use for
+/// same-frame-of-reference comparisons (e.g. drift along a trajectory).
+pub fn rmsd(a: &[Vec3], b: &[Vec3], selection: &[usize]) -> f64 {
+    assert!(!selection.is_empty());
+    let sum: f64 = selection.iter().map(|&i| (a[i] - b[i]).norm_sqr()).sum();
+    (sum / selection.len() as f64).sqrt()
+}
+
+/// Mean-square displacement between two coordinate sets (all atoms),
+/// in A^2. Coordinates must be unwrapped (the integrator never wraps).
+pub fn mean_square_displacement(a: &[Vec3], b: &[Vec3]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    assert!(!a.is_empty());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).norm_sqr())
+        .sum::<f64>()
+        / a.len() as f64
+}
+
+/// Radial distribution function g(r) between two selections, using
+/// minimum-image distances.
+///
+/// Returns `(bin_centers, g)` with `bins` bins up to `r_max`.
+pub fn radial_distribution(
+    system: &System,
+    sel_a: &[usize],
+    sel_b: &[usize],
+    r_max: f64,
+    bins: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    assert!(bins > 0 && r_max > 0.0);
+    assert!(
+        r_max <= system.pbox.min_half_edge() + 1e-9,
+        "r_max beyond the minimum-image radius"
+    );
+    let dr = r_max / bins as f64;
+    let mut counts = vec![0usize; bins];
+    let mut n_pairs = 0usize;
+    for &i in sel_a {
+        for &j in sel_b {
+            if i == j {
+                continue;
+            }
+            n_pairs += 1;
+            let r = system
+                .pbox
+                .distance(system.positions[i], system.positions[j]);
+            if r < r_max {
+                counts[(r / dr) as usize] += 1;
+            }
+        }
+    }
+    let volume = system.pbox.volume();
+    let density = n_pairs as f64 / volume;
+    let mut centers = Vec::with_capacity(bins);
+    let mut g = Vec::with_capacity(bins);
+    for (b, &c) in counts.iter().enumerate() {
+        let r_lo = b as f64 * dr;
+        let r_hi = r_lo + dr;
+        let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+        centers.push(r_lo + 0.5 * dr);
+        g.push(c as f64 / (density * shell));
+    }
+    (centers, g)
+}
+
+/// Indices of all atoms of a given class (e.g. water oxygens).
+pub fn select_class(system: &System, class: crate::forcefield::AtomClass) -> Vec<usize> {
+    system
+        .topology
+        .atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.class == class)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::water_box;
+    use crate::forcefield::AtomClass;
+
+    #[test]
+    fn rg_of_a_known_arrangement() {
+        // Two unit-mass-equal atoms 2 A apart: Rg = 1.
+        let sys = {
+            let mut topo = crate::topology::Topology {
+                atoms: vec![
+                    crate::topology::Atom {
+                        class: AtomClass::HW,
+                        charge: 0.0
+                    };
+                    2
+                ],
+                ..Default::default()
+            };
+            topo.rebuild_exclusions();
+            System::new(
+                topo,
+                crate::pbc::PbcBox::new(20.0, 20.0, 20.0),
+                vec![Vec3::new(5.0, 5.0, 5.0), Vec3::new(7.0, 5.0, 5.0)],
+            )
+        };
+        let rg = radius_of_gyration(&sys, &[0, 1]);
+        assert!((rg - 1.0).abs() < 1e-12, "rg {rg}");
+        let com = center_of_mass(&sys, &[0, 1]);
+        assert!((com - Vec3::new(6.0, 5.0, 5.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rmsd_zero_for_identical_and_positive_for_shifted() {
+        let sys = water_box(2, 3.1);
+        let sel: Vec<usize> = (0..sys.n_atoms()).collect();
+        assert_eq!(rmsd(&sys.positions, &sys.positions, &sel), 0.0);
+        let shifted: Vec<Vec3> = sys
+            .positions
+            .iter()
+            .map(|&p| p + Vec3::new(1.0, 0.0, 0.0))
+            .collect();
+        assert!((rmsd(&sys.positions, &shifted, &sel) - 1.0).abs() < 1e-12);
+        assert!((mean_square_displacement(&sys.positions, &shifted) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rdf_of_lattice_waters_has_peak_at_lattice_spacing() {
+        let sys = water_box(4, 3.1);
+        let oxygens = select_class(&sys, AtomClass::OW);
+        assert_eq!(oxygens.len(), 64);
+        let (centers, g) = radial_distribution(&sys, &oxygens, &oxygens, 6.0, 30);
+        // The nearest-neighbour lattice spacing is 3.1 A: g(r) must peak
+        // in that bin region.
+        let peak_idx = g
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let peak_r = centers[peak_idx];
+        assert!((peak_r - 3.1).abs() < 0.35, "peak at {peak_r}");
+        // No counts below ~2 A (no overlapping molecules).
+        for (c, v) in centers.iter().zip(&g) {
+            if *c < 2.0 {
+                assert_eq!(*v, 0.0, "unexpected g({c}) = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_class_finds_waters() {
+        let sys = water_box(2, 3.1);
+        assert_eq!(select_class(&sys, AtomClass::OW).len(), 8);
+        assert_eq!(select_class(&sys, AtomClass::HW).len(), 16);
+        assert!(select_class(&sys, AtomClass::S).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rdf_rejects_oversized_rmax() {
+        let sys = water_box(2, 3.1);
+        let sel = select_class(&sys, AtomClass::OW);
+        let _ = radial_distribution(&sys, &sel, &sel, 100.0, 10);
+    }
+}

@@ -1,0 +1,205 @@
+//! Virial and pressure for the classic (pairwise) model.
+//!
+//! `P = (2 K + W) / (3 V)` with the internal virial
+//! `W = sum_pairs r . F` (bonded + nonbonded). The PME reciprocal-space
+//! virial is not implemented (the paper's study never measures
+//! pressure); `pressure_classic` documents that restriction.
+
+use crate::bonded::bonded_energy_forces;
+use crate::nonbonded::{nonbonded_energy_forces, NonbondedOptions};
+use crate::pbc::PbcBox;
+use crate::system::System;
+use crate::topology::Topology;
+use crate::vec3::Vec3;
+
+/// Conversion from kcal/(mol A^3) to atmospheres.
+pub const KCAL_PER_MOL_A3_TO_ATM: f64 = 68_568.415;
+
+/// Internal virial `W = sum r_ij . F_ij` of the pairwise interactions
+/// (bonded + nonbonded with the given options), in kcal/mol.
+pub fn pairwise_virial(
+    topo: &Topology,
+    pbox: &PbcBox,
+    positions: &[Vec3],
+    pairs: &[(u32, u32)],
+    opts: &NonbondedOptions,
+) -> f64 {
+    // The virial of strictly pairwise forces equals sum_i r_i . F_i for
+    // minimum-image consistent interactions; computing it per
+    // interaction keeps it exact under PBC. We recover per-pair forces
+    // by evaluating each term in isolation.
+    let mut virial = 0.0;
+
+    // Nonbonded pairs.
+    for &(i, j) in pairs {
+        let (i, j) = (i as usize, j as usize);
+        let mut f = vec![Vec3::ZERO; positions.len()];
+        let (_, evaluated) =
+            nonbonded_energy_forces(topo, pbox, positions, &[(i as u32, j as u32)], opts, &mut f);
+        if evaluated == 0 {
+            continue;
+        }
+        let r = pbox.min_image(positions[i], positions[j]);
+        virial += r.dot(f[i]);
+    }
+
+    // Bonded terms: pairwise bonds contribute r . F exactly; angle,
+    // dihedral and UB terms are multi-body — use the standard atomic
+    // form sum_i r_i . F_i on the whole bonded force field, which is
+    // valid when no bonded interaction spans more than half the box.
+    let mut f = vec![Vec3::ZERO; positions.len()];
+    bonded_energy_forces(topo, pbox, positions, &mut f);
+    // Use positions relative to the first atom of each term's molecule
+    // via the minimum-image anchor at atom 0 of the system.
+    let anchor = positions[0];
+    for (p, fi) in positions.iter().zip(&f) {
+        virial += pbox.min_image(*p, anchor).dot(*fi);
+    }
+    virial
+}
+
+/// Instantaneous pressure of the *classic* model in atmospheres.
+///
+/// Only valid for the shift/switch model (no reciprocal-space term);
+/// panics if called with zero volume.
+pub fn pressure_classic(system: &System, pairs: &[(u32, u32)], opts: &NonbondedOptions) -> f64 {
+    let v = system.pbox.volume();
+    assert!(v > 0.0);
+    let kinetic = system.kinetic_energy();
+    let w = pairwise_virial(
+        &system.topology,
+        &system.pbox,
+        &system.positions,
+        pairs,
+        opts,
+    );
+    (2.0 * kinetic + w) / (3.0 * v) * KCAL_PER_MOL_A3_TO_ATM
+}
+
+/// Ideal-gas reference pressure `N k T / V` in atmospheres.
+pub fn pressure_ideal(n_atoms: usize, temperature: f64, volume: f64) -> f64 {
+    n_atoms as f64 * crate::units::K_BOLTZMANN * temperature / volume * KCAL_PER_MOL_A3_TO_ATM
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forcefield::AtomClass;
+    use crate::topology::Atom;
+
+    #[test]
+    fn ideal_gas_limit() {
+        // Non-interacting particles (zero charge, pairs not listed):
+        // pressure reduces to N k T / V.
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::OW,
+                    charge: 0.0
+                };
+                50
+            ],
+            ..Default::default()
+        };
+        topo.rebuild_exclusions();
+        let pbox = PbcBox::new(30.0, 30.0, 30.0);
+        let positions: Vec<Vec3> = (0..50)
+            .map(|i| {
+                Vec3::new(
+                    (i % 5) as f64 * 6.0,
+                    ((i / 5) % 5) as f64 * 6.0,
+                    (i / 25) as f64 * 6.0,
+                )
+            })
+            .collect();
+        let mut sys = System::new(topo, pbox, positions);
+        sys.assign_velocities(300.0, 3);
+        let opts = NonbondedOptions::classic();
+        let p = pressure_classic(&sys, &[], &opts);
+        let p_ideal = pressure_ideal(50, sys.temperature(), sys.pbox.volume());
+        assert!(
+            (p - p_ideal).abs() < 1e-6 * p_ideal.abs().max(1.0),
+            "{p} vs {p_ideal}"
+        );
+    }
+
+    #[test]
+    fn compressed_pair_pushes_outward() {
+        // Two LJ atoms inside their minimum distance: positive virial,
+        // pressure above ideal.
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::OW,
+                    charge: 0.0
+                };
+                2
+            ],
+            ..Default::default()
+        };
+        topo.rebuild_exclusions();
+        let pbox = PbcBox::new(25.0, 25.0, 25.0);
+        let rmin = 2.0 * AtomClass::OW.lj().rmin_half;
+        let positions = vec![
+            Vec3::new(10.0, 10.0, 10.0),
+            Vec3::new(10.0 + 0.8 * rmin, 10.0, 10.0),
+        ];
+        let sys = System::new(topo, pbox, positions);
+        let opts = NonbondedOptions::classic();
+        let w = pairwise_virial(&sys.topology, &sys.pbox, &sys.positions, &[(0, 1)], &opts);
+        assert!(w > 0.0, "repulsive pair must have positive virial, got {w}");
+    }
+
+    #[test]
+    fn attractive_pair_pulls_inward() {
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::OW,
+                    charge: 0.0
+                };
+                2
+            ],
+            ..Default::default()
+        };
+        topo.rebuild_exclusions();
+        let pbox = PbcBox::new(25.0, 25.0, 25.0);
+        let rmin = 2.0 * AtomClass::OW.lj().rmin_half;
+        let positions = vec![
+            Vec3::new(10.0, 10.0, 10.0),
+            Vec3::new(10.0 + 1.3 * rmin, 10.0, 10.0),
+        ];
+        let sys = System::new(topo, pbox, positions);
+        let opts = NonbondedOptions::classic();
+        let w = pairwise_virial(&sys.topology, &sys.pbox, &sys.positions, &[(0, 1)], &opts);
+        assert!(
+            w < 0.0,
+            "attractive pair must have negative virial, got {w}"
+        );
+    }
+
+    #[test]
+    fn stretched_bond_contributes_negative_virial() {
+        // A bond stretched past equilibrium pulls atoms together.
+        let mut topo = Topology {
+            atoms: vec![
+                Atom {
+                    class: AtomClass::CT,
+                    charge: 0.0
+                };
+                2
+            ],
+            ..Default::default()
+        };
+        topo.bonds.push(crate::topology::Bond {
+            i: 0,
+            j: 1,
+            param: crate::forcefield::params::BOND_HEAVY,
+        });
+        topo.rebuild_exclusions();
+        let pbox = PbcBox::new(25.0, 25.0, 25.0);
+        let positions = vec![Vec3::new(5.0, 5.0, 5.0), Vec3::new(7.0, 5.0, 5.0)];
+        let w = pairwise_virial(&topo, &pbox, &positions, &[], &NonbondedOptions::classic());
+        assert!(w < 0.0, "stretched bond virial {w}");
+    }
+}

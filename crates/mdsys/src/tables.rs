@@ -1,0 +1,165 @@
+//! Interpolation tables for the expensive pair functions — the
+//! optimization every era CHARMM build used (`erfc` and the switching
+//! polynomials were looked up, not computed, on a Pentium III).
+//!
+//! The table stores `f` and `df/dr` on a uniform grid in `r^2` (so the
+//! pair loop needs no square root for the lookup) with linear
+//! interpolation. Accuracy tests pin the error bounds.
+
+use crate::special::erfc;
+use std::f64::consts::PI;
+
+/// A uniform table in `r^2` with linear interpolation, storing a
+/// function and its derivative with respect to `r`.
+#[derive(Debug, Clone)]
+pub struct PairTable {
+    r2_max: f64,
+    inv_step: f64,
+    /// (value, d/dr) at each knot.
+    knots: Vec<(f64, f64)>,
+}
+
+impl PairTable {
+    /// Builds a table for `f(r)`/`dfdr(r)` over `(0, r_max]` with
+    /// `points` knots in `r^2`.
+    pub fn build(
+        r_max: f64,
+        points: usize,
+        f: impl Fn(f64) -> f64,
+        dfdr: impl Fn(f64) -> f64,
+    ) -> Self {
+        assert!(r_max > 0.0 && points >= 2);
+        let r2_max = r_max * r_max;
+        let step = r2_max / (points - 1) as f64;
+        let knots = (0..points)
+            .map(|k| {
+                let r2 = k as f64 * step;
+                let r = r2.sqrt().max(1e-6);
+                (f(r), dfdr(r))
+            })
+            .collect();
+        PairTable {
+            r2_max,
+            inv_step: 1.0 / step,
+            knots,
+        }
+    }
+
+    /// The standard Ewald direct-space table: `erfc(beta r)/r` and its
+    /// derivative, as used inside the PME pair loop.
+    pub fn ewald_direct(beta: f64, r_max: f64, points: usize) -> Self {
+        Self::build(
+            r_max,
+            points,
+            |r| erfc(beta * r) / r,
+            |r| {
+                -erfc(beta * r) / (r * r)
+                    - 2.0 * beta / PI.sqrt() * (-beta * beta * r * r).exp() / r
+            },
+        )
+    }
+
+    /// Looks up `(f, df/dr)` at squared distance `r2`. Clamps to the
+    /// table range (callers cut off at `r_max` anyway).
+    #[inline]
+    pub fn lookup(&self, r2: f64) -> (f64, f64) {
+        let x = (r2.clamp(0.0, self.r2_max)) * self.inv_step;
+        let k = (x as usize).min(self.knots.len() - 2);
+        let frac = x - k as f64;
+        let (f0, d0) = self.knots[k];
+        let (f1, d1) = self.knots[k + 1];
+        (f0 + (f1 - f0) * frac, d0 + (d1 - d0) * frac)
+    }
+
+    /// Number of knots.
+    pub fn len(&self) -> usize {
+        self.knots.len()
+    }
+
+    /// Always false (at least two knots).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maximum relative error of the table against a reference function
+    /// over `[r_lo, r_max]`, probed at `samples` points (for tests and
+    /// accuracy reporting).
+    pub fn max_relative_error(
+        &self,
+        reference: impl Fn(f64) -> f64,
+        r_lo: f64,
+        r_max: f64,
+        samples: usize,
+    ) -> f64 {
+        let mut worst = 0.0f64;
+        for s in 0..samples {
+            let r = r_lo + (r_max - r_lo) * s as f64 / (samples - 1) as f64;
+            let want = reference(r);
+            let (got, _) = self.lookup(r * r);
+            worst = worst.max((got - want).abs() / want.abs().max(1e-12));
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewald_table_is_accurate_in_the_working_range() {
+        let beta = 0.35;
+        let table = PairTable::ewald_direct(beta, 12.0, 4096);
+        let err = table.max_relative_error(|r| erfc(beta * r) / r, 1.0, 12.0, 2000);
+        assert!(err < 5e-4, "relative error {err}");
+    }
+
+    #[test]
+    fn derivative_matches_numeric_differentiation() {
+        let beta = 0.35;
+        let table = PairTable::ewald_direct(beta, 12.0, 8192);
+        for &r in &[2.0f64, 5.0, 8.0, 9.9] {
+            let h = 1e-4;
+            let (fp, _) = table.lookup((r + h) * (r + h));
+            let (fm, _) = table.lookup((r - h) * (r - h));
+            let numeric = (fp - fm) / (2.0 * h);
+            let (_, d) = table.lookup(r * r);
+            assert!(
+                (d - numeric).abs() < 2e-3 * d.abs().max(1e-6),
+                "r={r}: {d} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn denser_tables_are_more_accurate() {
+        let beta = 0.35;
+        let coarse = PairTable::ewald_direct(beta, 10.0, 256);
+        let fine = PairTable::ewald_direct(beta, 10.0, 8192);
+        let f = |r: f64| erfc(beta * r) / r;
+        let e_coarse = coarse.max_relative_error(f, 1.5, 10.0, 500);
+        let e_fine = fine.max_relative_error(f, 1.5, 10.0, 500);
+        assert!(e_fine < e_coarse / 10.0, "{e_fine} vs {e_coarse}");
+    }
+
+    #[test]
+    fn lookup_clamps_out_of_range() {
+        let table = PairTable::ewald_direct(0.3, 10.0, 128);
+        let (inside, _) = table.lookup(99.9);
+        let (clamped, _) = table.lookup(150.0);
+        assert!((inside - clamped).abs() < 1e-6);
+        // Does not panic at zero either.
+        let _ = table.lookup(0.0);
+    }
+
+    #[test]
+    fn generic_builder_matches_custom_function() {
+        // Table a simple polynomial where interpolation is near exact.
+        let t = PairTable::build(5.0, 1024, |r| r * r, |r| 2.0 * r);
+        for &r in &[0.5f64, 1.7, 3.3, 4.9] {
+            let (f, d) = t.lookup(r * r);
+            assert!((f - r * r).abs() < 1e-4, "f({r})");
+            assert!((d - 2.0 * r).abs() < 2e-2, "df({r})");
+        }
+    }
+}

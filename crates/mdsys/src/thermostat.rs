@@ -1,0 +1,193 @@
+//! Temperature control: the two classic thermostats a CHARMM-style
+//! engine offers for equilibration — Berendsen weak coupling and a
+//! Langevin (Ornstein-Uhlenbeck) thermostat.
+
+use crate::system::System;
+use crate::units::{ACCEL_CONV, K_BOLTZMANN};
+use serde::{Deserialize, Serialize};
+
+/// Thermostat applied after each integration step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Thermostat {
+    /// Microcanonical dynamics (no temperature control).
+    None,
+    /// Berendsen weak coupling: velocities scaled by
+    /// `sqrt(1 + dt/tau (T0/T - 1))`.
+    Berendsen {
+        /// Target temperature in Kelvin.
+        target: f64,
+        /// Coupling time constant in ps.
+        tau: f64,
+    },
+    /// Langevin dynamics via an exact Ornstein-Uhlenbeck velocity
+    /// update: `v <- c v + sqrt(1 - c^2) sigma g`, `c = exp(-gamma dt)`.
+    Langevin {
+        /// Target temperature in Kelvin.
+        target: f64,
+        /// Friction coefficient in 1/ps.
+        gamma: f64,
+    },
+}
+
+/// Mutable thermostat state (RNG stream for the stochastic variants).
+#[derive(Debug, Clone)]
+pub struct ThermostatState {
+    kind: Thermostat,
+    rng_state: u64,
+}
+
+impl ThermostatState {
+    /// Creates thermostat state with a deterministic noise stream.
+    pub fn new(kind: Thermostat, seed: u64) -> Self {
+        ThermostatState {
+            kind,
+            rng_state: seed.wrapping_mul(0x9E3779B97F4A7C15) | 1,
+        }
+    }
+
+    /// The configured thermostat.
+    pub fn kind(&self) -> Thermostat {
+        self.kind
+    }
+
+    fn gauss(&mut self) -> f64 {
+        // Box-Muller on a xorshift stream.
+        let next = |s: &mut u64| {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            (*s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let u1: f64 = next(&mut self.rng_state).max(1e-300);
+        let u2: f64 = next(&mut self.rng_state);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Applies the thermostat to the system's velocities for a step of
+    /// length `dt` (ps).
+    pub fn apply(&mut self, system: &mut System, dt: f64) {
+        match self.kind {
+            Thermostat::None => {}
+            Thermostat::Berendsen { target, tau } => {
+                let t = system.temperature();
+                if t <= 1e-12 {
+                    return;
+                }
+                let lambda2 = 1.0 + dt / tau * (target / t - 1.0);
+                let lambda = lambda2.max(0.0).sqrt().clamp(0.8, 1.25);
+                for v in &mut system.velocities {
+                    *v = *v * lambda;
+                }
+            }
+            Thermostat::Langevin { target, gamma } => {
+                let c = (-gamma * dt).exp();
+                let noise = (1.0 - c * c).sqrt();
+                for i in 0..system.n_atoms() {
+                    let mass = system.topology.atoms[i].class.mass();
+                    let sigma = (K_BOLTZMANN * target / mass * ACCEL_CONV).sqrt();
+                    let g = crate::vec3::Vec3::new(self.gauss(), self.gauss(), self.gauss());
+                    system.velocities[i] = system.velocities[i] * c + g * (noise * sigma);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::water_box;
+
+    fn hot_system(t: f64) -> System {
+        let mut sys = water_box(3, 3.1);
+        sys.assign_velocities(t, 5);
+        sys
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut sys = hot_system(500.0);
+        let before = sys.velocities.clone();
+        let mut th = ThermostatState::new(Thermostat::None, 1);
+        th.apply(&mut sys, 0.001);
+        assert_eq!(sys.velocities, before);
+    }
+
+    #[test]
+    fn berendsen_pulls_toward_target() {
+        let mut sys = hot_system(600.0);
+        let mut th = ThermostatState::new(
+            Thermostat::Berendsen {
+                target: 300.0,
+                tau: 0.1,
+            },
+            1,
+        );
+        let t0 = sys.temperature();
+        // dt/tau = 0.01: temperature relaxes on a ~100-step scale; run
+        // five time constants.
+        for _ in 0..500 {
+            th.apply(&mut sys, 0.001);
+        }
+        let t1 = sys.temperature();
+        assert!(t1 < t0, "{t0} -> {t1}");
+        assert!((t1 - 300.0).abs() < 40.0, "final temperature {t1}");
+    }
+
+    #[test]
+    fn berendsen_heats_a_cold_system() {
+        let mut sys = hot_system(100.0);
+        let mut th = ThermostatState::new(
+            Thermostat::Berendsen {
+                target: 300.0,
+                tau: 0.1,
+            },
+            1,
+        );
+        for _ in 0..300 {
+            th.apply(&mut sys, 0.001);
+        }
+        let t = sys.temperature();
+        assert!((t - 300.0).abs() < 40.0, "final temperature {t}");
+    }
+
+    #[test]
+    fn langevin_equilibrates_to_target() {
+        let mut sys = hot_system(700.0);
+        let mut th = ThermostatState::new(
+            Thermostat::Langevin {
+                target: 300.0,
+                gamma: 5.0,
+            },
+            9,
+        );
+        let mut samples = Vec::new();
+        for step in 0..800 {
+            th.apply(&mut sys, 0.001);
+            if step >= 400 {
+                samples.push(sys.temperature());
+            }
+        }
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 300.0).abs() < 30.0, "mean temperature {mean}");
+    }
+
+    #[test]
+    fn langevin_noise_is_deterministic() {
+        let run = || {
+            let mut sys = hot_system(300.0);
+            let mut th = ThermostatState::new(
+                Thermostat::Langevin {
+                    target: 300.0,
+                    gamma: 2.0,
+                },
+                42,
+            );
+            for _ in 0..10 {
+                th.apply(&mut sys, 0.001);
+            }
+            sys.velocities
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,257 @@
+//! Three-component double-precision vectors for positions, velocities
+//! and forces.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A 3-vector of `f64` (Angstrom-based units throughout the crate).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a vector from components.
+    #[inline(always)]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// All components equal to `v`.
+    #[inline(always)]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline(always)]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline(always)]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Squared Euclidean norm.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline(always)]
+    pub fn norm(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the vector is (near) zero.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 1e-300, "cannot normalize a zero vector");
+        self / n
+    }
+
+    /// Component-wise multiplication.
+    #[inline(always)]
+    pub fn mul_elem(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.x * rhs.x,
+            y: self.y * rhs.y,
+            z: self.z * rhs.z,
+        }
+    }
+
+    /// Distance to another point.
+    #[inline(always)]
+    pub fn distance(self, rhs: Vec3) -> f64 {
+        (self - rhs).norm()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+            z: self.z + rhs.z,
+        }
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Vec3) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+        self.z += rhs.z;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+            z: self.z - rhs.z,
+        }
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+        self.z -= rhs.z;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3 {
+            x: self.x * s,
+            y: self.y * s,
+            z: self.z * s,
+        }
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn div(self, s: f64) -> Vec3 {
+        self * (1.0 / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline(always)]
+    fn neg(self) -> Vec3 {
+        Vec3 {
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline(always)]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline(always)]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+        // Cross product is orthogonal to both inputs.
+        let a = Vec3::new(1.2, -0.7, 3.3);
+        let b = Vec3::new(0.4, 2.0, -1.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_sqr(), 25.0);
+        let u = v.normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut v = Vec3::ZERO;
+        for i in 0..3 {
+            v[i] = i as f64 + 1.0;
+        }
+        assert_eq!(v, Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let v = Vec3::ZERO;
+        let _ = v[3];
+    }
+}

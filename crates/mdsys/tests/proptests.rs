@@ -1,0 +1,181 @@
+//! Property-based tests of the MD engine: geometric and physical
+//! invariants over arbitrary configurations.
+
+use cpc_md::forcefield::AtomClass;
+use cpc_md::neighbor::NeighborList;
+use cpc_md::nonbonded::switch_fn;
+use cpc_md::pbc::PbcBox;
+use cpc_md::pme::bspline;
+use cpc_md::special::{erf, erfc};
+use cpc_md::topology::{Atom, Bond, Topology};
+use cpc_md::vec3::Vec3;
+use proptest::prelude::*;
+
+fn arb_vec3(scale: f64) -> impl Strategy<Value = Vec3> {
+    (-scale..scale, -scale..scale, -scale..scale).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn min_image_components_bounded_by_half_box(
+        a in arb_vec3(100.0),
+        b in arb_vec3(100.0),
+        lx in 5.0f64..40.0,
+        ly in 5.0f64..40.0,
+        lz in 5.0f64..40.0,
+    ) {
+        let pbox = PbcBox::new(lx, ly, lz);
+        let d = pbox.min_image(a, b);
+        prop_assert!(d.x.abs() <= lx / 2.0 + 1e-9);
+        prop_assert!(d.y.abs() <= ly / 2.0 + 1e-9);
+        prop_assert!(d.z.abs() <= lz / 2.0 + 1e-9);
+        // Antisymmetry.
+        let e = pbox.min_image(b, a);
+        prop_assert!((d + e).norm() < 1e-9);
+    }
+
+    #[test]
+    fn wrap_preserves_distances(
+        a in arb_vec3(60.0),
+        b in arb_vec3(60.0),
+        edge in 8.0f64..30.0,
+    ) {
+        let pbox = PbcBox::new(edge, edge, edge);
+        let d1 = pbox.distance(a, b);
+        let d2 = pbox.distance(pbox.wrap(a), pbox.wrap(b));
+        prop_assert!((d1 - d2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn switch_function_is_bounded_and_monotone(r in 0.0f64..12.0) {
+        let (s, _) = switch_fn(r, 8.0, 10.0);
+        prop_assert!((0.0..=1.0).contains(&s));
+        // Monotone nonincreasing: S(r) >= S(r + eps).
+        let (s2, _) = switch_fn(r + 0.05, 8.0, 10.0);
+        prop_assert!(s2 <= s + 1e-12);
+    }
+
+    #[test]
+    fn bspline_partition_of_unity(f in 0.0f64..0.999, order in 2usize..8) {
+        let (w, dw) = bspline(f, order);
+        let sum: f64 = w[..order].iter().sum();
+        let dsum: f64 = dw[..order].iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-12);
+        prop_assert!(dsum.abs() < 1e-12);
+        prop_assert!(w[..order].iter().all(|&v| v >= -1e-12), "weights nonnegative");
+    }
+
+    #[test]
+    fn erf_is_odd_monotone_and_bounded(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-14);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!(erf(x + 0.01) >= erf(x));
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn neighbor_list_matches_brute_force(
+        seed in 0u64..5000,
+        n in 5usize..60,
+        cutoff in 3.0f64..9.0,
+    ) {
+        let pbox = PbcBox::new(25.0, 28.0, 23.0);
+        let mut topo = Topology {
+            atoms: vec![Atom { class: AtomClass::CT, charge: 0.0 }; n],
+            ..Default::default()
+        };
+        // Random bonds to exercise exclusions.
+        if n > 2 {
+            topo.bonds.push(Bond {
+                i: (seed as usize) % n,
+                j: ((seed as usize) + 1) % n,
+                param: cpc_md::forcefield::params::BOND_HEAVY,
+            });
+        }
+        topo.rebuild_exclusions();
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let positions: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(rng() * 25.0, rng() * 28.0, rng() * 23.0))
+            .collect();
+
+        let list = NeighborList::build(&topo, &pbox, &positions, cutoff, 0.5);
+        let reach2 = (cutoff + 0.5) * (cutoff + 0.5);
+        let mut expect = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if pbox.min_image(positions[i], positions[j]).norm_sqr() < reach2
+                    && !topo.is_excluded(i, j)
+                {
+                    expect.push((i as u32, j as u32));
+                }
+            }
+        }
+        let mut got = list.pairs.clone();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bonded_forces_sum_to_zero_for_random_geometry(
+        seed in 0u64..10_000,
+        n_atoms in 4usize..12,
+    ) {
+        use cpc_md::bonded::bonded_energy_forces;
+        use cpc_md::forcefield::params;
+        use cpc_md::topology::{Angle, Dihedral};
+
+        let mut topo = Topology {
+            atoms: vec![Atom { class: AtomClass::CT, charge: 0.0 }; n_atoms],
+            ..Default::default()
+        };
+        for i in 0..n_atoms - 1 {
+            topo.bonds.push(Bond { i, j: i + 1, param: params::BOND_HEAVY });
+        }
+        for i in 0..n_atoms.saturating_sub(2) {
+            topo.angles.push(Angle { i, j: i + 1, k: i + 2, param: params::ANGLE_HEAVY });
+        }
+        for i in 0..n_atoms.saturating_sub(3) {
+            topo.dihedrals.push(Dihedral {
+                i,
+                j: i + 1,
+                k: i + 2,
+                l: i + 3,
+                param: params::DIHEDRAL_BACKBONE,
+            });
+        }
+        topo.rebuild_exclusions();
+
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        // Chain with random perturbations; keep atoms separated.
+        let positions: Vec<Vec3> = (0..n_atoms)
+            .map(|i| {
+                Vec3::new(
+                    1.5 * i as f64 + 0.4 * (rng() - 0.5),
+                    2.0 * rng(),
+                    2.0 * rng(),
+                )
+            })
+            .collect();
+        let pbox = PbcBox::new(200.0, 200.0, 200.0);
+        let mut forces = vec![Vec3::ZERO; n_atoms];
+        let (e, _) = bonded_energy_forces(&topo, &pbox, &positions, &mut forces);
+        prop_assert!(e.total().is_finite());
+        let net = forces.iter().fold(Vec3::ZERO, |acc, &f| acc + f);
+        prop_assert!(net.norm() < 1e-7 * (1.0 + forces.iter().map(|f| f.norm()).sum::<f64>()));
+    }
+}

@@ -1,0 +1,792 @@
+//! The communicator: MPI-flavoured point-to-point and collective
+//! operations over the virtual cluster, implemented — as in CHARMM —
+//! entirely on top of point-to-point messages, so every collective's
+//! cost emerges from the network model.
+
+use crate::middleware::{CombineAlgo, Middleware};
+use cpc_cluster::{MsgClass, OpShape, RankCtx};
+
+/// Tag space layout: collectives use `epoch << 8 | op`, user messages
+/// use the high bit.
+const USER_TAG_BASE: u64 = 1 << 63;
+
+/// Operation ids inside a collective epoch.
+mod op {
+    pub const BARRIER_UP: u64 = 1;
+    pub const BARRIER_DOWN: u64 = 2;
+    pub const REDUCE: u64 = 3;
+    pub const BCAST: u64 = 4;
+    pub const ALLTOALL: u64 = 5;
+    pub const GATHER: u64 = 6;
+    pub const SYNC_RING: u64 = 7;
+    pub const ALLGATHER: u64 = 8;
+}
+
+/// An MPI-like communicator bound to one rank's execution context.
+pub struct Comm<'a> {
+    ctx: &'a mut RankCtx,
+    middleware: Middleware,
+    epoch: u64,
+}
+
+impl<'a> Comm<'a> {
+    /// Wraps a rank context with the chosen middleware style.
+    pub fn new(ctx: &'a mut RankCtx, middleware: Middleware) -> Self {
+        Comm {
+            ctx,
+            middleware,
+            epoch: 0,
+        }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.ctx.rank()
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.ctx.size()
+    }
+
+    /// The middleware in use.
+    pub fn middleware(&self) -> Middleware {
+        self.middleware
+    }
+
+    /// Underlying context (for phase control and compute charging).
+    pub fn ctx(&mut self) -> &mut RankCtx {
+        self.ctx
+    }
+
+    fn next_epoch(&mut self, op_id: u64) -> u64 {
+        self.epoch += 1;
+        (self.epoch << 8) | op_id
+    }
+
+    /// Blocking user-level send.
+    pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+        self.ctx.send(
+            dst,
+            USER_TAG_BASE | tag,
+            data,
+            MsgClass::Payload,
+            OpShape::p2p(),
+        );
+    }
+
+    /// Blocking user-level receive.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        self.ctx.recv(src, USER_TAG_BASE | tag).data
+    }
+
+    /// Maps a user tag into the reserved user tag space.
+    pub(crate) fn user_tag(&self, tag: u64) -> u64 {
+        USER_TAG_BASE | tag
+    }
+
+    /// Blocking receive on a raw (already namespaced) tag.
+    pub(crate) fn raw_recv(&mut self, src: usize, tag: u64) -> cpc_cluster::Msg {
+        self.ctx.recv(src, tag)
+    }
+
+    /// Probe on a raw tag (no time advance).
+    pub(crate) fn raw_probe(&self, src: usize, tag: u64) -> bool {
+        self.ctx_ref().probe(src, tag)
+    }
+
+    /// Immutable access to the context.
+    pub(crate) fn ctx_ref(&self) -> &RankCtx {
+        self.ctx
+    }
+
+    /// Global synchronization. MPI: binomial-tree barrier with control
+    /// messages. CMPI: `p - 1` rounds of 1-byte ring exchanges.
+    pub fn barrier(&mut self) {
+        match self.middleware {
+            Middleware::Mpi => self.tree_barrier(),
+            Middleware::Cmpi => self.ring_sync(),
+        }
+    }
+
+    fn tree_barrier(&mut self) {
+        let p = self.size();
+        if p == 1 {
+            self.epoch += 1;
+            return;
+        }
+        let up = self.next_epoch(op::BARRIER_UP);
+        let down = (self.epoch << 8) | op::BARRIER_DOWN;
+        let rank = self.rank();
+        let shape = OpShape::new(1, p);
+
+        // Fold up the binomial tree.
+        let mut mask = 1usize;
+        while mask < p {
+            if rank & mask != 0 {
+                self.ctx
+                    .send(rank - mask, up, Vec::new(), MsgClass::Control, shape);
+                break;
+            }
+            if rank + mask < p {
+                self.ctx.recv(rank + mask, up);
+            }
+            mask <<= 1;
+        }
+        // Broadcast release down the tree.
+        let mut mask = p.next_power_of_two() >> 1;
+        // Find the level at which this rank receives its release.
+        if rank != 0 {
+            let lowest = rank & rank.wrapping_neg(); // lowest set bit
+            self.ctx.recv(rank - lowest, down);
+            mask = lowest >> 1;
+        }
+        while mask >= 1 {
+            if rank + mask < p {
+                self.ctx
+                    .send(rank + mask, down, Vec::new(), MsgClass::Control, shape);
+            }
+            if mask == 0 {
+                break;
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// CMPI synchronization: `p - 1` rounds; in round `k` each rank
+    /// sends one byte to `(rank + k) % p` and receives one byte from
+    /// `(rank - k) % p`.
+    pub fn ring_sync(&mut self) {
+        let p = self.size();
+        let tag = self.next_epoch(op::SYNC_RING);
+        if p == 1 {
+            return;
+        }
+        for k in 1..p {
+            let dst = (self.rank() + k) % p;
+            let src = (self.rank() + p - k) % p;
+            self.ctx.send(
+                dst,
+                tag + ((k as u64) << 40),
+                Vec::new(),
+                MsgClass::Control,
+                OpShape::repeated(1, p),
+            );
+            self.ctx.recv(src, tag + ((k as u64) << 40));
+        }
+    }
+
+    /// Closes a CMPI split-exchange group (no-op under MPI middleware,
+    /// where the blocking calls already synchronized).
+    fn close_split_group(&mut self) {
+        if self.middleware == Middleware::Cmpi {
+            self.ring_sync();
+        }
+    }
+
+    /// Global sum reduction to rank 0 followed by broadcast — CHARMM's
+    /// `GCOMB` force combine (the paper's "all-to-all collective").
+    /// `data` holds the local contribution on entry and the global sum
+    /// on exit, on every rank.
+    pub fn allreduce_sum(&mut self, data: &mut Vec<f64>) {
+        let p = self.size();
+        let reduce_tag = self.next_epoch(op::REDUCE);
+        if p == 1 {
+            return;
+        }
+        let rank = self.rank();
+        let shape = OpShape::new(1, p);
+
+        // Binomial fold toward rank 0.
+        let mut mask = 1usize;
+        while mask < p {
+            if rank & mask != 0 {
+                let payload = std::mem::take(data);
+                self.ctx
+                    .send(rank - mask, reduce_tag, payload, MsgClass::Payload, shape);
+                break;
+            }
+            if rank + mask < p {
+                let msg = self.ctx.recv(rank + mask, reduce_tag);
+                add_into(data, &msg.data);
+                // The reduction arithmetic itself is part of the
+                // communication routine in CHARMM; charge a small
+                // per-element cost as computation.
+                let per_add = 4e-9;
+                self.ctx.charge_compute(per_add * msg.data.len() as f64);
+            }
+            mask <<= 1;
+        }
+        self.broadcast_internal(0, data, shape);
+        self.close_split_group();
+    }
+
+    /// Bandwidth-optimal ring allreduce (reduce-scatter followed by
+    /// allgather): each rank moves `2 (p-1)/p` of the vector instead of
+    /// the full vector per tree level. Used for the PME charge-grid
+    /// sum, whose volume (the full 3D mesh) dwarfs the force combines.
+    pub fn allreduce_ring(&mut self, data: &mut [f64]) {
+        let p = self.size();
+        let tag = self.next_epoch(op::REDUCE);
+        if p == 1 {
+            return;
+        }
+        let rank = self.rank();
+        let right = (rank + 1) % p;
+        let left = (rank + p - 1) % p;
+        let n = data.len();
+        let block = |b: usize| crate::block_range(n, p, b);
+
+        // Reduce-scatter: after p-1 steps rank r holds the complete sum
+        // of block (r+1) mod p.
+        for s in 0..p - 1 {
+            let send_b = (rank + p - s) % p;
+            let recv_b = (rank + p - s - 1) % p;
+            let payload = data[block(send_b)].to_vec();
+            self.ctx.send(
+                right,
+                tag + ((s as u64) << 40),
+                payload,
+                MsgClass::Payload,
+                OpShape::new(1, p),
+            );
+            let msg = self.ctx.recv(left, tag + ((s as u64) << 40));
+            let r = block(recv_b);
+            assert_eq!(msg.data.len(), r.len());
+            for (a, b) in data[r].iter_mut().zip(&msg.data) {
+                *a += b;
+            }
+            self.ctx.charge_compute(4e-9 * msg.data.len() as f64);
+        }
+        // Allgather the summed blocks around the ring.
+        for s in 0..p - 1 {
+            let send_b = (rank + 1 + p - s) % p;
+            let recv_b = (rank + p - s) % p;
+            let payload = data[block(send_b)].to_vec();
+            let t = tag + (((p + s) as u64) << 40);
+            self.ctx
+                .send(right, t, payload, MsgClass::Payload, OpShape::new(1, p));
+            let msg = self.ctx.recv(left, t);
+            let r = block(recv_b);
+            data[r].copy_from_slice(&msg.data);
+        }
+        self.close_split_group();
+    }
+
+    /// Flat master-based global sum, the structure of early parallel
+    /// CHARMM's `GCOMB`/`VDGSUM`: every rank sends its contribution to
+    /// rank 0 (an incast), rank 0 reduces and sends the result back to
+    /// everyone (an outcast). On TCP the incast congestion makes this
+    /// visibly worse than a tree at scale — part of the classic
+    /// calculation's overhead growth the paper measures.
+    pub fn allreduce_flat(&mut self, data: &mut Vec<f64>) {
+        let p = self.size();
+        let tag = self.next_epoch(op::REDUCE);
+        if p == 1 {
+            return;
+        }
+        let rank = self.rank();
+        let shape = OpShape::new(p - 1, p);
+        if rank == 0 {
+            for src in 1..p {
+                let msg = self.ctx.recv(src, tag);
+                add_into(data, &msg.data);
+                self.ctx.charge_compute(4e-9 * msg.data.len() as f64);
+            }
+            for dst in 1..p {
+                self.ctx
+                    .send(dst, tag + (1 << 40), data.clone(), MsgClass::Payload, shape);
+            }
+        } else {
+            let payload = std::mem::take(data);
+            self.ctx.send(0, tag, payload, MsgClass::Payload, shape);
+            *data = self.ctx.recv(0, tag + (1 << 40)).data;
+        }
+        self.close_split_group();
+    }
+
+    /// Dispatches a global sum to the selected algorithm.
+    pub fn allreduce_with(&mut self, algo: CombineAlgo, data: &mut Vec<f64>) {
+        match algo {
+            CombineAlgo::Flat => self.allreduce_flat(data),
+            CombineAlgo::Tree => self.allreduce_sum(data),
+            CombineAlgo::Ring => self.allreduce_ring(data),
+        }
+    }
+
+    /// Scalar convenience wrapper over [`Comm::allreduce_sum`].
+    pub fn allreduce_scalar(&mut self, x: f64) -> f64 {
+        let mut v = vec![x];
+        self.allreduce_sum(&mut v);
+        v[0]
+    }
+
+    /// Broadcast `data` from `root` to all ranks (binomial tree).
+    pub fn broadcast(&mut self, root: usize, data: &mut Vec<f64>) {
+        let p = self.size();
+        let shape = OpShape::new(1, p);
+        self.epoch += 1;
+        self.broadcast_internal(root, data, shape);
+        self.close_split_group();
+    }
+
+    fn broadcast_internal(&mut self, root: usize, data: &mut Vec<f64>, shape: OpShape) {
+        let p = self.size();
+        if p == 1 {
+            return;
+        }
+        let tag = (self.epoch << 8) | op::BCAST;
+        // Rotate ranks so the root is 0 in tree coordinates.
+        let vrank = (self.rank() + p - root) % p;
+
+        if vrank != 0 {
+            let lowest = vrank & vrank.wrapping_neg();
+            let parent = ((vrank - lowest) + root) % p;
+            let msg = self.ctx.recv(parent, tag);
+            *data = msg.data;
+            let mut mask = lowest >> 1;
+            while mask >= 1 {
+                if vrank + mask < p {
+                    let child = ((vrank + mask) + root) % p;
+                    self.ctx
+                        .send(child, tag, data.clone(), MsgClass::Payload, shape);
+                }
+                mask >>= 1;
+            }
+        } else {
+            let mut mask = p.next_power_of_two() >> 1;
+            while mask >= 1 {
+                if mask < p {
+                    let child = ((vrank + mask) + root) % p;
+                    if vrank + mask < p {
+                        self.ctx
+                            .send(child, tag, data.clone(), MsgClass::Payload, shape);
+                    }
+                }
+                mask >>= 1;
+            }
+        }
+    }
+
+    /// Gathers each rank's vector at `root`; returns `Some(parts)` on
+    /// the root (indexed by rank) and `None` elsewhere. Flat algorithm,
+    /// as in early CHARMM ports.
+    pub fn gather(&mut self, root: usize, data: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        let p = self.size();
+        let tag = self.next_epoch(op::GATHER);
+        let result = if self.rank() == root {
+            let mut parts: Vec<Vec<f64>> = vec![Vec::new(); p];
+            parts[root] = data;
+            #[allow(clippy::needless_range_loop)]
+            for src in 0..p {
+                if src != root {
+                    parts[src] = self.ctx.recv(src, tag).data;
+                }
+            }
+            Some(parts)
+        } else {
+            self.ctx
+                .send(root, tag, data, MsgClass::Payload, OpShape::new(p - 1, p));
+            None
+        };
+        self.close_split_group();
+        result
+    }
+
+    /// All ranks end up with every rank's vector (ring allgather).
+    pub fn allgather(&mut self, data: Vec<f64>) -> Vec<Vec<f64>> {
+        let p = self.size();
+        let tag = self.next_epoch(op::ALLGATHER);
+        let rank = self.rank();
+        let mut parts: Vec<Vec<f64>> = vec![Vec::new(); p];
+        parts[rank] = data;
+        if p == 1 {
+            return parts;
+        }
+        let right = (rank + 1) % p;
+        let left = (rank + p - 1) % p;
+        // Ring: in step s, forward the block received in step s-1.
+        let mut cursor = rank;
+        for s in 0..p - 1 {
+            let block = parts[cursor].clone();
+            self.ctx.send(
+                right,
+                tag + ((s as u64) << 40),
+                block,
+                MsgClass::Payload,
+                OpShape::new(1, p),
+            );
+            let msg = self.ctx.recv(left, tag + ((s as u64) << 40));
+            cursor = (cursor + p - 1) % p;
+            parts[cursor] = msg.data;
+        }
+        self.close_split_group();
+        parts
+    }
+
+    /// Scatters rank-indexed blocks from `root`: rank `r` receives
+    /// `parts[r]`. Only the root supplies `parts`.
+    pub fn scatter(&mut self, root: usize, parts: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        let p = self.size();
+        let tag = self.next_epoch(op::GATHER);
+        let result = if self.rank() == root {
+            let mut parts = parts.expect("root must supply the blocks");
+            assert_eq!(parts.len(), p, "one block per rank");
+            let shape = OpShape::new(p - 1, p);
+            let mine = std::mem::take(&mut parts[root]);
+            for (dst, block) in parts.into_iter().enumerate() {
+                if dst != root {
+                    self.ctx.send(dst, tag, block, MsgClass::Payload, shape);
+                }
+            }
+            mine
+        } else {
+            self.ctx.recv(root, tag).data
+        };
+        self.close_split_group();
+        result
+    }
+
+    /// Sum-reduction to `root` only (no broadcast back): returns
+    /// `Some(total)` on the root, `None` elsewhere.
+    pub fn reduce_sum(&mut self, root: usize, mut data: Vec<f64>) -> Option<Vec<f64>> {
+        let p = self.size();
+        let tag = self.next_epoch(op::REDUCE);
+        let result = if p == 1 {
+            Some(data)
+        } else if self.rank() == root {
+            let shape = OpShape::new(p - 1, p);
+            let _ = shape;
+            for src in 0..p {
+                if src != root {
+                    let msg = self.ctx.recv(src, tag);
+                    add_into(&mut data, &msg.data);
+                    self.ctx.charge_compute(4e-9 * msg.data.len() as f64);
+                }
+            }
+            Some(data)
+        } else {
+            self.ctx
+                .send(root, tag, data, MsgClass::Payload, OpShape::new(p - 1, p));
+            None
+        };
+        self.close_split_group();
+        result
+    }
+
+    /// All-to-all personalized exchange (the parallel FFT transpose —
+    /// the paper's "all-to-all personalized communication").
+    ///
+    /// `sends[d]` is the block for rank `d` (`sends[rank]` stays local).
+    /// Returns the blocks received, indexed by source.
+    pub fn alltoallv(&mut self, mut sends: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let p = self.size();
+        assert_eq!(sends.len(), p, "one block per destination required");
+        let tag = self.next_epoch(op::ALLTOALL);
+        let rank = self.rank();
+        let mut recvs: Vec<Vec<f64>> = vec![Vec::new(); p];
+        recvs[rank] = std::mem::take(&mut sends[rank]);
+        if p == 1 {
+            return recvs;
+        }
+
+        match self.middleware {
+            Middleware::Mpi => {
+                // Pairwise blocking exchange rounds.
+                for k in 1..p {
+                    let dst = (rank + k) % p;
+                    let src = (rank + p - k) % p;
+                    let block = std::mem::take(&mut sends[dst]);
+                    self.ctx.send(
+                        dst,
+                        tag + ((k as u64) << 40),
+                        block,
+                        MsgClass::Payload,
+                        OpShape::new(1, p),
+                    );
+                    recvs[src] = self.ctx.recv(src, tag + ((k as u64) << 40)).data;
+                }
+            }
+            Middleware::Cmpi => {
+                // Split: post every send, then drain every receive.
+                for k in 1..p {
+                    let dst = (rank + k) % p;
+                    let block = std::mem::take(&mut sends[dst]);
+                    // Split groups push every message at once: the
+                    // receiver endpoint sees p-1 concurrent flows.
+                    self.ctx.send(
+                        dst,
+                        tag + ((k as u64) << 40),
+                        block,
+                        MsgClass::Payload,
+                        OpShape::new(p - 1, p),
+                    );
+                }
+                for k in 1..p {
+                    let src = (rank + p - k) % p;
+                    recvs[src] = self.ctx.recv(src, tag + ((k as u64) << 40)).data;
+                }
+                self.ring_sync();
+            }
+        }
+        recvs
+    }
+}
+
+fn add_into(acc: &mut [f64], other: &[f64]) {
+    assert_eq!(acc.len(), other.len(), "reduction length mismatch");
+    for (a, b) in acc.iter_mut().zip(other) {
+        *a += b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpc_cluster::{run_cluster, ClusterConfig, NetworkKind, Phase};
+
+    fn for_each_config(f: impl Fn(usize, Middleware)) {
+        for p in [1usize, 2, 3, 4, 5, 8] {
+            for mw in Middleware::ALL {
+                f(p, mw);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        for_each_config(|p, mw| {
+            let cfg = ClusterConfig::uni(p, NetworkKind::ScoreGigE);
+            let out = run_cluster(cfg, |ctx| {
+                let mut comm = Comm::new(ctx, mw);
+                let mut v = vec![comm.rank() as f64, 1.0];
+                comm.allreduce_sum(&mut v);
+                v
+            });
+            let expect_sum = (0..p).sum::<usize>() as f64;
+            for o in &out {
+                assert_eq!(o.result, vec![expect_sum, p as f64], "p={p} mw={mw:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn ring_allreduce_matches_tree_allreduce() {
+        for_each_config(|p, mw| {
+            let cfg = ClusterConfig::uni(p, NetworkKind::ScoreGigE);
+            let out = run_cluster(cfg, |ctx| {
+                let mut comm = Comm::new(ctx, mw);
+                let n = 37; // not divisible by p: exercises uneven blocks
+                let mut v: Vec<f64> = (0..n).map(|i| (i * (comm.rank() + 1)) as f64).collect();
+                comm.allreduce_ring(&mut v);
+                v
+            });
+            let total_scale: f64 = (1..=p).sum::<usize>() as f64;
+            let expect: Vec<f64> = (0..37).map(|i| i as f64 * total_scale).collect();
+            for o in &out {
+                for (a, b) in o.result.iter().zip(&expect) {
+                    assert!((a - b).abs() < 1e-9, "p={p} mw={mw:?}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn broadcast_distributes_root_data() {
+        for_each_config(|p, mw| {
+            for root in [0, p - 1] {
+                let cfg = ClusterConfig::uni(p, NetworkKind::MyrinetGm);
+                let out = run_cluster(cfg, |ctx| {
+                    let mut comm = Comm::new(ctx, mw);
+                    let mut v = if comm.rank() == root {
+                        vec![3.25, -1.0]
+                    } else {
+                        Vec::new()
+                    };
+                    comm.broadcast(root, &mut v);
+                    v
+                });
+                for o in &out {
+                    assert_eq!(o.result, vec![3.25, -1.0], "p={p} root={root} mw={mw:?}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn gather_collects_at_root() {
+        for_each_config(|p, mw| {
+            let cfg = ClusterConfig::uni(p, NetworkKind::TcpGigE);
+            let out = run_cluster(cfg, |ctx| {
+                let mut comm = Comm::new(ctx, mw);
+                comm.gather(0, vec![comm.rank() as f64; comm.rank() + 1])
+            });
+            let parts = out[0].result.as_ref().expect("root has data");
+            for (r, part) in parts.iter().enumerate() {
+                assert_eq!(part, &vec![r as f64; r + 1], "p={p} mw={mw:?}");
+            }
+            for o in &out[1..] {
+                assert!(o.result.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        for_each_config(|p, mw| {
+            let cfg = ClusterConfig::uni(p, NetworkKind::ScoreGigE);
+            let out = run_cluster(cfg, |ctx| {
+                let mut comm = Comm::new(ctx, mw);
+                comm.allgather(vec![comm.rank() as f64 * 10.0])
+            });
+            for o in &out {
+                for (r, part) in o.result.iter().enumerate() {
+                    assert_eq!(part, &vec![r as f64 * 10.0], "p={p} mw={mw:?}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn alltoallv_transposes_blocks() {
+        for_each_config(|p, mw| {
+            let cfg = ClusterConfig::uni(p, NetworkKind::MyrinetGm);
+            let out = run_cluster(cfg, |ctx| {
+                let mut comm = Comm::new(ctx, mw);
+                let rank = comm.rank();
+                // Block for dst d encodes (src, dst).
+                let sends: Vec<Vec<f64>> = (0..p).map(|d| vec![rank as f64, d as f64]).collect();
+                comm.alltoallv(sends)
+            });
+            for (r, o) in out.iter().enumerate() {
+                for (s, block) in o.result.iter().enumerate() {
+                    assert_eq!(block, &vec![s as f64, r as f64], "p={p} mw={mw:?}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn scatter_distributes_root_blocks() {
+        for_each_config(|p, mw| {
+            let cfg = ClusterConfig::uni(p, NetworkKind::ScoreGigE);
+            let out = run_cluster(cfg, |ctx| {
+                let mut comm = Comm::new(ctx, mw);
+                let parts = (comm.rank() == 0)
+                    .then(|| (0..p).map(|r| vec![r as f64; r + 1]).collect::<Vec<_>>());
+                comm.scatter(0, parts)
+            });
+            for (r, o) in out.iter().enumerate() {
+                assert_eq!(o.result, vec![r as f64; r + 1], "p={p} mw={mw:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn reduce_sum_lands_only_at_root() {
+        for_each_config(|p, mw| {
+            let cfg = ClusterConfig::uni(p, NetworkKind::TcpGigE);
+            let out = run_cluster(cfg, |ctx| {
+                let mut comm = Comm::new(ctx, mw);
+                comm.reduce_sum(0, vec![comm.rank() as f64 + 1.0, 2.0])
+            });
+            let expect0: f64 = (1..=p).map(|k| k as f64).sum();
+            assert_eq!(
+                out[0].result.as_ref().unwrap(),
+                &vec![expect0, 2.0 * p as f64]
+            );
+            for o in &out[1..] {
+                assert!(o.result.is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_completes_and_charges_sync_time() {
+        for_each_config(|p, mw| {
+            let cfg = ClusterConfig::uni(p, NetworkKind::TcpGigE);
+            let out = run_cluster(cfg, |ctx| {
+                ctx.set_phase(Phase::Classic);
+                let mut comm = Comm::new(ctx, mw);
+                comm.barrier();
+                comm.barrier();
+            });
+            if p > 1 {
+                for o in &out {
+                    let b = o.stats.bucket(Phase::Classic);
+                    assert!(b.sync > 0.0, "p={p} mw={mw:?}");
+                    assert_eq!(b.comm, 0.0, "barriers are pure synchronization");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn cmpi_barrier_is_much_slower_on_tcp_at_scale() {
+        let time_for = |mw: Middleware| {
+            let cfg = ClusterConfig::uni(8, NetworkKind::TcpGigE);
+            let out = run_cluster(cfg, |ctx| {
+                let mut comm = Comm::new(ctx, mw);
+                for _ in 0..20 {
+                    comm.barrier();
+                }
+            });
+            cpc_cluster::elapsed_time(&out)
+        };
+        let mpi = time_for(Middleware::Mpi);
+        let cmpi = time_for(Middleware::Cmpi);
+        assert!(cmpi > 3.0 * mpi, "MPI {mpi} vs CMPI {cmpi}");
+    }
+
+    #[test]
+    fn cmpi_barrier_is_fine_on_myrinet() {
+        let time_for = |mw: Middleware| {
+            let cfg = ClusterConfig::uni(8, NetworkKind::MyrinetGm);
+            let out = run_cluster(cfg, |ctx| {
+                let mut comm = Comm::new(ctx, mw);
+                for _ in 0..20 {
+                    comm.barrier();
+                }
+            });
+            cpc_cluster::elapsed_time(&out)
+        };
+        let mpi = time_for(Middleware::Mpi);
+        let cmpi = time_for(Middleware::Cmpi);
+        // Ring sync costs more rounds but no pathology: within ~8x.
+        assert!(cmpi < 8.0 * mpi, "MPI {mpi} vs CMPI {cmpi}");
+    }
+
+    #[test]
+    fn user_p2p_roundtrip() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+        let out = run_cluster(cfg, |ctx| {
+            let mut comm = Comm::new(ctx, Middleware::Mpi);
+            if comm.rank() == 0 {
+                comm.send(1, 9, vec![1.0, 2.0, 3.0]);
+                comm.recv(1, 10)
+            } else {
+                let v = comm.recv(0, 9);
+                comm.send(0, 10, v.iter().map(|x| x * 2.0).collect());
+                Vec::new()
+            }
+        });
+        assert_eq!(out[0].result, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn collective_timing_is_deterministic() {
+        let run_once = || {
+            let cfg = ClusterConfig::uni(8, NetworkKind::TcpGigE);
+            let out = run_cluster(cfg, |ctx| {
+                let mut comm = Comm::new(ctx, Middleware::Mpi);
+                let mut v = vec![comm.rank() as f64; 10_000];
+                comm.allreduce_sum(&mut v);
+                let blocks: Vec<Vec<f64>> = (0..comm.size()).map(|d| vec![d as f64; 500]).collect();
+                comm.alltoallv(blocks);
+                comm.barrier();
+            });
+            out.iter().map(|o| o.finish_time).collect::<Vec<_>>()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,78 @@
+//! The paper's "Middleware" factor: how CHARMM's interprocess
+//! communication is expressed.
+
+use serde::{Deserialize, Serialize};
+
+/// Communication middleware style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Middleware {
+    /// The standard implementation: raw MPI calls, point-to-point
+    /// blocking communication, global synchronization through MPI
+    /// barriers (binomial-tree control messages).
+    Mpi,
+    /// CHARMM MPI: a portability layer using nonblocking split
+    /// send/receive pairs; every synchronization is `p - 1` rounds of
+    /// 1-byte exchanges with ring neighbours, and every split exchange
+    /// group is closed by such a synchronization. Cheap on low-overhead
+    /// networks, pathological on TCP (paper section 4.2).
+    Cmpi,
+}
+
+impl Middleware {
+    /// Both levels of the middleware factor.
+    pub const ALL: [Middleware; 2] = [Middleware::Mpi, Middleware::Cmpi];
+
+    /// Label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Middleware::Mpi => "MPI",
+            Middleware::Cmpi => "CMPI",
+        }
+    }
+}
+
+/// Algorithm used for a global-sum collective — the design choice the
+/// ablation benches probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CombineAlgo {
+    /// Master-based gather + broadcast (early CHARMM `GCOMB`).
+    Flat,
+    /// Binomial-tree fold + broadcast.
+    Tree,
+    /// Ring reduce-scatter + allgather (bandwidth optimal).
+    Ring,
+}
+
+impl CombineAlgo {
+    /// All algorithms.
+    pub const ALL: [CombineAlgo; 3] = [CombineAlgo::Flat, CombineAlgo::Tree, CombineAlgo::Ring];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CombineAlgo::Flat => "flat (master)",
+            CombineAlgo::Tree => "binomial tree",
+            CombineAlgo::Ring => "ring",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_labels() {
+        assert_eq!(CombineAlgo::ALL.len(), 3);
+        for a in CombineAlgo::ALL {
+            assert!(!a.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Middleware::Mpi.label(), "MPI");
+        assert_eq!(Middleware::Cmpi.label(), "CMPI");
+        assert_eq!(Middleware::ALL.len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the collectives: algebraic correctness for
+//! arbitrary vectors, rank counts, middlewares and algorithms.
+
+use cpc_cluster::{run_cluster, ClusterConfig, NetworkKind};
+use cpc_mpi::{CombineAlgo, Comm, Middleware};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_allreduce_algorithms_agree(
+        p in 1usize..9,
+        n in 1usize..40,
+        seed in 0u64..1000,
+        algo_idx in 0usize..3,
+        mw_idx in 0usize..2,
+    ) {
+        let algo = CombineAlgo::ALL[algo_idx];
+        let mw = Middleware::ALL[mw_idx];
+        let cfg = ClusterConfig::uni(p, NetworkKind::ScoreGigE);
+        let out = run_cluster(cfg, |ctx| {
+            let mut comm = Comm::new(ctx, mw);
+            let r = comm.rank() as f64;
+            let mut v: Vec<f64> = (0..n)
+                .map(|i| ((seed as f64) * 0.001 + i as f64) * (r + 1.0))
+                .collect();
+            comm.allreduce_with(algo, &mut v);
+            v
+        });
+        let scale: f64 = (1..=p).map(|k| k as f64).sum();
+        let expect: Vec<f64> =
+            (0..n).map(|i| ((seed as f64) * 0.001 + i as f64) * scale).collect();
+        for o in &out {
+            for (a, b) in o.result.iter().zip(&expect) {
+                prop_assert!((a - b).abs() < 1e-9 * b.abs().max(1.0),
+                    "p={p} algo={algo:?} mw={mw:?}");
+            }
+        }
+        // All ranks agree bitwise (broadcast semantics).
+        for o in &out[1..] {
+            prop_assert_eq!(&o.result, &out[0].result);
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_permutation(
+        p in 1usize..9,
+        block in 1usize..30,
+        mw_idx in 0usize..2,
+    ) {
+        let mw = Middleware::ALL[mw_idx];
+        let cfg = ClusterConfig::uni(p, NetworkKind::MyrinetGm);
+        let out = run_cluster(cfg, |ctx| {
+            let mut comm = Comm::new(ctx, mw);
+            let rank = comm.rank();
+            let sends: Vec<Vec<f64>> = (0..p)
+                .map(|d| (0..block).map(|k| (rank * 1000 + d * 10 + k) as f64).collect())
+                .collect();
+            comm.alltoallv(sends)
+        });
+        for (r, o) in out.iter().enumerate() {
+            for (s, got) in o.result.iter().enumerate() {
+                let expect: Vec<f64> =
+                    (0..block).map(|k| (s * 1000 + r * 10 + k) as f64).collect();
+                prop_assert_eq!(got, &expect, "p={} r={} s={}", p, r, s);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_and_gather_agree(
+        p in 1usize..9,
+        len in 1usize..20,
+        mw_idx in 0usize..2,
+    ) {
+        let mw = Middleware::ALL[mw_idx];
+        let cfg = ClusterConfig::uni(p, NetworkKind::TcpGigE);
+        let out = run_cluster(cfg, |ctx| {
+            let mut comm = Comm::new(ctx, mw);
+            let mine: Vec<f64> = (0..len).map(|i| (comm.rank() * 100 + i) as f64).collect();
+            let everyone = comm.allgather(mine.clone());
+            let at_root = comm.gather(0, mine);
+            (everyone, at_root)
+        });
+        let expect: Vec<Vec<f64>> = (0..p)
+            .map(|r| (0..len).map(|i| (r * 100 + i) as f64).collect())
+            .collect();
+        for o in &out {
+            prop_assert_eq!(&o.result.0, &expect);
+        }
+        prop_assert_eq!(out[0].result.1.as_ref().unwrap(), &expect);
+    }
+
+    #[test]
+    fn barriers_preserve_message_ordering(
+        p in 2usize..7,
+        rounds in 1usize..5,
+        mw_idx in 0usize..2,
+    ) {
+        // Interleaving barriers with point-to-point traffic must not
+        // deadlock or mis-route.
+        let mw = Middleware::ALL[mw_idx];
+        let cfg = ClusterConfig::uni(p, NetworkKind::TcpGigE);
+        let out = run_cluster(cfg, |ctx| {
+            let mut comm = Comm::new(ctx, mw);
+            let mut received = Vec::new();
+            for round in 0..rounds {
+                let next = (comm.rank() + 1) % p;
+                let prev = (comm.rank() + p - 1) % p;
+                comm.send(next, round as u64, vec![round as f64]);
+                comm.barrier();
+                received.push(comm.recv(prev, round as u64)[0]);
+                comm.barrier();
+            }
+            received
+        });
+        for o in &out {
+            prop_assert_eq!(o.result.len(), rounds);
+            for (round, v) in o.result.iter().enumerate() {
+                prop_assert_eq!(*v, round as f64);
+            }
+        }
+    }
+}

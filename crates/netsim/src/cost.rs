@@ -1,0 +1,141 @@
+//! Computation cost model, calibrated to the paper's 1 GHz Pentium III
+//! cluster nodes.
+//!
+//! The MD kernels report *operation counts* (pairs evaluated, spline
+//! points spread, FFT flops, ...); this model converts counts to
+//! virtual seconds. The constants are calibrated so that the sequential
+//! myoglobin workload reproduces Figure 3's one-processor phase times:
+//! ~0.34 s/step for the classic energy calculation and ~0.29 s/step for
+//! the PME energy calculation.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation costs in seconds on a 1 GHz Pentium III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Nonbonded pair inside the cutoff (LJ + electrostatics, table
+    /// lookups, cache misses): ~500 cycles.
+    pub pair_eval: f64,
+    /// Pair visited in the list but outside the cutoff (distance check).
+    pub list_pair: f64,
+    /// One bonded term (bond/angle/dihedral/improper average).
+    pub bonded_term: f64,
+    /// One excluded-pair Ewald correction.
+    pub excl_pair: f64,
+    /// One B-spline mesh write during charge spreading.
+    pub spread_point: f64,
+    /// One FFT flop (PIII sustains ~120 Mflop/s on FFTs).
+    pub fft_flop: f64,
+    /// One mesh point in the influence-function multiply.
+    pub conv_point: f64,
+    /// One mesh read during force interpolation.
+    pub interp_point: f64,
+    /// One atom integrated (velocity Verlet update).
+    pub integrate_atom: f64,
+    /// One pair visited during a neighbour-list rebuild.
+    pub list_build_pair: f64,
+}
+
+/// Calibrated Pentium III / 1 GHz model (the paper's nodes).
+pub const PIII_1GHZ: CostModel = CostModel {
+    pair_eval: 670e-9,
+    list_pair: 80e-9,
+    bonded_term: 400e-9,
+    excl_pair: 150e-9,
+    spread_point: 140e-9,
+    fft_flop: 7.8e-9,
+    conv_point: 20e-9,
+    interp_point: 140e-9,
+    integrate_atom: 60e-9,
+    list_build_pair: 70e-9,
+};
+
+impl Default for CostModel {
+    fn default() -> Self {
+        PIII_1GHZ
+    }
+}
+
+impl CostModel {
+    /// Scales every cost by `1/speedup` (e.g. `speedup = 2.0` models a
+    /// 2 GHz part).
+    pub fn scaled(&self, speedup: f64) -> CostModel {
+        assert!(speedup > 0.0);
+        let s = 1.0 / speedup;
+        CostModel {
+            pair_eval: self.pair_eval * s,
+            list_pair: self.list_pair * s,
+            bonded_term: self.bonded_term * s,
+            excl_pair: self.excl_pair * s,
+            spread_point: self.spread_point * s,
+            fft_flop: self.fft_flop * s,
+            conv_point: self.conv_point * s,
+            interp_point: self.interp_point * s,
+            integrate_atom: self.integrate_atom * s,
+            list_build_pair: self.list_build_pair * s,
+        }
+    }
+}
+
+/// CPU/node configuration (the paper's third factor).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Clock in GHz relative to the 1 GHz calibration point.
+    pub ghz: f64,
+    /// Compute slowdown multiplier when two ranks share a node's memory
+    /// system.
+    pub smp_memory_contention: f64,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            ghz: 1.0,
+            smp_memory_contention: 1.12,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_step_calibration() {
+        // The myoglobin workload evaluates ~600-700k pairs per step;
+        // the classic phase must land near 0.34 s (Fig. 3, 1 CPU).
+        let m = PIII_1GHZ;
+        let pairs = 640_000.0;
+        let bonded = 13_000.0;
+        let t = pairs * m.pair_eval + 150_000.0 * m.list_pair + bonded * m.bonded_term;
+        assert!((0.25..0.45).contains(&t), "classic step estimate {t}");
+    }
+
+    #[test]
+    fn pme_step_calibration() {
+        // PME phase: 2 x 3D FFT on 80x36x48 + spread/interp of
+        // 3552 atoms * 4^3 points, target ~0.29 s (Fig. 3, 1 CPU).
+        let m = PIII_1GHZ;
+        let grid: f64 = 80.0 * 36.0 * 48.0;
+        let fft_flops = 2.0 * 5.0 * grid * grid.log2(); // both directions, 3D
+        let spread = 3552.0 * 64.0;
+        let t = fft_flops * m.fft_flop
+            + spread * (m.spread_point + m.interp_point)
+            + grid * m.conv_point
+            + 12_000.0 * m.excl_pair;
+        assert!((0.2..0.42).contains(&t), "pme step estimate {t}");
+    }
+
+    #[test]
+    fn scaling_halves_costs() {
+        let m = PIII_1GHZ.scaled(2.0);
+        assert!((m.pair_eval - PIII_1GHZ.pair_eval / 2.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn default_cpu_is_one_ghz() {
+        let c = CpuConfig::default();
+        assert_eq!(c.ghz, 1.0);
+        assert!(c.smp_memory_contention >= 1.0);
+    }
+}

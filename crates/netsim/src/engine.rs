@@ -1,0 +1,503 @@
+//! The virtual-time execution engine.
+//!
+//! Ranks run as real OS threads executing the *real* parallel algorithm
+//! with real data exchange; only time is virtual. Each rank owns a
+//! virtual clock:
+//!
+//! * computation advances the clock by modeled cost (from operation
+//!   counts and the [`crate::cost::CostModel`]),
+//! * a message's arrival time is computed **at send time** from the
+//!   network model and a per-channel deterministic RNG, so results are
+//!   bit-identical regardless of OS scheduling,
+//! * a blocking receive completes at `max(local clock, arrival)` plus
+//!   the receive overhead; the elapsed virtual time is booked as
+//!   communication (payload) or synchronization (control), matching the
+//!   paper's time classification.
+
+use crate::cluster::ClusterConfig;
+use crate::netmodel::{NetworkParams, OpShape, TransferCtx};
+use crate::rng::SplitMix64;
+use crate::stats::{MsgClass, Phase, RankStats, ThroughputSample};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A message in flight (or delivered).
+#[derive(Debug, Clone)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: usize,
+    /// User tag.
+    pub tag: u64,
+    /// Payload (possibly empty for control messages).
+    pub data: Vec<f64>,
+    /// Modeled size in bytes (may exceed `data` size, e.g. headers).
+    pub bytes: usize,
+    /// Classification for the comm/sync split.
+    pub class: MsgClass,
+    /// Virtual time the message left the sender.
+    pub departure: f64,
+    /// Virtual time the message reaches the receiver.
+    pub arrival: f64,
+}
+
+struct Mailbox {
+    queue: Mutex<VecDeque<Msg>>,
+    cv: Condvar,
+}
+
+struct Shared {
+    config: ClusterConfig,
+    net: NetworkParams,
+    mailboxes: Vec<Mailbox>,
+}
+
+/// Per-rank execution context handed to the rank body.
+pub struct RankCtx {
+    rank: usize,
+    shared: Arc<Shared>,
+    clock: f64,
+    phase: Phase,
+    /// Per-destination message counters (seed the jitter RNG).
+    counters: Vec<u64>,
+    /// Collected statistics.
+    pub stats: RankStats,
+}
+
+impl RankCtx {
+    /// This rank's id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> usize {
+        self.shared.config.ranks
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.shared.config
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Sets the phase subsequent time is charged to.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Charges `seconds` of computation (expressed at the calibration
+    /// clock; node clock scaling and SMP memory contention are applied
+    /// here).
+    pub fn charge_compute(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0);
+        let t = seconds * self.shared.config.compute_scale(self.rank);
+        self.clock += t;
+        self.stats.bucket_mut(self.phase).comp += t;
+    }
+
+    /// Sends a message. Eager/buffered semantics: the sender only pays
+    /// its CPU overhead; the wire time determines the arrival stamp.
+    ///
+    /// `shape` describes the enclosing operation (endpoint flow
+    /// contention and participant count), driving the TCP congestion,
+    /// jitter and tiny-message models.
+    pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>, class: MsgClass, shape: OpShape) {
+        assert!(dst < self.size(), "invalid destination {dst}");
+        assert_ne!(dst, self.rank, "self-send not supported");
+        let cfg = &self.shared.config;
+        let bytes = match class {
+            MsgClass::Payload => (data.len() * 8).max(1),
+            MsgClass::Control => 1,
+        };
+        let ctx = TransferCtx {
+            shape,
+            src_ranks_per_node: cfg.ranks_on_node_of(self.rank),
+            dst_ranks_per_node: cfg.ranks_on_node_of(dst),
+            same_node: cfg.node_of(self.rank) == cfg.node_of(dst),
+        };
+        let counter = {
+            let c = &mut self.counters[dst];
+            let v = *c;
+            *c += 1;
+            v
+        };
+        let mut rng = SplitMix64::for_message(cfg.seed, self.rank, dst, counter);
+        let t = self.shared.net.transfer(bytes, &ctx, &mut rng);
+
+        // Sender overhead is CPU time on the sending rank.
+        self.clock += t.send_overhead;
+        match class {
+            MsgClass::Payload => self.stats.bucket_mut(self.phase).comm += t.send_overhead,
+            MsgClass::Control => self.stats.bucket_mut(self.phase).sync += t.send_overhead,
+        }
+        let departure = self.clock;
+        let arrival = departure + t.wire;
+        self.stats.msgs_sent += 1;
+        if class == MsgClass::Payload {
+            self.stats.bytes_sent += bytes as u64;
+        }
+
+        if cfg.record_trace {
+            self.stats.trace.push(crate::trace::TraceEvent::new(
+                self.rank, dst, bytes, class, departure, arrival,
+            ));
+        }
+        let msg = Msg {
+            src: self.rank,
+            tag,
+            data,
+            bytes,
+            class,
+            departure,
+            arrival,
+        };
+        let mb = &self.shared.mailboxes[dst];
+        mb.queue.lock().push_back(msg);
+        mb.cv.notify_all();
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`
+    /// (FIFO per channel). Advances the virtual clock to the completion
+    /// time and books the elapsed time by message class.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Msg {
+        assert!(src < self.size(), "invalid source {src}");
+        assert_ne!(src, self.rank, "self-receive not supported");
+        let msg = {
+            let mb = &self.shared.mailboxes[self.rank];
+            let mut q = mb.queue.lock();
+            loop {
+                if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+                    break q.remove(pos).expect("position valid");
+                }
+                mb.cv.wait(&mut q);
+            }
+        };
+
+        let net = &self.shared.net;
+        let completion = self.clock.max(msg.arrival) + net.recv_overhead;
+        let elapsed = completion - self.clock;
+        self.clock = completion;
+        match msg.class {
+            MsgClass::Payload => {
+                self.stats.bucket_mut(self.phase).comm += elapsed;
+                let wire = (msg.arrival - msg.departure).max(1e-12);
+                self.stats.throughput.push(ThroughputSample {
+                    node: self.shared.config.node_of(self.rank),
+                    bytes: msg.bytes,
+                    rate: msg.bytes as f64 / wire,
+                });
+            }
+            MsgClass::Control => self.stats.bucket_mut(self.phase).sync += elapsed,
+        }
+        msg
+    }
+
+    /// Non-blocking probe: is a message from `src` with `tag` already
+    /// queued? (Does not advance time.)
+    pub fn probe(&self, src: usize, tag: u64) -> bool {
+        let mb = &self.shared.mailboxes[self.rank];
+        mb.queue.lock().iter().any(|m| m.src == src && m.tag == tag)
+    }
+}
+
+/// Result of one rank's execution.
+#[derive(Debug, Clone)]
+pub struct RankOutcome<T> {
+    /// Rank id.
+    pub rank: usize,
+    /// Value returned by the rank body.
+    pub result: T,
+    /// Timing statistics.
+    pub stats: RankStats,
+    /// Final virtual clock (the rank's elapsed virtual time).
+    pub finish_time: f64,
+}
+
+/// Runs `body` on every rank of the configured virtual cluster and
+/// returns the outcomes ordered by rank.
+///
+/// The body executes on real threads with real shared-nothing message
+/// passing; virtual time is deterministic for a fixed configuration.
+pub fn run_cluster<T, F>(config: ClusterConfig, body: F) -> Vec<RankOutcome<T>>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    config.validate().expect("valid cluster configuration");
+    let shared = Arc::new(Shared {
+        config,
+        net: config.network.params(),
+        mailboxes: (0..config.ranks)
+            .map(|_| Mailbox {
+                queue: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            })
+            .collect(),
+    });
+
+    let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..config.ranks).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.ranks);
+        for rank in 0..config.ranks {
+            let shared = Arc::clone(&shared);
+            let body = &body;
+            handles.push(scope.spawn(move || {
+                let mut ctx = RankCtx {
+                    rank,
+                    shared,
+                    clock: 0.0,
+                    phase: Phase::Other,
+                    counters: vec![0; config.ranks],
+                    stats: RankStats::default(),
+                };
+                let result = body(&mut ctx);
+                RankOutcome {
+                    rank,
+                    result,
+                    stats: ctx.stats,
+                    finish_time: ctx.clock,
+                }
+            }));
+        }
+        for (rank, h) in handles.into_iter().enumerate() {
+            outcomes[rank] = Some(h.join().expect("rank thread panicked"));
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("all ranks joined"))
+        .collect()
+}
+
+/// Wall-clock time of a run: the maximum finish time over ranks.
+pub fn elapsed_time<T>(outcomes: &[RankOutcome<T>]) -> f64 {
+    outcomes.iter().map(|o| o.finish_time).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netmodel::NetworkKind;
+
+    #[test]
+    fn single_rank_compute_only() {
+        let cfg = ClusterConfig::uni(1, NetworkKind::TcpGigE);
+        let out = run_cluster(cfg, |ctx| {
+            ctx.set_phase(Phase::Classic);
+            ctx.charge_compute(0.5);
+            ctx.now()
+        });
+        assert_eq!(out.len(), 1);
+        assert!((out[0].finish_time - 0.5).abs() < 1e-12);
+        assert!((out[0].stats.bucket(Phase::Classic).comp - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ping_pong_advances_both_clocks() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::MyrinetGm);
+        let out = run_cluster(cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![1.0, 2.0], MsgClass::Payload, OpShape::new(1, 1));
+                let m = ctx.recv(1, 2);
+                assert_eq!(m.data, vec![3.0]);
+            } else {
+                let m = ctx.recv(0, 1);
+                assert_eq!(m.data, vec![1.0, 2.0]);
+                ctx.send(0, 2, vec![3.0], MsgClass::Payload, OpShape::new(1, 1));
+            }
+            ctx.now()
+        });
+        // Round trip took at least two latencies.
+        let lat = NetworkKind::MyrinetGm.params().latency;
+        assert!(out[0].finish_time > 2.0 * lat * 0.5);
+        assert!(out[1].finish_time > lat * 0.5);
+        // Receiver recorded a throughput sample.
+        assert_eq!(out[1].stats.throughput.len(), 1);
+        assert_eq!(out[0].stats.throughput.len(), 1);
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic_across_runs() {
+        let cfg = ClusterConfig::uni(4, NetworkKind::TcpGigE);
+        let run = || {
+            run_cluster(cfg, |ctx| {
+                let p = ctx.size();
+                ctx.set_phase(Phase::Pme);
+                ctx.charge_compute(0.001 * (ctx.rank() + 1) as f64);
+                // All-to-all-ish exchange.
+                for other in 0..p {
+                    if other == ctx.rank() {
+                        continue;
+                    }
+                    ctx.send(
+                        other,
+                        7,
+                        vec![ctx.rank() as f64; 1000],
+                        MsgClass::Payload,
+                        OpShape::new(p - 1, p),
+                    );
+                }
+                for other in 0..p {
+                    if other == ctx.rank() {
+                        continue;
+                    }
+                    ctx.recv(other, 7);
+                }
+                ctx.now()
+            })
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.finish_time, y.finish_time, "rank {}", x.rank);
+            assert_eq!(x.stats.total().comm, y.stats.total().comm);
+        }
+    }
+
+    #[test]
+    fn seed_changes_jitter() {
+        let mut cfg = ClusterConfig::uni(2, NetworkKind::TcpGigE);
+        let run = |cfg: ClusterConfig| {
+            run_cluster(cfg, |ctx| {
+                if ctx.rank() == 0 {
+                    ctx.send(
+                        1,
+                        1,
+                        vec![0.0; 50_000],
+                        MsgClass::Payload,
+                        OpShape::new(1, 1),
+                    );
+                } else {
+                    ctx.recv(0, 1);
+                }
+                ctx.now()
+            })[1]
+                .finish_time
+        };
+        let t1 = run(cfg);
+        cfg.seed = 999;
+        let t2 = run(cfg);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn control_messages_book_sync_time() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::TcpGigE);
+        let out = run_cluster(cfg, |ctx| {
+            ctx.set_phase(Phase::Classic);
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, Vec::new(), MsgClass::Control, OpShape::new(1, 1));
+            } else {
+                ctx.recv(0, 1);
+            }
+        });
+        let receiver = &out[1].stats;
+        assert!(receiver.bucket(Phase::Classic).sync > 0.0);
+        assert_eq!(receiver.bucket(Phase::Classic).comm, 0.0);
+        assert!(
+            receiver.throughput.is_empty(),
+            "control messages are not throughput samples"
+        );
+    }
+
+    #[test]
+    fn fifo_order_per_channel() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+        let out = run_cluster(cfg, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10 {
+                    ctx.send(1, 42, vec![i as f64], MsgClass::Payload, OpShape::new(1, 1));
+                }
+                Vec::new()
+            } else {
+                (0..10)
+                    .map(|_| ctx.recv(0, 42).data[0])
+                    .collect::<Vec<f64>>()
+            }
+        });
+        assert_eq!(
+            out[1].result,
+            (0..10).map(|i| i as f64).collect::<Vec<f64>>()
+        );
+    }
+
+    #[test]
+    fn receiver_waits_for_late_sender() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::MyrinetGm);
+        let out = run_cluster(cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.charge_compute(1.0); // sender is busy for 1 s
+                ctx.send(1, 1, vec![1.0], MsgClass::Payload, OpShape::new(1, 1));
+            } else {
+                ctx.recv(0, 1); // receiver posts immediately
+            }
+            ctx.now()
+        });
+        // Receiver's clock must include the 1 s wait.
+        assert!(out[1].finish_time > 1.0);
+        assert!(out[1].stats.total().comm > 1.0);
+    }
+
+    #[test]
+    fn trace_recording_captures_messages() {
+        let mut cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+        cfg.record_trace = true;
+        let out = run_cluster(cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![1.0; 100], MsgClass::Payload, OpShape::p2p());
+                ctx.send(1, 2, Vec::new(), MsgClass::Control, OpShape::p2p());
+            } else {
+                ctx.recv(0, 1);
+                ctx.recv(0, 2);
+            }
+        });
+        let trace = &out[0].stats.trace;
+        assert_eq!(trace.len(), 2);
+        assert!(trace[0].payload);
+        assert!(!trace[1].payload);
+        assert!(trace[0].arrival > trace[0].departure);
+        assert_eq!(trace[0].bytes, 800);
+        // Disabled by default.
+        let cfg2 = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+        let out2 = run_cluster(cfg2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![1.0], MsgClass::Payload, OpShape::p2p());
+            } else {
+                ctx.recv(0, 1);
+            }
+        });
+        assert!(out2[0].stats.trace.is_empty());
+    }
+
+    #[test]
+    fn probe_does_not_advance_time() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+        let out = run_cluster(cfg, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![1.0], MsgClass::Payload, OpShape::new(1, 1));
+                0.0
+            } else {
+                // Spin (real time) until the message is queued; virtual
+                // clock must not move.
+                while !ctx.probe(0, 5) {
+                    std::thread::yield_now();
+                }
+                let before = ctx.now();
+                assert_eq!(before, 0.0);
+                ctx.recv(0, 5);
+                ctx.now()
+            }
+        });
+        assert!(out[1].result > 0.0);
+    }
+}

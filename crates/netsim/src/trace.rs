@@ -1,0 +1,179 @@
+//! Message tracing: an optional per-run event log of every transfer,
+//! with an ASCII timeline renderer — the "detailed timings" instrument
+//! behind the paper's breakdown methodology, useful for debugging new
+//! decompositions.
+
+use crate::stats::MsgClass;
+use serde::{Deserialize, Serialize};
+
+/// One recorded message transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// Modeled size in bytes.
+    pub bytes: usize,
+    /// True for payload (communication), false for control (sync).
+    pub payload: bool,
+    /// Virtual departure time, seconds.
+    pub departure: f64,
+    /// Virtual arrival time, seconds.
+    pub arrival: f64,
+}
+
+impl TraceEvent {
+    /// Creates an event from transfer parameters.
+    pub fn new(
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        class: MsgClass,
+        departure: f64,
+        arrival: f64,
+    ) -> Self {
+        TraceEvent {
+            src,
+            dst,
+            bytes,
+            payload: class == MsgClass::Payload,
+            departure,
+            arrival,
+        }
+    }
+
+    /// Wire time of the transfer.
+    pub fn wire(&self) -> f64 {
+        self.arrival - self.departure
+    }
+}
+
+/// Summary statistics over a set of trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of messages.
+    pub messages: usize,
+    /// Total payload bytes.
+    pub payload_bytes: u64,
+    /// Number of control (1-byte) messages.
+    pub control_messages: usize,
+    /// Mean wire time of payload transfers, seconds.
+    pub mean_payload_wire: f64,
+    /// Time of the last arrival.
+    pub end_time: f64,
+}
+
+/// Summarizes events (in any order).
+pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
+    let mut payload_bytes = 0u64;
+    let mut control = 0usize;
+    let mut wire_sum = 0.0;
+    let mut wire_n = 0usize;
+    let mut end = 0.0f64;
+    for e in events {
+        end = end.max(e.arrival);
+        if e.payload {
+            payload_bytes += e.bytes as u64;
+            wire_sum += e.wire();
+            wire_n += 1;
+        } else {
+            control += 1;
+        }
+    }
+    TraceSummary {
+        messages: events.len(),
+        payload_bytes,
+        control_messages: control,
+        mean_payload_wire: if wire_n > 0 {
+            wire_sum / wire_n as f64
+        } else {
+            0.0
+        },
+        end_time: end,
+    }
+}
+
+/// Renders an ASCII timeline: one lane per rank, `#` where the rank has
+/// a payload transfer in flight (as sender), `=` for control traffic.
+pub fn render_timeline(events: &[TraceEvent], ranks: usize, width: usize) -> String {
+    assert!(width >= 10);
+    let end = events.iter().map(|e| e.arrival).fold(0.0f64, f64::max);
+    if end <= 0.0 {
+        return "(no traffic)\n".to_string();
+    }
+    let mut lanes = vec![vec![b'.'; width]; ranks];
+    for e in events {
+        let lane = &mut lanes[e.src];
+        let a = ((e.departure / end) * (width - 1) as f64) as usize;
+        let b = ((e.arrival / end) * (width - 1) as f64) as usize;
+        let glyph = if e.payload { b'#' } else { b'=' };
+        for slot in lane.iter_mut().take(b.min(width - 1) + 1).skip(a) {
+            // Payload overrides control in the display.
+            if *slot != b'#' {
+                *slot = glyph;
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "message timeline over {:.3} ms ('#' payload in flight, '=' control):\n",
+        end * 1e3
+    ));
+    for (r, lane) in lanes.iter().enumerate() {
+        out.push_str(&format!(
+            "rank {r:>2} |{}|\n",
+            String::from_utf8_lossy(lane)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::new(0, 1, 8000, MsgClass::Payload, 0.0, 0.002),
+            TraceEvent::new(1, 0, 1, MsgClass::Control, 0.001, 0.0012),
+            TraceEvent::new(0, 1, 4000, MsgClass::Payload, 0.003, 0.004),
+        ]
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = summarize(&sample_events());
+        assert_eq!(s.messages, 3);
+        assert_eq!(s.payload_bytes, 12_000);
+        assert_eq!(s.control_messages, 1);
+        assert!((s.end_time - 0.004).abs() < 1e-12);
+        assert!(s.mean_payload_wire > 0.0);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = summarize(&[]);
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.mean_payload_wire, 0.0);
+    }
+
+    #[test]
+    fn timeline_renders_lanes() {
+        let text = render_timeline(&sample_events(), 2, 40);
+        assert!(text.contains("rank  0"));
+        assert!(text.contains("rank  1"));
+        assert!(text.contains('#'));
+        assert!(text.contains('='));
+        // Each lane is exactly `width` columns between the pipes.
+        for line in text.lines().skip(1) {
+            let inner = line.split('|').nth(1).unwrap();
+            assert_eq!(inner.len(), 40);
+        }
+    }
+
+    #[test]
+    fn no_traffic_message() {
+        assert_eq!(render_timeline(&[], 4, 20), "(no traffic)\n");
+    }
+}

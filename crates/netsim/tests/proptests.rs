@@ -1,0 +1,137 @@
+//! Property-based tests of the virtual cluster: model monotonicity and
+//! determinism over arbitrary parameters.
+
+use cpc_cluster::{ClusterConfig, MsgClass, NetworkKind, OpShape, Phase, SplitMix64, TransferCtx};
+use proptest::prelude::*;
+
+fn ctx(shape: OpShape) -> TransferCtx {
+    TransferCtx {
+        shape,
+        src_ranks_per_node: 1,
+        dst_ranks_per_node: 1,
+        same_node: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_time_monotone_in_bytes(
+        bytes in 1usize..2_000_000,
+        extra in 1usize..1_000_000,
+        counter in 0u64..500,
+        kind_idx in 0usize..NetworkKind::ALL.len(),
+    ) {
+        // Same RNG stream for both sizes: deterministic comparison.
+        let p = NetworkKind::ALL[kind_idx].params();
+        let c = ctx(OpShape::p2p());
+        let mut r1 = SplitMix64::for_message(1, 0, 1, counter);
+        let mut r2 = SplitMix64::for_message(1, 0, 1, counter);
+        let small = p.transfer(bytes, &c, &mut r1).wire;
+        let big = p.transfer(bytes + extra, &c, &mut r2).wire;
+        prop_assert!(big >= small, "{small} vs {big}");
+    }
+
+    #[test]
+    fn effective_bandwidth_monotone_in_flows(
+        flows in 1usize..16,
+        kind_idx in 0usize..NetworkKind::ALL.len(),
+    ) {
+        let p = NetworkKind::ALL[kind_idx].params();
+        let a = p.effective_bandwidth(flows, false);
+        let b = p.effective_bandwidth(flows + 1, false);
+        prop_assert!(b <= a + 1e-9);
+        prop_assert!(b > 0.0);
+    }
+
+    #[test]
+    fn transfer_time_is_always_positive_and_finite(
+        bytes in 1usize..10_000_000,
+        endpoint in 1usize..16,
+        participants in 2usize..17,
+        counter in 0u64..1000,
+        kind_idx in 0usize..NetworkKind::ALL.len(),
+    ) {
+        let p = NetworkKind::ALL[kind_idx].params();
+        let c = ctx(OpShape::new(endpoint, participants));
+        let mut rng = SplitMix64::for_message(7, 0, 1, counter);
+        let t = p.transfer(bytes, &c, &mut rng);
+        prop_assert!(t.wire > 0.0 && t.wire.is_finite());
+        prop_assert!(t.send_overhead >= 0.0 && t.recv_overhead >= 0.0);
+    }
+
+    #[test]
+    fn rank_node_mapping_consistent(ranks in 1usize..33, dual in proptest::bool::ANY) {
+        let cfg = if dual {
+            ClusterConfig::dual(ranks, NetworkKind::TcpGigE)
+        } else {
+            ClusterConfig::uni(ranks, NetworkKind::TcpGigE)
+        };
+        cfg.validate().unwrap();
+        let mut per_node = std::collections::HashMap::new();
+        for r in 0..ranks {
+            *per_node.entry(cfg.node_of(r)).or_insert(0usize) += 1;
+        }
+        prop_assert_eq!(per_node.len(), cfg.nodes());
+        for (&node, &count) in &per_node {
+            prop_assert!(count <= cfg.cpus_per_node);
+            prop_assert!(node < cfg.nodes());
+        }
+        // compute_scale reflects sharing.
+        for r in 0..ranks {
+            let scale = cfg.compute_scale(r);
+            if cfg.ranks_on_node_of(r) > 1 {
+                prop_assert!(scale > 1.0);
+            } else {
+                prop_assert!((scale - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_scaling_is_linear(speedup in 0.1f64..8.0) {
+        let base = cpc_cluster::PIII_1GHZ;
+        let scaled = base.scaled(speedup);
+        prop_assert!((scaled.pair_eval * speedup - base.pair_eval).abs() < 1e-15);
+        prop_assert!((scaled.fft_flop * speedup - base.fft_flop).abs() < 1e-15);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cluster_runs_are_deterministic_for_any_config(
+        ranks in 1usize..9,
+        seed in 0u64..100,
+        kind_idx in 0usize..NetworkKind::ALL.len(),
+        dual in proptest::bool::ANY,
+    ) {
+        let mut cfg = if dual {
+            ClusterConfig::dual(ranks, NetworkKind::ALL[kind_idx])
+        } else {
+            ClusterConfig::uni(ranks, NetworkKind::ALL[kind_idx])
+        };
+        cfg.seed = seed;
+        let run = || {
+            cpc_cluster::run_cluster(cfg, |ctx| {
+                ctx.set_phase(Phase::Classic);
+                ctx.charge_compute(1e-3 * (ctx.rank() + 1) as f64);
+                let p = ctx.size();
+                if p > 1 {
+                    let next = (ctx.rank() + 1) % p;
+                    let prev = (ctx.rank() + p - 1) % p;
+                    ctx.send(next, 1, vec![ctx.rank() as f64; 100], MsgClass::Payload,
+                             OpShape::new(1, p));
+                    ctx.recv(prev, 1);
+                }
+                ctx.now()
+            })
+            .iter()
+            .map(|o| o.finish_time)
+            .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,343 @@
+//! Factor-effect analysis after Jain, *The Art of Computer Systems
+//! Performance Analysis* — the methodology the paper's experimental
+//! design cites (reference \[11\]): a 2^3 factorial design over the platform
+//! factors with sign-table effect estimation and allocation of
+//! variation.
+//!
+//! The paper gathered the full factorial "to determine the factors that
+//! have a significant effect on the response variables and quantify
+//! their effect"; this module performs that quantification.
+
+use crate::factors::{ExperimentPoint, NodeConfig};
+use crate::figures::Lab;
+use cpc_cluster::NetworkKind;
+use cpc_mpi::Middleware;
+use serde::{Deserialize, Serialize};
+
+/// The 2^3 design: each factor at its "commodity" (-1) and "premium"
+/// (+1) level.
+///
+/// * A — networking: TCP/IP on Ethernet (-1) vs Myrinet (+1)
+/// * B — middleware: CMPI (-1) vs MPI (+1)
+/// * C — node configuration: dual (-1) vs uni (+1)
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FactorialAnalysis {
+    /// Processor count the design was evaluated at.
+    pub procs: usize,
+    /// Mean response (the `q0` term), in the response's units.
+    pub mean: f64,
+    /// Main effect of networking (A).
+    pub effect_network: f64,
+    /// Main effect of middleware (B).
+    pub effect_middleware: f64,
+    /// Main effect of node configuration (C).
+    pub effect_nodes: f64,
+    /// Two-way interactions (AB, AC, BC) and the three-way term (ABC).
+    pub interactions: [f64; 4],
+    /// Fraction of total variation explained by each term, in the
+    /// order [A, B, C, AB, AC, BC, ABC]; sums to 1 (no replication
+    /// error in a deterministic simulator).
+    pub variation: [f64; 7],
+    /// The eight responses in standard (sign-table) order.
+    pub responses: [f64; 8],
+}
+
+/// Runs the 2^3 design at `procs` processors using the total
+/// energy-calculation time as the response variable.
+pub fn factorial_2k(lab: &mut Lab<'_>, procs: usize) -> FactorialAnalysis {
+    // Standard order: (A, B, C) = (-,-,-), (+,-,-), (-,+,-), (+,+,-),
+    //                 (-,-,+), (+,-,+), (-,+,+), (+,+,+).
+    let level = |a: i8, b: i8, c: i8| ExperimentPoint {
+        network: if a < 0 {
+            NetworkKind::TcpGigE
+        } else {
+            NetworkKind::MyrinetGm
+        },
+        middleware: if b < 0 {
+            Middleware::Cmpi
+        } else {
+            Middleware::Mpi
+        },
+        node: if c < 0 {
+            NodeConfig::Dual
+        } else {
+            NodeConfig::Uni
+        },
+        procs,
+    };
+    let signs: [(i8, i8, i8); 8] = [
+        (-1, -1, -1),
+        (1, -1, -1),
+        (-1, 1, -1),
+        (1, 1, -1),
+        (-1, -1, 1),
+        (1, -1, 1),
+        (-1, 1, 1),
+        (1, 1, 1),
+    ];
+    let mut responses = [0.0f64; 8];
+    for (slot, &(a, b, c)) in responses.iter_mut().zip(&signs) {
+        *slot = lab.measure(level(a, b, c)).energy_time();
+    }
+
+    // Sign-table estimation: q_X = (1/8) sum sign_X(i) * y_i.
+    let q = |f: &dyn Fn(i8, i8, i8) -> f64| -> f64 {
+        signs
+            .iter()
+            .zip(&responses)
+            .map(|(&(a, b, c), &y)| f(a, b, c) * y)
+            .sum::<f64>()
+            / 8.0
+    };
+    let mean = q(&|_, _, _| 1.0);
+    let qa = q(&|a, _, _| a as f64);
+    let qb = q(&|_, b, _| b as f64);
+    let qc = q(&|_, _, c| c as f64);
+    let qab = q(&|a, b, _| (a * b) as f64);
+    let qac = q(&|a, _, c| (a * c) as f64);
+    let qbc = q(&|_, b, c| (b * c) as f64);
+    let qabc = q(&|a, b, c| (a * b * c) as f64);
+
+    // Allocation of variation: SS_X = 8 q_X^2; SST = sum of the seven.
+    let ss = [qa, qb, qc, qab, qac, qbc, qabc].map(|v| 8.0 * v * v);
+    let sst: f64 = ss.iter().sum();
+    let variation = if sst > 0.0 {
+        ss.map(|v| v / sst)
+    } else {
+        [0.0; 7]
+    };
+
+    FactorialAnalysis {
+        procs,
+        mean,
+        effect_network: qa,
+        effect_middleware: qb,
+        effect_nodes: qc,
+        interactions: [qab, qac, qbc, qabc],
+        variation,
+        responses,
+    }
+}
+
+impl FactorialAnalysis {
+    /// Renders the analysis as a table.
+    pub fn render(&self) -> String {
+        let rows = vec![
+            row("mean response", self.mean, None),
+            row(
+                "A: network (TCP -> Myrinet)",
+                self.effect_network,
+                Some(self.variation[0]),
+            ),
+            row(
+                "B: middleware (CMPI -> MPI)",
+                self.effect_middleware,
+                Some(self.variation[1]),
+            ),
+            row(
+                "C: nodes (dual -> uni)",
+                self.effect_nodes,
+                Some(self.variation[2]),
+            ),
+            row(
+                "AB interaction",
+                self.interactions[0],
+                Some(self.variation[3]),
+            ),
+            row(
+                "AC interaction",
+                self.interactions[1],
+                Some(self.variation[4]),
+            ),
+            row(
+                "BC interaction",
+                self.interactions[2],
+                Some(self.variation[5]),
+            ),
+            row(
+                "ABC interaction",
+                self.interactions[3],
+                Some(self.variation[6]),
+            ),
+        ];
+        format!(
+            "2^3 factorial analysis (Jain [11]) of the energy-calculation time,\n\
+             p = {} processors. Effects are in seconds per half-range; negative\n\
+             means the '+' level (premium) is faster.\n\n{}",
+            self.procs,
+            crate::ascii::table(&["term", "effect (s)", "% of variation"], &rows)
+        )
+    }
+}
+
+fn row(label: &str, effect: f64, variation: Option<f64>) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{effect:+.3}"),
+        variation
+            .map(|v| format!("{:5.1}%", 100.0 * v))
+            .unwrap_or_else(|| "-".into()),
+    ]
+}
+
+/// Marginal means over the *full* (3-network) factorial: the average
+/// response at each level of each factor, at a fixed processor count.
+pub fn marginal_means(lab: &mut Lab<'_>, procs: usize) -> String {
+    let networks = [
+        NetworkKind::TcpGigE,
+        NetworkKind::ScoreGigE,
+        NetworkKind::MyrinetGm,
+    ];
+    let mut rows = Vec::new();
+    for network in networks {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for middleware in Middleware::ALL {
+            for node in NodeConfig::ALL {
+                sum += lab
+                    .measure(ExperimentPoint {
+                        network,
+                        middleware,
+                        node,
+                        procs,
+                    })
+                    .energy_time();
+                n += 1;
+            }
+        }
+        rows.push(vec![
+            format!("network = {}", network.label()),
+            format!("{:.3}", sum / n as f64),
+        ]);
+    }
+    for middleware in Middleware::ALL {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for network in networks {
+            for node in NodeConfig::ALL {
+                sum += lab
+                    .measure(ExperimentPoint {
+                        network,
+                        middleware,
+                        node,
+                        procs,
+                    })
+                    .energy_time();
+                n += 1;
+            }
+        }
+        rows.push(vec![
+            format!("middleware = {}", middleware.label()),
+            format!("{:.3}", sum / n as f64),
+        ]);
+    }
+    for node in NodeConfig::ALL {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for network in networks {
+            for middleware in Middleware::ALL {
+                sum += lab
+                    .measure(ExperimentPoint {
+                        network,
+                        middleware,
+                        node,
+                        procs,
+                    })
+                    .energy_time();
+                n += 1;
+            }
+        }
+        rows.push(vec![
+            format!("nodes = {}", node.label()),
+            format!("{:.3}", sum / n as f64),
+        ]);
+    }
+    format!(
+        "Marginal mean energy-calculation time per factor level (p = {procs}):\n\n{}",
+        crate::ascii::table(&["level", "mean total(s)"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{quick_pme_params, quick_system};
+    use cpc_md::EnergyModel;
+
+    fn quick_lab(system: &cpc_md::System) -> Lab<'_> {
+        Lab::custom(system, 1, EnergyModel::Pme(quick_pme_params()))
+    }
+
+    #[test]
+    fn effects_reconstruct_responses() {
+        // The sign-table model is exact for a 2^3 design: y_i must be
+        // recovered from the eight coefficients.
+        let system = quick_system();
+        let mut lab = quick_lab(&system);
+        let a = factorial_2k(&mut lab, 4);
+        let signs: [(f64, f64, f64); 8] = [
+            (-1.0, -1.0, -1.0),
+            (1.0, -1.0, -1.0),
+            (-1.0, 1.0, -1.0),
+            (1.0, 1.0, -1.0),
+            (-1.0, -1.0, 1.0),
+            (1.0, -1.0, 1.0),
+            (-1.0, 1.0, 1.0),
+            (1.0, 1.0, 1.0),
+        ];
+        for (i, &(sa, sb, sc)) in signs.iter().enumerate() {
+            let y = a.mean
+                + sa * a.effect_network
+                + sb * a.effect_middleware
+                + sc * a.effect_nodes
+                + sa * sb * a.interactions[0]
+                + sa * sc * a.interactions[1]
+                + sb * sc * a.interactions[2]
+                + sa * sb * sc * a.interactions[3];
+            assert!(
+                (y - a.responses[i]).abs() < 1e-9 * a.responses[i].abs().max(1.0),
+                "cell {i}: {y} vs {}",
+                a.responses[i]
+            );
+        }
+    }
+
+    #[test]
+    fn variation_fractions_sum_to_one() {
+        let system = quick_system();
+        let mut lab = quick_lab(&system);
+        let a = factorial_2k(&mut lab, 8);
+        let total: f64 = a.variation.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+        assert!(a.variation.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn network_is_the_dominant_factor_at_scale() {
+        // The paper's conclusion, quantified: at p=8 the networking
+        // factor (with its middleware interaction) explains most of the
+        // variation.
+        let system = quick_system();
+        let mut lab = quick_lab(&system);
+        let a = factorial_2k(&mut lab, 8);
+        let network_share = a.variation[0] + a.variation[3] + a.variation[4] + a.variation[6];
+        assert!(
+            network_share > 0.5,
+            "network-related variation {network_share:?} (effects: {a:?})"
+        );
+        // Myrinet (+1) must be faster: negative effect.
+        assert!(a.effect_network < 0.0);
+    }
+
+    #[test]
+    fn render_and_marginals_produce_tables() {
+        let system = quick_system();
+        let mut lab = quick_lab(&system);
+        let a = factorial_2k(&mut lab, 2);
+        let text = a.render();
+        assert!(text.contains("A: network"));
+        let marg = marginal_means(&mut lab, 2);
+        assert!(marg.contains("Myrinet"));
+        assert!(marg.contains("middleware = CMPI"));
+    }
+}

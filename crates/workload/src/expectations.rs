@@ -1,0 +1,249 @@
+//! The paper's qualitative findings, encoded as checkable predicates.
+//!
+//! We do not chase absolute numbers (our substrate is a calibrated
+//! simulator, not the 2002 CoPs cluster); these are the *shapes* the
+//! paper reports — who wins, by roughly what factor, where the
+//! crossovers fall. `EXPERIMENTS.md` records paper-vs-measured for
+//! each.
+
+use crate::factors::{ExperimentPoint, NodeConfig};
+use crate::figures::Lab;
+use cpc_cluster::NetworkKind;
+use cpc_mpi::Middleware;
+
+/// One qualitative expectation from the paper with its verification
+/// outcome.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Short identifier (section / figure).
+    pub id: &'static str,
+    /// What the paper claims.
+    pub claim: &'static str,
+    /// Whether the reproduction shows the same shape.
+    pub holds: bool,
+    /// The measured evidence.
+    pub evidence: String,
+}
+
+/// Verifies every encoded finding against measurements from `lab`.
+pub fn verify_findings(lab: &mut Lab<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // --- Section 3.2 / Figure 3.
+    let f1 = lab.measure(ExperimentPoint::focal(1));
+    let f2 = lab.measure(ExperimentPoint::focal(2));
+    let f8 = lab.measure(ExperimentPoint::focal(8));
+    findings.push(Finding {
+        id: "Fig3/seq-share",
+        claim: "On one processor the PME time is slightly less than half the total",
+        holds: {
+            let share = f1.pme_time / f1.energy_time();
+            (0.30..0.50).contains(&share)
+        },
+        evidence: format!(
+            "PME share at p=1: {:.1}% (classic {:.2}s, pme {:.2}s)",
+            100.0 * f1.pme_time / f1.energy_time(),
+            f1.classic_time,
+            f1.pme_time
+        ),
+    });
+    findings.push(Finding {
+        id: "Fig3/pme-2p-regression",
+        claim: "With two processors the PME calculation takes LONGER than on one",
+        holds: f2.pme_time > f1.pme_time,
+        evidence: format!(
+            "pme time p=1: {:.2}s, p=2: {:.2}s",
+            f1.pme_time, f2.pme_time
+        ),
+    });
+    findings.push(Finding {
+        id: "Fig4/classic-overheads",
+        claim: "Classic overheads < 10% at p=2, rising to over ~60% at p=8 (TCP)",
+        holds: {
+            let o2 = 100.0 - f2.classic_pct.0;
+            let o8 = 100.0 - f8.classic_pct.0;
+            o2 < 15.0 && o8 > 45.0
+        },
+        evidence: format!(
+            "classic overhead p=2: {:.1}%, p=8: {:.1}%",
+            100.0 - f2.classic_pct.0,
+            100.0 - f8.classic_pct.0
+        ),
+    });
+    findings.push(Finding {
+        id: "Fig4/pme-overheads",
+        claim: "PME overheads already ~50% at p=2, over 75% at p=8 (TCP)",
+        holds: {
+            let o2 = 100.0 - f2.pme_pct.0;
+            let o8 = 100.0 - f8.pme_pct.0;
+            o2 > 35.0 && o8 > 65.0
+        },
+        evidence: format!(
+            "pme overhead p=2: {:.1}%, p=8: {:.1}%",
+            100.0 - f2.pme_pct.0,
+            100.0 - f8.pme_pct.0
+        ),
+    });
+
+    // --- Section 4.1 / Figures 5-7.
+    let score8 = lab.measure(ExperimentPoint {
+        network: NetworkKind::ScoreGigE,
+        ..ExperimentPoint::focal(8)
+    });
+    let myri8 = lab.measure(ExperimentPoint {
+        network: NetworkKind::MyrinetGm,
+        ..ExperimentPoint::focal(8)
+    });
+    findings.push(Finding {
+        id: "Fig5/network-scaling",
+        claim: "SCore and Myrinet scale much better than TCP/IP at p=8",
+        holds: score8.energy_time() < 0.7 * f8.energy_time()
+            && myri8.energy_time() < 0.7 * f8.energy_time(),
+        evidence: format!(
+            "p=8 energy time: TCP {:.2}s, SCore {:.2}s, Myrinet {:.2}s",
+            f8.energy_time(),
+            score8.energy_time(),
+            myri8.energy_time()
+        ),
+    });
+    findings.push(Finding {
+        id: "Fig5/score-software-win",
+        claim: "Better software (SCore) on the SAME Ethernet wires recovers most of \
+                Myrinet's advantage (no extra hardware cost)",
+        holds: score8.energy_time() < 1.6 * myri8.energy_time(),
+        evidence: format!(
+            "p=8: SCore {:.2}s vs Myrinet {:.2}s",
+            score8.energy_time(),
+            myri8.energy_time()
+        ),
+    });
+    let tp = |m: &crate::runner::Measurement| m.throughput.unwrap_or((0.0, 0.0, 0.0));
+    findings.push(Finding {
+        id: "Fig7/tcp-variability",
+        claim: "TCP throughput is low and wildly variable at p>=4; SCore is stable; \
+                Myrinet is fastest (~130 MB/s class)",
+        holds: {
+            let (t_avg, t_min, t_max) = tp(&f8);
+            let (s_avg, s_min, s_max) = tp(&score8);
+            let (m_avg, _, _) = tp(&myri8);
+            let tcp_spread = t_max / t_min.max(1e-9);
+            let score_spread = s_max / s_min.max(1e-9);
+            t_avg < s_avg && s_avg < m_avg && tcp_spread > 2.0 * score_spread
+        },
+        evidence: format!(
+            "p=8 MB/s avg(min-max): TCP {:.0}({:.0}-{:.0}), SCore {:.0}({:.0}-{:.0}), Myrinet {:.0}({:.0}-{:.0})",
+            tp(&f8).0, tp(&f8).1, tp(&f8).2,
+            tp(&score8).0, tp(&score8).1, tp(&score8).2,
+            tp(&myri8).0, tp(&myri8).1, tp(&myri8).2
+        ),
+    });
+
+    // --- Section 4.2 / Figure 8.
+    let cmpi4 = lab.measure(ExperimentPoint {
+        middleware: Middleware::Cmpi,
+        ..ExperimentPoint::focal(4)
+    });
+    let cmpi8 = lab.measure(ExperimentPoint {
+        middleware: Middleware::Cmpi,
+        ..ExperimentPoint::focal(8)
+    });
+    findings.push(Finding {
+        id: "Fig8/cmpi-collapse",
+        claim: "With CMPI, going from 4 to 8 processors the time INCREASES instead of \
+                falling, and synchronization dominates",
+        holds: cmpi8.energy_time() > cmpi4.energy_time() && cmpi8.energy_pct.2 > 30.0,
+        evidence: format!(
+            "CMPI energy time p=4: {:.2}s, p=8: {:.2}s (sync share p=8: {:.0}%)",
+            cmpi4.energy_time(),
+            cmpi8.energy_time(),
+            cmpi8.energy_pct.2
+        ),
+    });
+    findings.push(Finding {
+        id: "Fig8/mpi-vs-cmpi",
+        claim: "At p=8 on TCP, CMPI is several times slower than plain MPI",
+        holds: cmpi8.energy_time() > 1.8 * f8.energy_time(),
+        evidence: format!(
+            "p=8: MPI {:.2}s vs CMPI {:.2}s",
+            f8.energy_time(),
+            cmpi8.energy_time()
+        ),
+    });
+
+    // --- Section 4.3 / Figure 9.
+    let dual_tcp8 = lab.measure(ExperimentPoint {
+        node: NodeConfig::Dual,
+        ..ExperimentPoint::focal(8)
+    });
+    let dual_tcp2 = lab.measure(ExperimentPoint {
+        node: NodeConfig::Dual,
+        ..ExperimentPoint::focal(2)
+    });
+    let dual_myri8 = lab.measure(ExperimentPoint {
+        network: NetworkKind::MyrinetGm,
+        node: NodeConfig::Dual,
+        ..ExperimentPoint::focal(8)
+    });
+    findings.push(Finding {
+        id: "Fig9a/dual-tcp-hurts",
+        claim: "Dual-processor nodes adversely affect scalability over TCP/IP \
+                (times do not decrease with more processors)",
+        holds: dual_tcp8.energy_time() > 0.8 * dual_tcp2.energy_time()
+            && dual_tcp8.energy_time() > 1.3 * f8.energy_time(),
+        evidence: format!(
+            "dual TCP p=2: {:.2}s, p=8: {:.2}s (uni p=8: {:.2}s)",
+            dual_tcp2.energy_time(),
+            dual_tcp8.energy_time(),
+            f8.energy_time()
+        ),
+    });
+    findings.push(Finding {
+        id: "Fig9b/dual-myrinet-fine",
+        claim: "On Myrinet (shared-memory driver) dual-processor nodes scale fine",
+        holds: dual_myri8.energy_time() < 1.35 * myri8.energy_time(),
+        evidence: format!(
+            "Myrinet p=8: uni {:.2}s vs dual {:.2}s",
+            myri8.energy_time(),
+            dual_myri8.energy_time()
+        ),
+    });
+
+    findings
+}
+
+/// Renders findings as a report table.
+pub fn render_findings(findings: &[Finding]) -> String {
+    let rows: Vec<Vec<String>> = findings
+        .iter()
+        .map(|f| {
+            vec![
+                f.id.to_string(),
+                if f.holds {
+                    "HOLDS".into()
+                } else {
+                    "DEVIATES".into()
+                },
+                f.evidence.clone(),
+            ]
+        })
+        .collect();
+    crate::ascii::table(&["finding", "status", "measured"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_render() {
+        let findings = vec![Finding {
+            id: "test",
+            claim: "c",
+            holds: true,
+            evidence: "e".into(),
+        }];
+        let out = render_findings(&findings);
+        assert!(out.contains("HOLDS"));
+        assert!(out.contains("test"));
+    }
+}

@@ -1,0 +1,70 @@
+//! Can I add my new fast nodes to the old cluster? A question every
+//! lab running CHARMM in 2002 faced — and a trap: the replicated-data
+//! decomposition partitions work statically, so the *slowest* node
+//! paces everyone (the fast nodes wait at every force combine).
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_cluster [--quick]
+//! ```
+
+use cpc::prelude::*;
+use cpc_charmm::run_parallel_md;
+use cpc_workload::runner::{paper_pme_params, quick_pme_params};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (system, model, steps) = if quick {
+        (
+            cpc_workload::runner::quick_system(),
+            EnergyModel::Pme(quick_pme_params()),
+            2,
+        )
+    } else {
+        (
+            cpc_workload::runner::myoglobin_shared().clone(),
+            EnergyModel::Pme(paper_pme_params()),
+            10,
+        )
+    };
+
+    let run = |cluster: ClusterConfig| {
+        let cfg = MdConfig {
+            steps,
+            ..MdConfig::paper_protocol(model, Middleware::Mpi, cluster)
+        };
+        run_parallel_md(&system, &cfg).energy_time()
+    };
+
+    println!("8 Myrinet nodes, {} MD steps, PME model:\n", steps);
+    println!("{:<44} {:>10}", "configuration", "total(s)");
+    let uniform_old = run(ClusterConfig::uni(8, NetworkKind::MyrinetGm).with_slow_nodes(8, 1.0));
+    println!(
+        "{:<44} {:>10.3}",
+        "8 x 1.0 GHz (the old cluster)", uniform_old
+    );
+
+    let mixed = run(ClusterConfig::uni(8, NetworkKind::MyrinetGm).with_slow_nodes(4, 0.5));
+    println!(
+        "{:<44} {:>10.3}",
+        "4 x 0.5 GHz + 4 x 1.0 GHz (mixed)", mixed
+    );
+
+    let slow_only = run(ClusterConfig::uni(4, NetworkKind::MyrinetGm).with_slow_nodes(4, 0.5));
+    println!("{:<44} {:>10.3}", "4 x 0.5 GHz alone", slow_only);
+
+    let fast_only = run(ClusterConfig::uni(4, NetworkKind::MyrinetGm));
+    println!("{:<44} {:>10.3}", "4 x 1.0 GHz alone", fast_only);
+
+    let gain = 100.0 * (fast_only / mixed - 1.0);
+    let verdict = if gain <= 0.0 {
+        format!("fail to beat the four fast ones alone ({gain:.0}% change)")
+    } else {
+        format!("barely beat the four fast ones alone (+{gain:.0}%)")
+    };
+    println!(
+        "\nReading: with static (replicated-data) partitioning the mixed\n\
+         cluster runs at the pace of its slowest nodes — eight mixed nodes\n\
+         {verdict}. Heterogeneity needs speed-weighted partitioning, which\n\
+         CHARMM's equal-pair split does not provide."
+    );
+}

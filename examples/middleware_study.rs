@@ -1,0 +1,92 @@
+//! Middleware case study (paper Section 4.2): why did the portable
+//! CMPI layer collapse on TCP clusters?
+//!
+//! Reproduces Figure 8 and then drills down: the cost of one
+//! synchronization under each middleware on each network.
+//!
+//! ```text
+//! cargo run --release --example middleware_study [--quick]
+//! ```
+
+use cpc::prelude::*;
+use cpc_cluster::{elapsed_time, run_cluster};
+use cpc_mpi::Comm;
+use cpc_workload::runner::{measure_with_model, paper_pme_params, quick_pme_params};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (system, model, steps) = if quick {
+        (
+            cpc_workload::runner::quick_system(),
+            EnergyModel::Pme(quick_pme_params()),
+            2,
+        )
+    } else {
+        (
+            cpc_workload::runner::myoglobin_shared().clone(),
+            EnergyModel::Pme(paper_pme_params()),
+            10,
+        )
+    };
+
+    // --- Figure-8-style comparison.
+    println!("Energy-calculation time, TCP/IP on Ethernet, uni-processor nodes:");
+    println!(
+        "{:<6} {:>3} {:>10} {:>7} {:>7} {:>7}",
+        "mw", "p", "total(s)", "comp%", "comm%", "sync%"
+    );
+    for middleware in [Middleware::Mpi, Middleware::Cmpi] {
+        for p in [1usize, 2, 4, 8] {
+            let point = ExperimentPoint {
+                middleware,
+                ..ExperimentPoint::focal(p)
+            };
+            let m = measure_with_model(&system, point, steps, model);
+            let (comp, comm, sync) = m.energy_pct;
+            println!(
+                "{:<6} {:>3} {:>10.3} {:>6.1}% {:>6.1}% {:>6.1}%",
+                middleware.label(),
+                p,
+                m.energy_time(),
+                comp,
+                comm,
+                sync
+            );
+        }
+    }
+
+    // --- Microbenchmark: one synchronization call.
+    println!("\nCost of ONE synchronization call (mean of 50), 8 processors:");
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "network", "MPI barrier", "CMPI sync"
+    );
+    for network in [
+        NetworkKind::TcpGigE,
+        NetworkKind::ScoreGigE,
+        NetworkKind::MyrinetGm,
+    ] {
+        let time_for = |mw: Middleware| {
+            let cfg = ClusterConfig::uni(8, network);
+            let out = run_cluster(cfg, |ctx| {
+                let mut comm = Comm::new(ctx, mw);
+                for _ in 0..50 {
+                    comm.barrier();
+                }
+            });
+            elapsed_time(&out) / 50.0
+        };
+        println!(
+            "{:<24} {:>10.2}us {:>10.2}us",
+            network.label(),
+            time_for(Middleware::Mpi) * 1e6,
+            time_for(Middleware::Cmpi) * 1e6
+        );
+    }
+    println!(
+        "\nReading: the CMPI synchronization (p-1 rounds of 1-byte ring\n\
+         exchanges) is harmless on SCore/Myrinet but catastrophic over TCP,\n\
+         where repeated tiny messages trip delayed-ACK/Nagle timers — the\n\
+         paper's explanation for Figure 8's collapse from 4 to 8 processors."
+    );
+}

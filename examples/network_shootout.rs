@@ -1,0 +1,71 @@
+//! Network shootout (paper Section 4.1 + Figure 7): the same CHARMM
+//! calculation on four interconnect/software stacks, including the
+//! Fast Ethernet configuration from the companion report [17].
+//!
+//! ```text
+//! cargo run --release --example network_shootout [--quick]
+//! ```
+
+use cpc::prelude::*;
+use cpc_workload::runner::{measure_with_model, paper_pme_params, quick_pme_params};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (system, model, steps) = if quick {
+        (
+            cpc_workload::runner::quick_system(),
+            EnergyModel::Pme(quick_pme_params()),
+            2,
+        )
+    } else {
+        (
+            cpc_workload::runner::myoglobin_shared().clone(),
+            EnergyModel::Pme(paper_pme_params()),
+            10,
+        )
+    };
+
+    let networks = [
+        NetworkKind::FastEthernet,
+        NetworkKind::TcpGigE,
+        NetworkKind::ScoreGigE,
+        NetworkKind::MyrinetGm,
+    ];
+
+    println!(
+        "{:<26} {:>3} {:>10} {:>7} {:>7} {:>7} {:>22}",
+        "network", "p", "total(s)", "comp%", "comm%", "sync%", "MB/s avg (min..max)"
+    );
+    for network in networks {
+        for p in [2usize, 4, 8] {
+            let point = ExperimentPoint {
+                network,
+                ..ExperimentPoint::focal(p)
+            };
+            let m = measure_with_model(&system, point, steps, model);
+            let (comp, comm, sync) = m.energy_pct;
+            let tp = m
+                .throughput
+                .map(|(a, lo, hi)| format!("{a:6.1} ({lo:5.1}..{hi:6.1})"))
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{:<26} {:>3} {:>10.3} {:>6.1}% {:>6.1}% {:>6.1}% {:>22}",
+                network.label(),
+                p,
+                m.energy_time(),
+                comp,
+                comm,
+                sync,
+                tp
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading (matches the paper): Fast Ethernet and Gigabit Ethernet under\n\
+         TCP/IP behave almost identically — the bottleneck is the protocol\n\
+         stack, not the wire. SCore on the *same* Ethernet recovers most of\n\
+         Myrinet's advantage purely in software; a large variation of the\n\
+         throughput numbers is the warning sign of an unstable configuration."
+    );
+}

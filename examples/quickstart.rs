@@ -1,0 +1,72 @@
+//! Quickstart: run a small molecular dynamics simulation sequentially,
+//! then measure the same calculation on a simulated PC cluster.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cpc::prelude::*;
+use cpc_md::builder::water_box;
+use cpc_md::dynamics::Simulation;
+use cpc_md::minimize::minimize;
+
+fn main() {
+    // --- 1. A sequential simulation: 216 flexible waters, classic
+    // CHARMM-style energy (switched LJ + shifted electrostatics, 10 A).
+    let mut system = water_box(6, 3.1);
+    println!(
+        "built a water box: {} atoms, box {:.1} x {:.1} x {:.1} A",
+        system.n_atoms(),
+        system.pbox.lengths.x,
+        system.pbox.lengths.y,
+        system.pbox.lengths.z
+    );
+
+    let relax = minimize(&mut system, EnergyModel::Classic, 60);
+    println!(
+        "minimized: {:.1} -> {:.1} kcal/mol in {} steps",
+        relax.initial_energy, relax.final_energy, relax.steps_taken
+    );
+    system.assign_velocities(300.0, 42);
+
+    let mut sim = Simulation::new(system, EnergyModel::Classic, 0.001);
+    println!("\nstep  potential(kcal/mol)  kinetic  total  temperature(K)");
+    for _ in 0..10 {
+        let r = sim.step();
+        println!(
+            "{:>4}  {:>19.2}  {:>7.2}  {:>6.2}  {:>8.1}",
+            r.step,
+            r.energy.total(),
+            r.kinetic,
+            r.total_energy(),
+            sim.system.temperature()
+        );
+    }
+
+    // --- 2. The same workload on virtual PC clusters: how long would
+    // the energy calculation take on the paper's platforms?
+    let sys = cpc_workload::runner::quick_system();
+    let model = EnergyModel::Pme(cpc_workload::runner::quick_pme_params());
+    println!("\nvirtual-cluster measurement (2 MD steps, PME model):");
+    println!(
+        "{:<28} {:>6} {:>12} {:>12}",
+        "platform", "procs", "classic(s)", "pme(s)"
+    );
+    for network in [NetworkKind::TcpGigE, NetworkKind::MyrinetGm] {
+        for procs in [1usize, 4] {
+            let point = ExperimentPoint {
+                network,
+                ..ExperimentPoint::focal(procs)
+            };
+            let m = cpc_workload::runner::measure_with_model(&sys, point, 2, model);
+            println!(
+                "{:<28} {:>6} {:>12.3} {:>12.3}",
+                network.label(),
+                procs,
+                m.classic_time,
+                m.pme_time
+            );
+        }
+    }
+    println!("\n(see `cargo run -p cpc-bench --bin fig3` for the full paper figures)");
+}

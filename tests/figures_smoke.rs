@@ -1,0 +1,91 @@
+//! End-to-end smoke tests for the figure harness: every figure renders
+//! (on the quick system) and contains the structure a reader expects.
+
+use cpc::prelude::*;
+use cpc_workload::figures;
+use cpc_workload::runner::{quick_pme_params, quick_system};
+
+fn lab_for(system: &cpc_md::System) -> Lab<'_> {
+    Lab::custom(system, 1, EnergyModel::Pme(quick_pme_params()))
+}
+
+#[test]
+fn all_figures_render_with_expected_sections() {
+    let system = quick_system();
+    let mut lab = lab_for(&system);
+    let out = figures::all_figures(&mut lab);
+    for needle in [
+        "Figure 2",
+        "Figure 3",
+        "Figure 4a",
+        "Figure 4b",
+        "Figure 5",
+        "Figure 6a",
+        "Figure 6b",
+        "Figure 7",
+        "Figure 8a",
+        "Figure 8b",
+        "Figure 9a",
+        "Figure 9b",
+        "Full factorial design",
+    ] {
+        assert!(out.contains(needle), "missing section {needle}");
+    }
+    // Every network label appears.
+    for label in ["TCP/IP on Ethernet", "SCore on Ethernet", "Myrinet"] {
+        assert!(out.contains(label));
+    }
+    // Middleware labels appear in Figure 8.
+    assert!(out.contains("MPI"));
+    assert!(out.contains("CMPI"));
+}
+
+#[test]
+fn factorial_covers_all_twelve_cells() {
+    let system = quick_system();
+    let mut lab = lab_for(&system);
+    figures::factorial_table(&mut lab);
+    // 12 platform cells x 4 proc counts measured.
+    assert_eq!(lab.measurements().len(), 48);
+}
+
+#[test]
+fn rendering_is_deterministic() {
+    let system = quick_system();
+    let a = figures::fig3(&mut lab_for(&system));
+    let b = figures::fig3(&mut lab_for(&system));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn json_dump_roundtrips() {
+    let system = quick_system();
+    let mut lab = lab_for(&system);
+    lab.measure(ExperimentPoint::focal(2));
+    lab.measure(ExperimentPoint {
+        network: NetworkKind::MyrinetGm,
+        ..ExperimentPoint::focal(4)
+    });
+    let json = lab.to_json();
+    let values: Vec<cpc_workload::Measurement> = serde_json::from_str(&json).unwrap();
+    assert_eq!(values.len(), 2);
+    assert!(values.iter().all(|m| m.classic_time > 0.0));
+}
+
+#[test]
+fn percentages_always_sum_to_hundred() {
+    let system = quick_system();
+    let mut lab = lab_for(&system);
+    for p in [1usize, 2, 4, 8] {
+        let m = lab.measure(ExperimentPoint::focal(p));
+        for (label, (comp, comm, sync)) in [
+            ("classic", m.classic_pct),
+            ("pme", m.pme_pct),
+            ("energy", m.energy_pct),
+        ] {
+            let total = comp + comm + sync;
+            assert!((total - 100.0).abs() < 1e-6, "p={p} {label}: {total}");
+            assert!(comp >= 0.0 && comm >= 0.0 && sync >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The paper's molecular system, as rebuilt by the synthetic generator:
+//! structural checks that the workload matches Section 2.2.
+
+use cpc_md::builder::{myoglobin_raw, MYOGLOBIN_ATOMS, MYOGLOBIN_RESIDUES, MYOGLOBIN_WATERS};
+use cpc_md::forcefield::AtomClass;
+use cpc_md::neighbor::NeighborList;
+
+#[test]
+fn atom_budget_matches_the_paper() {
+    let sys = myoglobin_raw();
+    assert_eq!(sys.n_atoms(), MYOGLOBIN_ATOMS, "3552 atoms total");
+    assert_eq!(MYOGLOBIN_ATOMS, 3552);
+    assert_eq!(MYOGLOBIN_RESIDUES, 153);
+    assert_eq!(MYOGLOBIN_WATERS, 337);
+
+    // Component budget: 337 waters x 3 + CO (2) + sulfate (5) + protein.
+    let n_ow = sys
+        .topology
+        .atoms
+        .iter()
+        .filter(|a| a.class == AtomClass::OW)
+        .count();
+    let n_hw = sys
+        .topology
+        .atoms
+        .iter()
+        .filter(|a| a.class == AtomClass::HW)
+        .count();
+    let n_s = sys
+        .topology
+        .atoms
+        .iter()
+        .filter(|a| a.class == AtomClass::S)
+        .count();
+    assert_eq!(n_ow, 337);
+    assert_eq!(n_hw, 674);
+    assert_eq!(n_s, 1, "one sulfate sulfur");
+    let protein = MYOGLOBIN_ATOMS - 3 * 337 - 2 - 5;
+    assert_eq!(protein, 2534);
+}
+
+#[test]
+fn system_is_neutral_and_valid() {
+    let sys = myoglobin_raw();
+    assert!(sys.topology.total_charge().abs() < 1e-9);
+    sys.topology.validate().unwrap();
+    // One backbone N and CA per residue.
+    let n_n = sys
+        .topology
+        .atoms
+        .iter()
+        .filter(|a| a.class == AtomClass::N)
+        .count();
+    assert_eq!(n_n, 153);
+}
+
+#[test]
+fn pme_grid_matches_box_geometry() {
+    let params = cpc_workload::runner::paper_pme_params();
+    assert_eq!(
+        (params.grid.nx, params.grid.ny, params.grid.nz),
+        (80, 36, 48)
+    );
+    let sys = myoglobin_raw();
+    // Mesh spacing ~<= 1 A in every dimension (PME accuracy rule).
+    assert!(sys.pbox.lengths.x / params.grid.nx as f64 <= 1.0 + 1e-9);
+    assert!(sys.pbox.lengths.y / params.grid.ny as f64 <= 1.0 + 1e-9);
+    assert!(sys.pbox.lengths.z / params.grid.nz as f64 <= 1.0 + 1e-9);
+}
+
+#[test]
+fn pair_density_is_in_the_charmm_regime() {
+    // The workload characterization hinges on the nonbonded pair count
+    // at the 10 A cutoff; the synthetic system must land in the same
+    // regime as solvated myoglobin (hundreds of thousands of pairs).
+    let sys = myoglobin_raw();
+    let list = NeighborList::build(&sys.topology, &sys.pbox, &sys.positions, 10.0, 2.0);
+    assert!(
+        (200_000..2_000_000).contains(&list.pairs.len()),
+        "pair count {}",
+        list.pairs.len()
+    );
+}

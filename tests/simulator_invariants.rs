@@ -1,0 +1,130 @@
+//! Qualitative invariants of the virtual platform — the orderings the
+//! paper reports must be stable properties of the simulator, not
+//! accidents of one run.
+
+use cpc::prelude::*;
+use cpc_workload::runner::{measure_with_model, quick_pme_params, quick_system};
+
+fn model() -> EnergyModel {
+    EnergyModel::Pme(quick_pme_params())
+}
+
+fn energy_time(point: ExperimentPoint) -> f64 {
+    let sys = quick_system();
+    measure_with_model(&sys, point, 2, model()).energy_time()
+}
+
+#[test]
+fn network_quality_ordering_at_scale() {
+    let t = |network| {
+        energy_time(ExperimentPoint {
+            network,
+            ..ExperimentPoint::focal(8)
+        })
+    };
+    let tcp = t(NetworkKind::TcpGigE);
+    let fast = t(NetworkKind::FastEthernet);
+    let score = t(NetworkKind::ScoreGigE);
+    let myri = t(NetworkKind::MyrinetGm);
+    assert!(myri < score, "myrinet {myri} vs score {score}");
+    assert!(score < tcp, "score {score} vs tcp {tcp}");
+    assert!(tcp < fast, "tcp {tcp} vs fast ethernet {fast}");
+}
+
+#[test]
+fn myrinet_scales_monotonically_to_eight() {
+    let t = |p| {
+        energy_time(ExperimentPoint {
+            network: NetworkKind::MyrinetGm,
+            ..ExperimentPoint::focal(p)
+        })
+    };
+    let (t1, t2, t4, t8) = (t(1), t(2), t(4), t(8));
+    assert!(t2 < t1, "{t2} vs {t1}");
+    assert!(t4 < t2, "{t4} vs {t2}");
+    assert!(t8 < t4, "{t8} vs {t4}");
+}
+
+#[test]
+fn cmpi_never_beats_mpi_on_tcp() {
+    for p in [2usize, 4, 8] {
+        let mpi = energy_time(ExperimentPoint::focal(p));
+        let cmpi = energy_time(ExperimentPoint {
+            middleware: Middleware::Cmpi,
+            ..ExperimentPoint::focal(p)
+        });
+        assert!(cmpi >= mpi * 0.98, "p={p}: cmpi {cmpi} vs mpi {mpi}");
+    }
+}
+
+#[test]
+fn dual_nodes_cost_little_on_myrinet_much_on_tcp() {
+    let uni_tcp = energy_time(ExperimentPoint::focal(8));
+    let dual_tcp = energy_time(ExperimentPoint {
+        node: NodeConfig::Dual,
+        ..ExperimentPoint::focal(8)
+    });
+    let uni_myri = energy_time(ExperimentPoint {
+        network: NetworkKind::MyrinetGm,
+        ..ExperimentPoint::focal(8)
+    });
+    let dual_myri = energy_time(ExperimentPoint {
+        network: NetworkKind::MyrinetGm,
+        node: NodeConfig::Dual,
+        ..ExperimentPoint::focal(8)
+    });
+    let tcp_ratio = dual_tcp / uni_tcp;
+    let myri_ratio = dual_myri / uni_myri;
+    assert!(tcp_ratio > 1.15, "TCP dual/uni {tcp_ratio}");
+    assert!(myri_ratio < 1.3, "Myrinet dual/uni {myri_ratio}");
+    assert!(tcp_ratio > myri_ratio);
+}
+
+#[test]
+fn throughput_ordering_and_stability() {
+    let sys = quick_system();
+    let m = |network| {
+        measure_with_model(
+            &sys,
+            ExperimentPoint {
+                network,
+                ..ExperimentPoint::focal(8)
+            },
+            2,
+            model(),
+        )
+        .throughput
+        .expect("payload traffic at p=8")
+    };
+    let (tcp_avg, tcp_min, tcp_max) = m(NetworkKind::TcpGigE);
+    let (sc_avg, sc_min, sc_max) = m(NetworkKind::ScoreGigE);
+    let (my_avg, ..) = m(NetworkKind::MyrinetGm);
+    assert!(my_avg > sc_avg, "myrinet {my_avg} vs score {sc_avg}");
+    assert!(sc_avg > tcp_avg, "score {sc_avg} vs tcp {tcp_avg}");
+    // The paper's warning sign: TCP spread dwarfs SCore's.
+    assert!(tcp_max / tcp_min > 2.0 * (sc_max / sc_min));
+}
+
+#[test]
+fn slower_cpus_shift_the_balance_toward_computation() {
+    // Ablation on the CPU factor: a half-speed CPU makes the same
+    // communication look relatively cheaper.
+    let sys = quick_system();
+    let mut point = ExperimentPoint::focal(4);
+    let fast = measure_with_model(&sys, point, 2, model());
+    // Scale the cost model to a 0.5 GHz part.
+    let mut cluster = point.cluster();
+    cluster.cpu.ghz = 0.5;
+    point.procs = 4;
+    let cfg = MdConfig {
+        steps: 2,
+        ..MdConfig::paper_protocol(model(), Middleware::Mpi, cluster)
+    };
+    let slow_report = cpc_charmm::run_parallel_md(&sys, &cfg);
+    let slow = cpc_workload::runner::summarize(point, &slow_report);
+    assert!(
+        slow.energy_pct.0 > fast.energy_pct.0,
+        "comp share must grow on slower CPUs"
+    );
+    assert!(slow.energy_time() > fast.energy_time());
+}
