@@ -1,0 +1,244 @@
+//! Fault-injection survivability campaign: runs the myoglobin workload
+//! under a sweep of packet-loss rates, straggler severities and rank
+//! crashes on each network, and reports survivability (did the run
+//! complete, with how many survivors) and overhead (wall time and
+//! recovery time versus the fault-free run).
+//!
+//! ```text
+//! cargo run --release -p cpc-bench --bin fault_sweep [--quick] [--smoke] [--out DIR]
+//! ```
+//!
+//! `--quick` swaps in the small water-box system; `--smoke` is the CI
+//! mode: the quick system on one network with one loss and one crash
+//! scenario.
+
+use cpc_charmm::{run_parallel_md, run_parallel_md_faulty, FaultConfig, MdConfig};
+use cpc_cluster::{ClusterConfig, FaultPlan, NetworkKind};
+use cpc_md::{EnergyModel, System};
+use cpc_mpi::Middleware;
+use cpc_workload::runner::{
+    myoglobin_shared, paper_pme_params, quick_pme_params, quick_system, PAPER_STEPS,
+};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One sweep point's survivability/overhead record.
+struct Row {
+    network: NetworkKind,
+    scenario: String,
+    loss: f64,
+    straggle: f64,
+    crash_at: Option<f64>,
+    wall: f64,
+    /// Wall-time overhead versus the fault-free fault-tolerant
+    /// baseline on the same network (isolates the injected faults'
+    /// cost from the heartbeat/checkpoint cost).
+    overhead: f64,
+    survivors: usize,
+    crashed: Vec<usize>,
+    completed: bool,
+    recoveries: usize,
+    recovery_time: f64,
+    retransmits: u64,
+    msgs_lost: u64,
+}
+
+fn run_point(
+    system: &System,
+    cfg: &MdConfig,
+    plan: FaultPlan,
+    scenario: &str,
+    ref_wall: f64,
+) -> Row {
+    let loss = plan.loss;
+    let straggle = plan
+        .stragglers
+        .iter()
+        .map(|s| s.slowdown)
+        .fold(1.0f64, f64::max);
+    let crash_at = plan.crashes.first().map(|c| c.at);
+    let ft = run_parallel_md_faulty(system, cfg, &FaultConfig::new(plan))
+        .expect("fault sweep run is well-configured");
+    Row {
+        network: cfg.cluster.network,
+        scenario: scenario.to_string(),
+        loss,
+        straggle,
+        crash_at,
+        wall: ft.report.wall_time,
+        overhead: ft.overhead_vs(ref_wall),
+        survivors: ft.survivors,
+        crashed: ft.crashed_ranks.clone(),
+        completed: ft.completed,
+        recoveries: ft.recoveries,
+        recovery_time: ft.recovery_time,
+        retransmits: ft.report.per_rank.iter().map(|s| s.retransmits).sum(),
+        msgs_lost: ft.report.per_rank.iter().map(|s| s.msgs_lost).sum(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let quick = smoke || args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results".to_string());
+
+    let system = if quick {
+        quick_system()
+    } else {
+        myoglobin_shared().clone()
+    };
+    let model = if quick {
+        EnergyModel::Pme(quick_pme_params())
+    } else {
+        EnergyModel::Pme(paper_pme_params())
+    };
+    let (procs, steps) = if smoke {
+        (4usize, 2usize)
+    } else if quick {
+        (4, 3)
+    } else {
+        (8, PAPER_STEPS)
+    };
+    let networks: &[NetworkKind] = if smoke {
+        &[NetworkKind::ScoreGigE]
+    } else {
+        &[
+            NetworkKind::TcpGigE,
+            NetworkKind::ScoreGigE,
+            NetworkKind::MyrinetGm,
+        ]
+    };
+    let loss_rates: &[f64] = if smoke { &[0.05] } else { &[0.01, 0.05] };
+    let stragglers: &[f64] = if smoke { &[] } else { &[1.5, 3.0] };
+    let crash_frac = if smoke { 0.4 } else { 0.5 };
+
+    let mut rows = Vec::new();
+    for &network in networks {
+        let cfg = MdConfig {
+            steps,
+            ..MdConfig::paper_protocol(model, Middleware::Mpi, ClusterConfig::uni(procs, network))
+        };
+        // Fault-free references: the plain driver, and the
+        // fault-tolerant driver with an all-zero plan (its wall-time
+        // delta is the standing heartbeat + checkpoint cost).
+        let plain_wall = run_parallel_md(&system, &cfg).wall_time;
+        let base = run_point(&system, &cfg, FaultPlan::none(), "baseline", plain_wall);
+        let ref_wall = base.wall;
+        println!(
+            "[{network:?}] fault-free: plain {plain_wall:.4} s, ft {ref_wall:.4} s ({:+.1}% FT machinery)",
+            100.0 * (ref_wall / plain_wall - 1.0)
+        );
+        rows.push(base);
+
+        for &loss in loss_rates {
+            let plan = FaultPlan::none().with_loss(loss);
+            rows.push(run_point(&system, &cfg, plan, "loss", ref_wall));
+        }
+        for &s in stragglers {
+            let plan = FaultPlan::none().with_straggler(0, s);
+            rows.push(run_point(&system, &cfg, plan, "straggler", ref_wall));
+        }
+        let crash_t = crash_frac * plain_wall;
+        let plan = FaultPlan::none().with_crash(procs - 1, crash_t);
+        rows.push(run_point(&system, &cfg, plan, "crash", ref_wall));
+        if !smoke {
+            let plan = FaultPlan::none()
+                .with_loss(loss_rates[0])
+                .with_straggler(0, stragglers.first().copied().unwrap_or(1.5))
+                .with_crash(procs - 1, crash_t);
+            rows.push(run_point(&system, &cfg, plan, "combined", ref_wall));
+        }
+    }
+
+    // Human-readable survivability table.
+    let mut md = String::new();
+    let _ = writeln!(md, "# Fault-injection survivability sweep\n");
+    let _ = writeln!(
+        md,
+        "{} system, p = {procs}, {steps} steps, MPI middleware. Overhead is wall time vs the fault-free fault-tolerant baseline on the same network.\n",
+        if quick { "quick water-box" } else { "myoglobin" }
+    );
+    let _ = writeln!(
+        md,
+        "| network | scenario | loss | straggle | crash@ | wall (s) | overhead | survivors | completed | recoveries | recovery (s) | retransmits | lost msgs |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    for r in &rows {
+        let _ = writeln!(
+            md,
+            "| {:?} | {} | {:.2} | {:.1}x | {} | {:.4} | {:+.1}% | {}/{} | {} | {} | {:.4} | {} | {} |",
+            r.network,
+            r.scenario,
+            r.loss,
+            r.straggle,
+            r.crash_at
+                .map(|t| format!("{t:.4}s"))
+                .unwrap_or_else(|| "-".to_string()),
+            r.wall,
+            100.0 * r.overhead,
+            r.survivors,
+            procs,
+            if r.completed { "yes" } else { "NO" },
+            r.recoveries,
+            r.recovery_time,
+            r.retransmits,
+            r.msgs_lost,
+        );
+    }
+
+    let mut csv = String::from(
+        "network,scenario,loss,straggle,crash_at,wall_s,overhead,survivors,crashed,completed,recoveries,recovery_s,retransmits,msgs_lost\n",
+    );
+    for r in &rows {
+        let _ = writeln!(
+            csv,
+            "{:?},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.network,
+            r.scenario,
+            r.loss,
+            r.straggle,
+            r.crash_at.map(|t| t.to_string()).unwrap_or_default(),
+            r.wall,
+            r.overhead,
+            r.survivors,
+            r.crashed
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(";"),
+            r.completed,
+            r.recoveries,
+            r.recovery_time,
+            r.retransmits,
+            r.msgs_lost,
+        );
+    }
+
+    let dir = Path::new(&out);
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let md_path = dir.join("fault_sweep.md");
+    let csv_path = dir.join("fault_sweep.csv");
+    std::fs::write(&md_path, &md).expect("write survivability table");
+    std::fs::write(&csv_path, &csv).expect("write survivability csv");
+
+    print!("{md}");
+    let incomplete = rows.iter().filter(|r| !r.completed).count();
+    println!(
+        "\n{} scenarios, {} completed, {} failed to complete",
+        rows.len(),
+        rows.len() - incomplete,
+        incomplete
+    );
+    println!("artifacts: {} and {}", md_path.display(), csv_path.display());
+    // Survivability gate: every scenario must have completed via
+    // degradation or checkpoint-restart (the whole point of the
+    // subsystem); exit nonzero otherwise so CI catches regressions.
+    if incomplete > 0 {
+        std::process::exit(1);
+    }
+}

@@ -28,10 +28,12 @@ pub mod decomp;
 pub mod driver;
 pub mod pme_par;
 pub mod pme_spatial;
+pub mod recover;
 pub mod report;
 
 pub use classic::{classic_energy_parallel, ClassicResult};
 pub use driver::{run_parallel_md, CommTuning, MdConfig, PmeImpl};
 pub use pme_par::{ParallelPme, PmeParallelResult};
 pub use pme_spatial::SpatialPme;
+pub use recover::{run_parallel_md_faulty, FaultConfig, FtReport};
 pub use report::{RunReport, StepEnergies};

@@ -1,0 +1,494 @@
+//! Fault-tolerant MD driver: the replicated-data loop of
+//! [`crate::driver`] hardened with periodic in-memory checkpoints,
+//! heartbeat-based failure detection and shrinking recovery.
+//!
+//! The replicated-data decomposition makes recovery unusually cheap:
+//! every rank holds the full system state, so when a rank dies the
+//! survivors only need to agree on the new membership, roll back to the
+//! last checkpoint (re-running at most `checkpoint_interval - 1` steps)
+//! and re-partition the work over the smaller communicator. No state
+//! lives exclusively on the dead rank. The cost of that agreement and
+//! rollback is booked under [`Phase::Recovery`] so survivability
+//! reports can separate it from productive work.
+
+use crate::classic::classic_energy_parallel_with;
+use crate::driver::{CommTuning, MdConfig, PmeImpl};
+use crate::pme_par::ParallelPme;
+use crate::pme_spatial::SpatialPme;
+use crate::report::{RunReport, StepEnergies};
+use cpc_cluster::{run_cluster_faulty, CostModel, FaultPlan, Phase, SimError};
+use cpc_md::energy::EnergyModel;
+use cpc_md::neighbor::NeighborList;
+use cpc_md::nonbonded::NonbondedOptions;
+use cpc_md::units::ACCEL_CONV;
+use cpc_md::{System, Vec3};
+use cpc_mpi::Comm;
+
+/// Cost of writing or reading checkpoint state, seconds per byte
+/// (~1 GB/s: a local memory/disk copy, not a network operation).
+const CKPT_BYTE_COST: f64 = 1e-9;
+
+/// Neighbour-list skin (matches [`crate::driver`]).
+const SKIN: f64 = 2.0;
+
+/// Fault-tolerance configuration for a run.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// The fault plan injected into the cluster.
+    pub plan: FaultPlan,
+    /// Steps between checkpoints (a checkpoint is also taken at step
+    /// 0); rollback re-runs at most `checkpoint_interval - 1` steps.
+    pub checkpoint_interval: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            plan: FaultPlan::none(),
+            checkpoint_interval: 2,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Configuration injecting `plan` with the default checkpoint
+    /// cadence.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultConfig {
+            plan,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// Outcome of a fault-tolerant run: the usual report plus
+/// survivability bookkeeping.
+#[derive(Debug, Clone)]
+pub struct FtReport {
+    /// The run report (physics payload from the lowest-ranked
+    /// survivor; per-rank stats from everyone, crashed ranks included).
+    pub report: RunReport,
+    /// Engine ranks that crashed during the run, ascending.
+    pub crashed_ranks: Vec<usize>,
+    /// Ranks still alive at the end.
+    pub survivors: usize,
+    /// Recovery episodes the survivors went through (several ranks
+    /// dying between two heartbeats count as one episode).
+    pub recoveries: usize,
+    /// Wall-clock (virtual) seconds spent in [`Phase::Recovery`],
+    /// maximum over ranks.
+    pub recovery_time: f64,
+    /// Whether the survivors completed all configured steps.
+    pub completed: bool,
+}
+
+impl FtReport {
+    /// Overhead of this run versus a reference (fault-free) wall time:
+    /// `wall / reference - 1`. Negative only if the run died early.
+    pub fn overhead_vs(&self, reference_wall: f64) -> f64 {
+        if reference_wall > 0.0 {
+            self.report.wall_time / reference_wall - 1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// State captured at a checkpoint. Replicated on every rank, so
+/// restoring needs no communication — only the membership agreement
+/// that precedes it.
+struct Checkpoint {
+    step: usize,
+    positions: Vec<Vec3>,
+    velocities: Vec<Vec3>,
+    forces: Vec<Vec3>,
+}
+
+impl Checkpoint {
+    fn bytes(&self) -> f64 {
+        // Three Vec3 arrays of f64.
+        72.0 * self.positions.len() as f64
+    }
+}
+
+enum PmeEngine {
+    Replicated(ParallelPme),
+    Spatial(SpatialPme),
+}
+
+fn make_pme(
+    model: EnergyModel,
+    pme_impl: PmeImpl,
+    tuning: CommTuning,
+    p: usize,
+) -> Option<PmeEngine> {
+    match model {
+        EnergyModel::Pme(params) => Some(match pme_impl {
+            PmeImpl::Replicated => PmeEngine::Replicated(
+                ParallelPme::new(params, p)
+                    .with_grid_sum(tuning.grid_sum)
+                    .with_force_combine(tuning.force_combine),
+            ),
+            PmeImpl::Spatial => {
+                PmeEngine::Spatial(SpatialPme::new(params, p).with_force_combine(tuning.force_combine))
+            }
+        }),
+        EnergyModel::Classic => None,
+    }
+}
+
+/// One full force evaluation over the *current* communicator (same
+/// structure as the closure in [`crate::driver::run_parallel_md`], but
+/// a free function so the PME engine can be rebuilt after a shrink).
+#[allow(clippy::too_many_arguments)]
+fn eval_forces(
+    comm: &mut Comm<'_>,
+    sys: &System,
+    list: &mut NeighborList,
+    opts: &NonbondedOptions,
+    cost: &CostModel,
+    tuning: CommTuning,
+    ppme: Option<&PmeEngine>,
+) -> (Vec<Vec3>, f64, f64) {
+    let p = comm.size();
+    comm.ctx().set_phase(Phase::Classic);
+    if list.needs_rebuild(&sys.pbox, &sys.positions) {
+        list.rebuild(&sys.topology, &sys.pbox, &sys.positions);
+        comm.ctx()
+            .charge_compute(list.pairs.len() as f64 * 2.5 * cost.list_build_pair / p as f64);
+    }
+    comm.barrier();
+    let classic = classic_energy_parallel_with(comm, sys, &list.pairs, opts, cost, tuning.force_combine);
+    let classic_energy = classic.energy();
+    let mut forces = classic.forces;
+    let mut pme_energy = 0.0;
+    if let Some(ppme) = ppme {
+        let kr = match ppme {
+            PmeEngine::Replicated(e) => e.energy_forces(comm, sys, cost),
+            PmeEngine::Spatial(e) => e.energy_forces(comm, sys, cost),
+        };
+        for (f, kf) in forces.iter_mut().zip(&kr.forces) {
+            *f += *kf;
+        }
+        pme_energy = kr.energy();
+        comm.barrier();
+    }
+    (forces, classic_energy, pme_energy)
+}
+
+/// Runs the parallel MD measurement under a fault plan, recovering
+/// from rank crashes by shrinking the communicator and restarting from
+/// the last checkpoint.
+///
+/// Each step: poll for this rank's own scheduled crash, exchange
+/// heartbeats, recover if anyone died, then run one velocity-Verlet
+/// step. Recovery (membership shrink, checkpoint restore, engine
+/// rebuild, re-synchronization) is booked under [`Phase::Recovery`].
+///
+/// With an all-zero plan the trajectory is bit-identical to
+/// [`crate::driver::run_parallel_md`]'s (the heartbeats add control
+/// traffic, so *timing* differs; physics does not).
+pub fn run_parallel_md_faulty(
+    system: &System,
+    cfg: &MdConfig,
+    fault: &FaultConfig,
+) -> Result<FtReport, SimError> {
+    let opts = match cfg.model {
+        EnergyModel::Classic => NonbondedOptions::classic(),
+        EnergyModel::Pme(p) => NonbondedOptions::pme_direct(p.beta),
+    };
+    let model = cfg.model;
+    let steps = cfg.steps;
+    let dt = cfg.dt;
+    let middleware = cfg.middleware;
+    let tuning = cfg.tuning;
+    let pme_impl = cfg.pme_impl;
+    let ckpt_every = fault.checkpoint_interval.max(1);
+
+    let outcomes = run_cluster_faulty(cfg.cluster, fault.plan.clone(), |ctx| {
+        let cost = ctx.config().cost;
+        let mut comm = Comm::new(ctx, middleware);
+        let mut sys = system.clone();
+        let mut ppme = make_pme(model, pme_impl, tuning, comm.size());
+
+        comm.ctx().set_phase(Phase::Classic);
+        let mut list =
+            NeighborList::build(&sys.topology, &sys.pbox, &sys.positions, opts.cutoff, SKIN);
+        comm.ctx().charge_compute(
+            list.pairs.len() as f64 * 2.5 * cost.list_build_pair / comm.size() as f64,
+        );
+
+        let mut energies_log: Vec<StepEnergies> = Vec::with_capacity(steps);
+        let (mut forces, _, _) =
+            eval_forces(&mut comm, &sys, &mut list, &opts, &cost, tuning, ppme.as_ref());
+
+        // Step-0 checkpoint, so even an immediate crash is recoverable.
+        let mut ckpt = Checkpoint {
+            step: 0,
+            positions: sys.positions.clone(),
+            velocities: sys.velocities.clone(),
+            forces: forces.clone(),
+        };
+        comm.ctx().set_phase(Phase::Other);
+        comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
+
+        let mut step = 0usize;
+        let mut recoveries = 0usize;
+        loop {
+            // Failure detection epoch: my own scheduled crash first (a
+            // rank either heartbeats or is seen dead by *everyone*),
+            // then the liveness exchange.
+            comm.ctx().set_phase(Phase::Other);
+            comm.ctx().poll_crash();
+            let dead = comm.heartbeat();
+            if !dead.is_empty() {
+                // Recovery: agree on membership, roll back, rebuild.
+                comm.ctx().set_phase(Phase::Recovery);
+                comm.shrink(&dead);
+                sys.positions.clone_from(&ckpt.positions);
+                sys.velocities.clone_from(&ckpt.velocities);
+                forces.clone_from(&ckpt.forces);
+                step = ckpt.step;
+                energies_log.truncate(step);
+                comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
+                // The decomposition width changed: slab-partitioned PME
+                // state must be rebuilt for the surviving ranks.
+                ppme = make_pme(model, pme_impl, tuning, comm.size());
+                if list.needs_rebuild(&sys.pbox, &sys.positions) {
+                    list.rebuild(&sys.topology, &sys.pbox, &sys.positions);
+                    comm.ctx().charge_compute(
+                        list.pairs.len() as f64 * 2.5 * cost.list_build_pair
+                            / comm.size() as f64,
+                    );
+                }
+                recoveries += 1;
+                // Re-synchronize the survivors before resuming; a
+                // straggling crash notice must not be mistaken for
+                // progress, so tolerate (and record) errors here.
+                let _ = comm.try_barrier();
+                continue;
+            }
+            if step >= steps {
+                break;
+            }
+
+            // One velocity-Verlet step over the current members.
+            let p = comm.size();
+            comm.ctx().set_phase(Phase::Integrate);
+            let n = sys.n_atoms();
+            let my_atoms = crate::decomp::block_range(n, p, comm.rank());
+            for i in my_atoms.clone() {
+                let inv_m = ACCEL_CONV / sys.topology.atoms[i].class.mass();
+                let v_half = sys.velocities[i] + forces[i] * (0.5 * dt * inv_m);
+                sys.velocities[i] = v_half;
+                sys.positions[i] += v_half * dt;
+            }
+            comm.ctx()
+                .charge_compute(my_atoms.len() as f64 * cost.integrate_atom);
+
+            let mine: Vec<f64> = sys.positions[my_atoms.clone()]
+                .iter()
+                .flat_map(|v| [v.x, v.y, v.z])
+                .collect();
+            let parts = comm.allgather(mine);
+            for (src, part) in parts.iter().enumerate() {
+                let range = crate::decomp::block_range(n, p, src);
+                for (k, i) in range.enumerate() {
+                    sys.positions[i] = Vec3::new(part[3 * k], part[3 * k + 1], part[3 * k + 2]);
+                }
+            }
+
+            let (new_forces, e_classic, e_pme) =
+                eval_forces(&mut comm, &sys, &mut list, &opts, &cost, tuning, ppme.as_ref());
+            forces = new_forces;
+
+            comm.ctx().set_phase(Phase::Integrate);
+            for i in my_atoms.clone() {
+                let inv_m = ACCEL_CONV / sys.topology.atoms[i].class.mass();
+                sys.velocities[i] += forces[i] * (0.5 * dt * inv_m);
+            }
+            comm.ctx()
+                .charge_compute(my_atoms.len() as f64 * cost.integrate_atom);
+            let mine: Vec<f64> = sys.velocities[my_atoms.clone()]
+                .iter()
+                .flat_map(|v| [v.x, v.y, v.z])
+                .collect();
+            let parts = comm.allgather(mine);
+            for (src, part) in parts.iter().enumerate() {
+                let range = crate::decomp::block_range(n, p, src);
+                for (k, i) in range.enumerate() {
+                    sys.velocities[i] = Vec3::new(part[3 * k], part[3 * k + 1], part[3 * k + 2]);
+                }
+            }
+
+            energies_log.push(StepEnergies {
+                classic: e_classic,
+                pme: e_pme,
+                kinetic: sys.kinetic_energy(),
+            });
+            step += 1;
+
+            if step % ckpt_every == 0 {
+                ckpt = Checkpoint {
+                    step,
+                    positions: sys.positions.clone(),
+                    velocities: sys.velocities.clone(),
+                    forces: forces.clone(),
+                };
+                comm.ctx().set_phase(Phase::Other);
+                comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
+            }
+        }
+        (energies_log, sys.positions, sys.velocities, recoveries)
+    })?;
+
+    let crashed_ranks: Vec<usize> = outcomes
+        .iter()
+        .filter(|o| o.crashed)
+        .map(|o| o.rank)
+        .collect();
+    let survivors = outcomes.len() - crashed_ranks.len();
+    let wall_time = outcomes
+        .iter()
+        .filter(|o| !o.crashed)
+        .map(|o| o.finish_time)
+        .fold(0.0, f64::max);
+    let recovery_time = outcomes
+        .iter()
+        .map(|o| o.stats.bucket(Phase::Recovery).total())
+        .fold(0.0, f64::max);
+
+    let mut step_energies = Vec::new();
+    let mut final_positions = Vec::new();
+    let mut final_velocities = Vec::new();
+    let mut recoveries = 0usize;
+    for o in &outcomes {
+        if let Some((e, p, v, r)) = &o.result {
+            recoveries = recoveries.max(*r);
+            if step_energies.is_empty() {
+                step_energies = e.clone();
+                final_positions = p.clone();
+                final_velocities = v.clone();
+            }
+        }
+    }
+    let completed = survivors > 0 && step_energies.len() == steps;
+    let per_rank = outcomes.into_iter().map(|o| o.stats).collect();
+
+    Ok(FtReport {
+        report: RunReport {
+            cluster: cfg.cluster,
+            middleware: cfg.middleware,
+            steps: cfg.steps,
+            per_rank,
+            wall_time,
+            step_energies,
+            final_positions,
+            final_velocities,
+        },
+        crashed_ranks,
+        survivors,
+        recoveries,
+        recovery_time,
+        completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_parallel_md;
+    use cpc_cluster::{ClusterConfig, NetworkKind};
+    use cpc_mpi::Middleware;
+
+    fn test_system() -> System {
+        let mut sys = cpc_md::builder::water_box(2, 3.1);
+        cpc_md::minimize::minimize(&mut sys, EnergyModel::Classic, 40);
+        sys.assign_velocities(150.0, 3);
+        sys
+    }
+
+    fn test_cfg(p: usize, steps: usize) -> MdConfig {
+        MdConfig {
+            steps,
+            ..MdConfig::paper_protocol(
+                EnergyModel::Classic,
+                Middleware::Mpi,
+                ClusterConfig::uni(p, NetworkKind::ScoreGigE),
+            )
+        }
+    }
+
+    #[test]
+    fn zero_plan_matches_plain_driver_physics() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 3);
+        let plain = run_parallel_md(&sys, &cfg);
+        let ft = run_parallel_md_faulty(&sys, &cfg, &FaultConfig::default()).unwrap();
+        assert!(ft.completed);
+        assert!(ft.crashed_ranks.is_empty());
+        assert_eq!(ft.recoveries, 0);
+        assert_eq!(ft.recovery_time, 0.0);
+        // Heartbeats change timing, never physics: bit-identical state.
+        assert_eq!(ft.report.final_positions, plain.final_positions);
+        assert_eq!(ft.report.final_velocities, plain.final_velocities);
+    }
+
+    #[test]
+    fn crash_recovers_from_checkpoint_and_completes() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 4);
+        // Crash rank 2 mid-run (about half the fault-free wall time).
+        let wall = run_parallel_md(&sys, &cfg).wall_time;
+        let fault = FaultConfig::new(FaultPlan::none().with_crash(2, 0.5 * wall));
+        let ft = run_parallel_md_faulty(&sys, &cfg, &fault).unwrap();
+        assert_eq!(ft.crashed_ranks, vec![2]);
+        assert_eq!(ft.survivors, 2);
+        assert!(ft.completed, "survivors finish all steps");
+        assert!(ft.recoveries >= 1);
+        assert!(ft.recovery_time > 0.0, "recovery is booked time");
+        assert_eq!(ft.report.step_energies.len(), 4);
+        // Replicated-data restart preserves the trajectory: the
+        // re-run steps recompute the same physics.
+        let plain = run_parallel_md(&sys, &cfg);
+        let max_dev = ft
+            .report
+            .final_positions
+            .iter()
+            .zip(&plain.final_positions)
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 1e-7, "max deviation {max_dev}");
+    }
+
+    #[test]
+    fn immediate_crash_restarts_from_step_zero() {
+        let sys = test_system();
+        let cfg = test_cfg(4, 2);
+        let fault = FaultConfig::new(FaultPlan::none().with_crash(1, 0.0));
+        let ft = run_parallel_md_faulty(&sys, &cfg, &fault).unwrap();
+        assert_eq!(ft.crashed_ranks, vec![1]);
+        assert_eq!(ft.survivors, 3);
+        assert!(ft.completed);
+        assert_eq!(ft.report.step_energies.len(), 2);
+    }
+
+    #[test]
+    fn faulty_runs_replay_bit_identically() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 3);
+        let wall = run_parallel_md(&sys, &cfg).wall_time;
+        let fault = FaultConfig::new(
+            FaultPlan::none()
+                .with_loss(0.05)
+                .with_straggler(0, 1.5)
+                .with_crash(2, 0.5 * wall),
+        );
+        let run = || run_parallel_md_faulty(&sys, &cfg, &fault).unwrap();
+        let (a, b) = (run(), run());
+        assert_eq!(a.report.wall_time, b.report.wall_time);
+        assert_eq!(a.report.final_positions, b.report.final_positions);
+        assert_eq!(a.recovery_time, b.recovery_time);
+        assert_eq!(a.crashed_ranks, b.crashed_ranks);
+    }
+}

@@ -2,9 +2,17 @@
 //! operations over the virtual cluster, implemented — as in CHARMM —
 //! entirely on top of point-to-point messages, so every collective's
 //! cost emerges from the network model.
+//!
+//! A communicator addresses peers by *logical* rank and carries a
+//! member table mapping logical ranks to engine ranks. At construction
+//! the mapping is the identity (zero observable difference from
+//! addressing engine ranks directly); after a failure it can be
+//! [shrunk](Comm::shrink) to the survivors, which renumbers logical
+//! ranks densely so every collective keeps working on the smaller
+//! group without change.
 
 use crate::middleware::{CombineAlgo, Middleware};
-use cpc_cluster::{MsgClass, OpShape, RankCtx};
+use cpc_cluster::{CommError, MsgClass, OpShape, RankCtx};
 
 /// Tag space layout: collectives use `epoch << 8 | op`, user messages
 /// use the high bit.
@@ -20,6 +28,27 @@ mod op {
     pub const GATHER: u64 = 6;
     pub const SYNC_RING: u64 = 7;
     pub const ALLGATHER: u64 = 8;
+    pub const HEARTBEAT: u64 = 9;
+}
+
+/// Bounded-retry policy for reliable user-level point-to-point
+/// messaging over lossy links (used with
+/// [`Comm::send_with_retry`] / [`Comm::recv_with_retry`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff growth factor between attempts (sender-side timer).
+    pub backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff: 2.0,
+        }
+    }
 }
 
 /// An MPI-like communicator bound to one rank's execution context.
@@ -27,26 +56,46 @@ pub struct Comm<'a> {
     ctx: &'a mut RankCtx,
     middleware: Middleware,
     epoch: u64,
+    /// Engine ranks of the live members, ascending. Identity at
+    /// construction.
+    members: Vec<usize>,
+    /// This rank's index in `members` (its logical rank).
+    my_local: usize,
 }
 
 impl<'a> Comm<'a> {
     /// Wraps a rank context with the chosen middleware style.
     pub fn new(ctx: &'a mut RankCtx, middleware: Middleware) -> Self {
+        let members: Vec<usize> = (0..ctx.size()).collect();
+        let my_local = ctx.rank();
         Comm {
             ctx,
             middleware,
             epoch: 0,
+            members,
+            my_local,
         }
     }
 
-    /// This rank.
+    /// This rank's logical rank within the (possibly shrunken)
+    /// communicator.
     pub fn rank(&self) -> usize {
-        self.ctx.rank()
+        self.my_local
     }
 
-    /// Number of ranks.
+    /// Number of live members.
     pub fn size(&self) -> usize {
-        self.ctx.size()
+        self.members.len()
+    }
+
+    /// This rank's engine (original) rank, stable across shrinks.
+    pub fn global_rank(&self) -> usize {
+        self.members[self.my_local]
+    }
+
+    /// Engine ranks of the live members, in logical-rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
     }
 
     /// The middleware in use.
@@ -59,15 +108,85 @@ impl<'a> Comm<'a> {
         self.ctx
     }
 
+    /// Engine rank of logical rank `local`.
+    fn g(&self, local: usize) -> usize {
+        self.members[local]
+    }
+
+    /// Engine rank of logical member `local` (for group communicators
+    /// layered on top of this one).
+    pub(crate) fn to_global(&self, local: usize) -> usize {
+        self.members[local]
+    }
+
     fn next_epoch(&mut self, op_id: u64) -> u64 {
         self.epoch += 1;
         (self.epoch << 8) | op_id
     }
 
+    /// Removes dead members (named by *engine* rank) from the
+    /// communicator and renumbers logical ranks densely. Must be called
+    /// collectively by every survivor with the same `dead` set — the
+    /// set returned by [`heartbeat`](Comm::heartbeat) is such a set.
+    ///
+    /// # Panics
+    /// If the calling rank itself is in `dead`.
+    pub fn shrink(&mut self, dead: &[usize]) {
+        let me = self.global_rank();
+        assert!(!dead.contains(&me), "rank {me} cannot shrink itself away");
+        self.members.retain(|r| !dead.contains(r));
+        self.my_local = self
+            .members
+            .iter()
+            .position(|&r| r == me)
+            .expect("surviving rank stays a member");
+    }
+
+    /// Liveness exchange: every member sends a heartbeat control
+    /// message to every other member and collects theirs. Returns the
+    /// *engine* ranks of members found dead (crashed peers), which is
+    /// identical on every survivor: a peer either completed this epoch
+    /// (its heartbeats are in flight to everyone) or crashed at a
+    /// safe point before sending any of them.
+    ///
+    /// Heartbeats ride the reliable control channel, so loss can delay
+    /// but never drop them.
+    pub fn heartbeat(&mut self) -> Vec<usize> {
+        let p = self.size();
+        let tag = self.next_epoch(op::HEARTBEAT);
+        if p == 1 {
+            return Vec::new();
+        }
+        let shape = OpShape::new(1, p);
+        for d in 0..p {
+            if d == self.my_local {
+                continue;
+            }
+            let dst = self.g(d);
+            self.ctx.send(dst, tag, Vec::new(), MsgClass::Control, shape);
+        }
+        let mut dead = Vec::new();
+        for s in 0..p {
+            if s == self.my_local {
+                continue;
+            }
+            let src = self.g(s);
+            match self.ctx.recv_result(src, tag) {
+                Ok(_) => {}
+                Err(CommError::PeerDead { peer, .. }) => dead.push(peer),
+                // Control messages never tombstone; any other error
+                // would be a protocol bug surfaced elsewhere.
+                Err(_) => {}
+            }
+        }
+        dead
+    }
+
     /// Blocking user-level send.
     pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+        let gdst = self.g(dst);
         self.ctx.send(
-            dst,
+            gdst,
             USER_TAG_BASE | tag,
             data,
             MsgClass::Payload,
@@ -77,7 +196,83 @@ impl<'a> Comm<'a> {
 
     /// Blocking user-level receive.
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
-        self.ctx.recv(src, USER_TAG_BASE | tag).data
+        let gsrc = self.g(src);
+        self.ctx.recv(gsrc, USER_TAG_BASE | tag).data
+    }
+
+    /// Fault-aware user-level receive: surfaces
+    /// [`CommError::Timeout`] for a message the transport gave up on
+    /// and [`CommError::PeerDead`] for a crashed sender, instead of
+    /// blocking forever.
+    pub fn try_recv(&mut self, src: usize, tag: u64) -> Result<Vec<f64>, CommError> {
+        let gsrc = self.g(src);
+        self.ctx
+            .recv_result(gsrc, USER_TAG_BASE | tag)
+            .map(|m| m.data)
+    }
+
+    /// Reliable user-level send over a lossy link: bounded retries with
+    /// sender-side exponential backoff between attempts. Returns the
+    /// number of *extra* attempts used (0 = first try delivered).
+    ///
+    /// Pair with [`recv_with_retry`](Comm::recv_with_retry) using the
+    /// same tag and policy. Retry tags use bits 48..56 of the user tag
+    /// space, so `tag` must be below 2^48.
+    pub fn send_with_retry(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        data: Vec<f64>,
+        policy: RetryPolicy,
+    ) -> Result<u32, CommError> {
+        debug_assert!(tag < (1 << 48), "retry tags use bits 48..56");
+        let gdst = self.g(dst);
+        let base = self.ctx.net().rto_floor();
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let t = self.user_tag(tag) | ((attempt as u64) << 48);
+            let outcome = self
+                .ctx
+                .send(gdst, t, data.clone(), MsgClass::Payload, OpShape::p2p());
+            if outcome.delivered {
+                return Ok(attempt);
+            }
+            // Wait out the (backed-off) application-level timer before
+            // the next attempt.
+            self.ctx.charge_wait(base * policy.backoff.powi(attempt as i32));
+        }
+        Err(CommError::Timeout {
+            peer: gdst,
+            tag,
+            at: self.ctx.now(),
+        })
+    }
+
+    /// Receiving side of [`send_with_retry`](Comm::send_with_retry):
+    /// consumes tombstones attempt by attempt until a delivery, a dead
+    /// peer, or the policy is exhausted.
+    pub fn recv_with_retry(
+        &mut self,
+        src: usize,
+        tag: u64,
+        policy: RetryPolicy,
+    ) -> Result<Vec<f64>, CommError> {
+        debug_assert!(tag < (1 << 48), "retry tags use bits 48..56");
+        let gsrc = self.g(src);
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 0..attempts {
+            let t = self.user_tag(tag) | ((attempt as u64) << 48);
+            match self.ctx.recv_result(gsrc, t) {
+                Ok(m) => return Ok(m.data),
+                Err(e @ CommError::PeerDead { .. }) => return Err(e),
+                Err(_) => {} // tombstone for this attempt: wait for the next
+            }
+        }
+        Err(CommError::Timeout {
+            peer: gsrc,
+            tag,
+            at: self.ctx.now(),
+        })
     }
 
     /// Maps a user tag into the reserved user tag space.
@@ -85,12 +280,13 @@ impl<'a> Comm<'a> {
         USER_TAG_BASE | tag
     }
 
-    /// Blocking receive on a raw (already namespaced) tag.
+    /// Blocking receive on a raw (already namespaced) tag addressed by
+    /// *engine* rank.
     pub(crate) fn raw_recv(&mut self, src: usize, tag: u64) -> cpc_cluster::Msg {
         self.ctx.recv(src, tag)
     }
 
-    /// Probe on a raw tag (no time advance).
+    /// Probe on a raw tag (no time advance), addressed by engine rank.
     pub(crate) fn raw_probe(&self, src: usize, tag: u64) -> bool {
         self.ctx_ref().probe(src, tag)
     }
@@ -109,6 +305,17 @@ impl<'a> Comm<'a> {
         }
     }
 
+    /// Fault-aware barrier: degrades instead of hanging. A dead peer's
+    /// contribution is treated as satisfied (its crash notice releases
+    /// the hop), the protocol runs to completion so no survivor is
+    /// left blocked, and the first failure observed is returned.
+    pub fn try_barrier(&mut self) -> Result<(), CommError> {
+        match self.middleware {
+            Middleware::Mpi => self.try_tree_barrier(),
+            Middleware::Cmpi => self.try_ring_sync(),
+        }
+    }
+
     fn tree_barrier(&mut self) {
         let p = self.size();
         if p == 1 {
@@ -124,12 +331,13 @@ impl<'a> Comm<'a> {
         let mut mask = 1usize;
         while mask < p {
             if rank & mask != 0 {
-                self.ctx
-                    .send(rank - mask, up, Vec::new(), MsgClass::Control, shape);
+                let dst = self.g(rank - mask);
+                self.ctx.send(dst, up, Vec::new(), MsgClass::Control, shape);
                 break;
             }
             if rank + mask < p {
-                self.ctx.recv(rank + mask, up);
+                let src = self.g(rank + mask);
+                self.ctx.recv(src, up);
             }
             mask <<= 1;
         }
@@ -138,18 +346,70 @@ impl<'a> Comm<'a> {
         // Find the level at which this rank receives its release.
         if rank != 0 {
             let lowest = rank & rank.wrapping_neg(); // lowest set bit
-            self.ctx.recv(rank - lowest, down);
+            let src = self.g(rank - lowest);
+            self.ctx.recv(src, down);
             mask = lowest >> 1;
         }
         while mask >= 1 {
             if rank + mask < p {
+                let dst = self.g(rank + mask);
                 self.ctx
-                    .send(rank + mask, down, Vec::new(), MsgClass::Control, shape);
-            }
-            if mask == 0 {
-                break;
+                    .send(dst, down, Vec::new(), MsgClass::Control, shape);
             }
             mask >>= 1;
+        }
+    }
+
+    fn try_tree_barrier(&mut self) -> Result<(), CommError> {
+        let p = self.size();
+        if p == 1 {
+            self.epoch += 1;
+            return Ok(());
+        }
+        let up = self.next_epoch(op::BARRIER_UP);
+        let down = (self.epoch << 8) | op::BARRIER_DOWN;
+        let rank = self.rank();
+        let shape = OpShape::new(1, p);
+        let mut first_err: Option<CommError> = None;
+
+        let mut mask = 1usize;
+        while mask < p {
+            if rank & mask != 0 {
+                let dst = self.g(rank - mask);
+                self.ctx.send(dst, up, Vec::new(), MsgClass::Control, shape);
+                break;
+            }
+            if rank + mask < p {
+                let src = self.g(rank + mask);
+                if let Err(e) = self.ctx.recv_result(src, up) {
+                    // Dead child: its subtree counts as arrived.
+                    first_err.get_or_insert(e);
+                }
+            }
+            mask <<= 1;
+        }
+        let mut mask = p.next_power_of_two() >> 1;
+        if rank != 0 {
+            let lowest = rank & rank.wrapping_neg();
+            let src = self.g(rank - lowest);
+            if let Err(e) = self.ctx.recv_result(src, down) {
+                // Dead parent: release ourselves, keep releasing the
+                // subtree below so nobody hangs.
+                first_err.get_or_insert(e);
+            }
+            mask = lowest >> 1;
+        }
+        while mask >= 1 {
+            if rank + mask < p {
+                let dst = self.g(rank + mask);
+                self.ctx
+                    .send(dst, down, Vec::new(), MsgClass::Control, shape);
+            }
+            mask >>= 1;
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -162,9 +422,10 @@ impl<'a> Comm<'a> {
         if p == 1 {
             return;
         }
+        let rank = self.rank();
         for k in 1..p {
-            let dst = (self.rank() + k) % p;
-            let src = (self.rank() + p - k) % p;
+            let dst = self.g((rank + k) % p);
+            let src = self.g((rank + p - k) % p);
             self.ctx.send(
                 dst,
                 tag + ((k as u64) << 40),
@@ -173,6 +434,34 @@ impl<'a> Comm<'a> {
                 OpShape::repeated(1, p),
             );
             self.ctx.recv(src, tag + ((k as u64) << 40));
+        }
+    }
+
+    fn try_ring_sync(&mut self) -> Result<(), CommError> {
+        let p = self.size();
+        let tag = self.next_epoch(op::SYNC_RING);
+        if p == 1 {
+            return Ok(());
+        }
+        let rank = self.rank();
+        let mut first_err: Option<CommError> = None;
+        for k in 1..p {
+            let dst = self.g((rank + k) % p);
+            let src = self.g((rank + p - k) % p);
+            self.ctx.send(
+                dst,
+                tag + ((k as u64) << 40),
+                Vec::new(),
+                MsgClass::Control,
+                OpShape::repeated(1, p),
+            );
+            if let Err(e) = self.ctx.recv_result(src, tag + ((k as u64) << 40)) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -202,12 +491,14 @@ impl<'a> Comm<'a> {
         while mask < p {
             if rank & mask != 0 {
                 let payload = std::mem::take(data);
+                let dst = self.g(rank - mask);
                 self.ctx
-                    .send(rank - mask, reduce_tag, payload, MsgClass::Payload, shape);
+                    .send(dst, reduce_tag, payload, MsgClass::Payload, shape);
                 break;
             }
             if rank + mask < p {
-                let msg = self.ctx.recv(rank + mask, reduce_tag);
+                let src = self.g(rank + mask);
+                let msg = self.ctx.recv(src, reduce_tag);
                 add_into(data, &msg.data);
                 // The reduction arithmetic itself is part of the
                 // communication routine in CHARMM; charge a small
@@ -232,8 +523,8 @@ impl<'a> Comm<'a> {
             return;
         }
         let rank = self.rank();
-        let right = (rank + 1) % p;
-        let left = (rank + p - 1) % p;
+        let right = self.g((rank + 1) % p);
+        let left = self.g((rank + p - 1) % p);
         let n = data.len();
         let block = |b: usize| crate::block_range(n, p, b);
 
@@ -289,18 +580,21 @@ impl<'a> Comm<'a> {
         let shape = OpShape::new(p - 1, p);
         if rank == 0 {
             for src in 1..p {
-                let msg = self.ctx.recv(src, tag);
+                let gsrc = self.g(src);
+                let msg = self.ctx.recv(gsrc, tag);
                 add_into(data, &msg.data);
                 self.ctx.charge_compute(4e-9 * msg.data.len() as f64);
             }
             for dst in 1..p {
+                let gdst = self.g(dst);
                 self.ctx
-                    .send(dst, tag + (1 << 40), data.clone(), MsgClass::Payload, shape);
+                    .send(gdst, tag + (1 << 40), data.clone(), MsgClass::Payload, shape);
             }
         } else {
             let payload = std::mem::take(data);
-            self.ctx.send(0, tag, payload, MsgClass::Payload, shape);
-            *data = self.ctx.recv(0, tag + (1 << 40)).data;
+            let root = self.g(0);
+            self.ctx.send(root, tag, payload, MsgClass::Payload, shape);
+            *data = self.ctx.recv(root, tag + (1 << 40)).data;
         }
         self.close_split_group();
     }
@@ -341,13 +635,13 @@ impl<'a> Comm<'a> {
 
         if vrank != 0 {
             let lowest = vrank & vrank.wrapping_neg();
-            let parent = ((vrank - lowest) + root) % p;
+            let parent = self.g(((vrank - lowest) + root) % p);
             let msg = self.ctx.recv(parent, tag);
             *data = msg.data;
             let mut mask = lowest >> 1;
             while mask >= 1 {
                 if vrank + mask < p {
-                    let child = ((vrank + mask) + root) % p;
+                    let child = self.g(((vrank + mask) + root) % p);
                     self.ctx
                         .send(child, tag, data.clone(), MsgClass::Payload, shape);
                 }
@@ -356,12 +650,10 @@ impl<'a> Comm<'a> {
         } else {
             let mut mask = p.next_power_of_two() >> 1;
             while mask >= 1 {
-                if mask < p {
-                    let child = ((vrank + mask) + root) % p;
-                    if vrank + mask < p {
-                        self.ctx
-                            .send(child, tag, data.clone(), MsgClass::Payload, shape);
-                    }
+                if mask < p && vrank + mask < p {
+                    let child = self.g(((vrank + mask) + root) % p);
+                    self.ctx
+                        .send(child, tag, data.clone(), MsgClass::Payload, shape);
                 }
                 mask >>= 1;
             }
@@ -380,13 +672,15 @@ impl<'a> Comm<'a> {
             #[allow(clippy::needless_range_loop)]
             for src in 0..p {
                 if src != root {
-                    parts[src] = self.ctx.recv(src, tag).data;
+                    let gsrc = self.g(src);
+                    parts[src] = self.ctx.recv(gsrc, tag).data;
                 }
             }
             Some(parts)
         } else {
+            let groot = self.g(root);
             self.ctx
-                .send(root, tag, data, MsgClass::Payload, OpShape::new(p - 1, p));
+                .send(groot, tag, data, MsgClass::Payload, OpShape::new(p - 1, p));
             None
         };
         self.close_split_group();
@@ -403,8 +697,8 @@ impl<'a> Comm<'a> {
         if p == 1 {
             return parts;
         }
-        let right = (rank + 1) % p;
-        let left = (rank + p - 1) % p;
+        let right = self.g((rank + 1) % p);
+        let left = self.g((rank + p - 1) % p);
         // Ring: in step s, forward the block received in step s-1.
         let mut cursor = rank;
         for s in 0..p - 1 {
@@ -426,25 +720,58 @@ impl<'a> Comm<'a> {
 
     /// Scatters rank-indexed blocks from `root`: rank `r` receives
     /// `parts[r]`. Only the root supplies `parts`.
+    ///
+    /// # Panics
+    /// On a protocol violation (root without blocks, wrong block
+    /// count), with a message naming the offending rank. Use
+    /// [`try_scatter`](Comm::try_scatter) to handle those as values.
     pub fn scatter(&mut self, root: usize, parts: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        match self.try_scatter(root, parts) {
+            Ok(block) => block,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible scatter: protocol violations come back as
+    /// [`CommError::Protocol`] naming the offending rank instead of a
+    /// panic. (On an error return the collective is aborted locally;
+    /// peers blocked on the root will only unblock if the root
+    /// crashes or resends — exactly as with the panicking variant.)
+    pub fn try_scatter(
+        &mut self,
+        root: usize,
+        parts: Option<Vec<Vec<f64>>>,
+    ) -> Result<Vec<f64>, CommError> {
         let p = self.size();
         let tag = self.next_epoch(op::GATHER);
         let result = if self.rank() == root {
-            let mut parts = parts.expect("root must supply the blocks");
-            assert_eq!(parts.len(), p, "one block per rank");
+            let Some(mut parts) = parts else {
+                return Err(CommError::Protocol {
+                    rank: self.global_rank(),
+                    what: "scatter root called without its blocks".to_string(),
+                });
+            };
+            if parts.len() != p {
+                return Err(CommError::Protocol {
+                    rank: self.global_rank(),
+                    what: format!("scatter needs one block per rank: got {}, p={p}", parts.len()),
+                });
+            }
             let shape = OpShape::new(p - 1, p);
             let mine = std::mem::take(&mut parts[root]);
             for (dst, block) in parts.into_iter().enumerate() {
                 if dst != root {
-                    self.ctx.send(dst, tag, block, MsgClass::Payload, shape);
+                    let gdst = self.g(dst);
+                    self.ctx.send(gdst, tag, block, MsgClass::Payload, shape);
                 }
             }
             mine
         } else {
-            self.ctx.recv(root, tag).data
+            let groot = self.g(root);
+            self.ctx.recv(groot, tag).data
         };
         self.close_split_group();
-        result
+        Ok(result)
     }
 
     /// Sum-reduction to `root` only (no broadcast back): returns
@@ -455,19 +782,19 @@ impl<'a> Comm<'a> {
         let result = if p == 1 {
             Some(data)
         } else if self.rank() == root {
-            let shape = OpShape::new(p - 1, p);
-            let _ = shape;
             for src in 0..p {
                 if src != root {
-                    let msg = self.ctx.recv(src, tag);
+                    let gsrc = self.g(src);
+                    let msg = self.ctx.recv(gsrc, tag);
                     add_into(&mut data, &msg.data);
                     self.ctx.charge_compute(4e-9 * msg.data.len() as f64);
                 }
             }
             Some(data)
         } else {
+            let groot = self.g(root);
             self.ctx
-                .send(root, tag, data, MsgClass::Payload, OpShape::new(p - 1, p));
+                .send(groot, tag, data, MsgClass::Payload, OpShape::new(p - 1, p));
             None
         };
         self.close_split_group();
@@ -497,14 +824,16 @@ impl<'a> Comm<'a> {
                     let dst = (rank + k) % p;
                     let src = (rank + p - k) % p;
                     let block = std::mem::take(&mut sends[dst]);
+                    let gdst = self.g(dst);
+                    let gsrc = self.g(src);
                     self.ctx.send(
-                        dst,
+                        gdst,
                         tag + ((k as u64) << 40),
                         block,
                         MsgClass::Payload,
                         OpShape::new(1, p),
                     );
-                    recvs[src] = self.ctx.recv(src, tag + ((k as u64) << 40)).data;
+                    recvs[src] = self.ctx.recv(gsrc, tag + ((k as u64) << 40)).data;
                 }
             }
             Middleware::Cmpi => {
@@ -512,10 +841,11 @@ impl<'a> Comm<'a> {
                 for k in 1..p {
                     let dst = (rank + k) % p;
                     let block = std::mem::take(&mut sends[dst]);
+                    let gdst = self.g(dst);
                     // Split groups push every message at once: the
                     // receiver endpoint sees p-1 concurrent flows.
                     self.ctx.send(
-                        dst,
+                        gdst,
                         tag + ((k as u64) << 40),
                         block,
                         MsgClass::Payload,
@@ -524,7 +854,8 @@ impl<'a> Comm<'a> {
                 }
                 for k in 1..p {
                     let src = (rank + p - k) % p;
-                    recvs[src] = self.ctx.recv(src, tag + ((k as u64) << 40)).data;
+                    let gsrc = self.g(src);
+                    recvs[src] = self.ctx.recv(gsrc, tag + ((k as u64) << 40)).data;
                 }
                 self.ring_sync();
             }
@@ -543,7 +874,7 @@ fn add_into(acc: &mut [f64], other: &[f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cpc_cluster::{run_cluster, ClusterConfig, NetworkKind, Phase};
+    use cpc_cluster::{run_cluster, run_cluster_faulty, ClusterConfig, FaultPlan, NetworkKind, Phase};
 
     fn for_each_config(f: impl Fn(usize, Middleware)) {
         for p in [1usize, 2, 3, 4, 5, 8] {
@@ -683,6 +1014,22 @@ mod tests {
     }
 
     #[test]
+    fn scatter_without_blocks_is_a_typed_protocol_error() {
+        let cfg = ClusterConfig::uni(1, NetworkKind::ScoreGigE);
+        let out = run_cluster(cfg, |ctx| {
+            let mut comm = Comm::new(ctx, Middleware::Mpi);
+            comm.try_scatter(0, None)
+        });
+        match &out[0].result {
+            Err(CommError::Protocol { rank, what }) => {
+                assert_eq!(*rank, 0);
+                assert!(what.contains("without its blocks"));
+            }
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn reduce_sum_lands_only_at_root() {
         for_each_config(|p, mw| {
             let cfg = ClusterConfig::uni(p, NetworkKind::TcpGigE);
@@ -692,7 +1039,10 @@ mod tests {
             });
             let expect0: f64 = (1..=p).map(|k| k as f64).sum();
             assert_eq!(
-                out[0].result.as_ref().unwrap(),
+                out[0]
+                    .result
+                    .as_ref()
+                    .expect("root rank 0 holds the reduced result"),
                 &vec![expect0, 2.0 * p as f64]
             );
             for o in &out[1..] {
@@ -788,5 +1138,137 @@ mod tests {
             out.iter().map(|o| o.finish_time).collect::<Vec<_>>()
         };
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn heartbeat_detects_crashed_peer_consistently() {
+        for mw in Middleware::ALL {
+            let cfg = ClusterConfig::uni(4, NetworkKind::ScoreGigE);
+            let plan = FaultPlan::none().with_crash(2, 0.0);
+            let out = run_cluster_faulty(cfg, plan, |ctx| {
+                ctx.charge_compute(1e-6);
+                ctx.poll_crash(); // rank 2 dies here
+                let mut comm = Comm::new(ctx, mw);
+                comm.heartbeat()
+            })
+            .unwrap();
+            for o in &out {
+                if o.rank == 2 {
+                    assert!(o.crashed);
+                } else {
+                    assert_eq!(
+                        o.result.as_ref().expect("survivor"),
+                        &vec![2],
+                        "mw={mw:?} rank {}",
+                        o.rank
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrunken_comm_runs_collectives_among_survivors() {
+        for mw in Middleware::ALL {
+            let cfg = ClusterConfig::uni(4, NetworkKind::ScoreGigE);
+            let plan = FaultPlan::none().with_crash(1, 0.0);
+            let out = run_cluster_faulty(cfg, plan, |ctx| {
+                ctx.charge_compute(1e-6);
+                ctx.poll_crash();
+                let mut comm = Comm::new(ctx, mw);
+                let dead = comm.heartbeat();
+                comm.shrink(&dead);
+                assert_eq!(comm.size(), 3);
+                // Survivors 0, 2, 3 get logical ranks 0, 1, 2.
+                let mut v = vec![comm.global_rank() as f64];
+                comm.allreduce_sum(&mut v);
+                let gathered = comm.allgather(vec![comm.rank() as f64]);
+                comm.barrier();
+                (v[0], gathered.len())
+            })
+            .unwrap();
+            for o in &out {
+                if o.rank == 1 {
+                    assert!(o.crashed);
+                } else {
+                    let (sum, parts) = o.result.expect("survivor");
+                    assert_eq!(sum, 5.0, "0 + 2 + 3, mw={mw:?}");
+                    assert_eq!(parts, 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_barrier_degrades_instead_of_hanging() {
+        for mw in Middleware::ALL {
+            let cfg = ClusterConfig::uni(4, NetworkKind::ScoreGigE);
+            let plan = FaultPlan::none().with_crash(3, 0.0);
+            let out = run_cluster_faulty(cfg, plan, |ctx| {
+                ctx.charge_compute(1e-6);
+                ctx.poll_crash();
+                let mut comm = Comm::new(ctx, mw);
+                comm.try_barrier()
+            })
+            .unwrap();
+            for o in &out {
+                if o.rank == 3 {
+                    assert!(o.crashed);
+                } else {
+                    // Everyone returns; whoever talked to the dead rank
+                    // reports it, nobody hangs.
+                    assert!(o.result.is_some(), "rank {} returned", o.rank);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retry_pair_recovers_from_loss_and_reports_exhaustion() {
+        // 100% loss with 1 transport retransmit: every payload attempt
+        // tombstones, so the retry pair exhausts its policy on both
+        // sides deterministically.
+        let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+        let plan = FaultPlan::none().with_loss(1.0).with_max_retransmits(1);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: 2.0,
+        };
+        let out = run_cluster_faulty(cfg, plan, move |ctx| {
+            let mut comm = Comm::new(ctx, Middleware::Mpi);
+            if comm.rank() == 0 {
+                match comm.send_with_retry(1, 5, vec![1.0; 8], policy) {
+                    Err(CommError::Timeout { peer, tag, .. }) => (peer, tag),
+                    other => panic!("expected exhaustion, got {other:?}"),
+                }
+            } else {
+                match comm.recv_with_retry(0, 5, policy) {
+                    Err(CommError::Timeout { peer, tag, .. }) => (peer, tag),
+                    other => panic!("expected exhaustion, got {other:?}"),
+                }
+            }
+        })
+        .unwrap();
+        assert_eq!(out[0].result.unwrap(), (1, 5));
+        assert_eq!(out[1].result.unwrap().1, 5);
+        // Partial loss: the pair succeeds with high probability; just
+        // check determinism of the whole exchange.
+        let plan2 = FaultPlan::none().with_loss(0.4).with_max_retransmits(1);
+        let run = || {
+            let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+            run_cluster_faulty(cfg, plan2.clone(), move |ctx| {
+                let mut comm = Comm::new(ctx, Middleware::Mpi);
+                if comm.rank() == 0 {
+                    comm.send_with_retry(1, 6, vec![2.0; 64], policy).is_ok()
+                } else {
+                    comm.recv_with_retry(0, 6, policy).is_ok()
+                }
+            })
+            .unwrap()
+            .iter()
+            .map(|o| (o.result.unwrap(), o.finish_time))
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 }

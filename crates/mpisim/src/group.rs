@@ -60,9 +60,15 @@ impl<'b> GroupComm<'_, 'b> {
         self.members.len()
     }
 
-    /// Global rank of group member `local`.
+    /// Parent-communicator rank of group member `local`.
     pub fn global_rank(&self, local: usize) -> usize {
         self.members[local]
+    }
+
+    /// Engine rank of group member `local` (members hold parent-comm
+    /// logical ranks; the parent maps those to engine ranks).
+    fn g(&self, local: usize) -> usize {
+        self.comm.to_global(self.members[local])
     }
 
     /// The underlying full communicator.
@@ -77,7 +83,7 @@ impl<'b> GroupComm<'_, 'b> {
 
     /// Point-to-point send to a *local* rank.
     pub fn send(&mut self, dst_local: usize, tag: u64, data: Vec<f64>) {
-        let dst = self.members[dst_local];
+        let dst = self.g(dst_local);
         let shape = OpShape::p2p();
         self.comm.ctx().send(
             dst,
@@ -90,7 +96,7 @@ impl<'b> GroupComm<'_, 'b> {
 
     /// Point-to-point receive from a *local* rank.
     pub fn recv(&mut self, src_local: usize, tag: u64) -> Msg {
-        let src = self.members[src_local];
+        let src = self.g(src_local);
         let t = self.salt | (tag << 4) | 0xF;
         self.comm.ctx().recv(src, t)
     }
@@ -102,8 +108,8 @@ impl<'b> GroupComm<'_, 'b> {
             return;
         }
         let tag = self.tag(1);
-        let right = self.members[(self.local_rank + 1) % p];
-        let left = self.members[(self.local_rank + p - 1) % p];
+        let right = self.g((self.local_rank + 1) % p);
+        let left = self.g((self.local_rank + p - 1) % p);
         // Two half-rings ensure everyone has entered before anyone leaves.
         for round in 0..2u64 {
             self.comm.ctx().send(
@@ -124,8 +130,8 @@ impl<'b> GroupComm<'_, 'b> {
             return;
         }
         let tag = self.tag(2);
-        let right = self.members[(self.local_rank + 1) % p];
-        let left = self.members[(self.local_rank + p - 1) % p];
+        let right = self.g((self.local_rank + 1) % p);
+        let left = self.g((self.local_rank + p - 1) % p);
         let n = data.len();
         let rank = self.local_rank;
         let block = |b: usize| crate::block_range(n, p, b);

@@ -34,7 +34,8 @@ pub mod group;
 pub mod middleware;
 pub mod nonblocking;
 
-pub use comm::Comm;
+pub use comm::{Comm, RetryPolicy};
+pub use cpc_cluster::CommError;
 pub use group::GroupComm;
 pub use middleware::{CombineAlgo, Middleware};
 pub use nonblocking::{RecvRequest, SendRequest};

@@ -38,12 +38,13 @@ impl Drop for SendRequest {
 #[derive(Debug)]
 #[must_use = "a posted receive must be waited on"]
 pub struct RecvRequest {
+    /// Engine rank (resolved from the logical rank when posted).
     src: usize,
     tag: u64,
 }
 
 impl RecvRequest {
-    /// Source rank this receive is matched against.
+    /// Engine rank this receive is matched against.
     pub fn source(&self) -> usize {
         self.src
     }
@@ -65,15 +66,16 @@ impl Comm<'_> {
     /// Posts a nonblocking user-level send.
     pub fn isend(&mut self, dst: usize, tag: u64, data: Vec<f64>) -> SendRequest {
         let t = self.user_tag(tag);
+        let gdst = self.to_global(dst);
         self.ctx()
-            .send(dst, t, data, MsgClass::Payload, OpShape::p2p());
+            .send(gdst, t, data, MsgClass::Payload, OpShape::p2p());
         SendRequest { completed: false }
     }
 
     /// Posts a nonblocking user-level receive.
     pub fn irecv(&mut self, src: usize, tag: u64) -> RecvRequest {
         RecvRequest {
-            src,
+            src: self.to_global(src),
             tag: self.user_tag(tag),
         }
     }

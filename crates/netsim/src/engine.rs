@@ -13,14 +13,27 @@
 //!   the receive overhead; the elapsed virtual time is booked as
 //!   communication (payload) or synchronization (control), matching the
 //!   paper's time classification.
+//!
+//! Fault injection (see [`crate::faults`]) preserves all of the above:
+//! lost messages are re-costed through the retransmission model *at
+//! send time*, a given-up message is delivered as a tombstone (so the
+//! receiver unblocks deterministically and gets a typed
+//! [`CommError::Timeout`]), and a crashing rank enqueues crash notices
+//! into every mailbox before unwinding, so any later receive from it
+//! surfaces [`CommError::PeerDead`] instead of blocking forever.
 
 use crate::cluster::ClusterConfig;
+use crate::faults::{FaultPlan, LinkFault};
 use crate::netmodel::{NetworkParams, OpShape, TransferCtx};
 use crate::rng::SplitMix64;
 use crate::stats::{MsgClass, Phase, RankStats, ThroughputSample};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Reserved tag carried by crash notices. User code must not send with
+/// this tag.
+pub const CRASH_TAG: u64 = u64::MAX;
 
 /// A message in flight (or delivered).
 #[derive(Debug, Clone)]
@@ -37,8 +50,108 @@ pub struct Msg {
     pub class: MsgClass,
     /// Virtual time the message left the sender.
     pub departure: f64,
-    /// Virtual time the message reaches the receiver.
+    /// Virtual time the message reaches the receiver (for a tombstone:
+    /// the time the sending transport gave up).
     pub arrival: f64,
+    /// True for a tombstone: the transport gave up retransmitting and
+    /// the payload never arrives. Only
+    /// [`recv_result`](RankCtx::recv_result) consumes tombstones.
+    pub lost: bool,
+}
+
+/// Typed communication failure surfaced by the fault-aware receive
+/// paths instead of blocking forever.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// The peer's transport gave up delivering the awaited message (or
+    /// the receive-side watchdog fired on a lost message).
+    Timeout {
+        /// The peer rank the message was expected from.
+        peer: usize,
+        /// The awaited tag.
+        tag: u64,
+        /// Virtual time the error surfaced on the receiver.
+        at: f64,
+    },
+    /// The peer rank crashed and will never send again.
+    PeerDead {
+        /// The crashed rank.
+        peer: usize,
+        /// Virtual time the error surfaced on the receiver.
+        at: f64,
+    },
+    /// A collective was invoked inconsistently (programming error),
+    /// named after the offending rank.
+    Protocol {
+        /// The rank that broke the protocol.
+        rank: usize,
+        /// What went wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { peer, tag, at } => {
+                write!(f, "timeout waiting for rank {peer} (tag {tag:#x}) at t={at:.6}s")
+            }
+            CommError::PeerDead { peer, at } => {
+                write!(f, "rank {peer} is dead (detected at t={at:.6}s)")
+            }
+            CommError::Protocol { rank, what } => {
+                write!(f, "protocol error on rank {rank}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Typed simulation-level failure from the cluster entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The cluster configuration failed validation.
+    InvalidConfig(String),
+    /// The fault plan failed validation against the configuration.
+    InvalidFaultPlan(String),
+    /// A rank body panicked (a genuine bug, not a simulated crash).
+    RankPanicked {
+        /// The rank whose body panicked.
+        rank: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidConfig(why) => write!(f, "invalid cluster configuration: {why}"),
+            SimError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
+            SimError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of a send on the modeled transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendOutcome {
+    /// False when the transport gave up and delivered a tombstone.
+    pub delivered: bool,
+    /// Retransmission rounds the transfer went through.
+    pub retransmits: u32,
+}
+
+/// Unwind payload of a simulated crash (distinguished from genuine
+/// panics by `catch_unwind` downcasting).
+struct CrashUnwind {
+    #[allow(dead_code)]
+    rank: usize,
 }
 
 struct Mailbox {
@@ -49,6 +162,11 @@ struct Mailbox {
 struct Shared {
     config: ClusterConfig,
     net: NetworkParams,
+    plan: FaultPlan,
+    /// Per-rank CPU slowdown from straggler nodes (1.0 = nominal).
+    straggle: Vec<f64>,
+    /// Per-rank scheduled crash time, if any.
+    crash_at: Vec<Option<f64>>,
     mailboxes: Vec<Mailbox>,
 }
 
@@ -80,6 +198,17 @@ impl RankCtx {
         &self.shared.config
     }
 
+    /// The network parameters of this cluster.
+    pub fn net(&self) -> &NetworkParams {
+        &self.shared.net
+    }
+
+    /// The fault plan of this run ([`FaultPlan::none`] for the plain
+    /// entry points).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.shared.plan
+    }
+
     /// Current virtual time in seconds.
     pub fn now(&self) -> f64 {
         self.clock
@@ -96,13 +225,61 @@ impl RankCtx {
     }
 
     /// Charges `seconds` of computation (expressed at the calibration
-    /// clock; node clock scaling and SMP memory contention are applied
-    /// here).
+    /// clock; node clock scaling, SMP memory contention, and straggler
+    /// slowdown are applied here).
     pub fn charge_compute(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0);
-        let t = seconds * self.shared.config.compute_scale(self.rank);
+        let t = seconds
+            * self.shared.config.compute_scale(self.rank)
+            * self.shared.straggle[self.rank];
         self.clock += t;
-        self.stats.bucket_mut(self.phase).comp += t;
+        self.stats.bucket_mut(self.phase).book_comp(t);
+    }
+
+    /// Advances the clock by a pure waiting period (timer/backoff
+    /// sleep), booked as synchronization. Straggler slowdown does not
+    /// apply: timers tick in wall time.
+    pub fn charge_wait(&mut self, seconds: f64) {
+        self.clock += seconds;
+        self.stats.bucket_mut(self.phase).book_sync(seconds);
+    }
+
+    /// If this rank is scheduled to crash and its clock has reached the
+    /// crash time, deliver crash notices to every peer and unwind.
+    ///
+    /// Fault-tolerant drivers call this at safe points (step/epoch
+    /// boundaries) so a rank never dies mid-collective. The unwind is
+    /// caught by [`run_cluster_faulty`] and reported as a crashed
+    /// outcome, not a panic.
+    pub fn poll_crash(&mut self) {
+        if let Some(t) = self.shared.crash_at[self.rank] {
+            if self.clock >= t {
+                self.crash_now();
+            }
+        }
+    }
+
+    fn crash_now(&mut self) -> ! {
+        for dst in 0..self.size() {
+            if dst == self.rank {
+                continue;
+            }
+            let mb = &self.shared.mailboxes[dst];
+            mb.queue.lock().push_back(Msg {
+                src: self.rank,
+                tag: CRASH_TAG,
+                data: Vec::new(),
+                bytes: 0,
+                class: MsgClass::Control,
+                departure: self.clock,
+                arrival: self.clock,
+                lost: false,
+            });
+            mb.cv.notify_all();
+        }
+        // resume_unwind skips the panic hook: a simulated crash is not
+        // a bug and must not spam stderr with backtraces.
+        std::panic::resume_unwind(Box::new(CrashUnwind { rank: self.rank }));
     }
 
     /// Sends a message. Eager/buffered semantics: the sender only pays
@@ -110,10 +287,22 @@ impl RankCtx {
     ///
     /// `shape` describes the enclosing operation (endpoint flow
     /// contention and participant count), driving the TCP congestion,
-    /// jitter and tiny-message models.
-    pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>, class: MsgClass, shape: OpShape) {
+    /// jitter and tiny-message models. Under a lossy [`FaultPlan`] the
+    /// transfer is re-costed through the retransmission model; when the
+    /// transport gives up, a tombstone is enqueued instead (the
+    /// receiver surfaces it as [`CommError::Timeout`] via
+    /// [`recv_result`](Self::recv_result)).
+    pub fn send(
+        &mut self,
+        dst: usize,
+        tag: u64,
+        data: Vec<f64>,
+        class: MsgClass,
+        shape: OpShape,
+    ) -> SendOutcome {
         assert!(dst < self.size(), "invalid destination {dst}");
         assert_ne!(dst, self.rank, "self-send not supported");
+        debug_assert_ne!(tag, CRASH_TAG, "CRASH_TAG is reserved");
         let cfg = &self.shared.config;
         let bytes = match class {
             MsgClass::Payload => (data.len() * 8).max(1),
@@ -132,17 +321,40 @@ impl RankCtx {
             v
         };
         let mut rng = SplitMix64::for_message(cfg.seed, self.rank, dst, counter);
-        let t = self.shared.net.transfer(bytes, &ctx, &mut rng);
+        let mut fault = if self.shared.plan.is_zero() {
+            LinkFault::clean()
+        } else {
+            self.shared
+                .plan
+                .link_fault(self.rank, dst, self.clock, ctx.same_node)
+        };
+        if class == MsgClass::Control {
+            // Control traffic (barrier hops, heartbeats) rides a
+            // reliable channel: it may stall, it never disappears.
+            // This keeps failure detection consistent across ranks.
+            fault.give_up = false;
+        }
+        let t = self.shared.net.transfer_faulty(bytes, &ctx, &mut rng, &fault);
 
         // Sender overhead is CPU time on the sending rank.
-        self.clock += t.send_overhead;
+        self.clock += t.time.send_overhead;
         match class {
-            MsgClass::Payload => self.stats.bucket_mut(self.phase).comm += t.send_overhead,
-            MsgClass::Control => self.stats.bucket_mut(self.phase).sync += t.send_overhead,
+            MsgClass::Payload => self
+                .stats
+                .bucket_mut(self.phase)
+                .book_comm(t.time.send_overhead),
+            MsgClass::Control => self
+                .stats
+                .bucket_mut(self.phase)
+                .book_sync(t.time.send_overhead),
         }
         let departure = self.clock;
-        let arrival = departure + t.wire;
+        let arrival = departure + t.time.wire;
         self.stats.msgs_sent += 1;
+        self.stats.retransmits += t.retransmits as u64;
+        if !t.delivered {
+            self.stats.msgs_lost += 1;
+        }
         if class == MsgClass::Payload {
             self.stats.bytes_sent += bytes as u64;
         }
@@ -160,15 +372,25 @@ impl RankCtx {
             class,
             departure,
             arrival,
+            lost: !t.delivered,
         };
         let mb = &self.shared.mailboxes[dst];
         mb.queue.lock().push_back(msg);
         mb.cv.notify_all();
+        SendOutcome {
+            delivered: t.delivered,
+            retransmits: t.retransmits,
+        }
     }
 
     /// Blocking receive of the next message from `src` with `tag`
     /// (FIFO per channel). Advances the virtual clock to the completion
     /// time and books the elapsed time by message class.
+    ///
+    /// This path is infallible and ignores tombstones and crash
+    /// notices; fault-aware code must use
+    /// [`recv_result`](Self::recv_result) instead, or it will block
+    /// forever on a lost message or dead peer.
     pub fn recv(&mut self, src: usize, tag: u64) -> Msg {
         assert!(src < self.size(), "invalid source {src}");
         assert_ne!(src, self.rank, "self-receive not supported");
@@ -176,20 +398,94 @@ impl RankCtx {
             let mb = &self.shared.mailboxes[self.rank];
             let mut q = mb.queue.lock();
             loop {
-                if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+                if let Some(pos) = q
+                    .iter()
+                    .position(|m| m.src == src && m.tag == tag && !m.lost)
+                {
                     break q.remove(pos).expect("position valid");
                 }
                 mb.cv.wait(&mut q);
             }
         };
+        self.complete_recv(msg)
+    }
 
+    /// Fault-aware blocking receive: like [`recv`](Self::recv), but a
+    /// tombstone (the sender's transport gave up) surfaces as
+    /// [`CommError::Timeout`] and a crashed peer surfaces as
+    /// [`CommError::PeerDead`], after the receiver's watchdog period.
+    pub fn recv_result(&mut self, src: usize, tag: u64) -> Result<Msg, CommError> {
+        assert!(src < self.size(), "invalid source {src}");
+        assert_ne!(src, self.rank, "self-receive not supported");
+        enum Got {
+            Delivered(Msg),
+            Tombstone(Msg),
+            Dead(f64),
+        }
+        let got = {
+            let mb = &self.shared.mailboxes[self.rank];
+            let mut q = mb.queue.lock();
+            loop {
+                // FIFO per channel: take the first matching message,
+                // delivered or tombstone, in arrival order.
+                if let Some(pos) = q.iter().position(|m| m.src == src && m.tag == tag) {
+                    let m = q.remove(pos).expect("position valid");
+                    break if m.lost {
+                        Got::Tombstone(m)
+                    } else {
+                        Got::Delivered(m)
+                    };
+                }
+                // No matching message: a crash notice from the peer
+                // means none will ever come. The notice is *not*
+                // consumed — every later receive must see it too.
+                if let Some(at) = q
+                    .iter()
+                    .find(|m| m.src == src && m.tag == CRASH_TAG)
+                    .map(|m| m.arrival)
+                {
+                    break Got::Dead(at);
+                }
+                mb.cv.wait(&mut q);
+            }
+        };
+        let watchdog = self.shared.plan.watchdog_timeout;
+        match got {
+            Got::Delivered(msg) => Ok(self.complete_recv(msg)),
+            Got::Tombstone(msg) => {
+                // The receiver learns of the loss one watchdog period
+                // after the point the message could last have arrived.
+                let completion = self.clock.max(msg.arrival) + watchdog;
+                let elapsed = completion - self.clock;
+                self.clock = completion;
+                self.stats.bucket_mut(self.phase).book_sync(elapsed);
+                Err(CommError::Timeout {
+                    peer: src,
+                    tag,
+                    at: completion,
+                })
+            }
+            Got::Dead(at) => {
+                let completion = self.clock.max(at) + watchdog;
+                let elapsed = completion - self.clock;
+                self.clock = completion;
+                self.stats.bucket_mut(self.phase).book_sync(elapsed);
+                Err(CommError::PeerDead {
+                    peer: src,
+                    at: completion,
+                })
+            }
+        }
+    }
+
+    fn complete_recv(&mut self, msg: Msg) -> Msg {
         let net = &self.shared.net;
         let completion = self.clock.max(msg.arrival) + net.recv_overhead;
         let elapsed = completion - self.clock;
         self.clock = completion;
         match msg.class {
             MsgClass::Payload => {
-                self.stats.bucket_mut(self.phase).comm += elapsed;
+                self.stats.bucket_mut(self.phase).book_comm(elapsed);
                 let wire = (msg.arrival - msg.departure).max(1e-12);
                 self.stats.throughput.push(ThroughputSample {
                     node: self.shared.config.node_of(self.rank),
@@ -197,16 +493,19 @@ impl RankCtx {
                     rate: msg.bytes as f64 / wire,
                 });
             }
-            MsgClass::Control => self.stats.bucket_mut(self.phase).sync += elapsed,
+            MsgClass::Control => self.stats.bucket_mut(self.phase).book_sync(elapsed),
         }
         msg
     }
 
-    /// Non-blocking probe: is a message from `src` with `tag` already
-    /// queued? (Does not advance time.)
+    /// Non-blocking probe: is a (delivered) message from `src` with
+    /// `tag` already queued? (Does not advance time.)
     pub fn probe(&self, src: usize, tag: u64) -> bool {
         let mb = &self.shared.mailboxes[self.rank];
-        mb.queue.lock().iter().any(|m| m.src == src && m.tag == tag)
+        mb.queue
+            .lock()
+            .iter()
+            .any(|m| m.src == src && m.tag == tag && !m.lost)
     }
 }
 
@@ -223,20 +522,110 @@ pub struct RankOutcome<T> {
     pub finish_time: f64,
 }
 
+/// Result of one rank's execution under fault injection.
+#[derive(Debug, Clone)]
+pub struct FaultyOutcome<T> {
+    /// Rank id.
+    pub rank: usize,
+    /// Value returned by the rank body; `None` when the rank crashed.
+    pub result: Option<T>,
+    /// True when the rank died through a scheduled [`FaultPlan`] crash.
+    pub crashed: bool,
+    /// Timing statistics up to completion or crash.
+    pub stats: RankStats,
+    /// Final virtual clock (at completion or crash).
+    pub finish_time: f64,
+}
+
+impl<T> FaultyOutcome<T> {
+    /// True when the rank ran to completion.
+    pub fn survived(&self) -> bool {
+        !self.crashed
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `body` on every rank of the configured virtual cluster and
 /// returns the outcomes ordered by rank.
 ///
 /// The body executes on real threads with real shared-nothing message
 /// passing; virtual time is deterministic for a fixed configuration.
+///
+/// Panics on an invalid configuration or a panicking rank body (with
+/// the typed [`SimError`] message naming the offending rank); use
+/// [`try_run_cluster`] to handle those as values.
 pub fn run_cluster<T, F>(config: ClusterConfig, body: F) -> Vec<RankOutcome<T>>
 where
     T: Send,
     F: Fn(&mut RankCtx) -> T + Sync,
 {
-    config.validate().expect("valid cluster configuration");
+    match try_run_cluster(config, body) {
+        Ok(outcomes) => outcomes,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`run_cluster`]: configuration problems and
+/// panicking rank bodies come back as typed [`SimError`]s naming the
+/// offending rank instead of panics.
+pub fn try_run_cluster<T, F>(config: ClusterConfig, body: F) -> Result<Vec<RankOutcome<T>>, SimError>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    let outcomes = run_cluster_faulty(config, FaultPlan::none(), body)?;
+    Ok(outcomes
+        .into_iter()
+        .map(|o| RankOutcome {
+            rank: o.rank,
+            result: o.result.expect("no crashes under an empty fault plan"),
+            stats: o.stats,
+            finish_time: o.finish_time,
+        })
+        .collect())
+}
+
+/// Runs `body` on every rank under a [`FaultPlan`].
+///
+/// Ranks scheduled to crash unwind at their next
+/// [`poll_crash`](RankCtx::poll_crash) point and are reported as
+/// crashed outcomes (with the statistics collected up to the crash);
+/// a *genuine* panic in the body is reported as
+/// [`SimError::RankPanicked`] naming the rank.
+///
+/// With [`FaultPlan::none`] this is exactly [`run_cluster`]: same
+/// random draws, bit-identical virtual times.
+pub fn run_cluster_faulty<T, F>(
+    config: ClusterConfig,
+    plan: FaultPlan,
+    body: F,
+) -> Result<Vec<FaultyOutcome<T>>, SimError>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    config.validate().map_err(SimError::InvalidConfig)?;
+    plan.validate(config.ranks, config.nodes())
+        .map_err(SimError::InvalidFaultPlan)?;
+    let straggle = (0..config.ranks)
+        .map(|r| plan.straggle_factor(config.node_of(r)))
+        .collect();
+    let crash_at = (0..config.ranks).map(|r| plan.crash_time(r)).collect();
     let shared = Arc::new(Shared {
         config,
         net: config.network.params(),
+        plan,
+        straggle,
+        crash_at,
         mailboxes: (0..config.ranks)
             .map(|_| Mailbox {
                 queue: Mutex::new(VecDeque::new()),
@@ -245,7 +634,8 @@ where
             .collect(),
     });
 
-    let mut outcomes: Vec<Option<RankOutcome<T>>> = (0..config.ranks).map(|_| None).collect();
+    let mut outcomes: Vec<Option<FaultyOutcome<T>>> = (0..config.ranks).map(|_| None).collect();
+    let mut error: Option<SimError> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(config.ranks);
         for rank in 0..config.ranks {
@@ -260,23 +650,49 @@ where
                     counters: vec![0; config.ranks],
                     stats: RankStats::default(),
                 };
-                let result = body(&mut ctx);
-                RankOutcome {
-                    rank,
-                    result,
-                    stats: ctx.stats,
-                    finish_time: ctx.clock,
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+                match result {
+                    Ok(value) => Ok(FaultyOutcome {
+                        rank,
+                        result: Some(value),
+                        crashed: false,
+                        stats: ctx.stats,
+                        finish_time: ctx.clock,
+                    }),
+                    Err(payload) if payload.is::<CrashUnwind>() => Ok(FaultyOutcome {
+                        rank,
+                        result: None,
+                        crashed: true,
+                        stats: ctx.stats,
+                        finish_time: ctx.clock,
+                    }),
+                    Err(payload) => Err(panic_message(payload.as_ref())),
                 }
             }));
         }
         for (rank, h) in handles.into_iter().enumerate() {
-            outcomes[rank] = Some(h.join().expect("rank thread panicked"));
+            match h.join() {
+                Ok(Ok(outcome)) => outcomes[rank] = Some(outcome),
+                Ok(Err(message)) => {
+                    error.get_or_insert(SimError::RankPanicked { rank, message });
+                }
+                Err(payload) => {
+                    error.get_or_insert(SimError::RankPanicked {
+                        rank,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
         }
     });
-    outcomes
+    if let Some(e) = error {
+        return Err(e);
+    }
+    Ok(outcomes
         .into_iter()
         .map(|o| o.expect("all ranks joined"))
-        .collect()
+        .collect())
 }
 
 /// Wall-clock time of a run: the maximum finish time over ranks.
@@ -361,6 +777,44 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.finish_time, y.finish_time, "rank {}", x.rank);
             assert_eq!(x.stats.total().comm, y.stats.total().comm);
+        }
+    }
+
+    #[test]
+    fn zero_plan_faulty_run_is_bit_identical_to_run_cluster() {
+        let cfg = ClusterConfig::uni(4, NetworkKind::TcpGigE);
+        let workload = |ctx: &mut RankCtx| {
+            let p = ctx.size();
+            ctx.set_phase(Phase::Pme);
+            ctx.charge_compute(0.001 * (ctx.rank() + 1) as f64);
+            for other in 0..p {
+                if other == ctx.rank() {
+                    continue;
+                }
+                ctx.send(
+                    other,
+                    7,
+                    vec![ctx.rank() as f64; 1000],
+                    MsgClass::Payload,
+                    OpShape::new(p - 1, p),
+                );
+            }
+            for other in 0..p {
+                if other == ctx.rank() {
+                    continue;
+                }
+                ctx.recv(other, 7);
+            }
+            ctx.now()
+        };
+        let plain = run_cluster(cfg, workload);
+        let faulty = run_cluster_faulty(cfg, FaultPlan::none(), workload).unwrap();
+        for (a, b) in plain.iter().zip(&faulty) {
+            assert!(b.survived());
+            assert_eq!(a.finish_time.to_bits(), b.finish_time.to_bits());
+            assert_eq!(a.stats.total(), b.stats.total());
+            assert_eq!(b.stats.retransmits, 0);
+            assert_eq!(b.stats.msgs_lost, 0);
         }
     }
 
@@ -499,5 +953,174 @@ mod tests {
             }
         });
         assert!(out[1].result > 0.0);
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let cfg = ClusterConfig::uni(0, NetworkKind::TcpGigE);
+        match try_run_cluster(cfg, |_ctx| ()) {
+            Err(SimError::InvalidConfig(_)) => {}
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_a_typed_error() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::TcpGigE);
+        let plan = FaultPlan::none().with_crash(7, 1.0);
+        match run_cluster_faulty(cfg, plan, |_ctx| ()) {
+            Err(SimError::InvalidFaultPlan(_)) => {}
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_panic_is_a_typed_error_naming_the_rank() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::TcpGigE);
+        let result = run_cluster_faulty(cfg, FaultPlan::none(), |ctx| {
+            if ctx.rank() == 1 {
+                panic!("deliberate test panic");
+            }
+        });
+        match result {
+            Err(SimError::RankPanicked { rank, message }) => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("deliberate test panic"));
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straggler_slows_only_its_node() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+        let plan = FaultPlan::none().with_straggler(1, 3.0);
+        let out = run_cluster_faulty(cfg, plan, |ctx| {
+            ctx.charge_compute(1.0);
+            ctx.now()
+        })
+        .unwrap();
+        let t0 = out[0].finish_time;
+        let t1 = out[1].finish_time;
+        assert!((t1 / t0 - 3.0).abs() < 1e-9, "{t0} vs {t1}");
+    }
+
+    #[test]
+    fn crash_surfaces_peer_dead_and_crashed_outcome() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+        let plan = FaultPlan::none().with_crash(1, 0.5);
+        let out = run_cluster_faulty(cfg, plan, |ctx| {
+            ctx.charge_compute(1.0);
+            ctx.poll_crash(); // rank 1 dies here (clock 1.0 >= 0.5)
+            if ctx.rank() == 0 {
+                match ctx.recv_result(1, 9) {
+                    Err(CommError::PeerDead { peer, at }) => {
+                        assert_eq!(peer, 1);
+                        assert!(at >= 1.0);
+                    }
+                    other => panic!("expected PeerDead, got {other:?}"),
+                }
+            }
+            ctx.now()
+        })
+        .unwrap();
+        assert!(out[0].survived());
+        assert!(out[1].crashed);
+        assert!(out[1].result.is_none());
+        assert!((out[1].finish_time - 1.0).abs() < 1e-12);
+        // A second receive from the dead peer fails too (the notice is
+        // not consumed).
+        assert!(out[0].finish_time > 1.0);
+    }
+
+    #[test]
+    fn lost_payload_surfaces_timeout() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+        let plan = FaultPlan::none().with_loss(1.0).with_max_retransmits(2);
+        let out = run_cluster_faulty(cfg, plan, |ctx| {
+            if ctx.rank() == 0 {
+                let s = ctx.send(1, 4, vec![1.0; 64], MsgClass::Payload, OpShape::p2p());
+                assert!(!s.delivered);
+                assert_eq!(s.retransmits, 2);
+            } else {
+                match ctx.recv_result(0, 4) {
+                    Err(CommError::Timeout { peer, tag, .. }) => {
+                        assert_eq!((peer, tag), (0, 4));
+                    }
+                    other => panic!("expected Timeout, got {other:?}"),
+                }
+            }
+            ctx.now()
+        })
+        .unwrap();
+        assert_eq!(out[0].stats.msgs_lost, 1);
+        assert_eq!(out[0].stats.retransmits, 2);
+        // The receiver booked the watchdog wait as synchronization.
+        assert!(out[1].stats.total().sync > 0.0);
+    }
+
+    #[test]
+    fn control_messages_survive_total_loss() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+        let plan = FaultPlan::none().with_loss(1.0).with_max_retransmits(2);
+        let out = run_cluster_faulty(cfg, plan, |ctx| {
+            if ctx.rank() == 0 {
+                let s = ctx.send(1, 4, Vec::new(), MsgClass::Control, OpShape::p2p());
+                assert!(s.delivered, "control never gives up");
+            } else {
+                ctx.recv_result(0, 4).expect("control message arrives");
+            }
+            ctx.now()
+        })
+        .unwrap();
+        assert_eq!(out[0].stats.msgs_lost, 0);
+        assert!(out[0].stats.retransmits > 0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let cfg = ClusterConfig::uni(4, NetworkKind::TcpGigE);
+        let plan = FaultPlan::none()
+            .with_loss(0.2)
+            .with_straggler(2, 2.0)
+            .with_crash(3, 0.001);
+        let run = || {
+            run_cluster_faulty(cfg, plan.clone(), |ctx| {
+                ctx.set_phase(Phase::Classic);
+                ctx.charge_compute(0.002);
+                ctx.poll_crash();
+                let p = ctx.size();
+                for other in 0..3usize {
+                    if other == ctx.rank() {
+                        continue;
+                    }
+                    ctx.send(
+                        other,
+                        11,
+                        vec![0.5; 500],
+                        MsgClass::Payload,
+                        OpShape::new(1, p),
+                    );
+                }
+                for other in 0..3usize {
+                    if other == ctx.rank() {
+                        continue;
+                    }
+                    let _ = ctx.recv_result(other, 11);
+                }
+                ctx.now()
+            })
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.crashed, y.crashed, "rank {}", x.rank);
+            assert_eq!(x.finish_time.to_bits(), y.finish_time.to_bits());
+            assert_eq!(x.stats.retransmits, y.stats.retransmits);
+            assert_eq!(x.stats.msgs_lost, y.stats.msgs_lost);
+            assert_eq!(x.stats.total(), y.stats.total());
+        }
+        assert!(a[3].crashed);
     }
 }

@@ -1,0 +1,396 @@
+//! Deterministic fault injection: lossy links, transient link
+//! degradation, straggler nodes, and permanent rank crashes.
+//!
+//! A [`FaultPlan`] is pure data attached to a cluster run. All
+//! randomness used to realize the plan comes from the existing
+//! per-channel [`SplitMix64`](crate::SplitMix64) message streams, so a
+//! given `(seed, FaultPlan)` pair replays bit-identically regardless of
+//! OS thread scheduling. An all-zero plan ([`FaultPlan::none`])
+//! consumes exactly the same random draws as a run without any fault
+//! machinery, keeping the fault-free figures bit-identical.
+//!
+//! Semantics at a glance:
+//!
+//! * **Loss** applies to inter-node payload traffic. Lost packets are
+//!   re-costed through the retransmission model of
+//!   [`NetworkParams::transfer_faulty`](crate::NetworkParams::transfer_faulty)
+//!   (RTO with exponential backoff above a delayed-ACK floor).
+//! * **Degradations** are virtual-time windows during which a link (or
+//!   every link) suffers extra loss and/or a wire-time multiplier.
+//! * **Stragglers** scale the CPU time of every rank on a node.
+//! * **Crashes** are fail-stop: the rank unwinds at its next
+//!   [`poll_crash`](crate::RankCtx::poll_crash) point after the crash
+//!   time and never communicates again.
+
+use serde::{Deserialize, Serialize};
+
+/// A transient degradation window on one link (or all links).
+///
+/// While `start <= t < end` (virtual seconds, judged at message
+/// departure), matching transfers suffer `extra_loss` additional packet
+/// loss and have their wire time multiplied by `wire_factor`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkDegradation {
+    /// Window start, virtual seconds.
+    pub start: f64,
+    /// Window end, virtual seconds.
+    pub end: f64,
+    /// Additional packet-loss probability while the window is active.
+    pub extra_loss: f64,
+    /// Multiplier applied to the wire time while the window is active.
+    pub wire_factor: f64,
+    /// Source rank the window applies to (`None` = any source).
+    pub src: Option<usize>,
+    /// Destination rank the window applies to (`None` = any
+    /// destination).
+    pub dst: Option<usize>,
+}
+
+impl LinkDegradation {
+    /// A degradation of every link during `[start, end)`.
+    pub fn global(start: f64, end: f64, extra_loss: f64, wire_factor: f64) -> Self {
+        LinkDegradation {
+            start,
+            end,
+            extra_loss,
+            wire_factor,
+            src: None,
+            dst: None,
+        }
+    }
+
+    fn matches(&self, src: usize, dst: usize, t: f64) -> bool {
+        t >= self.start
+            && t < self.end
+            && self.src.is_none_or(|s| s == src)
+            && self.dst.is_none_or(|d| d == dst)
+    }
+}
+
+/// A node whose CPUs run slower than nominal (e.g. thermal throttling
+/// or background load).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Straggler {
+    /// Node index (see [`ClusterConfig::node_of`](crate::ClusterConfig::node_of)).
+    pub node: usize,
+    /// CPU-time multiplier (`>= 1.0`; `2.0` = half speed).
+    pub slowdown: f64,
+}
+
+/// A permanent fail-stop crash of one rank at a virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankCrash {
+    /// The rank that crashes.
+    pub rank: usize,
+    /// Virtual time at (or after) which the rank crashes. The crash
+    /// manifests at the rank's next `poll_crash` call with
+    /// `clock >= at`.
+    pub at: f64,
+}
+
+/// Per-message fault parameters of one link at one instant, resolved
+/// from a [`FaultPlan`] by the engine at send time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Effective packet-loss probability in `[0, 1]`.
+    pub loss: f64,
+    /// Wire-time multiplier (`1.0` = nominal).
+    pub wire_factor: f64,
+    /// Retransmission rounds before the transport gives up. Ignored
+    /// unless `give_up` is set; rounds are always capped at
+    /// [`MAX_RETRANSMIT_ROUNDS`].
+    pub max_retransmits: u32,
+    /// Whether the transport may give up (drop the message) after
+    /// `max_retransmits` rounds. When `false` the message always
+    /// arrives, only later (reliable, TCP-like transport).
+    pub give_up: bool,
+}
+
+/// Hard cap on retransmission rounds per message, so that a fully
+/// opaque link (`loss == 1.0`) stalls for a bounded, deterministic
+/// number of backoffs instead of looping forever.
+pub const MAX_RETRANSMIT_ROUNDS: u32 = 64;
+
+impl LinkFault {
+    /// A fault-free link: the transfer model takes exactly the clean
+    /// path and consumes exactly the clean number of random draws.
+    pub fn clean() -> Self {
+        LinkFault {
+            loss: 0.0,
+            wire_factor: 1.0,
+            max_retransmits: 0,
+            give_up: false,
+        }
+    }
+
+    /// True when this fault cannot alter the transfer at all.
+    pub fn is_clean(&self) -> bool {
+        self.loss <= 0.0 && self.wire_factor == 1.0
+    }
+}
+
+/// Default receiver-side watchdog timeout, seconds: how long a blocked
+/// receive waits past the evidence of failure (a tombstone or crash
+/// notice) before surfacing a typed error.
+pub const DEFAULT_WATCHDOG_TIMEOUT: f64 = 0.25;
+
+/// A deterministic fault-injection plan for one cluster run.
+///
+/// The default ([`FaultPlan::none`]) injects nothing and is guaranteed
+/// not to perturb a single random draw of the fault-free simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Baseline packet-loss probability on every inter-node link.
+    pub loss: f64,
+    /// Transient degradation windows.
+    pub degradations: Vec<LinkDegradation>,
+    /// Straggler nodes.
+    pub stragglers: Vec<Straggler>,
+    /// Permanent rank crashes.
+    pub crashes: Vec<RankCrash>,
+    /// Retransmission rounds before a *payload* message is dropped and
+    /// replaced by a tombstone. `None` (the default) models a reliable
+    /// TCP-like transport: payloads always arrive, arbitrarily late.
+    /// Control messages never give up regardless of this setting.
+    pub max_retransmits: Option<u32>,
+    /// Receiver-side watchdog timeout, seconds (see
+    /// [`DEFAULT_WATCHDOG_TIMEOUT`]).
+    pub watchdog_timeout: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no loss, no degradation, no stragglers, no
+    /// crashes. Bit-identical to running without fault machinery.
+    pub fn none() -> Self {
+        FaultPlan {
+            loss: 0.0,
+            degradations: Vec::new(),
+            stragglers: Vec::new(),
+            crashes: Vec::new(),
+            max_retransmits: None,
+            watchdog_timeout: DEFAULT_WATCHDOG_TIMEOUT,
+        }
+    }
+
+    /// Sets the baseline inter-node packet-loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Adds a degradation window.
+    pub fn with_degradation(mut self, d: LinkDegradation) -> Self {
+        self.degradations.push(d);
+        self
+    }
+
+    /// Marks `node` as a straggler with the given CPU slowdown factor.
+    pub fn with_straggler(mut self, node: usize, slowdown: f64) -> Self {
+        self.stragglers.push(Straggler { node, slowdown });
+        self
+    }
+
+    /// Schedules a permanent crash of `rank` at virtual time `at`.
+    pub fn with_crash(mut self, rank: usize, at: f64) -> Self {
+        self.crashes.push(RankCrash { rank, at });
+        self
+    }
+
+    /// Bounds payload retransmissions (see
+    /// [`FaultPlan::max_retransmits`]).
+    pub fn with_max_retransmits(mut self, rounds: u32) -> Self {
+        self.max_retransmits = Some(rounds);
+        self
+    }
+
+    /// True when the plan cannot perturb the simulation at all.
+    pub fn is_zero(&self) -> bool {
+        self.loss <= 0.0
+            && self.degradations.is_empty()
+            && self.stragglers.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Validates the plan against a cluster of `ranks` ranks and
+    /// `nodes` nodes.
+    pub fn validate(&self, ranks: usize, nodes: usize) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.loss) {
+            return Err(format!("loss probability {} outside [0, 1]", self.loss));
+        }
+        if !(self.watchdog_timeout.is_finite() && self.watchdog_timeout >= 0.0) {
+            return Err(format!(
+                "watchdog timeout {} must be finite and >= 0",
+                self.watchdog_timeout
+            ));
+        }
+        for d in &self.degradations {
+            if !(d.start.is_finite() && d.end.is_finite() && d.start <= d.end) {
+                return Err(format!(
+                    "degradation window [{}, {}) is not a valid interval",
+                    d.start, d.end
+                ));
+            }
+            if !(0.0..=1.0).contains(&d.extra_loss) {
+                return Err(format!("extra loss {} outside [0, 1]", d.extra_loss));
+            }
+            if !(d.wire_factor.is_finite() && d.wire_factor > 0.0) {
+                return Err(format!("wire factor {} must be finite and > 0", d.wire_factor));
+            }
+            for r in [d.src, d.dst].into_iter().flatten() {
+                if r >= ranks {
+                    return Err(format!("degradation names rank {r} of a {ranks}-rank cluster"));
+                }
+            }
+        }
+        for s in &self.stragglers {
+            if s.node >= nodes {
+                return Err(format!(
+                    "straggler names node {} of a {nodes}-node cluster",
+                    s.node
+                ));
+            }
+            if !(s.slowdown.is_finite() && s.slowdown >= 1.0) {
+                return Err(format!("straggler slowdown {} must be >= 1", s.slowdown));
+            }
+        }
+        for c in &self.crashes {
+            if c.rank >= ranks {
+                return Err(format!(
+                    "crash names rank {} of a {ranks}-rank cluster",
+                    c.rank
+                ));
+            }
+            if !(c.at.is_finite() && c.at >= 0.0) {
+                return Err(format!("crash time {} must be finite and >= 0", c.at));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the fault state of the `src -> dst` link at departure
+    /// time `t`. Loss applies only to inter-node traffic; degradation
+    /// wire factors apply everywhere.
+    pub fn link_fault(&self, src: usize, dst: usize, t: f64, same_node: bool) -> LinkFault {
+        let mut loss = if same_node { 0.0 } else { self.loss };
+        let mut wire_factor = 1.0;
+        for d in &self.degradations {
+            if d.matches(src, dst, t) {
+                if !same_node {
+                    loss += d.extra_loss;
+                }
+                wire_factor *= d.wire_factor;
+            }
+        }
+        let (max_retransmits, give_up) = match self.max_retransmits {
+            Some(k) => (k.min(MAX_RETRANSMIT_ROUNDS), true),
+            None => (MAX_RETRANSMIT_ROUNDS, false),
+        };
+        LinkFault {
+            loss: loss.min(1.0),
+            wire_factor,
+            max_retransmits,
+            give_up,
+        }
+    }
+
+    /// CPU slowdown factor of `node` (`1.0` when not a straggler).
+    pub fn straggle_factor(&self, node: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.node == node)
+            .map(|s| s.slowdown)
+            .fold(1.0, f64::max)
+    }
+
+    /// Earliest scheduled crash time of `rank`, if any.
+    pub fn crash_time(&self, rank: usize) -> Option<f64> {
+        self.crashes
+            .iter()
+            .filter(|c| c.rank == rank)
+            .map(|c| c.at)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_zero_and_valid() {
+        let p = FaultPlan::none();
+        assert!(p.is_zero());
+        assert!(p.validate(8, 8).is_ok());
+        let f = p.link_fault(0, 1, 10.0, false);
+        assert!(f.is_clean());
+        assert_eq!(p.straggle_factor(3), 1.0);
+        assert_eq!(p.crash_time(3), None);
+    }
+
+    #[test]
+    fn loss_is_inter_node_only() {
+        let p = FaultPlan::none().with_loss(0.2);
+        assert_eq!(p.link_fault(0, 1, 0.0, false).loss, 0.2);
+        assert_eq!(p.link_fault(0, 1, 0.0, true).loss, 0.0);
+    }
+
+    #[test]
+    fn degradation_window_is_half_open_and_scoped() {
+        let p = FaultPlan::none().with_degradation(LinkDegradation {
+            start: 1.0,
+            end: 2.0,
+            extra_loss: 0.5,
+            wire_factor: 3.0,
+            src: Some(0),
+            dst: None,
+        });
+        let hit = p.link_fault(0, 1, 1.5, false);
+        assert_eq!(hit.loss, 0.5);
+        assert_eq!(hit.wire_factor, 3.0);
+        assert!(p.link_fault(0, 1, 2.0, false).is_clean()); // past the window
+        assert!(p.link_fault(1, 0, 1.5, false).is_clean()); // wrong src
+    }
+
+    #[test]
+    fn straggle_factor_takes_worst_entry() {
+        let p = FaultPlan::none()
+            .with_straggler(1, 2.0)
+            .with_straggler(1, 4.0);
+        assert_eq!(p.straggle_factor(1), 4.0);
+        assert_eq!(p.straggle_factor(0), 1.0);
+    }
+
+    #[test]
+    fn crash_time_takes_earliest() {
+        let p = FaultPlan::none().with_crash(2, 5.0).with_crash(2, 3.0);
+        assert_eq!(p.crash_time(2), Some(3.0));
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        assert!(FaultPlan::none().with_loss(1.5).validate(4, 4).is_err());
+        assert!(FaultPlan::none().with_crash(9, 1.0).validate(4, 4).is_err());
+        assert!(FaultPlan::none().with_straggler(9, 2.0).validate(4, 4).is_err());
+        assert!(FaultPlan::none().with_straggler(0, 0.5).validate(4, 4).is_err());
+        assert!(FaultPlan::none()
+            .with_degradation(LinkDegradation::global(2.0, 1.0, 0.0, 1.0))
+            .validate(4, 4)
+            .is_err());
+    }
+
+    #[test]
+    fn bounded_retransmits_cap_at_hard_limit() {
+        let p = FaultPlan::none().with_loss(0.5).with_max_retransmits(1000);
+        let f = p.link_fault(0, 1, 0.0, false);
+        assert_eq!(f.max_retransmits, MAX_RETRANSMIT_ROUNDS);
+        assert!(f.give_up);
+        let reliable = FaultPlan::none().with_loss(0.5).link_fault(0, 1, 0.0, false);
+        assert!(!reliable.give_up);
+    }
+}

@@ -13,7 +13,10 @@
 //! * [`cluster`] — rank/node topology (uni- vs dual-processor nodes),
 //! * [`engine`] — the virtual-time message-passing engine,
 //! * [`stats`] — the computation / communication / synchronization
-//!   breakdown and throughput sampling the paper reports.
+//!   breakdown and throughput sampling the paper reports,
+//! * [`faults`] — deterministic fault injection (lossy links with
+//!   explicit RTO/backoff retransmission, transient degradation,
+//!   straggler nodes, rank crashes) for graceful-degradation studies.
 //!
 //! ## Example
 //!
@@ -38,6 +41,7 @@
 pub mod cluster;
 pub mod cost;
 pub mod engine;
+pub mod faults;
 pub mod netmodel;
 pub mod rng;
 pub mod stats;
@@ -45,8 +49,12 @@ pub mod trace;
 
 pub use cluster::ClusterConfig;
 pub use cost::{CostModel, CpuConfig, PIII_1GHZ};
-pub use engine::{elapsed_time, run_cluster, Msg, RankCtx, RankOutcome};
-pub use netmodel::{NetworkKind, NetworkParams, OpShape, TransferCtx, TransferTime};
+pub use engine::{
+    elapsed_time, run_cluster, run_cluster_faulty, try_run_cluster, CommError, FaultyOutcome, Msg,
+    RankCtx, RankOutcome, SendOutcome, SimError, CRASH_TAG,
+};
+pub use faults::{FaultPlan, LinkDegradation, LinkFault, RankCrash, Straggler};
+pub use netmodel::{FaultyTransfer, NetworkKind, NetworkParams, OpShape, TransferCtx, TransferTime};
 pub use rng::SplitMix64;
 pub use stats::{
     summarize_throughput, MsgClass, Phase, PhaseBucket, RankStats, ThroughputSample,

@@ -16,6 +16,7 @@
 //!   CPU services NIC interrupts over TCP (section 4.3, citing \[18\]);
 //!   SCore and Myrinet use shared-memory/coprocessor drivers instead.
 
+use crate::faults::LinkFault;
 use crate::rng::SplitMix64;
 use serde::{Deserialize, Serialize};
 
@@ -76,6 +77,8 @@ impl NetworkKind {
                 small_msg_penalty_prob_per_flow: 0.040,
                 small_msg_flow_floor: 4,
                 small_msg_penalty: 25e-3,
+                rto_backoff: 2.0,
+                rto_max: 3.0,
                 smp_pkt_factor: 3.0,
                 smp_jitter_boost: 0.4,
                 intra_latency: 45e-6,
@@ -97,6 +100,8 @@ impl NetworkKind {
                 small_msg_penalty_prob_per_flow: 0.0,
                 small_msg_flow_floor: 4,
                 small_msg_penalty: 0.0,
+                rto_backoff: 2.0,
+                rto_max: 0.05,
                 smp_pkt_factor: 1.15,
                 smp_jitter_boost: 0.02,
                 intra_latency: 4e-6,
@@ -118,6 +123,8 @@ impl NetworkKind {
                 small_msg_penalty_prob_per_flow: 0.0,
                 small_msg_flow_floor: 4,
                 small_msg_penalty: 0.0,
+                rto_backoff: 2.0,
+                rto_max: 0.05,
                 smp_pkt_factor: 1.05,
                 smp_jitter_boost: 0.02,
                 intra_latency: 3e-6,
@@ -139,6 +146,8 @@ impl NetworkKind {
                 small_msg_penalty_prob_per_flow: 0.040,
                 small_msg_flow_floor: 4,
                 small_msg_penalty: 25e-3,
+                rto_backoff: 2.0,
+                rto_max: 3.0,
                 smp_pkt_factor: 3.0,
                 smp_jitter_boost: 0.4,
                 intra_latency: 45e-6,
@@ -160,6 +169,8 @@ impl NetworkKind {
                 small_msg_penalty_prob_per_flow: 0.040,
                 small_msg_flow_floor: 2,
                 small_msg_penalty: 40e-3,
+                rto_backoff: 2.0,
+                rto_max: 10.0,
                 smp_pkt_factor: 3.0,
                 smp_jitter_boost: 0.4,
                 intra_latency: 45e-6,
@@ -202,8 +213,17 @@ pub struct NetworkParams {
     /// penalty (tree barriers at p <= 8 stay clean; the CMPI ring at
     /// p = 8 does not — reproducing the paper's 4 -> 8 collapse).
     pub small_msg_flow_floor: usize,
-    /// Penalty magnitude, seconds.
+    /// Penalty magnitude, seconds. This is the stack's minimum
+    /// retransmission/delayed-ACK timer: a tiny-message stall costs
+    /// exactly one such timer period, and the retransmission model of
+    /// [`transfer_faulty`](Self::transfer_faulty) uses it as the RTO
+    /// floor (see [`rto_floor`](Self::rto_floor)), so the fault-free
+    /// figures are unchanged by the explicit model.
     pub small_msg_penalty: f64,
+    /// RTO growth factor per retransmission round (TCP doubles).
+    pub rto_backoff: f64,
+    /// Upper bound on the retransmission timeout, seconds.
+    pub rto_max: f64,
     /// Per-packet cost multiplier when a dual-CPU node's interrupt path
     /// is shared (TCP); near 1 for shared-memory drivers.
     pub smp_pkt_factor: f64,
@@ -287,6 +307,18 @@ pub struct TransferTime {
     pub recv_overhead: f64,
 }
 
+/// Outcome of the transfer model on a (possibly) faulty link.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultyTransfer {
+    /// Timing; `time.wire` includes all retransmission stalls.
+    pub time: TransferTime,
+    /// Retransmission rounds the transport went through.
+    pub retransmits: u32,
+    /// False when the transport gave up: the message never arrives and
+    /// the engine delivers a tombstone in its place.
+    pub delivered: bool,
+}
+
 impl NetworkParams {
     /// Number of packets for a message of `bytes`.
     pub fn packets(&self, bytes: usize) -> usize {
@@ -318,11 +350,56 @@ impl NetworkParams {
         sigma
     }
 
-    /// Models one message of `bytes` bytes.
+    /// The retransmission-timeout floor: the stack's delayed-ACK /
+    /// minimum-RTO timer. For TCP-family stacks this *is* the
+    /// calibrated `small_msg_penalty` (the tiny-message stall of
+    /// section 4.2 is one such timer period), so the explicit
+    /// retransmission model reproduces the fault-free figures
+    /// bit-identically. Stacks without the pathology (SCore, Myrinet
+    /// GM) use a floor derived from their wire latency.
+    pub fn rto_floor(&self) -> f64 {
+        if self.small_msg_penalty > 0.0 {
+            self.small_msg_penalty
+        } else {
+            20.0 * self.latency
+        }
+    }
+
+    /// Retransmission timeout of round `k` (0-based): exponential
+    /// backoff from [`rto_floor`](Self::rto_floor), capped at
+    /// [`rto_max`](Self::rto_max).
+    pub fn rto(&self, round: u32) -> f64 {
+        (self.rto_floor() * self.rto_backoff.powi(round.min(1000) as i32)).min(self.rto_max)
+    }
+
+    /// Models one message of `bytes` bytes on a fault-free link.
     ///
     /// Deterministic given the RNG (which the engine derives from the
-    /// per-channel message counter).
+    /// per-channel message counter). Exactly equivalent to
+    /// [`transfer_faulty`](Self::transfer_faulty) with
+    /// [`LinkFault::clean`] — same result, same number of draws.
     pub fn transfer(&self, bytes: usize, ctx: &TransferCtx, rng: &mut SplitMix64) -> TransferTime {
+        self.transfer_faulty(bytes, ctx, rng, &LinkFault::clean()).time
+    }
+
+    /// Models one message of `bytes` bytes on a link in fault state
+    /// `fault`.
+    ///
+    /// The clean portion of the cost (latency, per-packet host costs,
+    /// bandwidth sharing, jitter, tiny-message stall) is computed first
+    /// with exactly the draws of the fault-free model; fault costs are
+    /// layered on top and consume extra draws only when `fault.loss >
+    /// 0`. Each lossy round waits out one RTO (exponential backoff)
+    /// and resends the lost packets; after `fault.max_retransmits`
+    /// rounds the transport either gives up (`fault.give_up`, the
+    /// message becomes a tombstone) or delivers late (reliable mode).
+    pub fn transfer_faulty(
+        &self,
+        bytes: usize,
+        ctx: &TransferCtx,
+        rng: &mut SplitMix64,
+        fault: &LinkFault,
+    ) -> FaultyTransfer {
         let intra = ctx.same_node;
         let latency = if intra && !self.intra_uses_nic_path {
             self.intra_latency
@@ -347,19 +424,15 @@ impl NetworkParams {
         let mut wire = latency + pkts * per_pkt + bytes as f64 / bw;
 
         // Multiplicative jitter, log-triangular, clamped.
-        let sigma = if smp_affected {
-            self.jitter_sigma(ctx)
-        } else {
-            // Same formula; sigma already includes SMP boost only when
-            // relevant through jitter_sigma.
-            self.jitter_sigma(ctx)
-        };
+        let sigma = self.jitter_sigma(ctx);
         let z = rng.next_triangular();
         let factor = (sigma * z).exp().clamp(0.5, 6.0);
         wire *= factor;
 
         // Tiny-message pathology (delayed ACK / Nagle interactions):
-        // only repeated small-packet streams trigger the timers.
+        // only repeated small-packet streams trigger the timers. The
+        // stall is one minimum-RTO period, which for the TCP family is
+        // the calibrated small_msg_penalty.
         if bytes <= 64 && ctx.shape.repeated_small && self.small_msg_penalty > 0.0 {
             let excess = ctx
                 .shape
@@ -367,14 +440,46 @@ impl NetworkParams {
                 .saturating_sub(self.small_msg_flow_floor) as f64;
             let prob = (self.small_msg_penalty_prob_per_flow * excess).min(0.5);
             if rng.next_f64() < prob {
-                wire += self.small_msg_penalty;
+                wire += self.rto_floor();
             }
         }
 
-        TransferTime {
-            wire,
-            send_overhead: self.send_overhead,
-            recv_overhead: self.recv_overhead,
+        if fault.wire_factor != 1.0 {
+            wire *= fault.wire_factor;
+        }
+
+        // Explicit packet-loss retransmission: each round loses a
+        // packet with probability derived from the per-packet loss
+        // rate, waits out the (backed-off) retransmission timer, and
+        // resends what was lost.
+        let mut retransmits = 0u32;
+        let mut delivered = true;
+        if fault.loss > 0.0 {
+            let mut pkts_left = pkts;
+            loop {
+                let p_round = 1.0 - (1.0 - fault.loss).powf(pkts_left);
+                if rng.next_f64() >= p_round {
+                    break;
+                }
+                if retransmits >= fault.max_retransmits {
+                    delivered = !fault.give_up;
+                    break;
+                }
+                wire += self.rto(retransmits);
+                pkts_left = (pkts_left * fault.loss).max(1.0);
+                wire += latency + pkts_left * per_pkt + pkts_left * self.pkt_size as f64 / bw;
+                retransmits += 1;
+            }
+        }
+
+        FaultyTransfer {
+            time: TransferTime {
+                wire,
+                send_overhead: self.send_overhead,
+                recv_overhead: self.recv_overhead,
+            },
+            retransmits,
+            delivered,
         }
     }
 }
@@ -575,5 +680,116 @@ mod tests {
         assert_eq!(p.packets(1460), 1);
         assert_eq!(p.packets(1461), 2);
         assert_eq!(p.packets(0), 1);
+    }
+
+    #[test]
+    fn clean_fault_is_bit_identical_to_transfer() {
+        for kind in NetworkKind::ALL {
+            let p = kind.params();
+            for bytes in [1usize, 64, 1460, 100_000] {
+                for i in 0..50 {
+                    let mut rng_a = SplitMix64::for_message(11, 0, 1, i);
+                    let mut rng_b = SplitMix64::for_message(11, 0, 1, i);
+                    let plain = p.transfer(bytes, &ctx1(), &mut rng_a);
+                    let faulty = p.transfer_faulty(bytes, &ctx1(), &mut rng_b, &LinkFault::clean());
+                    assert_eq!(plain.wire.to_bits(), faulty.time.wire.to_bits(), "{kind:?}");
+                    assert_eq!(faulty.retransmits, 0);
+                    assert!(faulty.delivered);
+                    // Both must leave the RNG in the same state.
+                    assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loss_adds_retransmission_cost() {
+        let p = NetworkKind::TcpGigE.params();
+        let lossy = LinkFault {
+            loss: 0.3,
+            wire_factor: 1.0,
+            max_retransmits: crate::faults::MAX_RETRANSMIT_ROUNDS,
+            give_up: false,
+        };
+        let mut clean_sum = 0.0;
+        let mut lossy_sum = 0.0;
+        let mut any_retransmit = false;
+        for i in 0..400 {
+            let mut rng_a = SplitMix64::for_message(13, 0, 1, i);
+            let mut rng_b = SplitMix64::for_message(13, 0, 1, i);
+            let clean = p.transfer(100_000, &ctx1(), &mut rng_a).wire;
+            let f = p.transfer_faulty(100_000, &ctx1(), &mut rng_b, &lossy);
+            assert!(f.delivered);
+            assert!(f.time.wire >= clean);
+            any_retransmit |= f.retransmits > 0;
+            clean_sum += clean;
+            lossy_sum += f.time.wire;
+        }
+        assert!(any_retransmit);
+        assert!(
+            lossy_sum > clean_sum + 400.0 * 0.1 * p.rto_floor(),
+            "{lossy_sum} vs {clean_sum}"
+        );
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially_and_caps() {
+        for kind in NetworkKind::ALL {
+            let p = kind.params();
+            assert!(p.rto_floor() > 0.0, "{kind:?}");
+            assert_eq!(p.rto(0), p.rto_floor().min(p.rto_max));
+            assert!(p.rto(1) >= p.rto(0));
+            assert!((p.rto(1) - (p.rto_floor() * p.rto_backoff).min(p.rto_max)).abs() < 1e-12);
+            assert_eq!(p.rto(60), p.rto_max);
+        }
+        // TCP family: the floor is exactly the calibrated delayed-ACK
+        // penalty, which is what keeps baselines bit-identical.
+        let tcp = NetworkKind::TcpGigE.params();
+        assert_eq!(tcp.rto_floor(), tcp.small_msg_penalty);
+    }
+
+    #[test]
+    fn opaque_link_gives_up_after_max_retransmits() {
+        let p = NetworkKind::TcpGigE.params();
+        let fault = LinkFault {
+            loss: 1.0,
+            wire_factor: 1.0,
+            max_retransmits: 3,
+            give_up: true,
+        };
+        let mut rng = SplitMix64::for_message(17, 0, 1, 0);
+        let f = p.transfer_faulty(10_000, &ctx1(), &mut rng, &fault);
+        assert!(!f.delivered);
+        assert_eq!(f.retransmits, 3);
+    }
+
+    #[test]
+    fn reliable_mode_always_delivers_with_bounded_stall() {
+        let p = NetworkKind::TcpGigE.params();
+        let fault = LinkFault {
+            loss: 1.0,
+            wire_factor: 1.0,
+            max_retransmits: crate::faults::MAX_RETRANSMIT_ROUNDS,
+            give_up: false,
+        };
+        let mut rng = SplitMix64::for_message(17, 0, 1, 1);
+        let f = p.transfer_faulty(10_000, &ctx1(), &mut rng, &fault);
+        assert!(f.delivered);
+        assert_eq!(f.retransmits, crate::faults::MAX_RETRANSMIT_ROUNDS);
+        assert!(f.time.wire.is_finite());
+    }
+
+    #[test]
+    fn degraded_wire_factor_scales_wire_time() {
+        let p = NetworkKind::ScoreGigE.params();
+        let mut rng_a = SplitMix64::for_message(19, 0, 1, 0);
+        let mut rng_b = SplitMix64::for_message(19, 0, 1, 0);
+        let clean = p.transfer(50_000, &ctx1(), &mut rng_a).wire;
+        let fault = LinkFault {
+            wire_factor: 2.5,
+            ..LinkFault::clean()
+        };
+        let degraded = p.transfer_faulty(50_000, &ctx1(), &mut rng_b, &fault).time.wire;
+        assert!((degraded - 2.5 * clean).abs() < 1e-12 * degraded.abs().max(1.0));
     }
 }

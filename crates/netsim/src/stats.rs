@@ -16,11 +16,20 @@ pub enum Phase {
     Integrate,
     /// Setup, I/O, everything else.
     Other,
+    /// Failure recovery: shrinking the decomposition and restoring
+    /// state from a checkpoint after a rank crash.
+    Recovery,
 }
 
 impl Phase {
     /// All phases in a fixed order (array indexing).
-    pub const ALL: [Phase; 4] = [Phase::Classic, Phase::Pme, Phase::Integrate, Phase::Other];
+    pub const ALL: [Phase; 5] = [
+        Phase::Classic,
+        Phase::Pme,
+        Phase::Integrate,
+        Phase::Other,
+        Phase::Recovery,
+    ];
 
     pub(crate) fn index(self) -> usize {
         match self {
@@ -28,6 +37,7 @@ impl Phase {
             Phase::Pme => 1,
             Phase::Integrate => 2,
             Phase::Other => 3,
+            Phase::Recovery => 4,
         }
     }
 }
@@ -64,6 +74,37 @@ impl PhaseBucket {
         self.comm += other.comm;
         self.sync += other.sync;
     }
+
+    /// Books computation time. Debug builds reject negative or
+    /// non-finite bookings so fault-path re-costing bugs fail fast
+    /// instead of corrupting reports.
+    pub fn book_comp(&mut self, seconds: f64) {
+        debug_assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid computation booking: {seconds}"
+        );
+        self.comp += seconds;
+    }
+
+    /// Books communication (data transfer) time; see
+    /// [`book_comp`](Self::book_comp) for the validity contract.
+    pub fn book_comm(&mut self, seconds: f64) {
+        debug_assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid communication booking: {seconds}"
+        );
+        self.comm += seconds;
+    }
+
+    /// Books synchronization (control transfer) time; see
+    /// [`book_comp`](Self::book_comp) for the validity contract.
+    pub fn book_sync(&mut self, seconds: f64) {
+        debug_assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid synchronization booking: {seconds}"
+        );
+        self.sync += seconds;
+    }
 }
 
 /// One observed transfer rate (Figure 7's response variable).
@@ -81,13 +122,19 @@ pub struct ThroughputSample {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RankStats {
     /// Per-phase time buckets, one per [`Phase`], in `Phase::ALL` order.
-    pub buckets: [PhaseBucket; 4],
+    pub buckets: [PhaseBucket; 5],
     /// Per-transfer rate samples for payload messages.
     pub throughput: Vec<ThroughputSample>,
     /// Total payload bytes sent.
     pub bytes_sent: u64,
     /// Total messages sent (any class).
     pub msgs_sent: u64,
+    /// Total retransmission rounds this rank's sends went through
+    /// (always 0 on a fault-free run).
+    pub retransmits: u64,
+    /// Messages this rank sent that the transport gave up on (each
+    /// became a tombstone at the receiver).
+    pub msgs_lost: u64,
     /// Per-message trace (populated only when
     /// [`crate::ClusterConfig::record_trace`] is set).
     pub trace: Vec<crate::trace::TraceEvent>,
@@ -222,10 +269,34 @@ mod tests {
 
     #[test]
     fn phase_indices_are_unique() {
-        let mut seen = [false; 4];
+        let mut seen = [false; Phase::ALL.len()];
         for p in Phase::ALL {
             assert!(!seen[p.index()]);
             seen[p.index()] = true;
         }
+    }
+
+    #[test]
+    fn booking_helpers_accumulate() {
+        let mut b = PhaseBucket::default();
+        b.book_comp(1.0);
+        b.book_comm(0.5);
+        b.book_sync(0.25);
+        b.book_comp(0.0); // zero is a valid booking
+        assert_eq!(b.total(), 1.75);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid communication booking")]
+    fn negative_booking_is_rejected_in_debug() {
+        PhaseBucket::default().book_comm(-1e-9);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "invalid synchronization booking")]
+    fn nan_booking_is_rejected_in_debug() {
+        PhaseBucket::default().book_sync(f64::NAN);
     }
 }
