@@ -54,7 +54,7 @@ fn bench_nonbonded(c: &mut Criterion) {
     let opts = NonbondedOptions::classic();
     let list = NeighborList::build(&sys.topology, &sys.pbox, &sys.positions, opts.cutoff, 2.0);
     let mut forces = vec![Vec3::ZERO; sys.n_atoms()];
-    c.bench_function(&format!("nonbonded_{}_pairs", list.pairs.len()), |b| {
+    c.bench_function(format!("nonbonded_{}_pairs", list.pairs.len()), |b| {
         b.iter(|| {
             nonbonded_energy_forces(
                 &sys.topology,

@@ -3,20 +3,40 @@
 //! paper-vs-measured table).
 //!
 //! ```text
-//! cargo run --release -p cpc-bench --bin campaign [--quick] [--out DIR]
+//! cargo run --release -p cpc-bench --bin campaign \
+//!     [--quick] [--out DIR] [--resume] [--max-cells N]
 //! ```
+//!
+//! Every completed measurement cell is journaled to `DIR/journal.jsonl`
+//! as it finishes. A campaign killed mid-sweep (or stopped by
+//! `--max-cells N`, which exits with code 3 after N fresh cells) can be
+//! re-run with `--resume`: finished cells are skipped and the final
+//! manifest is identical to an uninterrupted run's.
+use cpc_bench::attach_journal;
 use cpc_md::EnergyModel;
 use cpc_workload::figures::Lab;
 use cpc_workload::report::run_campaign;
+use std::path::Path;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let resume = args.iter().any(|a| a == "--resume");
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "results".to_string());
+    let max_cells: Option<usize> = args
+        .iter()
+        .position(|a| a == "--max-cells")
+        .map(|i| match args.get(i + 1).map(|n| n.parse()) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!("--max-cells requires an integer cell count");
+                std::process::exit(2);
+            }
+        });
 
     let system = if quick {
         cpc_workload::runner::quick_system()
@@ -32,6 +52,18 @@ fn main() {
     } else {
         Lab::paper(&system)
     };
+
+    std::fs::create_dir_all(&out).expect("create output directory");
+    let journal_path = Path::new(&out).join("journal.jsonl");
+    attach_journal(
+        &mut lab,
+        journal_path.to_str().expect("journal path is utf-8"),
+        resume,
+    );
+    if let Some(cells) = max_cells {
+        lab.set_cell_budget(cells);
+    }
+
     let artifacts = run_campaign(&mut lab, &out).expect("write campaign artifacts");
     println!(
         "campaign complete: {}/{} findings hold",
@@ -47,4 +79,5 @@ fn main() {
     ] {
         println!("  {}", p.display());
     }
+    println!("  {}", journal_path.display());
 }

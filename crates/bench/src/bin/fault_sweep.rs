@@ -5,24 +5,36 @@
 //! recovery time versus the fault-free run).
 //!
 //! ```text
-//! cargo run --release -p cpc-bench --bin fault_sweep [--quick] [--smoke] [--out DIR]
+//! cargo run --release -p cpc-bench --bin fault_sweep \
+//!     [--quick] [--smoke] [--out DIR] [--resume] [--max-cells N]
 //! ```
 //!
 //! `--quick` swaps in the small water-box system; `--smoke` is the CI
 //! mode: the quick system on one network with one loss and one crash
 //! scenario.
+//!
+//! Completed scenarios are journaled to `DIR/fault_sweep.jsonl`;
+//! `--resume` skips them on a re-run (and `--max-cells N` exits with
+//! code 3 after N fresh scenarios, simulating a kill mid-sweep), so a
+//! killed-then-resumed sweep produces the same final artifacts as an
+//! uninterrupted one.
 
 use cpc_charmm::{run_parallel_md, run_parallel_md_faulty, FaultConfig, MdConfig};
 use cpc_cluster::{ClusterConfig, FaultPlan, NetworkKind};
 use cpc_md::{EnergyModel, System};
 use cpc_mpi::Middleware;
+use cpc_workload::figures::EXIT_CELL_BUDGET;
+use cpc_workload::journal::Journal;
 use cpc_workload::runner::{
     myoglobin_shared, paper_pme_params, quick_pme_params, quick_system, PAPER_STEPS,
 };
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
 /// One sweep point's survivability/overhead record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Row {
     network: NetworkKind,
     scenario: String,
@@ -32,8 +44,9 @@ struct Row {
     wall: f64,
     /// Wall-time overhead versus the fault-free fault-tolerant
     /// baseline on the same network (isolates the injected faults'
-    /// cost from the heartbeat/checkpoint cost).
-    overhead: f64,
+    /// cost from the heartbeat/checkpoint cost). `None` when the
+    /// reference wall is unusable (zero or non-finite).
+    overhead: Option<f64>,
     survivors: usize,
     crashed: Vec<usize>,
     completed: bool,
@@ -41,6 +54,18 @@ struct Row {
     recovery_time: f64,
     retransmits: u64,
     msgs_lost: u64,
+}
+
+/// Journal/resume key: a scenario is identified by its factor levels,
+/// not its measured responses.
+fn cell_key(network: NetworkKind, scenario: &str, loss: f64, straggle: f64) -> String {
+    format!("{network:?}|{scenario}|{loss}|{straggle}")
+}
+
+impl Row {
+    fn key(&self) -> String {
+        cell_key(self.network, &self.scenario, self.loss, self.straggle)
+    }
 }
 
 fn run_point(
@@ -77,15 +102,99 @@ fn run_point(
     }
 }
 
+/// Completed-scenario bookkeeping: journaled rows from a previous
+/// (killed) sweep are reused; fresh rows are journaled as they finish,
+/// up to an optional budget.
+struct SweepState {
+    journal: Journal<Row>,
+    done: HashMap<String, Row>,
+    fresh: usize,
+    budget: Option<usize>,
+}
+
+impl SweepState {
+    fn cell(
+        &mut self,
+        system: &System,
+        cfg: &MdConfig,
+        plan: FaultPlan,
+        scenario: &str,
+        ref_wall: f64,
+    ) -> Row {
+        let straggle = plan
+            .stragglers
+            .iter()
+            .map(|s| s.slowdown)
+            .fold(1.0f64, f64::max);
+        let key = cell_key(cfg.cluster.network, scenario, plan.loss, straggle);
+        if let Some(row) = self.done.get(&key) {
+            return row.clone();
+        }
+        if self.budget.is_some_and(|b| self.fresh >= b) {
+            eprintln!(
+                "cell budget exhausted after {} fresh scenarios; \
+                 re-run with --resume to continue",
+                self.fresh
+            );
+            std::process::exit(EXIT_CELL_BUDGET);
+        }
+        let row = run_point(system, cfg, plan, scenario, ref_wall);
+        self.fresh += 1;
+        self.journal.append(&row).expect("journal fault-sweep row");
+        self.done.insert(row.key(), row.clone());
+        row
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let quick = smoke || args.iter().any(|a| a == "--quick");
+    let resume = args.iter().any(|a| a == "--resume");
     let out = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "results".to_string());
+    let max_cells: Option<usize> = args
+        .iter()
+        .position(|a| a == "--max-cells")
+        .map(|i| match args.get(i + 1).map(|n| n.parse()) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!("--max-cells requires an integer cell count");
+                std::process::exit(2);
+            }
+        });
+
+    let journal_path = Path::new(&out).join("fault_sweep.jsonl");
+    let (journal, prior) = if resume {
+        let (j, recovery) = Journal::<Row>::resume(&journal_path).expect("resume sweep journal");
+        if recovery.dropped > 0 {
+            eprintln!(
+                "journal {}: discarded {} torn/damaged trailing line(s)",
+                journal_path.display(),
+                recovery.dropped
+            );
+        }
+        eprintln!(
+            "journal {}: resuming past {} completed scenario(s)",
+            journal_path.display(),
+            recovery.entries.len()
+        );
+        (j, recovery.entries)
+    } else {
+        (
+            Journal::<Row>::create(&journal_path).expect("create sweep journal"),
+            Vec::new(),
+        )
+    };
+    let mut sweep = SweepState {
+        journal,
+        done: prior.into_iter().map(|r| (r.key(), r)).collect(),
+        fresh: 0,
+        budget: max_cells,
+    };
 
     let system = if quick {
         quick_system()
@@ -127,7 +236,7 @@ fn main() {
         // fault-tolerant driver with an all-zero plan (its wall-time
         // delta is the standing heartbeat + checkpoint cost).
         let plain_wall = run_parallel_md(&system, &cfg).wall_time;
-        let base = run_point(&system, &cfg, FaultPlan::none(), "baseline", plain_wall);
+        let base = sweep.cell(&system, &cfg, FaultPlan::none(), "baseline", plain_wall);
         let ref_wall = base.wall;
         println!(
             "[{network:?}] fault-free: plain {plain_wall:.4} s, ft {ref_wall:.4} s ({:+.1}% FT machinery)",
@@ -137,21 +246,21 @@ fn main() {
 
         for &loss in loss_rates {
             let plan = FaultPlan::none().with_loss(loss);
-            rows.push(run_point(&system, &cfg, plan, "loss", ref_wall));
+            rows.push(sweep.cell(&system, &cfg, plan, "loss", ref_wall));
         }
         for &s in stragglers {
             let plan = FaultPlan::none().with_straggler(0, s);
-            rows.push(run_point(&system, &cfg, plan, "straggler", ref_wall));
+            rows.push(sweep.cell(&system, &cfg, plan, "straggler", ref_wall));
         }
         let crash_t = crash_frac * plain_wall;
         let plan = FaultPlan::none().with_crash(procs - 1, crash_t);
-        rows.push(run_point(&system, &cfg, plan, "crash", ref_wall));
+        rows.push(sweep.cell(&system, &cfg, plan, "crash", ref_wall));
         if !smoke {
             let plan = FaultPlan::none()
                 .with_loss(loss_rates[0])
                 .with_straggler(0, stragglers.first().copied().unwrap_or(1.5))
                 .with_crash(procs - 1, crash_t);
-            rows.push(run_point(&system, &cfg, plan, "combined", ref_wall));
+            rows.push(sweep.cell(&system, &cfg, plan, "combined", ref_wall));
         }
     }
 
@@ -171,7 +280,7 @@ fn main() {
     for r in &rows {
         let _ = writeln!(
             md,
-            "| {:?} | {} | {:.2} | {:.1}x | {} | {:.4} | {:+.1}% | {}/{} | {} | {} | {:.4} | {} | {} |",
+            "| {:?} | {} | {:.2} | {:.1}x | {} | {:.4} | {} | {}/{} | {} | {} | {:.4} | {} | {} |",
             r.network,
             r.scenario,
             r.loss,
@@ -180,7 +289,9 @@ fn main() {
                 .map(|t| format!("{t:.4}s"))
                 .unwrap_or_else(|| "-".to_string()),
             r.wall,
-            100.0 * r.overhead,
+            r.overhead
+                .map(|o| format!("{:+.1}%", 100.0 * o))
+                .unwrap_or_else(|| "-".to_string()),
             r.survivors,
             procs,
             if r.completed { "yes" } else { "NO" },
@@ -204,7 +315,7 @@ fn main() {
             r.straggle,
             r.crash_at.map(|t| t.to_string()).unwrap_or_default(),
             r.wall,
-            r.overhead,
+            r.overhead.map(|o| o.to_string()).unwrap_or_default(),
             r.survivors,
             r.crashed
                 .iter()
@@ -234,7 +345,11 @@ fn main() {
         rows.len() - incomplete,
         incomplete
     );
-    println!("artifacts: {} and {}", md_path.display(), csv_path.display());
+    println!(
+        "artifacts: {} and {}",
+        md_path.display(),
+        csv_path.display()
+    );
     // Survivability gate: every scenario must have completed via
     // degradation or checkpoint-restart (the whole point of the
     // subsystem); exit nonzero otherwise so CI catches regressions.

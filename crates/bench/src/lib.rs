@@ -13,6 +13,8 @@
 
 use cpc_md::{EnergyModel, System};
 use cpc_workload::figures::Lab;
+use cpc_workload::journal::Journal;
+use cpc_workload::Measurement;
 
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone, Default)]
@@ -21,10 +23,18 @@ pub struct FigureArgs {
     pub quick: bool,
     /// Optional path to dump raw measurements as JSON.
     pub json: Option<String>,
+    /// Optional path to a completed-cell journal (JSONL manifest).
+    pub journal: Option<String>,
+    /// Resume from the journal instead of truncating it.
+    pub resume: bool,
+    /// Stop (exit code 3) after this many fresh measurements —
+    /// simulates a campaign killed mid-sweep.
+    pub max_cells: Option<usize>,
 }
 
 impl FigureArgs {
-    /// Parses `--quick` and `--json FILE` from `std::env::args`.
+    /// Parses `--quick`, `--json FILE`, `--journal FILE`, `--resume`
+    /// and `--max-cells N` from `std::env::args`.
     pub fn parse() -> Self {
         let mut out = FigureArgs::default();
         let mut args = std::env::args().skip(1);
@@ -32,8 +42,19 @@ impl FigureArgs {
             match a.as_str() {
                 "--quick" => out.quick = true,
                 "--json" => out.json = args.next(),
+                "--journal" => out.journal = args.next(),
+                "--resume" => out.resume = true,
+                "--max-cells" => {
+                    out.max_cells = args.next().and_then(|n| n.parse().ok());
+                    if out.max_cells.is_none() {
+                        eprintln!("--max-cells requires a number");
+                        std::process::exit(2);
+                    }
+                }
                 "--help" | "-h" => {
-                    eprintln!("usage: [--quick] [--json FILE]");
+                    eprintln!(
+                        "usage: [--quick] [--json FILE] [--journal FILE] [--resume] [--max-cells N]"
+                    );
                     std::process::exit(0);
                 }
                 other => {
@@ -41,6 +62,10 @@ impl FigureArgs {
                     std::process::exit(2);
                 }
             }
+        }
+        if out.resume && out.journal.is_none() {
+            eprintln!("--resume requires --journal FILE");
+            std::process::exit(2);
         }
         out
     }
@@ -54,9 +79,10 @@ impl FigureArgs {
         }
     }
 
-    /// Builds a lab bound to `system` for these options.
+    /// Builds a lab bound to `system` for these options, with the
+    /// journal attached and the cell budget set when requested.
     pub fn lab<'a>(&self, system: &'a System) -> Lab<'a> {
-        if self.quick {
+        let mut lab = if self.quick {
             Lab::custom(
                 system,
                 2,
@@ -64,7 +90,14 @@ impl FigureArgs {
             )
         } else {
             Lab::paper(system)
+        };
+        if let Some(path) = &self.journal {
+            attach_journal(&mut lab, path, self.resume);
         }
+        if let Some(cells) = self.max_cells {
+            lab.set_cell_budget(cells);
+        }
+        lab
     }
 
     /// Writes the JSON dump if requested.
@@ -73,6 +106,30 @@ impl FigureArgs {
             std::fs::write(path, lab.to_json()).expect("write json dump");
             eprintln!("wrote {path}");
         }
+    }
+}
+
+/// Opens (or resumes) a completed-cell journal at `path` and attaches
+/// it to `lab`: with `resume`, already-journaled cells pre-seed the
+/// cache and are skipped; without it, the journal starts fresh.
+pub fn attach_journal(lab: &mut Lab<'_>, path: &str, resume: bool) {
+    if resume {
+        let (journal, recovery) =
+            Journal::<Measurement>::resume(path).expect("resume measurement journal");
+        if recovery.dropped > 0 {
+            eprintln!(
+                "journal {path}: discarded {} torn/damaged trailing line(s)",
+                recovery.dropped
+            );
+        }
+        eprintln!(
+            "journal {path}: resuming past {} completed cell(s)",
+            recovery.entries.len()
+        );
+        lab.attach_journal(journal, recovery.entries);
+    } else {
+        let journal = Journal::<Measurement>::create(path).expect("create measurement journal");
+        lab.attach_journal(journal, Vec::new());
     }
 }
 

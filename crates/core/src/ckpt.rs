@@ -1,0 +1,329 @@
+//! Durable checkpoint store: atomic writes, generation rotation, and
+//! checksum-verified restore with generation-by-generation fallback.
+//!
+//! The in-memory checkpoints of [`crate::recover`] survive rank
+//! crashes (the surviving *processes* hold the state) but not a full
+//! process restart. This store persists each checkpoint as an
+//! [`MdSnapshot`] container on disk:
+//!
+//! * **Atomicity** — every write goes to a temporary file in the same
+//!   directory, is `fsync`ed, then renamed over the final name, and
+//!   the directory is `fsync`ed; a crash mid-write leaves either the
+//!   old generation or the new one, never a half-file (unless a
+//!   scheduled [`StorageFaultKind::TornWrite`] models exactly that).
+//! * **Rotation** — only the newest `keep` generations are retained,
+//!   bounding disk use over arbitrarily long campaigns.
+//! * **Verified fallback** — restore walks generations newest-first,
+//!   decoding and checksum-verifying each; corrupt or truncated files
+//!   are skipped (with a [`FallbackNote`] saying why) until an intact
+//!   snapshot is found.
+//!
+//! Storage faults from a [`FaultPlan`](cpc_cluster::FaultPlan) are
+//! applied here, deterministically, at write time: on a save at
+//! virtual time `now`, every scheduled fault with `at <= now` that has
+//! not fired yet corrupts *this* write. No RNG draw is consumed and no
+//! virtual time is charged, so a storage-fault plan can never perturb
+//! the simulation's calibrated timing.
+
+use cpc_cluster::{StorageFault, StorageFaultKind};
+use cpc_md::{MdSnapshot, SnapshotError};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// File extension of stored snapshot generations.
+pub const CHECKPOINT_EXT: &str = "cpcsnap";
+
+/// Result of a newest-first restore walk: the first intact
+/// `(generation, snapshot)` if any, plus a note for every generation
+/// skipped on the way down.
+pub type RestoreOutcome = (Option<(u64, MdSnapshot)>, Vec<FallbackNote>);
+
+/// Configuration of the durable checkpoint layer of a fault-tolerant
+/// run (see [`crate::recover::FaultConfig::durable`]).
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Directory the generations live in (created if absent).
+    pub dir: PathBuf,
+    /// Number of newest generations retained on disk.
+    pub keep: usize,
+    /// When true, the run first restores the newest intact snapshot
+    /// from `dir` and continues from it instead of starting at step 0.
+    pub resume: bool,
+}
+
+impl DurableConfig {
+    /// Durable checkpointing into `dir` keeping 3 generations, no
+    /// resume.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableConfig {
+            dir: dir.into(),
+            keep: 3,
+            resume: false,
+        }
+    }
+
+    /// Sets the number of retained generations (minimum 1).
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// Requests resume-from-disk at run start.
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+}
+
+/// Why a generation was skipped during a fallback restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FallbackNote {
+    /// Generation (step index) of the skipped snapshot.
+    pub generation: u64,
+    /// Human-readable cause: checksum mismatch, truncation, I/O error.
+    pub reason: String,
+}
+
+/// A directory of rotated, checksummed snapshot generations.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+    /// Scheduled corruptions, ascending by trigger time; drained from
+    /// the front as writes consume them.
+    fault_schedule: Vec<StorageFault>,
+    next_fault: usize,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store in `dir` retaining `keep`
+    /// generations.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore {
+            dir,
+            keep: keep.max(1),
+            fault_schedule: Vec::new(),
+            next_fault: 0,
+        })
+    }
+
+    /// Attaches a storage-fault schedule (use
+    /// [`FaultPlan::storage_schedule`](cpc_cluster::FaultPlan::storage_schedule),
+    /// which sorts by trigger time).
+    pub fn with_fault_schedule(mut self, schedule: Vec<StorageFault>) -> Self {
+        self.fault_schedule = schedule;
+        self.next_fault = 0;
+        self
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, generation: u64) -> PathBuf {
+        self.dir
+            .join(format!("ckpt-{generation:010}.{CHECKPOINT_EXT}"))
+    }
+
+    /// Generations currently on disk, ascending.
+    pub fn generations(&self) -> io::Result<Vec<u64>> {
+        let mut gens = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(num) = name
+                .strip_prefix("ckpt-")
+                .and_then(|rest| rest.strip_suffix(&format!(".{CHECKPOINT_EXT}")))
+            {
+                if let Ok(g) = num.parse::<u64>() {
+                    gens.push(g);
+                }
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Durably writes `snapshot` as generation `snapshot.step`,
+    /// applying any storage faults due at virtual time `now`, then
+    /// rotates old generations. Returns the final path (which may not
+    /// exist if a [`StorageFaultKind::Missing`] fault fired).
+    pub fn save(&mut self, snapshot: &MdSnapshot, now: f64) -> io::Result<PathBuf> {
+        let mut bytes = snapshot.encode();
+        let mut missing = false;
+        while self.next_fault < self.fault_schedule.len()
+            && self.fault_schedule[self.next_fault].at <= now
+        {
+            let fault = self.fault_schedule[self.next_fault];
+            self.next_fault += 1;
+            match fault.kind {
+                StorageFaultKind::TornWrite { keep_frac } => {
+                    let cut = (bytes.len() as f64 * keep_frac) as usize;
+                    bytes.truncate(cut);
+                }
+                StorageFaultKind::BitFlip { byte, bit } => {
+                    if !bytes.is_empty() {
+                        let idx = byte % bytes.len();
+                        bytes[idx] ^= 1 << (bit & 7);
+                    }
+                }
+                StorageFaultKind::Missing => missing = true,
+            }
+        }
+
+        let path = self.path_for(snapshot.step);
+        if missing {
+            // The write is lost entirely; a stale same-generation file
+            // would mask the loss, so remove it.
+            let _ = fs::remove_file(&path);
+        } else {
+            let tmp = self
+                .dir
+                .join(format!("ckpt-{:010}.{CHECKPOINT_EXT}.tmp", snapshot.step));
+            {
+                let mut f = fs::File::create(&tmp)?;
+                f.write_all(&bytes)?;
+                f.sync_all()?;
+            }
+            fs::rename(&tmp, &path)?;
+            // Make the rename itself durable.
+            if let Ok(d) = fs::File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        self.rotate()?;
+        Ok(path)
+    }
+
+    fn rotate(&self) -> io::Result<()> {
+        let gens = self.generations()?;
+        if gens.len() > self.keep {
+            for &g in &gens[..gens.len() - self.keep] {
+                fs::remove_file(self.path_for(g))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores a specific generation, verifying every checksum.
+    pub fn restore_generation(&self, generation: u64) -> Result<MdSnapshot, FallbackNote> {
+        let path = self.path_for(generation);
+        let bytes = fs::read(&path).map_err(|e| FallbackNote {
+            generation,
+            reason: format!("read failed: {e}"),
+        })?;
+        MdSnapshot::decode(&bytes).map_err(|e: SnapshotError| FallbackNote {
+            generation,
+            reason: e.to_string(),
+        })
+    }
+
+    /// Walks generations newest-first and returns the first one that
+    /// decodes and verifies, together with notes on every generation
+    /// skipped on the way. `Ok(None)` means no intact snapshot exists.
+    pub fn restore_newest_intact(&self) -> io::Result<RestoreOutcome> {
+        let mut notes = Vec::new();
+        for &g in self.generations()?.iter().rev() {
+            match self.restore_generation(g) {
+                Ok(snapshot) => return Ok((Some((g, snapshot)), notes)),
+                Err(note) => notes.push(note),
+            }
+        }
+        Ok((None, notes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpc_cluster::FaultPlan;
+    use cpc_md::builder::water_box;
+    use cpc_md::Vec3;
+
+    fn snap(step: u64, mark: f64) -> MdSnapshot {
+        let sys = water_box(2, 3.1);
+        let forces = vec![Vec3::splat(mark); sys.n_atoms()];
+        MdSnapshot::capture(&sys, &forces, step)
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpc-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_restore_roundtrip_and_rotation() {
+        let dir = tmp_dir("rotate");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        for step in 0..5u64 {
+            store.save(&snap(step, step as f64), step as f64).unwrap();
+        }
+        assert_eq!(store.generations().unwrap(), vec![3, 4]);
+        let (hit, notes) = store.restore_newest_intact().unwrap();
+        let (gen, restored) = hit.expect("newest generation is intact");
+        assert_eq!(gen, 4);
+        assert_eq!(restored.forces[0], Vec3::splat(4.0));
+        assert!(notes.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_newest_falls_back_to_previous_generation() {
+        let dir = tmp_dir("fallback");
+        let plan = FaultPlan::none()
+            .with_storage_fault(2.0, StorageFaultKind::BitFlip { byte: 999, bit: 2 });
+        let mut store = CheckpointStore::open(&dir, 3)
+            .unwrap()
+            .with_fault_schedule(plan.storage_schedule());
+        store.save(&snap(1, 1.0), 1.0).unwrap(); // clean
+        store.save(&snap(2, 2.0), 2.5).unwrap(); // bit-flipped
+        let (hit, notes) = store.restore_newest_intact().unwrap();
+        let (gen, restored) = hit.expect("generation 1 is intact");
+        assert_eq!(gen, 1);
+        assert_eq!(restored.forces[0], Vec3::splat(1.0));
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].generation, 2);
+        assert!(
+            notes[0].reason.contains("checksum"),
+            "reason: {}",
+            notes[0].reason
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_and_missing_faults() {
+        let dir = tmp_dir("torn");
+        let plan = FaultPlan::none()
+            .with_storage_fault(1.0, StorageFaultKind::TornWrite { keep_frac: 0.3 })
+            .with_storage_fault(2.0, StorageFaultKind::Missing);
+        let mut store = CheckpointStore::open(&dir, 3)
+            .unwrap()
+            .with_fault_schedule(plan.storage_schedule());
+        store.save(&snap(0, 0.0), 0.0).unwrap(); // clean: before any fault
+        store.save(&snap(1, 1.0), 1.0).unwrap(); // torn
+        store.save(&snap(2, 2.0), 2.0).unwrap(); // missing
+        assert_eq!(store.generations().unwrap(), vec![0, 1]);
+        let (hit, notes) = store.restore_newest_intact().unwrap();
+        let (gen, _) = hit.expect("generation 0 is intact");
+        assert_eq!(gen, 0);
+        assert_eq!(notes.len(), 1, "torn generation 1 was skipped");
+        assert!(notes[0].reason.contains("truncated"), "{}", notes[0].reason);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_store_restores_nothing() {
+        let dir = tmp_dir("empty");
+        let store = CheckpointStore::open(&dir, 1).unwrap();
+        let (hit, notes) = store.restore_newest_intact().unwrap();
+        assert!(hit.is_none());
+        assert!(notes.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

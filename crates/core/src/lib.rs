@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod classic;
 pub mod decomp;
 pub mod driver;
@@ -31,9 +32,10 @@ pub mod pme_spatial;
 pub mod recover;
 pub mod report;
 
+pub use ckpt::{CheckpointStore, DurableConfig, FallbackNote};
 pub use classic::{classic_energy_parallel, ClassicResult};
 pub use driver::{run_parallel_md, CommTuning, MdConfig, PmeImpl};
 pub use pme_par::{ParallelPme, PmeParallelResult};
 pub use pme_spatial::SpatialPme;
-pub use recover::{run_parallel_md_faulty, FaultConfig, FtReport};
+pub use recover::{run_parallel_md_faulty, FaultConfig, FtReport, WatchdogConfig};
 pub use report::{RunReport, StepEnergies};

@@ -11,6 +11,7 @@
 //! rollback is booked under [`Phase::Recovery`] so survivability
 //! reports can separate it from productive work.
 
+use crate::ckpt::{CheckpointStore, DurableConfig};
 use crate::classic::classic_energy_parallel_with;
 use crate::driver::{CommTuning, MdConfig, PmeImpl};
 use crate::pme_par::ParallelPme;
@@ -21,7 +22,7 @@ use cpc_md::energy::EnergyModel;
 use cpc_md::neighbor::NeighborList;
 use cpc_md::nonbonded::NonbondedOptions;
 use cpc_md::units::ACCEL_CONV;
-use cpc_md::{System, Vec3};
+use cpc_md::{MdSnapshot, System, Vec3};
 use cpc_mpi::Comm;
 
 /// Cost of writing or reading checkpoint state, seconds per byte
@@ -31,6 +32,31 @@ const CKPT_BYTE_COST: f64 = 1e-9;
 /// Neighbour-list skin (matches [`crate::driver`]).
 const SKIN: f64 = 2.0;
 
+/// Numerical-watchdog configuration: treats a blown-up trajectory
+/// (NaN/inf coordinates or runaway energy drift) as a fault and rolls
+/// back to the last good checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// Maximum tolerated relative drift of total energy versus the
+    /// first recorded step, `|E - E0| / max(|E0|, 1)`. The default (1.0,
+    /// i.e. 100%) only fires on genuine blow-ups, never on the ordinary
+    /// energy noise of a stable integration.
+    pub max_rel_drift: f64,
+    /// Rollbacks granted before the run is declared diverged: a purely
+    /// numerical blow-up is deterministic, so unlimited retries would
+    /// re-trip forever.
+    pub max_rollbacks: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            max_rel_drift: 1.0,
+            max_rollbacks: 2,
+        }
+    }
+}
+
 /// Fault-tolerance configuration for a run.
 #[derive(Debug, Clone)]
 pub struct FaultConfig {
@@ -39,6 +65,14 @@ pub struct FaultConfig {
     /// Steps between checkpoints (a checkpoint is also taken at step
     /// 0); rollback re-runs at most `checkpoint_interval - 1` steps.
     pub checkpoint_interval: usize,
+    /// Optional durable (on-disk) checkpointing; `None` keeps the
+    /// original in-memory-only behaviour. Durable writes happen in real
+    /// I/O outside the virtual clock, so enabling them never perturbs
+    /// the calibrated timing.
+    pub durable: Option<DurableConfig>,
+    /// The numerical watchdog (always armed; defaults are loose enough
+    /// to stay silent on healthy runs).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for FaultConfig {
@@ -46,6 +80,8 @@ impl Default for FaultConfig {
         FaultConfig {
             plan: FaultPlan::none(),
             checkpoint_interval: 2,
+            durable: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -58,6 +94,19 @@ impl FaultConfig {
             plan,
             ..FaultConfig::default()
         }
+    }
+
+    /// Enables durable checkpointing (and, if `durable.resume` is set,
+    /// resume-from-disk at run start).
+    pub fn with_durable(mut self, durable: DurableConfig) -> Self {
+        self.durable = Some(durable);
+        self
+    }
+
+    /// Overrides the numerical-watchdog thresholds.
+    pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
+        self
     }
 }
 
@@ -78,6 +127,14 @@ pub struct FtReport {
     /// Wall-clock (virtual) seconds spent in [`Phase::Recovery`],
     /// maximum over ranks.
     pub recovery_time: f64,
+    /// Numerical-watchdog rollbacks (blow-ups treated as faults).
+    pub watchdog_trips: usize,
+    /// True when the watchdog gave up: the trajectory kept blowing up
+    /// after `max_rollbacks` rollbacks.
+    pub diverged: bool,
+    /// Generation (step) of the durable snapshot the run resumed from,
+    /// when a resume was requested and an intact snapshot existed.
+    pub resumed_from: Option<u64>,
     /// Whether the survivors completed all configured steps.
     pub completed: bool,
 }
@@ -85,11 +142,16 @@ pub struct FtReport {
 impl FtReport {
     /// Overhead of this run versus a reference (fault-free) wall time:
     /// `wall / reference - 1`. Negative only if the run died early.
-    pub fn overhead_vs(&self, reference_wall: f64) -> f64 {
-        if reference_wall > 0.0 {
-            self.report.wall_time / reference_wall - 1.0
+    ///
+    /// Returns `None` when the ratio is meaningless — a zero, negative
+    /// or non-finite reference wall, or a non-finite wall for this run
+    /// — rather than a fabricated `0.0` that would read as "no
+    /// overhead" in a report.
+    pub fn overhead_vs(&self, reference_wall: f64) -> Option<f64> {
+        if reference_wall.is_finite() && reference_wall > 0.0 && self.report.wall_time.is_finite() {
+            Some(self.report.wall_time / reference_wall - 1.0)
         } else {
-            0.0
+            None
         }
     }
 }
@@ -111,6 +173,23 @@ impl Checkpoint {
     }
 }
 
+/// Builds the durable on-disk snapshot corresponding to an in-memory
+/// checkpoint: full MD state plus the per-step energy log (carried in
+/// the AUX section so a resumed run reports the complete trajectory).
+fn durable_snapshot(
+    sys: &System,
+    forces: &[Vec3],
+    energies_log: &[StepEnergies],
+    step: usize,
+) -> MdSnapshot {
+    let mut snap = MdSnapshot::capture(sys, forces, step as u64);
+    snap.aux = energies_log
+        .iter()
+        .map(|e| [e.classic, e.pme, e.kinetic])
+        .collect();
+    snap
+}
+
 enum PmeEngine {
     Replicated(ParallelPme),
     Spatial(SpatialPme),
@@ -129,9 +208,9 @@ fn make_pme(
                     .with_grid_sum(tuning.grid_sum)
                     .with_force_combine(tuning.force_combine),
             ),
-            PmeImpl::Spatial => {
-                PmeEngine::Spatial(SpatialPme::new(params, p).with_force_combine(tuning.force_combine))
-            }
+            PmeImpl::Spatial => PmeEngine::Spatial(
+                SpatialPme::new(params, p).with_force_combine(tuning.force_combine),
+            ),
         }),
         EnergyModel::Classic => None,
     }
@@ -158,7 +237,8 @@ fn eval_forces(
             .charge_compute(list.pairs.len() as f64 * 2.5 * cost.list_build_pair / p as f64);
     }
     comm.barrier();
-    let classic = classic_energy_parallel_with(comm, sys, &list.pairs, opts, cost, tuning.force_combine);
+    let classic =
+        classic_energy_parallel_with(comm, sys, &list.pairs, opts, cost, tuning.force_combine);
     let classic_energy = classic.energy();
     let mut forces = classic.forces;
     let mut pme_energy = 0.0;
@@ -188,6 +268,17 @@ fn eval_forces(
 /// With an all-zero plan the trajectory is bit-identical to
 /// [`crate::driver::run_parallel_md`]'s (the heartbeats add control
 /// traffic, so *timing* differs; physics does not).
+///
+/// When [`FaultConfig::durable`] is set, the lowest live member also
+/// persists each checkpoint through a [`CheckpointStore`] — real file
+/// I/O outside the virtual clock, so enabling it leaves both timing
+/// and physics bit-identical. With `durable.resume`, the run first
+/// restores the newest intact snapshot and continues from its step,
+/// surviving a full process restart. A numerical watchdog additionally
+/// treats NaN/inf coordinates or runaway energy drift as a fault,
+/// rolling back under [`Phase::Recovery`] (at most
+/// [`WatchdogConfig::max_rollbacks`] times before declaring the run
+/// diverged).
 pub fn run_parallel_md_faulty(
     system: &System,
     cfg: &MdConfig,
@@ -204,6 +295,9 @@ pub fn run_parallel_md_faulty(
     let tuning = cfg.tuning;
     let pme_impl = cfg.pme_impl;
     let ckpt_every = fault.checkpoint_interval.max(1);
+    let durable = fault.durable.clone();
+    let watchdog = fault.watchdog;
+    let storage_schedule = fault.plan.storage_schedule();
 
     let outcomes = run_cluster_faulty(cfg.cluster, fault.plan.clone(), |ctx| {
         let cost = ctx.config().cost;
@@ -211,29 +305,102 @@ pub fn run_parallel_md_faulty(
         let mut sys = system.clone();
         let mut ppme = make_pme(model, pme_impl, tuning, comm.size());
 
+        // Durable store, when configured: every rank opens it (and can
+        // read for resume), only the lowest live member writes. All
+        // store I/O is real file I/O outside the virtual clock.
+        let mut store = durable.as_ref().map(|d| {
+            CheckpointStore::open(&d.dir, d.keep)
+                .expect("checkpoint directory must be creatable")
+                .with_fault_schedule(storage_schedule.clone())
+        });
+
+        // Resume happens before the first neighbour-list build so the
+        // list is built from the restored coordinates. Every rank reads
+        // the same newest intact snapshot, so all fast-forward
+        // identically without any communication.
+        let mut resume_snap: Option<(u64, MdSnapshot)> = None;
+        if durable.as_ref().is_some_and(|d| d.resume) {
+            if let Some(store) = store.as_ref() {
+                let (hit, _skipped) = store
+                    .restore_newest_intact()
+                    .expect("checkpoint directory must be readable");
+                if let Some((gen, snap)) = hit {
+                    if snap.positions.len() == sys.n_atoms() {
+                        snap.restore_into(&mut sys);
+                        resume_snap = Some((gen, snap));
+                    }
+                }
+            }
+        }
+
         comm.ctx().set_phase(Phase::Classic);
         let mut list =
             NeighborList::build(&sys.topology, &sys.pbox, &sys.positions, opts.cutoff, SKIN);
-        comm.ctx().charge_compute(
-            list.pairs.len() as f64 * 2.5 * cost.list_build_pair / comm.size() as f64,
-        );
+        let build_cost = list.pairs.len() as f64 * 2.5 * cost.list_build_pair / comm.size() as f64;
+        comm.ctx().charge_compute(build_cost);
 
         let mut energies_log: Vec<StepEnergies> = Vec::with_capacity(steps);
-        let (mut forces, _, _) =
-            eval_forces(&mut comm, &sys, &mut list, &opts, &cost, tuning, ppme.as_ref());
-
-        // Step-0 checkpoint, so even an immediate crash is recoverable.
-        let mut ckpt = Checkpoint {
-            step: 0,
-            positions: sys.positions.clone(),
-            velocities: sys.velocities.clone(),
-            forces: forces.clone(),
-        };
-        comm.ctx().set_phase(Phase::Other);
-        comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
-
         let mut step = 0usize;
+        let mut resumed_from: Option<u64> = None;
+        let mut forces: Vec<Vec3>;
+        let mut ckpt: Checkpoint;
+        if let Some((gen, snap)) = resume_snap {
+            // Fast-forward: the snapshot replaces the initial force
+            // evaluation; reading it back is charged like a checkpoint
+            // restore.
+            forces = snap.forces.clone();
+            step = snap.step as usize;
+            energies_log.extend(snap.aux.iter().map(|e| StepEnergies {
+                classic: e[0],
+                pme: e[1],
+                kinetic: e[2],
+            }));
+            ckpt = Checkpoint {
+                step,
+                positions: sys.positions.clone(),
+                velocities: sys.velocities.clone(),
+                forces: forces.clone(),
+            };
+            comm.ctx().set_phase(Phase::Other);
+            comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
+            resumed_from = Some(gen);
+        } else {
+            let (f, _, _) = eval_forces(
+                &mut comm,
+                &sys,
+                &mut list,
+                &opts,
+                &cost,
+                tuning,
+                ppme.as_ref(),
+            );
+            forces = f;
+
+            // Step-0 checkpoint, so even an immediate crash is recoverable.
+            ckpt = Checkpoint {
+                step: 0,
+                positions: sys.positions.clone(),
+                velocities: sys.velocities.clone(),
+                forces: forces.clone(),
+            };
+            comm.ctx().set_phase(Phase::Other);
+            comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
+            if comm.rank() == 0 {
+                if let Some(store) = store.as_mut() {
+                    let snap = durable_snapshot(&sys, &forces, &energies_log, 0);
+                    let now = comm.ctx().now();
+                    store.save(&snap, now).expect("durable checkpoint write");
+                }
+            }
+        }
+
         let mut recoveries = 0usize;
+        let mut watchdog_trips = 0usize;
+        let mut diverged = false;
+        let mut e_ref: Option<f64> = energies_log
+            .first()
+            .map(|e| e.classic + e.pme + e.kinetic)
+            .filter(|e| e.is_finite());
         loop {
             // Failure detection epoch: my own scheduled crash first (a
             // rank either heartbeats or is seen dead by *everyone*),
@@ -256,10 +423,9 @@ pub fn run_parallel_md_faulty(
                 ppme = make_pme(model, pme_impl, tuning, comm.size());
                 if list.needs_rebuild(&sys.pbox, &sys.positions) {
                     list.rebuild(&sys.topology, &sys.pbox, &sys.positions);
-                    comm.ctx().charge_compute(
-                        list.pairs.len() as f64 * 2.5 * cost.list_build_pair
-                            / comm.size() as f64,
-                    );
+                    let rebuild_cost =
+                        list.pairs.len() as f64 * 2.5 * cost.list_build_pair / comm.size() as f64;
+                    comm.ctx().charge_compute(rebuild_cost);
                 }
                 recoveries += 1;
                 // Re-synchronize the survivors before resuming; a
@@ -298,8 +464,15 @@ pub fn run_parallel_md_faulty(
                 }
             }
 
-            let (new_forces, e_classic, e_pme) =
-                eval_forces(&mut comm, &sys, &mut list, &opts, &cost, tuning, ppme.as_ref());
+            let (new_forces, e_classic, e_pme) = eval_forces(
+                &mut comm,
+                &sys,
+                &mut list,
+                &opts,
+                &cost,
+                tuning,
+                ppme.as_ref(),
+            );
             forces = new_forces;
 
             comm.ctx().set_phase(Phase::Integrate);
@@ -328,7 +501,48 @@ pub fn run_parallel_md_faulty(
             });
             step += 1;
 
-            if step % ckpt_every == 0 {
+            // Numerical watchdog: a blown-up trajectory (NaN/inf
+            // coordinates or runaway total-energy drift) is a fault
+            // like any other — roll back to the last good checkpoint
+            // rather than checkpointing garbage. The check itself is
+            // FT machinery and charges no virtual time.
+            let e_total = e_classic + e_pme + energies_log.last().map_or(0.0, |e| e.kinetic);
+            if e_ref.is_none() && e_total.is_finite() {
+                e_ref = Some(e_total);
+            }
+            let blown_up = !e_total.is_finite()
+                || sys
+                    .positions
+                    .iter()
+                    .any(|p| !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite()))
+                || e_ref.is_some_and(|e0| {
+                    (e_total - e0).abs() / e0.abs().max(1.0) > watchdog.max_rel_drift
+                });
+            if blown_up {
+                watchdog_trips += 1;
+                if watchdog_trips > watchdog.max_rollbacks {
+                    // The blow-up is deterministic from this state:
+                    // further rollbacks would re-trip forever.
+                    diverged = true;
+                    break;
+                }
+                comm.ctx().set_phase(Phase::Recovery);
+                sys.positions.clone_from(&ckpt.positions);
+                sys.velocities.clone_from(&ckpt.velocities);
+                forces.clone_from(&ckpt.forces);
+                step = ckpt.step;
+                energies_log.truncate(step);
+                comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
+                if list.needs_rebuild(&sys.pbox, &sys.positions) {
+                    list.rebuild(&sys.topology, &sys.pbox, &sys.positions);
+                    let rebuild_cost =
+                        list.pairs.len() as f64 * 2.5 * cost.list_build_pair / comm.size() as f64;
+                    comm.ctx().charge_compute(rebuild_cost);
+                }
+                continue;
+            }
+
+            if step.is_multiple_of(ckpt_every) {
                 ckpt = Checkpoint {
                     step,
                     positions: sys.positions.clone(),
@@ -337,9 +551,24 @@ pub fn run_parallel_md_faulty(
                 };
                 comm.ctx().set_phase(Phase::Other);
                 comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
+                if comm.rank() == 0 {
+                    if let Some(store) = store.as_mut() {
+                        let snap = durable_snapshot(&sys, &forces, &energies_log, step);
+                        let now = comm.ctx().now();
+                        store.save(&snap, now).expect("durable checkpoint write");
+                    }
+                }
             }
         }
-        (energies_log, sys.positions, sys.velocities, recoveries)
+        (
+            energies_log,
+            sys.positions,
+            sys.velocities,
+            recoveries,
+            watchdog_trips,
+            diverged,
+            resumed_from,
+        )
     })?;
 
     let crashed_ranks: Vec<usize> = outcomes
@@ -362,9 +591,17 @@ pub fn run_parallel_md_faulty(
     let mut final_positions = Vec::new();
     let mut final_velocities = Vec::new();
     let mut recoveries = 0usize;
+    let mut watchdog_trips = 0usize;
+    let mut diverged = false;
+    let mut resumed_from = None;
     for o in &outcomes {
-        if let Some((e, p, v, r)) = &o.result {
+        if let Some((e, p, v, r, trips, dv, rf)) = &o.result {
             recoveries = recoveries.max(*r);
+            watchdog_trips = watchdog_trips.max(*trips);
+            diverged |= *dv;
+            if resumed_from.is_none() {
+                resumed_from = *rf;
+            }
             if step_energies.is_empty() {
                 step_energies = e.clone();
                 final_positions = p.clone();
@@ -372,7 +609,7 @@ pub fn run_parallel_md_faulty(
             }
         }
     }
-    let completed = survivors > 0 && step_energies.len() == steps;
+    let completed = survivors > 0 && step_energies.len() == steps && !diverged;
     let per_rank = outcomes.into_iter().map(|o| o.stats).collect();
 
     Ok(FtReport {
@@ -390,6 +627,9 @@ pub fn run_parallel_md_faulty(
         survivors,
         recoveries,
         recovery_time,
+        watchdog_trips,
+        diverged,
+        resumed_from,
         completed,
     })
 }
@@ -471,6 +711,131 @@ mod tests {
         assert_eq!(ft.survivors, 3);
         assert!(ft.completed);
         assert_eq!(ft.report.step_energies.len(), 2);
+    }
+
+    fn tmp_ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cpc-recover-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_checkpointing_never_perturbs_timing_or_physics() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 3);
+        let dir = tmp_ckpt_dir("timing");
+        let plain = run_parallel_md_faulty(&sys, &cfg, &FaultConfig::default()).unwrap();
+        let durable = FaultConfig::default().with_durable(DurableConfig::new(&dir));
+        let with_store = run_parallel_md_faulty(&sys, &cfg, &durable).unwrap();
+        // Durable writes live outside the virtual clock: calibrated
+        // timing and trajectory are bit-identical either way.
+        assert_eq!(with_store.report.wall_time, plain.report.wall_time);
+        assert_eq!(
+            with_store.report.final_positions,
+            plain.report.final_positions
+        );
+        assert_eq!(with_store.report.step_energies, plain.report.step_energies);
+        // ...and the generations really are on disk and intact.
+        let store = CheckpointStore::open(&dir, 8).unwrap();
+        assert!(!store.generations().unwrap().is_empty());
+        let (hit, notes) = store.restore_newest_intact().unwrap();
+        assert!(hit.is_some());
+        assert!(notes.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_after_process_restart_matches_uninterrupted_run() {
+        let sys = test_system();
+        let dir = tmp_ckpt_dir("resume");
+        // "First process": killed after 2 of 4 steps (checkpoint lands
+        // at step 2 with the default interval of 2).
+        let partial = FaultConfig::default().with_durable(DurableConfig::new(&dir));
+        run_parallel_md_faulty(&sys, &test_cfg(3, 2), &partial).unwrap();
+        // "Restarted process": resumes from disk and finishes.
+        let resumed_cfg =
+            FaultConfig::default().with_durable(DurableConfig::new(&dir).with_resume(true));
+        let resumed = run_parallel_md_faulty(&sys, &test_cfg(3, 4), &resumed_cfg).unwrap();
+        assert_eq!(resumed.resumed_from, Some(2));
+        assert!(resumed.completed);
+        // Reference: the same 4 steps without any interruption.
+        let full = run_parallel_md_faulty(&sys, &test_cfg(3, 4), &FaultConfig::default()).unwrap();
+        assert_eq!(resumed.report.step_energies, full.report.step_energies);
+        assert_eq!(resumed.report.final_positions, full.report.final_positions);
+        assert_eq!(
+            resumed.report.final_velocities,
+            full.report.final_velocities
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_falls_back_past_a_corrupted_generation() {
+        let sys = test_system();
+        let dir = tmp_ckpt_dir("fallback");
+        let partial = FaultConfig::default().with_durable(DurableConfig::new(&dir));
+        run_parallel_md_faulty(&sys, &test_cfg(3, 2), &partial).unwrap();
+        // Damage the newest generation (step 2) on disk.
+        let newest = dir.join("ckpt-0000000002.cpcsnap");
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let resumed_cfg =
+            FaultConfig::default().with_durable(DurableConfig::new(&dir).with_resume(true));
+        let resumed = run_parallel_md_faulty(&sys, &test_cfg(3, 4), &resumed_cfg).unwrap();
+        // Checksums catch the damage; the run restarts from the older
+        // intact generation and still reproduces the trajectory.
+        assert_eq!(resumed.resumed_from, Some(0));
+        assert!(resumed.completed);
+        let full = run_parallel_md_faulty(&sys, &test_cfg(3, 4), &FaultConfig::default()).unwrap();
+        assert_eq!(resumed.report.final_positions, full.report.final_positions);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watchdog_classifies_blowup_and_gives_up_deterministically() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 4);
+        // A zero drift tolerance makes any energy fluctuation a
+        // "blow-up": the rollback re-runs the same steps, re-trips, and
+        // after max_rollbacks the run is declared diverged.
+        let fault = FaultConfig::default().with_watchdog(WatchdogConfig {
+            max_rel_drift: 0.0,
+            max_rollbacks: 2,
+        });
+        let ft = run_parallel_md_faulty(&sys, &cfg, &fault).unwrap();
+        assert_eq!(ft.watchdog_trips, 3, "two rollbacks, then the fatal trip");
+        assert!(ft.diverged);
+        assert!(!ft.completed);
+        assert!(ft.recovery_time > 0.0, "rollbacks are booked as recovery");
+        assert!(ft.crashed_ranks.is_empty(), "no process actually died");
+    }
+
+    #[test]
+    fn watchdog_stays_silent_on_healthy_runs() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 3);
+        let ft = run_parallel_md_faulty(&sys, &cfg, &FaultConfig::default()).unwrap();
+        assert_eq!(ft.watchdog_trips, 0);
+        assert!(!ft.diverged);
+        assert!(ft.completed);
+    }
+
+    #[test]
+    fn overhead_guard_rejects_degenerate_references() {
+        let sys = test_system();
+        let cfg = test_cfg(2, 1);
+        let ft = run_parallel_md_faulty(&sys, &cfg, &FaultConfig::default()).unwrap();
+        assert!(ft.overhead_vs(0.0).is_none());
+        assert!(ft.overhead_vs(-1.0).is_none());
+        assert!(ft.overhead_vs(f64::NAN).is_none());
+        assert!(ft.overhead_vs(f64::INFINITY).is_none());
+        let wall = ft.report.wall_time;
+        assert_eq!(ft.overhead_vs(wall), Some(0.0));
+        let doubled = ft.overhead_vs(wall / 2.0).unwrap();
+        assert!((doubled - 1.0).abs() < 1e-12);
     }
 
     #[test]

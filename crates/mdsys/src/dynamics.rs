@@ -113,8 +113,14 @@ impl Simulation {
             let reference = reference.as_ref().expect("saved above");
             let pre = self.system.positions.clone();
             shake.apply_positions(&self.system.pbox, reference, &mut self.system.positions);
-            for i in 0..n {
-                self.system.velocities[i] += (self.system.positions[i] - pre[i]) * (1.0 / dt);
+            for ((v, &corrected), &drifted) in self
+                .system
+                .velocities
+                .iter_mut()
+                .zip(&self.system.positions)
+                .zip(&pre)
+            {
+                *v += (corrected - drifted) * (1.0 / dt);
             }
         }
 

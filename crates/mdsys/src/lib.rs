@@ -51,6 +51,7 @@ pub mod observe;
 pub mod pbc;
 pub mod pme;
 pub mod pressure;
+pub mod snapshot;
 pub mod special;
 pub mod system;
 pub mod tables;
@@ -61,5 +62,6 @@ pub mod vec3;
 
 pub use energy::{EnergyModel, EnergyReport, Evaluator, OpCounts};
 pub use pbc::PbcBox;
+pub use snapshot::{MdSnapshot, SnapshotError};
 pub use system::System;
 pub use vec3::Vec3;

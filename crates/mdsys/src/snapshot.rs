@@ -1,0 +1,528 @@
+//! Versioned binary snapshots of full MD state with per-section
+//! integrity checksums.
+//!
+//! The JSON checkpoints in [`crate::io`] are human-readable but have
+//! two durability problems: a partially written file parses as a hard
+//! error with no diagnosis, and a flipped bit inside a coordinate can
+//! parse *successfully* into silently wrong physics. This module is
+//! the durable counterpart: a little-endian binary container whose
+//! sections — positions, velocities, forces, thermostat RNG cursor,
+//! auxiliary per-step energy log — each carry an FNV-1a 64-bit
+//! checksum, so truncation and bit flips are detected at restore time
+//! and classified precisely. All floats are stored via
+//! `f64::to_le_bytes`, so a decode→encode round trip is bit-identical
+//! (NaN payloads included) and restore reproduces the saved
+//! trajectory exactly.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic   b"CPCSNAP\0"                      8 bytes
+//! version u32                               4 bytes
+//! nsect   u32                               4 bytes
+//! section := tag [4 ascii] | len u64 | payload [len] | fnv1a64(tag‖len‖payload)
+//! ```
+
+use crate::pbc::PbcBox;
+use crate::system::System;
+use crate::thermostat::Thermostat;
+use crate::vec3::Vec3;
+
+/// File magic for snapshot containers.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"CPCSNAP\0";
+/// Current container format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to decode. Distinguishing truncation from
+/// corruption from format drift lets the checkpoint store report
+/// *which* failure mode a fallback skipped over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer is shorter than a complete header or section.
+    Truncated {
+        /// What was being read when the data ran out.
+        context: &'static str,
+    },
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The container version is newer than this code understands.
+    UnsupportedVersion(u32),
+    /// A section's stored checksum does not match its payload.
+    ChecksumMismatch {
+        /// Four-character section tag, e.g. `"POS_"`.
+        section: String,
+    },
+    /// A section decoded but its contents are inconsistent (wrong
+    /// element count, unknown thermostat tag, ...).
+    Malformed {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// Four-character tag of the absent section.
+        section: &'static str,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v}")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            SnapshotError::Malformed { detail } => write!(f, "malformed snapshot: {detail}"),
+            SnapshotError::MissingSection { section } => {
+                write!(f, "snapshot is missing section {section}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64-bit hash, the integrity check for each section.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A complete, restartable MD state: everything the fault-tolerant
+/// driver needs to resume a trajectory bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MdSnapshot {
+    /// Step index the state corresponds to (state *after* this many
+    /// completed steps).
+    pub step: u64,
+    /// Periodic box edge lengths.
+    pub box_lengths: Vec3,
+    /// Atom positions (Angstrom).
+    pub positions: Vec<Vec3>,
+    /// Atom velocities (Angstrom/ps).
+    pub velocities: Vec<Vec3>,
+    /// Forces at `step`, so integration resumes without re-evaluating.
+    pub forces: Vec<Vec3>,
+    /// Thermostat configuration.
+    pub thermostat: Thermostat,
+    /// Thermostat RNG stream cursor: restoring it makes the stochastic
+    /// noise sequence continue exactly where the snapshot left off.
+    pub rng_cursor: u64,
+    /// Auxiliary per-step log carried through restarts (the parallel
+    /// driver stores `[classic, pme, kinetic]` energies per step).
+    pub aux: Vec<[f64; 3]>,
+}
+
+impl MdSnapshot {
+    /// Captures a snapshot of `system` (plus integrator side state).
+    pub fn capture(system: &System, forces: &[Vec3], step: u64) -> Self {
+        MdSnapshot {
+            step,
+            box_lengths: system.pbox.lengths,
+            positions: system.positions.clone(),
+            velocities: system.velocities.clone(),
+            forces: forces.to_vec(),
+            thermostat: Thermostat::None,
+            rng_cursor: 0,
+            aux: Vec::new(),
+        }
+    }
+
+    /// Restores positions, velocities and box into `system`,
+    /// bit-identically to what [`capture`](Self::capture) saw.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's atom count differs from the system's —
+    /// restoring across topologies is always a logic error.
+    pub fn restore_into(&self, system: &mut System) {
+        assert_eq!(
+            self.positions.len(),
+            system.n_atoms(),
+            "snapshot atom count mismatch"
+        );
+        system.pbox = PbcBox::new(self.box_lengths.x, self.box_lengths.y, self.box_lengths.z);
+        system.positions.clone_from(&self.positions);
+        system.velocities.clone_from(&self.velocities);
+    }
+
+    /// Serialized size in bytes (exact).
+    pub fn encoded_len(&self) -> usize {
+        let vec3_payload = |v: &Vec<Vec3>| v.len() * 24;
+        let section = |payload: usize| 4 + 8 + payload + 8;
+        16 + section(16)
+            + section(24)
+            + section(vec3_payload(&self.positions))
+            + section(vec3_payload(&self.velocities))
+            + section(vec3_payload(&self.forces))
+            + section(25)
+            + section(8 + self.aux.len() * 24)
+    }
+
+    /// Encodes the snapshot into the versioned container format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&7u32.to_le_bytes());
+
+        let mut meta = Vec::with_capacity(16);
+        meta.extend_from_slice(&self.step.to_le_bytes());
+        meta.extend_from_slice(&(self.positions.len() as u64).to_le_bytes());
+        push_section(&mut out, *b"META", &meta);
+
+        let mut boxp = Vec::with_capacity(24);
+        push_vec3(&mut boxp, self.box_lengths);
+        push_section(&mut out, *b"BOX_", &boxp);
+
+        push_section(&mut out, *b"POS_", &encode_vec3s(&self.positions));
+        push_section(&mut out, *b"VEL_", &encode_vec3s(&self.velocities));
+        push_section(&mut out, *b"FRC_", &encode_vec3s(&self.forces));
+
+        let mut th = Vec::with_capacity(25);
+        let (tag, a, b) = match self.thermostat {
+            Thermostat::None => (0u8, 0.0, 0.0),
+            Thermostat::Berendsen { target, tau } => (1, target, tau),
+            Thermostat::Langevin { target, gamma } => (2, target, gamma),
+        };
+        th.push(tag);
+        th.extend_from_slice(&a.to_le_bytes());
+        th.extend_from_slice(&b.to_le_bytes());
+        th.extend_from_slice(&self.rng_cursor.to_le_bytes());
+        push_section(&mut out, *b"THRM", &th);
+
+        let mut aux = Vec::with_capacity(8 + self.aux.len() * 24);
+        aux.extend_from_slice(&(self.aux.len() as u64).to_le_bytes());
+        for row in &self.aux {
+            for x in row {
+                aux.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        push_section(&mut out, *b"AUX_", &aux);
+
+        debug_assert_eq!(out.len(), self.encoded_len());
+        out
+    }
+
+    /// Decodes and integrity-checks a snapshot container.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(8, "magic")? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u32("version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let nsect = r.u32("section count")?;
+
+        let mut step = None;
+        let mut n_atoms = None;
+        let mut box_lengths = None;
+        let mut positions = None;
+        let mut velocities = None;
+        let mut forces = None;
+        let mut thermostat = None;
+        let mut rng_cursor = 0u64;
+        let mut aux = Vec::new();
+
+        for _ in 0..nsect {
+            let (tag, payload) = r.section()?;
+            let mut p = Reader {
+                bytes: payload,
+                pos: 0,
+            };
+            match &tag {
+                b"META" => {
+                    step = Some(p.u64("META.step")?);
+                    n_atoms = Some(p.u64("META.n_atoms")? as usize);
+                }
+                b"BOX_" => {
+                    box_lengths = Some(p.vec3("BOX_")?);
+                }
+                b"POS_" => positions = Some(decode_vec3s(payload, "POS_")?),
+                b"VEL_" => velocities = Some(decode_vec3s(payload, "VEL_")?),
+                b"FRC_" => forces = Some(decode_vec3s(payload, "FRC_")?),
+                b"THRM" => {
+                    let kind = p.take(1, "THRM.kind")?[0];
+                    let a = p.f64("THRM.a")?;
+                    let b = p.f64("THRM.b")?;
+                    rng_cursor = p.u64("THRM.rng")?;
+                    thermostat = Some(match kind {
+                        0 => Thermostat::None,
+                        1 => Thermostat::Berendsen { target: a, tau: b },
+                        2 => Thermostat::Langevin {
+                            target: a,
+                            gamma: b,
+                        },
+                        other => {
+                            return Err(SnapshotError::Malformed {
+                                detail: format!("unknown thermostat tag {other}"),
+                            });
+                        }
+                    });
+                }
+                b"AUX_" => {
+                    let n = p.u64("AUX_.count")? as usize;
+                    if payload.len() != 8 + n * 24 {
+                        return Err(SnapshotError::Malformed {
+                            detail: format!(
+                                "AUX_ declares {n} rows but carries {} bytes",
+                                payload.len()
+                            ),
+                        });
+                    }
+                    aux = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        aux.push([p.f64("AUX_.row")?, p.f64("AUX_.row")?, p.f64("AUX_.row")?]);
+                    }
+                }
+                // Unknown sections are skipped: older readers stay
+                // forward-compatible with appended sections.
+                _ => {}
+            }
+        }
+
+        let snapshot = MdSnapshot {
+            step: step.ok_or(SnapshotError::MissingSection { section: "META" })?,
+            box_lengths: box_lengths.ok_or(SnapshotError::MissingSection { section: "BOX_" })?,
+            positions: positions.ok_or(SnapshotError::MissingSection { section: "POS_" })?,
+            velocities: velocities.ok_or(SnapshotError::MissingSection { section: "VEL_" })?,
+            forces: forces.ok_or(SnapshotError::MissingSection { section: "FRC_" })?,
+            thermostat: thermostat.ok_or(SnapshotError::MissingSection { section: "THRM" })?,
+            rng_cursor,
+            aux,
+        };
+        let expect = n_atoms.ok_or(SnapshotError::MissingSection { section: "META" })?;
+        for (name, len) in [
+            ("POS_", snapshot.positions.len()),
+            ("VEL_", snapshot.velocities.len()),
+            ("FRC_", snapshot.forces.len()),
+        ] {
+            if len != expect {
+                return Err(SnapshotError::Malformed {
+                    detail: format!("{name} has {len} atoms, META declares {expect}"),
+                });
+            }
+        }
+        Ok(snapshot)
+    }
+}
+
+fn push_vec3(out: &mut Vec<u8>, v: Vec3) {
+    out.extend_from_slice(&v.x.to_le_bytes());
+    out.extend_from_slice(&v.y.to_le_bytes());
+    out.extend_from_slice(&v.z.to_le_bytes());
+}
+
+fn encode_vec3s(vs: &[Vec3]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vs.len() * 24);
+    for &v in vs {
+        push_vec3(&mut out, v);
+    }
+    out
+}
+
+fn decode_vec3s(payload: &[u8], section: &'static str) -> Result<Vec<Vec3>, SnapshotError> {
+    if !payload.len().is_multiple_of(24) {
+        return Err(SnapshotError::Malformed {
+            detail: format!("{section} payload is not a multiple of 24 bytes"),
+        });
+    }
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let mut out = Vec::with_capacity(payload.len() / 24);
+    while r.pos < payload.len() {
+        out.push(r.vec3(section)?);
+    }
+    Ok(out)
+}
+
+fn push_section(out: &mut Vec<u8>, tag: [u8; 4], payload: &[u8]) {
+    let start = out.len();
+    out.extend_from_slice(&tag);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let checksum = fnv1a64(&out[start..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(SnapshotError::Truncated { context })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self, context: &'static str) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn vec3(&mut self, context: &'static str) -> Result<Vec3, SnapshotError> {
+        Ok(Vec3::new(
+            self.f64(context)?,
+            self.f64(context)?,
+            self.f64(context)?,
+        ))
+    }
+
+    /// Reads one `tag | len | payload | checksum` section, verifying
+    /// the checksum before handing the payload out.
+    fn section(&mut self) -> Result<([u8; 4], &'a [u8]), SnapshotError> {
+        let start = self.pos;
+        let tag: [u8; 4] = self.take(4, "section tag")?.try_into().expect("4-byte tag");
+        let len = self.u64("section length")? as usize;
+        let payload = self.take(len, "section payload")?;
+        let computed = fnv1a64(&self.bytes[start..self.pos]);
+        let stored = self.u64("section checksum")?;
+        if computed != stored {
+            return Err(SnapshotError::ChecksumMismatch {
+                section: String::from_utf8_lossy(&tag).into_owned(),
+            });
+        }
+        Ok((tag, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::water_box;
+
+    fn sample() -> MdSnapshot {
+        let mut sys = water_box(2, 3.1);
+        sys.assign_velocities(300.0, 7);
+        let forces: Vec<Vec3> = sys
+            .positions
+            .iter()
+            .map(|p| Vec3::new(p.x * 0.5, -p.y, p.z.sin()))
+            .collect();
+        let mut snap = MdSnapshot::capture(&sys, &forces, 42);
+        snap.thermostat = Thermostat::Langevin {
+            target: 300.0,
+            gamma: 2.0,
+        };
+        snap.rng_cursor = 0xDEADBEEFCAFE;
+        snap.aux = vec![[1.5, -2.25, 3.125], [f64::NAN, 0.0, -0.0]];
+        snap
+    }
+
+    #[test]
+    fn roundtrip_is_bit_identical() {
+        let snap = sample();
+        let bytes = snap.encode();
+        assert_eq!(bytes.len(), snap.encoded_len());
+        let back = MdSnapshot::decode(&bytes).unwrap();
+        // PartialEq would reject NaN == NaN; compare the re-encoding,
+        // which is exactly the stored bit pattern.
+        assert_eq!(bytes, back.encode());
+        assert_eq!(back.step, 42);
+        assert_eq!(back.positions, snap.positions);
+        assert_eq!(back.velocities, snap.velocities);
+        assert_eq!(back.rng_cursor, snap.rng_cursor);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample().encode();
+        for cut in [0, 7, 15, bytes.len() / 2, bytes.len() - 1] {
+            let err = MdSnapshot::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::BadMagic
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_flipped_bit_in_a_payload_is_detected() {
+        let snap = sample();
+        let clean = snap.encode();
+        // Flip one bit in each section's payload region; the section
+        // checksum must catch all of them.
+        for byte_idx in (16..clean.len()).step_by(97) {
+            let mut dirty = clean.clone();
+            dirty[byte_idx] ^= 0x10;
+            assert!(
+                MdSnapshot::decode(&dirty).is_err(),
+                "flip at byte {byte_idx} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_into_reproduces_state() {
+        let mut sys = water_box(2, 3.1);
+        sys.assign_velocities(300.0, 7);
+        let reference = sys.clone();
+        let snap = MdSnapshot::capture(&sys, &[], 3);
+        // Perturb, then restore.
+        for p in &mut sys.positions {
+            *p += Vec3::splat(1.0);
+        }
+        sys.velocities.iter_mut().for_each(|v| *v = Vec3::ZERO);
+        let snap = MdSnapshot {
+            forces: vec![Vec3::ZERO; reference.n_atoms()],
+            ..snap
+        };
+        snap.restore_into(&mut sys);
+        assert_eq!(sys.positions, reference.positions);
+        assert_eq!(sys.velocities, reference.velocities);
+    }
+
+    #[test]
+    fn unknown_thermostat_tag_is_malformed() {
+        let snap = sample();
+        let mut bytes = snap.encode();
+        // Find the THRM section and corrupt its kind byte *and* refresh
+        // the checksum, simulating a future writer.
+        let pos = bytes
+            .windows(4)
+            .position(|w| w == b"THRM")
+            .expect("THRM present");
+        bytes[pos + 12] = 9;
+        let len = 25usize;
+        let checksum = fnv1a64(&bytes[pos..pos + 12 + len]);
+        bytes[pos + 12 + len..pos + 12 + len + 8].copy_from_slice(&checksum.to_le_bytes());
+        let err = MdSnapshot::decode(&bytes).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed { .. }), "{err:?}");
+    }
+}

@@ -50,6 +50,22 @@ impl ThermostatState {
         self.kind
     }
 
+    /// Raw RNG stream cursor, for checkpointing: a state rebuilt via
+    /// [`ThermostatState::restore`] continues the noise sequence
+    /// exactly where this one stands.
+    pub fn rng_cursor(&self) -> u64 {
+        self.rng_state
+    }
+
+    /// Rebuilds thermostat state from a checkpointed kind and RNG
+    /// cursor (the counterpart of [`ThermostatState::rng_cursor`]).
+    pub fn restore(kind: Thermostat, rng_cursor: u64) -> Self {
+        ThermostatState {
+            kind,
+            rng_state: rng_cursor,
+        }
+    }
+
     fn gauss(&mut self) -> f64 {
         // Box-Muller on a xorshift stream.
         let next = |s: &mut u64| {

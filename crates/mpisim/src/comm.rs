@@ -163,7 +163,8 @@ impl<'a> Comm<'a> {
                 continue;
             }
             let dst = self.g(d);
-            self.ctx.send(dst, tag, Vec::new(), MsgClass::Control, shape);
+            self.ctx
+                .send(dst, tag, Vec::new(), MsgClass::Control, shape);
         }
         let mut dead = Vec::new();
         for s in 0..p {
@@ -239,7 +240,8 @@ impl<'a> Comm<'a> {
             }
             // Wait out the (backed-off) application-level timer before
             // the next attempt.
-            self.ctx.charge_wait(base * policy.backoff.powi(attempt as i32));
+            self.ctx
+                .charge_wait(base * policy.backoff.powi(attempt as i32));
         }
         Err(CommError::Timeout {
             peer: gdst,
@@ -587,8 +589,13 @@ impl<'a> Comm<'a> {
             }
             for dst in 1..p {
                 let gdst = self.g(dst);
-                self.ctx
-                    .send(gdst, tag + (1 << 40), data.clone(), MsgClass::Payload, shape);
+                self.ctx.send(
+                    gdst,
+                    tag + (1 << 40),
+                    data.clone(),
+                    MsgClass::Payload,
+                    shape,
+                );
             }
         } else {
             let payload = std::mem::take(data);
@@ -754,7 +761,10 @@ impl<'a> Comm<'a> {
             if parts.len() != p {
                 return Err(CommError::Protocol {
                     rank: self.global_rank(),
-                    what: format!("scatter needs one block per rank: got {}, p={p}", parts.len()),
+                    what: format!(
+                        "scatter needs one block per rank: got {}, p={p}",
+                        parts.len()
+                    ),
                 });
             }
             let shape = OpShape::new(p - 1, p);
@@ -874,7 +884,9 @@ fn add_into(acc: &mut [f64], other: &[f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cpc_cluster::{run_cluster, run_cluster_faulty, ClusterConfig, FaultPlan, NetworkKind, Phase};
+    use cpc_cluster::{
+        run_cluster, run_cluster_faulty, ClusterConfig, FaultPlan, NetworkKind, Phase,
+    };
 
     fn for_each_config(f: impl Fn(usize, Middleware)) {
         for p in [1usize, 2, 3, 4, 5, 8] {

@@ -94,7 +94,10 @@ impl std::fmt::Display for CommError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CommError::Timeout { peer, tag, at } => {
-                write!(f, "timeout waiting for rank {peer} (tag {tag:#x}) at t={at:.6}s")
+                write!(
+                    f,
+                    "timeout waiting for rank {peer} (tag {tag:#x}) at t={at:.6}s"
+                )
             }
             CommError::PeerDead { peer, at } => {
                 write!(f, "rank {peer} is dead (detected at t={at:.6}s)")
@@ -229,9 +232,8 @@ impl RankCtx {
     /// slowdown are applied here).
     pub fn charge_compute(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0);
-        let t = seconds
-            * self.shared.config.compute_scale(self.rank)
-            * self.shared.straggle[self.rank];
+        let t =
+            seconds * self.shared.config.compute_scale(self.rank) * self.shared.straggle[self.rank];
         self.clock += t;
         self.stats.bucket_mut(self.phase).book_comp(t);
     }
@@ -334,7 +336,10 @@ impl RankCtx {
             // This keeps failure detection consistent across ranks.
             fault.give_up = false;
         }
-        let t = self.shared.net.transfer_faulty(bytes, &ctx, &mut rng, &fault);
+        let t = self
+            .shared
+            .net
+            .transfer_faulty(bytes, &ctx, &mut rng, &fault);
 
         // Sender overhead is CPU time on the sending rank.
         self.clock += t.time.send_overhead;
@@ -577,7 +582,10 @@ where
 /// Fallible variant of [`run_cluster`]: configuration problems and
 /// panicking rank bodies come back as typed [`SimError`]s naming the
 /// offending rank instead of panics.
-pub fn try_run_cluster<T, F>(config: ClusterConfig, body: F) -> Result<Vec<RankOutcome<T>>, SimError>
+pub fn try_run_cluster<T, F>(
+    config: ClusterConfig,
+    body: F,
+) -> Result<Vec<RankOutcome<T>>, SimError>
 where
     T: Send,
     F: Fn(&mut RankCtx) -> T + Sync,

@@ -88,6 +88,44 @@ pub struct RankCrash {
     pub at: f64,
 }
 
+/// How a scheduled storage fault corrupts a durable checkpoint write.
+///
+/// Storage faults are deterministic — no RNG draw is consumed — so a
+/// plan replays bit-identically and, because durable writes charge no
+/// virtual time beyond the existing checkpoint cost, they can never
+/// perturb the simulation's timing figures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StorageFaultKind {
+    /// The write is torn: only the leading `keep_frac` of the file's
+    /// bytes reach the disk (a crash between `write` and `fsync`).
+    TornWrite {
+        /// Fraction of the file retained, in `[0, 1)`.
+        keep_frac: f64,
+    },
+    /// A single bit of the stored file flips (media corruption).
+    BitFlip {
+        /// Byte offset of the flip (taken modulo the file length).
+        byte: usize,
+        /// Bit index within the byte, `0..8`.
+        bit: u8,
+    },
+    /// The file vanishes entirely (lost inode, deleted by an
+    /// operator, wrong volume).
+    Missing,
+}
+
+/// One scheduled corruption of a durable checkpoint write.
+///
+/// The fault fires on the first durable write that happens at virtual
+/// time `>= at`; each fault fires exactly once, in `at` order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageFault {
+    /// Virtual time at (or after) which the next durable write is hit.
+    pub at: f64,
+    /// What happens to that write.
+    pub kind: StorageFaultKind,
+}
+
 /// Per-message fault parameters of one link at one instant, resolved
 /// from a [`FaultPlan`] by the engine at send time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,6 +186,10 @@ pub struct FaultPlan {
     pub stragglers: Vec<Straggler>,
     /// Permanent rank crashes.
     pub crashes: Vec<RankCrash>,
+    /// Scheduled corruptions of durable checkpoint writes. These
+    /// exercise the checkpoint store's verify-and-fall-back path and
+    /// never perturb simulation timing (see [`StorageFaultKind`]).
+    pub storage: Vec<StorageFault>,
     /// Retransmission rounds before a *payload* message is dropped and
     /// replaced by a tombstone. `None` (the default) models a reliable
     /// TCP-like transport: payloads always arrive, arbitrarily late.
@@ -173,6 +215,7 @@ impl FaultPlan {
             degradations: Vec::new(),
             stragglers: Vec::new(),
             crashes: Vec::new(),
+            storage: Vec::new(),
             max_retransmits: None,
             watchdog_timeout: DEFAULT_WATCHDOG_TIMEOUT,
         }
@@ -209,12 +252,31 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a storage fault against the next durable checkpoint
+    /// write at or after virtual time `at`.
+    pub fn with_storage_fault(mut self, at: f64, kind: StorageFaultKind) -> Self {
+        self.storage.push(StorageFault { at, kind });
+        self
+    }
+
     /// True when the plan cannot perturb the simulation at all.
+    /// Storage faults are deliberately excluded: they corrupt durable
+    /// artifacts on the side but never consume an RNG draw or charge
+    /// virtual time, so timing stays bit-identical either way.
     pub fn is_zero(&self) -> bool {
         self.loss <= 0.0
             && self.degradations.is_empty()
             && self.stragglers.is_empty()
             && self.crashes.is_empty()
+    }
+
+    /// The storage-fault schedule sorted by trigger time (ties keep
+    /// plan order), ready for one-shot consumption by a checkpoint
+    /// store.
+    pub fn storage_schedule(&self) -> Vec<StorageFault> {
+        let mut schedule = self.storage.clone();
+        schedule.sort_by(|a, b| a.at.total_cmp(&b.at));
+        schedule
     }
 
     /// Validates the plan against a cluster of `ranks` ranks and
@@ -240,11 +302,16 @@ impl FaultPlan {
                 return Err(format!("extra loss {} outside [0, 1]", d.extra_loss));
             }
             if !(d.wire_factor.is_finite() && d.wire_factor > 0.0) {
-                return Err(format!("wire factor {} must be finite and > 0", d.wire_factor));
+                return Err(format!(
+                    "wire factor {} must be finite and > 0",
+                    d.wire_factor
+                ));
             }
             for r in [d.src, d.dst].into_iter().flatten() {
                 if r >= ranks {
-                    return Err(format!("degradation names rank {r} of a {ranks}-rank cluster"));
+                    return Err(format!(
+                        "degradation names rank {r} of a {ranks}-rank cluster"
+                    ));
                 }
             }
         }
@@ -268,6 +335,29 @@ impl FaultPlan {
             }
             if !(c.at.is_finite() && c.at >= 0.0) {
                 return Err(format!("crash time {} must be finite and >= 0", c.at));
+            }
+        }
+        for s in &self.storage {
+            if !(s.at.is_finite() && s.at >= 0.0) {
+                return Err(format!(
+                    "storage fault time {} must be finite and >= 0",
+                    s.at
+                ));
+            }
+            match s.kind {
+                StorageFaultKind::TornWrite { keep_frac } => {
+                    if !(0.0..1.0).contains(&keep_frac) {
+                        return Err(format!(
+                            "torn-write keep fraction {keep_frac} outside [0, 1)"
+                        ));
+                    }
+                }
+                StorageFaultKind::BitFlip { bit, .. } => {
+                    if bit >= 8 {
+                        return Err(format!("bit-flip bit index {bit} outside 0..8"));
+                    }
+                }
+                StorageFaultKind::Missing => {}
             }
         }
         Ok(())
@@ -376,12 +466,49 @@ mod tests {
     fn validate_rejects_bad_plans() {
         assert!(FaultPlan::none().with_loss(1.5).validate(4, 4).is_err());
         assert!(FaultPlan::none().with_crash(9, 1.0).validate(4, 4).is_err());
-        assert!(FaultPlan::none().with_straggler(9, 2.0).validate(4, 4).is_err());
-        assert!(FaultPlan::none().with_straggler(0, 0.5).validate(4, 4).is_err());
+        assert!(FaultPlan::none()
+            .with_straggler(9, 2.0)
+            .validate(4, 4)
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_straggler(0, 0.5)
+            .validate(4, 4)
+            .is_err());
         assert!(FaultPlan::none()
             .with_degradation(LinkDegradation::global(2.0, 1.0, 0.0, 1.0))
             .validate(4, 4)
             .is_err());
+    }
+
+    #[test]
+    fn storage_faults_do_not_make_a_plan_nonzero() {
+        let p = FaultPlan::none().with_storage_fault(1.0, StorageFaultKind::Missing);
+        assert!(p.is_zero(), "storage faults never perturb timing");
+        assert!(p.validate(4, 4).is_ok());
+    }
+
+    #[test]
+    fn storage_schedule_is_time_sorted() {
+        let p = FaultPlan::none()
+            .with_storage_fault(3.0, StorageFaultKind::Missing)
+            .with_storage_fault(1.0, StorageFaultKind::TornWrite { keep_frac: 0.5 })
+            .with_storage_fault(2.0, StorageFaultKind::BitFlip { byte: 7, bit: 3 });
+        let at: Vec<f64> = p.storage_schedule().iter().map(|s| s.at).collect();
+        assert_eq!(at, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_storage_faults() {
+        for bad in [
+            FaultPlan::none().with_storage_fault(f64::NAN, StorageFaultKind::Missing),
+            FaultPlan::none().with_storage_fault(-1.0, StorageFaultKind::Missing),
+            FaultPlan::none()
+                .with_storage_fault(0.0, StorageFaultKind::TornWrite { keep_frac: 1.0 }),
+            FaultPlan::none()
+                .with_storage_fault(0.0, StorageFaultKind::BitFlip { byte: 0, bit: 8 }),
+        ] {
+            assert!(bad.validate(4, 4).is_err(), "{:?}", bad.storage);
+        }
     }
 
     #[test]
@@ -390,7 +517,9 @@ mod tests {
         let f = p.link_fault(0, 1, 0.0, false);
         assert_eq!(f.max_retransmits, MAX_RETRANSMIT_ROUNDS);
         assert!(f.give_up);
-        let reliable = FaultPlan::none().with_loss(0.5).link_fault(0, 1, 0.0, false);
+        let reliable = FaultPlan::none()
+            .with_loss(0.5)
+            .link_fault(0, 1, 0.0, false);
         assert!(!reliable.give_up);
     }
 }

@@ -53,8 +53,12 @@ pub use engine::{
     elapsed_time, run_cluster, run_cluster_faulty, try_run_cluster, CommError, FaultyOutcome, Msg,
     RankCtx, RankOutcome, SendOutcome, SimError, CRASH_TAG,
 };
-pub use faults::{FaultPlan, LinkDegradation, LinkFault, RankCrash, Straggler};
-pub use netmodel::{FaultyTransfer, NetworkKind, NetworkParams, OpShape, TransferCtx, TransferTime};
+pub use faults::{
+    FaultPlan, LinkDegradation, LinkFault, RankCrash, StorageFault, StorageFaultKind, Straggler,
+};
+pub use netmodel::{
+    FaultyTransfer, NetworkKind, NetworkParams, OpShape, TransferCtx, TransferTime,
+};
 pub use rng::SplitMix64;
 pub use stats::{
     summarize_throughput, MsgClass, Phase, PhaseBucket, RankStats, ThroughputSample,

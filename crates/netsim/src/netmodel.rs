@@ -379,7 +379,8 @@ impl NetworkParams {
     /// [`transfer_faulty`](Self::transfer_faulty) with
     /// [`LinkFault::clean`] — same result, same number of draws.
     pub fn transfer(&self, bytes: usize, ctx: &TransferCtx, rng: &mut SplitMix64) -> TransferTime {
-        self.transfer_faulty(bytes, ctx, rng, &LinkFault::clean()).time
+        self.transfer_faulty(bytes, ctx, rng, &LinkFault::clean())
+            .time
     }
 
     /// Models one message of `bytes` bytes on a link in fault state
@@ -789,7 +790,10 @@ mod tests {
             wire_factor: 2.5,
             ..LinkFault::clean()
         };
-        let degraded = p.transfer_faulty(50_000, &ctx1(), &mut rng_b, &fault).time.wire;
+        let degraded = p
+            .transfer_faulty(50_000, &ctx1(), &mut rng_b, &fault)
+            .time
+            .wire;
         assert!((degraded - 2.5 * clean).abs() < 1e-12 * degraded.abs().max(1.0));
     }
 }

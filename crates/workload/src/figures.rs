@@ -6,6 +6,7 @@
 
 use crate::ascii::{pct, secs, stacked_bar, table};
 use crate::factors::{ExperimentPoint, NodeConfig, PAPER_PROC_COUNTS};
+use crate::journal::Journal;
 use crate::runner::{measure_with_model, paper_pme_params, Measurement};
 use cpc_cluster::NetworkKind;
 use cpc_md::{EnergyModel, System};
@@ -15,12 +16,20 @@ use std::collections::HashMap;
 /// Width of the bar area in rendered charts.
 const BAR_WIDTH: usize = 46;
 
+/// Process exit code used when a lab's cell budget runs out (see
+/// [`Lab::set_cell_budget`]): distinguishable from success and from
+/// ordinary failures in CI scripts.
+pub const EXIT_CELL_BUDGET: i32 = 3;
+
 /// A measurement laboratory: a system, a protocol, and a cache.
 pub struct Lab<'a> {
     system: &'a System,
     steps: usize,
     model: EnergyModel,
     cache: HashMap<ExperimentPoint, Measurement>,
+    journal: Option<Journal<Measurement>>,
+    cell_budget: Option<usize>,
+    fresh_cells: usize,
 }
 
 impl<'a> Lab<'a> {
@@ -32,6 +41,9 @@ impl<'a> Lab<'a> {
             steps: crate::runner::PAPER_STEPS,
             model: EnergyModel::Pme(paper_pme_params()),
             cache: HashMap::new(),
+            journal: None,
+            cell_budget: None,
+            fresh_cells: 0,
         }
     }
 
@@ -43,7 +55,32 @@ impl<'a> Lab<'a> {
             steps,
             model,
             cache: HashMap::new(),
+            journal: None,
+            cell_budget: None,
+            fresh_cells: 0,
         }
+    }
+
+    /// Attaches a completed-cell journal: `prior` entries (from
+    /// [`Journal::resume`]) pre-seed the cache so finished cells are
+    /// skipped, and every fresh measurement is appended as it
+    /// completes. Prior entries measured under a different step count
+    /// belong to a different protocol and are ignored.
+    pub fn attach_journal(&mut self, journal: Journal<Measurement>, prior: Vec<Measurement>) {
+        for m in prior {
+            if m.steps == self.steps {
+                self.cache.insert(m.point, m);
+            }
+        }
+        self.journal = Some(journal);
+    }
+
+    /// Limits the number of *fresh* (non-cached, non-journaled)
+    /// measurements this lab will run; exceeding the budget exits the
+    /// process with [`EXIT_CELL_BUDGET`]. CI uses this to simulate a
+    /// campaign killed mid-sweep without resorting to signal timing.
+    pub fn set_cell_budget(&mut self, cells: usize) {
+        self.cell_budget = Some(cells);
     }
 
     /// Measures (or retrieves) one experiment point.
@@ -51,7 +88,19 @@ impl<'a> Lab<'a> {
         if let Some(m) = self.cache.get(&point) {
             return m.clone();
         }
+        if self.cell_budget.is_some_and(|b| self.fresh_cells >= b) {
+            eprintln!(
+                "cell budget exhausted after {} fresh measurements; \
+                 re-run with --resume to continue",
+                self.fresh_cells
+            );
+            std::process::exit(EXIT_CELL_BUDGET);
+        }
         let m = measure_with_model(self.system, point, self.steps, self.model);
+        self.fresh_cells += 1;
+        if let Some(journal) = &mut self.journal {
+            journal.append(&m).expect("append measurement to journal");
+        }
         self.cache.insert(point, m.clone());
         m
     }
@@ -443,6 +492,51 @@ mod tests {
 
     fn quick_lab(system: &System) -> Lab<'_> {
         Lab::custom(system, 1, EnergyModel::Pme(quick_pme_params()))
+    }
+
+    #[test]
+    fn attached_journal_skips_finished_cells_and_foreign_protocols() {
+        let path =
+            std::env::temp_dir().join(format!("cpc-lab-journal-{}.jsonl", std::process::id()));
+        // Journal a sentinel measurement for focal(2) under this lab's
+        // protocol (steps = 1), and one under a different protocol.
+        let sentinel = Measurement {
+            point: ExperimentPoint::focal(2),
+            steps: 1,
+            classic_time: 1234.5,
+            pme_time: 0.0,
+            classic_pct: (100.0, 0.0, 0.0),
+            pme_pct: (100.0, 0.0, 0.0),
+            energy_pct: (100.0, 0.0, 0.0),
+            throughput: None,
+            final_total_energy: 0.0,
+        };
+        let foreign = Measurement {
+            steps: 99,
+            point: ExperimentPoint::focal(4),
+            ..sentinel.clone()
+        };
+        let mut journal = Journal::create(&path).unwrap();
+        journal.append(&sentinel).unwrap();
+        journal.append(&foreign).unwrap();
+        drop(journal);
+
+        let sys = quick_system();
+        let mut lab = quick_lab(&sys);
+        let (journal, recovery) = Journal::resume(&path).unwrap();
+        lab.attach_journal(journal, recovery.entries);
+        // The journaled cell is skipped (the sentinel comes back
+        // verbatim instead of a fresh measurement)...
+        let m = lab.measure(ExperimentPoint::focal(2));
+        assert_eq!(m.classic_time, 1234.5);
+        // ...while the foreign-protocol entry was ignored: this cell
+        // runs fresh and gets journaled.
+        let m4 = lab.measure(ExperimentPoint::focal(4));
+        assert_ne!(m4.classic_time, 1234.5);
+        assert_eq!(m4.steps, 1);
+        let rec: crate::journal::Recovery<Measurement> = Journal::load(&path).unwrap();
+        assert_eq!(rec.entries.len(), 3, "fresh cell appended to journal");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Append-only measurement journal: the on-disk manifest that makes
+//! long campaigns resumable.
+//!
+//! Each completed cell is appended as one JSONL line prefixed with an
+//! FNV-1a checksum of the JSON payload (`{crc:016x} {json}`). A
+//! campaign killed mid-sweep leaves at worst one torn trailing line;
+//! on resume the intact prefix is recovered, the torn tail is
+//! discarded (and counted), and finished cells are skipped instead of
+//! re-measured. Because every measurement on the virtual cluster is
+//! deterministic, a killed-then-resumed campaign produces a manifest
+//! byte-identical to an uninterrupted run's.
+
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// FNV-1a over the serialized line payload (same function the snapshot
+/// container uses; collisions are irrelevant here — the checksum only
+/// needs to catch torn or bit-damaged lines).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Result of recovering a journal from disk.
+#[derive(Debug)]
+pub struct Recovery<T> {
+    /// Entries from the intact prefix, in append order.
+    pub entries: Vec<T>,
+    /// Lines discarded because they were torn, checksum-damaged or
+    /// unparsable (everything from the first bad line on is dropped —
+    /// append order is meaningful, so nothing after a tear is trusted).
+    pub dropped: usize,
+}
+
+impl<T> Recovery<T> {
+    fn empty() -> Self {
+        Recovery {
+            entries: Vec::new(),
+            dropped: 0,
+        }
+    }
+}
+
+/// An append-only, checksummed JSONL journal of completed cells.
+#[derive(Debug)]
+pub struct Journal<T> {
+    path: PathBuf,
+    file: File,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T: Serialize + Deserialize> Journal<T> {
+    /// Starts a fresh journal at `path`, truncating any previous one.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = File::create(&path)?;
+        Ok(Journal {
+            path,
+            file,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Reads the intact prefix of the journal at `path` (missing file =
+    /// empty journal), rewrites the file to exactly that prefix so a
+    /// torn tail cannot linger mid-file, and reopens it for appending.
+    pub fn resume(path: impl Into<PathBuf>) -> io::Result<(Self, Recovery<T>)> {
+        let path = path.into();
+        let recovery = Self::load(&path)?;
+        // Rewrite the intact prefix: drops any torn tail before new
+        // appends land after it.
+        let mut journal = Self::create(&path)?;
+        for entry in &recovery.entries {
+            journal.append(entry)?;
+        }
+        Ok((journal, recovery))
+    }
+
+    /// Reads the intact prefix of the journal at `path` without
+    /// opening it for writing. A missing file is an empty journal.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Recovery<T>> {
+        let mut text = String::new();
+        match File::open(path.as_ref()) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Recovery::empty()),
+            Err(e) => return Err(e),
+        }
+        let mut recovery = Recovery::empty();
+        let mut lines = text.lines();
+        for line in &mut lines {
+            let parsed = line.split_once(' ').and_then(|(crc, json)| {
+                let stored = u64::from_str_radix(crc, 16).ok()?;
+                if stored != fnv1a64(json.as_bytes()) {
+                    return None;
+                }
+                serde_json::from_str::<T>(json).ok()
+            });
+            match parsed {
+                Some(entry) => recovery.entries.push(entry),
+                None => {
+                    // First bad line: discard it and the rest.
+                    recovery.dropped = 1 + lines.count();
+                    break;
+                }
+            }
+        }
+        Ok(recovery)
+    }
+
+    /// Appends one completed cell and flushes it to stable storage, so
+    /// a kill immediately afterwards cannot lose it.
+    pub fn append(&mut self, entry: &T) -> io::Result<()> {
+        let json = serde_json::to_string(entry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(self.file, "{:016x} {json}", fnv1a64(json.as_bytes()))?;
+        self.file.sync_all()
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::ExperimentPoint;
+    use crate::runner::Measurement;
+
+    fn fake_measurement(procs: usize) -> Measurement {
+        Measurement {
+            point: ExperimentPoint::focal(procs),
+            steps: 2,
+            classic_time: 1.5 * procs as f64,
+            pme_time: 0.5,
+            classic_pct: (90.0, 8.0, 2.0),
+            pme_pct: (80.0, 15.0, 5.0),
+            energy_pct: (88.0, 9.0, 3.0),
+            throughput: Some((10.0, 8.0, 12.0)),
+            final_total_energy: -123.25,
+        }
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cpc-journal-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_in_order() {
+        let path = tmp_path("roundtrip");
+        let mut j: Journal<Measurement> = Journal::create(&path).unwrap();
+        for p in [1usize, 2, 4] {
+            j.append(&fake_measurement(p)).unwrap();
+        }
+        let rec: Recovery<Measurement> = Journal::load(&path).unwrap();
+        assert_eq!(rec.dropped, 0);
+        let procs: Vec<usize> = rec.entries.iter().map(|m| m.point.procs).collect();
+        assert_eq!(procs, vec![1, 2, 4]);
+        assert_eq!(rec.entries[0].final_total_energy, -123.25);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_resume_truncates_it() {
+        let path = tmp_path("torn");
+        let mut j: Journal<Measurement> = Journal::create(&path).unwrap();
+        j.append(&fake_measurement(1)).unwrap();
+        j.append(&fake_measurement(2)).unwrap();
+        drop(j);
+        // Simulate a kill mid-append: a half-written third line.
+        let full = std::fs::read_to_string(&path).unwrap();
+        let torn = format!("{full}deadbeefdeadbeef {{\"point\":");
+        std::fs::write(&path, &torn).unwrap();
+
+        let (mut j, rec) = Journal::<Measurement>::resume(&path).unwrap();
+        assert_eq!(rec.entries.len(), 2);
+        assert_eq!(rec.dropped, 1);
+        j.append(&fake_measurement(4)).unwrap();
+        drop(j);
+
+        let rec: Recovery<Measurement> = Journal::load(&path).unwrap();
+        assert_eq!(rec.dropped, 0, "resume rewrote the torn tail away");
+        let procs: Vec<usize> = rec.entries.iter().map(|m| m.point.procs).collect();
+        assert_eq!(procs, vec![1, 2, 4]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_damaged_line_invalidates_itself_and_the_rest() {
+        let path = tmp_path("bitflip");
+        let mut j: Journal<Measurement> = Journal::create(&path).unwrap();
+        for p in [1usize, 2, 4] {
+            j.append(&fake_measurement(p)).unwrap();
+        }
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload bit in the second line.
+        let second_line_start = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        bytes[second_line_start + 30] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let rec: Recovery<Measurement> = Journal::load(&path).unwrap();
+        assert_eq!(rec.entries.len(), 1, "only the line before the damage");
+        assert_eq!(rec.dropped, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_journal() {
+        let rec: Recovery<Measurement> = Journal::load(tmp_path("missing")).unwrap();
+        assert!(rec.entries.is_empty());
+        assert_eq!(rec.dropped, 0);
+    }
+}

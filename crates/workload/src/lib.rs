@@ -25,9 +25,11 @@ pub mod ascii;
 pub mod expectations;
 pub mod factors;
 pub mod figures;
+pub mod journal;
 pub mod report;
 pub mod runner;
 
 pub use factors::{full_factorial, one_factor_at_a_time, ExperimentPoint, NodeConfig};
 pub use figures::Lab;
+pub use journal::{Journal, Recovery};
 pub use runner::{measure, measure_with_model, myoglobin_shared, Measurement};

@@ -1,0 +1,164 @@
+//! Offline stand-in for the `criterion` crate. Provides the harness
+//! surface the workspace's benches use — `Criterion`, benchmark
+//! groups, `Bencher::iter`/`iter_batched`, `criterion_group!` /
+//! `criterion_main!` — with a simple adaptive wall-clock measurement
+//! (warm-up, then enough iterations to cover a fixed window) instead
+//! of criterion's statistical machinery. `black_box` should be taken
+//! from `std::hint`, as the benches already do.
+
+use std::time::{Duration, Instant};
+
+/// Minimum measurement window per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its mean time.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(id.as_ref(), &mut f);
+        self
+    }
+
+    /// Opens a named group; member benchmarks print as `group/id`.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.as_ref().to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` as `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&format!("{}/{}", self.name, id.as_ref()), &mut f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_named<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("{name:<48} {:>14.1} ns/iter ({} iters)", ns, b.iters);
+    } else {
+        println!("{name:<48} (no measurement)");
+    }
+}
+
+/// Timing state handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over an adaptive number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= MEASURE_WINDOW && iters >= 10 {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+            if measured >= MEASURE_WINDOW && iters >= 10 {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = measured;
+    }
+}
+
+/// Batch sizing hint (ignored by the shim's measurement loop).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Inputs regenerated every iteration.
+    PerIteration,
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = { let _ = $cfg; $crate::Criterion::default() };
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `crossbeam` crate. The workspace declares
+//! it but does not call into it; this empty crate satisfies the
+//! dependency without network access. `scope` is provided as a thin
+//! wrapper over `std::thread::scope` in case future code reaches for
+//! the most common crossbeam entry point.
+
+/// Structured concurrency via `std::thread::scope`.
+pub mod thread {
+    /// Runs `f` inside a `std::thread::scope`.
+    pub fn scope<'env, F, T>(f: F) -> Result<T, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}

@@ -1,0 +1,55 @@
+//! Offline stand-in for the `rand` crate. The workspace declares rand
+//! in a few manifests but generates all physics randomness with its
+//! own seeded xorshift streams; this shim supplies a tiny deterministic
+//! generator with the most common rand entry points so the dependency
+//! resolves without network access.
+
+/// Minimal RNG core trait (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sampling helpers (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform `f64` in `[0, 1)` via the top 53 bits.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9007199254740992.0)
+    }
+    /// Uniform `usize` in `[0, bound)`; `bound` must be nonzero.
+    fn gen_range_usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Deterministic xorshift64* generator.
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Seeds the generator; a zero seed is remapped to a fixed odd word.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SmallRng {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+}
+
+/// Re-exports in the shape of `rand::prelude`.
+pub mod prelude {
+    pub use super::{Rng, RngCore, SmallRng};
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for the `rayon` crate. `into_par_iter()` degrades
+//! to the plain sequential iterator — same results, no thread pool —
+//! which is all this workspace needs (the virtual cluster supplies its
+//! own parallelism model; rayon is only a host-side convenience).
+
+/// The traits the workspace imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use super::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Sequential re-implementations of the rayon iterator entry points.
+pub mod iter {
+    /// Conversion into a "parallel" iterator (here: the sequential one).
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item;
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Converts `self` into an iterator; sequential in this shim.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Marker alias so `ParallelIterator` method chains (`filter_map`,
+    /// `map`, `collect`, ...) resolve to the std `Iterator` methods.
+    pub trait ParallelIterator: Iterator {}
+    impl<I: Iterator> ParallelIterator for I {}
+}

@@ -1,0 +1,463 @@
+//! Offline stand-in for `serde_derive`. Parses the item's raw
+//! `TokenStream` by hand (no syn/quote available offline) and emits
+//! `impl serde::Serialize` / `impl serde::Deserialize` blocks that
+//! route through the shim's `Value` data model. Supports non-generic
+//! structs (named, tuple, unit) and enums (unit, tuple and struct
+//! variants) — exactly the shapes this workspace derives. `#[serde]`
+//! attributes and generics are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derives the shim's `Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---- item model -----------------------------------------------------
+
+struct Field {
+    name: String,
+    /// True when the field's type spells `Option<...>`: absent keys
+    /// deserialize to `None` instead of erroring.
+    is_option: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---- token walking --------------------------------------------------
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(*i + 1) {
+                    let attr = g.stream().to_string();
+                    if attr.starts_with("serde") {
+                        panic!("serde shim derive: #[serde(...)] attributes are unsupported");
+                    }
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn is_punct(tok: Option<&TokenTree>, c: char) -> bool {
+    matches!(tok, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// Consumes type tokens up to (not including) a top-level `,`,
+/// tracking `<...>` nesting so generic arguments don't split fields.
+/// Returns the first identifier of the type (for `Option` detection).
+fn skip_type(toks: &[TokenTree], i: &mut usize) -> Option<String> {
+    let mut angle = 0i64;
+    let mut first_ident = None;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Ident(id) if first_ident.is_none() => {
+                first_ident = Some(id.to_string());
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    first_ident
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i, "field name");
+        if !is_punct(toks.get(i), ':') {
+            panic!("serde shim derive: expected `:` after field `{name}`");
+        }
+        i += 1;
+        let first = skip_type(&toks, &mut i);
+        if i < toks.len() {
+            i += 1; // the separating comma
+        }
+        fields.push(Field {
+            name,
+            is_option: first.as_deref() == Some("Option"),
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        count += 1;
+        if i < toks.len() {
+            i += 1; // comma
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i, "variant name");
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if is_punct(toks.get(i), '=') {
+            // explicit discriminant: skip its expression
+            i += 1;
+            skip_type(&toks, &mut i);
+        }
+        if i < toks.len() {
+            i += 1; // comma
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&toks, &mut i, "type name");
+    if is_punct(toks.get(i), '<') {
+        panic!("serde shim derive: generic type `{name}` is unsupported");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: malformed enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: expected struct or enum, found `{other}`"),
+    };
+    Item { name, shape }
+}
+
+// ---- code generation ------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            body.push_str("let mut pairs: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> = ::std::vec::Vec::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "pairs.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));",
+                    f.name
+                );
+            }
+            body.push_str("::serde::value::Value::Object(pairs)\n");
+        }
+        Shape::TupleStruct(n) => {
+            if *n == 1 {
+                // serde convention: newtype structs serialize transparently
+                body.push_str("::serde::Serialize::to_value(&self.0)\n");
+            } else {
+                body.push_str("let mut items: ::std::vec::Vec<::serde::value::Value> = ::std::vec::Vec::new();\n");
+                for idx in 0..*n {
+                    let _ = writeln!(
+                        body,
+                        "items.push(::serde::Serialize::to_value(&self.{idx}));"
+                    );
+                }
+                body.push_str("::serde::value::Value::Array(items)\n");
+            }
+        }
+        Shape::UnitStruct => {
+            body.push_str("::serde::value::Value::Null\n");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname} => ::serde::value::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let _ = write!(body, "{name}::{vname}({}) => ", binds.join(", "));
+                        if *n == 1 {
+                            let _ = writeln!(
+                                body,
+                                "::serde::value::Value::Object(::std::vec::Vec::from([(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(f0))])),"
+                            );
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            let _ = writeln!(
+                                body,
+                                "::serde::value::Value::Object(::std::vec::Vec::from([(::std::string::String::from(\"{vname}\"), ::serde::value::Value::Array(::std::vec::Vec::from([{}])))])),",
+                                items.join(", ")
+                            );
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname} {{ {} }} => ::serde::value::Value::Object(::std::vec::Vec::from([(::std::string::String::from(\"{vname}\"), ::serde::value::Value::Object(::std::vec::Vec::from([{}])))])),",
+                            binds.join(", "),
+                            pairs.join(", ")
+                        );
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::value::Value {{\n{body}}}\n}}\n"
+    )
+}
+
+fn named_field_inits(fields: &[Field], pairs_expr: &str, ctx: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let missing = if f.is_option {
+            "::std::option::Option::None".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::custom(\"missing field `{fname}` in {ctx}\"))"
+            )
+        };
+        let _ = writeln!(
+            out,
+            "{fname}: match ::serde::value::obj_get({pairs_expr}, \"{fname}\") {{\n\
+             ::std::option::Option::Some(field) => ::serde::Deserialize::from_value(field)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},"
+        );
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let _ = writeln!(
+                body,
+                "let pairs = v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;"
+            );
+            let _ = writeln!(
+                body,
+                "::std::result::Result::Ok({name} {{\n{}}})",
+                named_field_inits(fields, "pairs", name)
+            );
+        }
+        Shape::TupleStruct(n) => {
+            if *n == 1 {
+                let _ = writeln!(
+                    body,
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                );
+            } else {
+                let _ = writeln!(
+                    body,
+                    "let items = v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;"
+                );
+                let _ = writeln!(
+                    body,
+                    "if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}\")); }}"
+                );
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                let _ = writeln!(
+                    body,
+                    "::std::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                );
+            }
+        }
+        Shape::UnitStruct => {
+            let _ = writeln!(body, "let _ = v; ::std::result::Result::Ok({name})");
+        }
+        Shape::Enum(variants) => {
+            body.push_str("match v {\n::serde::value::Value::Str(tag) => match tag.as_str() {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let _ = writeln!(
+                        body,
+                        "\"{0}\" => ::std::result::Result::Ok({name}::{0}),",
+                        v.name
+                    );
+                }
+            }
+            let _ = writeln!(
+                body,
+                "other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{other}}` for {name}\"))),"
+            );
+            body.push_str("},\n::serde::value::Value::Object(pairs) if pairs.len() == 1 => {\nlet (tag, inner) = &pairs[0];\nmatch tag.as_str() {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(n) => {
+                        if *n == 1 {
+                            let _ = writeln!(
+                                body,
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                            );
+                        } else {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            let _ = writeln!(
+                                body,
+                                "\"{vname}\" => {{\nlet items = inner.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\nif items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{vname}\")); }}\n::std::result::Result::Ok({name}::{vname}({}))\n}},",
+                                inits.join(", ")
+                            );
+                        }
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctx = format!("{name}::{vname}");
+                        let _ = writeln!(
+                            body,
+                            "\"{vname}\" => {{\nlet fields = inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {ctx}\"))?;\n::std::result::Result::Ok({name}::{vname} {{\n{}}})\n}},",
+                            named_field_inits(fields, "fields", &ctx)
+                        );
+                    }
+                }
+            }
+            let _ = writeln!(
+                body,
+                "other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}},"
+            );
+            let _ = writeln!(
+                body,
+                "other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"expected enum {name}, got {{other:?}}\"))),\n}}"
+            );
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::value::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+}
