@@ -1,0 +1,340 @@
+//! Chaos campaign driver: samples deterministic fault schedules,
+//! checks every invariant oracle against each, and shrinks any failure
+//! to a minimal replayable reproducer.
+//!
+//! ```text
+//! cargo run -p cpc-bench --bin chaos -- --schedules 50 --seed 7
+//!     [--soak] [--resume] [--out DIR] [--ranks P] [--steps N]
+//! cargo run -p cpc-bench --bin chaos -- --plant [--out DIR]
+//! cargo run -p cpc-bench --bin chaos -- --replay FILE [--out DIR]
+//! ```
+//!
+//! * **Campaign mode** (default): checks schedules `0..N` sampled from
+//!   `(seed, index)`; every verdict is journaled to `DIR/chaos.jsonl`
+//!   through the checksummed [`Journal`], so `--resume` skips already
+//!   checked schedules after a kill. Each failing schedule is
+//!   minimized and written as `DIR/repro-IIIII.json`. Exit 0 when every
+//!   oracle held, 1 otherwise. Verdicts and reproducers are fully
+//!   deterministic: the same seed produces byte-identical artifacts on
+//!   every rerun.
+//! * **Soak mode** (`--soak`): ignores the schedule budget and scans
+//!   indices upward indefinitely, stopping (exit 1) at the first
+//!   violation — kill it when you have soaked long enough.
+//! * **Plant mode** (`--plant`): self-test of the oracles and the
+//!   minimizer. Builds a known-bad schedule (a gray-zone SDC flip that
+//!   is neither benign nor watchdog-visible, buried in noise events),
+//!   asserts an oracle catches it, minimizes, and asserts the
+//!   reproducer has at most 3 events and still fails on replay. Exit 0
+//!   exactly when all of that holds.
+//! * **Replay mode** (`--replay FILE`): re-checks a reproducer
+//!   artifact. Exit 0 when it still provokes a violation (it
+//!   reproduces), 1 when it no longer does.
+
+use cpc_charmm::chaos::{flatten, ChaosHarness, Reproducer, ScheduleReport};
+use cpc_charmm::MdConfig;
+use cpc_cluster::{
+    ClusterConfig, FaultPlan, FaultSpace, LinkDegradation, NetworkKind, SdcFault, SdcTarget,
+};
+use cpc_md::EnergyModel;
+use cpc_mpi::Middleware;
+use cpc_workload::journal::Journal;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+/// One journaled campaign verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Verdict {
+    /// Campaign seed.
+    seed: u64,
+    /// Schedule index within the campaign.
+    index: u64,
+    /// The oracle report.
+    report: ScheduleReport,
+}
+
+/// Real-time stall budget (seconds) for every chaotic run: a schedule
+/// that would hang forever instead surfaces `SimError::Stalled`, which
+/// the termination oracle reports as a violation.
+const STALL_TIMEOUT: f64 = 20.0;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--schedules N] [--seed S] [--soak] [--resume] [--out DIR]\n\
+         \x20      [--ranks P] [--steps N] | --plant | --replay FILE"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                usage()
+            })
+    })
+}
+
+/// The chaos workload: a small water box on a uniprocessor GigE
+/// cluster — large enough to exercise every fault path, small enough
+/// that a campaign of hundreds of schedules (each run three ways)
+/// finishes in CI time.
+fn workload(ranks: usize, steps: usize) -> (cpc_md::System, MdConfig) {
+    let mut sys = cpc_md::builder::water_box(2, 3.1);
+    cpc_md::minimize::minimize(&mut sys, EnergyModel::Classic, 40);
+    sys.assign_velocities(150.0, 3);
+    let cluster =
+        ClusterConfig::uni(ranks, NetworkKind::ScoreGigE).with_stall_timeout(STALL_TIMEOUT);
+    let cfg = MdConfig {
+        steps,
+        ..MdConfig::paper_protocol(EnergyModel::Classic, Middleware::Mpi, cluster)
+    };
+    (sys, cfg)
+}
+
+fn make_harness(ranks: usize, steps: usize) -> ChaosHarness {
+    let (sys, cfg) = workload(ranks, steps);
+    let scratch = std::env::temp_dir().join(format!("cpc-chaos-scratch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    ChaosHarness::new(sys, cfg, scratch).expect("fault-free golden run must succeed")
+}
+
+/// The planted known-bad schedule: a mid-mantissa SDC flip — far above
+/// the benign bound yet invisible to the numerical watchdog — hidden
+/// among harmless loss/straggler/degradation noise. The sampler never
+/// draws from this gray zone, which is exactly why it must be planted:
+/// it validates that the oracles catch what the fuzzer cannot, and
+/// that the minimizer strips the noise.
+fn planted_plan(h: &ChaosHarness) -> FaultPlan {
+    let wall = h.golden_wall();
+    FaultPlan::none()
+        .with_loss(0.05)
+        .with_straggler(0, 1.5)
+        .with_degradation(LinkDegradation::global(0.0, 0.5 * wall, 0.1, 2.0))
+        .with_crash(1, 0.7 * wall)
+        .with_sdc(SdcFault {
+            step: 2,
+            target: SdcTarget::Positions,
+            atom: 3,
+            axis: 1,
+            bit: 40,
+        })
+}
+
+fn write_reproducer(out: &Path, name: &str, repro: &Reproducer) -> PathBuf {
+    let path = out.join(name);
+    std::fs::write(&path, repro.to_json()).expect("write reproducer artifact");
+    path
+}
+
+fn plant_mode(out: &Path) -> i32 {
+    let h = make_harness(4, 8);
+    let plan = planted_plan(&h);
+    let report = h.check(&plan);
+    if report.passed() {
+        eprintln!("PLANT FAILURE: the known-bad schedule passed every oracle");
+        return 1;
+    }
+    println!(
+        "planted schedule caught: {} violation(s), first: {}",
+        report.violations.len(),
+        report.violations[0]
+    );
+    let repro = h.minimize_to_reproducer(&plan, 0, 0);
+    let path = write_reproducer(out, "planted_repro.json", &repro);
+    println!(
+        "minimized {} -> {} event(s) in {} probe(s): {}",
+        flatten(&plan).len(),
+        repro.events,
+        repro.probes,
+        path.display()
+    );
+    if repro.events > 3 {
+        eprintln!(
+            "PLANT FAILURE: reproducer kept {} events (> 3)",
+            repro.events
+        );
+        return 1;
+    }
+    // The artifact must replay: parse it back and re-provoke.
+    let parsed = Reproducer::from_json(&std::fs::read_to_string(&path).expect("read artifact"))
+        .expect("parse reproducer artifact");
+    let replay = h.check(&parsed.plan);
+    if replay.passed() {
+        eprintln!("PLANT FAILURE: minimized reproducer no longer fails");
+        return 1;
+    }
+    println!(
+        "replay of minimized reproducer still fails: {}",
+        replay.violations[0]
+    );
+    0
+}
+
+fn replay_mode(file: &str) -> i32 {
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        std::process::exit(2);
+    });
+    let repro = Reproducer::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {file}: {e}");
+        std::process::exit(2);
+    });
+    let h = make_harness(repro.ranks, repro.steps);
+    let report = h.check(&repro.plan);
+    if report.passed() {
+        println!("reproducer did NOT reproduce: every oracle held");
+        1
+    } else {
+        println!("reproduced {} violation(s):", report.violations.len());
+        for v in &report.violations {
+            println!("  - {v}");
+        }
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "results/chaos".to_string());
+    let out = PathBuf::from(out);
+    std::fs::create_dir_all(&out).expect("create output directory");
+
+    if let Some(file) = args
+        .iter()
+        .position(|a| a == "--replay")
+        .and_then(|i| args.get(i + 1).cloned())
+    {
+        std::process::exit(replay_mode(&file));
+    }
+    if args.iter().any(|a| a == "--plant") {
+        std::process::exit(plant_mode(&out));
+    }
+
+    let schedules: u64 = parse_flag_value(&args, "--schedules").unwrap_or(50);
+    let seed: u64 = parse_flag_value(&args, "--seed").unwrap_or(7);
+    let ranks: usize = parse_flag_value(&args, "--ranks").unwrap_or(4);
+    let steps: usize = parse_flag_value(&args, "--steps").unwrap_or(8);
+    let soak = args.iter().any(|a| a == "--soak");
+    let resume = args.iter().any(|a| a == "--resume");
+
+    let journal_path = out.join("chaos.jsonl");
+    let (mut journal, prior) = if resume {
+        let (j, recovery) =
+            Journal::<Verdict>::resume(&journal_path).expect("resume chaos journal");
+        if recovery.dropped > 0 {
+            eprintln!(
+                "journal {}: discarded {} torn/damaged trailing line(s)",
+                journal_path.display(),
+                recovery.dropped
+            );
+        }
+        eprintln!(
+            "journal {}: resuming past {} checked schedule(s)",
+            journal_path.display(),
+            recovery.entries.len()
+        );
+        (j, recovery.entries)
+    } else {
+        (
+            Journal::<Verdict>::create(&journal_path).expect("create chaos journal"),
+            Vec::new(),
+        )
+    };
+    let done: HashSet<u64> = prior
+        .iter()
+        .filter(|v| v.seed == seed)
+        .map(|v| v.index)
+        .collect();
+    let mut failures: Vec<u64> = prior
+        .iter()
+        .filter(|v| v.seed == seed && !v.report.passed())
+        .map(|v| v.index)
+        .collect();
+
+    let h = make_harness(ranks, steps);
+    let space = FaultSpace::new(
+        h.cfg().cluster.ranks,
+        h.cfg().cluster.nodes(),
+        steps as u64,
+        h.golden_wall(),
+        24, // atoms of the quick water box; SDC atom indices wrap anyway
+    );
+    println!(
+        "chaos campaign: seed {seed}, {} schedules{}, p = {ranks}, {steps} steps, horizon {:.4} s",
+        schedules,
+        if soak {
+            " per soak round (unbounded)"
+        } else {
+            ""
+        },
+        h.golden_wall()
+    );
+
+    let mut checked = 0u64;
+    let mut index = 0u64;
+    loop {
+        if !soak && index >= schedules {
+            break;
+        }
+        if done.contains(&index) {
+            index += 1;
+            continue;
+        }
+        let plan = space.sample(seed, index);
+        let report = h.check(&plan);
+        checked += 1;
+        let failed = !report.passed();
+        journal
+            .append(&Verdict {
+                seed,
+                index,
+                report: report.clone(),
+            })
+            .expect("journal chaos verdict");
+        if failed {
+            println!("schedule {index}: {} VIOLATION(S)", report.violations.len());
+            for v in &report.violations {
+                println!("  - {v}");
+            }
+            let repro = h.minimize_to_reproducer(&plan, seed, index);
+            let path = write_reproducer(&out, &format!("repro-{index:05}.json"), &repro);
+            println!(
+                "  minimized to {} event(s) in {} probe(s): {}",
+                repro.events,
+                repro.probes,
+                path.display()
+            );
+            failures.push(index);
+            if soak {
+                break;
+            }
+        } else if (index + 1).is_multiple_of(10) {
+            println!("schedule {index}: ok ({} events)", report.events);
+        }
+        index += 1;
+    }
+
+    println!(
+        "checked {checked} fresh schedule(s) ({} total), {} violation(s)",
+        done.len() as u64 + checked,
+        failures.len()
+    );
+    if !failures.is_empty() {
+        failures.sort_unstable();
+        failures.dedup();
+        println!("failing schedules: {failures:?}");
+        std::process::exit(1);
+    }
+    println!("all oracles held");
+}

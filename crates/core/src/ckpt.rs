@@ -30,6 +30,8 @@ use cpc_md::{MdSnapshot, SnapshotError};
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// File extension of stored snapshot generations.
 pub const CHECKPOINT_EXT: &str = "cpcsnap";
@@ -85,6 +87,49 @@ pub struct FallbackNote {
     pub reason: String,
 }
 
+/// Typed failure of a strict restore (see
+/// [`CheckpointStore::restore_strict`]).
+#[derive(Debug)]
+pub enum RestoreError {
+    /// The store directory itself could not be read.
+    Io(io::Error),
+    /// Generations were present on disk but every one of them failed
+    /// to decode or verify: the durable state is unrecoverable and the
+    /// run must be classified as diverged, not silently restarted.
+    NoIntactGeneration {
+        /// One note per corrupt generation, newest first.
+        notes: Vec<FallbackNote>,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Io(e) => write!(f, "checkpoint store unreadable: {e}"),
+            RestoreError::NoIntactGeneration { notes } => {
+                write!(
+                    f,
+                    "all {} checkpoint generations are corrupt ({})",
+                    notes.len(),
+                    notes
+                        .iter()
+                        .map(|n| format!("gen {}: {}", n.generation, n.reason))
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<io::Error> for RestoreError {
+    fn from(e: io::Error) -> Self {
+        RestoreError::Io(e)
+    }
+}
+
 /// A directory of rotated, checksummed snapshot generations.
 #[derive(Debug)]
 pub struct CheckpointStore {
@@ -93,7 +138,15 @@ pub struct CheckpointStore {
     /// Scheduled corruptions, ascending by trigger time; drained from
     /// the front as writes consume them.
     fault_schedule: Vec<StorageFault>,
-    next_fault: usize,
+    /// Index of the next unfired fault. Shared (see
+    /// [`with_fault_cursor`](Self::with_fault_cursor)) so that when
+    /// several store instances model the *same* disk — one per rank,
+    /// with the writer role moving after a crash — each scheduled
+    /// fault corrupts exactly one write plan-wide, not one write per
+    /// writer. Writers are serialized by the MD driver (only the
+    /// lowest live member saves), so plain load/store ordering is
+    /// enough.
+    next_fault: Arc<AtomicUsize>,
 }
 
 impl CheckpointStore {
@@ -106,16 +159,34 @@ impl CheckpointStore {
             dir,
             keep: keep.max(1),
             fault_schedule: Vec::new(),
-            next_fault: 0,
+            next_fault: Arc::new(AtomicUsize::new(0)),
         })
     }
 
     /// Attaches a storage-fault schedule (use
     /// [`FaultPlan::storage_schedule`](cpc_cluster::FaultPlan::storage_schedule),
-    /// which sorts by trigger time).
+    /// which sorts by trigger time). The consumption cursor is private
+    /// to this store instance.
     pub fn with_fault_schedule(mut self, schedule: Vec<StorageFault>) -> Self {
         self.fault_schedule = schedule;
-        self.next_fault = 0;
+        self.next_fault = Arc::new(AtomicUsize::new(0));
+        self
+    }
+
+    /// Attaches a storage-fault schedule whose consumption cursor is
+    /// shared with other store instances. Per-rank stores of one run
+    /// all point at the same directory — the same modeled disk — and
+    /// the writer role migrates when the writing rank crashes; sharing
+    /// the cursor keeps each scheduled fault to exactly one fired
+    /// corruption plan-wide instead of re-firing under every new
+    /// writer.
+    pub fn with_fault_cursor(
+        mut self,
+        schedule: Vec<StorageFault>,
+        cursor: Arc<AtomicUsize>,
+    ) -> Self {
+        self.fault_schedule = schedule;
+        self.next_fault = cursor;
         self
     }
 
@@ -155,11 +226,10 @@ impl CheckpointStore {
     pub fn save(&mut self, snapshot: &MdSnapshot, now: f64) -> io::Result<PathBuf> {
         let mut bytes = snapshot.encode();
         let mut missing = false;
-        while self.next_fault < self.fault_schedule.len()
-            && self.fault_schedule[self.next_fault].at <= now
-        {
-            let fault = self.fault_schedule[self.next_fault];
-            self.next_fault += 1;
+        let mut pos = self.next_fault.load(Ordering::Acquire);
+        while pos < self.fault_schedule.len() && self.fault_schedule[pos].at <= now {
+            let fault = self.fault_schedule[pos];
+            pos += 1;
             match fault.kind {
                 StorageFaultKind::TornWrite { keep_frac } => {
                     let cut = (bytes.len() as f64 * keep_frac) as usize;
@@ -174,6 +244,7 @@ impl CheckpointStore {
                 StorageFaultKind::Missing => missing = true,
             }
         }
+        self.next_fault.store(pos, Ordering::Release);
 
         let path = self.path_for(snapshot.step);
         if missing {
@@ -234,6 +305,21 @@ impl CheckpointStore {
             }
         }
         Ok((None, notes))
+    }
+
+    /// Like [`restore_newest_intact`](Self::restore_newest_intact),
+    /// but distinguishes "nothing was ever written" (`Ok(None)`, a
+    /// fresh start is legitimate) from "generations exist and all are
+    /// corrupt" ([`RestoreError::NoIntactGeneration`], the run must be
+    /// classified as unrecoverable rather than silently restarted from
+    /// step 0).
+    pub fn restore_strict(&self) -> Result<Option<(u64, MdSnapshot)>, RestoreError> {
+        let (hit, notes) = self.restore_newest_intact()?;
+        match hit {
+            Some(found) => Ok(Some(found)),
+            None if notes.is_empty() => Ok(None),
+            None => Err(RestoreError::NoIntactGeneration { notes }),
+        }
     }
 }
 
@@ -314,6 +400,101 @@ mod tests {
         assert_eq!(gen, 0);
         assert_eq!(notes.len(), 1, "torn generation 1 was skipped");
         assert!(notes[0].reason.contains("truncated"), "{}", notes[0].reason);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_generations_corrupt_is_a_typed_error_not_a_panic() {
+        // Every retained generation damaged, one variant each: torn
+        // write, bit flip, and a vanished file.
+        let dir = tmp_dir("allcorrupt");
+        let plan = FaultPlan::none()
+            .with_storage_fault(1.0, StorageFaultKind::TornWrite { keep_frac: 0.4 })
+            .with_storage_fault(2.0, StorageFaultKind::BitFlip { byte: 123, bit: 5 })
+            .with_storage_fault(3.0, StorageFaultKind::Missing);
+        let mut store = CheckpointStore::open(&dir, 3)
+            .unwrap()
+            .with_fault_schedule(plan.storage_schedule());
+        store.save(&snap(1, 1.0), 1.0).unwrap(); // torn
+        store.save(&snap(2, 2.0), 2.0).unwrap(); // bit-flipped
+        store.save(&snap(3, 3.0), 3.0).unwrap(); // missing
+        assert_eq!(store.generations().unwrap(), vec![1, 2]);
+
+        // The lenient walk reports "nothing intact" with notes...
+        let (hit, notes) = store.restore_newest_intact().unwrap();
+        assert!(hit.is_none());
+        assert_eq!(notes.len(), 2, "both surviving files noted as corrupt");
+
+        // ...while the strict walk returns the typed error.
+        match store.restore_strict() {
+            Err(RestoreError::NoIntactGeneration { notes }) => {
+                assert_eq!(notes.len(), 2);
+                assert!(notes.iter().any(|n| n.reason.contains("truncated")));
+                assert!(notes.iter().any(|n| n.reason.contains("checksum")));
+            }
+            other => panic!("expected NoIntactGeneration, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_generations_missing_is_also_unrecoverable() {
+        // Every write eaten by a Missing fault: the directory exists
+        // and is empty, which is indistinguishable from a fresh start,
+        // so strict restore reports Ok(None) — the caller decides
+        // whether an expected-nonempty store being empty is fatal.
+        let dir = tmp_dir("allmissing");
+        let plan = FaultPlan::none()
+            .with_storage_fault(0.0, StorageFaultKind::Missing)
+            .with_storage_fault(1.0, StorageFaultKind::Missing);
+        let mut store = CheckpointStore::open(&dir, 3)
+            .unwrap()
+            .with_fault_schedule(plan.storage_schedule());
+        store.save(&snap(1, 0.5), 0.5).unwrap();
+        store.save(&snap(2, 1.5), 1.5).unwrap();
+        assert!(store.generations().unwrap().is_empty());
+        assert!(store.restore_strict().unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strict_restore_passes_through_an_intact_older_generation() {
+        let dir = tmp_dir("strictok");
+        let plan = FaultPlan::none()
+            .with_storage_fault(2.0, StorageFaultKind::BitFlip { byte: 50, bit: 1 });
+        let mut store = CheckpointStore::open(&dir, 3)
+            .unwrap()
+            .with_fault_schedule(plan.storage_schedule());
+        store.save(&snap(1, 1.0), 1.0).unwrap(); // clean
+        store.save(&snap(2, 2.0), 2.0).unwrap(); // corrupt
+        let (gen, restored) = store.restore_strict().unwrap().expect("gen 1 intact");
+        assert_eq!(gen, 1);
+        assert_eq!(restored.forces[0], Vec3::splat(1.0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_cursor_fires_each_fault_once_across_writers() {
+        // Two store instances modeling the same disk (as two ranks of
+        // one run do): a fault consumed by the first writer must not
+        // re-fire when the writer role migrates to the second.
+        let dir = tmp_dir("sharedcursor");
+        let plan = FaultPlan::none()
+            .with_storage_fault(1.0, StorageFaultKind::TornWrite { keep_frac: 0.2 });
+        let cursor = Arc::new(AtomicUsize::new(0));
+        let mut writer_a = CheckpointStore::open(&dir, 4)
+            .unwrap()
+            .with_fault_cursor(plan.storage_schedule(), cursor.clone());
+        let mut writer_b = CheckpointStore::open(&dir, 4)
+            .unwrap()
+            .with_fault_cursor(plan.storage_schedule(), cursor.clone());
+        writer_a.save(&snap(1, 1.0), 1.5).unwrap(); // fault fires here
+        writer_b.save(&snap(2, 2.0), 2.5).unwrap(); // must stay clean
+        let (hit, notes) = writer_b.restore_newest_intact().unwrap();
+        let (gen, _) = hit.expect("generation 2 written after handover is intact");
+        assert_eq!(gen, 2);
+        assert!(notes.is_empty(), "newest generation decodes first");
+        assert_eq!(cursor.load(Ordering::Acquire), 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod ckpt;
 pub mod classic;
 pub mod decomp;
@@ -32,7 +33,8 @@ pub mod pme_spatial;
 pub mod recover;
 pub mod report;
 
-pub use ckpt::{CheckpointStore, DurableConfig, FallbackNote};
+pub use chaos::{minimize, ChaosHarness, Reproducer, ScheduleReport, Violation};
+pub use ckpt::{CheckpointStore, DurableConfig, FallbackNote, RestoreError};
 pub use classic::{classic_energy_parallel, ClassicResult};
 pub use driver::{run_parallel_md, CommTuning, MdConfig, PmeImpl};
 pub use pme_par::{ParallelPme, PmeParallelResult};

@@ -11,13 +11,13 @@
 //! rollback is booked under [`Phase::Recovery`] so survivability
 //! reports can separate it from productive work.
 
-use crate::ckpt::{CheckpointStore, DurableConfig};
+use crate::ckpt::{CheckpointStore, DurableConfig, RestoreError};
 use crate::classic::classic_energy_parallel_with;
 use crate::driver::{CommTuning, MdConfig, PmeImpl};
 use crate::pme_par::ParallelPme;
 use crate::pme_spatial::SpatialPme;
 use crate::report::{RunReport, StepEnergies};
-use cpc_cluster::{run_cluster_faulty, CostModel, FaultPlan, Phase, SimError};
+use cpc_cluster::{run_cluster_faulty, CostModel, FaultPlan, Phase, SdcFault, SdcTarget, SimError};
 use cpc_md::energy::EnergyModel;
 use cpc_md::neighbor::NeighborList;
 use cpc_md::nonbonded::NonbondedOptions;
@@ -135,6 +135,15 @@ pub struct FtReport {
     /// Generation (step) of the durable snapshot the run resumed from,
     /// when a resume was requested and an intact snapshot existed.
     pub resumed_from: Option<u64>,
+    /// Silent-data-corruption events that actually fired (scheduled
+    /// flips whose step the run reached; a flip erased by a crash
+    /// rollback before it could matter still counts as fired).
+    pub sdc_events: usize,
+    /// Set when a requested resume found durable generations on disk
+    /// but every one of them was corrupt: the run is classified as
+    /// diverged without being started, because silently restarting
+    /// from step 0 would masquerade as recovery.
+    pub restore_failure: Option<String>,
     /// Whether the survivors completed all configured steps.
     pub completed: bool,
 }
@@ -298,6 +307,47 @@ pub fn run_parallel_md_faulty(
     let durable = fault.durable.clone();
     let watchdog = fault.watchdog;
     let storage_schedule = fault.plan.storage_schedule();
+    let sdc_schedule = fault.plan.sdc_schedule();
+
+    // Pre-flight for resume requests: distinguish "nothing durable yet"
+    // (a fresh start is the correct behaviour) from "generations exist
+    // and every one is corrupt" (restarting from step 0 would silently
+    // discard the durable state, so the run is classified as diverged
+    // before a single step is taken).
+    if let Some(d) = durable.as_ref().filter(|d| d.resume) {
+        let store =
+            CheckpointStore::open(&d.dir, d.keep).expect("checkpoint directory must be creatable");
+        if let Err(e @ RestoreError::NoIntactGeneration { .. }) = store.restore_strict() {
+            return Ok(FtReport {
+                report: RunReport {
+                    cluster: cfg.cluster,
+                    middleware: cfg.middleware,
+                    steps: cfg.steps,
+                    per_rank: Vec::new(),
+                    wall_time: 0.0,
+                    step_energies: Vec::new(),
+                    final_positions: Vec::new(),
+                    final_velocities: Vec::new(),
+                },
+                crashed_ranks: Vec::new(),
+                survivors: cfg.cluster.ranks,
+                recoveries: 0,
+                recovery_time: 0.0,
+                watchdog_trips: 0,
+                diverged: true,
+                resumed_from: None,
+                sdc_events: 0,
+                restore_failure: Some(e.to_string()),
+                completed: false,
+            });
+        }
+    }
+
+    // One storage-fault cursor for the whole run: the per-rank stores
+    // all model the same disk, and the writer role migrates after a
+    // crash, so a scheduled fault must corrupt exactly one write
+    // plan-wide — not one write per writer.
+    let storage_cursor = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
 
     let outcomes = run_cluster_faulty(cfg.cluster, fault.plan.clone(), |ctx| {
         let cost = ctx.config().cost;
@@ -311,8 +361,27 @@ pub fn run_parallel_md_faulty(
         let mut store = durable.as_ref().map(|d| {
             CheckpointStore::open(&d.dir, d.keep)
                 .expect("checkpoint directory must be creatable")
-                .with_fault_schedule(storage_schedule.clone())
+                .with_fault_cursor(storage_schedule.clone(), storage_cursor.clone())
         });
+
+        // Silent-data-corruption schedule, split per target array. The
+        // cursors only ever advance, so each event fires exactly once
+        // even across watchdog or crash rollbacks: the cosmic ray hit
+        // once, and a re-run of the rolled-back window replays clean
+        // state.
+        let sdc_positions: Vec<SdcFault> = sdc_schedule
+            .iter()
+            .copied()
+            .filter(|s| s.target == SdcTarget::Positions)
+            .collect();
+        let sdc_forces: Vec<SdcFault> = sdc_schedule
+            .iter()
+            .copied()
+            .filter(|s| s.target == SdcTarget::Forces)
+            .collect();
+        let mut next_sdc_pos = 0usize;
+        let mut next_sdc_frc = 0usize;
+        let mut sdc_fired = 0usize;
 
         // Resume happens before the first neighbour-list build so the
         // list is built from the restored coordinates. Every rank reads
@@ -394,6 +463,16 @@ pub fn run_parallel_md_faulty(
             }
         }
 
+        // SDC events from steps a previous process already completed
+        // fired in that process; a resumed run must not re-fire them.
+        while next_sdc_pos < sdc_positions.len() && sdc_positions[next_sdc_pos].step <= step as u64
+        {
+            next_sdc_pos += 1;
+        }
+        while next_sdc_frc < sdc_forces.len() && sdc_forces[next_sdc_frc].step <= step as u64 {
+            next_sdc_frc += 1;
+        }
+
         let mut recoveries = 0usize;
         let mut watchdog_trips = 0usize;
         let mut diverged = false;
@@ -417,6 +496,14 @@ pub fn run_parallel_md_faulty(
                 forces.clone_from(&ckpt.forces);
                 step = ckpt.step;
                 energies_log.truncate(step);
+                // The drift reference must roll back with the state: a
+                // reference taken from a now-truncated (possibly
+                // corrupted) step would keep tripping the watchdog on
+                // a perfectly clean re-run.
+                e_ref = energies_log
+                    .first()
+                    .map(|e| e.classic + e.pme + e.kinetic)
+                    .filter(|e| e.is_finite());
                 comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
                 // The decomposition width changed: slab-partitioned PME
                 // state must be rebuilt for the surviving ranks.
@@ -439,6 +526,7 @@ pub fn run_parallel_md_faulty(
             }
 
             // One velocity-Verlet step over the current members.
+            let computing = (step + 1) as u64;
             let p = comm.size();
             comm.ctx().set_phase(Phase::Integrate);
             let n = sys.n_atoms();
@@ -464,6 +552,21 @@ pub fn run_parallel_md_faulty(
                 }
             }
 
+            // Scheduled position corruption lands on the fully
+            // replicated post-exchange array: every rank applies the
+            // identical flip, so the replicas stay consistent and the
+            // fault is silent by construction. The flip is pure bit
+            // arithmetic — no RNG draw, no virtual time — so timing
+            // figures are untouched.
+            while next_sdc_pos < sdc_positions.len()
+                && sdc_positions[next_sdc_pos].step <= computing
+            {
+                let s = sdc_positions[next_sdc_pos];
+                cpc_md::sdc::flip_vec3_bit(&mut sys.positions, s.atom, s.axis, s.bit);
+                next_sdc_pos += 1;
+                sdc_fired += 1;
+            }
+
             let (new_forces, e_classic, e_pme) = eval_forces(
                 &mut comm,
                 &sys,
@@ -474,6 +577,16 @@ pub fn run_parallel_md_faulty(
                 ppme.as_ref(),
             );
             forces = new_forces;
+
+            // Force corruption strikes the freshly evaluated array
+            // before the second half-kick, so the corrupted value
+            // propagates into the velocities exactly once.
+            while next_sdc_frc < sdc_forces.len() && sdc_forces[next_sdc_frc].step <= computing {
+                let s = sdc_forces[next_sdc_frc];
+                cpc_md::sdc::flip_vec3_bit(&mut forces, s.atom, s.axis, s.bit);
+                next_sdc_frc += 1;
+                sdc_fired += 1;
+            }
 
             comm.ctx().set_phase(Phase::Integrate);
             for i in my_atoms.clone() {
@@ -532,6 +645,14 @@ pub fn run_parallel_md_faulty(
                 forces.clone_from(&ckpt.forces);
                 step = ckpt.step;
                 energies_log.truncate(step);
+                // Roll the drift reference back too: if the blow-up
+                // corrupted the reference step itself (an SDC flip on
+                // step 1), keeping the stale reference would condemn
+                // the clean re-run as diverged.
+                e_ref = energies_log
+                    .first()
+                    .map(|e| e.classic + e.pme + e.kinetic)
+                    .filter(|e| e.is_finite());
                 comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
                 if list.needs_rebuild(&sys.pbox, &sys.positions) {
                     list.rebuild(&sys.topology, &sys.pbox, &sys.positions);
@@ -568,6 +689,7 @@ pub fn run_parallel_md_faulty(
             watchdog_trips,
             diverged,
             resumed_from,
+            sdc_fired,
         )
     })?;
 
@@ -594,11 +716,13 @@ pub fn run_parallel_md_faulty(
     let mut watchdog_trips = 0usize;
     let mut diverged = false;
     let mut resumed_from = None;
+    let mut sdc_events = 0usize;
     for o in &outcomes {
-        if let Some((e, p, v, r, trips, dv, rf)) = &o.result {
+        if let Some((e, p, v, r, trips, dv, rf, sdc)) = &o.result {
             recoveries = recoveries.max(*r);
             watchdog_trips = watchdog_trips.max(*trips);
             diverged |= *dv;
+            sdc_events = sdc_events.max(*sdc);
             if resumed_from.is_none() {
                 resumed_from = *rf;
             }
@@ -630,6 +754,8 @@ pub fn run_parallel_md_faulty(
         watchdog_trips,
         diverged,
         resumed_from,
+        sdc_events,
+        restore_failure: None,
         completed,
     })
 }
@@ -836,6 +962,93 @@ mod tests {
         assert_eq!(ft.overhead_vs(wall), Some(0.0));
         let doubled = ft.overhead_vs(wall / 2.0).unwrap();
         assert!((doubled - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn benign_sdc_fires_silently_and_stays_tiny() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 3);
+        let golden = run_parallel_md_faulty(&sys, &cfg, &FaultConfig::default()).unwrap();
+        // Low-mantissa flip: relative error ~1e-11, invisible to the
+        // watchdog, but the trajectory is no longer bit-identical.
+        let fault = FaultConfig::new(FaultPlan::none().with_sdc(cpc_cluster::SdcFault {
+            step: 2,
+            target: cpc_cluster::SdcTarget::Positions,
+            atom: 5,
+            axis: 1,
+            bit: 16,
+        }));
+        let ft = run_parallel_md_faulty(&sys, &cfg, &fault).unwrap();
+        assert_eq!(ft.sdc_events, 1, "the flip fired exactly once");
+        assert_eq!(ft.watchdog_trips, 0, "benign flips are silent");
+        assert!(ft.completed);
+        assert_ne!(
+            ft.report.final_positions, golden.report.final_positions,
+            "the corruption is real"
+        );
+        let max_dev = ft
+            .report
+            .final_positions
+            .iter()
+            .zip(&golden.report.final_positions)
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 1e-9, "benign deviation stays tiny: {max_dev}");
+        // Timing is untouched: SDC charges no virtual time.
+        assert_eq!(ft.report.wall_time, golden.report.wall_time);
+    }
+
+    #[test]
+    fn detectable_sdc_trips_watchdog_and_recovers_exactly() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 4);
+        let golden = run_parallel_md_faulty(&sys, &cfg, &FaultConfig::default()).unwrap();
+        // High-exponent flip in the position array: the blow-up is
+        // caught by the watchdog, the run rolls back, and — because the
+        // cosmic ray only struck once — the re-run is clean and ends
+        // bit-identical to the golden trajectory.
+        let fault = FaultConfig::new(FaultPlan::none().with_sdc(cpc_cluster::SdcFault {
+            step: 3,
+            target: cpc_cluster::SdcTarget::Positions,
+            atom: 2,
+            axis: 0,
+            bit: 62,
+        }));
+        let ft = run_parallel_md_faulty(&sys, &cfg, &fault).unwrap();
+        assert_eq!(ft.sdc_events, 1);
+        assert!(ft.watchdog_trips >= 1, "the blow-up is detected");
+        assert!(!ft.diverged);
+        assert!(ft.completed);
+        assert_eq!(ft.report.final_positions, golden.report.final_positions);
+        assert_eq!(ft.report.final_velocities, golden.report.final_velocities);
+    }
+
+    #[test]
+    fn resume_with_all_generations_corrupt_reports_restore_failure() {
+        let sys = test_system();
+        let dir = tmp_ckpt_dir("allcorrupt");
+        let partial = FaultConfig::default().with_durable(DurableConfig::new(&dir));
+        run_parallel_md_faulty(&sys, &test_cfg(3, 2), &partial).unwrap();
+        // Damage every generation on disk.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        let resumed_cfg =
+            FaultConfig::default().with_durable(DurableConfig::new(&dir).with_resume(true));
+        let ft = run_parallel_md_faulty(&sys, &test_cfg(3, 4), &resumed_cfg).unwrap();
+        // The driver refuses to masquerade a from-scratch restart as a
+        // recovery: the run is classified diverged before step 0.
+        assert!(ft.diverged);
+        assert!(!ft.completed);
+        assert!(ft.restore_failure.is_some());
+        let reason = ft.restore_failure.unwrap();
+        assert!(reason.contains("corrupt"), "reason: {reason}");
+        assert_eq!(ft.resumed_from, None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod observe;
 pub mod pbc;
 pub mod pme;
 pub mod pressure;
+pub mod sdc;
 pub mod snapshot;
 pub mod special;
 pub mod system;

@@ -1,0 +1,88 @@
+//! Silent-data-corruption injection hook: deterministic single-bit
+//! flips in replicated `Vec3` arrays (positions, forces).
+//!
+//! The chaos harness models cosmic-ray / bad-DIMM events as one bit of
+//! one f64 flipping silently. The hook is deliberately dumb — pure bit
+//! arithmetic, no RNG, no time source — so the *schedule* (which step,
+//! which atom, which bit) lives entirely in the seeded fault plan and
+//! every rank of a replicated-data run applies the identical flip.
+
+use crate::vec3::Vec3;
+
+/// Flips `bit` (0..64, little-endian significance) of the `axis`
+/// (0..3) component of `vs[atom % vs.len()]` in place. Returns the
+/// `(before, after)` component values, or `None` when `vs` is empty.
+///
+/// Flipping the same bit twice restores the original value exactly.
+pub fn flip_vec3_bit(vs: &mut [Vec3], atom: usize, axis: u8, bit: u8) -> Option<(f64, f64)> {
+    if vs.is_empty() {
+        return None;
+    }
+    debug_assert!(axis < 3, "axis {axis} outside 0..3");
+    debug_assert!(bit < 64, "bit {bit} outside 0..64");
+    let v = &mut vs[atom % vs.len()];
+    let slot = match axis % 3 {
+        0 => &mut v.x,
+        1 => &mut v.y,
+        _ => &mut v.z,
+    };
+    let before = *slot;
+    let after = f64::from_bits(before.to_bits() ^ (1u64 << (bit & 63)));
+    *slot = after;
+    Some((before, after))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_flip_restores_bit_exactly() {
+        let mut vs = vec![Vec3::new(1.5, -2.25, 3.75); 4];
+        let (before, after) = flip_vec3_bit(&mut vs, 2, 1, 13).unwrap();
+        assert_ne!(before.to_bits(), after.to_bits());
+        let (b2, a2) = flip_vec3_bit(&mut vs, 2, 1, 13).unwrap();
+        assert_eq!(b2.to_bits(), after.to_bits());
+        assert_eq!(a2.to_bits(), before.to_bits());
+        assert_eq!(vs[2].y, -2.25);
+    }
+
+    #[test]
+    fn sign_bit_flips_sign_and_low_mantissa_is_tiny() {
+        let mut vs = vec![Vec3::new(4.0, 0.0, 0.0)];
+        flip_vec3_bit(&mut vs, 0, 0, 63).unwrap();
+        assert_eq!(vs[0].x, -4.0);
+        let mut vs = vec![Vec3::new(4.0, 0.0, 0.0)];
+        let (before, after) = flip_vec3_bit(&mut vs, 0, 0, 3).unwrap();
+        let rel = ((after - before) / before).abs();
+        assert!(rel > 0.0 && rel < 1e-12, "rel change {rel}");
+    }
+
+    #[test]
+    fn top_exponent_flip_displaces_by_two_or_blows_up() {
+        // Bit 62 is the chaos fuzzer's "detectable" class: whichever
+        // state the bit starts in, the component either moves by at
+        // least 2.0 or leaves the finite range entirely. |x| >= 2
+        // collapses to a subnormal (displacement |x|); |x| < 2 jumps to
+        // >= 2 (0.0 becomes exactly 2.0, 1.0 overflows to infinity).
+        for x in [0.0, 1e-5, 0.3, 1.0, 1.999, 2.0, 3.0, 30.0, -7.5] {
+            let mut vs = vec![Vec3::new(x, 0.0, 0.0)];
+            let (before, after) = flip_vec3_bit(&mut vs, 0, 0, 62).unwrap();
+            assert_eq!(before, x);
+            assert!(
+                !after.is_finite() || (after - before).abs() >= 2.0,
+                "x = {x}: after = {after}"
+            );
+        }
+    }
+
+    #[test]
+    fn atom_index_wraps_and_empty_is_none() {
+        let mut vs = vec![Vec3::new(1.0, 1.0, 1.0); 3];
+        flip_vec3_bit(&mut vs, 7, 0, 63).unwrap(); // 7 % 3 == 1
+        assert_eq!(vs[1].x, -1.0);
+        assert_eq!(vs[0].x, 1.0);
+        let mut empty: Vec<Vec3> = Vec::new();
+        assert!(flip_vec3_bit(&mut empty, 0, 0, 0).is_none());
+    }
+}

@@ -1283,4 +1283,41 @@ mod tests {
         };
         assert_eq!(run(), run());
     }
+
+    #[test]
+    fn half_entered_collective_surfaces_stalled_not_hang() {
+        // Rank 2 never joins the barrier: the ranks that did enter wait
+        // on peers that will never arrive. The termination oracle
+        // depends on this surfacing as a typed SimError::Stalled within
+        // the configured stall budget instead of hanging the process.
+        let cfg = ClusterConfig::uni(3, NetworkKind::ScoreGigE).with_stall_timeout(0.2);
+        let result = run_cluster_faulty(cfg, FaultPlan::none(), |ctx| {
+            let mut comm = Comm::new(ctx, Middleware::Mpi);
+            if comm.rank() != 2 {
+                comm.barrier();
+            }
+        });
+        match result {
+            Err(cpc_cluster::SimError::Stalled { rank, waited, .. }) => {
+                assert!(rank != 2, "a rank stuck inside the barrier stalls");
+                assert!(waited >= 0.2);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+
+        // Same for a value-moving collective with inconsistent
+        // membership.
+        let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE).with_stall_timeout(0.2);
+        let result = run_cluster_faulty(cfg, FaultPlan::none(), |ctx| {
+            let mut comm = Comm::new(ctx, Middleware::Mpi);
+            if comm.rank() == 0 {
+                let mut v = vec![1.0];
+                comm.allreduce_sum(&mut v);
+            }
+        });
+        assert!(
+            matches!(result, Err(cpc_cluster::SimError::Stalled { .. })),
+            "got {result:?}"
+        );
+    }
 }

@@ -125,6 +125,22 @@ pub enum SimError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// A blocked receive made no progress for the configured
+    /// [`stall_timeout`](ClusterConfig::stall_timeout) of *real* time:
+    /// the awaited peers never arrived (e.g. a collective entered with
+    /// inconsistent membership, or an infallible receive on a message
+    /// the transport gave up on). This is the termination oracle's
+    /// evidence that a run would otherwise hang forever.
+    Stalled {
+        /// The rank whose receive stalled.
+        rank: usize,
+        /// High bits (`tag >> 8`) of the awaited tag; for `cpc-mpi`
+        /// collectives this is the collective epoch, so it locates the
+        /// stuck operation.
+        step: u64,
+        /// Real seconds the receive waited before giving up.
+        waited: f64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -134,6 +150,12 @@ impl std::fmt::Display for SimError {
             SimError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
             SimError::RankPanicked { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")
+            }
+            SimError::Stalled { rank, step, waited } => {
+                write!(
+                    f,
+                    "rank {rank} stalled in epoch {step} after {waited:.1}s of real time"
+                )
             }
         }
     }
@@ -155,6 +177,25 @@ pub struct SendOutcome {
 struct CrashUnwind {
     #[allow(dead_code)]
     rank: usize,
+}
+
+/// Unwind payload of a stalled receive (see [`SimError::Stalled`]).
+struct StallUnwind {
+    rank: usize,
+    step: u64,
+    waited: f64,
+}
+
+/// Unwinds the calling rank because a blocked receive exceeded the
+/// configured real-time stall budget. Uses `resume_unwind` so the
+/// panic hook stays silent: a stall is a diagnosed outcome, not a bug
+/// in the harness.
+fn stall_unwind(rank: usize, tag: u64, waited: f64) -> ! {
+    std::panic::resume_unwind(Box::new(StallUnwind {
+        rank,
+        step: tag >> 8,
+        waited,
+    }));
 }
 
 struct Mailbox {
@@ -400,6 +441,11 @@ impl RankCtx {
         assert!(src < self.size(), "invalid source {src}");
         assert_ne!(src, self.rank, "self-receive not supported");
         let msg = {
+            // Real-time stall watchdog: measures *wall* time only, so
+            // virtual results stay deterministic (a run either
+            // completes with bit-identical state or stalls).
+            let stall_limit = std::time::Duration::from_secs_f64(self.shared.config.stall_timeout);
+            let started = std::time::Instant::now();
             let mb = &self.shared.mailboxes[self.rank];
             let mut q = mb.queue.lock();
             loop {
@@ -409,7 +455,11 @@ impl RankCtx {
                 {
                     break q.remove(pos).expect("position valid");
                 }
-                mb.cv.wait(&mut q);
+                let waited = started.elapsed();
+                if waited >= stall_limit {
+                    stall_unwind(self.rank, tag, waited.as_secs_f64());
+                }
+                mb.cv.wait_for(&mut q, stall_limit - waited);
             }
         };
         self.complete_recv(msg)
@@ -428,6 +478,8 @@ impl RankCtx {
             Dead(f64),
         }
         let got = {
+            let stall_limit = std::time::Duration::from_secs_f64(self.shared.config.stall_timeout);
+            let started = std::time::Instant::now();
             let mb = &self.shared.mailboxes[self.rank];
             let mut q = mb.queue.lock();
             loop {
@@ -451,7 +503,11 @@ impl RankCtx {
                 {
                     break Got::Dead(at);
                 }
-                mb.cv.wait(&mut q);
+                let waited = started.elapsed();
+                if waited >= stall_limit {
+                    stall_unwind(self.rank, tag, waited.as_secs_f64());
+                }
+                mb.cv.wait_for(&mut q, stall_limit - waited);
             }
         };
         let watchdog = self.shared.plan.watchdog_timeout;
@@ -549,6 +605,14 @@ impl<T> FaultyOutcome<T> {
     }
 }
 
+/// Per-rank failure channel of the join loop: a stalled receive is a
+/// diagnosed outcome, a panic is a bug. Kept separate so a genuine
+/// panic is reported in preference to the stalls it causes on peers.
+enum StallOrPanic {
+    Stalled(StallUnwind),
+    Panic(String),
+}
+
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
@@ -643,7 +707,8 @@ where
     });
 
     let mut outcomes: Vec<Option<FaultyOutcome<T>>> = (0..config.ranks).map(|_| None).collect();
-    let mut error: Option<SimError> = None;
+    let mut panic_error: Option<SimError> = None;
+    let mut stall_error: Option<SimError> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(config.ranks);
         for rank in 0..config.ranks {
@@ -675,18 +740,28 @@ where
                         stats: ctx.stats,
                         finish_time: ctx.clock,
                     }),
-                    Err(payload) => Err(panic_message(payload.as_ref())),
+                    Err(payload) => match payload.downcast::<StallUnwind>() {
+                        Ok(stall) => Err(StallOrPanic::Stalled(*stall)),
+                        Err(payload) => Err(StallOrPanic::Panic(panic_message(payload.as_ref()))),
+                    },
                 }
             }));
         }
         for (rank, h) in handles.into_iter().enumerate() {
             match h.join() {
                 Ok(Ok(outcome)) => outcomes[rank] = Some(outcome),
-                Ok(Err(message)) => {
-                    error.get_or_insert(SimError::RankPanicked { rank, message });
+                Ok(Err(StallOrPanic::Stalled(s))) => {
+                    stall_error.get_or_insert(SimError::Stalled {
+                        rank: s.rank,
+                        step: s.step,
+                        waited: s.waited,
+                    });
+                }
+                Ok(Err(StallOrPanic::Panic(message))) => {
+                    panic_error.get_or_insert(SimError::RankPanicked { rank, message });
                 }
                 Err(payload) => {
-                    error.get_or_insert(SimError::RankPanicked {
+                    panic_error.get_or_insert(SimError::RankPanicked {
                         rank,
                         message: panic_message(payload.as_ref()),
                     });
@@ -694,7 +769,8 @@ where
             }
         }
     });
-    if let Some(e) = error {
+    // A genuine panic outranks the stalls it strands peers in.
+    if let Some(e) = panic_error.or(stall_error) {
         return Err(e);
     }
     Ok(outcomes
@@ -996,6 +1072,26 @@ mod tests {
                 assert!(message.contains("deliberate test panic"));
             }
             other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stalled_receive_surfaces_typed_error() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE).with_stall_timeout(0.2);
+        // Nobody ever sends tag 9<<8: the real-time watchdog must fire
+        // instead of hanging the test forever.
+        let result = run_cluster_faulty(cfg, FaultPlan::none(), |ctx| {
+            if ctx.rank() == 1 {
+                let _ = ctx.recv(0, 9 << 8);
+            }
+        });
+        match result {
+            Err(SimError::Stalled { rank, step, waited }) => {
+                assert_eq!(rank, 1);
+                assert_eq!(step, 9);
+                assert!(waited >= 0.2);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
         }
     }
 

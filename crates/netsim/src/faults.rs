@@ -126,6 +126,41 @@ pub struct StorageFault {
     pub kind: StorageFaultKind,
 }
 
+/// Which replicated MD array a silent-data-corruption event targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SdcTarget {
+    /// The post-exchange position array.
+    Positions,
+    /// The freshly evaluated force array.
+    Forces,
+}
+
+/// One silent bit flip in a replicated MD array (the cosmic-ray /
+/// bad-DIMM fault model).
+///
+/// SDC events are triggered by *MD step index*, not virtual time:
+/// per-rank virtual clocks differ, but the step counter is replicated,
+/// so every rank applies the identical corruption and the replicated
+/// state stays consistent — the fault is silent by construction, and
+/// only the numerical watchdog (or an oracle diff against the golden
+/// run) can expose it. Each event fires exactly once; a
+/// watchdog-driven rollback does not re-fire it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SdcFault {
+    /// 1-based MD step being computed when the flip lands. An event at
+    /// step `s` corrupts the arrays produced while computing step `s`.
+    pub step: u64,
+    /// Which array is corrupted.
+    pub target: SdcTarget,
+    /// Atom index (taken modulo the system's atom count).
+    pub atom: usize,
+    /// Coordinate axis, `0..3` (x, y, z).
+    pub axis: u8,
+    /// Bit of the f64 to flip, `0..64` (0 = least-significant mantissa
+    /// bit, 52..63 = exponent, 63 = sign).
+    pub bit: u8,
+}
+
 /// Per-message fault parameters of one link at one instant, resolved
 /// from a [`FaultPlan`] by the engine at send time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -190,6 +225,10 @@ pub struct FaultPlan {
     /// exercise the checkpoint store's verify-and-fall-back path and
     /// never perturb simulation timing (see [`StorageFaultKind`]).
     pub storage: Vec<StorageFault>,
+    /// Scheduled silent-data-corruption bit flips in the replicated MD
+    /// arrays (see [`SdcFault`]). Applied by the MD driver, not the
+    /// engine: they perturb physics, never timing or RNG draws.
+    pub sdc: Vec<SdcFault>,
     /// Retransmission rounds before a *payload* message is dropped and
     /// replaced by a tombstone. `None` (the default) models a reliable
     /// TCP-like transport: payloads always arrive, arbitrarily late.
@@ -216,6 +255,7 @@ impl FaultPlan {
             stragglers: Vec::new(),
             crashes: Vec::new(),
             storage: Vec::new(),
+            sdc: Vec::new(),
             max_retransmits: None,
             watchdog_timeout: DEFAULT_WATCHDOG_TIMEOUT,
         }
@@ -259,10 +299,17 @@ impl FaultPlan {
         self
     }
 
-    /// True when the plan cannot perturb the simulation at all.
-    /// Storage faults are deliberately excluded: they corrupt durable
-    /// artifacts on the side but never consume an RNG draw or charge
-    /// virtual time, so timing stays bit-identical either way.
+    /// Schedules a silent-data-corruption bit flip (see [`SdcFault`]).
+    pub fn with_sdc(mut self, fault: SdcFault) -> Self {
+        self.sdc.push(fault);
+        self
+    }
+
+    /// True when the plan cannot perturb the simulation's *timing* at
+    /// all. Storage and SDC faults are deliberately excluded: they
+    /// corrupt durable artifacts or replicated state on the side but
+    /// never consume an RNG draw or charge virtual time, so timing
+    /// stays bit-identical either way.
     pub fn is_zero(&self) -> bool {
         self.loss <= 0.0
             && self.degradations.is_empty()
@@ -276,6 +323,14 @@ impl FaultPlan {
     pub fn storage_schedule(&self) -> Vec<StorageFault> {
         let mut schedule = self.storage.clone();
         schedule.sort_by(|a, b| a.at.total_cmp(&b.at));
+        schedule
+    }
+
+    /// The SDC schedule sorted by step (ties keep plan order), ready
+    /// for one-shot consumption by the MD driver.
+    pub fn sdc_schedule(&self) -> Vec<SdcFault> {
+        let mut schedule = self.sdc.clone();
+        schedule.sort_by_key(|s| s.step);
         schedule
     }
 
@@ -358,6 +413,17 @@ impl FaultPlan {
                     }
                 }
                 StorageFaultKind::Missing => {}
+            }
+        }
+        for s in &self.sdc {
+            if s.step == 0 {
+                return Err("SDC step index is 1-based; step 0 is never computed".into());
+            }
+            if s.axis >= 3 {
+                return Err(format!("SDC axis {} outside 0..3", s.axis));
+            }
+            if s.bit >= 64 {
+                return Err(format!("SDC bit index {} outside 0..64", s.bit));
             }
         }
         Ok(())
@@ -508,6 +574,68 @@ mod tests {
                 .with_storage_fault(0.0, StorageFaultKind::BitFlip { byte: 0, bit: 8 }),
         ] {
             assert!(bad.validate(4, 4).is_err(), "{:?}", bad.storage);
+        }
+    }
+
+    #[test]
+    fn sdc_faults_do_not_make_a_plan_nonzero() {
+        let p = FaultPlan::none().with_sdc(SdcFault {
+            step: 3,
+            target: SdcTarget::Forces,
+            atom: 17,
+            axis: 1,
+            bit: 52,
+        });
+        assert!(p.is_zero(), "SDC never perturbs timing");
+        assert!(p.validate(4, 4).is_ok());
+    }
+
+    #[test]
+    fn sdc_schedule_is_step_sorted_and_validated() {
+        let p = FaultPlan::none()
+            .with_sdc(SdcFault {
+                step: 5,
+                target: SdcTarget::Positions,
+                atom: 0,
+                axis: 0,
+                bit: 0,
+            })
+            .with_sdc(SdcFault {
+                step: 2,
+                target: SdcTarget::Forces,
+                atom: 1,
+                axis: 2,
+                bit: 63,
+            });
+        let steps: Vec<u64> = p.sdc_schedule().iter().map(|s| s.step).collect();
+        assert_eq!(steps, vec![2, 5]);
+        for bad in [
+            SdcFault {
+                step: 0,
+                target: SdcTarget::Forces,
+                atom: 0,
+                axis: 0,
+                bit: 0,
+            },
+            SdcFault {
+                step: 1,
+                target: SdcTarget::Forces,
+                atom: 0,
+                axis: 3,
+                bit: 0,
+            },
+            SdcFault {
+                step: 1,
+                target: SdcTarget::Forces,
+                atom: 0,
+                axis: 0,
+                bit: 64,
+            },
+        ] {
+            assert!(
+                FaultPlan::none().with_sdc(bad).validate(4, 4).is_err(),
+                "{bad:?}"
+            );
         }
     }
 

@@ -42,6 +42,7 @@ pub mod cluster;
 pub mod cost;
 pub mod engine;
 pub mod faults;
+pub mod fuzz;
 pub mod netmodel;
 pub mod rng;
 pub mod stats;
@@ -54,8 +55,10 @@ pub use engine::{
     RankCtx, RankOutcome, SendOutcome, SimError, CRASH_TAG,
 };
 pub use faults::{
-    FaultPlan, LinkDegradation, LinkFault, RankCrash, StorageFault, StorageFaultKind, Straggler,
+    FaultPlan, LinkDegradation, LinkFault, RankCrash, SdcFault, SdcTarget, StorageFault,
+    StorageFaultKind, Straggler,
 };
+pub use fuzz::FaultSpace;
 pub use netmodel::{
     FaultyTransfer, NetworkKind, NetworkParams, OpShape, TransferCtx, TransferTime,
 };

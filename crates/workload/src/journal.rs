@@ -218,6 +218,49 @@ mod tests {
     }
 
     #[test]
+    fn valid_json_with_bad_checksum_is_truncated_like_any_torn_tail() {
+        // The nasty torn-write case: the final record was damaged in a
+        // way that still parses as JSON (here: an older, complete
+        // record overwritten in place under a stale checksum). The
+        // checksum must be verified BEFORE the parse is trusted — a
+        // parseable-but-unverified tail is still a tail.
+        let path = tmp_path("validjson-badcrc");
+        let mut j: Journal<Measurement> = Journal::create(&path).unwrap();
+        j.append(&fake_measurement(1)).unwrap();
+        j.append(&fake_measurement(2)).unwrap();
+        drop(j);
+        // Rewrite the second line's payload to different-but-valid JSON
+        // while keeping the original (now wrong) checksum prefix.
+        let full = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = full.lines().collect();
+        let (crc, _json) = lines[1].split_once(' ').unwrap();
+        let fake_json = serde_json::to_string(&fake_measurement(8)).unwrap();
+        let doctored = format!("{crc} {fake_json}");
+        assert_ne!(
+            u64::from_str_radix(crc, 16).unwrap(),
+            fnv1a64(fake_json.as_bytes()),
+            "the doctored payload must not re-verify"
+        );
+        lines[1] = &doctored;
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        let (mut j, rec) = Journal::<Measurement>::resume(&path).unwrap();
+        assert_eq!(rec.entries.len(), 1, "only the verified prefix survives");
+        assert_eq!(
+            rec.dropped, 1,
+            "the parseable-but-unverified tail is dropped"
+        );
+        assert_eq!(rec.entries[0].point.procs, 1);
+        j.append(&fake_measurement(4)).unwrap();
+        drop(j);
+        let rec: Recovery<Measurement> = Journal::load(&path).unwrap();
+        assert_eq!(rec.dropped, 0, "resume rewrote the bad record away");
+        let procs: Vec<usize> = rec.entries.iter().map(|m| m.point.procs).collect();
+        assert_eq!(procs, vec![1, 4]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn missing_file_is_an_empty_journal() {
         let rec: Recovery<Measurement> = Journal::load(tmp_path("missing")).unwrap();
         assert!(rec.entries.is_empty());

@@ -94,6 +94,25 @@ impl Condvar {
         );
     }
 
+    /// Blocks until notified or `timeout` elapses, releasing the mutex
+    /// while waiting. The guard is reacquired (ignoring poison) before
+    /// returning. Mirrors parking_lot's `wait_for`.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard present before wait");
+        let (reacquired, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -108,5 +127,20 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Self {
         Condvar::new()
+    }
+}
+
+/// Outcome of a timed condition-variable wait (see
+/// [`Condvar::wait_for`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the timeout elapsed rather
+    /// than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }

@@ -1,0 +1,108 @@
+//! End-to-end acceptance tests for the chaos harness: sampled
+//! schedules uphold every oracle deterministically, a planted
+//! known-bad schedule is caught and minimized to a replayable
+//! reproducer, and the reproducer artifact round-trips through JSON.
+
+use cpc::prelude::*;
+use cpc_charmm::chaos::{flatten, ChaosHarness, Reproducer, Violation};
+use cpc_cluster::{FaultPlan, FaultSpace, LinkDegradation, SdcFault, SdcTarget};
+
+fn harness(tag: &str, ranks: usize, steps: usize) -> ChaosHarness {
+    let mut sys = cpc_md::builder::water_box(2, 3.1);
+    cpc_md::minimize::minimize(&mut sys, EnergyModel::Classic, 40);
+    sys.assign_velocities(150.0, 3);
+    let cluster = ClusterConfig::uni(ranks, NetworkKind::ScoreGigE).with_stall_timeout(20.0);
+    let cfg = MdConfig {
+        steps,
+        ..MdConfig::paper_protocol(EnergyModel::Classic, Middleware::Mpi, cluster)
+    };
+    let dir = std::env::temp_dir().join(format!("cpc-chaos-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    ChaosHarness::new(sys, cfg, dir).unwrap()
+}
+
+#[test]
+fn sampled_schedules_uphold_every_oracle_deterministically() {
+    let h = harness("campaign", 4, 8);
+    let space = FaultSpace::new(4, 4, 8, h.golden_wall(), 24);
+    for index in 0..12 {
+        let plan = space.sample(7, index);
+        let a = h.check(&plan);
+        assert!(
+            a.passed(),
+            "schedule {index} violated an oracle: {:?}",
+            a.violations
+        );
+        // The verdict — violations, deviations, wall time — is a pure
+        // function of the plan.
+        let b = h.check(&plan);
+        assert_eq!(a, b, "schedule {index} verdict must be deterministic");
+    }
+}
+
+#[test]
+fn planted_bad_schedule_is_caught_and_minimized_to_replayable_reproducer() {
+    let h = harness("planted", 4, 8);
+    // The planted bug: a gray-zone SDC flip — mid-mantissa, far above
+    // the benign bound, invisible to the numerical watchdog — buried
+    // among harmless noise events. The fuzzer never samples this zone,
+    // which is exactly why it validates the oracles.
+    let wall = h.golden_wall();
+    let plan = FaultPlan::none()
+        .with_loss(0.05)
+        .with_straggler(0, 1.5)
+        .with_degradation(LinkDegradation::global(0.0, 0.5 * wall, 0.1, 2.0))
+        .with_crash(1, 0.7 * wall)
+        .with_sdc(SdcFault {
+            step: 2,
+            target: SdcTarget::Positions,
+            atom: 3,
+            axis: 1,
+            bit: 40,
+        });
+    assert_eq!(flatten(&plan).len(), 5);
+
+    // Caught by an oracle.
+    let report = h.check(&plan);
+    assert!(!report.passed(), "the planted schedule must be caught");
+
+    // Minimized: only the corrupting flip survives, and well under the
+    // three-event reproducer budget.
+    let repro = h.minimize_to_reproducer(&plan, 0, 0);
+    assert!(repro.events <= 3, "kept {} events", repro.events);
+    assert_eq!(repro.plan.sdc.len(), 1, "the flip is the bug");
+    assert!(repro.plan.crashes.is_empty() && repro.plan.loss == 0.0);
+    assert!(
+        repro
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SilentCorruption { .. })),
+        "minimized violations: {:?}",
+        repro.violations
+    );
+
+    // Replayable: the JSON artifact round-trips and still fails.
+    let parsed = Reproducer::from_json(&repro.to_json()).unwrap();
+    assert_eq!(parsed, repro);
+    let replay = h.check(&parsed.plan);
+    assert_eq!(replay.violations, repro.violations, "replay reproduces");
+}
+
+#[test]
+fn detectable_sdc_recovers_bit_identically_through_the_oracles() {
+    let h = harness("detectable", 3, 4);
+    // The fuzzer's detectable class: top exponent bit of a position at
+    // step >= 2. The watchdog must catch it, roll back, and end
+    // bit-identical to golden — deviation exactly zero.
+    let plan = FaultPlan::none().with_sdc(SdcFault {
+        step: 3,
+        target: SdcTarget::Positions,
+        atom: 2,
+        axis: 0,
+        bit: 62,
+    });
+    let report = h.check(&plan);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert!(report.watchdog_trips >= 1, "the flip must be detected");
+    assert_eq!(report.max_deviation, 0.0, "recovery is exact");
+}

@@ -1,0 +1,96 @@
+//! Determinism audit: no ambient randomness or wall-clock time may
+//! reach simulation or chaos code paths. Every random draw must flow
+//! from the seeded `cpc-cluster` RNG and every timestamp from the
+//! virtual clock — that is what makes fault schedules, campaign
+//! journals and reproducers byte-identical across reruns.
+//!
+//! The audit greps the workspace crates' sources (shims are external
+//! stand-ins and are exempt) for the usual escape hatches. The only
+//! allowance is the real-time *stall watchdog* in the cluster engine,
+//! which measures how long a blocked receive has made no progress —
+//! it decides when to give up on a hung run, never what the
+//! simulation computes.
+
+use std::path::{Path, PathBuf};
+
+/// Patterns that smuggle nondeterminism into results.
+const FORBIDDEN: &[&str] = &[
+    "SystemTime::now",
+    "Instant::now",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+    "getrandom",
+];
+
+/// Files allowed to use a specific pattern, with the reason on record.
+/// Keep this list short: every entry must justify why the use cannot
+/// leak into simulated results.
+fn allowed(rel_path: &str, pattern: &str) -> bool {
+    // The engine's stall watchdog measures real elapsed time on a
+    // *blocked* receive to convert a would-be infinite hang into a
+    // typed SimError::Stalled. It never contributes to virtual time,
+    // physics, or any journaled figure.
+    rel_path == "netsim/src/engine.rs" && pattern == "Instant::now"
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("crates directory is readable") {
+        let path = entry.expect("directory entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_ambient_time_or_rng_in_simulation_or_chaos_code() {
+    let crates = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let mut sources = Vec::new();
+    rust_sources(&crates, &mut sources);
+    assert!(
+        sources.len() > 30,
+        "audit must actually see the workspace sources, found {}",
+        sources.len()
+    );
+
+    let mut offenses = Vec::new();
+    for path in &sources {
+        let text = std::fs::read_to_string(path).expect("source file is readable");
+        let rel = path
+            .strip_prefix(&crates)
+            .expect("source lives under crates/")
+            .to_string_lossy()
+            .replace('\\', "/");
+        for pattern in FORBIDDEN {
+            for (i, line) in text.lines().enumerate() {
+                if line.contains(pattern) && !allowed(&rel, pattern) {
+                    offenses.push(format!("crates/{rel}:{}: {pattern}", i + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        offenses.is_empty(),
+        "ambient time/RNG reached simulation code (route it through the \
+         seeded cpc-cluster RNG or the virtual clock, or add a justified \
+         allowance):\n{}",
+        offenses.join("\n")
+    );
+}
+
+#[test]
+fn the_stall_watchdog_allowance_is_still_needed() {
+    // If the engine ever stops using Instant::now, the allowance above
+    // must be deleted with it — a stale allowance is a hole in the
+    // audit.
+    let engine = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/netsim/src/engine.rs");
+    let text = std::fs::read_to_string(engine).expect("engine source is readable");
+    assert!(
+        text.contains("Instant::now"),
+        "netsim/src/engine.rs no longer uses Instant::now: remove its allowance \
+         from this audit"
+    );
+}
