@@ -7,6 +7,7 @@
 //!     [--soak] [--resume] [--out DIR] [--ranks P] [--steps N]
 //! cargo run -p cpc-bench --bin chaos -- --plant [--out DIR]
 //! cargo run -p cpc-bench --bin chaos -- --replay FILE [--out DIR]
+//! cargo run -p cpc-bench --bin chaos -- --straggle-smoke [--out DIR]
 //! ```
 //!
 //! * **Campaign mode** (default): checks schedules `0..N` sampled from
@@ -29,9 +30,16 @@
 //! * **Replay mode** (`--replay FILE`): re-checks a reproducer
 //!   artifact. Exit 0 when it still provokes a violation (it
 //!   reproduces), 1 when it no longer does.
+//! * **Straggle-smoke mode** (`--straggle-smoke`): CI gate for
+//!   degraded-mode rebalancing. Runs a compute-dominated workload
+//!   under a persistent straggler, asserts the mitigation contract
+//!   (zero rollbacks, no eviction, adaptive overhead below the ratio
+//!   bound of the static-decomposition overhead), and journals the
+//!   verdict to `DIR/straggle_smoke.json` — fully deterministic, so CI
+//!   runs it twice and `cmp`s the artifacts.
 
 use cpc_charmm::chaos::{flatten, ChaosHarness, Reproducer, ScheduleReport};
-use cpc_charmm::MdConfig;
+use cpc_charmm::{run_parallel_md_faulty, DurableConfig, FaultConfig, MdConfig, RecoveryConfig};
 use cpc_cluster::{
     ClusterConfig, FaultPlan, FaultSpace, LinkDegradation, NetworkKind, SdcFault, SdcTarget,
 };
@@ -62,7 +70,7 @@ const STALL_TIMEOUT: f64 = 20.0;
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--schedules N] [--seed S] [--soak] [--resume] [--out DIR]\n\
-         \x20      [--ranks P] [--steps N] | --plant | --replay FILE"
+         \x20      [--ranks P] [--steps N] | --plant | --replay FILE | --straggle-smoke"
     );
     std::process::exit(2);
 }
@@ -174,6 +182,123 @@ fn plant_mode(out: &Path) -> i32 {
     0
 }
 
+/// The straggle-smoke workload: a bigger water box than the campaign's
+/// so the run is compute-dominated. On the comm-bound campaign box a
+/// slow CPU hides entirely behind the collective incasts (static
+/// overhead of a 2x straggler is ~0.3%) and there is nothing for
+/// rebalancing to reclaim; the bigger box exposes the straggler to the
+/// decomposition, which is the regime this smoke gates.
+fn compute_workload(ranks: usize, steps: usize) -> (cpc_md::System, MdConfig) {
+    let mut sys = cpc_md::builder::water_box(3, 3.1);
+    cpc_md::minimize::minimize(&mut sys, EnergyModel::Classic, 40);
+    sys.assign_velocities(150.0, 3);
+    let cluster =
+        ClusterConfig::uni(ranks, NetworkKind::ScoreGigE).with_stall_timeout(STALL_TIMEOUT);
+    let cfg = MdConfig {
+        steps,
+        ..MdConfig::paper_protocol(EnergyModel::Classic, Middleware::Mpi, cluster)
+    };
+    (sys, cfg)
+}
+
+/// The deterministic artifact the straggle smoke journals: the oracle
+/// report plus the overhead comparison the CI log wants to show.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StraggleSmoke {
+    slowdown: f64,
+    golden_wall: f64,
+    adaptive_overhead: f64,
+    static_overhead: f64,
+    ratio: f64,
+    report: ScheduleReport,
+}
+
+fn straggle_smoke_mode(out: &Path) -> i32 {
+    const SLOWDOWN: f64 = 2.5;
+    const RATIO_BOUND: f64 = cpc_charmm::chaos::ADAPTIVE_OVERHEAD_RATIO;
+    let (sys, cfg) = compute_workload(4, 8);
+    let scratch = std::env::temp_dir().join(format!("cpc-straggle-scratch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let h = ChaosHarness::new(sys, cfg, &scratch).expect("fault-free golden run must succeed");
+
+    let plan = FaultPlan::none().with_straggler(0, SLOWDOWN);
+    let report = h.check(&plan);
+    let rollbacks = report.recoveries + report.watchdog_trips;
+    let mut bad = Vec::new();
+    if !report.passed() {
+        for v in &report.violations {
+            bad.push(format!("oracle violation: {v}"));
+        }
+    }
+    if rollbacks > 0 {
+        bad.push(format!("{rollbacks} rollback episode(s); expected none"));
+    }
+    if report.evictions > 0 {
+        bad.push(format!(
+            "{} eviction(s); a {SLOWDOWN}x straggler is rebalance territory",
+            report.evictions
+        ));
+    }
+    if report.rebalances == 0 {
+        bad.push("the ladder never re-cut the partition".to_string());
+    }
+
+    // Static-decomposition reference for the CI log: same plan, same
+    // checkpointing, rebalancing off. check() already ran this
+    // comparison inside the mitigation oracle; repeating it here puts
+    // the actual overheads in the artifact.
+    let (sys2, cfg2) = compute_workload(4, 8);
+    let static_fault = FaultConfig::new(plan)
+        .with_recovery(RecoveryConfig {
+            rebalance: false,
+            ..RecoveryConfig::default()
+        })
+        .with_durable(DurableConfig::new(scratch.join("static-ref")).with_keep(16));
+    let st = run_parallel_md_faulty(&sys2, &cfg2, &static_fault).expect("static reference run");
+    let adaptive_overhead = report.wall_time / h.golden_wall() - 1.0;
+    let static_overhead = st.report.wall_time / h.golden_wall() - 1.0;
+    let ratio = adaptive_overhead / static_overhead;
+    if static_overhead <= 0.05 {
+        bad.push(format!(
+            "static overhead {static_overhead:.4} too small — the workload no longer exposes the straggler"
+        ));
+    } else if ratio >= RATIO_BOUND {
+        bad.push(format!(
+            "adaptive overhead {adaptive_overhead:.4} is {ratio:.2} x static {static_overhead:.4} (bound {RATIO_BOUND})"
+        ));
+    }
+
+    let smoke = StraggleSmoke {
+        slowdown: SLOWDOWN,
+        golden_wall: h.golden_wall(),
+        adaptive_overhead,
+        static_overhead,
+        ratio,
+        report,
+    };
+    let path = out.join("straggle_smoke.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&smoke).expect("smoke verdict serializes"),
+    )
+    .expect("write straggle smoke artifact");
+    println!(
+        "straggle smoke: {SLOWDOWN}x persistent straggler, {} rebalance(s), \
+         {rollbacks} rollback(s), overhead {adaptive_overhead:.4} adaptive vs \
+         {static_overhead:.4} static (ratio {ratio:.2}, bound {RATIO_BOUND})",
+        smoke.report.rebalances
+    );
+    println!("artifact: {}", path.display());
+    if bad.is_empty() {
+        0
+    } else {
+        for b in &bad {
+            eprintln!("STRAGGLE SMOKE FAILURE: {b}");
+        }
+        1
+    }
+}
+
 fn replay_mode(file: &str) -> i32 {
     let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
         eprintln!("cannot read {file}: {e}");
@@ -219,6 +344,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--plant") {
         std::process::exit(plant_mode(&out));
+    }
+    if args.iter().any(|a| a == "--straggle-smoke") {
+        std::process::exit(straggle_smoke_mode(&out));
     }
 
     let schedules: u64 = parse_flag_value(&args, "--schedules").unwrap_or(50);

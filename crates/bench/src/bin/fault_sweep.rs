@@ -52,6 +52,14 @@ struct Row {
     completed: bool,
     recoveries: usize,
     recovery_time: f64,
+    /// Straggler-driven re-cuts of the work partition (no rollback).
+    rebalances: usize,
+    /// Graceful detector-driven evictions (no rollback).
+    evictions: usize,
+    /// Highest suspicion level the phi-accrual detector computed.
+    phi_max: f64,
+    /// Largest smoothed heartbeat RTT any rank observed, seconds.
+    srtt_max: f64,
     retransmits: u64,
     msgs_lost: u64,
 }
@@ -97,6 +105,10 @@ fn run_point(
         completed: ft.completed,
         recoveries: ft.recoveries,
         recovery_time: ft.recovery_time,
+        rebalances: ft.rebalances,
+        evictions: ft.evictions,
+        phi_max: ft.phi_max,
+        srtt_max: ft.srtt_max,
         retransmits: ft.report.per_rank.iter().map(|s| s.retransmits).sum(),
         msgs_lost: ft.report.per_rank.iter().map(|s| s.msgs_lost).sum(),
     }
@@ -274,13 +286,16 @@ fn main() {
     );
     let _ = writeln!(
         md,
-        "| network | scenario | loss | straggle | crash@ | wall (s) | overhead | survivors | completed | recoveries | recovery (s) | retransmits | lost msgs |"
+        "| network | scenario | loss | straggle | crash@ | wall (s) | overhead | survivors | completed | recoveries | recovery (s) | rebal | evict | phi max | srtt max (s) | retransmits | lost msgs |"
     );
-    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+    let _ = writeln!(
+        md,
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+    );
     for r in &rows {
         let _ = writeln!(
             md,
-            "| {:?} | {} | {:.2} | {:.1}x | {} | {:.4} | {} | {}/{} | {} | {} | {:.4} | {} | {} |",
+            "| {:?} | {} | {:.2} | {:.1}x | {} | {:.4} | {} | {}/{} | {} | {} | {:.4} | {} | {} | {:.2} | {:.2e} | {} | {} |",
             r.network,
             r.scenario,
             r.loss,
@@ -297,18 +312,22 @@ fn main() {
             if r.completed { "yes" } else { "NO" },
             r.recoveries,
             r.recovery_time,
+            r.rebalances,
+            r.evictions,
+            r.phi_max,
+            r.srtt_max,
             r.retransmits,
             r.msgs_lost,
         );
     }
 
     let mut csv = String::from(
-        "network,scenario,loss,straggle,crash_at,wall_s,overhead,survivors,crashed,completed,recoveries,recovery_s,retransmits,msgs_lost\n",
+        "network,scenario,loss,straggle,crash_at,wall_s,overhead,survivors,crashed,completed,recoveries,recovery_s,rebalances,evictions,phi_max,srtt_max_s,retransmits,msgs_lost\n",
     );
     for r in &rows {
         let _ = writeln!(
             csv,
-            "{:?},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.network,
             r.scenario,
             r.loss,
@@ -325,6 +344,10 @@ fn main() {
             r.completed,
             r.recoveries,
             r.recovery_time,
+            r.rebalances,
+            r.evictions,
+            r.phi_max,
+            r.srtt_max,
             r.retransmits,
             r.msgs_lost,
         );

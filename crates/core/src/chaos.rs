@@ -37,7 +37,7 @@
 
 use crate::ckpt::DurableConfig;
 use crate::driver::MdConfig;
-use crate::recover::{run_parallel_md_faulty, FaultConfig, FtReport};
+use crate::recover::{run_parallel_md_faulty, FaultConfig, FtReport, RecoveryConfig};
 use cpc_cluster::{FaultPlan, LinkDegradation, RankCrash, SdcFault, StorageFault, Straggler};
 use cpc_md::System;
 use serde::{Deserialize, Serialize};
@@ -58,6 +58,24 @@ pub const BENIGN_SDC_TOLERANCE: f64 = 1e-7;
 /// headroom without masking real corruption, which shows up orders of
 /// magnitude larger).
 pub const CRASH_RECOVERY_TOLERANCE: f64 = 1e-5;
+
+/// Maximum final-state deviation attributable to degraded-mode
+/// rebalancing: moving the pair-list cuts reassociates the per-rank
+/// force partial sums exactly like a communicator shrink does, so the
+/// bound matches [`CRASH_RECOVERY_TOLERANCE`] in magnitude.
+pub const REBALANCE_TOLERANCE: f64 = 1e-5;
+
+/// The straggler-mitigation oracle's bar: with a persistent straggler
+/// active from step 0, the adaptive run's wall-time overhead must stay
+/// below this fraction of the static (rebalancing-disabled) overhead.
+pub const ADAPTIVE_OVERHEAD_RATIO: f64 = 0.6;
+
+/// Minimum static overhead for the ratio check to apply. Comm-bound
+/// workloads hide a slow CPU entirely behind the collective incasts
+/// (static overhead of a 2x straggler on the tiny chaos water box is
+/// ~0.3%), and no re-cut of the compute can reclaim what the network
+/// is spending — demanding a ratio there would only measure noise.
+const MITIGATION_MIN_STATIC_OVERHEAD: f64 = 0.05;
 
 /// Fixed per-episode recovery allowance (virtual seconds) on top of
 /// the golden-wall-scaled share: membership agreement is latency-bound
@@ -117,7 +135,8 @@ pub enum Violation {
     /// Recovery bookkeeping is inconsistent: episodes without booked
     /// recovery time, or recovery time without episodes.
     RecoveryAccounting {
-        /// Recovery episodes (crash recoveries + watchdog rollbacks).
+        /// Recovery episodes (crash recoveries + watchdog rollbacks +
+        /// graceful evictions).
         episodes: usize,
         /// Virtual seconds booked under the recovery phase.
         recovery_time: f64,
@@ -131,6 +150,21 @@ pub enum Violation {
         budget: f64,
         /// Recovery episodes the budget was scaled by.
         episodes: usize,
+    },
+    /// A straggler-only plan was mishandled by the degradation ladder:
+    /// the run rolled back (stragglers must be absorbed by rebalancing
+    /// or eviction, never by rollback), or adaptive rebalancing failed
+    /// to reclaim enough of the static-decomposition overhead.
+    StragglerMitigation {
+        /// Rollback episodes (crash recoveries + watchdog trips) the
+        /// straggler provoked; must be zero.
+        rollbacks: usize,
+        /// Wall-time overhead of the adaptive run vs the golden run.
+        adaptive_overhead: f64,
+        /// Wall-time overhead of the rebalancing-disabled reference.
+        static_overhead: f64,
+        /// The ratio bound the adaptive overhead had to beat.
+        ratio_bound: f64,
     },
     /// The resumed run's final state deviates from the uninterrupted
     /// run beyond the plan's tolerance: durable checkpoints do not
@@ -193,6 +227,21 @@ impl std::fmt::Display for Violation {
                 f,
                 "recovery time {recovery_time:e} s exceeds budget {budget:e} s ({episodes} episodes)"
             ),
+            Violation::StragglerMitigation {
+                rollbacks,
+                adaptive_overhead,
+                static_overhead,
+                ratio_bound,
+            } => {
+                if *rollbacks > 0 {
+                    write!(f, "straggler provoked {rollbacks} rollback episode(s)")
+                } else {
+                    write!(
+                        f,
+                        "adaptive overhead {adaptive_overhead:.4} not below {ratio_bound} x static overhead {static_overhead:.4}"
+                    )
+                }
+            }
             Violation::ResumeDivergence {
                 max_deviation,
                 tolerance,
@@ -221,6 +270,10 @@ pub struct ScheduleReport {
     pub recoveries: usize,
     /// Numerical-watchdog rollbacks in the full run.
     pub watchdog_trips: usize,
+    /// Straggler-driven re-cuts of the work partition in the full run.
+    pub rebalances: usize,
+    /// Detector-driven graceful evictions in the full run.
+    pub evictions: usize,
     /// SDC events that fired in the full run.
     pub sdc_events: usize,
     /// Final-state deviation of the full run from the golden run.
@@ -500,6 +553,7 @@ pub struct ChaosHarness {
     system: System,
     cfg: MdConfig,
     scratch: PathBuf,
+    recovery: RecoveryConfig,
     golden: FtReport,
 }
 
@@ -513,11 +567,26 @@ impl ChaosHarness {
         cfg: MdConfig,
         scratch: impl Into<PathBuf>,
     ) -> Result<Self, cpc_cluster::SimError> {
-        let golden = run_parallel_md_faulty(&system, &cfg, &FaultConfig::default())?;
+        Self::with_recovery(system, cfg, scratch, RecoveryConfig::default())
+    }
+
+    /// [`ChaosHarness::new`] with an explicit adaptive-recovery
+    /// configuration. The same configuration drives the golden run and
+    /// every chaotic run, so heartbeat cadence and detector traffic
+    /// never show up as a timing difference between them.
+    pub fn with_recovery(
+        system: System,
+        cfg: MdConfig,
+        scratch: impl Into<PathBuf>,
+        recovery: RecoveryConfig,
+    ) -> Result<Self, cpc_cluster::SimError> {
+        let fault = FaultConfig::default().with_recovery(recovery);
+        let golden = run_parallel_md_faulty(&system, &cfg, &fault)?;
         Ok(ChaosHarness {
             system,
             cfg,
             scratch: scratch.into(),
+            recovery,
             golden,
         })
     }
@@ -545,17 +614,37 @@ impl ChaosHarness {
     }
 
     /// The final-state tolerance a plan earns against the golden run:
-    /// zero unless a crash recovery reassociated the arithmetic or an
-    /// SDC flip perturbed the state.
+    /// zero unless something reassociated the arithmetic (crash
+    /// recovery, a rebalancing re-cut, a graceful eviction) or an SDC
+    /// flip perturbed the state.
     fn tolerance_vs_golden(&self, ft: &FtReport) -> f64 {
         let mut tol = 0.0;
         if !ft.crashed_ranks.is_empty() {
             tol += CRASH_RECOVERY_TOLERANCE;
         }
+        if ft.evictions > 0 {
+            tol += CRASH_RECOVERY_TOLERANCE;
+        }
+        if ft.rebalances > 0 {
+            tol += REBALANCE_TOLERANCE;
+        }
         if ft.sdc_events > 0 {
             tol += BENIGN_SDC_TOLERANCE;
         }
         tol
+    }
+
+    /// True when `plan` perturbs only CPU speed: no message loss, link
+    /// degradations, crashes, storage faults, or bit flips. This is
+    /// the regime the degradation ladder must absorb without ever
+    /// rolling back.
+    fn straggler_only(plan: &FaultPlan) -> bool {
+        plan.loss == 0.0
+            && plan.degradations.is_empty()
+            && plan.crashes.is_empty()
+            && plan.storage.is_empty()
+            && plan.sdc.is_empty()
+            && !plan.stragglers.is_empty()
     }
 
     /// Recovery-time budget for `episodes` episodes under `plan`: each
@@ -600,6 +689,8 @@ impl ChaosHarness {
             crashed: 0,
             recoveries: 0,
             watchdog_trips: 0,
+            rebalances: 0,
+            evictions: 0,
             sdc_events: 0,
             max_deviation: 0.0,
             resume_deviation: 0.0,
@@ -613,6 +704,7 @@ impl ChaosHarness {
 
         // --- Full run, durable checkpoints armed. ---
         let fault = FaultConfig::new(plan.clone())
+            .with_recovery(self.recovery)
             .with_durable(DurableConfig::new(self.run_dir("full")).with_keep(16));
         let full = match run_parallel_md_faulty(&self.system, &self.cfg, &fault) {
             Ok(ft) => ft,
@@ -627,6 +719,8 @@ impl ChaosHarness {
         report.crashed = full.crashed_ranks.len();
         report.recoveries = full.recoveries;
         report.watchdog_trips = full.watchdog_trips;
+        report.rebalances = full.rebalances;
+        report.evictions = full.evictions;
         report.sdc_events = full.sdc_events;
         report.wall_time = finite(full.report.wall_time);
 
@@ -662,8 +756,10 @@ impl ChaosHarness {
             });
         }
 
-        // --- Recovery accounting and budget. ---
-        let episodes = full.recoveries + full.watchdog_trips;
+        // --- Recovery accounting and budget. Graceful evictions are
+        // recovery episodes too: the shrink books agreement time even
+        // though nothing rolled back. ---
+        let episodes = full.recoveries + full.watchdog_trips + full.evictions;
         let consistent = (episodes > 0) == (full.recovery_time > 0.0);
         if !consistent {
             report.violations.push(Violation::RecoveryAccounting {
@@ -680,6 +776,51 @@ impl ChaosHarness {
             });
         }
 
+        // --- Straggler-mitigation oracle: a plan that only slows CPUs
+        // down must be absorbed by the degradation ladder's first two
+        // rungs (rebalance, evict) — a rollback means the ladder
+        // escalated past them. When a persistent straggler was active
+        // from step 0 and the ladder chose rebalancing (no eviction),
+        // the re-cut must also pay: rerun with rebalancing disabled
+        // and demand the adaptive overhead beats the ratio bound —
+        // unless the workload is comm-bound and the static run barely
+        // noticed the slow node. ---
+        if Self::straggler_only(plan) {
+            let rollbacks = full.recoveries + full.watchdog_trips;
+            let persistent = plan
+                .stragglers
+                .iter()
+                .any(|s| s.slowdown >= 2.0 && s.start == 0.0 && s.end == f64::MAX);
+            let mut adaptive_overhead = 0.0;
+            let mut static_overhead = 0.0;
+            let mut ratio_violated = false;
+            if rollbacks == 0 && persistent && full.evictions == 0 {
+                let static_fault = FaultConfig::new(plan.clone())
+                    .with_recovery(RecoveryConfig {
+                        rebalance: false,
+                        ..self.recovery
+                    })
+                    .with_durable(DurableConfig::new(self.run_dir("static")).with_keep(16));
+                if let Ok(st) = run_parallel_md_faulty(&self.system, &self.cfg, &static_fault) {
+                    if st.completed {
+                        let golden = self.golden_wall();
+                        adaptive_overhead = full.report.wall_time / golden - 1.0;
+                        static_overhead = st.report.wall_time / golden - 1.0;
+                        ratio_violated = static_overhead > MITIGATION_MIN_STATIC_OVERHEAD
+                            && adaptive_overhead >= ADAPTIVE_OVERHEAD_RATIO * static_overhead;
+                    }
+                }
+            }
+            if rollbacks > 0 || ratio_violated {
+                report.violations.push(Violation::StragglerMitigation {
+                    rollbacks,
+                    adaptive_overhead: finite(adaptive_overhead),
+                    static_overhead: finite(static_overhead),
+                    ratio_bound: ADAPTIVE_OVERHEAD_RATIO,
+                });
+            }
+        }
+
         // --- Resume equivalence: interrupt at the halfway point, then
         // resume from the durable checkpoints and compare to the
         // uninterrupted full run. ---
@@ -689,8 +830,9 @@ impl ChaosHarness {
                 steps: self.cfg.steps / 2,
                 ..self.cfg
             };
-            let truncated_fault =
-                FaultConfig::new(plan.clone()).with_durable(DurableConfig::new(&dir).with_keep(16));
+            let truncated_fault = FaultConfig::new(plan.clone())
+                .with_recovery(self.recovery)
+                .with_durable(DurableConfig::new(&dir).with_keep(16));
             match run_parallel_md_faulty(&self.system, &truncated_cfg, &truncated_fault) {
                 Err(e) => report.violations.push(Violation::NonTermination {
                     stage: "truncated".into(),
@@ -705,6 +847,7 @@ impl ChaosHarness {
                 }
                 Ok(truncated) => {
                     let resumed_fault = FaultConfig::new(plan.clone())
+                        .with_recovery(self.recovery)
                         .with_durable(DurableConfig::new(&dir).with_keep(16).with_resume(true));
                     match run_parallel_md_faulty(&self.system, &self.cfg, &resumed_fault) {
                         Err(e) => report.violations.push(Violation::NonTermination {
@@ -730,11 +873,20 @@ impl ChaosHarness {
                                 // sides.
                                 let crash_in_either = !full.crashed_ranks.is_empty()
                                     || !truncated.crashed_ranks.is_empty()
-                                    || !resumed.crashed_ranks.is_empty();
+                                    || !resumed.crashed_ranks.is_empty()
+                                    || full.evictions > 0
+                                    || truncated.evictions > 0
+                                    || resumed.evictions > 0;
                                 let sdc_in_either = full.sdc_events > 0 || resumed.sdc_events > 0;
+                                let rebalance_in_either = full.rebalances > 0
+                                    || truncated.rebalances > 0
+                                    || resumed.rebalances > 0;
                                 let mut rtol = 0.0;
                                 if crash_in_either {
                                     rtol += 2.0 * CRASH_RECOVERY_TOLERANCE;
+                                }
+                                if rebalance_in_either {
+                                    rtol += 2.0 * REBALANCE_TOLERANCE;
                                 }
                                 if sdc_in_either {
                                     rtol += 2.0 * BENIGN_SDC_TOLERANCE;
@@ -815,6 +967,58 @@ mod tests {
                 axis: 1,
                 bit: 40,
             })
+    }
+
+    /// A compute-dominated workload for the mitigation tests: the
+    /// quick water box above is comm-bound, so a slow CPU hides behind
+    /// the collective incasts and the ratio check gates itself off.
+    /// The bigger box exposes the straggler to the decomposition.
+    fn big_harness(tag: &str, recovery: RecoveryConfig) -> ChaosHarness {
+        let mut sys = cpc_md::builder::water_box(3, 3.1);
+        cpc_md::minimize::minimize(&mut sys, EnergyModel::Classic, 40);
+        sys.assign_velocities(150.0, 3);
+        let cfg = MdConfig {
+            steps: 6,
+            ..MdConfig::paper_protocol(
+                EnergyModel::Classic,
+                Middleware::Mpi,
+                ClusterConfig::uni(4, NetworkKind::ScoreGigE),
+            )
+        };
+        let dir = std::env::temp_dir().join(format!("cpc-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ChaosHarness::with_recovery(sys, cfg, dir, recovery).unwrap()
+    }
+
+    #[test]
+    fn persistent_straggler_passes_mitigation_oracle_by_rebalancing() {
+        let h = big_harness("mitigate", RecoveryConfig::default());
+        let r = h.check(&FaultPlan::none().with_straggler(0, 2.0));
+        assert!(r.passed(), "violations: {:?}", r.violations);
+        assert!(r.rebalances >= 1, "the ladder re-cut the partition");
+        assert_eq!(r.recoveries, 0, "no rollback for a pure straggler");
+        assert_eq!(r.watchdog_trips, 0);
+        assert_eq!(r.evictions, 0, "2x is rebalance territory, not eviction");
+    }
+
+    #[test]
+    fn mitigation_oracle_fires_when_rebalancing_is_disabled() {
+        let h = big_harness(
+            "static",
+            RecoveryConfig {
+                rebalance: false,
+                ..RecoveryConfig::default()
+            },
+        );
+        let r = h.check(&FaultPlan::none().with_straggler(0, 2.0));
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| matches!(v, Violation::StragglerMitigation { rollbacks: 0, .. })),
+            "violations: {:?}",
+            r.violations
+        );
+        assert_eq!(r.rebalances, 0);
     }
 
     #[test]
@@ -928,11 +1132,19 @@ mod tests {
                     stage: "full".into(),
                     ranks: vec![1, 3],
                 },
+                Violation::StragglerMitigation {
+                    rollbacks: 0,
+                    adaptive_overhead: 0.41,
+                    static_overhead: 0.55,
+                    ratio_bound: ADAPTIVE_OVERHEAD_RATIO,
+                },
             ],
             events: 4,
             crashed: 1,
             recoveries: 2,
             watchdog_trips: 1,
+            rebalances: 1,
+            evictions: 1,
             sdc_events: 1,
             max_deviation: 0.25,
             resume_deviation: 0.0,

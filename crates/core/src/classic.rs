@@ -3,7 +3,7 @@
 //! bonded terms, then partial forces and energies are combined with an
 //! all-to-all collective (CHARMM's global force combine).
 
-use crate::decomp::{balanced_pair_cuts, classic_partition};
+use crate::decomp::{balanced_pair_cuts, balanced_pair_cuts_weighted, classic_partition};
 use cpc_cluster::{CostModel, Phase};
 use cpc_md::bonded::{bonded_energy_forces_range, BondedEnergies};
 use cpc_md::nonbonded::{nonbonded_energy_forces, NonbondedEnergies, NonbondedOptions};
@@ -54,6 +54,24 @@ pub fn classic_energy_parallel_with(
     cost: &CostModel,
     combine: CombineAlgo,
 ) -> ClassicResult {
+    classic_energy_parallel_weighted(comm, system, pairs, opts, cost, combine, None)
+}
+
+/// [`classic_energy_parallel_with`] with optional per-rank capacity
+/// weights for the nonbonded pair partition (the degraded-mode
+/// rebalancing hook: a suspected straggler gets a share proportional
+/// to its measured speed). `caps[r]` weights logical rank `r`; `None`
+/// — and uniform weights — reproduce the unweighted cuts exactly, so
+/// fault-free runs stay bit-identical.
+pub fn classic_energy_parallel_weighted(
+    comm: &mut Comm<'_>,
+    system: &System,
+    pairs: &[(u32, u32)],
+    opts: &NonbondedOptions,
+    cost: &CostModel,
+    combine: CombineAlgo,
+    caps: Option<&[f64]>,
+) -> ClassicResult {
     let p = comm.size();
     let r = comm.rank();
     comm.ctx().set_phase(Phase::Classic);
@@ -77,7 +95,10 @@ pub fn classic_energy_parallel_with(
     // i, with atom blocks weighted by neighbour count so the pair work
     // is balanced (granularity leaves a small residual imbalance that
     // shows up as wait time at the combine, as in the real code).
-    let cuts = balanced_pair_cuts(pairs, p);
+    let cuts = match caps {
+        Some(c) => balanced_pair_cuts_weighted(pairs, p, c),
+        None => balanced_pair_cuts(pairs, p),
+    };
     let my_pairs = &pairs[cuts[r]..cuts[r + 1]];
     let (nonbonded, pairs_evaluated) = nonbonded_energy_forces(
         topo,

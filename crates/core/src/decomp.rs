@@ -94,9 +94,70 @@ pub fn balanced_pair_cuts(pairs: &[(u32, u32)], p: usize) -> Vec<usize> {
     cuts
 }
 
+/// Capacity-weighted variant of [`balanced_pair_cuts`]: rank `r`
+/// receives a pair share proportional to `caps[r]` (a straggling rank
+/// gets a capacity below 1 and correspondingly fewer pairs). Uniform
+/// capacities reproduce the unweighted cuts *exactly* — the degenerate
+/// case delegates to the integer arithmetic of [`balanced_pair_cuts`]
+/// so a rebalance back to uniform is bit-identical to never having
+/// rebalanced.
+pub fn balanced_pair_cuts_weighted(pairs: &[(u32, u32)], p: usize, caps: &[f64]) -> Vec<usize> {
+    assert!(p > 0);
+    assert_eq!(caps.len(), p, "one capacity per rank");
+    assert!(
+        caps.iter().all(|&c| c.is_finite() && c > 0.0),
+        "capacities must be finite and positive: {caps:?}"
+    );
+    if caps.iter().all(|&c| c == caps[0]) {
+        return balanced_pair_cuts(pairs, p);
+    }
+    let n = pairs.len();
+    let total: f64 = caps.iter().sum();
+    let mut cuts = Vec::with_capacity(p + 1);
+    cuts.push(0);
+    let mut cum = 0.0;
+    for r in 1..p {
+        cum += caps[r - 1];
+        let target = ((n as f64 * cum / total) as usize).min(n);
+        // Same atom-boundary advance as the unweighted cuts.
+        let mut idx = target;
+        while idx < n && idx > 0 && pairs[idx].0 == pairs[idx - 1].0 {
+            idx += 1;
+        }
+        cuts.push(idx.max(*cuts.last().expect("nonempty")));
+    }
+    cuts.push(n);
+    cuts
+}
+
+/// Capacity-proportional cut points splitting `n` items across `p`
+/// owners: `p + 1` monotone indices with `cuts[0] == 0` and
+/// `cuts[p] == n`. Shared by the weighted PME plane assignment.
+pub fn weighted_cuts(n: usize, caps: &[f64]) -> Vec<usize> {
+    let p = caps.len();
+    assert!(p > 0);
+    assert!(
+        caps.iter().all(|&c| c.is_finite() && c > 0.0),
+        "capacities must be finite and positive: {caps:?}"
+    );
+    let total: f64 = caps.iter().sum();
+    let mut cuts = Vec::with_capacity(p + 1);
+    cuts.push(0);
+    let mut cum = 0.0;
+    for r in 1..p {
+        cum += caps[r - 1];
+        let target = ((n as f64 * cum / total) as usize).min(n);
+        cuts.push(target.max(*cuts.last().expect("nonempty")));
+    }
+    cuts.push(n);
+    cuts
+}
+
 /// PME mesh decomposition: x-plane slabs before the transpose, (y,z)
-/// columns after it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// columns after it. Plane ownership is optionally capacity-weighted
+/// (straggler rebalancing); the column phase stays uniform because its
+/// cost is dominated by the transpose either way.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PmeDecomp {
     /// Mesh extent along x.
     pub nx: usize,
@@ -106,18 +167,42 @@ pub struct PmeDecomp {
     pub nz: usize,
     /// Number of ranks.
     pub p: usize,
+    /// Capacity-weighted x-plane cut points (`p + 1` indices); `None`
+    /// means the uniform [`block_range`] slabs.
+    pub plane_cuts: Option<Vec<usize>>,
 }
 
 impl PmeDecomp {
     /// Creates a decomposition; requires `p >= 1`.
     pub fn new(nx: usize, ny: usize, nz: usize, p: usize) -> Self {
         assert!(p >= 1);
-        PmeDecomp { nx, ny, nz, p }
+        PmeDecomp {
+            nx,
+            ny,
+            nz,
+            p,
+            plane_cuts: None,
+        }
+    }
+
+    /// Reassigns plane slabs proportionally to per-rank capacities.
+    /// Uniform capacities restore the unweighted decomposition exactly.
+    pub fn with_plane_weights(mut self, caps: &[f64]) -> Self {
+        assert_eq!(caps.len(), self.p, "one capacity per rank");
+        if caps.iter().all(|&c| c == caps[0]) {
+            self.plane_cuts = None;
+        } else {
+            self.plane_cuts = Some(weighted_cuts(self.nx, caps));
+        }
+        self
     }
 
     /// x-plane range owned by rank `r` (slab phase).
     pub fn planes(&self, r: usize) -> Range<usize> {
-        block_range(self.nx, self.p, r)
+        match &self.plane_cuts {
+            Some(cuts) => cuts[r]..cuts[r + 1],
+            None => block_range(self.nx, self.p, r),
+        }
     }
 
     /// (y,z)-column range owned by rank `r` (transposed phase). Columns
@@ -257,6 +342,92 @@ mod tests {
         let max_block = (cuts[1] - cuts[0]).max(cuts[2] - cuts[1]) as f64;
         let mean = pairs.len() as f64 / 2.0;
         assert!(max_block < 1.1 * mean, "imbalance {}", max_block / mean);
+    }
+
+    #[test]
+    fn uniform_weights_reproduce_unweighted_cuts_exactly() {
+        let pairs: Vec<(u32, u32)> = (0..80u32)
+            .flat_map(|i| (0..(if i < 20 { 6 } else { 2 })).map(move |k| (i, i + k + 1)))
+            .collect();
+        for p in [1usize, 2, 3, 4, 8] {
+            for w in [1.0f64, 0.25, 7.5] {
+                let caps = vec![w; p];
+                assert_eq!(
+                    balanced_pair_cuts_weighted(&pairs, p, &caps),
+                    balanced_pair_cuts(&pairs, p),
+                    "p={p} w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_cuts_cover_and_respect_atom_boundaries() {
+        let pairs: Vec<(u32, u32)> = (0..50u32)
+            .flat_map(|i| (0..(if i < 10 { 8 } else { 1 })).map(move |k| (i, i + k + 1)))
+            .collect();
+        let caps = [1.0, 0.4, 1.0, 0.7];
+        let cuts = balanced_pair_cuts_weighted(&pairs, 4, &caps);
+        assert_eq!(cuts.len(), 5);
+        assert_eq!(cuts[0], 0);
+        assert_eq!(cuts[4], pairs.len());
+        for w in cuts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        for &c in &cuts[1..4] {
+            if c > 0 && c < pairs.len() {
+                assert_ne!(pairs[c].0, pairs[c - 1].0, "cut at {c} splits an atom");
+            }
+        }
+    }
+
+    #[test]
+    fn skewed_weights_provably_reduce_max_bucket_cost() {
+        // Uniform pair density, one rank at half speed: the weighted
+        // cuts must strictly reduce the pace-setting per-rank cost
+        // (bucket size divided by capacity).
+        let pairs: Vec<(u32, u32)> = (0..400u32).map(|i| (i, i + 1)).collect();
+        let caps = [1.0, 1.0, 1.0, 0.5];
+        let cost = |cuts: &[usize]| -> f64 {
+            (0..4)
+                .map(|r| (cuts[r + 1] - cuts[r]) as f64 / caps[r])
+                .fold(0.0, f64::max)
+        };
+        let uniform = cost(&balanced_pair_cuts(&pairs, 4));
+        let weighted = cost(&balanced_pair_cuts_weighted(&pairs, 4, &caps));
+        assert!(
+            weighted < 0.7 * uniform,
+            "weighted {weighted} vs uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn weighted_planes_cover_and_uniform_weights_restore_block_slabs() {
+        let d = PmeDecomp::new(80, 36, 48, 4);
+        let uniform = d.clone().with_plane_weights(&[2.0; 4]);
+        assert!(uniform.plane_cuts.is_none());
+        for r in 0..4 {
+            assert_eq!(uniform.planes(r), d.planes(r));
+        }
+        let skewed = d.clone().with_plane_weights(&[1.0, 1.0, 1.0, 0.5]);
+        assert!(skewed.plane_cuts.is_some());
+        let mut prev_end = 0;
+        let mut covered = 0;
+        for r in 0..4 {
+            let pl = skewed.planes(r);
+            assert_eq!(pl.start, prev_end);
+            prev_end = pl.end;
+            covered += pl.len();
+        }
+        assert_eq!(covered, 80);
+        assert!(
+            skewed.planes(3).len() < skewed.planes(0).len(),
+            "slow rank owns fewer planes"
+        );
+        for gx in 0..80 {
+            let owner = skewed.plane_owner(gx);
+            assert!(skewed.planes(owner).contains(&gx));
+        }
     }
 
     #[test]

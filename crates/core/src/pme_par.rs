@@ -98,6 +98,14 @@ impl ParallelPme {
         self
     }
 
+    /// Reassigns mesh plane slabs proportionally to per-rank capacities
+    /// (straggler rebalancing). All ranks must apply identical weights;
+    /// uniform weights restore the original decomposition exactly.
+    pub fn with_plane_weights(mut self, caps: &[f64]) -> Self {
+        self.decomp = self.decomp.with_plane_weights(caps);
+        self
+    }
+
     /// Full parallel k-space evaluation. All ranks must pass identical
     /// system state. Communication is booked in the `Pme` phase.
     pub fn energy_forces(

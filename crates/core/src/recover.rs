@@ -12,7 +12,8 @@
 //! reports can separate it from productive work.
 
 use crate::ckpt::{CheckpointStore, DurableConfig, RestoreError};
-use crate::classic::classic_energy_parallel_with;
+use crate::classic::classic_energy_parallel_weighted;
+use crate::decomp::{balanced_pair_cuts, balanced_pair_cuts_weighted};
 use crate::driver::{CommTuning, MdConfig, PmeImpl};
 use crate::pme_par::ParallelPme;
 use crate::pme_spatial::SpatialPme;
@@ -23,7 +24,7 @@ use cpc_md::neighbor::NeighborList;
 use cpc_md::nonbonded::NonbondedOptions;
 use cpc_md::units::ACCEL_CONV;
 use cpc_md::{MdSnapshot, System, Vec3};
-use cpc_mpi::Comm;
+use cpc_mpi::{Comm, DetectorConfig, FailureDetector};
 
 /// Cost of writing or reading checkpoint state, seconds per byte
 /// (~1 GB/s: a local memory/disk copy, not a network operation).
@@ -57,6 +58,43 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Adaptive-recovery configuration: heartbeat cadence, φ-accrual
+/// detector thresholds, and the straggler-rebalancing trigger.
+///
+/// The defaults reproduce the legacy behaviour exactly on healthy
+/// runs: heartbeats every step, and a rebalance trigger that a
+/// fault-free cohort (whose per-unit costs agree to well under 1.5×)
+/// can never fire — so fault-free trajectories and timings stay
+/// bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Steps between failure-detection epochs (heartbeat + scheduled
+    /// crash poll). 1 = every step, the legacy cadence; larger values
+    /// trade detection latency for control traffic.
+    pub heartbeat_interval: usize,
+    /// φ-accrual detector thresholds (suspect / evict).
+    pub detector: DetectorConfig,
+    /// Re-cut the pair partition when some member's measured relative
+    /// speed deviates from its current capacity weight by more than
+    /// this factor (either direction).
+    pub rebalance_trigger: f64,
+    /// Master switch for straggler-aware rebalancing; `false` keeps
+    /// the static decomposition (the reference configuration the
+    /// chaos oracle measures adaptive overhead against).
+    pub rebalance: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            heartbeat_interval: 1,
+            detector: DetectorConfig::default(),
+            rebalance_trigger: 1.5,
+            rebalance: true,
+        }
+    }
+}
+
 /// Fault-tolerance configuration for a run.
 #[derive(Debug, Clone)]
 pub struct FaultConfig {
@@ -73,6 +111,8 @@ pub struct FaultConfig {
     /// The numerical watchdog (always armed; defaults are loose enough
     /// to stay silent on healthy runs).
     pub watchdog: WatchdogConfig,
+    /// Adaptive failure detection and degraded-mode rebalancing.
+    pub recovery: RecoveryConfig,
 }
 
 impl Default for FaultConfig {
@@ -82,6 +122,7 @@ impl Default for FaultConfig {
             checkpoint_interval: 2,
             durable: None,
             watchdog: WatchdogConfig::default(),
+            recovery: RecoveryConfig::default(),
         }
     }
 }
@@ -106,6 +147,12 @@ impl FaultConfig {
     /// Overrides the numerical-watchdog thresholds.
     pub fn with_watchdog(mut self, watchdog: WatchdogConfig) -> Self {
         self.watchdog = watchdog;
+        self
+    }
+
+    /// Overrides the adaptive-recovery configuration.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = recovery;
         self
     }
 }
@@ -146,6 +193,20 @@ pub struct FtReport {
     pub restore_failure: Option<String>,
     /// Whether the survivors completed all configured steps.
     pub completed: bool,
+    /// Straggler-driven re-cuts of the work partition (degraded-mode
+    /// load rebalancing; no rollback, no recovery episode).
+    pub rebalances: usize,
+    /// Members evicted by the φ-accrual detector (treated as crashed:
+    /// the communicator shrank, but no rollback was needed — the
+    /// evicted member left gracefully at a checkpoint boundary).
+    pub evictions: usize,
+    /// Engine ranks evicted by the detector, ascending.
+    pub evicted_ranks: Vec<usize>,
+    /// Highest suspicion level any rank's detector ever computed.
+    pub phi_max: f64,
+    /// Largest smoothed heartbeat RTT observed by any rank (0 when no
+    /// heartbeat RTT was sampled, e.g. single-rank runs).
+    pub srtt_max: f64,
 }
 
 impl FtReport {
@@ -209,14 +270,21 @@ fn make_pme(
     pme_impl: PmeImpl,
     tuning: CommTuning,
     p: usize,
+    caps: Option<&[f64]>,
 ) -> Option<PmeEngine> {
     match model {
         EnergyModel::Pme(params) => Some(match pme_impl {
-            PmeImpl::Replicated => PmeEngine::Replicated(
-                ParallelPme::new(params, p)
+            PmeImpl::Replicated => {
+                let mut engine = ParallelPme::new(params, p)
                     .with_grid_sum(tuning.grid_sum)
-                    .with_force_combine(tuning.force_combine),
-            ),
+                    .with_force_combine(tuning.force_combine);
+                if let Some(caps) = caps {
+                    engine = engine.with_plane_weights(caps);
+                }
+                PmeEngine::Replicated(engine)
+            }
+            // The spatial engine balances through its own domain
+            // decomposition; capacity weights apply to slab planes only.
             PmeImpl::Spatial => PmeEngine::Spatial(
                 SpatialPme::new(params, p).with_force_combine(tuning.force_combine),
             ),
@@ -237,6 +305,7 @@ fn eval_forces(
     cost: &CostModel,
     tuning: CommTuning,
     ppme: Option<&PmeEngine>,
+    caps: Option<&[f64]>,
 ) -> (Vec<Vec3>, f64, f64) {
     let p = comm.size();
     comm.ctx().set_phase(Phase::Classic);
@@ -246,8 +315,15 @@ fn eval_forces(
             .charge_compute(list.pairs.len() as f64 * 2.5 * cost.list_build_pair / p as f64);
     }
     comm.barrier();
-    let classic =
-        classic_energy_parallel_with(comm, sys, &list.pairs, opts, cost, tuning.force_combine);
+    let classic = classic_energy_parallel_weighted(
+        comm,
+        sys,
+        &list.pairs,
+        opts,
+        cost,
+        tuning.force_combine,
+        caps,
+    );
     let classic_energy = classic.energy();
     let mut forces = classic.forces;
     let mut pme_energy = 0.0;
@@ -263,6 +339,23 @@ fn eval_forces(
         comm.barrier();
     }
     (forces, classic_energy, pme_energy)
+}
+
+/// Per-rank payload returned by the fault-tolerant closure.
+struct RankRun {
+    energies: Vec<StepEnergies>,
+    positions: Vec<Vec3>,
+    velocities: Vec<Vec3>,
+    recoveries: usize,
+    watchdog_trips: usize,
+    diverged: bool,
+    resumed_from: Option<u64>,
+    sdc_fired: usize,
+    evicted: bool,
+    rebalances: usize,
+    evictions: usize,
+    phi_max: f64,
+    srtt_max: f64,
 }
 
 /// Runs the parallel MD measurement under a fault plan, recovering
@@ -306,6 +399,8 @@ pub fn run_parallel_md_faulty(
     let ckpt_every = fault.checkpoint_interval.max(1);
     let durable = fault.durable.clone();
     let watchdog = fault.watchdog;
+    let recovery = fault.recovery;
+    let hb_interval = recovery.heartbeat_interval.max(1);
     let storage_schedule = fault.plan.storage_schedule();
     let sdc_schedule = fault.plan.sdc_schedule();
 
@@ -339,6 +434,11 @@ pub fn run_parallel_md_faulty(
                 sdc_events: 0,
                 restore_failure: Some(e.to_string()),
                 completed: false,
+                rebalances: 0,
+                evictions: 0,
+                evicted_ranks: Vec::new(),
+                phi_max: 0.0,
+                srtt_max: 0.0,
             });
         }
     }
@@ -353,7 +453,21 @@ pub fn run_parallel_md_faulty(
         let cost = ctx.config().cost;
         let mut comm = Comm::new(ctx, middleware);
         let mut sys = system.clone();
-        let mut ppme = make_pme(model, pme_impl, tuning, comm.size());
+        let mut ppme = make_pme(model, pme_impl, tuning, comm.size(), None);
+
+        // Adaptive-degradation state. The detector is indexed by engine
+        // rank (stable across shrinks) and replicated by construction:
+        // every member folds the identical set of heartbeat reports, so
+        // suspect/evict/rebalance verdicts agree without any extra
+        // agreement round. `caps` are the current capacity weights of
+        // the live members in logical-rank order (`None` = uniform,
+        // the exact legacy cuts).
+        let mut det = FailureDetector::new(comm.size(), recovery.detector);
+        let mut caps: Option<Vec<f64>> = None;
+        let mut last_unit_cost = -1.0f64; // "no data yet" sentinel
+        let mut rebalances = 0usize;
+        let mut evictions = 0usize;
+        let mut evicted = false;
 
         // Durable store, when configured: every rank opens it (and can
         // read for resume), only the lowest live member writes. All
@@ -442,6 +556,7 @@ pub fn run_parallel_md_faulty(
                 &cost,
                 tuning,
                 ppme.as_ref(),
+                None,
             );
             forces = f;
 
@@ -481,49 +596,59 @@ pub fn run_parallel_md_faulty(
             .map(|e| e.classic + e.pme + e.kinetic)
             .filter(|e| e.is_finite());
         loop {
-            // Failure detection epoch: my own scheduled crash first (a
-            // rank either heartbeats or is seen dead by *everyone*),
-            // then the liveness exchange.
+            // Failure-detection epoch, gated to the heartbeat cadence:
+            // my own scheduled crash first (a rank either heartbeats or
+            // is seen dead by *everyone* — polling only where everyone
+            // listens keeps crash detection consistent when heartbeats
+            // are sparse), then the liveness exchange, piggybacking the
+            // last measured per-unit step cost for the φ-accrual
+            // detector.
             comm.ctx().set_phase(Phase::Other);
-            comm.ctx().poll_crash();
-            let dead = comm.heartbeat();
-            if !dead.is_empty() {
-                // Recovery: agree on membership, roll back, rebuild.
-                comm.ctx().set_phase(Phase::Recovery);
-                comm.shrink(&dead);
-                sys.positions.clone_from(&ckpt.positions);
-                sys.velocities.clone_from(&ckpt.velocities);
-                forces.clone_from(&ckpt.forces);
-                step = ckpt.step;
-                energies_log.truncate(step);
-                // The drift reference must roll back with the state: a
-                // reference taken from a now-truncated (possibly
-                // corrupted) step would keep tripping the watchdog on
-                // a perfectly clean re-run.
-                e_ref = energies_log
-                    .first()
-                    .map(|e| e.classic + e.pme + e.kinetic)
-                    .filter(|e| e.is_finite());
-                comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
-                // The decomposition width changed: slab-partitioned PME
-                // state must be rebuilt for the surviving ranks.
-                ppme = make_pme(model, pme_impl, tuning, comm.size());
-                if list.needs_rebuild(&sys.pbox, &sys.positions) {
-                    list.rebuild(&sys.topology, &sys.pbox, &sys.positions);
-                    let rebuild_cost =
-                        list.pairs.len() as f64 * 2.5 * cost.list_build_pair / comm.size() as f64;
-                    comm.ctx().charge_compute(rebuild_cost);
+            if step.is_multiple_of(hb_interval) {
+                comm.ctx().poll_crash();
+                let dead = comm.heartbeat_observed(&mut det, last_unit_cost);
+                if !dead.is_empty() {
+                    // Recovery: agree on membership, roll back, rebuild.
+                    comm.ctx().set_phase(Phase::Recovery);
+                    comm.shrink(&dead);
+                    sys.positions.clone_from(&ckpt.positions);
+                    sys.velocities.clone_from(&ckpt.velocities);
+                    forces.clone_from(&ckpt.forces);
+                    step = ckpt.step;
+                    energies_log.truncate(step);
+                    // The drift reference must roll back with the state: a
+                    // reference taken from a now-truncated (possibly
+                    // corrupted) step would keep tripping the watchdog on
+                    // a perfectly clean re-run.
+                    e_ref = energies_log
+                        .first()
+                        .map(|e| e.classic + e.pme + e.kinetic)
+                        .filter(|e| e.is_finite());
+                    comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
+                    // The decomposition width changed: capacity weights
+                    // are stale for the new membership and the
+                    // slab-partitioned PME state must be rebuilt for
+                    // the surviving ranks.
+                    caps = None;
+                    ppme = make_pme(model, pme_impl, tuning, comm.size(), None);
+                    if list.needs_rebuild(&sys.pbox, &sys.positions) {
+                        list.rebuild(&sys.topology, &sys.pbox, &sys.positions);
+                        let rebuild_cost = list.pairs.len() as f64 * 2.5 * cost.list_build_pair
+                            / comm.size() as f64;
+                        comm.ctx().charge_compute(rebuild_cost);
+                    }
+                    recoveries += 1;
+                    // Re-synchronize the survivors before resuming; a
+                    // straggling crash notice must not be mistaken for
+                    // progress, so tolerate (and record) errors here.
+                    let _ = comm.try_barrier();
+                    continue;
                 }
-                recoveries += 1;
-                // Re-synchronize the survivors before resuming; a
-                // straggling crash notice must not be mistaken for
-                // progress, so tolerate (and record) errors here.
-                let _ = comm.try_barrier();
-                continue;
             }
             if step >= steps {
                 break;
             }
+            let comp_before = comm.ctx().stats.total().comp;
 
             // One velocity-Verlet step over the current members.
             let computing = (step + 1) as u64;
@@ -575,6 +700,7 @@ pub fn run_parallel_md_faulty(
                 &cost,
                 tuning,
                 ppme.as_ref(),
+                caps.as_deref(),
             );
             forces = new_forces;
 
@@ -613,6 +739,20 @@ pub fn run_parallel_md_faulty(
                 kinetic: sys.kinetic_energy(),
             });
             step += 1;
+
+            // Per-unit cost measurement for the next heartbeat report:
+            // this rank's compute seconds over the step, normalized by
+            // its pair share. The per-unit cost is invariant under the
+            // assignment (half the pairs on a 2x-slow node still cost
+            // 2x per pair), so it localizes the *node*, not the cut.
+            // Pure host-side arithmetic: no virtual time is charged.
+            let cuts = match &caps {
+                Some(c) => balanced_pair_cuts_weighted(&list.pairs, p, c),
+                None => balanced_pair_cuts(&list.pairs, p),
+            };
+            let units = (cuts[comm.rank() + 1] - cuts[comm.rank()]).max(1) as f64;
+            let comp_after = comm.ctx().stats.total().comp;
+            last_unit_cost = (comp_after - comp_before) / units;
 
             // Numerical watchdog: a blown-up trajectory (NaN/inf
             // coordinates or runaway total-energy drift) is a fault
@@ -663,6 +803,68 @@ pub fn run_parallel_md_faulty(
                 continue;
             }
 
+            // Adaptive degradation ladder, evaluated only at checkpoint
+            // boundaries so fault-free runs stay bit-identical and every
+            // member takes the same decision at the same step:
+            //
+            //   rebalance  — re-cut the pair partition (and PME planes)
+            //                proportionally to measured speeds; no
+            //                rollback, no recovery episode;
+            //   evict      — a member past `phi_evict` is treated as
+            //                crashed: it leaves gracefully, survivors
+            //                shrink and re-cut; still no rollback;
+            //   rollback   — the existing crash/watchdog rung.
+            //
+            // All inputs are the replicated heartbeat reports, so the
+            // verdicts agree on every rank with zero agreement traffic.
+            if step.is_multiple_of(ckpt_every) && step < steps {
+                let members: Vec<usize> = comm.members().to_vec();
+                if let Some(victim) = det.evict_candidate(&members) {
+                    evictions += 1;
+                    if victim == comm.global_rank() {
+                        // Leave at the boundary: state is replicated,
+                        // so nothing needs saving or shipping.
+                        evicted = true;
+                        break;
+                    }
+                    // Survivors agree on the smaller membership,
+                    // re-derive the uniform decomposition over it and
+                    // re-synchronize; booked as recovery (it is one —
+                    // a gray failure handled without rollback).
+                    comm.ctx().set_phase(Phase::Recovery);
+                    comm.shrink(&[victim]);
+                    det.forget(victim);
+                    caps = None;
+                    ppme = make_pme(model, pme_impl, tuning, comm.size(), None);
+                    comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
+                    let _ = comm.try_barrier();
+                } else if recovery.rebalance {
+                    if let Some(rel) = det.relative_costs(&members) {
+                        // Desired capacity of member j is the inverse of
+                        // its measured relative cost (clamped away from
+                        // degenerate reports). Re-cut only when some
+                        // member's weight is off by more than the
+                        // trigger factor in either direction — a
+                        // fault-free cohort never gets close.
+                        let want: Vec<f64> =
+                            rel.iter().map(|r| 1.0 / r.clamp(0.01, 100.0)).collect();
+                        let off = |cur: f64, w: f64| {
+                            let ratio = if cur > w { cur / w } else { w / cur };
+                            ratio > recovery.rebalance_trigger
+                        };
+                        let fire = match &caps {
+                            Some(cur) => cur.iter().zip(&want).any(|(&c, &w)| off(c, w)),
+                            None => want.iter().any(|&w| off(1.0, w)),
+                        };
+                        if fire {
+                            rebalances += 1;
+                            ppme = make_pme(model, pme_impl, tuning, comm.size(), Some(&want));
+                            caps = Some(want);
+                        }
+                    }
+                }
+            }
+
             if step.is_multiple_of(ckpt_every) {
                 ckpt = Checkpoint {
                     step,
@@ -681,16 +883,21 @@ pub fn run_parallel_md_faulty(
                 }
             }
         }
-        (
-            energies_log,
-            sys.positions,
-            sys.velocities,
+        RankRun {
+            energies: energies_log,
+            positions: sys.positions,
+            velocities: sys.velocities,
             recoveries,
             watchdog_trips,
             diverged,
             resumed_from,
             sdc_fired,
-        )
+            evicted,
+            rebalances,
+            evictions,
+            phi_max: det.phi_max(),
+            srtt_max: det.srtt_max().unwrap_or(0.0),
+        }
     })?;
 
     let crashed_ranks: Vec<usize> = outcomes
@@ -698,7 +905,12 @@ pub fn run_parallel_md_faulty(
         .filter(|o| o.crashed)
         .map(|o| o.rank)
         .collect();
-    let survivors = outcomes.len() - crashed_ranks.len();
+    let evicted_ranks: Vec<usize> = outcomes
+        .iter()
+        .filter(|o| o.result.as_ref().is_some_and(|r| r.evicted))
+        .map(|o| o.rank)
+        .collect();
+    let survivors = outcomes.len() - crashed_ranks.len() - evicted_ranks.len();
     let wall_time = outcomes
         .iter()
         .filter(|o| !o.crashed)
@@ -717,19 +929,29 @@ pub fn run_parallel_md_faulty(
     let mut diverged = false;
     let mut resumed_from = None;
     let mut sdc_events = 0usize;
+    let mut rebalances = 0usize;
+    let mut evictions = 0usize;
+    let mut phi_max = 0.0f64;
+    let mut srtt_max = 0.0f64;
     for o in &outcomes {
-        if let Some((e, p, v, r, trips, dv, rf, sdc)) = &o.result {
-            recoveries = recoveries.max(*r);
-            watchdog_trips = watchdog_trips.max(*trips);
-            diverged |= *dv;
-            sdc_events = sdc_events.max(*sdc);
+        if let Some(r) = &o.result {
+            recoveries = recoveries.max(r.recoveries);
+            watchdog_trips = watchdog_trips.max(r.watchdog_trips);
+            diverged |= r.diverged;
+            sdc_events = sdc_events.max(r.sdc_fired);
+            rebalances = rebalances.max(r.rebalances);
+            evictions = evictions.max(r.evictions);
+            phi_max = phi_max.max(r.phi_max);
+            srtt_max = srtt_max.max(r.srtt_max);
             if resumed_from.is_none() {
-                resumed_from = *rf;
+                resumed_from = r.resumed_from;
             }
-            if step_energies.is_empty() {
-                step_energies = e.clone();
-                final_positions = p.clone();
-                final_velocities = v.clone();
+            // Physics comes from the first rank that ran to the end; an
+            // evicted member left at a boundary with a truncated log.
+            if step_energies.is_empty() && !r.evicted {
+                step_energies = r.energies.clone();
+                final_positions = r.positions.clone();
+                final_velocities = r.velocities.clone();
             }
         }
     }
@@ -757,6 +979,11 @@ pub fn run_parallel_md_faulty(
         sdc_events,
         restore_failure: None,
         completed,
+        rebalances,
+        evictions,
+        evicted_ranks,
+        phi_max,
+        srtt_max,
     })
 }
 
@@ -795,9 +1022,111 @@ mod tests {
         assert!(ft.crashed_ranks.is_empty());
         assert_eq!(ft.recoveries, 0);
         assert_eq!(ft.recovery_time, 0.0);
+        // A healthy cohort never trips the adaptive ladder.
+        assert_eq!(ft.rebalances, 0);
+        assert_eq!(ft.evictions, 0);
+        assert!(ft.evicted_ranks.is_empty());
+        assert!(ft.srtt_max > 0.0, "heartbeat RTTs were observed");
         // Heartbeats change timing, never physics: bit-identical state.
         assert_eq!(ft.report.final_positions, plain.final_positions);
         assert_eq!(ft.report.final_velocities, plain.final_velocities);
+    }
+
+    /// A system big enough for compute to dominate communication: on
+    /// the tiny two-cell box the combine latency hides a straggler's
+    /// compute entirely (the paper's comm-bound regime) and there is
+    /// nothing for a re-cut to win.
+    fn big_system() -> System {
+        let mut sys = cpc_md::builder::water_box(3, 3.1);
+        cpc_md::minimize::minimize(&mut sys, EnergyModel::Classic, 40);
+        sys.assign_velocities(150.0, 3);
+        sys
+    }
+
+    #[test]
+    fn persistent_straggler_rebalances_without_rollback() {
+        let sys = big_system();
+        let cfg = test_cfg(4, 6);
+        let fault = FaultConfig::new(FaultPlan::none().with_straggler(0, 2.0));
+        let ft = run_parallel_md_faulty(&sys, &cfg, &fault).unwrap();
+        assert!(ft.completed);
+        assert!(ft.rebalances >= 1, "the detector re-cut the partition");
+        assert_eq!(ft.recoveries, 0, "no rollback for a mere straggler");
+        assert_eq!(ft.watchdog_trips, 0);
+        assert_eq!(ft.evictions, 0, "2x is suspect territory, not evict");
+        assert!(ft.phi_max > cpc_mpi::PHI_SCALE, "suspicion accrued");
+
+        // The re-cut only regroups the force summation: physics stays
+        // within reassociation noise of the plain trajectory.
+        let plain = run_parallel_md(&sys, &cfg);
+        let max_dev = ft
+            .report
+            .final_positions
+            .iter()
+            .zip(&plain.final_positions)
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 1e-6, "max deviation {max_dev}");
+
+        // ...and it pays: the same schedule under a static decomposition
+        // is strictly slower.
+        let static_fault = fault.clone().with_recovery(RecoveryConfig {
+            rebalance: false,
+            ..RecoveryConfig::default()
+        });
+        let static_ft = run_parallel_md_faulty(&sys, &cfg, &static_fault).unwrap();
+        assert_eq!(static_ft.rebalances, 0, "reference keeps static cuts");
+        assert!(
+            ft.report.wall_time < static_ft.report.wall_time,
+            "adaptive {} vs static {}",
+            ft.report.wall_time,
+            static_ft.report.wall_time
+        );
+    }
+
+    #[test]
+    fn severe_straggler_is_evicted_without_rollback() {
+        let sys = test_system();
+        let cfg = test_cfg(4, 6);
+        let fault = FaultConfig::new(FaultPlan::none().with_straggler(0, 6.0));
+        let ft = run_parallel_md_faulty(&sys, &cfg, &fault).unwrap();
+        assert_eq!(ft.evicted_ranks, vec![0], "the 6x node is cut loose");
+        assert_eq!(ft.evictions, 1);
+        assert_eq!(ft.survivors, 3);
+        assert!(ft.crashed_ranks.is_empty(), "eviction is not a crash");
+        assert_eq!(ft.recoveries, 0, "graceful exit needs no rollback");
+        assert!(ft.completed, "survivors finish all steps");
+        assert!(
+            ft.recovery_time > 0.0,
+            "membership agreement is booked as recovery"
+        );
+        // Replicated data means the trajectory survives the eviction.
+        let plain = run_parallel_md(&sys, &cfg);
+        let max_dev = ft
+            .report
+            .final_positions
+            .iter()
+            .zip(&plain.final_positions)
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0f64, f64::max);
+        assert!(max_dev < 1e-6, "max deviation {max_dev}");
+    }
+
+    #[test]
+    fn sparse_heartbeats_still_detect_crashes() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 4);
+        let wall = run_parallel_md(&sys, &cfg).wall_time;
+        let fault = FaultConfig::new(FaultPlan::none().with_crash(2, 0.5 * wall)).with_recovery(
+            RecoveryConfig {
+                heartbeat_interval: 2,
+                ..RecoveryConfig::default()
+            },
+        );
+        let ft = run_parallel_md_faulty(&sys, &cfg, &fault).unwrap();
+        assert_eq!(ft.crashed_ranks, vec![2]);
+        assert!(ft.completed);
+        assert!(ft.recoveries >= 1);
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //! ranks densely so every collective keeps working on the smaller
 //! group without change.
 
+use crate::detector::FailureDetector;
 use crate::middleware::{CombineAlgo, Middleware};
-use cpc_cluster::{CommError, MsgClass, OpShape, RankCtx};
+use cpc_cluster::{CommError, MsgClass, OpShape, RankCtx, RttEstimator};
 
 /// Tag space layout: collectives use `epoch << 8 | op`, user messages
 /// use the high bit.
@@ -61,6 +62,10 @@ pub struct Comm<'a> {
     members: Vec<usize>,
     /// This rank's index in `members` (its logical rank).
     my_local: usize,
+    /// Per-engine-rank Jacobson/Karels RTT estimators fed by delivered
+    /// payload sends; drive the adaptive retry timer of
+    /// [`send_with_retry`](Comm::send_with_retry).
+    rtt: Vec<RttEstimator>,
 }
 
 impl<'a> Comm<'a> {
@@ -68,13 +73,20 @@ impl<'a> Comm<'a> {
     pub fn new(ctx: &'a mut RankCtx, middleware: Middleware) -> Self {
         let members: Vec<usize> = (0..ctx.size()).collect();
         let my_local = ctx.rank();
+        let rtt = vec![RttEstimator::new(); ctx.size()];
         Comm {
             ctx,
             middleware,
             epoch: 0,
             members,
             my_local,
+            rtt,
         }
+    }
+
+    /// The RTT estimator of the channel toward engine rank `gdst`.
+    pub fn rtt_estimate(&self, gdst: usize) -> &RttEstimator {
+        &self.rtt[gdst]
     }
 
     /// This rank's logical rank within the (possibly shrunken)
@@ -183,16 +195,74 @@ impl<'a> Comm<'a> {
         dead
     }
 
+    /// Liveness exchange with observation: like
+    /// [`heartbeat`](Comm::heartbeat), but each heartbeat piggybacks
+    /// the sender's `report` (its last normalized per-unit step cost;
+    /// pass a negative sentinel when no data exists yet) and the
+    /// received reports are folded into the failure detector.
+    ///
+    /// Control messages are modeled at one byte regardless of payload,
+    /// so this exchange is **timing- and RNG-identical** to the plain
+    /// heartbeat — piggybacking costs nothing and perturbs nothing.
+    /// Every member receives the same set of reports (its own is fed
+    /// directly), so detector state stays replicated across ranks and
+    /// suspect/evict verdicts need no extra agreement round.
+    ///
+    /// Returns the engine ranks of members found dead, exactly as
+    /// [`heartbeat`](Comm::heartbeat) does; dead peers are
+    /// [forgotten](FailureDetector::forget) by the detector.
+    pub fn heartbeat_observed(&mut self, det: &mut FailureDetector, report: f64) -> Vec<usize> {
+        let p = self.size();
+        let tag = self.next_epoch(op::HEARTBEAT);
+        det.report(self.global_rank(), report);
+        if p == 1 {
+            return Vec::new();
+        }
+        let shape = OpShape::new(1, p);
+        for d in 0..p {
+            if d == self.my_local {
+                continue;
+            }
+            let dst = self.g(d);
+            self.ctx
+                .send(dst, tag, vec![report], MsgClass::Control, shape);
+        }
+        let mut dead = Vec::new();
+        for s in 0..p {
+            if s == self.my_local {
+                continue;
+            }
+            let src = self.g(s);
+            match self.ctx.recv_result(src, tag) {
+                Ok(m) => {
+                    if let Some(&r) = m.data.first() {
+                        det.report(src, r);
+                    }
+                    det.observe_rtt(src, m.arrival - m.departure);
+                }
+                Err(CommError::PeerDead { peer, .. }) => {
+                    det.forget(peer);
+                    dead.push(peer);
+                }
+                Err(_) => {}
+            }
+        }
+        dead
+    }
+
     /// Blocking user-level send.
     pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
         let gdst = self.g(dst);
-        self.ctx.send(
+        let outcome = self.ctx.send(
             gdst,
             USER_TAG_BASE | tag,
             data,
             MsgClass::Payload,
             OpShape::p2p(),
         );
+        if outcome.delivered {
+            self.rtt[gdst].observe(outcome.wire);
+        }
     }
 
     /// Blocking user-level receive.
@@ -216,6 +286,14 @@ impl<'a> Comm<'a> {
     /// sender-side exponential backoff between attempts. Returns the
     /// number of *extra* attempts used (0 = first try delivered).
     ///
+    /// The per-attempt timer is adaptive (Jacobson/Karels): once the
+    /// channel's RTT estimator has a sample, the base timer is
+    /// `SRTT + 4·RTTVAR` clamped to the network's `[rto_floor,
+    /// rto_max]` envelope, so retries under an injected degradation
+    /// track the observed channel instead of a worst-case constant.
+    /// With no samples yet the static `rto_floor` is used — identical
+    /// to the legacy behaviour.
+    ///
     /// Pair with [`recv_with_retry`](Comm::recv_with_retry) using the
     /// same tag and policy. Retry tags use bits 48..56 of the user tag
     /// space, so `tag` must be below 2^48.
@@ -228,7 +306,8 @@ impl<'a> Comm<'a> {
     ) -> Result<u32, CommError> {
         debug_assert!(tag < (1 << 48), "retry tags use bits 48..56");
         let gdst = self.g(dst);
-        let base = self.ctx.net().rto_floor();
+        let floor = self.ctx.net().rto_floor();
+        let rto_max = self.ctx.net().rto_max;
         let attempts = policy.max_attempts.max(1);
         for attempt in 0..attempts {
             let t = self.user_tag(tag) | ((attempt as u64) << 48);
@@ -236,10 +315,15 @@ impl<'a> Comm<'a> {
                 .ctx
                 .send(gdst, t, data.clone(), MsgClass::Payload, OpShape::p2p());
             if outcome.delivered {
+                self.rtt[gdst].observe(outcome.wire);
                 return Ok(attempt);
             }
             // Wait out the (backed-off) application-level timer before
-            // the next attempt.
+            // the next attempt. Undelivered transfers never feed the
+            // estimator: their "wire" time is the give-up time.
+            let base = self.rtt[gdst]
+                .rto()
+                .map_or(floor, |r| r.clamp(floor, rto_max.max(floor)));
             self.ctx
                 .charge_wait(base * policy.backoff.powi(attempt as i32));
         }
@@ -1177,6 +1261,99 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn observed_heartbeat_is_timing_identical_to_plain_heartbeat() {
+        use crate::detector::{DetectorConfig, FailureDetector};
+        let cfg = ClusterConfig::uni(4, NetworkKind::TcpGigE);
+        let plain = run_cluster(cfg, |ctx| {
+            let mut comm = Comm::new(ctx, Middleware::Mpi);
+            comm.heartbeat();
+            comm.barrier();
+            ctx.now()
+        });
+        let observed = run_cluster(cfg, |ctx| {
+            let mut comm = Comm::new(ctx, Middleware::Mpi);
+            let mut det = FailureDetector::new(comm.size(), DetectorConfig::default());
+            comm.heartbeat_observed(&mut det, 1.5);
+            comm.barrier();
+            assert!(det.srtt_max().is_some(), "heartbeat RTTs were observed");
+            ctx.now()
+        });
+        for (a, b) in plain.iter().zip(&observed) {
+            assert_eq!(
+                a.finish_time.to_bits(),
+                b.finish_time.to_bits(),
+                "piggybacked reports must not perturb timing (rank {})",
+                a.rank
+            );
+        }
+    }
+
+    #[test]
+    fn observed_heartbeat_replicates_detector_verdicts() {
+        use crate::detector::{DetectorConfig, FailureDetector};
+        let cfg = ClusterConfig::uni(4, NetworkKind::ScoreGigE);
+        let out = run_cluster(cfg, |ctx| {
+            let mut comm = Comm::new(ctx, Middleware::Mpi);
+            let mut det = FailureDetector::new(comm.size(), DetectorConfig::default());
+            // Rank 3 reports 4x cost; everyone else is nominal.
+            let report = if comm.rank() == 3 { 4.0 } else { 1.0 };
+            for _ in 0..3 {
+                let dead = comm.heartbeat_observed(&mut det, report);
+                assert!(dead.is_empty());
+            }
+            let members: Vec<usize> = comm.members().to_vec();
+            (det.evict_candidate(&members), det.suspects(&members))
+        });
+        for o in &out {
+            let (evict, suspects) = o.result.clone();
+            assert_eq!(evict, Some(3), "verdict replicated on rank {}", o.rank);
+            assert_eq!(suspects, vec![3]);
+        }
+    }
+
+    #[test]
+    fn observed_heartbeat_detects_crashes_like_plain_heartbeat() {
+        use crate::detector::{DetectorConfig, FailureDetector};
+        let cfg = ClusterConfig::uni(4, NetworkKind::ScoreGigE);
+        let plan = FaultPlan::none().with_crash(2, 0.0);
+        let out = run_cluster_faulty(cfg, plan, |ctx| {
+            ctx.charge_compute(1e-6);
+            ctx.poll_crash();
+            let mut comm = Comm::new(ctx, Middleware::Mpi);
+            let mut det = FailureDetector::new(comm.size(), DetectorConfig::default());
+            comm.heartbeat_observed(&mut det, 1.0)
+        })
+        .unwrap();
+        for o in &out {
+            if o.rank == 2 {
+                assert!(o.crashed);
+            } else {
+                assert_eq!(o.result.as_ref().expect("survivor"), &vec![2]);
+            }
+        }
+    }
+
+    #[test]
+    fn delivered_sends_feed_the_rtt_estimator() {
+        let cfg = ClusterConfig::uni(2, NetworkKind::ScoreGigE);
+        let out = run_cluster(cfg, |ctx| {
+            let mut comm = Comm::new(ctx, Middleware::Mpi);
+            if comm.rank() == 0 {
+                comm.send(1, 9, vec![1.0; 64]);
+                let est = comm.rtt_estimate(1);
+                let rto = est.rto().expect("one sample");
+                (est.samples(), rto)
+            } else {
+                comm.recv(0, 9);
+                (0, 0.0)
+            }
+        });
+        let (samples, rto) = out[0].result;
+        assert_eq!(samples, 1);
+        assert!(rto > 0.0 && rto.is_finite());
     }
 
     #[test]

@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod detector;
 pub mod group;
 pub mod middleware;
 pub mod nonblocking;
 
 pub use comm::{Comm, RetryPolicy};
 pub use cpc_cluster::CommError;
+pub use detector::{DetectorConfig, FailureDetector, PHI_SCALE};
 pub use group::GroupComm;
 pub use middleware::{CombineAlgo, Middleware};
 pub use nonblocking::{RecvRequest, SendRequest};

@@ -164,12 +164,16 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Outcome of a send on the modeled transport.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SendOutcome {
     /// False when the transport gave up and delivered a tombstone.
     pub delivered: bool,
     /// Retransmission rounds the transfer went through.
     pub retransmits: u32,
+    /// Modeled wire time of the transfer (arrival minus departure),
+    /// seconds — the sender-side RTT sample for adaptive
+    /// retransmission timers.
+    pub wire: f64,
 }
 
 /// Unwind payload of a simulated crash (distinguished from genuine
@@ -207,8 +211,6 @@ struct Shared {
     config: ClusterConfig,
     net: NetworkParams,
     plan: FaultPlan,
-    /// Per-rank CPU slowdown from straggler nodes (1.0 = nominal).
-    straggle: Vec<f64>,
     /// Per-rank scheduled crash time, if any.
     crash_at: Vec<Option<f64>>,
     mailboxes: Vec<Mailbox>,
@@ -270,11 +272,19 @@ impl RankCtx {
 
     /// Charges `seconds` of computation (expressed at the calibration
     /// clock; node clock scaling, SMP memory contention, and straggler
-    /// slowdown are applied here).
+    /// slowdown are applied here). Straggler windows are judged at the
+    /// clock value when the charge begins, mirroring how link
+    /// degradations are judged at message departure.
     pub fn charge_compute(&mut self, seconds: f64) {
         debug_assert!(seconds >= 0.0);
-        let t =
-            seconds * self.shared.config.compute_scale(self.rank) * self.shared.straggle[self.rank];
+        let straggle = if self.shared.plan.stragglers.is_empty() {
+            1.0
+        } else {
+            self.shared
+                .plan
+                .straggle_factor_at(self.shared.config.node_of(self.rank), self.clock)
+        };
+        let t = seconds * self.shared.config.compute_scale(self.rank) * straggle;
         self.clock += t;
         self.stats.bucket_mut(self.phase).book_comp(t);
     }
@@ -426,6 +436,7 @@ impl RankCtx {
         SendOutcome {
             delivered: t.delivered,
             retransmits: t.retransmits,
+            wire: t.time.wire,
         }
     }
 
@@ -688,15 +699,11 @@ where
     config.validate().map_err(SimError::InvalidConfig)?;
     plan.validate(config.ranks, config.nodes())
         .map_err(SimError::InvalidFaultPlan)?;
-    let straggle = (0..config.ranks)
-        .map(|r| plan.straggle_factor(config.node_of(r)))
-        .collect();
     let crash_at = (0..config.ranks).map(|r| plan.crash_time(r)).collect();
     let shared = Arc::new(Shared {
         config,
         net: config.network.params(),
         plan,
-        straggle,
         crash_at,
         mailboxes: (0..config.ranks)
             .map(|_| Mailbox {
@@ -1107,6 +1114,26 @@ mod tests {
         let t0 = out[0].finish_time;
         let t1 = out[1].finish_time;
         assert!((t1 / t0 - 3.0).abs() < 1e-9, "{t0} vs {t1}");
+    }
+
+    #[test]
+    fn transient_straggler_slows_only_inside_its_window() {
+        let cfg = ClusterConfig::uni(1, NetworkKind::ScoreGigE);
+        let plan = FaultPlan::none().with_straggler_window(0, 4.0, 0.5, 1.0);
+        let out = run_cluster_faulty(cfg, plan, |ctx| {
+            ctx.charge_compute(0.25); // judged at t=0.00: nominal
+            ctx.charge_compute(0.25); // judged at t=0.25: nominal
+            ctx.charge_compute(0.10); // judged at t=0.50: 4x -> 0.4
+            ctx.charge_compute(0.05); // judged at t=0.90: 4x -> 0.2
+            ctx.charge_compute(0.10); // judged at t=1.10: nominal again
+            ctx.now()
+        })
+        .unwrap();
+        assert!(
+            (out[0].finish_time - 1.2).abs() < 1e-12,
+            "{}",
+            out[0].finish_time
+        );
     }
 
     #[test]

@@ -68,13 +68,22 @@ impl LinkDegradation {
 }
 
 /// A node whose CPUs run slower than nominal (e.g. thermal throttling
-/// or background load).
+/// or background load) during a virtual-time window.
+///
+/// A *persistent* straggler covers the whole run (`start == 0`,
+/// `end == f64::MAX`); a *transient* one covers `start <= t < end`
+/// only, judged against the rank's virtual clock as compute time is
+/// charged.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Straggler {
     /// Node index (see [`ClusterConfig::node_of`](crate::ClusterConfig::node_of)).
     pub node: usize,
     /// CPU-time multiplier (`>= 1.0`; `2.0` = half speed).
     pub slowdown: f64,
+    /// Window start, virtual seconds.
+    pub start: f64,
+    /// Window end, virtual seconds (half-open; `f64::MAX` = forever).
+    pub end: f64,
 }
 
 /// A permanent fail-stop crash of one rank at a virtual time.
@@ -273,9 +282,33 @@ impl FaultPlan {
         self
     }
 
-    /// Marks `node` as a straggler with the given CPU slowdown factor.
+    /// Marks `node` as a *persistent* straggler with the given CPU
+    /// slowdown factor (slow from the first instruction to the last).
     pub fn with_straggler(mut self, node: usize, slowdown: f64) -> Self {
-        self.stragglers.push(Straggler { node, slowdown });
+        self.stragglers.push(Straggler {
+            node,
+            slowdown,
+            start: 0.0,
+            end: f64::MAX,
+        });
+        self
+    }
+
+    /// Marks `node` as a *transient* straggler during `[start, end)`
+    /// virtual seconds.
+    pub fn with_straggler_window(
+        mut self,
+        node: usize,
+        slowdown: f64,
+        start: f64,
+        end: f64,
+    ) -> Self {
+        self.stragglers.push(Straggler {
+            node,
+            slowdown,
+            start,
+            end,
+        });
         self
     }
 
@@ -380,6 +413,12 @@ impl FaultPlan {
             if !(s.slowdown.is_finite() && s.slowdown >= 1.0) {
                 return Err(format!("straggler slowdown {} must be >= 1", s.slowdown));
             }
+            if !(s.start.is_finite() && s.end.is_finite() && 0.0 <= s.start && s.start <= s.end) {
+                return Err(format!(
+                    "straggler window [{}, {}) is not a valid interval",
+                    s.start, s.end
+                ));
+            }
         }
         for c in &self.crashes {
             if c.rank >= ranks {
@@ -455,11 +494,25 @@ impl FaultPlan {
         }
     }
 
-    /// CPU slowdown factor of `node` (`1.0` when not a straggler).
+    /// Worst-case CPU slowdown factor of `node` over the whole run
+    /// (`1.0` when never a straggler). Used for overhead budgeting;
+    /// the engine charges the *instantaneous* factor via
+    /// [`straggle_factor_at`](FaultPlan::straggle_factor_at).
     pub fn straggle_factor(&self, node: usize) -> f64 {
         self.stragglers
             .iter()
             .filter(|s| s.node == node)
+            .map(|s| s.slowdown)
+            .fold(1.0, f64::max)
+    }
+
+    /// CPU slowdown factor of `node` at virtual time `t` (`1.0` when no
+    /// straggler window is active). Windows are half-open, like
+    /// [`LinkDegradation`]: active while `start <= t < end`.
+    pub fn straggle_factor_at(&self, node: usize, t: f64) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.node == node && s.start <= t && t < s.end)
             .map(|s| s.slowdown)
             .fold(1.0, f64::max)
     }
@@ -520,6 +573,38 @@ mod tests {
             .with_straggler(1, 4.0);
         assert_eq!(p.straggle_factor(1), 4.0);
         assert_eq!(p.straggle_factor(0), 1.0);
+    }
+
+    #[test]
+    fn persistent_stragglers_cover_all_of_time() {
+        let p = FaultPlan::none().with_straggler(1, 3.0);
+        assert_eq!(p.straggle_factor_at(1, 0.0), 3.0);
+        assert_eq!(p.straggle_factor_at(1, 1e12), 3.0);
+        assert_eq!(p.straggle_factor_at(0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn transient_straggler_window_is_half_open() {
+        let p = FaultPlan::none().with_straggler_window(2, 2.5, 1.0, 3.0);
+        assert_eq!(p.straggle_factor_at(2, 0.5), 1.0);
+        assert_eq!(p.straggle_factor_at(2, 1.0), 2.5);
+        assert_eq!(p.straggle_factor_at(2, 2.999), 2.5);
+        assert_eq!(p.straggle_factor_at(2, 3.0), 1.0);
+        // Whole-run worst case still sees the transient entry.
+        assert_eq!(p.straggle_factor(2), 2.5);
+        assert!(p.validate(4, 4).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_straggler_windows() {
+        for bad in [
+            FaultPlan::none().with_straggler_window(0, 2.0, 3.0, 1.0),
+            FaultPlan::none().with_straggler_window(0, 2.0, -1.0, 1.0),
+            FaultPlan::none().with_straggler_window(0, 2.0, f64::NAN, 1.0),
+            FaultPlan::none().with_straggler_window(0, 2.0, 0.0, f64::INFINITY),
+        ] {
+            assert!(bad.validate(4, 4).is_err(), "{:?}", bad.stragglers);
+        }
     }
 
     #[test]

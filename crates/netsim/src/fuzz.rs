@@ -119,10 +119,21 @@ impl FaultSpace {
             ));
         }
 
-        // Up to two straggler nodes, at most 3x slowdown.
+        // Up to two straggler nodes, drawn from two classes so every
+        // rung of the degradation ladder is exercised: *transient*
+        // windows inside the horizon (absorbed by rebalancing, then
+        // rebalanced back), and *persistent* whole-run slowdowns of up
+        // to 4x (the severe tail crosses the eviction threshold).
         for _ in 0..self.choose(&mut rng, 3) {
             let node = (rng.next_u64() as usize) % self.nodes;
-            plan = plan.with_straggler(node, 1.25 + 1.75 * rng.next_f64());
+            if rng.next_f64() < 0.5 {
+                let slowdown = 1.25 + 1.75 * rng.next_f64();
+                let start = self.horizon * rng.next_f64();
+                let len = (0.2 + 0.6 * rng.next_f64()) * self.horizon;
+                plan = plan.with_straggler_window(node, slowdown, start, start + len);
+            } else {
+                plan = plan.with_straggler(node, 1.25 + 2.75 * rng.next_f64());
+            }
         }
 
         // Crashes: always leave at least one survivor. Distinct ranks,
@@ -238,6 +249,13 @@ mod tests {
             let crashed: std::collections::HashSet<usize> =
                 plan.crashes.iter().map(|c| c.rank).collect();
             assert!(crashed.len() < s.ranks, "at least one survivor");
+            for st in &plan.stragglers {
+                assert!(
+                    (st.start == 0.0 && st.end == f64::MAX)
+                        || (st.end.is_finite() && st.end <= 2.0 * s.horizon),
+                    "straggler is either persistent or windowed in the horizon: {st:?}"
+                );
+            }
             for sdc in &plan.sdc {
                 assert!(
                     sdc.bit <= BENIGN_MAX_BIT
@@ -262,6 +280,18 @@ mod tests {
         assert!(plans.iter().any(|p| p.loss > 0.0));
         assert!(plans.iter().any(|p| !p.degradations.is_empty()));
         assert!(plans.iter().any(|p| !p.stragglers.is_empty()));
+        assert!(
+            plans
+                .iter()
+                .any(|p| p.stragglers.iter().any(|s| s.end == f64::MAX)),
+            "persistent straggler class is sampled"
+        );
+        assert!(
+            plans
+                .iter()
+                .any(|p| p.stragglers.iter().any(|s| s.end < f64::MAX)),
+            "transient straggler class is sampled"
+        );
         assert!(plans.iter().any(|p| !p.crashes.is_empty()));
         assert!(plans.iter().any(|p| !p.storage.is_empty()));
         assert!(plans.iter().any(|p| !p.sdc.is_empty()));

@@ -45,6 +45,7 @@ pub mod faults;
 pub mod fuzz;
 pub mod netmodel;
 pub mod rng;
+pub mod rtt;
 pub mod stats;
 pub mod trace;
 
@@ -63,6 +64,7 @@ pub use netmodel::{
     FaultyTransfer, NetworkKind, NetworkParams, OpShape, TransferCtx, TransferTime,
 };
 pub use rng::SplitMix64;
+pub use rtt::RttEstimator;
 pub use stats::{
     summarize_throughput, MsgClass, Phase, PhaseBucket, RankStats, ThroughputSample,
     ThroughputSummary,
