@@ -53,18 +53,24 @@ fn main() {
         Lab::paper(&system)
     };
 
-    std::fs::create_dir_all(&out).expect("create output directory");
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create {out}: {e}");
+        std::process::exit(2);
+    }
     let journal_path = Path::new(&out).join("journal.jsonl");
-    attach_journal(
-        &mut lab,
-        journal_path.to_str().expect("journal path is utf-8"),
-        resume,
-    );
+    let Some(journal_str) = journal_path.to_str() else {
+        eprintln!("journal path {} is not valid UTF-8", journal_path.display());
+        std::process::exit(2);
+    };
+    attach_journal(&mut lab, journal_str, resume);
     if let Some(cells) = max_cells {
         lab.set_cell_budget(cells);
     }
 
-    let artifacts = run_campaign(&mut lab, &out).expect("write campaign artifacts");
+    let artifacts = run_campaign(&mut lab, &out).unwrap_or_else(|e| {
+        eprintln!("cannot write campaign artifacts under {out}: {e}");
+        std::process::exit(2);
+    });
     println!(
         "campaign complete: {}/{} findings hold",
         artifacts.findings_held, artifacts.findings_total

@@ -22,11 +22,12 @@
 //!   indices upward indefinitely, stopping (exit 1) at the first
 //!   violation — kill it when you have soaked long enough.
 //! * **Plant mode** (`--plant`): self-test of the oracles and the
-//!   minimizer. Builds a known-bad schedule (a gray-zone SDC flip that
-//!   is neither benign nor watchdog-visible, buried in noise events),
-//!   asserts an oracle catches it, minimizes, and asserts the
-//!   reproducer has at most 3 events and still fails on replay. Exit 0
-//!   exactly when all of that holds.
+//!   minimizer against the pre-ABFT engine. Scans the campaign sampler
+//!   for a schedule carrying a gray-zone SDC flip (neither benign nor
+//!   watchdog-visible, buried in sampled noise events), checks it with
+//!   the ABFT checksums disarmed, asserts an oracle catches it,
+//!   minimizes, and asserts the reproducer has at most 3 events and
+//!   still fails on replay. Exit 0 exactly when all of that holds.
 //! * **Replay mode** (`--replay FILE`): re-checks a reproducer
 //!   artifact. Exit 0 when it still provokes a violation (it
 //!   reproduces), 1 when it no longer does.
@@ -37,11 +38,20 @@
 //!   bound of the static-decomposition overhead), and journals the
 //!   verdict to `DIR/straggle_smoke.json` — fully deterministic, so CI
 //!   runs it twice and `cmp`s the artifacts.
+//! * **ABFT-smoke mode** (`--abft-smoke`): CI gate for the ABFT layer.
+//!   The planted gray-zone schedule must pass every oracle with the
+//!   checksums armed (detected and repaired in place), must fail and
+//!   minimize to <= 3 events with them disarmed, and arming must cost
+//!   at most 5% wall clock on the compute-dominated workload while
+//!   leaving fault-free physics bit-identical. Journals
+//!   `DIR/abft_smoke.json`; deterministic, CI `cmp`s two runs.
 
 use cpc_charmm::chaos::{flatten, ChaosHarness, Reproducer, ScheduleReport};
-use cpc_charmm::{run_parallel_md_faulty, DurableConfig, FaultConfig, MdConfig, RecoveryConfig};
+use cpc_charmm::{
+    run_parallel_md_faulty, AbftConfig, DurableConfig, FaultConfig, MdConfig, RecoveryConfig,
+};
 use cpc_cluster::{
-    ClusterConfig, FaultPlan, FaultSpace, LinkDegradation, NetworkKind, SdcFault, SdcTarget,
+    sdc_class, ClusterConfig, FaultPlan, FaultSpace, NetworkKind, SdcClass, SdcTarget,
 };
 use cpc_md::EnergyModel;
 use cpc_mpi::Middleware;
@@ -70,8 +80,16 @@ const STALL_TIMEOUT: f64 = 20.0;
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--schedules N] [--seed S] [--soak] [--resume] [--out DIR]\n\
-         \x20      [--ranks P] [--steps N] | --plant | --replay FILE | --straggle-smoke"
+         \x20      [--ranks P] [--steps N] | --plant | --replay FILE | --straggle-smoke\n\
+         \x20      | --abft-smoke"
     );
+    std::process::exit(2);
+}
+
+/// Exit 2 (usage/environment error) with a message — the typed
+/// replacement for `expect` on malformed inputs and I/O failures.
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("chaos: {msg}");
     std::process::exit(2);
 }
 
@@ -107,40 +125,77 @@ fn make_harness(ranks: usize, steps: usize) -> ChaosHarness {
     let (sys, cfg) = workload(ranks, steps);
     let scratch = std::env::temp_dir().join(format!("cpc-chaos-scratch-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
-    ChaosHarness::new(sys, cfg, scratch).expect("fault-free golden run must succeed")
+    ChaosHarness::new(sys, cfg, scratch)
+        .unwrap_or_else(|e| die(format!("fault-free golden run failed: {e}")))
 }
 
-/// The planted known-bad schedule: a mid-mantissa SDC flip — far above
-/// the benign bound yet invisible to the numerical watchdog — hidden
-/// among harmless loss/straggler/degradation noise. The sampler never
-/// draws from this gray zone, which is exactly why it must be planted:
-/// it validates that the oracles catch what the fuzzer cannot, and
-/// that the minimizer strips the noise.
-fn planted_plan(h: &ChaosHarness) -> FaultPlan {
-    let wall = h.golden_wall();
-    FaultPlan::none()
-        .with_loss(0.05)
-        .with_straggler(0, 1.5)
-        .with_degradation(LinkDegradation::global(0.0, 0.5 * wall, 0.1, 2.0))
-        .with_crash(1, 0.7 * wall)
-        .with_sdc(SdcFault {
-            step: 2,
-            target: SdcTarget::Positions,
-            atom: 3,
-            axis: 1,
-            bit: 40,
-        })
+/// An ABFT-disarmed harness: the pre-ABFT engine the plant self-test
+/// must run against, because an armed engine repairs the planted flip
+/// and the oracles (correctly) find nothing to catch.
+fn make_disarmed_harness(ranks: usize, steps: usize) -> ChaosHarness {
+    let (sys, cfg) = workload(ranks, steps);
+    let scratch =
+        std::env::temp_dir().join(format!("cpc-chaos-disarmed-scratch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    ChaosHarness::with_options(
+        sys,
+        cfg,
+        scratch,
+        RecoveryConfig::default(),
+        AbftConfig::default(),
+    )
+    .unwrap_or_else(|e| die(format!("fault-free golden run failed: {e}")))
+}
+
+/// The planted known-bad schedule, drawn from the campaign sampler
+/// itself: scan `(seed, 0..)` for the first sampled plan carrying an
+/// undetectable-class position flip in the mid-mantissa band — far
+/// above the benign bound, far below anything the numerical watchdog
+/// notices — then strip the crashes (a crash earns recovery tolerance
+/// and makes the corruption non-silent) and every other flip, keeping
+/// the sampled loss/straggler/degradation/storage noise for the
+/// minimizer to chew through. Deterministic in `seed`.
+fn planted_from_space(space: &FaultSpace, seed: u64) -> (u64, FaultPlan) {
+    for index in 0u64.. {
+        let plan = space.sample(seed, index);
+        let Some(flip) = plan.sdc.iter().copied().find(|f| {
+            sdc_class(f) == SdcClass::Undetectable
+                && f.target == SdcTarget::Positions
+                && (40..=50).contains(&f.bit)
+        }) else {
+            continue;
+        };
+        let mut planted = plan.clone();
+        planted.crashes.clear();
+        planted.sdc = vec![flip];
+        return (index, planted);
+    }
+    unreachable!("the sampler draws the gray zone");
 }
 
 fn write_reproducer(out: &Path, name: &str, repro: &Reproducer) -> PathBuf {
     let path = out.join(name);
-    std::fs::write(&path, repro.to_json()).expect("write reproducer artifact");
+    if let Err(e) = std::fs::write(&path, repro.to_json()) {
+        die(format!("cannot write {}: {e}", path.display()));
+    }
     path
 }
 
 fn plant_mode(out: &Path) -> i32 {
-    let h = make_harness(4, 8);
-    let plan = planted_plan(&h);
+    let h = make_disarmed_harness(4, 8);
+    let space = FaultSpace::new(
+        h.cfg().cluster.ranks,
+        h.cfg().cluster.nodes(),
+        8,
+        h.golden_wall(),
+        24,
+    );
+    let (index, plan) = planted_from_space(&space, 7);
+    println!(
+        "planted schedule: campaign index {index}, gray flip {:?} plus {} noise event(s)",
+        plan.sdc[0],
+        flatten(&plan).len() - 1
+    );
     let report = h.check(&plan);
     if report.passed() {
         eprintln!("PLANT FAILURE: the known-bad schedule passed every oracle");
@@ -151,7 +206,7 @@ fn plant_mode(out: &Path) -> i32 {
         report.violations.len(),
         report.violations[0]
     );
-    let repro = h.minimize_to_reproducer(&plan, 0, 0);
+    let repro = h.minimize_to_reproducer(&plan, 7, index);
     let path = write_reproducer(out, "planted_repro.json", &repro);
     println!(
         "minimized {} -> {} event(s) in {} probe(s): {}",
@@ -168,8 +223,10 @@ fn plant_mode(out: &Path) -> i32 {
         return 1;
     }
     // The artifact must replay: parse it back and re-provoke.
-    let parsed = Reproducer::from_json(&std::fs::read_to_string(&path).expect("read artifact"))
-        .expect("parse reproducer artifact");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| die(format!("cannot read {}: {e}", path.display())));
+    let parsed = Reproducer::from_json(&text)
+        .unwrap_or_else(|e| die(format!("cannot parse {}: {e}", path.display())));
     let replay = h.check(&parsed.plan);
     if replay.passed() {
         eprintln!("PLANT FAILURE: minimized reproducer no longer fails");
@@ -219,7 +276,8 @@ fn straggle_smoke_mode(out: &Path) -> i32 {
     let (sys, cfg) = compute_workload(4, 8);
     let scratch = std::env::temp_dir().join(format!("cpc-straggle-scratch-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
-    let h = ChaosHarness::new(sys, cfg, &scratch).expect("fault-free golden run must succeed");
+    let h = ChaosHarness::new(sys, cfg, &scratch)
+        .unwrap_or_else(|e| die(format!("fault-free golden run failed: {e}")));
 
     let plan = FaultPlan::none().with_straggler(0, SLOWDOWN);
     let report = h.check(&plan);
@@ -248,13 +306,17 @@ fn straggle_smoke_mode(out: &Path) -> i32 {
     // comparison inside the mitigation oracle; repeating it here puts
     // the actual overheads in the artifact.
     let (sys2, cfg2) = compute_workload(4, 8);
+    // ABFT armed to match the harness: the overhead ratio must compare
+    // like against like.
     let static_fault = FaultConfig::new(plan)
         .with_recovery(RecoveryConfig {
             rebalance: false,
             ..RecoveryConfig::default()
         })
+        .with_abft(AbftConfig::armed())
         .with_durable(DurableConfig::new(scratch.join("static-ref")).with_keep(16));
-    let st = run_parallel_md_faulty(&sys2, &cfg2, &static_fault).expect("static reference run");
+    let st = run_parallel_md_faulty(&sys2, &cfg2, &static_fault)
+        .unwrap_or_else(|e| die(format!("static reference run failed: {e}")));
     let adaptive_overhead = report.wall_time / h.golden_wall() - 1.0;
     let static_overhead = st.report.wall_time / h.golden_wall() - 1.0;
     let ratio = adaptive_overhead / static_overhead;
@@ -277,11 +339,10 @@ fn straggle_smoke_mode(out: &Path) -> i32 {
         report,
     };
     let path = out.join("straggle_smoke.json");
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&smoke).expect("smoke verdict serializes"),
-    )
-    .expect("write straggle smoke artifact");
+    let json = serde_json::to_string_pretty(&smoke).expect("smoke verdict serializes");
+    if let Err(e) = std::fs::write(&path, json) {
+        die(format!("cannot write {}: {e}", path.display()));
+    }
     println!(
         "straggle smoke: {SLOWDOWN}x persistent straggler, {} rebalance(s), \
          {rollbacks} rollback(s), overhead {adaptive_overhead:.4} adaptive vs \
@@ -299,6 +360,143 @@ fn straggle_smoke_mode(out: &Path) -> i32 {
     }
 }
 
+/// Wall-clock budget for arming the ABFT checksums on the
+/// compute-dominated workload: at most 5% over the disarmed engine.
+const ABFT_OVERHEAD_BUDGET: f64 = 0.05;
+
+/// The deterministic artifact the ABFT smoke journals.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AbftSmoke {
+    seed: u64,
+    planted_index: u64,
+    armed_report: ScheduleReport,
+    disarmed_violations: usize,
+    repro_events: usize,
+    plain_wall: f64,
+    armed_wall: f64,
+    overhead: f64,
+    overhead_budget: f64,
+}
+
+fn abft_smoke_mode(out: &Path) -> i32 {
+    let mut bad = Vec::new();
+
+    // (a) Armed engine vs the planted gray-zone schedule: every oracle
+    // holds because the checksums catch the flip and repair it.
+    let armed = make_harness(4, 8);
+    let space = FaultSpace::new(
+        armed.cfg().cluster.ranks,
+        armed.cfg().cluster.nodes(),
+        8,
+        armed.golden_wall(),
+        24,
+    );
+    let (index, plan) = planted_from_space(&space, 7);
+    println!(
+        "planted schedule: campaign index {index}, gray flip {:?} plus {} noise event(s)",
+        plan.sdc[0],
+        flatten(&plan).len() - 1
+    );
+    let armed_report = armed.check(&plan);
+    if !armed_report.passed() {
+        for v in &armed_report.violations {
+            bad.push(format!("armed engine violated an oracle: {v}"));
+        }
+    }
+    if armed_report.abft_detections == 0 {
+        bad.push("armed engine raised no corruption verdict for the planted flip".to_string());
+    }
+    println!(
+        "armed: {} detection(s), {} repair(s), {} watchdog trip(s), deviation {:e}",
+        armed_report.abft_detections,
+        armed_report.abft_recomputes,
+        armed_report.watchdog_trips,
+        armed_report.max_deviation
+    );
+
+    // (b) Disarmed engine vs the same schedule: the corruption slips
+    // through, an oracle catches the divergence, and ddmin shrinks the
+    // schedule to the flip.
+    let disarmed = make_disarmed_harness(4, 8);
+    let disarmed_report = disarmed.check(&plan);
+    if disarmed_report.passed() {
+        bad.push("disarmed engine passed: the planted flip is not actually harmful".to_string());
+    }
+    let repro = disarmed.minimize_to_reproducer(&plan, 7, index);
+    write_reproducer(out, "abft_smoke_repro.json", &repro);
+    println!(
+        "disarmed: {} violation(s), minimized to {} event(s)",
+        disarmed_report.violations.len(),
+        repro.events
+    );
+    if repro.events > 3 {
+        bad.push(format!("reproducer kept {} events (> 3)", repro.events));
+    }
+
+    // (c) Overhead gate on the compute-dominated workload: arming the
+    // checksums must cost <= 5% wall clock and change no physics bit.
+    let (sys, cfg) = compute_workload(4, 8);
+    let plain = run_parallel_md_faulty(&sys, &cfg, &FaultConfig::default())
+        .unwrap_or_else(|e| die(format!("disarmed reference run failed: {e}")));
+    let armed_run = run_parallel_md_faulty(
+        &sys,
+        &cfg,
+        &FaultConfig::default().with_abft(AbftConfig::armed()),
+    )
+    .unwrap_or_else(|e| die(format!("armed reference run failed: {e}")));
+    let overhead = armed_run.report.wall_time / plain.report.wall_time - 1.0;
+    println!(
+        "overhead: armed {:.6} s vs plain {:.6} s = {:.2}% (budget {:.0}%)",
+        armed_run.report.wall_time,
+        plain.report.wall_time,
+        100.0 * overhead,
+        100.0 * ABFT_OVERHEAD_BUDGET
+    );
+    if overhead > ABFT_OVERHEAD_BUDGET {
+        bad.push(format!(
+            "ABFT overhead {:.4} exceeds budget {ABFT_OVERHEAD_BUDGET}",
+            overhead
+        ));
+    }
+    if armed_run.report.final_positions != plain.report.final_positions
+        || armed_run.report.final_velocities != plain.report.final_velocities
+    {
+        bad.push("arming ABFT changed fault-free physics".to_string());
+    }
+    if armed_run.abft_detections != 0 {
+        bad.push(format!(
+            "{} false positive(s) on the fault-free workload",
+            armed_run.abft_detections
+        ));
+    }
+
+    let smoke = AbftSmoke {
+        seed: 7,
+        planted_index: index,
+        armed_report,
+        disarmed_violations: disarmed_report.violations.len(),
+        repro_events: repro.events,
+        plain_wall: plain.report.wall_time,
+        armed_wall: armed_run.report.wall_time,
+        overhead,
+        overhead_budget: ABFT_OVERHEAD_BUDGET,
+    };
+    let path = out.join("abft_smoke.json");
+    let json = serde_json::to_string_pretty(&smoke).expect("smoke verdict serializes");
+    if let Err(e) = std::fs::write(&path, json) {
+        die(format!("cannot write {}: {e}", path.display()));
+    }
+    println!("artifact: {}", path.display());
+    if bad.is_empty() {
+        0
+    } else {
+        for b in &bad {
+            eprintln!("ABFT SMOKE FAILURE: {b}");
+        }
+        1
+    }
+}
+
 fn replay_mode(file: &str) -> i32 {
     let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
         eprintln!("cannot read {file}: {e}");
@@ -308,7 +506,14 @@ fn replay_mode(file: &str) -> i32 {
         eprintln!("cannot parse {file}: {e}");
         std::process::exit(2);
     });
-    let h = make_harness(repro.ranks, repro.steps);
+    // Replay under the engine that produced the artifact: a disarmed
+    // reproducer replayed armed would be repaired, not reproduced.
+    let h = if repro.abft {
+        make_harness(repro.ranks, repro.steps)
+    } else {
+        println!("reproducer was minimized with ABFT disarmed; replaying disarmed");
+        make_disarmed_harness(repro.ranks, repro.steps)
+    };
     let report = h.check(&repro.plan);
     if report.passed() {
         println!("reproducer did NOT reproduce: every oracle held");
@@ -333,7 +538,9 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "results/chaos".to_string());
     let out = PathBuf::from(out);
-    std::fs::create_dir_all(&out).expect("create output directory");
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        die(format!("cannot create {}: {e}", out.display()));
+    }
 
     if let Some(file) = args
         .iter()
@@ -348,6 +555,9 @@ fn main() {
     if args.iter().any(|a| a == "--straggle-smoke") {
         std::process::exit(straggle_smoke_mode(&out));
     }
+    if args.iter().any(|a| a == "--abft-smoke") {
+        std::process::exit(abft_smoke_mode(&out));
+    }
 
     let schedules: u64 = parse_flag_value(&args, "--schedules").unwrap_or(50);
     let seed: u64 = parse_flag_value(&args, "--seed").unwrap_or(7);
@@ -358,8 +568,8 @@ fn main() {
 
     let journal_path = out.join("chaos.jsonl");
     let (mut journal, prior) = if resume {
-        let (j, recovery) =
-            Journal::<Verdict>::resume(&journal_path).expect("resume chaos journal");
+        let (j, recovery) = Journal::<Verdict>::resume(&journal_path)
+            .unwrap_or_else(|e| die(format!("cannot resume {}: {e}", journal_path.display())));
         if recovery.dropped > 0 {
             eprintln!(
                 "journal {}: discarded {} torn/damaged trailing line(s)",
@@ -375,7 +585,8 @@ fn main() {
         (j, recovery.entries)
     } else {
         (
-            Journal::<Verdict>::create(&journal_path).expect("create chaos journal"),
+            Journal::<Verdict>::create(&journal_path)
+                .unwrap_or_else(|e| die(format!("cannot create {}: {e}", journal_path.display()))),
             Vec::new(),
         )
     };
@@ -423,13 +634,13 @@ fn main() {
         let report = h.check(&plan);
         checked += 1;
         let failed = !report.passed();
-        journal
-            .append(&Verdict {
-                seed,
-                index,
-                report: report.clone(),
-            })
-            .expect("journal chaos verdict");
+        if let Err(e) = journal.append(&Verdict {
+            seed,
+            index,
+            report: report.clone(),
+        }) {
+            die(format!("cannot journal verdict {index}: {e}"));
+        }
         if failed {
             println!("schedule {index}: {} VIOLATION(S)", report.violations.len());
             for v in &report.violations {

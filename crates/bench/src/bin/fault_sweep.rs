@@ -19,7 +19,7 @@
 //! killed-then-resumed sweep produces the same final artifacts as an
 //! uninterrupted one.
 
-use cpc_charmm::{run_parallel_md, run_parallel_md_faulty, FaultConfig, MdConfig};
+use cpc_charmm::{run_parallel_md, run_parallel_md_faulty, AbftConfig, FaultConfig, MdConfig};
 use cpc_cluster::{ClusterConfig, FaultPlan, NetworkKind};
 use cpc_md::{EnergyModel, System};
 use cpc_mpi::Middleware;
@@ -62,6 +62,12 @@ struct Row {
     srtt_max: f64,
     retransmits: u64,
     msgs_lost: u64,
+    /// ABFT corruption verdicts in the armed re-run of this scenario.
+    abft_det: usize,
+    /// Wall-time cost of arming the ABFT checksums for this scenario
+    /// (armed wall vs the disarmed wall of the same plan). `None` when
+    /// the disarmed wall is unusable.
+    abft_overhead: Option<f64>,
 }
 
 /// Journal/resume key: a scenario is identified by its factor levels,
@@ -90,8 +96,20 @@ fn run_point(
         .map(|s| s.slowdown)
         .fold(1.0f64, f64::max);
     let crash_at = plan.crashes.first().map(|c| c.at);
-    let ft = run_parallel_md_faulty(system, cfg, &FaultConfig::new(plan))
+    let ft = run_parallel_md_faulty(system, cfg, &FaultConfig::new(plan.clone()))
         .expect("fault sweep run is well-configured");
+    // Armed re-run of the same scenario: its wall-time delta is the
+    // ABFT checksum cost under this fault load, and its verdict count
+    // shows the checksums staying quiet (no sampled SDC here — any
+    // detection in this sweep is a false positive worth seeing).
+    let armed = run_parallel_md_faulty(
+        system,
+        cfg,
+        &FaultConfig::new(plan).with_abft(AbftConfig::armed()),
+    )
+    .expect("fault sweep run is well-configured");
+    let abft_overhead = (ft.report.wall_time > 0.0 && ft.report.wall_time.is_finite())
+        .then(|| armed.report.wall_time / ft.report.wall_time - 1.0);
     Row {
         network: cfg.cluster.network,
         scenario: scenario.to_string(),
@@ -111,6 +129,8 @@ fn run_point(
         srtt_max: ft.srtt_max,
         retransmits: ft.report.per_rank.iter().map(|s| s.retransmits).sum(),
         msgs_lost: ft.report.per_rank.iter().map(|s| s.msgs_lost).sum(),
+        abft_det: armed.abft_detections,
+        abft_overhead,
     }
 }
 
@@ -152,7 +172,10 @@ impl SweepState {
         }
         let row = run_point(system, cfg, plan, scenario, ref_wall);
         self.fresh += 1;
-        self.journal.append(&row).expect("journal fault-sweep row");
+        if let Err(e) = self.journal.append(&row) {
+            eprintln!("cannot journal scenario {}: {e}", row.key());
+            std::process::exit(2);
+        }
         self.done.insert(row.key(), row.clone());
         row
     }
@@ -181,7 +204,10 @@ fn main() {
 
     let journal_path = Path::new(&out).join("fault_sweep.jsonl");
     let (journal, prior) = if resume {
-        let (j, recovery) = Journal::<Row>::resume(&journal_path).expect("resume sweep journal");
+        let (j, recovery) = Journal::<Row>::resume(&journal_path).unwrap_or_else(|e| {
+            eprintln!("cannot resume {}: {e}", journal_path.display());
+            std::process::exit(2);
+        });
         if recovery.dropped > 0 {
             eprintln!(
                 "journal {}: discarded {} torn/damaged trailing line(s)",
@@ -197,7 +223,10 @@ fn main() {
         (j, recovery.entries)
     } else {
         (
-            Journal::<Row>::create(&journal_path).expect("create sweep journal"),
+            Journal::<Row>::create(&journal_path).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", journal_path.display());
+                std::process::exit(2);
+            }),
             Vec::new(),
         )
     };
@@ -286,16 +315,16 @@ fn main() {
     );
     let _ = writeln!(
         md,
-        "| network | scenario | loss | straggle | crash@ | wall (s) | overhead | survivors | completed | recoveries | recovery (s) | rebal | evict | phi max | srtt max (s) | retransmits | lost msgs |"
+        "| network | scenario | loss | straggle | crash@ | wall (s) | overhead | survivors | completed | recoveries | recovery (s) | rebal | evict | phi max | srtt max (s) | retransmits | lost msgs | abft det | abft ovh |"
     );
     let _ = writeln!(
         md,
-        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|"
     );
     for r in &rows {
         let _ = writeln!(
             md,
-            "| {:?} | {} | {:.2} | {:.1}x | {} | {:.4} | {} | {}/{} | {} | {} | {:.4} | {} | {} | {:.2} | {:.2e} | {} | {} |",
+            "| {:?} | {} | {:.2} | {:.1}x | {} | {:.4} | {} | {}/{} | {} | {} | {:.4} | {} | {} | {:.2} | {:.2e} | {} | {} | {} | {} |",
             r.network,
             r.scenario,
             r.loss,
@@ -318,16 +347,20 @@ fn main() {
             r.srtt_max,
             r.retransmits,
             r.msgs_lost,
+            r.abft_det,
+            r.abft_overhead
+                .map(|o| format!("{:+.1}%", 100.0 * o))
+                .unwrap_or_else(|| "-".to_string()),
         );
     }
 
     let mut csv = String::from(
-        "network,scenario,loss,straggle,crash_at,wall_s,overhead,survivors,crashed,completed,recoveries,recovery_s,rebalances,evictions,phi_max,srtt_max_s,retransmits,msgs_lost\n",
+        "network,scenario,loss,straggle,crash_at,wall_s,overhead,survivors,crashed,completed,recoveries,recovery_s,rebalances,evictions,phi_max,srtt_max_s,retransmits,msgs_lost,abft_det,abft_overhead\n",
     );
     for r in &rows {
         let _ = writeln!(
             csv,
-            "{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             r.network,
             r.scenario,
             r.loss,
@@ -350,15 +383,24 @@ fn main() {
             r.srtt_max,
             r.retransmits,
             r.msgs_lost,
+            r.abft_det,
+            r.abft_overhead.map(|o| o.to_string()).unwrap_or_default(),
         );
     }
 
     let dir = Path::new(&out);
-    std::fs::create_dir_all(dir).expect("create output directory");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
     let md_path = dir.join("fault_sweep.md");
     let csv_path = dir.join("fault_sweep.csv");
-    std::fs::write(&md_path, &md).expect("write survivability table");
-    std::fs::write(&csv_path, &csv).expect("write survivability csv");
+    for (path, text) in [(&md_path, &md), (&csv_path, &csv)] {
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
 
     print!("{md}");
     let incomplete = rows.iter().filter(|r| !r.completed).count();

@@ -114,8 +114,10 @@ impl FigureArgs {
 /// cache and are skipped; without it, the journal starts fresh.
 pub fn attach_journal(lab: &mut Lab<'_>, path: &str, resume: bool) {
     if resume {
-        let (journal, recovery) =
-            Journal::<Measurement>::resume(path).expect("resume measurement journal");
+        let (journal, recovery) = Journal::<Measurement>::resume(path).unwrap_or_else(|e| {
+            eprintln!("cannot resume journal {path}: {e}");
+            std::process::exit(2);
+        });
         if recovery.dropped > 0 {
             eprintln!(
                 "journal {path}: discarded {} torn/damaged trailing line(s)",
@@ -128,7 +130,10 @@ pub fn attach_journal(lab: &mut Lab<'_>, path: &str, resume: bool) {
         );
         lab.attach_journal(journal, recovery.entries);
     } else {
-        let journal = Journal::<Measurement>::create(path).expect("create measurement journal");
+        let journal = Journal::<Measurement>::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create journal {path}: {e}");
+            std::process::exit(2);
+        });
         lab.attach_journal(journal, Vec::new());
     }
 }

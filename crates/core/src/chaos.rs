@@ -21,9 +21,15 @@
 //! 4. **Recovery accounting** — recovery time is positive exactly when
 //!    recovery episodes happened, and stays within a budget scaled by
 //!    the plan's own slowdown factors.
-//! 5. **SDC detected-or-benign** — after a silent bit flip, either the
-//!    numerical watchdog tripped (and state still matches golden) or
-//!    the final deviation is below the benign bound.
+//! 5. **SDC detected-or-benign** — after a silent bit flip, either
+//!    something detected it (the numerical watchdog or an ABFT
+//!    checksum) or the final deviation is below the benign bound.
+//! 6. **ABFT detection** — with the ABFT checksums armed (the harness
+//!    default), *every* fired bit flip must raise at least one
+//!    [`Corruption`](cpc_md::abft::Corruption) verdict — including the
+//!    gray zone between benign and watchdog-detectable that
+//!    [`FaultSpace`](cpc_cluster::FaultSpace) now samples. Zero
+//!    detections after a fired flip is an ABFT escape.
 //!
 //! On violation, [`minimize`] shrinks the schedule with the classic
 //! ddmin algorithm (drop event subsets, then halve scalar severities)
@@ -37,7 +43,7 @@
 
 use crate::ckpt::DurableConfig;
 use crate::driver::MdConfig;
-use crate::recover::{run_parallel_md_faulty, FaultConfig, FtReport, RecoveryConfig};
+use crate::recover::{run_parallel_md_faulty, AbftConfig, FaultConfig, FtReport, RecoveryConfig};
 use cpc_cluster::{FaultPlan, LinkDegradation, RankCrash, SdcFault, StorageFault, Straggler};
 use cpc_md::System;
 use serde::{Deserialize, Serialize};
@@ -166,6 +172,16 @@ pub enum Violation {
         /// The ratio bound the adaptive overhead had to beat.
         ratio_bound: f64,
     },
+    /// ABFT was armed, one or more SDC flips fired, and not a single
+    /// checksum verdict was raised: a corruption escaped the ABFT
+    /// layer entirely (the regression this oracle exists to trap —
+    /// with a correct ABFT implementation it never fires).
+    UndetectedSdc {
+        /// SDC flips that fired in the full run.
+        fired: usize,
+        /// ABFT detections in the full run (zero, by construction).
+        detected: usize,
+    },
     /// The resumed run's final state deviates from the uninterrupted
     /// run beyond the plan's tolerance: durable checkpoints do not
     /// reproduce the trajectory.
@@ -242,6 +258,10 @@ impl std::fmt::Display for Violation {
                     )
                 }
             }
+            Violation::UndetectedSdc { fired, detected } => write!(
+                f,
+                "ABFT escape: {fired} SDC flip(s) fired, {detected} detected"
+            ),
             Violation::ResumeDivergence {
                 max_deviation,
                 tolerance,
@@ -276,6 +296,11 @@ pub struct ScheduleReport {
     pub evictions: usize,
     /// SDC events that fired in the full run.
     pub sdc_events: usize,
+    /// ABFT corruption verdicts raised in the full run (0 when the
+    /// harness runs with ABFT disarmed).
+    pub abft_detections: usize,
+    /// ABFT targeted repairs/recomputes in the full run.
+    pub abft_recomputes: usize,
     /// Final-state deviation of the full run from the golden run.
     pub max_deviation: f64,
     /// Final-state deviation of the resumed run from the full run.
@@ -492,6 +517,11 @@ pub struct Reproducer {
     pub nodes: usize,
     /// MD steps of the workload.
     pub steps: usize,
+    /// Whether the ABFT checksums were armed in the harness that
+    /// produced this reproducer — replay must match, because an armed
+    /// engine repairs the very corruptions a disarmed-engine
+    /// reproducer exists to provoke.
+    pub abft: bool,
     /// Fault events remaining after minimization.
     pub events: usize,
     /// Oracle probes the minimizer spent.
@@ -554,6 +584,7 @@ pub struct ChaosHarness {
     cfg: MdConfig,
     scratch: PathBuf,
     recovery: RecoveryConfig,
+    abft: AbftConfig,
     golden: FtReport,
 }
 
@@ -561,7 +592,9 @@ impl ChaosHarness {
     /// Builds the harness by executing the fault-free golden run of
     /// `(system, cfg)`. `scratch` is a directory for the durable
     /// checkpoints of chaotic runs; it is created (and its per-run
-    /// subdirectories wiped) as needed.
+    /// subdirectories wiped) as needed. The ABFT checksums are armed:
+    /// the harness checks the engine as it ships, and the
+    /// [`Violation::UndetectedSdc`] oracle needs them live.
     pub fn new(
         system: System,
         cfg: MdConfig,
@@ -580,13 +613,31 @@ impl ChaosHarness {
         scratch: impl Into<PathBuf>,
         recovery: RecoveryConfig,
     ) -> Result<Self, cpc_cluster::SimError> {
-        let fault = FaultConfig::default().with_recovery(recovery);
+        Self::with_options(system, cfg, scratch, recovery, AbftConfig::armed())
+    }
+
+    /// [`ChaosHarness::with_recovery`] with an explicit ABFT
+    /// configuration. Pass [`AbftConfig::default`] (disarmed) to test
+    /// the pre-ABFT engine — the configuration that keeps the
+    /// gray-zone planted bugs silent so the `SilentCorruption` oracle
+    /// and the minimizer can be validated against them.
+    pub fn with_options(
+        system: System,
+        cfg: MdConfig,
+        scratch: impl Into<PathBuf>,
+        recovery: RecoveryConfig,
+        abft: AbftConfig,
+    ) -> Result<Self, cpc_cluster::SimError> {
+        let fault = FaultConfig::default()
+            .with_recovery(recovery)
+            .with_abft(abft);
         let golden = run_parallel_md_faulty(&system, &cfg, &fault)?;
         Ok(ChaosHarness {
             system,
             cfg,
             scratch: scratch.into(),
             recovery,
+            abft,
             golden,
         })
     }
@@ -692,6 +743,8 @@ impl ChaosHarness {
             rebalances: 0,
             evictions: 0,
             sdc_events: 0,
+            abft_detections: 0,
+            abft_recomputes: 0,
             max_deviation: 0.0,
             resume_deviation: 0.0,
             wall_time: 0.0,
@@ -705,6 +758,7 @@ impl ChaosHarness {
         // --- Full run, durable checkpoints armed. ---
         let fault = FaultConfig::new(plan.clone())
             .with_recovery(self.recovery)
+            .with_abft(self.abft)
             .with_durable(DurableConfig::new(self.run_dir("full")).with_keep(16));
         let full = match run_parallel_md_faulty(&self.system, &self.cfg, &fault) {
             Ok(ft) => ft,
@@ -722,6 +776,8 @@ impl ChaosHarness {
         report.rebalances = full.rebalances;
         report.evictions = full.evictions;
         report.sdc_events = full.sdc_events;
+        report.abft_detections = full.abft_detections;
+        report.abft_recomputes = full.abft_recomputes;
         report.wall_time = finite(full.report.wall_time);
 
         if let Some(v) = Self::unplanned_crash("full", plan, &full) {
@@ -741,8 +797,10 @@ impl ChaosHarness {
         report.max_deviation = max_dev;
         let tol = self.tolerance_vs_golden(&full);
         if max_dev > tol {
-            let silent =
-                full.sdc_events > 0 && full.watchdog_trips == 0 && full.crashed_ranks.is_empty();
+            let silent = full.sdc_events > 0
+                && full.watchdog_trips == 0
+                && full.abft_detections == 0
+                && full.crashed_ranks.is_empty();
             report.violations.push(if silent {
                 Violation::SilentCorruption {
                     max_deviation: max_dev,
@@ -753,6 +811,18 @@ impl ChaosHarness {
                     max_deviation: max_dev,
                     tolerance: tol,
                 }
+            });
+        }
+
+        // --- ABFT-detection oracle: armed checksums must raise at
+        // least one verdict for any fired flip — benign, detectable, or
+        // gray — because a bit flip always changes a bit-exact digest.
+        // Zero verdicts after a fired flip is an ABFT escape, however
+        // small the final deviation happens to be. ---
+        if self.abft.enabled && full.sdc_events > 0 && full.abft_detections == 0 {
+            report.violations.push(Violation::UndetectedSdc {
+                fired: full.sdc_events,
+                detected: full.abft_detections,
             });
         }
 
@@ -800,6 +870,7 @@ impl ChaosHarness {
                         rebalance: false,
                         ..self.recovery
                     })
+                    .with_abft(self.abft)
                     .with_durable(DurableConfig::new(self.run_dir("static")).with_keep(16));
                 if let Ok(st) = run_parallel_md_faulty(&self.system, &self.cfg, &static_fault) {
                     if st.completed {
@@ -832,6 +903,7 @@ impl ChaosHarness {
             };
             let truncated_fault = FaultConfig::new(plan.clone())
                 .with_recovery(self.recovery)
+                .with_abft(self.abft)
                 .with_durable(DurableConfig::new(&dir).with_keep(16));
             match run_parallel_md_faulty(&self.system, &truncated_cfg, &truncated_fault) {
                 Err(e) => report.violations.push(Violation::NonTermination {
@@ -848,6 +920,7 @@ impl ChaosHarness {
                 Ok(truncated) => {
                     let resumed_fault = FaultConfig::new(plan.clone())
                         .with_recovery(self.recovery)
+                        .with_abft(self.abft)
                         .with_durable(DurableConfig::new(&dir).with_keep(16).with_resume(true));
                     match run_parallel_md_faulty(&self.system, &self.cfg, &resumed_fault) {
                         Err(e) => report.violations.push(Violation::NonTermination {
@@ -919,6 +992,7 @@ impl ChaosHarness {
             ranks: self.cfg.cluster.ranks,
             nodes: self.cfg.cluster.nodes(),
             steps: self.cfg.steps,
+            abft: self.abft.enabled,
             events: flatten(&min_plan).len(),
             probes,
             violations,
@@ -949,6 +1023,33 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("cpc-chaos-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         ChaosHarness::new(sys, cfg, dir).unwrap()
+    }
+
+    /// An ABFT-disarmed harness: the pre-ABFT engine, where gray-zone
+    /// flips stay silent — the regime the `SilentCorruption` oracle and
+    /// minimizer tests must be validated in.
+    fn disarmed_harness(tag: &str, ranks: usize, steps: usize) -> ChaosHarness {
+        let mut sys = cpc_md::builder::water_box(2, 3.1);
+        cpc_md::minimize::minimize(&mut sys, EnergyModel::Classic, 40);
+        sys.assign_velocities(150.0, 3);
+        let cfg = MdConfig {
+            steps,
+            ..MdConfig::paper_protocol(
+                EnergyModel::Classic,
+                Middleware::Mpi,
+                ClusterConfig::uni(ranks, NetworkKind::ScoreGigE),
+            )
+        };
+        let dir = std::env::temp_dir().join(format!("cpc-chaos-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ChaosHarness::with_options(
+            sys,
+            cfg,
+            dir,
+            RecoveryConfig::default(),
+            AbftConfig::default(),
+        )
+        .unwrap()
     }
 
     /// The planted bug every minimizer test uses: a gray-zone SDC flip
@@ -1054,7 +1155,9 @@ mod tests {
 
     #[test]
     fn gray_zone_sdc_is_caught_as_silent_corruption() {
-        let h = harness("silent", 3, 4);
+        // Disarmed: the pre-ABFT engine lets the gray flip through,
+        // and the deviation oracle is the only thing that notices.
+        let h = disarmed_harness("silent", 3, 4);
         let r = h.check(&planted_plan(&h));
         assert!(
             r.violations
@@ -1063,11 +1166,26 @@ mod tests {
             "violations: {:?}",
             r.violations
         );
+        assert_eq!(r.abft_detections, 0, "disarmed harness reports none");
+    }
+
+    #[test]
+    fn armed_harness_repairs_the_planted_gray_flip() {
+        // The same planted schedule against the armed engine: the ABFT
+        // layer catches the flip, repairs it in place, and every oracle
+        // holds — the gray zone is closed.
+        let h = harness("armed", 3, 4);
+        let r = h.check(&planted_plan(&h));
+        assert!(r.passed(), "violations: {:?}", r.violations);
+        assert_eq!(r.sdc_events, 1);
+        assert!(r.abft_detections >= 1, "the flip was caught");
+        assert!(r.abft_recomputes >= 1, "and repaired");
+        assert_eq!(r.watchdog_trips, 0, "before the watchdog saw it");
     }
 
     #[test]
     fn minimizer_shrinks_planted_bug_to_single_event() {
-        let h = harness("ddmin", 3, 4);
+        let h = disarmed_harness("ddmin", 3, 4);
         let plan = planted_plan(&h);
         assert_eq!(flatten(&plan).len(), 4, "noise plus the planted flip");
         let repro = h.minimize_to_reproducer(&plan, 0, 0);
@@ -1138,6 +1256,10 @@ mod tests {
                     static_overhead: 0.55,
                     ratio_bound: ADAPTIVE_OVERHEAD_RATIO,
                 },
+                Violation::UndetectedSdc {
+                    fired: 2,
+                    detected: 0,
+                },
             ],
             events: 4,
             crashed: 1,
@@ -1146,6 +1268,8 @@ mod tests {
             rebalances: 1,
             evictions: 1,
             sdc_events: 1,
+            abft_detections: 1,
+            abft_recomputes: 1,
             max_deviation: 0.25,
             resume_deviation: 0.0,
             wall_time: 1.5,

@@ -27,6 +27,17 @@ impl ClassicResult {
     pub fn energy(&self) -> f64 {
         self.bonded.total() + self.nonbonded.total()
     }
+
+    /// Bit-exact ABFT digest over the combined partial energies and
+    /// force array (see `cpc_md::abft`). Pure side read: the digest
+    /// never feeds back into the accumulation it checks.
+    pub fn abft_digest(&self) -> u64 {
+        cpc_md::abft::combine_digests(&[
+            self.bonded.abft_digest(),
+            self.nonbonded.abft_digest(),
+            cpc_md::abft::vec3_digest(&self.forces),
+        ])
+    }
 }
 
 /// Evaluates the classic energy in parallel. `pairs` is the (replicated)

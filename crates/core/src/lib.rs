@@ -39,5 +39,7 @@ pub use classic::{classic_energy_parallel, ClassicResult};
 pub use driver::{run_parallel_md, CommTuning, MdConfig, PmeImpl};
 pub use pme_par::{ParallelPme, PmeParallelResult};
 pub use pme_spatial::SpatialPme;
-pub use recover::{run_parallel_md_faulty, FaultConfig, FtReport, RecoveryConfig, WatchdogConfig};
+pub use recover::{
+    run_parallel_md_faulty, AbftConfig, FaultConfig, FtReport, RecoveryConfig, WatchdogConfig,
+};
 pub use report::{RunReport, StepEnergies};

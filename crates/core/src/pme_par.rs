@@ -29,6 +29,21 @@ use cpc_md::{System, Vec3};
 use cpc_mpi::{CombineAlgo, Comm};
 use std::f64::consts::PI;
 
+/// ABFT evidence collected during one parallel PME evaluation.
+///
+/// B-spline interpolation partitions unity, so the globally summed
+/// charge mesh must reproduce the total system charge exactly up to
+/// roundoff (`grid_residual`), and every block crossing the
+/// distributed-FFT transpose carries a bit-exact checksum
+/// (`transpose_faults` counts blocks that failed verification).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PmeAbftProbe {
+    /// `|Σ qgrid - Σ q| / max(Σ |q|, 1)` after the global mesh sum.
+    pub grid_residual: f64,
+    /// Number of transpose blocks whose checksum failed.
+    pub transpose_faults: usize,
+}
+
 /// Result of one parallel PME evaluation, identical on every rank.
 #[derive(Debug, Clone)]
 pub struct PmeParallelResult {
@@ -40,6 +55,8 @@ pub struct PmeParallelResult {
     pub excluded: f64,
     /// Global k-space forces (reciprocal + exclusion corrections).
     pub forces: Vec<Vec3>,
+    /// ABFT evidence (`Some` only when checks were armed).
+    pub abft: Option<PmeAbftProbe>,
 }
 
 impl PmeParallelResult {
@@ -55,6 +72,7 @@ pub struct ParallelPme {
     decomp: PmeDecomp,
     grid_sum: CombineAlgo,
     force_combine: CombineAlgo,
+    abft: bool,
     plan_x: FftPlan,
     plan_y: FftPlan,
     plan_z: FftPlan,
@@ -72,6 +90,7 @@ impl ParallelPme {
             decomp: PmeDecomp::new(g.nx, g.ny, g.nz, p),
             grid_sum: CombineAlgo::Ring,
             force_combine: CombineAlgo::Flat,
+            abft: false,
             plan_x: FftPlan::new(g.nx),
             plan_y: FftPlan::new(g.ny),
             plan_z: FftPlan::new(g.nz),
@@ -95,6 +114,15 @@ impl ParallelPme {
     /// Overrides the closing force-combine algorithm (ablation hook).
     pub fn with_force_combine(mut self, algo: CombineAlgo) -> Self {
         self.force_combine = algo;
+        self
+    }
+
+    /// Arms the ABFT invariants: the grid-charge check after the mesh
+    /// sum and per-block checksums across the distributed-FFT
+    /// transposes. Off by default — an unarmed evaluation is
+    /// byte-identical to the pre-ABFT code path.
+    pub fn with_abft(mut self, armed: bool) -> Self {
+        self.abft = armed;
         self
     }
 
@@ -165,6 +193,19 @@ impl ParallelPme {
         comm.allreduce_with(self.grid_sum, &mut qgrid_vec);
         let qgrid = qgrid_vec;
 
+        // ABFT grid-charge invariant: B-spline weights partition unity,
+        // so the summed mesh must hold exactly the total system charge
+        // up to roundoff. A pure side read over the reduced mesh.
+        let grid_residual = if self.abft {
+            comm.ctx().charge_compute(g.len() as f64 * cost.conv_point);
+            let mesh_q: f64 = qgrid.iter().sum();
+            let total_q: f64 = topo.atoms.iter().map(|a| a.charge).sum();
+            let scale: f64 = topo.atoms.iter().map(|a| a.charge.abs()).sum();
+            (mesh_q - total_q).abs() / scale.max(1.0)
+        } else {
+            0.0
+        };
+
         // Extract my slab as complex data for the distributed FFT.
         let mut slab = vec![Complex64::ZERO; n_planes * ny * nz];
         for gx in my_planes.clone() {
@@ -187,7 +228,7 @@ impl ParallelPme {
 
         // --- Transpose: slab (planes x cols) -> columns (cols x nx).
         let mut cols = vec![Complex64::ZERO; n_cols * nx];
-        self.transpose_forward(comm, &slab, &mut cols, cost);
+        let mut transpose_faults = self.transpose_forward(comm, &slab, &mut cols, cost);
 
         // --- 1D FFT along x on owned columns, influence multiply with
         // the partial energy, inverse 1D FFT.
@@ -226,7 +267,7 @@ impl ParallelPme {
 
         // --- Transpose back and inverse 2D FFTs.
         let mut slab_phi = vec![Complex64::ZERO; n_planes * ny * nz];
-        self.transpose_backward(comm, &cols, &mut slab_phi, cost);
+        transpose_faults += self.transpose_backward(comm, &cols, &mut slab_phi, cost);
         if n_planes > 0 {
             let dims = Dims3::new(n_planes, ny, nz);
             transform_axis(
@@ -345,19 +386,24 @@ impl ParallelPme {
             excluded: buf[3 * n + 1],
             self_term: buf[3 * n + 2],
             forces,
+            abft: self.abft.then_some(PmeAbftProbe {
+                grid_residual,
+                transpose_faults,
+            }),
         }
     }
 
     /// Forward transpose: my planes of every column block go to the
     /// block's owner; I collect my columns from every plane owner.
+    /// Returns the number of blocks whose ABFT checksum failed.
     fn transpose_forward(
         &self,
         comm: &mut Comm<'_>,
         slab: &[Complex64],
         cols: &mut [Complex64],
         cost: &CostModel,
-    ) {
-        transpose_forward_impl(&self.decomp, comm, slab, cols, cost)
+    ) -> usize {
+        transpose_forward_impl(&self.decomp, comm, slab, cols, cost, self.abft)
     }
 
     /// Backward transpose: exact mirror of the forward one.
@@ -367,19 +413,41 @@ impl ParallelPme {
         cols: &[Complex64],
         slab: &mut [Complex64],
         cost: &CostModel,
-    ) {
-        transpose_backward_impl(&self.decomp, comm, cols, slab, cost)
+    ) -> usize {
+        transpose_backward_impl(&self.decomp, comm, cols, slab, cost, self.abft)
+    }
+}
+
+/// Appends a 52-bit block checksum as the trailing `f64` of an outgoing
+/// transpose block (only when ABFT is armed).
+fn seal_block(block: &mut Vec<f64>) {
+    let digest = cpc_md::abft::scalar_digest(block) & cpc_md::abft::DIGEST_MASK;
+    block.push(digest as f64);
+}
+
+/// Verifies and strips the trailing checksum of a received transpose
+/// block. Returns `(payload, ok)`.
+fn open_block(block: &[f64]) -> (&[f64], bool) {
+    match block.split_last() {
+        Some((sealed, payload)) => {
+            let digest = cpc_md::abft::scalar_digest(payload) & cpc_md::abft::DIGEST_MASK;
+            (payload, *sealed == digest as f64)
+        }
+        None => (block, false),
     }
 }
 
 /// Shared slab -> columns transpose (also used by the spatial PME).
+/// When `abft` is armed every block carries a trailing checksum;
+/// returns the number of blocks that failed verification.
 pub(crate) fn transpose_forward_impl(
     decomp: &PmeDecomp,
     comm: &mut Comm<'_>,
     slab: &[Complex64],
     cols: &mut [Complex64],
     cost: &CostModel,
-) {
+    abft: bool,
+) -> usize {
     {
         let p = decomp.p;
         let (ny, nz, nx) = (decomp.ny, decomp.nz, decomp.nx);
@@ -393,7 +461,7 @@ pub(crate) fn transpose_forward_impl(
         let mut packed = 0usize;
         for d in 0..p {
             let dst_cols = decomp.cols(d);
-            let mut block = Vec::with_capacity(2 * my_planes.len() * dst_cols.len());
+            let mut block = Vec::with_capacity(2 * my_planes.len() * dst_cols.len() + 1);
             for gx in my_planes.clone() {
                 for c in dst_cols.clone() {
                     let (y, z) = (c / nz, c % nz);
@@ -403,16 +471,33 @@ pub(crate) fn transpose_forward_impl(
                 }
             }
             packed += block.len() / 2;
+            if abft {
+                seal_block(&mut block);
+            }
             sends.push(block);
         }
         comm.ctx().charge_compute(packed as f64 * cost.conv_point);
+        if abft {
+            // Sealing digests every packed element once more.
+            comm.ctx().charge_compute(packed as f64 * cost.conv_point);
+        }
 
         let recvs = comm.alltoallv(sends);
 
+        let mut faults = 0usize;
         let mut unpacked = 0usize;
         for (s, block) in recvs.iter().enumerate() {
+            let payload = if abft {
+                let (payload, ok) = open_block(block);
+                if !ok {
+                    faults += 1;
+                }
+                payload
+            } else {
+                block.as_slice()
+            };
             let src_planes = decomp.planes(s);
-            let mut it = block.iter();
+            let mut it = payload.iter();
             for gx in src_planes {
                 for c in my_cols.clone() {
                     let re = *it.next().expect("block size matches");
@@ -423,17 +508,24 @@ pub(crate) fn transpose_forward_impl(
             }
         }
         comm.ctx().charge_compute(unpacked as f64 * cost.conv_point);
+        if abft {
+            comm.ctx().charge_compute(unpacked as f64 * cost.conv_point);
+        }
+        faults
     }
 }
 
 /// Shared columns -> slab transpose (also used by the spatial PME).
+/// When `abft` is armed every block carries a trailing checksum;
+/// returns the number of blocks that failed verification.
 pub(crate) fn transpose_backward_impl(
     decomp: &PmeDecomp,
     comm: &mut Comm<'_>,
     cols: &[Complex64],
     slab: &mut [Complex64],
     cost: &CostModel,
-) {
+    abft: bool,
+) -> usize {
     {
         let p = decomp.p;
         let (ny, nz, nx) = (decomp.ny, decomp.nz, decomp.nx);
@@ -447,7 +539,7 @@ pub(crate) fn transpose_backward_impl(
         let mut packed = 0usize;
         for d in 0..p {
             let dst_planes = decomp.planes(d);
-            let mut block = Vec::with_capacity(2 * dst_planes.len() * my_cols.len());
+            let mut block = Vec::with_capacity(2 * dst_planes.len() * my_cols.len() + 1);
             for gx in dst_planes {
                 for c in my_cols.clone() {
                     let v = cols[(c - c0) * nx + gx];
@@ -456,16 +548,32 @@ pub(crate) fn transpose_backward_impl(
                 }
             }
             packed += block.len() / 2;
+            if abft {
+                seal_block(&mut block);
+            }
             sends.push(block);
         }
         comm.ctx().charge_compute(packed as f64 * cost.conv_point);
+        if abft {
+            comm.ctx().charge_compute(packed as f64 * cost.conv_point);
+        }
 
         let recvs = comm.alltoallv(sends);
 
+        let mut faults = 0usize;
         let mut unpacked = 0usize;
         for (s, block) in recvs.iter().enumerate() {
+            let payload = if abft {
+                let (payload, ok) = open_block(block);
+                if !ok {
+                    faults += 1;
+                }
+                payload
+            } else {
+                block.as_slice()
+            };
             let src_cols = decomp.cols(s);
-            let mut it = block.iter();
+            let mut it = payload.iter();
             for gx in my_planes.clone() {
                 for c in src_cols.clone() {
                     let re = *it.next().expect("block size matches");
@@ -477,6 +585,10 @@ pub(crate) fn transpose_backward_impl(
             }
         }
         comm.ctx().charge_compute(unpacked as f64 * cost.conv_point);
+        if abft {
+            comm.ctx().charge_compute(unpacked as f64 * cost.conv_point);
+        }
+        faults
     }
 }
 

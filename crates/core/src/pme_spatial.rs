@@ -209,7 +209,7 @@ impl SpatialPme {
         comm.ctx().charge_compute(fft2d_flops * cost.fft_flop);
 
         let mut cols = vec![Complex64::ZERO; n_cols * nx];
-        crate::pme_par::transpose_forward_impl(&self.decomp, comm, &slab, &mut cols, cost);
+        crate::pme_par::transpose_forward_impl(&self.decomp, comm, &slab, &mut cols, cost, false);
 
         let mut recip_partial = 0.0;
         {
@@ -243,7 +243,14 @@ impl SpatialPme {
         );
 
         let mut slab_phi = vec![Complex64::ZERO; n_planes * plane];
-        crate::pme_par::transpose_backward_impl(&self.decomp, comm, &cols, &mut slab_phi, cost);
+        crate::pme_par::transpose_backward_impl(
+            &self.decomp,
+            comm,
+            &cols,
+            &mut slab_phi,
+            cost,
+            false,
+        );
         if n_planes > 0 {
             let dims = Dims3::new(n_planes, ny, nz);
             transform_axis(
@@ -406,6 +413,7 @@ impl SpatialPme {
             excluded: out[3 * n + 1],
             self_term: out[3 * n + 2],
             forces,
+            abft: None,
         }
     }
 }

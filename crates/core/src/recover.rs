@@ -95,6 +95,72 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// Algorithm-based fault tolerance: physics-invariant checksums that
+/// close the silent-data-corruption gray zone.
+///
+/// When armed, the driver brackets every array the SDC model can
+/// corrupt with bit-exact checks (see `cpc_md::abft`):
+///
+/// * **positions** — every rank redundantly integrates *all* atoms
+///   with element-wise identical arithmetic, so the prediction equals
+///   the published allgather result bit-for-bit; per-tile checksums
+///   after the exchange detect, localize and repair any flipped bit;
+/// * **forces** — per-tile checksums taken when the reduced array is
+///   produced are re-verified before the kick consumes it; a mismatch
+///   triggers a targeted recompute (the flip cursors only advance, so
+///   one re-evaluation is clean), then escalates to rollback;
+/// * **invariants** — Newton's-third-law force sum, the PME
+///   grid-charge identity and per-block transpose checksums catch
+///   corruption inside an evaluation;
+/// * **replica voting** — a compact digest of each rank's replicated
+///   state piggybacks on the existing heartbeat control messages
+///   (modeled at one byte regardless of payload, so control traffic is
+///   unchanged); a strict-majority vote localizes a diverged rank and
+///   feeds the eviction rung of the degradation ladder.
+///
+/// Disarmed (the default) the driver is byte-identical to the
+/// pre-ABFT code path. Armed, fault-free physics stays bit-identical
+/// (every check is a pure side read); only virtual time moves, by the
+/// explicitly charged checksum work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbftConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Atoms per checksum tile (granularity of localization/repair).
+    pub tile: usize,
+    /// Relative tolerance for the Newton force-sum residual over the
+    /// classic (pairwise) forces. Reassociation noise sits many orders
+    /// of magnitude below this; a high-bit flip sits far above.
+    pub force_sum_tol: f64,
+    /// Relative tolerance for the PME grid-charge invariant.
+    pub grid_charge_tol: f64,
+    /// Targeted recomputes granted per step before escalating to the
+    /// rollback rung of the degradation ladder.
+    pub max_recomputes: usize,
+}
+
+impl Default for AbftConfig {
+    fn default() -> Self {
+        AbftConfig {
+            enabled: false,
+            tile: cpc_md::abft::DEFAULT_TILE,
+            force_sum_tol: 1e-6,
+            grid_charge_tol: 1e-8,
+            max_recomputes: 1,
+        }
+    }
+}
+
+impl AbftConfig {
+    /// The default checks, armed.
+    pub fn armed() -> Self {
+        AbftConfig {
+            enabled: true,
+            ..AbftConfig::default()
+        }
+    }
+}
+
 /// Fault-tolerance configuration for a run.
 #[derive(Debug, Clone)]
 pub struct FaultConfig {
@@ -113,6 +179,8 @@ pub struct FaultConfig {
     pub watchdog: WatchdogConfig,
     /// Adaptive failure detection and degraded-mode rebalancing.
     pub recovery: RecoveryConfig,
+    /// Algorithm-based fault tolerance (disarmed by default).
+    pub abft: AbftConfig,
 }
 
 impl Default for FaultConfig {
@@ -123,6 +191,7 @@ impl Default for FaultConfig {
             durable: None,
             watchdog: WatchdogConfig::default(),
             recovery: RecoveryConfig::default(),
+            abft: AbftConfig::default(),
         }
     }
 }
@@ -153,6 +222,13 @@ impl FaultConfig {
     /// Overrides the adaptive-recovery configuration.
     pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
         self.recovery = recovery;
+        self
+    }
+
+    /// Overrides the ABFT configuration (pass
+    /// [`AbftConfig::armed`] to enable the checks).
+    pub fn with_abft(mut self, abft: AbftConfig) -> Self {
+        self.abft = abft;
         self
     }
 }
@@ -207,6 +283,16 @@ pub struct FtReport {
     /// Largest smoothed heartbeat RTT observed by any rank (0 when no
     /// heartbeat RTT was sampled, e.g. single-rank runs).
     pub srtt_max: f64,
+    /// ABFT detections: checksum/invariant/vote mismatches caught
+    /// (maximum over ranks; 0 whenever ABFT is disarmed or the run was
+    /// fault-free).
+    pub abft_detections: usize,
+    /// Targeted ABFT repairs: tile overwrites from the redundant
+    /// integration plus full force re-evaluations (maximum over ranks).
+    pub abft_recomputes: usize,
+    /// Typed corruption verdicts, in detection order, from the rank
+    /// whose physics this report carries.
+    pub corruptions: Vec<cpc_md::abft::Corruption>,
 }
 
 impl FtReport {
@@ -271,13 +357,15 @@ fn make_pme(
     tuning: CommTuning,
     p: usize,
     caps: Option<&[f64]>,
+    abft: bool,
 ) -> Option<PmeEngine> {
     match model {
         EnergyModel::Pme(params) => Some(match pme_impl {
             PmeImpl::Replicated => {
                 let mut engine = ParallelPme::new(params, p)
                     .with_grid_sum(tuning.grid_sum)
-                    .with_force_combine(tuning.force_combine);
+                    .with_force_combine(tuning.force_combine)
+                    .with_abft(abft);
                 if let Some(caps) = caps {
                     engine = engine.with_plane_weights(caps);
                 }
@@ -293,6 +381,53 @@ fn make_pme(
     }
 }
 
+/// ABFT evidence gathered as side reads during one force evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+struct EvalProbe {
+    /// Digest over the combined classic partial energies and forces.
+    classic_digest: u64,
+    /// Newton's-third-law residual over the classic (pairwise) forces.
+    force_sum_residual: f64,
+    /// PME grid-charge residual (0 without PME).
+    grid_residual: f64,
+    /// Corrupted distributed-FFT transpose blocks (0 without PME).
+    transpose_faults: usize,
+}
+
+/// Classifies probe evidence against the armed tolerances.
+fn probe_corruption(
+    probe: &EvalProbe,
+    abft: &AbftConfig,
+    step: u64,
+) -> Option<cpc_md::abft::Corruption> {
+    use cpc_md::abft::{Corruption, CorruptionKind};
+    if probe.transpose_faults > 0 {
+        return Some(Corruption {
+            step,
+            kind: CorruptionKind::Transpose {
+                blocks: probe.transpose_faults,
+            },
+        });
+    }
+    if probe.grid_residual > abft.grid_charge_tol {
+        return Some(Corruption {
+            step,
+            kind: CorruptionKind::PmeGrid {
+                residual: probe.grid_residual,
+            },
+        });
+    }
+    if probe.force_sum_residual > abft.force_sum_tol {
+        return Some(Corruption {
+            step,
+            kind: CorruptionKind::ForceSum {
+                residual: probe.force_sum_residual,
+            },
+        });
+    }
+    None
+}
+
 /// One full force evaluation over the *current* communicator (same
 /// structure as the closure in [`crate::driver::run_parallel_md`], but
 /// a free function so the PME engine can be rebuilt after a shrink).
@@ -306,7 +441,8 @@ fn eval_forces(
     tuning: CommTuning,
     ppme: Option<&PmeEngine>,
     caps: Option<&[f64]>,
-) -> (Vec<Vec3>, f64, f64) {
+    abft: &AbftConfig,
+) -> (Vec<Vec3>, f64, f64, EvalProbe) {
     let p = comm.size();
     comm.ctx().set_phase(Phase::Classic);
     if list.needs_rebuild(&sys.pbox, &sys.positions) {
@@ -324,6 +460,17 @@ fn eval_forces(
         tuning.force_combine,
         caps,
     );
+    let mut probe = EvalProbe::default();
+    if abft.enabled {
+        // Side reads over the reduced array: a digest for replica
+        // voting and the Newton invariant. The pairwise forces cancel
+        // exactly up to reassociation noise; PME interpolation forces
+        // do not, so the invariant is checked on the classic part.
+        comm.ctx()
+            .charge_compute(2.0 * sys.n_atoms() as f64 * cost.conv_point);
+        probe.classic_digest = classic.abft_digest();
+        probe.force_sum_residual = cpc_md::abft::force_sum_residual(&classic.forces);
+    }
     let classic_energy = classic.energy();
     let mut forces = classic.forces;
     let mut pme_energy = 0.0;
@@ -336,9 +483,13 @@ fn eval_forces(
             *f += *kf;
         }
         pme_energy = kr.energy();
+        if let Some(p) = kr.abft {
+            probe.grid_residual = p.grid_residual;
+            probe.transpose_faults = p.transpose_faults;
+        }
         comm.barrier();
     }
-    (forces, classic_energy, pme_energy)
+    (forces, classic_energy, pme_energy, probe)
 }
 
 /// Per-rank payload returned by the fault-tolerant closure.
@@ -356,6 +507,9 @@ struct RankRun {
     evictions: usize,
     phi_max: f64,
     srtt_max: f64,
+    abft_detections: usize,
+    abft_recomputes: usize,
+    corruptions: Vec<cpc_md::abft::Corruption>,
 }
 
 /// Runs the parallel MD measurement under a fault plan, recovering
@@ -401,6 +555,7 @@ pub fn run_parallel_md_faulty(
     let watchdog = fault.watchdog;
     let recovery = fault.recovery;
     let hb_interval = recovery.heartbeat_interval.max(1);
+    let abft = fault.abft;
     let storage_schedule = fault.plan.storage_schedule();
     let sdc_schedule = fault.plan.sdc_schedule();
 
@@ -439,6 +594,9 @@ pub fn run_parallel_md_faulty(
                 evicted_ranks: Vec::new(),
                 phi_max: 0.0,
                 srtt_max: 0.0,
+                abft_detections: 0,
+                abft_recomputes: 0,
+                corruptions: Vec::new(),
             });
         }
     }
@@ -453,7 +611,7 @@ pub fn run_parallel_md_faulty(
         let cost = ctx.config().cost;
         let mut comm = Comm::new(ctx, middleware);
         let mut sys = system.clone();
-        let mut ppme = make_pme(model, pme_impl, tuning, comm.size(), None);
+        let mut ppme = make_pme(model, pme_impl, tuning, comm.size(), None, abft.enabled);
 
         // Adaptive-degradation state. The detector is indexed by engine
         // rank (stable across shrinks) and replicated by construction:
@@ -496,6 +654,14 @@ pub fn run_parallel_md_faulty(
         let mut next_sdc_pos = 0usize;
         let mut next_sdc_frc = 0usize;
         let mut sdc_fired = 0usize;
+
+        // ABFT bookkeeping: typed verdicts, counters, and the digest of
+        // the previous step's replicated state that piggybacks on the
+        // next heartbeat (negative sentinel = no digest yet).
+        let mut abft_detections = 0usize;
+        let mut abft_recomputes = 0usize;
+        let mut corruptions: Vec<cpc_md::abft::Corruption> = Vec::new();
+        let mut last_digest = -1.0f64;
 
         // Resume happens before the first neighbour-list build so the
         // list is built from the restored coordinates. Every rank reads
@@ -548,7 +714,7 @@ pub fn run_parallel_md_faulty(
             comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
             resumed_from = Some(gen);
         } else {
-            let (f, _, _) = eval_forces(
+            let (f, _, _, _) = eval_forces(
                 &mut comm,
                 &sys,
                 &mut list,
@@ -557,6 +723,7 @@ pub fn run_parallel_md_faulty(
                 tuning,
                 ppme.as_ref(),
                 None,
+                &abft,
             );
             forces = f;
 
@@ -606,7 +773,32 @@ pub fn run_parallel_md_faulty(
             comm.ctx().set_phase(Phase::Other);
             if step.is_multiple_of(hb_interval) {
                 comm.ctx().poll_crash();
-                let dead = comm.heartbeat_observed(&mut det, last_unit_cost);
+                let (mut dead, votes) =
+                    comm.heartbeat_observed_with(&mut det, last_unit_cost, last_digest);
+                // Replica vote over the digests piggybacked this epoch:
+                // each summarizes the sender's previous-step replicated
+                // state. A strict-majority disagreement localizes the
+                // diverged rank, which is then handled exactly like a
+                // failed member (every rank reaches the same verdict
+                // from the same replicated ballots, including the
+                // minority rank itself, which leaves gracefully).
+                if abft.enabled && dead.is_empty() && votes.len() >= 3 {
+                    let ballots: Vec<(usize, u64)> =
+                        votes.iter().map(|&(r, d)| (r, d as u64)).collect();
+                    if let Some(bad) = cpc_md::abft::vote(&ballots) {
+                        abft_detections += 1;
+                        corruptions.push(cpc_md::abft::Corruption {
+                            step: step as u64,
+                            kind: cpc_md::abft::CorruptionKind::Replica { rank: bad },
+                        });
+                        if bad == comm.global_rank() {
+                            evicted = true;
+                            break;
+                        }
+                        det.forget(bad);
+                        dead.push(bad);
+                    }
+                }
                 if !dead.is_empty() {
                     // Recovery: agree on membership, roll back, rebuild.
                     comm.ctx().set_phase(Phase::Recovery);
@@ -630,7 +822,7 @@ pub fn run_parallel_md_faulty(
                     // slab-partitioned PME state must be rebuilt for
                     // the surviving ranks.
                     caps = None;
-                    ppme = make_pme(model, pme_impl, tuning, comm.size(), None);
+                    ppme = make_pme(model, pme_impl, tuning, comm.size(), None, abft.enabled);
                     if list.needs_rebuild(&sys.pbox, &sys.positions) {
                         list.rebuild(&sys.topology, &sys.pbox, &sys.positions);
                         let rebuild_cost = list.pairs.len() as f64 * 2.5 * cost.list_build_pair
@@ -656,6 +848,27 @@ pub fn run_parallel_md_faulty(
             comm.ctx().set_phase(Phase::Integrate);
             let n = sys.n_atoms();
             let my_atoms = crate::decomp::block_range(n, p, comm.rank());
+
+            // ABFT redundant integration: predict the post-drift
+            // positions of *all* atoms from the replicated prior state
+            // with element-wise identical arithmetic, so the prediction
+            // is bit-exact equal to what the owners publish below.
+            // Verified against per-tile checksums after the exchange
+            // (and after any scheduled corruption lands), it both
+            // detects a flipped bit and doubles as the repair source.
+            let abft_pred: Vec<Vec3> = if abft.enabled {
+                comm.ctx().charge_compute(n as f64 * cost.integrate_atom);
+                (0..n)
+                    .map(|i| {
+                        let inv_m = ACCEL_CONV / sys.topology.atoms[i].class.mass();
+                        let v_half = sys.velocities[i] + forces[i] * (0.5 * dt * inv_m);
+                        sys.positions[i] + v_half * dt
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+
             for i in my_atoms.clone() {
                 let inv_m = ACCEL_CONV / sys.topology.atoms[i].class.mass();
                 let v_half = sys.velocities[i] + forces[i] * (0.5 * dt * inv_m);
@@ -692,7 +905,32 @@ pub fn run_parallel_md_faulty(
                 sdc_fired += 1;
             }
 
-            let (new_forces, e_classic, e_pme) = eval_forces(
+            // ABFT position bracket: the published array must match the
+            // redundant integration bit-for-bit. A mismatching tile is
+            // detected, localized and repaired in place from the
+            // prediction before anything consumes the corrupted value,
+            // so the trajectory continues bit-identical to fault-free.
+            let mut abft_escalate = false;
+            if abft.enabled {
+                comm.ctx().charge_compute(2.0 * n as f64 * cost.conv_point);
+                let want = cpc_md::abft::tile_digests(&abft_pred, abft.tile);
+                let got = cpc_md::abft::tile_digests(&sys.positions, abft.tile);
+                for t in cpc_md::abft::mismatched_tiles(&want, &got) {
+                    abft_detections += 1;
+                    abft_recomputes += 1;
+                    corruptions.push(cpc_md::abft::Corruption {
+                        step: computing,
+                        kind: cpc_md::abft::CorruptionKind::Positions { tile: t },
+                    });
+                    let lo = t * abft.tile.max(1);
+                    let hi = (lo + abft.tile.max(1)).min(n);
+                    sys.positions[lo..hi].copy_from_slice(&abft_pred[lo..hi]);
+                    comm.ctx()
+                        .charge_compute((hi - lo) as f64 * cost.integrate_atom);
+                }
+            }
+
+            let (mut new_forces, mut e_classic, mut e_pme, mut probe) = eval_forces(
                 &mut comm,
                 &sys,
                 &mut list,
@@ -701,7 +939,48 @@ pub fn run_parallel_md_faulty(
                 tuning,
                 ppme.as_ref(),
                 caps.as_deref(),
+                &abft,
             );
+
+            // ABFT in-evaluation invariants (Newton force sum, PME grid
+            // charge, transpose block checksums): a violation means the
+            // evaluation itself computed garbage, so the targeted
+            // recompute is a full re-evaluation, escalating to the
+            // rollback rung when the budget is exhausted.
+            if abft.enabled {
+                let mut attempts = 0usize;
+                while let Some(c) = probe_corruption(&probe, &abft, computing) {
+                    abft_detections += 1;
+                    corruptions.push(c);
+                    if attempts >= abft.max_recomputes {
+                        abft_escalate = true;
+                        break;
+                    }
+                    attempts += 1;
+                    abft_recomputes += 1;
+                    (new_forces, e_classic, e_pme, probe) = eval_forces(
+                        &mut comm,
+                        &sys,
+                        &mut list,
+                        &opts,
+                        &cost,
+                        tuning,
+                        ppme.as_ref(),
+                        caps.as_deref(),
+                        &abft,
+                    );
+                }
+            }
+
+            // ABFT force bracket: digest the reduced array at
+            // production; verified below, after the corruption window,
+            // right before the kick consumes it.
+            let abft_force_digests = if abft.enabled {
+                comm.ctx().charge_compute(n as f64 * cost.conv_point);
+                cpc_md::abft::tile_digests(&new_forces, abft.tile)
+            } else {
+                Vec::new()
+            };
             forces = new_forces;
 
             // Force corruption strikes the freshly evaluated array
@@ -712,6 +991,49 @@ pub fn run_parallel_md_faulty(
                 cpc_md::sdc::flip_vec3_bit(&mut forces, s.atom, s.axis, s.bit);
                 next_sdc_frc += 1;
                 sdc_fired += 1;
+            }
+
+            // Consumption-time verification of the force bracket. On a
+            // mismatch every rank re-evaluates once — the flip cursors
+            // only advance, so the recompute reproduces the recorded
+            // production digests bit-exactly; anything else escalates
+            // to the rollback rung of the degradation ladder.
+            if abft.enabled {
+                comm.ctx().charge_compute(n as f64 * cost.conv_point);
+                let got = cpc_md::abft::tile_digests(&forces, abft.tile);
+                let bad = cpc_md::abft::mismatched_tiles(&abft_force_digests, &got);
+                if !bad.is_empty() {
+                    for &t in &bad {
+                        abft_detections += 1;
+                        corruptions.push(cpc_md::abft::Corruption {
+                            step: computing,
+                            kind: cpc_md::abft::CorruptionKind::Forces { tile: t },
+                        });
+                    }
+                    abft_recomputes += 1;
+                    let (rf, rc, rp, rprobe) = eval_forces(
+                        &mut comm,
+                        &sys,
+                        &mut list,
+                        &opts,
+                        &cost,
+                        tuning,
+                        ppme.as_ref(),
+                        caps.as_deref(),
+                        &abft,
+                    );
+                    let again = cpc_md::abft::tile_digests(&rf, abft.tile);
+                    if cpc_md::abft::mismatched_tiles(&abft_force_digests, &again).is_empty()
+                        && probe_corruption(&rprobe, &abft, computing).is_none()
+                    {
+                        forces = rf;
+                        e_classic = rc;
+                        e_pme = rp;
+                        probe = rprobe;
+                    } else {
+                        abft_escalate = true;
+                    }
+                }
             }
 
             comm.ctx().set_phase(Phase::Integrate);
@@ -740,6 +1062,20 @@ pub fn run_parallel_md_faulty(
             });
             step += 1;
 
+            // Compact digest of this step's replicated state, exchanged
+            // with the next heartbeat for the cross-rank replica vote.
+            // Masked to 52 bits so it rides an f64 control payload
+            // exactly.
+            if abft.enabled {
+                comm.ctx().charge_compute(n as f64 * cost.conv_point);
+                let step_digest = cpc_md::abft::combine_digests(&[
+                    probe.classic_digest,
+                    cpc_md::abft::vec3_digest(&forces),
+                    cpc_md::abft::scalar_digest(&[e_classic, e_pme]),
+                ]);
+                last_digest = (step_digest & cpc_md::abft::DIGEST_MASK) as f64;
+            }
+
             // Per-unit cost measurement for the next heartbeat report:
             // this rank's compute seconds over the step, normalized by
             // its pair share. The per-unit cost is invariant under the
@@ -763,7 +1099,8 @@ pub fn run_parallel_md_faulty(
             if e_ref.is_none() && e_total.is_finite() {
                 e_ref = Some(e_total);
             }
-            let blown_up = !e_total.is_finite()
+            let blown_up = abft_escalate
+                || !e_total.is_finite()
                 || sys
                     .positions
                     .iter()
@@ -835,7 +1172,7 @@ pub fn run_parallel_md_faulty(
                     comm.shrink(&[victim]);
                     det.forget(victim);
                     caps = None;
-                    ppme = make_pme(model, pme_impl, tuning, comm.size(), None);
+                    ppme = make_pme(model, pme_impl, tuning, comm.size(), None, abft.enabled);
                     comm.ctx().charge_compute(CKPT_BYTE_COST * ckpt.bytes());
                     let _ = comm.try_barrier();
                 } else if recovery.rebalance {
@@ -858,7 +1195,14 @@ pub fn run_parallel_md_faulty(
                         };
                         if fire {
                             rebalances += 1;
-                            ppme = make_pme(model, pme_impl, tuning, comm.size(), Some(&want));
+                            ppme = make_pme(
+                                model,
+                                pme_impl,
+                                tuning,
+                                comm.size(),
+                                Some(&want),
+                                abft.enabled,
+                            );
                             caps = Some(want);
                         }
                     }
@@ -897,6 +1241,9 @@ pub fn run_parallel_md_faulty(
             evictions,
             phi_max: det.phi_max(),
             srtt_max: det.srtt_max().unwrap_or(0.0),
+            abft_detections,
+            abft_recomputes,
+            corruptions,
         }
     })?;
 
@@ -933,6 +1280,9 @@ pub fn run_parallel_md_faulty(
     let mut evictions = 0usize;
     let mut phi_max = 0.0f64;
     let mut srtt_max = 0.0f64;
+    let mut abft_detections = 0usize;
+    let mut abft_recomputes = 0usize;
+    let mut corruptions: Vec<cpc_md::abft::Corruption> = Vec::new();
     for o in &outcomes {
         if let Some(r) = &o.result {
             recoveries = recoveries.max(r.recoveries);
@@ -943,6 +1293,8 @@ pub fn run_parallel_md_faulty(
             evictions = evictions.max(r.evictions);
             phi_max = phi_max.max(r.phi_max);
             srtt_max = srtt_max.max(r.srtt_max);
+            abft_detections = abft_detections.max(r.abft_detections);
+            abft_recomputes = abft_recomputes.max(r.abft_recomputes);
             if resumed_from.is_none() {
                 resumed_from = r.resumed_from;
             }
@@ -952,6 +1304,7 @@ pub fn run_parallel_md_faulty(
                 step_energies = r.energies.clone();
                 final_positions = r.positions.clone();
                 final_velocities = r.velocities.clone();
+                corruptions = r.corruptions.clone();
             }
         }
     }
@@ -984,6 +1337,9 @@ pub fn run_parallel_md_faulty(
         evicted_ranks,
         phi_max,
         srtt_max,
+        abft_detections,
+        abft_recomputes,
+        corruptions,
     })
 }
 
@@ -1030,6 +1386,140 @@ mod tests {
         // Heartbeats change timing, never physics: bit-identical state.
         assert_eq!(ft.report.final_positions, plain.final_positions);
         assert_eq!(ft.report.final_velocities, plain.final_velocities);
+    }
+
+    #[test]
+    fn armed_abft_fault_free_is_bit_identical_with_zero_verdicts() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 3);
+        let plain = run_parallel_md(&sys, &cfg);
+        let armed = FaultConfig::default().with_abft(AbftConfig::armed());
+        let ft = run_parallel_md_faulty(&sys, &cfg, &armed).unwrap();
+        assert!(ft.completed);
+        assert_eq!(ft.abft_detections, 0, "no false positives");
+        assert_eq!(ft.abft_recomputes, 0);
+        assert!(ft.corruptions.is_empty());
+        // Every check is a pure side read: armed physics is
+        // bit-identical to the plain driver, only timing moves.
+        assert_eq!(ft.report.final_positions, plain.final_positions);
+        assert_eq!(ft.report.final_velocities, plain.final_velocities);
+        for (a, b) in ft.report.step_energies.iter().zip(&plain.step_energies) {
+            assert_eq!(a.classic.to_bits(), b.classic.to_bits());
+            assert_eq!(a.kinetic.to_bits(), b.kinetic.to_bits());
+        }
+    }
+
+    #[test]
+    fn abft_repairs_gray_position_flip_bit_exactly() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 4);
+        let armed = AbftConfig::armed();
+        let golden =
+            run_parallel_md_faulty(&sys, &cfg, &FaultConfig::default().with_abft(armed)).unwrap();
+        // Bit 40 on a position coordinate: the gray zone PR 3 could
+        // neither detect (too small for the watchdog) nor ignore (far
+        // above benign tolerance).
+        let plan = FaultPlan::none().with_sdc(SdcFault {
+            step: 2,
+            target: SdcTarget::Positions,
+            atom: 5,
+            axis: 1,
+            bit: 40,
+        });
+        let ft =
+            run_parallel_md_faulty(&sys, &cfg, &FaultConfig::new(plan).with_abft(armed)).unwrap();
+        assert!(ft.completed);
+        assert_eq!(ft.sdc_events, 1, "the flip fired");
+        assert_eq!(ft.abft_detections, 1, "and was caught");
+        assert_eq!(ft.abft_recomputes, 1, "and repaired in place");
+        assert_eq!(ft.watchdog_trips, 0, "before the watchdog ever saw it");
+        assert_eq!(ft.corruptions.len(), 1);
+        assert!(matches!(
+            ft.corruptions[0].kind,
+            cpc_md::abft::CorruptionKind::Positions { .. }
+        ));
+        // The repair restores the exact clean value: the trajectory is
+        // bit-identical to the fault-free armed run.
+        assert_eq!(ft.report.final_positions, golden.report.final_positions);
+        assert_eq!(ft.report.final_velocities, golden.report.final_velocities);
+    }
+
+    #[test]
+    fn abft_catches_force_flip_and_recomputes_bit_exactly() {
+        let sys = test_system();
+        let cfg = test_cfg(3, 4);
+        let armed = AbftConfig::armed();
+        let golden =
+            run_parallel_md_faulty(&sys, &cfg, &FaultConfig::default().with_abft(armed)).unwrap();
+        let plan = FaultPlan::none().with_sdc(SdcFault {
+            step: 3,
+            target: SdcTarget::Forces,
+            atom: 11,
+            axis: 2,
+            bit: 55,
+        });
+        let ft =
+            run_parallel_md_faulty(&sys, &cfg, &FaultConfig::new(plan).with_abft(armed)).unwrap();
+        assert!(ft.completed);
+        assert_eq!(ft.sdc_events, 1);
+        assert_eq!(ft.abft_detections, 1);
+        assert!(ft.abft_recomputes >= 1, "targeted re-evaluation ran");
+        assert_eq!(ft.watchdog_trips, 0);
+        assert_eq!(ft.report.final_positions, golden.report.final_positions);
+        assert_eq!(ft.report.final_velocities, golden.report.final_velocities);
+    }
+
+    #[test]
+    fn disarmed_gray_flip_stays_silent_the_pr3_status_quo() {
+        // Without ABFT the same flip corrupts the trajectory without
+        // tripping anything — the gray zone this subsystem closes.
+        let sys = test_system();
+        let cfg = test_cfg(3, 4);
+        let golden = run_parallel_md_faulty(&sys, &cfg, &FaultConfig::default()).unwrap();
+        let plan = FaultPlan::none().with_sdc(SdcFault {
+            step: 2,
+            target: SdcTarget::Positions,
+            atom: 5,
+            axis: 1,
+            bit: 40,
+        });
+        let ft = run_parallel_md_faulty(&sys, &cfg, &FaultConfig::new(plan)).unwrap();
+        assert!(ft.completed);
+        assert_eq!(ft.sdc_events, 1);
+        assert_eq!(ft.abft_detections, 0);
+        assert_eq!(ft.watchdog_trips, 0, "too small for the watchdog");
+        assert_ne!(
+            ft.report.final_positions, golden.report.final_positions,
+            "yet the trajectory silently diverged"
+        );
+    }
+
+    #[test]
+    fn armed_abft_pme_invariants_hold_fault_free() {
+        use cpc_fft::Dims3;
+        use cpc_md::pme::PmeParams;
+        let sys = test_system();
+        let cfg = MdConfig {
+            steps: 2,
+            ..MdConfig::paper_protocol(
+                EnergyModel::Pme(PmeParams {
+                    grid: Dims3::new(16, 16, 16),
+                    order: 4,
+                    beta: 0.34,
+                }),
+                Middleware::Mpi,
+                ClusterConfig::uni(3, NetworkKind::ScoreGigE),
+            )
+        };
+        let plain = run_parallel_md(&sys, &cfg);
+        let armed = FaultConfig::default().with_abft(AbftConfig::armed());
+        let ft = run_parallel_md_faulty(&sys, &cfg, &armed).unwrap();
+        assert!(ft.completed);
+        assert_eq!(
+            ft.abft_detections, 0,
+            "grid/transpose/Newton invariants stay silent on clean runs"
+        );
+        assert_eq!(ft.report.final_positions, plain.final_positions);
     }
 
     /// A system big enough for compute to dominate communication: on

@@ -28,6 +28,11 @@ impl BondedEnergies {
     pub fn total(&self) -> f64 {
         self.bond + self.angle + self.dihedral + self.improper
     }
+
+    /// Bit-exact ABFT digest of the partial energies (see [`crate::abft`]).
+    pub fn abft_digest(&self) -> u64 {
+        crate::abft::scalar_digest(&[self.bond, self.angle, self.dihedral, self.improper])
+    }
 }
 
 /// Evaluates every bonded term of `topo` at `positions`, accumulating

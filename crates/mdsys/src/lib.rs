@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod abft;
 pub mod bonded;
 pub mod builder;
 pub mod constraints;

@@ -73,6 +73,11 @@ impl NonbondedEnergies {
     pub fn total(&self) -> f64 {
         self.vdw + self.elec
     }
+
+    /// Bit-exact ABFT digest of the partial energies (see [`crate::abft`]).
+    pub fn abft_digest(&self) -> u64 {
+        crate::abft::scalar_digest(&[self.vdw, self.elec])
+    }
 }
 
 /// CHARMM switching function and derivative on `[ron, roff]`.

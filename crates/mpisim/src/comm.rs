@@ -212,11 +212,39 @@ impl<'a> Comm<'a> {
     /// [`heartbeat`](Comm::heartbeat) does; dead peers are
     /// [forgotten](FailureDetector::forget) by the detector.
     pub fn heartbeat_observed(&mut self, det: &mut FailureDetector, report: f64) -> Vec<usize> {
+        self.heartbeat_observed_with(det, report, -1.0).0
+    }
+
+    /// Liveness exchange that additionally piggybacks an ABFT replica
+    /// `digest` on the same heartbeat control messages.
+    ///
+    /// `digest` must be a non-negative integer below 2^53 rendered as
+    /// `f64` (see `cpc_md::abft::DIGEST_MASK`), or a negative sentinel
+    /// when the caller has no digest to contribute. Control messages
+    /// are modeled at one byte regardless of payload, so piggybacking
+    /// the digest keeps control traffic, timing and RNG draws exactly
+    /// identical to the plain heartbeat.
+    ///
+    /// Returns `(dead, votes)`: `dead` exactly as
+    /// [`heartbeat_observed`](Comm::heartbeat_observed), and `votes`
+    /// the `(engine_rank, digest)` pairs collected this epoch —
+    /// including the caller's own — sorted by rank and omitting
+    /// sentinel entries, ready for `cpc_md::abft::vote`.
+    pub fn heartbeat_observed_with(
+        &mut self,
+        det: &mut FailureDetector,
+        report: f64,
+        digest: f64,
+    ) -> (Vec<usize>, Vec<(usize, f64)>) {
         let p = self.size();
         let tag = self.next_epoch(op::HEARTBEAT);
         det.report(self.global_rank(), report);
+        let mut votes = Vec::new();
+        if digest >= 0.0 {
+            votes.push((self.global_rank(), digest));
+        }
         if p == 1 {
-            return Vec::new();
+            return (Vec::new(), votes);
         }
         let shape = OpShape::new(1, p);
         for d in 0..p {
@@ -225,7 +253,7 @@ impl<'a> Comm<'a> {
             }
             let dst = self.g(d);
             self.ctx
-                .send(dst, tag, vec![report], MsgClass::Control, shape);
+                .send(dst, tag, vec![report, digest], MsgClass::Control, shape);
         }
         let mut dead = Vec::new();
         for s in 0..p {
@@ -238,6 +266,11 @@ impl<'a> Comm<'a> {
                     if let Some(&r) = m.data.first() {
                         det.report(src, r);
                     }
+                    if let Some(&d) = m.data.get(1) {
+                        if d >= 0.0 {
+                            votes.push((src, d));
+                        }
+                    }
                     det.observe_rtt(src, m.arrival - m.departure);
                 }
                 Err(CommError::PeerDead { peer, .. }) => {
@@ -247,7 +280,8 @@ impl<'a> Comm<'a> {
                 Err(_) => {}
             }
         }
-        dead
+        votes.sort_by_key(|&(r, _)| r);
+        (dead, votes)
     }
 
     /// Blocking user-level send.

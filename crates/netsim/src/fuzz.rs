@@ -16,14 +16,20 @@
 //! * the transport never gives up (`max_retransmits` stays `None`), so
 //!   collectives built on infallible receives cannot deadlock;
 //! * crashes always leave at least one survivor;
-//! * SDC bit flips are drawn from two classes only — *benign*
-//!   (low mantissa bits, relative error below ~1e-10) and *detectable*
-//!   (the top exponent bit of a position, which teleports an atom by at
-//!   least 2 Å or blows the coordinate up entirely) — never from the
-//!   gray zone between them where silence is physically plausible.
+//! * SDC bit flips are drawn from three classes — *benign* (low
+//!   mantissa bits, relative error below ~1e-10), *detectable* (the
+//!   top exponent bit of a position, which teleports an atom by at
+//!   least 2 Å or blows the coordinate up entirely), and
+//!   *undetectable* (every bit in the gray zone between them, where
+//!   the perturbation is too small for the numerical watchdog yet far
+//!   above round-off). The gray zone was excluded from sampling until
+//!   the ABFT layer (`cpc-charmm::recover`, `AbftConfig`) existed to
+//!   catch it; an armed campaign now asserts that every sampled gray
+//!   flip is detected and repaired.
 //!
 //! Known-unsurvivable plans (the "planted bugs" that validate the
-//! oracles and the minimizer) are constructed by hand, not sampled.
+//! oracles and the minimizer) are constructed by hand or scanned out
+//! of the sampled stream, not special-cased.
 
 use crate::faults::{
     FaultPlan, LinkDegradation, SdcFault, SdcTarget, StorageFaultKind, DEFAULT_WATCHDOG_TIMEOUT,
@@ -62,6 +68,33 @@ pub const BENIGN_MAX_BIT: u8 = 16;
 /// kind of schedule that belongs in a hand-planted reproducer, not the
 /// survivable sample space).
 pub const DETECTABLE_BIT: u8 = 62;
+
+/// The three silent-data-corruption classes [`FaultSpace::sample`]
+/// draws from, recovered from a sampled fault by [`sdc_class`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdcClass {
+    /// Low mantissa bits (`<=` [`BENIGN_MAX_BIT`]): relative error
+    /// below ~6e-11, physically indistinguishable from round-off.
+    Benign,
+    /// [`DETECTABLE_BIT`] on a position: guaranteed to trip the
+    /// numerical watchdog on the same step.
+    Detectable,
+    /// Everything in between — large enough to corrupt the physics,
+    /// too small for the watchdog. Only the ABFT checksums catch it.
+    Undetectable,
+}
+
+/// Classifies a fault into the class [`FaultSpace::sample`] drew it
+/// from (the classification is total: hand-built faults classify too).
+pub fn sdc_class(fault: &SdcFault) -> SdcClass {
+    if fault.bit <= BENIGN_MAX_BIT {
+        SdcClass::Benign
+    } else if fault.bit == DETECTABLE_BIT && fault.target == SdcTarget::Positions {
+        SdcClass::Detectable
+    } else {
+        SdcClass::Undetectable
+    }
+}
 
 /// The envelope a chaos campaign samples fault schedules from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -166,25 +199,46 @@ impl FaultSpace {
             plan = plan.with_storage_fault(at, kind);
         }
 
-        // Up to two SDC flips, each either benign or detectable. The
+        // Up to two SDC flips drawn evenly from the three classes. The
         // detectable class is positions-only at DETECTABLE_BIT (see its
         // doc for the guarantee); the benign class may hit either
-        // array's low mantissa bits.
+        // array's low mantissa bits; the undetectable class covers the
+        // whole gray zone in between (plus the sign bit) on either
+        // array — the flips only the ABFT checksums can catch.
         for _ in 0..self.choose(&mut rng, 3) {
-            let detectable = self.steps >= 2 && rng.next_f64() >= 0.5;
-            let (target, bit) = if detectable {
-                (SdcTarget::Positions, DETECTABLE_BIT)
-            } else {
-                let target = if rng.next_u64().is_multiple_of(2) {
-                    SdcTarget::Positions
-                } else {
-                    SdcTarget::Forces
-                };
-                (target, (rng.next_u64() % (BENIGN_MAX_BIT as u64 + 1)) as u8)
+            let class = match rng.next_u64() % 3 {
+                1 if self.steps >= 2 => SdcClass::Detectable,
+                0 | 1 => SdcClass::Benign,
+                _ => SdcClass::Undetectable,
+            };
+            let (target, bit) = match class {
+                SdcClass::Detectable => (SdcTarget::Positions, DETECTABLE_BIT),
+                SdcClass::Benign => {
+                    let target = if rng.next_u64().is_multiple_of(2) {
+                        SdcTarget::Positions
+                    } else {
+                        SdcTarget::Forces
+                    };
+                    (target, (rng.next_u64() % (BENIGN_MAX_BIT as u64 + 1)) as u8)
+                }
+                SdcClass::Undetectable => {
+                    if rng.next_u64().is_multiple_of(2) {
+                        // Positions: 17..=61 plus the sign bit (62 is
+                        // the detectable class, not this one).
+                        let bit = 17 + (rng.next_u64() % 46) as u8;
+                        let bit = if bit == DETECTABLE_BIT { 63 } else { bit };
+                        (SdcTarget::Positions, bit)
+                    } else {
+                        // Forces: every high bit is gray — even an
+                        // exponent collapse only perturbs one
+                        // half-kick (see DETECTABLE_BIT).
+                        (SdcTarget::Forces, 17 + (rng.next_u64() % 47) as u8)
+                    }
+                }
             };
             // Detectable flips start at step 2: the watchdog needs one
             // clean step for its energy reference (see DETECTABLE_BIT).
-            let step = if detectable {
+            let step = if class == SdcClass::Detectable {
                 2 + rng.next_u64() % (self.steps - 1)
             } else {
                 1 + rng.next_u64() % self.steps.max(1)
@@ -257,17 +311,27 @@ mod tests {
                 );
             }
             for sdc in &plan.sdc {
-                assert!(
-                    sdc.bit <= BENIGN_MAX_BIT
-                        || (sdc.bit == DETECTABLE_BIT && sdc.target == SdcTarget::Positions),
-                    "SDC {sdc:?} is in the undetectable gray zone"
-                );
+                assert!(sdc.bit <= 63, "SDC {sdc:?} flips a real f64 bit");
                 assert!((1..=s.steps).contains(&sdc.step));
-                if sdc.bit == DETECTABLE_BIT {
-                    assert!(
-                        sdc.step >= 2,
-                        "detectable flips need a clean reference step: {sdc:?}"
-                    );
+                match sdc_class(sdc) {
+                    SdcClass::Benign => assert!(sdc.bit <= BENIGN_MAX_BIT),
+                    SdcClass::Detectable => {
+                        assert_eq!(sdc.target, SdcTarget::Positions);
+                        assert!(
+                            sdc.step >= 2,
+                            "detectable flips need a clean reference step: {sdc:?}"
+                        );
+                    }
+                    SdcClass::Undetectable => {
+                        // Gray flips never collide with the detectable
+                        // class: position bit 62 always classifies as
+                        // Detectable, so the sampler must avoid it.
+                        assert!(sdc.bit > BENIGN_MAX_BIT);
+                        assert!(
+                            sdc.target == SdcTarget::Forces || sdc.bit != DETECTABLE_BIT,
+                            "gray position flip drew the detectable bit: {sdc:?}"
+                        );
+                    }
                 }
             }
         }
@@ -307,5 +371,52 @@ mod tests {
                 .any(|p| p.sdc.iter().any(|f| f.bit <= BENIGN_MAX_BIT)),
             "benign SDC class is sampled"
         );
+        let gray: Vec<&SdcFault> = plans
+            .iter()
+            .flat_map(|p| &p.sdc)
+            .filter(|f| sdc_class(f) == SdcClass::Undetectable)
+            .collect();
+        assert!(!gray.is_empty(), "undetectable SDC class is sampled");
+        assert!(
+            gray.iter().any(|f| f.target == SdcTarget::Positions)
+                && gray.iter().any(|f| f.target == SdcTarget::Forces),
+            "gray flips hit both arrays"
+        );
+    }
+
+    #[test]
+    fn sdc_classification_is_total_and_matches_the_constants() {
+        let f = |target, bit| SdcFault {
+            step: 1,
+            target,
+            atom: 0,
+            axis: 0,
+            bit,
+        };
+        assert_eq!(sdc_class(&f(SdcTarget::Forces, 0)), SdcClass::Benign);
+        assert_eq!(
+            sdc_class(&f(SdcTarget::Positions, BENIGN_MAX_BIT)),
+            SdcClass::Benign
+        );
+        assert_eq!(
+            sdc_class(&f(SdcTarget::Positions, DETECTABLE_BIT)),
+            SdcClass::Detectable
+        );
+        // Bit 62 on a *force* is gray: the detectable guarantee only
+        // holds for positions.
+        assert_eq!(
+            sdc_class(&f(SdcTarget::Forces, DETECTABLE_BIT)),
+            SdcClass::Undetectable
+        );
+        for bit in (BENIGN_MAX_BIT + 1)..=63 {
+            if bit == DETECTABLE_BIT {
+                continue;
+            }
+            assert_eq!(
+                sdc_class(&f(SdcTarget::Positions, bit)),
+                SdcClass::Undetectable,
+                "bit {bit}"
+            );
+        }
     }
 }

@@ -59,7 +59,7 @@ pub use faults::{
     FaultPlan, LinkDegradation, LinkFault, RankCrash, SdcFault, SdcTarget, StorageFault,
     StorageFaultKind, Straggler,
 };
-pub use fuzz::FaultSpace;
+pub use fuzz::{sdc_class, FaultSpace, SdcClass};
 pub use netmodel::{
     FaultyTransfer, NetworkKind, NetworkParams, OpShape, TransferCtx, TransferTime,
 };

@@ -5,9 +5,10 @@
 
 use cpc::prelude::*;
 use cpc_charmm::chaos::{flatten, ChaosHarness, Reproducer, Violation};
+use cpc_charmm::recover::{AbftConfig, RecoveryConfig};
 use cpc_cluster::{FaultPlan, FaultSpace, LinkDegradation, SdcFault, SdcTarget};
 
-fn harness(tag: &str, ranks: usize, steps: usize) -> ChaosHarness {
+fn harness_with(tag: &str, ranks: usize, steps: usize, abft: AbftConfig) -> ChaosHarness {
     let mut sys = cpc_md::builder::water_box(2, 3.1);
     cpc_md::minimize::minimize(&mut sys, EnergyModel::Classic, 40);
     sys.assign_velocities(150.0, 3);
@@ -18,7 +19,12 @@ fn harness(tag: &str, ranks: usize, steps: usize) -> ChaosHarness {
     };
     let dir = std::env::temp_dir().join(format!("cpc-chaos-e2e-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    ChaosHarness::new(sys, cfg, dir).unwrap()
+    ChaosHarness::with_options(sys, cfg, dir, RecoveryConfig::default(), abft).unwrap()
+}
+
+/// The default harness: ABFT checksums armed, as the engine ships.
+fn harness(tag: &str, ranks: usize, steps: usize) -> ChaosHarness {
+    harness_with(tag, ranks, steps, AbftConfig::armed())
 }
 
 #[test]
@@ -42,11 +48,14 @@ fn sampled_schedules_uphold_every_oracle_deterministically() {
 
 #[test]
 fn planted_bad_schedule_is_caught_and_minimized_to_replayable_reproducer() {
-    let h = harness("planted", 4, 8);
+    // ABFT disarmed: the planted gray flip must reach the final state
+    // unrepaired for the deviation oracle (and the minimizer built on
+    // it) to have something to catch — this validates the oracles
+    // against the pre-ABFT engine.
+    let h = harness_with("planted", 4, 8, AbftConfig::default());
     // The planted bug: a gray-zone SDC flip — mid-mantissa, far above
     // the benign bound, invisible to the numerical watchdog — buried
-    // among harmless noise events. The fuzzer never samples this zone,
-    // which is exactly why it validates the oracles.
+    // among harmless noise events.
     let wall = h.golden_wall();
     let plan = FaultPlan::none()
         .with_loss(0.05)
@@ -90,10 +99,9 @@ fn planted_bad_schedule_is_caught_and_minimized_to_replayable_reproducer() {
 
 #[test]
 fn detectable_sdc_recovers_bit_identically_through_the_oracles() {
-    let h = harness("detectable", 3, 4);
     // The fuzzer's detectable class: top exponent bit of a position at
-    // step >= 2. The watchdog must catch it, roll back, and end
-    // bit-identical to golden — deviation exactly zero.
+    // step >= 2. Disarmed, the numerical watchdog must catch it, roll
+    // back, and end bit-identical to golden — deviation exactly zero.
     let plan = FaultPlan::none().with_sdc(SdcFault {
         step: 3,
         target: SdcTarget::Positions,
@@ -101,8 +109,19 @@ fn detectable_sdc_recovers_bit_identically_through_the_oracles() {
         axis: 0,
         bit: 62,
     });
+    let h = harness_with("detectable", 3, 4, AbftConfig::default());
     let report = h.check(&plan);
     assert!(report.passed(), "violations: {:?}", report.violations);
     assert!(report.watchdog_trips >= 1, "the flip must be detected");
     assert_eq!(report.max_deviation, 0.0, "recovery is exact");
+
+    // Armed, the ABFT position bracket repairs the same flip a step
+    // earlier — before the energy ever blows up — so the watchdog
+    // stays quiet and the trajectory is still exact.
+    let armed = harness("detectable-armed", 3, 4);
+    let report = armed.check(&plan);
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert!(report.abft_detections >= 1, "ABFT caught it first");
+    assert_eq!(report.watchdog_trips, 0, "no rollback needed");
+    assert_eq!(report.max_deviation, 0.0, "repair is exact");
 }
