@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run -p cpc-bench --bin chaos -- --schedules 50 --seed 7
 //!     [--soak] [--resume] [--out DIR] [--ranks P] [--steps N]
+//! cargo run -p cpc-bench --bin chaos -- --service 100 --seed 11 [--out DIR]
 //! cargo run -p cpc-bench --bin chaos -- --plant [--out DIR]
 //! cargo run -p cpc-bench --bin chaos -- --replay FILE [--out DIR]
 //! cargo run -p cpc-bench --bin chaos -- --straggle-smoke [--out DIR]
@@ -31,6 +32,16 @@
 //! * **Replay mode** (`--replay FILE`): re-checks a reproducer
 //!   artifact. Exit 0 when it still provokes a violation (it
 //!   reproduces), 1 when it no longer does.
+//! * **Service mode** (`--service N`): chaos at the *campaign job
+//!   service* layer instead of the MD engine. Samples N service fault
+//!   schedules — worker kills mid-cell, orchestrator kills mid-commit,
+//!   torn queue-shard and results-journal writes, stale leases, cache
+//!   bit flips — runs each campaign through
+//!   [`run_service_chaos`](cpc_workload::service::run_service_chaos),
+//!   and checks the two service oracles: no lost cell / no unlicensed
+//!   re-execution, and byte-identical artifacts after kill-resume.
+//!   Verdicts are journaled to `DIR/service_chaos.jsonl`; `--resume`
+//!   skips checked schedules. Exit 0 when every schedule passed.
 //! * **Straggle-smoke mode** (`--straggle-smoke`): CI gate for
 //!   degraded-mode rebalancing. Runs a compute-dominated workload
 //!   under a persistent straggler, asserts the mitigation contract
@@ -46,16 +57,19 @@
 //!   leaving fault-free physics bit-identical. Journals
 //!   `DIR/abft_smoke.json`; deterministic, CI `cmp`s two runs.
 
-use cpc_charmm::chaos::{flatten, ChaosHarness, Reproducer, ScheduleReport};
+use cpc_bench::cli::Args;
+use cpc_charmm::chaos::{flatten, ChaosHarness, Reproducer, ScheduleReport, ServiceLedger};
 use cpc_charmm::{
     run_parallel_md_faulty, AbftConfig, DurableConfig, FaultConfig, MdConfig, RecoveryConfig,
 };
 use cpc_cluster::{
     sdc_class, ClusterConfig, FaultPlan, FaultSpace, NetworkKind, SdcClass, SdcTarget,
+    ServiceFaultSpace,
 };
 use cpc_md::EnergyModel;
 use cpc_mpi::Middleware;
 use cpc_workload::journal::Journal;
+use cpc_workload::service::run_service_chaos;
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
@@ -77,31 +91,15 @@ struct Verdict {
 /// the termination oracle reports as a violation.
 const STALL_TIMEOUT: f64 = 20.0;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: chaos [--schedules N] [--seed S] [--soak] [--resume] [--out DIR]\n\
-         \x20      [--ranks P] [--steps N] | --plant | --replay FILE | --straggle-smoke\n\
-         \x20      | --abft-smoke"
-    );
-    std::process::exit(2);
-}
+const USAGE: &str = "usage: chaos [--schedules N] [--seed S] [--soak] [--resume] [--out DIR]\n\
+     \x20      [--ranks P] [--steps N] | --service N | --plant | --replay FILE\n\
+     \x20      | --straggle-smoke | --abft-smoke";
 
 /// Exit 2 (usage/environment error) with a message — the typed
 /// replacement for `expect` on malformed inputs and I/O failures.
 fn die(msg: impl std::fmt::Display) -> ! {
     eprintln!("chaos: {msg}");
     std::process::exit(2);
-}
-
-fn parse_flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
-    args.iter().position(|a| a == flag).map(|i| {
-        args.get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("{flag} requires a value");
-                usage()
-            })
-    })
 }
 
 /// The chaos workload: a small water box on a uniprocessor GigE
@@ -497,6 +495,140 @@ fn abft_smoke_mode(out: &Path) -> i32 {
     }
 }
 
+/// One journaled service-chaos verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServiceVerdict {
+    /// Campaign seed.
+    seed: u64,
+    /// Schedule index within the campaign.
+    index: u64,
+    /// Whether both service oracles held.
+    passed: bool,
+    /// Rendered violations (empty when passed).
+    violations: Vec<String>,
+    /// The cross-incarnation accounting the oracles checked.
+    ledger: ServiceLedger,
+}
+
+/// Cells per synthetic service campaign: small enough that hundreds of
+/// schedules (each run as reference + faulted incarnations) finish in
+/// CI time, large enough that every sampled kill/tear index lands.
+const SERVICE_CELLS: u64 = 6;
+/// Queue shards of the synthetic campaign.
+const SERVICE_SHARDS: usize = 4;
+
+/// Service-level chaos campaign: schedules `0..N` sampled from
+/// `(seed, index)`, each driving a full campaign through the crash-safe
+/// job service under kills, torn writes, stale leases and cache rot.
+fn service_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
+    let journal_path = out.join("service_chaos.jsonl");
+    let (mut journal, prior) = if resume {
+        let (j, recovery) =
+            Journal::<ServiceVerdict>::resume_keyed(&journal_path, |v| (v.seed, v.index))
+                .unwrap_or_else(|e| die(format!("cannot resume {}: {e}", journal_path.display())));
+        if recovery.dropped > 0 {
+            eprintln!(
+                "journal {}: discarded {} torn/damaged trailing line(s)",
+                journal_path.display(),
+                recovery.dropped
+            );
+        }
+        if recovery.duplicates > 0 {
+            eprintln!(
+                "journal {}: scrubbed {} duplicate verdict(s) (first wins)",
+                journal_path.display(),
+                recovery.duplicates
+            );
+        }
+        eprintln!(
+            "journal {}: resuming past {} checked schedule(s)",
+            journal_path.display(),
+            recovery.entries.len()
+        );
+        (j, recovery.entries)
+    } else {
+        (
+            Journal::<ServiceVerdict>::create(&journal_path)
+                .unwrap_or_else(|e| die(format!("cannot create {}: {e}", journal_path.display()))),
+            Vec::new(),
+        )
+    };
+    let done: HashSet<u64> = prior
+        .iter()
+        .filter(|v| v.seed == seed)
+        .map(|v| v.index)
+        .collect();
+    let mut failures: Vec<u64> = prior
+        .iter()
+        .filter(|v| v.seed == seed && !v.passed)
+        .map(|v| v.index)
+        .collect();
+
+    let space = ServiceFaultSpace::new(SERVICE_CELLS as usize, SERVICE_SHARDS);
+    let tasks: Vec<u64> = (0..SERVICE_CELLS).collect();
+    let mut exec = |t: &u64| -> (Vec<f64>, f64) { (vec![*t as f64, (*t * *t) as f64], 0.25) };
+    let key_of = |r: &Vec<f64>| serde_json::to_string(&(r[0] as u64)).expect("key serializes");
+    let scratch = std::env::temp_dir().join(format!("cpc-service-chaos-{}", std::process::id()));
+    println!(
+        "service chaos campaign: seed {seed}, {schedules} schedules, \
+         {SERVICE_CELLS} cells x {SERVICE_SHARDS} shards per campaign"
+    );
+
+    let mut checked = 0u64;
+    for index in 0..schedules {
+        if done.contains(&index) {
+            continue;
+        }
+        let plan = space.sample(seed, index);
+        let dir = scratch.join(format!("s{index:05}"));
+        let report = run_service_chaos(&dir, &tasks, "chaos-service", &plan, key_of, &mut exec)
+            .unwrap_or_else(|e| die(format!("schedule {index} I/O failure: {e}")));
+        let _ = std::fs::remove_dir_all(&dir);
+        checked += 1;
+        let verdict = ServiceVerdict {
+            seed,
+            index,
+            passed: report.passed(),
+            violations: report.violations.iter().map(|v| v.to_string()).collect(),
+            ledger: report.ledger.clone(),
+        };
+        if let Err(e) = journal.append(&verdict) {
+            die(format!("cannot journal verdict {index}: {e}"));
+        }
+        if !verdict.passed {
+            println!(
+                "schedule {index} ({:?}): {} VIOLATION(S)",
+                plan.faults,
+                verdict.violations.len()
+            );
+            for v in &verdict.violations {
+                println!("  - {v}");
+            }
+            failures.push(index);
+        } else if (index + 1).is_multiple_of(25) {
+            println!(
+                "schedule {index}: ok ({} incarnation(s), {} kill(s), {} torn line(s))",
+                report.ledger.incarnations, report.ledger.kills, report.ledger.dropped_lines
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!(
+        "checked {checked} fresh schedule(s) ({} total), {} violation(s)",
+        done.len() as u64 + checked,
+        failures.len()
+    );
+    if !failures.is_empty() {
+        failures.sort_unstable();
+        failures.dedup();
+        println!("failing schedules: {failures:?}");
+        return 1;
+    }
+    println!("both service oracles held on every schedule");
+    0
+}
+
 fn replay_mode(file: &str) -> i32 {
     let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
         eprintln!("cannot read {file}: {e}");
@@ -528,53 +660,62 @@ fn replay_mode(file: &str) -> i32 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        usage();
-    }
+    let mut args = Args::parse("chaos", USAGE);
     let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
+        .value("--out")
         .unwrap_or_else(|| "results/chaos".to_string());
+    let replay = args.value("--replay");
+    let plant = args.flag("--plant");
+    let straggle_smoke = args.flag("--straggle-smoke");
+    let abft_smoke = args.flag("--abft-smoke");
+    let service: Option<u64> = args.parsed("--service", "an integer schedule count");
+    let schedules: u64 = args
+        .parsed("--schedules", "an integer schedule count")
+        .unwrap_or(50);
+    let seed: u64 = args.parsed("--seed", "an integer seed").unwrap_or(7);
+    let ranks: usize = args.parsed("--ranks", "an integer rank count").unwrap_or(4);
+    let steps: usize = args.parsed("--steps", "an integer step count").unwrap_or(8);
+    let soak = args.flag("--soak");
+    let resume = args.flag("--resume");
+    args.finish();
+
     let out = PathBuf::from(out);
     if let Err(e) = std::fs::create_dir_all(&out) {
         die(format!("cannot create {}: {e}", out.display()));
     }
 
-    if let Some(file) = args
-        .iter()
-        .position(|a| a == "--replay")
-        .and_then(|i| args.get(i + 1).cloned())
-    {
+    if let Some(file) = replay {
         std::process::exit(replay_mode(&file));
     }
-    if args.iter().any(|a| a == "--plant") {
+    if plant {
         std::process::exit(plant_mode(&out));
     }
-    if args.iter().any(|a| a == "--straggle-smoke") {
+    if straggle_smoke {
         std::process::exit(straggle_smoke_mode(&out));
     }
-    if args.iter().any(|a| a == "--abft-smoke") {
+    if abft_smoke {
         std::process::exit(abft_smoke_mode(&out));
     }
-
-    let schedules: u64 = parse_flag_value(&args, "--schedules").unwrap_or(50);
-    let seed: u64 = parse_flag_value(&args, "--seed").unwrap_or(7);
-    let ranks: usize = parse_flag_value(&args, "--ranks").unwrap_or(4);
-    let steps: usize = parse_flag_value(&args, "--steps").unwrap_or(8);
-    let soak = args.iter().any(|a| a == "--soak");
-    let resume = args.iter().any(|a| a == "--resume");
+    if let Some(n) = service {
+        std::process::exit(service_mode(&out, n, seed, resume));
+    }
 
     let journal_path = out.join("chaos.jsonl");
     let (mut journal, prior) = if resume {
-        let (j, recovery) = Journal::<Verdict>::resume(&journal_path)
+        let (j, recovery) = Journal::<Verdict>::resume_keyed(&journal_path, |v| (v.seed, v.index))
             .unwrap_or_else(|e| die(format!("cannot resume {}: {e}", journal_path.display())));
         if recovery.dropped > 0 {
             eprintln!(
                 "journal {}: discarded {} torn/damaged trailing line(s)",
                 journal_path.display(),
                 recovery.dropped
+            );
+        }
+        if recovery.duplicates > 0 {
+            eprintln!(
+                "journal {}: scrubbed {} duplicate verdict(s) (first wins)",
+                journal_path.display(),
+                recovery.duplicates
             );
         }
         eprintln!(

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! cargo run --release -p cpc-bench --bin fault_sweep \
-//!     [--quick] [--smoke] [--out DIR] [--resume] [--max-cells N]
+//!     [--quick] [--smoke] [--out DIR] [--resume] [--max-cells N] \
+//!     [--kill-after N] [--cache DIR]
 //! ```
 //!
 //! `--quick` swaps in the small water-box system; `--smoke` is the CI
@@ -17,12 +18,18 @@
 //! `--resume` skips them on a re-run (and `--max-cells N` exits with
 //! code 3 after N fresh scenarios, simulating a kill mid-sweep), so a
 //! killed-then-resumed sweep produces the same final artifacts as an
-//! uninterrupted one.
+//! uninterrupted one. `--kill-after N` is the harsher cut: it exits 3
+//! immediately *after* journaling the N-th fresh scenario, mid-table.
+//! `--cache DIR` routes every scenario through the content-addressed
+//! result cache, so a second sweep over the same factor levels (even
+//! in a different output directory) re-simulates nothing.
 
+use cpc_bench::cli::Args;
 use cpc_charmm::{run_parallel_md, run_parallel_md_faulty, AbftConfig, FaultConfig, MdConfig};
 use cpc_cluster::{ClusterConfig, FaultPlan, NetworkKind};
 use cpc_md::{EnergyModel, System};
 use cpc_mpi::Middleware;
+use cpc_workload::cache::{CacheKey, ResultCache};
 use cpc_workload::figures::EXIT_CELL_BUDGET;
 use cpc_workload::journal::Journal;
 use cpc_workload::runner::{
@@ -32,6 +39,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::Path;
+
+const USAGE: &str = "usage: fault_sweep [--quick] [--smoke] [--out DIR] [--resume]\n\
+     \x20      [--max-cells N] [--kill-after N] [--cache DIR]";
 
 /// One sweep point's survivability/overhead record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -136,12 +146,17 @@ fn run_point(
 
 /// Completed-scenario bookkeeping: journaled rows from a previous
 /// (killed) sweep are reused; fresh rows are journaled as they finish,
-/// up to an optional budget.
+/// up to an optional budget. With a cache attached, a scenario's
+/// content address (factor key + protocol) is probed before any
+/// simulation and fed after it.
 struct SweepState {
     journal: Journal<Row>,
     done: HashMap<String, Row>,
     fresh: usize,
     budget: Option<usize>,
+    kill_after: Option<usize>,
+    cache: Option<ResultCache>,
+    protocol: String,
 }
 
 impl SweepState {
@@ -162,6 +177,20 @@ impl SweepState {
         if let Some(row) = self.done.get(&key) {
             return row.clone();
         }
+        let ckey = self.cache.as_ref().map(|_| {
+            CacheKey::of(&key, &self.protocol).unwrap_or_else(|e| {
+                eprintln!("cannot address scenario {key}: {e}");
+                std::process::exit(2);
+            })
+        });
+        // Cache hit: journaled like a fresh row (the manifest stays
+        // complete) but it costs no simulation and no budget.
+        if let (Some(cache), Some(ckey)) = (self.cache.as_mut(), &ckey) {
+            if let Some(row) = cache.get::<Row>(ckey) {
+                self.record(row.clone());
+                return row;
+            }
+        }
         if self.budget.is_some_and(|b| self.fresh >= b) {
             eprintln!(
                 "cell budget exhausted after {} fresh scenarios; \
@@ -172,70 +201,43 @@ impl SweepState {
         }
         let row = run_point(system, cfg, plan, scenario, ref_wall);
         self.fresh += 1;
+        self.record(row.clone());
+        if let (Some(cache), Some(ckey)) = (self.cache.as_mut(), &ckey) {
+            if let Err(e) = cache.put(ckey, &row) {
+                eprintln!("cannot cache scenario {}: {e}", row.key());
+                std::process::exit(2);
+            }
+        }
+        if self.kill_after == Some(self.fresh) {
+            eprintln!(
+                "killed mid-sweep after {} fresh scenario(s); \
+                 re-run with --resume to continue",
+                self.fresh
+            );
+            std::process::exit(EXIT_CELL_BUDGET);
+        }
+        row
+    }
+
+    fn record(&mut self, row: Row) {
         if let Err(e) = self.journal.append(&row) {
             eprintln!("cannot journal scenario {}: {e}", row.key());
             std::process::exit(2);
         }
-        self.done.insert(row.key(), row.clone());
-        row
+        self.done.insert(row.key(), row);
     }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let quick = smoke || args.iter().any(|a| a == "--quick");
-    let resume = args.iter().any(|a| a == "--resume");
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "results".to_string());
-    let max_cells: Option<usize> = args
-        .iter()
-        .position(|a| a == "--max-cells")
-        .map(|i| match args.get(i + 1).map(|n| n.parse()) {
-            Some(Ok(n)) => n,
-            _ => {
-                eprintln!("--max-cells requires an integer cell count");
-                std::process::exit(2);
-            }
-        });
-
-    let journal_path = Path::new(&out).join("fault_sweep.jsonl");
-    let (journal, prior) = if resume {
-        let (j, recovery) = Journal::<Row>::resume(&journal_path).unwrap_or_else(|e| {
-            eprintln!("cannot resume {}: {e}", journal_path.display());
-            std::process::exit(2);
-        });
-        if recovery.dropped > 0 {
-            eprintln!(
-                "journal {}: discarded {} torn/damaged trailing line(s)",
-                journal_path.display(),
-                recovery.dropped
-            );
-        }
-        eprintln!(
-            "journal {}: resuming past {} completed scenario(s)",
-            journal_path.display(),
-            recovery.entries.len()
-        );
-        (j, recovery.entries)
-    } else {
-        (
-            Journal::<Row>::create(&journal_path).unwrap_or_else(|e| {
-                eprintln!("cannot create {}: {e}", journal_path.display());
-                std::process::exit(2);
-            }),
-            Vec::new(),
-        )
-    };
-    let mut sweep = SweepState {
-        journal,
-        done: prior.into_iter().map(|r| (r.key(), r)).collect(),
-        fresh: 0,
-        budget: max_cells,
-    };
+    let mut args = Args::parse("fault_sweep", USAGE);
+    let smoke = args.flag("--smoke");
+    let quick = smoke || args.flag("--quick");
+    let resume = args.flag("--resume");
+    let out = args.value("--out").unwrap_or_else(|| "results".to_string());
+    let max_cells: Option<usize> = args.parsed("--max-cells", "an integer cell count");
+    let kill_after: Option<usize> = args.parsed("--kill-after", "an integer fresh-cell count");
+    let cache_dir: Option<String> = args.value("--cache");
+    args.finish();
 
     let system = if quick {
         quick_system()
@@ -253,6 +255,62 @@ fn main() {
         (4, 3)
     } else {
         (8, PAPER_STEPS)
+    };
+
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("cannot create {out}: {e}");
+        std::process::exit(2);
+    }
+    let journal_path = Path::new(&out).join("fault_sweep.jsonl");
+    let (journal, prior) = if resume {
+        let (j, recovery) = Journal::<Row>::resume_keyed(&journal_path, |r| r.key())
+            .unwrap_or_else(|e| {
+                eprintln!("cannot resume {}: {e}", journal_path.display());
+                std::process::exit(2);
+            });
+        if recovery.dropped > 0 {
+            eprintln!(
+                "journal {}: discarded {} torn/damaged trailing line(s)",
+                journal_path.display(),
+                recovery.dropped
+            );
+        }
+        if recovery.duplicates > 0 {
+            eprintln!(
+                "journal {}: scrubbed {} duplicate scenario record(s) (first wins)",
+                journal_path.display(),
+                recovery.duplicates
+            );
+        }
+        eprintln!(
+            "journal {}: resuming past {} completed scenario(s)",
+            journal_path.display(),
+            recovery.entries.len()
+        );
+        (j, recovery.entries)
+    } else {
+        (
+            Journal::<Row>::create(&journal_path).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", journal_path.display());
+                std::process::exit(2);
+            }),
+            Vec::new(),
+        )
+    };
+    let cache = cache_dir.map(|dir| {
+        ResultCache::open(dir.clone()).unwrap_or_else(|e| {
+            eprintln!("cannot open result cache {dir}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let mut sweep = SweepState {
+        journal,
+        done: prior.into_iter().map(|r| (r.key(), r)).collect(),
+        fresh: 0,
+        budget: max_cells,
+        kill_after,
+        cache,
+        protocol: format!("fault_sweep quick={quick} smoke={smoke} procs={procs} steps={steps}"),
     };
     let networks: &[NetworkKind] = if smoke {
         &[NetworkKind::ScoreGigE]

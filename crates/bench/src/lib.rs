@@ -11,6 +11,8 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use cpc_md::{EnergyModel, System};
 use cpc_workload::figures::Lab;
 use cpc_workload::journal::Journal;
@@ -36,37 +38,21 @@ impl FigureArgs {
     /// Parses `--quick`, `--json FILE`, `--journal FILE`, `--resume`
     /// and `--max-cells N` from `std::env::args`.
     pub fn parse() -> Self {
-        let mut out = FigureArgs::default();
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--quick" => out.quick = true,
-                "--json" => out.json = args.next(),
-                "--journal" => out.journal = args.next(),
-                "--resume" => out.resume = true,
-                "--max-cells" => {
-                    out.max_cells = args.next().and_then(|n| n.parse().ok());
-                    if out.max_cells.is_none() {
-                        eprintln!("--max-cells requires a number");
-                        std::process::exit(2);
-                    }
-                }
-                "--help" | "-h" => {
-                    eprintln!(
-                        "usage: [--quick] [--json FILE] [--journal FILE] [--resume] [--max-cells N]"
-                    );
-                    std::process::exit(0);
-                }
-                other => {
-                    eprintln!("unknown argument: {other}");
-                    std::process::exit(2);
-                }
-            }
-        }
+        let mut args = cli::Args::parse(
+            "figure",
+            "usage: [--quick] [--json FILE] [--journal FILE] [--resume] [--max-cells N]",
+        );
+        let out = FigureArgs {
+            quick: args.flag("--quick"),
+            json: args.value("--json"),
+            journal: args.value("--journal"),
+            resume: args.flag("--resume"),
+            max_cells: args.parsed("--max-cells", "an integer cell count"),
+        };
         if out.resume && out.journal.is_none() {
-            eprintln!("--resume requires --journal FILE");
-            std::process::exit(2);
+            args.conflict("--resume requires --journal FILE");
         }
+        args.finish();
         out
     }
 
@@ -114,14 +100,21 @@ impl FigureArgs {
 /// cache and are skipped; without it, the journal starts fresh.
 pub fn attach_journal(lab: &mut Lab<'_>, path: &str, resume: bool) {
     if resume {
-        let (journal, recovery) = Journal::<Measurement>::resume(path).unwrap_or_else(|e| {
-            eprintln!("cannot resume journal {path}: {e}");
-            std::process::exit(2);
-        });
+        let (journal, recovery) = Journal::<Measurement>::resume_keyed(path, |m| m.point)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot resume journal {path}: {e}");
+                std::process::exit(2);
+            });
         if recovery.dropped > 0 {
             eprintln!(
                 "journal {path}: discarded {} torn/damaged trailing line(s)",
                 recovery.dropped
+            );
+        }
+        if recovery.duplicates > 0 {
+            eprintln!(
+                "journal {path}: scrubbed {} duplicate cell record(s) (first wins)",
+                recovery.duplicates
             );
         }
         eprintln!(

@@ -1001,6 +1001,184 @@ impl ChaosHarness {
     }
 }
 
+/// Cross-incarnation accounting for one campaign run through the
+/// crash-safe job service (`cpc-workload`): every execution, cache
+/// hit, journal pre-seed, reclaimed lease and injected-fault side
+/// effect, summed over all incarnations of the service, plus the
+/// FNV-1a digests of the final results artifact and of an
+/// uninterrupted reference run. [`check_service_ledger`] turns a
+/// ledger into oracle verdicts.
+///
+/// Concrete (non-generic) and serializable so chaos campaigns can
+/// journal verdicts the same way they journal schedule reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServiceLedger {
+    /// Cells the campaign comprises.
+    pub total_cells: usize,
+    /// Cells with a durable result when the service drained.
+    pub completed: usize,
+    /// Cells dead-lettered after exhausting their retry budget.
+    pub abandoned: usize,
+    /// Fresh simulations across all incarnations (the work actually
+    /// done; the no-duplicate-execution oracle bounds this).
+    pub executed: usize,
+    /// Executions whose result never became durable (worker killed
+    /// mid-cell) — each one licenses exactly one re-execution.
+    pub lost_executions: usize,
+    /// Durable results destroyed by injected storage faults (torn
+    /// results-journal writes) — each licenses one re-execution.
+    pub destroyed_results: usize,
+    /// Cells served from the recovered journal prefix without
+    /// re-dispatch.
+    pub journal_preseeded: usize,
+    /// Cells served from the content-addressed cache without
+    /// re-simulation.
+    pub cache_hits: usize,
+    /// Cache entries whose checksum caught at-rest damage (the entry
+    /// was quarantined and the cell re-derived).
+    pub cache_corruption_caught: usize,
+    /// Leases reclaimed from dead incarnations at recovery.
+    pub reclaimed_leases: usize,
+    /// Torn/damaged journal lines dropped across queue shards and the
+    /// results journal.
+    pub dropped_lines: usize,
+    /// Duplicate result records scrubbed by keyed journal resume.
+    pub duplicate_results: usize,
+    /// Stale-lease completions presented to the queue.
+    pub stale_presented: usize,
+    /// Stale-lease completions the queue rejected (must equal
+    /// `stale_presented`).
+    pub stale_rejected: usize,
+    /// Service incarnations (1 = never killed).
+    pub incarnations: usize,
+    /// Process kills the schedule actually delivered.
+    pub kills: usize,
+    /// FNV-1a digest of the final results artifact.
+    pub artifact_digest: u64,
+    /// Same digest from the uninterrupted reference run.
+    pub reference_digest: u64,
+}
+
+/// One violation of the job-service invariants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceViolation {
+    /// A cell vanished: the drained service holds fewer durable
+    /// results than the campaign has cells (excluding dead-letters,
+    /// which are themselves forbidden under the sampled fault space).
+    LostCell {
+        /// Cells with durable results.
+        completed: usize,
+        /// Cells dead-lettered.
+        abandoned: usize,
+        /// Cells the campaign comprises.
+        total: usize,
+    },
+    /// More fresh executions than the schedule licenses: some cell
+    /// with a durable (or cacheable) result was re-simulated.
+    DuplicateExecution {
+        /// Fresh executions observed.
+        executed: usize,
+        /// The bound: `total + lost_executions + destroyed_results`.
+        allowance: usize,
+    },
+    /// The killed-and-resumed campaign's artifact differs from the
+    /// uninterrupted run's: recovery was not invisible.
+    ArtifactMismatch {
+        /// Digest of the chaos run's artifact.
+        artifact: u64,
+        /// Digest of the reference run's artifact.
+        reference: u64,
+    },
+    /// A stale or duplicate lease completion was accepted instead of
+    /// rejected: double-counted work.
+    StaleLeaseAccepted {
+        /// Stale completions presented.
+        presented: usize,
+        /// Stale completions rejected.
+        rejected: usize,
+    },
+}
+
+impl std::fmt::Display for ServiceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceViolation::LostCell {
+                completed,
+                abandoned,
+                total,
+            } => write!(
+                f,
+                "lost cell: {completed} completed + {abandoned} abandoned of {total}"
+            ),
+            ServiceViolation::DuplicateExecution {
+                executed,
+                allowance,
+            } => write!(
+                f,
+                "duplicate execution: {executed} ran, {allowance} allowed"
+            ),
+            ServiceViolation::ArtifactMismatch {
+                artifact,
+                reference,
+            } => write!(
+                f,
+                "artifact mismatch: {artifact:016x} != reference {reference:016x}"
+            ),
+            ServiceViolation::StaleLeaseAccepted {
+                presented,
+                rejected,
+            } => write!(f, "stale lease accepted: {rejected}/{presented} rejected"),
+        }
+    }
+}
+
+/// The two service-level oracles of the kill-resume property, as pure
+/// functions of the ledger:
+///
+/// 1. **No lost cell, no duplicate execution.** Every cell ends with
+///    exactly one durable result, and the number of fresh executions
+///    never exceeds `total + lost_executions + destroyed_results` —
+///    the only re-runs a crash schedule licenses are cells whose
+///    result it actually destroyed (a worker killed mid-cell, a torn
+///    results-journal write). Completed work behind a kill must be
+///    served from the journal prefix or the cache, never re-simulated.
+/// 2. **Byte-identical artifact after kill-resume.** The drained
+///    campaign's results artifact digests identically to an
+///    uninterrupted run's: recovery is invisible in the output.
+///
+/// Stale-lease accounting rides along: every stale completion
+/// presented must have been rejected.
+pub fn check_service_ledger(ledger: &ServiceLedger) -> Vec<ServiceViolation> {
+    let mut violations = Vec::new();
+    if ledger.completed + ledger.abandoned < ledger.total_cells || ledger.abandoned > 0 {
+        violations.push(ServiceViolation::LostCell {
+            completed: ledger.completed,
+            abandoned: ledger.abandoned,
+            total: ledger.total_cells,
+        });
+    }
+    let allowance = ledger.total_cells + ledger.lost_executions + ledger.destroyed_results;
+    if ledger.executed > allowance {
+        violations.push(ServiceViolation::DuplicateExecution {
+            executed: ledger.executed,
+            allowance,
+        });
+    }
+    if ledger.artifact_digest != ledger.reference_digest {
+        violations.push(ServiceViolation::ArtifactMismatch {
+            artifact: ledger.artifact_digest,
+            reference: ledger.reference_digest,
+        });
+    }
+    if ledger.stale_rejected != ledger.stale_presented {
+        violations.push(ServiceViolation::StaleLeaseAccepted {
+            presented: ledger.stale_presented,
+            rejected: ledger.stale_rejected,
+        });
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1277,5 +1455,122 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let parsed: ScheduleReport = serde_json::from_str(&json).unwrap();
         assert_eq!(parsed, report);
+    }
+
+    fn clean_ledger() -> ServiceLedger {
+        ServiceLedger {
+            total_cells: 48,
+            completed: 48,
+            executed: 48,
+            journal_preseeded: 0,
+            incarnations: 1,
+            artifact_digest: 0xfeed,
+            reference_digest: 0xfeed,
+            ..ServiceLedger::default()
+        }
+    }
+
+    #[test]
+    fn service_oracles_pass_a_clean_ledger_and_licensed_rework() {
+        assert!(check_service_ledger(&clean_ledger()).is_empty());
+        // A kill-resume run: one execution lost mid-cell, two results
+        // torn away — three licensed re-executions, rest preseeded.
+        let ledger = ServiceLedger {
+            executed: 51,
+            lost_executions: 1,
+            destroyed_results: 2,
+            journal_preseeded: 30,
+            cache_hits: 2,
+            reclaimed_leases: 1,
+            incarnations: 3,
+            kills: 2,
+            stale_presented: 1,
+            stale_rejected: 1,
+            ..clean_ledger()
+        };
+        assert!(check_service_ledger(&ledger).is_empty());
+    }
+
+    #[test]
+    fn service_oracles_catch_each_violation_class() {
+        let lost = ServiceLedger {
+            completed: 47,
+            ..clean_ledger()
+        };
+        assert!(matches!(
+            check_service_ledger(&lost)[..],
+            [ServiceViolation::LostCell { completed: 47, .. }]
+        ));
+        let abandoned = ServiceLedger {
+            completed: 47,
+            abandoned: 1,
+            ..clean_ledger()
+        };
+        assert!(
+            matches!(
+                check_service_ledger(&abandoned)[..],
+                [ServiceViolation::LostCell { abandoned: 1, .. }]
+            ),
+            "dead-letters are lost cells under the sampled space"
+        );
+        let dup = ServiceLedger {
+            executed: 49,
+            ..clean_ledger()
+        };
+        assert!(matches!(
+            check_service_ledger(&dup)[..],
+            [ServiceViolation::DuplicateExecution {
+                executed: 49,
+                allowance: 48
+            }]
+        ));
+        let mismatch = ServiceLedger {
+            artifact_digest: 0xdead,
+            ..clean_ledger()
+        };
+        assert!(matches!(
+            check_service_ledger(&mismatch)[..],
+            [ServiceViolation::ArtifactMismatch { .. }]
+        ));
+        let stale = ServiceLedger {
+            stale_presented: 2,
+            stale_rejected: 1,
+            ..clean_ledger()
+        };
+        assert!(matches!(
+            check_service_ledger(&stale)[..],
+            [ServiceViolation::StaleLeaseAccepted {
+                presented: 2,
+                rejected: 1
+            }]
+        ));
+    }
+
+    #[test]
+    fn service_ledger_and_violations_roundtrip_json() {
+        let ledger = ServiceLedger {
+            duplicate_results: 1,
+            dropped_lines: 3,
+            cache_corruption_caught: 1,
+            ..clean_ledger()
+        };
+        let parsed: ServiceLedger =
+            serde_json::from_str(&serde_json::to_string(&ledger).unwrap()).unwrap();
+        assert_eq!(parsed, ledger);
+        let v = vec![
+            ServiceViolation::LostCell {
+                completed: 1,
+                abandoned: 0,
+                total: 2,
+            },
+            ServiceViolation::ArtifactMismatch {
+                artifact: 1,
+                reference: 2,
+            },
+        ];
+        let parsed: Vec<ServiceViolation> =
+            serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        assert!(v[0].to_string().contains("lost cell"));
     }
 }

@@ -33,7 +33,10 @@ pub mod pme_spatial;
 pub mod recover;
 pub mod report;
 
-pub use chaos::{minimize, ChaosHarness, Reproducer, ScheduleReport, Violation};
+pub use chaos::{
+    check_service_ledger, minimize, ChaosHarness, Reproducer, ScheduleReport, ServiceLedger,
+    ServiceViolation, Violation,
+};
 pub use ckpt::{CheckpointStore, DurableConfig, FallbackNote, RestoreError};
 pub use classic::{classic_energy_parallel, ClassicResult};
 pub use driver::{run_parallel_md, CommTuning, MdConfig, PmeImpl};

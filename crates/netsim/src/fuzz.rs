@@ -273,6 +273,160 @@ impl FaultSpace {
     }
 }
 
+/// One fault against the *campaign job service* (the orchestrator
+/// layer above the simulation): process kills at chosen commit
+/// points, torn writes against the queue's or the results journal's
+/// durable state, stale leases, and cache-entry bit flips. These are
+/// interpreted by the service chaos driver (`cpc-workload`), which
+/// applies kills by ending an incarnation and storage faults by
+/// damaging the on-disk files between incarnations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServiceFault {
+    /// A worker dies mid-cell: the `cells`-th fresh execution of the
+    /// incarnation runs but its result never becomes durable.
+    WorkerKill {
+        /// Fresh execution (1-based) at which the worker dies.
+        cells: usize,
+    },
+    /// The orchestrator dies mid-commit: the result has reached the
+    /// journal but neither the cache nor the queue's Complete record.
+    OrchestratorKillMidCommit {
+        /// Fresh execution (1-based) at which it dies.
+        cells: usize,
+    },
+    /// The orchestrator dies immediately after a full commit — the
+    /// benign kill point; resume must be a pure no-op for that cell.
+    OrchestratorKillAfterCommit {
+        /// Fresh execution (1-based) at which it dies.
+        cells: usize,
+    },
+    /// A queue shard's journal loses its tail (torn write at kill).
+    TornQueueWrite {
+        /// Shard index (reduced modulo the shard count).
+        shard: usize,
+        /// Fraction of the shard file's bytes that survive.
+        keep_frac: f64,
+    },
+    /// The results journal loses its tail.
+    TornResultWrite {
+        /// Fraction of the journal's bytes that survive.
+        keep_frac: f64,
+    },
+    /// A lease expires mid-execution and the cell is re-leased; the
+    /// original holder then presents its stale lease on completion,
+    /// which the queue must reject.
+    StaleLease {
+        /// Lease grant (1-based, within the incarnation) to stalemate.
+        at_lease: usize,
+    },
+    /// One bit of one cache entry flips at rest; the entry checksum
+    /// must catch it on next read.
+    CacheBitFlip {
+        /// Entry index into the sorted cache listing (reduced modulo
+        /// the entry count at apply time).
+        entry: usize,
+        /// Byte offset (reduced modulo the entry size).
+        byte: usize,
+        /// Bit within the byte.
+        bit: u8,
+    },
+}
+
+/// A seeded schedule of [`ServiceFault`]s, applied in order by the
+/// service chaos driver.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServiceFaultPlan {
+    /// The faults, in application order.
+    pub faults: Vec<ServiceFault>,
+}
+
+impl ServiceFaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        ServiceFaultPlan::default()
+    }
+
+    /// Number of process kills the plan schedules.
+    pub fn kills(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f,
+                    ServiceFault::WorkerKill { .. }
+                        | ServiceFault::OrchestratorKillMidCommit { .. }
+                        | ServiceFault::OrchestratorKillAfterCommit { .. }
+                )
+            })
+            .count()
+    }
+}
+
+/// The fault envelope of one campaign job service: bounds on cell
+/// count and shard count from which [`ServiceFaultSpace::sample`]
+/// draws deterministic [`ServiceFaultPlan`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceFaultSpace {
+    /// Cells in the campaign (bounds kill/stale positions).
+    pub cells: usize,
+    /// Queue journal shards (bounds torn-shard targets).
+    pub shards: usize,
+}
+
+impl ServiceFaultSpace {
+    /// Describes the fault space of one campaign.
+    pub fn new(cells: usize, shards: usize) -> Self {
+        ServiceFaultSpace { cells, shards }
+    }
+
+    /// Draws schedule `index` of the campaign keyed by `seed`. Pure in
+    /// `(space, seed, index)`, like [`FaultSpace::sample`]; a distinct
+    /// sentinel channel keeps the two streams independent.
+    pub fn sample(&self, seed: u64, index: u64) -> ServiceFaultPlan {
+        let mut rng = SplitMix64::for_message(seed, 0x5E4C, 0xFA17, index);
+        let mut plan = ServiceFaultPlan::none();
+        let cells = self.cells.max(1);
+        // 1..=3 faults per schedule, biased toward fewer.
+        let n = 1 + self.choose(&mut rng, 3);
+        for _ in 0..n {
+            let cell = 1 + (rng.next_u64() as usize) % cells;
+            let fault = match rng.next_u64() % 7 {
+                0 => ServiceFault::WorkerKill { cells: cell },
+                1 | 2 => ServiceFault::OrchestratorKillMidCommit { cells: cell },
+                3 => ServiceFault::OrchestratorKillAfterCommit { cells: cell },
+                4 => ServiceFault::TornQueueWrite {
+                    shard: (rng.next_u64() as usize) % self.shards.max(1),
+                    keep_frac: 0.95 * rng.next_f64(),
+                },
+                5 => ServiceFault::TornResultWrite {
+                    keep_frac: 0.95 * rng.next_f64(),
+                },
+                _ => {
+                    if rng.next_u64().is_multiple_of(2) {
+                        ServiceFault::StaleLease { at_lease: cell }
+                    } else {
+                        ServiceFault::CacheBitFlip {
+                            entry: rng.next_u64() as usize % cells,
+                            byte: rng.next_u64() as usize % (1 << 12),
+                            bit: (rng.next_u64() % 8) as u8,
+                        }
+                    }
+                }
+            };
+            plan.faults.push(fault);
+        }
+        plan
+    }
+
+    fn choose(&self, rng: &mut SplitMix64, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let u = rng.next_f64();
+        ((u * u) * n as f64) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +445,43 @@ mod tests {
             .filter(|&i| s.sample(7, i) != s.sample(8, i))
             .count();
         assert!(distinct > 10, "seed must drive the draw");
+    }
+
+    #[test]
+    fn service_sampling_is_deterministic_and_in_bounds() {
+        let s = ServiceFaultSpace::new(12, 4);
+        let mut kill_plans = 0;
+        for i in 0..100 {
+            let plan = s.sample(7, i);
+            assert_eq!(plan, s.sample(7, i), "pure in (seed, index)");
+            assert!((1..=3).contains(&plan.faults.len()));
+            kill_plans += (plan.kills() > 0) as usize;
+            for f in &plan.faults {
+                match *f {
+                    ServiceFault::WorkerKill { cells }
+                    | ServiceFault::OrchestratorKillMidCommit { cells }
+                    | ServiceFault::OrchestratorKillAfterCommit { cells } => {
+                        assert!((1..=s.cells).contains(&cells))
+                    }
+                    ServiceFault::StaleLease { at_lease } => {
+                        assert!((1..=s.cells).contains(&at_lease))
+                    }
+                    ServiceFault::TornQueueWrite { shard, keep_frac } => {
+                        assert!(shard < s.shards);
+                        assert!((0.0..1.0).contains(&keep_frac));
+                    }
+                    ServiceFault::TornResultWrite { keep_frac } => {
+                        assert!((0.0..1.0).contains(&keep_frac))
+                    }
+                    ServiceFault::CacheBitFlip { bit, .. } => assert!(bit < 8),
+                }
+            }
+        }
+        assert!(kill_plans > 30, "kills dominate the mix: {kill_plans}");
+        let distinct = (0..50)
+            .filter(|&i| s.sample(7, i) != s.sample(8, i))
+            .count();
+        assert!(distinct > 25, "seed must drive the draw");
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub use faults::{
     FaultPlan, LinkDegradation, LinkFault, RankCrash, SdcFault, SdcTarget, StorageFault,
     StorageFaultKind, Straggler,
 };
-pub use fuzz::{sdc_class, FaultSpace, SdcClass};
+pub use fuzz::{
+    sdc_class, FaultSpace, SdcClass, ServiceFault, ServiceFaultPlan, ServiceFaultSpace,
+};
 pub use netmodel::{
     FaultyTransfer, NetworkKind, NetworkParams, OpShape, TransferCtx, TransferTime,
 };

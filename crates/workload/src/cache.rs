@@ -1,0 +1,280 @@
+//! Content-addressed result cache: identical campaign cells are served
+//! from disk instead of re-simulated.
+//!
+//! Every run on the virtual cluster is deterministic by construction —
+//! the same (task, protocol, code version) always produces the same
+//! result, bit for bit — so a cell's result can be addressed purely by
+//! the *content of its request*: [`CacheKey::of`] hashes the canonical
+//! JSON of the task together with a protocol string and the crate's
+//! [`code_version`]. Cache entries use the same checksum discipline as
+//! the [`Journal`](crate::journal::Journal) (`{crc:016x} {json}`), are
+//! written atomically (tmp + fsync + rename), and a damaged entry —
+//! torn, bit-flipped, truncated — fails its checksum, is quarantined
+//! (deleted) and counted, and the cell simply re-simulates: corruption
+//! costs one cache miss, never a wrong answer.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever the meaning of cached bytes changes (entry format,
+/// result schema, physics). Folded into every [`CacheKey`], so a
+/// version bump invalidates the whole cache without touching it.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// The code-version component of every cache key: a result is only
+/// addressable by a binary built from the same crate version and cache
+/// format. (The virtual cluster is deterministic *within* one build;
+/// across versions the physics may legitimately differ.)
+pub fn code_version() -> String {
+    format!(
+        "cpc-{}+fmt{}",
+        env!("CARGO_PKG_VERSION"),
+        CACHE_FORMAT_VERSION
+    )
+}
+
+/// FNV-1a over a byte string (the same function the journal uses).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A content address: `hash(task, protocol, code-version)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// Addresses a task under a protocol. `task` is anything
+    /// serializable that fully determines the work (an experiment
+    /// point, a `(seed, FaultPlan)` pair, a scenario key); `protocol`
+    /// carries whatever the task type leaves implicit (step count,
+    /// energy model, workload). The crate's [`code_version`] is always
+    /// folded in.
+    pub fn of<T: Serialize>(task: &T, protocol: &str) -> io::Result<CacheKey> {
+        let json = serde_json::to_string(task)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let material = format!("{}\n{protocol}\n{json}", code_version());
+        Ok(CacheKey(fnv1a64(material.as_bytes())))
+    }
+
+    /// The 16-hex-digit rendering used as the entry's file name.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Counters the cache accumulates over its lifetime (per process; the
+/// on-disk store itself is shared across incarnations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries served (checksum verified).
+    pub hits: usize,
+    /// Lookups that found no entry.
+    pub misses: usize,
+    /// Entries found damaged (bad checksum / unparsable) and
+    /// quarantined; each also counts as a miss.
+    pub corrupt: usize,
+    /// Entries written.
+    pub stores: usize,
+}
+
+/// A directory of checksummed, content-addressed result files.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: PathBuf,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache {
+            dir,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.hex()))
+    }
+
+    /// Looks up `key`, verifying the entry's checksum before trusting
+    /// it. A damaged entry is quarantined (deleted) and reported as a
+    /// miss: the caller re-simulates and overwrites it with a good one.
+    pub fn get<T: Deserialize>(&mut self, key: &CacheKey) -> Option<T> {
+        let path = self.entry_path(key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                self.stats.misses += 1;
+                return None;
+            }
+        };
+        let parsed = text.trim_end().split_once(' ').and_then(|(crc, json)| {
+            let stored = u64::from_str_radix(crc, 16).ok()?;
+            if stored != fnv1a64(json.as_bytes()) {
+                return None;
+            }
+            serde_json::from_str::<T>(json).ok()
+        });
+        match parsed {
+            Some(value) => {
+                self.stats.hits += 1;
+                Some(value)
+            }
+            None => {
+                // Bit flip, torn write, or foreign bytes: quarantine.
+                let _ = std::fs::remove_file(&path);
+                self.stats.corrupt += 1;
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `value` under `key` atomically: written to a temp file,
+    /// fsynced, then renamed into place — a kill mid-store leaves
+    /// either the old entry or the new one, never a torn file under
+    /// the final name.
+    pub fn put<T: Serialize>(&mut self, key: &CacheKey, value: &T) -> io::Result<()> {
+        let json = serde_json::to_string(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let line = format!("{:016x} {json}\n", fnv1a64(json.as_bytes()));
+        let tmp = self.dir.join(format!("{}.tmp", key.hex()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(line.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.entry_path(key))?;
+        self.stats.stores += 1;
+        Ok(())
+    }
+
+    /// Whether an entry exists on disk (without verifying it).
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.entry_path(key).exists()
+    }
+
+    /// Number of entries on disk.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Paths of every entry on disk, sorted by file name (stable order
+    /// for fault injection and audits).
+    pub fn entry_paths(&self) -> Vec<PathBuf> {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factors::ExperimentPoint;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cpc-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn keys_are_content_addressed_and_version_scoped() {
+        let a = CacheKey::of(&ExperimentPoint::focal(2), "steps=2").unwrap();
+        let b = CacheKey::of(&ExperimentPoint::focal(2), "steps=2").unwrap();
+        let c = CacheKey::of(&ExperimentPoint::focal(4), "steps=2").unwrap();
+        let d = CacheKey::of(&ExperimentPoint::focal(2), "steps=10").unwrap();
+        assert_eq!(a, b, "same content, same address");
+        assert_ne!(a, c, "task drives the address");
+        assert_ne!(a, d, "protocol drives the address");
+        assert_eq!(a.hex().len(), 16);
+        assert!(code_version().contains("fmt"));
+    }
+
+    #[test]
+    fn roundtrip_hit_and_miss_accounting() {
+        let mut cache = ResultCache::open(tmp_dir("roundtrip")).unwrap();
+        let key = CacheKey::of(&ExperimentPoint::focal(2), "p").unwrap();
+        assert!(cache.get::<Vec<f64>>(&key).is_none());
+        cache.put(&key, &vec![1.5f64, -2.25]).unwrap();
+        assert_eq!(cache.get::<Vec<f64>>(&key), Some(vec![1.5, -2.25]));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.corrupt, s.stores), (1, 1, 0, 1));
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn bit_flip_is_caught_quarantined_and_healed_by_restore() {
+        let mut cache = ResultCache::open(tmp_dir("flip")).unwrap();
+        let key = CacheKey::of(&ExperimentPoint::focal(8), "p").unwrap();
+        cache.put(&key, &vec![3.5f64]).unwrap();
+        let path = cache.entry_paths().pop().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 4] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(
+            cache.get::<Vec<f64>>(&key).is_none(),
+            "damaged entry must not verify"
+        );
+        assert_eq!(cache.stats().corrupt, 1);
+        assert!(!cache.contains(&key), "quarantined from disk");
+        // Re-simulating and re-storing heals the entry.
+        cache.put(&key, &vec![3.5f64]).unwrap();
+        assert_eq!(cache.get::<Vec<f64>>(&key), Some(vec![3.5]));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn torn_entry_is_a_miss() {
+        let mut cache = ResultCache::open(tmp_dir("torn")).unwrap();
+        let key = CacheKey::of(&7u64, "p").unwrap();
+        cache.put(&key, &vec![1.0f64, 2.0]).unwrap();
+        let path = cache.entry_paths().pop().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(cache.get::<Vec<f64>>(&key).is_none());
+        assert_eq!(cache.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -36,6 +36,12 @@ pub struct Recovery<T> {
     /// unparsable (everything from the first bad line on is dropped —
     /// append order is meaningful, so nothing after a tear is trusted).
     pub dropped: usize,
+    /// Entries discarded because an earlier entry in the intact prefix
+    /// carried the same key (first-wins; only [`Journal::resume_keyed`]
+    /// detects these — a crash between the journal append and the
+    /// writer's own completion bookkeeping can legitimately record a
+    /// cell twice).
+    pub duplicates: usize,
 }
 
 impl<T> Recovery<T> {
@@ -43,6 +49,7 @@ impl<T> Recovery<T> {
         Recovery {
             entries: Vec::new(),
             dropped: 0,
+            duplicates: 0,
         }
     }
 }
@@ -78,6 +85,32 @@ impl<T: Serialize + Deserialize> Journal<T> {
         let recovery = Self::load(&path)?;
         // Rewrite the intact prefix: drops any torn tail before new
         // appends land after it.
+        let mut journal = Self::create(&path)?;
+        for entry in &recovery.entries {
+            journal.append(entry)?;
+        }
+        Ok((journal, recovery))
+    }
+
+    /// [`Journal::resume`] with duplicate-cell elimination: entries in
+    /// the intact prefix whose `key` repeats an earlier entry's are
+    /// dropped (first-wins — the first append is the one whose commit
+    /// completed) and counted in [`Recovery::duplicates`], and the file
+    /// is rewritten without them. A writer killed between appending a
+    /// cell and recording it as done re-appends the same cell on its
+    /// next incarnation; without this, the duplicate would survive
+    /// every subsequent resume.
+    pub fn resume_keyed<K, F>(path: impl Into<PathBuf>, key: F) -> io::Result<(Self, Recovery<T>)>
+    where
+        K: std::hash::Hash + Eq,
+        F: Fn(&T) -> K,
+    {
+        let path = path.into();
+        let mut recovery = Self::load(&path)?;
+        let mut seen = std::collections::HashSet::new();
+        let before = recovery.entries.len();
+        recovery.entries.retain(|e| seen.insert(key(e)));
+        recovery.duplicates = before - recovery.entries.len();
         let mut journal = Self::create(&path)?;
         for entry in &recovery.entries {
             journal.append(entry)?;
@@ -257,6 +290,59 @@ mod tests {
         assert_eq!(rec.dropped, 0, "resume rewrote the bad record away");
         let procs: Vec<usize> = rec.entries.iter().map(|m| m.point.procs).collect();
         assert_eq!(procs, vec![1, 4]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn keyed_resume_drops_duplicates_first_wins_and_rewrites() {
+        // A writer killed between "append cell" and "mark cell done"
+        // re-appends the same cell on restart: the journal then holds
+        // the cell twice. resume_keyed keeps the FIRST copy (the one
+        // whose commit completed), counts the rest, and rewrites the
+        // file clean so the dup cannot survive another resume.
+        let path = tmp_path("dedup");
+        let mut j: Journal<Measurement> = Journal::create(&path).unwrap();
+        let mut second = fake_measurement(2);
+        second.final_total_energy = -1.0; // first-wins marker
+        j.append(&fake_measurement(1)).unwrap();
+        j.append(&second).unwrap();
+        j.append(&fake_measurement(4)).unwrap();
+        // The re-appended duplicate of p=2 (different payload: the
+        // retried measurement happens to carry other responses).
+        j.append(&fake_measurement(2)).unwrap();
+        drop(j);
+
+        let (j, rec) = Journal::<Measurement>::resume_keyed(&path, |m| m.point).unwrap();
+        drop(j);
+        assert_eq!(rec.duplicates, 1);
+        assert_eq!(rec.dropped, 0);
+        let procs: Vec<usize> = rec.entries.iter().map(|m| m.point.procs).collect();
+        assert_eq!(procs, vec![1, 2, 4], "append order of first copies kept");
+        assert_eq!(
+            rec.entries[1].final_total_energy, -1.0,
+            "first-wins: the committed copy survives, not the retry"
+        );
+        // The rewrite scrubbed the duplicate from disk.
+        let rec2: Recovery<Measurement> = Journal::load(&path).unwrap();
+        assert_eq!(rec2.entries.len(), 3);
+        let (_, rec3) = Journal::<Measurement>::resume_keyed(&path, |m| m.point).unwrap();
+        assert_eq!(rec3.duplicates, 0, "second keyed resume finds none");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn keyed_resume_still_truncates_torn_tails() {
+        let path = tmp_path("dedup-torn");
+        let mut j: Journal<Measurement> = Journal::create(&path).unwrap();
+        j.append(&fake_measurement(1)).unwrap();
+        j.append(&fake_measurement(1)).unwrap();
+        drop(j);
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("{full}deadbeef {{\"point\":")).unwrap();
+        let (_, rec) = Journal::<Measurement>::resume_keyed(&path, |m| m.point).unwrap();
+        assert_eq!(rec.entries.len(), 1);
+        assert_eq!(rec.duplicates, 1);
+        assert_eq!(rec.dropped, 1);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -22,14 +22,20 @@
 
 pub mod analysis;
 pub mod ascii;
+pub mod cache;
 pub mod expectations;
 pub mod factors;
 pub mod figures;
 pub mod journal;
+pub mod queue;
 pub mod report;
 pub mod runner;
+pub mod service;
 
+pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use factors::{full_factorial, one_factor_at_a_time, ExperimentPoint, NodeConfig};
 pub use figures::Lab;
 pub use journal::{Journal, Recovery};
+pub use queue::{LeasedTask, QueueEvent, QueueRecovery, WorkQueue};
 pub use runner::{measure, measure_with_model, myoglobin_shared, Measurement};
+pub use service::{JobService, ServiceConfig, ServiceOutcome};

@@ -1,0 +1,726 @@
+//! The crash-safe campaign job service: [`WorkQueue`], [`ResultCache`]
+//! and results [`Journal`] composed so that `kill -9` of the service
+//! is invisible.
+//!
+//! A campaign is a list of tasks (cells). Each incarnation of the
+//! service re-derives the full task list and enqueues it (idempotent),
+//! pre-seeds the queue from the recovered results-journal prefix
+//! (those cells are done — never re-dispatched), then drains the
+//! queue: lease → probe the content-addressed cache → simulate on a
+//! miss → commit. The commit order is the correctness core:
+//!
+//! 1. append the result to the results journal (the durable artifact),
+//! 2. store it in the cache,
+//! 3. mark the lease complete in the queue.
+//!
+//! A kill between any two steps loses nothing and double-counts
+//! nothing: after (1) the result is durable, so the next incarnation
+//! pre-seeds the cell from the journal and the torn queue state is
+//! reconciled by `mark_done`; before (1) the cell simply re-runs —
+//! the only re-execution any kill can cause is the cell that was in
+//! flight. Because dispatch is deterministic (first-pending in
+//! enqueue order) and every simulation is deterministic, the resumed
+//! journal is **byte-identical** to an uninterrupted run's.
+//!
+//! [`run_service_chaos`] drives whole campaigns through sampled
+//! [`ServiceFaultPlan`]s — kills at every commit point, torn queue and
+//! journal writes, stale leases, cache bit flips — building the
+//! [`ServiceLedger`] that the `cpc-charmm` service oracles check.
+
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::journal::Journal;
+use crate::queue::{CompleteError, QueueRecovery, WorkQueue};
+use cpc_charmm::chaos::{check_service_ledger, ServiceLedger, ServiceViolation};
+use cpc_cluster::{ServiceFault, ServiceFaultPlan};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where in the three-step commit a scheduled kill lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Before the result journal append: the execution is lost
+    /// entirely (a worker dying mid-cell).
+    BeforeResult,
+    /// After the journal append, before cache store and queue
+    /// completion: the worst torn-commit window.
+    MidCommit,
+    /// After the full commit: the benign boundary.
+    AfterCommit,
+}
+
+/// Configuration of one service incarnation.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Directory holding all durable state: queue shards
+    /// (`queue-NN.jsonl`), results journal (`journal.jsonl`), cache
+    /// (`cache/`).
+    pub dir: PathBuf,
+    /// Queue journal shards.
+    pub shards: usize,
+    /// Logical workers (leases rotate across worker ids; execution is
+    /// sequential and deterministic).
+    pub workers: usize,
+    /// Protocol string folded into every cache key (step count,
+    /// energy model — whatever the task type leaves implicit).
+    pub protocol: String,
+    /// Retry budget per task before dead-lettering.
+    pub max_attempts: usize,
+    /// Kill this incarnation at the n-th fresh execution (1-based),
+    /// at the given [`KillPoint`].
+    pub kill: Option<(usize, KillPoint)>,
+    /// Inject a stale-lease episode at the n-th lease grant (1-based)
+    /// of this incarnation: the lease is expired and re-granted, the
+    /// original is presented on completion and must be rejected.
+    pub stale_lease_at: Option<usize>,
+    /// Cache directory override. `None` keeps the cache inside the
+    /// service directory; pointing several campaigns at one shared
+    /// directory lets identical cells flow between them (sound: the
+    /// address binds task, protocol and code version).
+    pub cache: Option<PathBuf>,
+}
+
+impl ServiceConfig {
+    /// Defaults: 4 shards, 1 worker, a generous retry budget.
+    pub fn new(dir: impl Into<PathBuf>, protocol: impl Into<String>) -> Self {
+        ServiceConfig {
+            dir: dir.into(),
+            shards: 4,
+            workers: 1,
+            protocol: protocol.into(),
+            max_attempts: 8,
+            kill: None,
+            stale_lease_at: None,
+            cache: None,
+        }
+    }
+
+    /// The results journal path inside the service directory.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.jsonl")
+    }
+
+    /// The effective cache directory: the override when set, otherwise
+    /// `cache/` inside the service directory.
+    pub fn cache_dir(&self) -> PathBuf {
+        self.cache.clone().unwrap_or_else(|| self.dir.join("cache"))
+    }
+}
+
+/// What one incarnation did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceOutcome {
+    /// Cells in the campaign.
+    pub total: usize,
+    /// Cells durable (journal) when this incarnation stopped.
+    pub completed: usize,
+    /// Fresh simulations this incarnation ran.
+    pub executed: usize,
+    /// Executions whose result never became durable (killed before
+    /// the journal append).
+    pub lost_executions: usize,
+    /// Cells pre-seeded from the recovered journal prefix.
+    pub journal_preseeded: usize,
+    /// Cells served from the content-addressed cache.
+    pub cache_hits: usize,
+    /// Leases reclaimed from the previous (dead) incarnation.
+    pub reclaimed: usize,
+    /// Cells dead-lettered.
+    pub abandoned: usize,
+    /// Duplicate journal records scrubbed at resume.
+    pub duplicates_dropped: usize,
+    /// Torn/damaged lines dropped (queue shards + results journal).
+    pub dropped_lines: usize,
+    /// Stale-lease completions presented to the queue.
+    pub stale_presented: usize,
+    /// Stale-lease completions the queue rejected.
+    pub stale_rejected: usize,
+    /// Cache counters for this incarnation.
+    pub cache_stats: CacheStats,
+    /// Whether the scheduled kill fired.
+    pub killed: bool,
+    /// Whether the queue drained (all cells done or dead-lettered).
+    pub drained: bool,
+}
+
+/// One incarnation of the campaign job service over results of type
+/// `R`. Construction *is* recovery: opening the service on a
+/// directory with prior state reclaims dead leases, resumes the
+/// results journal (scrubbing duplicates), and opens the cache.
+pub struct JobService<R> {
+    cfg: ServiceConfig,
+    queue: WorkQueue,
+    cache: ResultCache,
+    journal: Journal<R>,
+    recovered: HashMap<String, R>,
+    queue_recovery: QueueRecovery,
+    journal_duplicates: usize,
+    journal_dropped: usize,
+}
+
+impl<R: Serialize + Deserialize + Clone> JobService<R> {
+    /// Opens (or recovers) the service in `cfg.dir`. `key_of` maps a
+    /// journaled result back to its task key — the same canonical
+    /// JSON [`task_key`] produces for the task.
+    pub fn open(cfg: ServiceConfig, key_of: impl Fn(&R) -> String) -> io::Result<Self> {
+        let (queue, queue_recovery) = WorkQueue::recover(&cfg.dir, cfg.shards)?;
+        let queue = queue.with_max_attempts(cfg.max_attempts);
+        let cache = ResultCache::open(cfg.cache_dir())?;
+        let (journal, rec) = Journal::<R>::resume_keyed(cfg.journal_path(), &key_of)?;
+        let recovered = rec
+            .entries
+            .into_iter()
+            .map(|r| (key_of(&r), r))
+            .collect::<HashMap<_, _>>();
+        Ok(JobService {
+            cfg,
+            queue,
+            cache,
+            journal,
+            recovered,
+            queue_recovery,
+            journal_duplicates: rec.duplicates,
+            journal_dropped: rec.dropped,
+        })
+    }
+
+    /// Runs the campaign: enqueues every task (idempotent), pre-seeds
+    /// done cells from the recovered journal, then drains the queue.
+    /// `exec` simulates one cell, returning the result and its virtual
+    /// cost in seconds. Returns when the queue is drained or the
+    /// configured kill fires (check [`ServiceOutcome::killed`]).
+    pub fn run<T: Serialize>(
+        &mut self,
+        tasks: &[T],
+        mut exec: impl FnMut(&T) -> (R, f64),
+    ) -> io::Result<ServiceOutcome> {
+        let mut outcome = ServiceOutcome {
+            total: tasks.len(),
+            reclaimed: self.queue_recovery.reclaimed,
+            duplicates_dropped: self.journal_duplicates,
+            dropped_lines: self.queue_recovery.dropped_lines + self.journal_dropped,
+            ..ServiceOutcome::default()
+        };
+        let mut by_key: HashMap<String, &T> = HashMap::new();
+        let mut keys = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let key = task_key(task)?;
+            by_key.insert(key.clone(), task);
+            keys.push(key);
+        }
+        // Every incarnation re-derives the full task list; enqueue is
+        // idempotent, so this only adds cells the queue has never seen.
+        for key in &keys {
+            self.queue.enqueue(key)?;
+        }
+        // Pre-seed: cells with a recovered durable result are done,
+        // whatever the (possibly torn) queue state says.
+        for key in &keys {
+            if self.recovered.contains_key(key) {
+                self.queue.mark_done(key)?;
+                outcome.journal_preseeded += 1;
+            }
+        }
+        // Drain in the service's own task order, not the queue's
+        // recovered internal order: the byte layout of the results
+        // artifact must survive any scrambling a torn shard write
+        // could inflict on the queue. The walk interleaves healing
+        // (queue-done cells whose durable result a torn journal write
+        // destroyed) with fresh dispatch, because either may need to
+        // rebuild any position of the artifact — a separate healing
+        // pass would write healed cells ahead of resurrected-pending
+        // earlier ones and scramble the byte layout.
+        let mut worker = 0usize;
+        let mut leases_granted = 0usize;
+        'drain: loop {
+            let mut progress = false;
+            for key in &keys {
+                if self.recovered.contains_key(key) {
+                    continue;
+                }
+                self.queue.reclaim_expired()?;
+                let task = by_key[key.as_str()];
+                let ckey = CacheKey::of(task, &self.cfg.protocol)?;
+
+                if self.queue.is_done(key) {
+                    // Heal: re-derive the destroyed result — cache
+                    // first, simulate on a miss — in place.
+                    let result = match self.cache.get::<R>(&ckey) {
+                        Some(r) => {
+                            outcome.cache_hits += 1;
+                            r
+                        }
+                        None => {
+                            let (r, _) = exec(task);
+                            outcome.executed += 1;
+                            r
+                        }
+                    };
+                    self.journal.append(&result)?;
+                    if !self.cache.contains(&ckey) {
+                        self.cache.put(&ckey, &result)?;
+                    }
+                    self.recovered.insert(key.clone(), result);
+                    progress = true;
+                    continue;
+                }
+                if !self.queue.is_pending(key) {
+                    continue; // dead-lettered
+                }
+
+                let lease = self
+                    .queue
+                    .lease_key(key, worker)?
+                    .expect("a pending task leases");
+                worker = (worker + 1) % self.cfg.workers.max(1);
+                leases_granted += 1;
+
+                // Injected stale-lease episode: expire and re-grant
+                // the lease, then present the stale one after
+                // executing.
+                let (current, stale) = if self.cfg.stale_lease_at == Some(leases_granted) {
+                    let dt = (lease.expires - self.queue.now()).max(0.0) + 1e-9;
+                    self.queue.advance_clock(dt);
+                    self.queue.reclaim_expired()?;
+                    let fresh = self
+                        .queue
+                        .lease_key(&lease.key, worker)?
+                        .expect("the reclaimed cell re-leases");
+                    (fresh, Some(lease))
+                } else {
+                    (lease, None)
+                };
+
+                // Cache probe: a hit is journaled (keeping the
+                // artifact complete and ordered) but never
+                // re-simulated.
+                if let Some(result) = self.cache.get::<R>(&ckey) {
+                    self.journal.append(&result)?;
+                    let _ = self.queue.complete(&current.key, current.lease, 0.0);
+                    self.recovered.insert(current.key.clone(), result);
+                    outcome.cache_hits += 1;
+                    progress = true;
+                    continue;
+                }
+
+                // Scheduled kill before the result becomes durable:
+                // the execution happens and is lost with the process.
+                let next_execution = outcome.executed + 1;
+                if self.cfg.kill == Some((next_execution, KillPoint::BeforeResult)) {
+                    let _ = exec(task);
+                    outcome.executed += 1;
+                    outcome.lost_executions += 1;
+                    outcome.killed = true;
+                    break 'drain;
+                }
+
+                let (result, elapsed) = exec(task);
+                outcome.executed += 1;
+
+                // Commit step 1: the durable artifact.
+                self.journal.append(&result)?;
+                if self.cfg.kill == Some((outcome.executed, KillPoint::MidCommit)) {
+                    outcome.killed = true;
+                    break 'drain;
+                }
+                // Commit step 2: the content-addressed cache.
+                self.cache.put(&ckey, &result)?;
+                // Commit step 3: the queue. A stale lease presented
+                // here must bounce; the fresh lease then completes
+                // the cell.
+                if let Some(stale_lease) = &stale {
+                    outcome.stale_presented += 1;
+                    if self
+                        .queue
+                        .complete(&stale_lease.key, stale_lease.lease, elapsed)
+                        == Err(CompleteError::StaleLease)
+                    {
+                        outcome.stale_rejected += 1;
+                    }
+                }
+                let _ = self.queue.complete(&current.key, current.lease, elapsed);
+                self.recovered.insert(current.key.clone(), result);
+                progress = true;
+                if self.cfg.kill == Some((outcome.executed, KillPoint::AfterCommit)) {
+                    outcome.killed = true;
+                    break 'drain;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        outcome.completed = keys
+            .iter()
+            .filter(|k| self.recovered.contains_key(*k))
+            .count();
+        outcome.abandoned = self.queue.abandoned_count();
+        outcome.cache_stats = self.cache.stats();
+        outcome.drained = self.queue.drained();
+        Ok(outcome)
+    }
+
+    /// The recovered + newly-completed results, by task key.
+    pub fn results(&self) -> &HashMap<String, R> {
+        &self.recovered
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+}
+
+/// The canonical task key: the task's serialized JSON. Deterministic
+/// because the serde shim's object representation is insertion-ordered.
+pub fn task_key<T: Serialize>(task: &T) -> io::Result<String> {
+    serde_json::to_string(task)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// FNV-1a digest of a file's bytes (a missing file digests as 0):
+/// the artifact fingerprint the byte-identity oracle compares.
+pub fn artifact_digest(path: impl AsRef<Path>) -> u64 {
+    match std::fs::read(path) {
+        Ok(bytes) => {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in &bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        }
+        Err(_) => 0,
+    }
+}
+
+/// Everything a service chaos schedule produced: the aggregated
+/// ledger and the oracle verdicts over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceChaosReport {
+    /// Cross-incarnation accounting.
+    pub ledger: ServiceLedger,
+    /// Oracle violations (empty = the schedule passed).
+    pub violations: Vec<ServiceViolation>,
+}
+
+impl ServiceChaosReport {
+    /// True when every oracle held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Truncates `path` to `keep_frac` of its bytes (a torn write) and
+/// returns how many complete lines were destroyed.
+fn tear_file(path: &Path, keep_frac: f64) -> usize {
+    let Ok(bytes) = std::fs::read(path) else {
+        return 0;
+    };
+    let lines_before = bytes.iter().filter(|&&b| b == b'\n').count();
+    let keep = ((bytes.len() as f64) * keep_frac.clamp(0.0, 1.0)) as usize;
+    let kept = &bytes[..keep.min(bytes.len())];
+    let lines_after = kept.iter().filter(|&&b| b == b'\n').count();
+    let _ = std::fs::write(path, kept);
+    lines_before - lines_after
+}
+
+/// Runs one campaign twice — an uninterrupted reference in
+/// `dir/reference` and a faulted run in `dir/chaos` driven through
+/// `plan` — and checks the service oracles over the result.
+///
+/// Kills end an incarnation (the [`JobService`] is dropped exactly as
+/// a `SIGKILL` would leave it: every durable write is already synced);
+/// storage faults damage the on-disk state between incarnations;
+/// stale-lease faults ride into the next incarnation's config. A
+/// final fault-free incarnation drains the campaign.
+pub fn run_service_chaos<T, R>(
+    dir: impl Into<PathBuf>,
+    tasks: &[T],
+    protocol: &str,
+    plan: &ServiceFaultPlan,
+    key_of: impl Fn(&R) -> String + Copy,
+    mut exec: impl FnMut(&T) -> (R, f64),
+) -> io::Result<ServiceChaosReport>
+where
+    T: Serialize,
+    R: Serialize + Deserialize + Clone,
+{
+    let dir = dir.into();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Reference: one uninterrupted incarnation.
+    let ref_cfg = ServiceConfig::new(dir.join("reference"), protocol);
+    let ref_journal = ref_cfg.journal_path();
+    let mut reference = JobService::<R>::open(ref_cfg, key_of)?;
+    let ref_outcome = reference.run(tasks, &mut exec)?;
+    drop(reference);
+    debug_assert!(ref_outcome.drained);
+    let reference_digest = artifact_digest(&ref_journal);
+
+    // Chaos: incarnations punctuated by the plan's faults.
+    let chaos_dir = dir.join("chaos");
+    let base_cfg = ServiceConfig::new(&chaos_dir, protocol);
+    let journal_path = base_cfg.journal_path();
+    let mut ledger = ServiceLedger {
+        total_cells: tasks.len(),
+        reference_digest,
+        ..ServiceLedger::default()
+    };
+    let mut pending_stale: Option<usize> = None;
+
+    let run_incarnation = |kill: Option<(usize, KillPoint)>,
+                           stale: Option<usize>,
+                           ledger: &mut ServiceLedger,
+                           exec: &mut dyn FnMut(&T) -> (R, f64)|
+     -> io::Result<ServiceOutcome> {
+        let cfg = ServiceConfig {
+            kill,
+            stale_lease_at: stale,
+            ..base_cfg.clone()
+        };
+        let mut service = JobService::<R>::open(cfg, key_of)?;
+        let outcome = service.run(tasks, exec)?;
+        ledger.incarnations += 1;
+        ledger.executed += outcome.executed;
+        ledger.lost_executions += outcome.lost_executions;
+        ledger.journal_preseeded += outcome.journal_preseeded;
+        ledger.cache_hits += outcome.cache_hits;
+        ledger.cache_corruption_caught += outcome.cache_stats.corrupt;
+        ledger.reclaimed_leases += outcome.reclaimed;
+        ledger.dropped_lines += outcome.dropped_lines;
+        ledger.duplicate_results += outcome.duplicates_dropped;
+        ledger.stale_presented += outcome.stale_presented;
+        ledger.stale_rejected += outcome.stale_rejected;
+        ledger.kills += outcome.killed as usize;
+        Ok(outcome)
+    };
+
+    for fault in &plan.faults {
+        match *fault {
+            ServiceFault::WorkerKill { cells } => {
+                run_incarnation(
+                    Some((cells, KillPoint::BeforeResult)),
+                    pending_stale.take(),
+                    &mut ledger,
+                    &mut exec,
+                )?;
+            }
+            ServiceFault::OrchestratorKillMidCommit { cells } => {
+                run_incarnation(
+                    Some((cells, KillPoint::MidCommit)),
+                    pending_stale.take(),
+                    &mut ledger,
+                    &mut exec,
+                )?;
+            }
+            ServiceFault::OrchestratorKillAfterCommit { cells } => {
+                run_incarnation(
+                    Some((cells, KillPoint::AfterCommit)),
+                    pending_stale.take(),
+                    &mut ledger,
+                    &mut exec,
+                )?;
+            }
+            ServiceFault::StaleLease { at_lease } => {
+                pending_stale = Some(at_lease);
+            }
+            ServiceFault::TornQueueWrite { shard, keep_frac } => {
+                let shard = shard % base_cfg.shards.max(1);
+                let path = chaos_dir.join(format!("queue-{shard:02}.jsonl"));
+                tear_file(&path, keep_frac);
+            }
+            ServiceFault::TornResultWrite { keep_frac } => {
+                ledger.destroyed_results += tear_file(&journal_path, keep_frac);
+            }
+            ServiceFault::CacheBitFlip { entry, byte, bit } => {
+                let cache = ResultCache::open(base_cfg.cache_dir())?;
+                let entries = cache.entry_paths();
+                if !entries.is_empty() {
+                    let path = &entries[entry % entries.len()];
+                    if let Ok(mut bytes) = std::fs::read(path) {
+                        if !bytes.is_empty() {
+                            let at = byte % bytes.len();
+                            bytes[at] ^= 1 << (bit % 8);
+                            let _ = std::fs::write(path, &bytes);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Final incarnation: drain to completion.
+    let last = run_incarnation(None, pending_stale.take(), &mut ledger, &mut exec)?;
+    ledger.completed = last.completed;
+    ledger.abandoned = last.abandoned;
+    ledger.artifact_digest = artifact_digest(&journal_path);
+
+    let violations = check_service_ledger(&ledger);
+    Ok(ServiceChaosReport { ledger, violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpc_cluster::ServiceFaultSpace;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cpc-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// A cheap deterministic "simulation": task ids 0..n producing
+    /// `[id, id²]` vectors at 0.25 virtual seconds per cell.
+    fn tasks(n: u64) -> Vec<u64> {
+        (0..n).collect()
+    }
+
+    fn exec(t: &u64) -> (Vec<f64>, f64) {
+        (vec![*t as f64, (*t * *t) as f64], 0.25)
+    }
+
+    // Must be exactly `Fn(&R)` with `R = Vec<f64>` to match the
+    // service's key extractor; a slice would not unify.
+    #[allow(clippy::ptr_arg)]
+    fn key_of(r: &Vec<f64>) -> String {
+        serde_json::to_string(&(r[0] as u64)).unwrap()
+    }
+
+    #[test]
+    fn uninterrupted_run_drains_and_executes_each_cell_once() {
+        let dir = tmp_dir("clean");
+        let mut svc = JobService::<Vec<f64>>::open(ServiceConfig::new(&dir, "p"), key_of).unwrap();
+        let out = svc.run(&tasks(8), exec).unwrap();
+        assert!(out.drained && !out.killed);
+        assert_eq!((out.total, out.completed, out.executed), (8, 8, 8));
+        assert_eq!(out.cache_hits, 0);
+        // A second service over the same directory re-runs nothing.
+        drop(svc);
+        let mut svc = JobService::<Vec<f64>>::open(ServiceConfig::new(&dir, "p"), key_of).unwrap();
+        let again = svc.run(&tasks(8), exec).unwrap();
+        assert_eq!(again.executed, 0, "all pre-seeded from the journal");
+        assert_eq!(again.journal_preseeded, 8);
+        assert_eq!(again.completed, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_resume_is_invisible_at_every_commit_point() {
+        // Reference artifact from an uninterrupted run.
+        let ref_dir = tmp_dir("kill-ref");
+        let ref_cfg = ServiceConfig::new(&ref_dir, "p");
+        let ref_journal = ref_cfg.journal_path();
+        let mut svc = JobService::<Vec<f64>>::open(ref_cfg, key_of).unwrap();
+        svc.run(&tasks(6), exec).unwrap();
+        drop(svc);
+        let want = artifact_digest(&ref_journal);
+
+        for (tag, point) in [
+            ("before", KillPoint::BeforeResult),
+            ("mid", KillPoint::MidCommit),
+            ("after", KillPoint::AfterCommit),
+        ] {
+            let dir = tmp_dir(&format!("kill-{tag}"));
+            let cfg = ServiceConfig {
+                kill: Some((3, point)),
+                ..ServiceConfig::new(&dir, "p")
+            };
+            let journal = cfg.journal_path();
+            let mut svc = JobService::<Vec<f64>>::open(cfg, key_of).unwrap();
+            let killed = svc.run(&tasks(6), exec).unwrap();
+            assert!(killed.killed, "{tag}: the kill fires");
+            drop(svc); // SIGKILL: every durable write is already synced.
+
+            let mut svc =
+                JobService::<Vec<f64>>::open(ServiceConfig::new(&dir, "p"), key_of).unwrap();
+            let resumed = svc.run(&tasks(6), exec).unwrap();
+            assert!(resumed.drained, "{tag}: resume drains");
+            assert_eq!(resumed.completed, 6, "{tag}: no lost cell");
+            // Only the in-flight cell may re-execute, and only when
+            // its result never became durable (BeforeResult).
+            let licensed = 6 + killed.lost_executions;
+            assert!(
+                killed.executed + resumed.executed <= licensed,
+                "{tag}: {} + {} executions exceed {licensed}",
+                killed.executed,
+                resumed.executed,
+            );
+            assert_eq!(
+                artifact_digest(&journal),
+                want,
+                "{tag}: artifact must be byte-identical after kill-resume"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let _ = std::fs::remove_dir_all(&ref_dir);
+    }
+
+    #[test]
+    fn cache_serves_cells_across_campaigns_without_resimulation() {
+        let dir = tmp_dir("xcache");
+        // First campaign fills the cache.
+        let mut svc = JobService::<Vec<f64>>::open(ServiceConfig::new(&dir, "p"), key_of).unwrap();
+        svc.run(&tasks(5), exec).unwrap();
+        drop(svc);
+        // Second campaign in a fresh directory, same cache dir: wipe
+        // queue + journal but keep the cache to model a new campaign
+        // requesting identical cells.
+        for entry in std::fs::read_dir(&dir).unwrap().filter_map(Result::ok) {
+            if entry.path().is_file() {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        let mut svc = JobService::<Vec<f64>>::open(ServiceConfig::new(&dir, "p"), key_of).unwrap();
+        let out = svc.run(&tasks(5), exec).unwrap();
+        assert_eq!(out.executed, 0, "identical cells come from the cache");
+        assert_eq!(out.cache_hits, 5);
+        assert_eq!(out.completed, 5);
+        // A different protocol re-keys everything: full re-simulation.
+        drop(svc);
+        for entry in std::fs::read_dir(&dir).unwrap().filter_map(Result::ok) {
+            if entry.path().is_file() {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        let mut svc = JobService::<Vec<f64>>::open(ServiceConfig::new(&dir, "q"), key_of).unwrap();
+        let out = svc.run(&tasks(5), exec).unwrap();
+        assert_eq!(out.executed, 5, "protocol is part of the address");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lease_injection_is_rejected_and_accounted() {
+        let dir = tmp_dir("stale");
+        let cfg = ServiceConfig {
+            stale_lease_at: Some(2),
+            ..ServiceConfig::new(&dir, "p")
+        };
+        let mut svc = JobService::<Vec<f64>>::open(cfg, key_of).unwrap();
+        let out = svc.run(&tasks(4), exec).unwrap();
+        assert!(out.drained);
+        assert_eq!(out.completed, 4);
+        assert_eq!((out.stale_presented, out.stale_rejected), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampled_service_schedules_uphold_both_oracles() {
+        let space = ServiceFaultSpace::new(6, 4);
+        for index in 0..10 {
+            let plan = space.sample(11, index);
+            let dir = tmp_dir(&format!("chaos-{index}"));
+            let report = run_service_chaos(&dir, &tasks(6), "p", &plan, key_of, exec).unwrap();
+            assert!(
+                report.passed(),
+                "schedule {index} ({plan:?}) violated: {:?}\nledger: {:?}",
+                report.violations,
+                report.ledger
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
