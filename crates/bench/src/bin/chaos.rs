@@ -42,6 +42,16 @@
 //!   re-execution, and byte-identical artifacts after kill-resume.
 //!   Verdicts are journaled to `DIR/service_chaos.jsonl`; `--resume`
 //!   skips checked schedules. Exit 0 when every schedule passed.
+//! * **Transport mode** (`--transport N`): chaos at the *HTTP gateway*
+//!   layer. Samples N transport fault schedules — malformed and
+//!   truncated requests, slowloris readers, mid-response disconnects,
+//!   connection floods, gateway kills — drives each campaign through
+//!   [`run_gateway_chaos`](cpc_gateway::run_gateway_chaos), and checks
+//!   the six gateway oracles: no panic, no fd leak, no deadline
+//!   overrun, no lost cell, no doubly-executed cell, byte-identical
+//!   artifacts versus the direct (no-gateway) reference. Verdicts are
+//!   journaled to `DIR/transport_chaos.jsonl`; `--resume` skips
+//!   checked schedules. Exit 0 when every schedule passed.
 //! * **Straggle-smoke mode** (`--straggle-smoke`): CI gate for
 //!   degraded-mode rebalancing. Runs a compute-dominated workload
 //!   under a persistent straggler, asserts the mitigation contract
@@ -58,14 +68,17 @@
 //!   `DIR/abft_smoke.json`; deterministic, CI `cmp`s two runs.
 
 use cpc_bench::cli::Args;
-use cpc_charmm::chaos::{flatten, ChaosHarness, Reproducer, ScheduleReport, ServiceLedger};
+use cpc_charmm::chaos::{
+    flatten, ChaosHarness, GatewayLedger, Reproducer, ScheduleReport, ServiceLedger,
+};
 use cpc_charmm::{
     run_parallel_md_faulty, AbftConfig, DurableConfig, FaultConfig, MdConfig, RecoveryConfig,
 };
 use cpc_cluster::{
     sdc_class, ClusterConfig, FaultPlan, FaultSpace, NetworkKind, SdcClass, SdcTarget,
-    ServiceFaultSpace,
+    ServiceFaultSpace, TransportFaultSpace,
 };
+use cpc_gateway::{demo_cells, demo_flood_cells, run_gateway_chaos, DemoModel};
 use cpc_md::EnergyModel;
 use cpc_mpi::Middleware;
 use cpc_workload::journal::Journal;
@@ -92,8 +105,8 @@ struct Verdict {
 const STALL_TIMEOUT: f64 = 20.0;
 
 const USAGE: &str = "usage: chaos [--schedules N] [--seed S] [--soak] [--resume] [--out DIR]\n\
-     \x20      [--ranks P] [--steps N] | --service N | --plant | --replay FILE\n\
-     \x20      | --straggle-smoke | --abft-smoke";
+     \x20      [--ranks P] [--steps N] | --service N | --transport N | --plant\n\
+     \x20      | --replay FILE | --straggle-smoke | --abft-smoke";
 
 /// Exit 2 (usage/environment error) with a message — the typed
 /// replacement for `expect` on malformed inputs and I/O failures.
@@ -563,6 +576,14 @@ fn service_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
         .filter(|v| v.seed == seed && !v.passed)
         .map(|v| v.index)
         .collect();
+    // Duplicates the recovery scrub dropped inside each schedule's
+    // campaign: the quiet half of the exactly-once story, surfaced in
+    // the summary so a regression in the scrub is visible in CI logs.
+    let mut duplicates_scrubbed: usize = prior
+        .iter()
+        .filter(|v| v.seed == seed)
+        .map(|v| v.ledger.duplicate_results)
+        .sum();
 
     let space = ServiceFaultSpace::new(SERVICE_CELLS as usize, SERVICE_SHARDS);
     let tasks: Vec<u64> = (0..SERVICE_CELLS).collect();
@@ -585,6 +606,7 @@ fn service_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
             .unwrap_or_else(|e| die(format!("schedule {index} I/O failure: {e}")));
         let _ = std::fs::remove_dir_all(&dir);
         checked += 1;
+        duplicates_scrubbed += report.ledger.duplicate_results;
         let verdict = ServiceVerdict {
             seed,
             index,
@@ -615,7 +637,8 @@ fn service_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
     let _ = std::fs::remove_dir_all(&scratch);
 
     println!(
-        "checked {checked} fresh schedule(s) ({} total), {} violation(s)",
+        "checked {checked} fresh schedule(s) ({} total), {} violation(s), \
+         {duplicates_scrubbed} duplicate result(s) scrubbed at recovery",
         done.len() as u64 + checked,
         failures.len()
     );
@@ -626,6 +649,147 @@ fn service_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
         return 1;
     }
     println!("both service oracles held on every schedule");
+    0
+}
+
+/// One journaled transport-chaos verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TransportVerdict {
+    /// Campaign seed.
+    seed: u64,
+    /// Schedule index within the campaign.
+    index: u64,
+    /// Whether all six gateway oracles held.
+    passed: bool,
+    /// Rendered violations (empty when passed).
+    violations: Vec<String>,
+    /// The cross-incarnation transport accounting the oracles checked.
+    ledger: GatewayLedger,
+}
+
+/// Cells per synthetic gateway campaign, matching the service-chaos
+/// campaign so the two layers exercise the same workload.
+const TRANSPORT_CELLS: u64 = 6;
+
+/// Transport-level chaos campaign: schedules `0..N` sampled from
+/// `(seed, index)`, each driving a full campaign through the HTTP
+/// gateway under malformed requests, slowloris readers, disconnects,
+/// floods and process kills.
+fn transport_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
+    let journal_path = out.join("transport_chaos.jsonl");
+    let (mut journal, prior) = if resume {
+        let (j, recovery) =
+            Journal::<TransportVerdict>::resume_keyed(&journal_path, |v| (v.seed, v.index))
+                .unwrap_or_else(|e| die(format!("cannot resume {}: {e}", journal_path.display())));
+        if recovery.dropped > 0 {
+            eprintln!(
+                "journal {}: discarded {} torn/damaged trailing line(s)",
+                journal_path.display(),
+                recovery.dropped
+            );
+        }
+        if recovery.duplicates > 0 {
+            eprintln!(
+                "journal {}: scrubbed {} duplicate verdict(s) (first wins)",
+                journal_path.display(),
+                recovery.duplicates
+            );
+        }
+        eprintln!(
+            "journal {}: resuming past {} checked schedule(s)",
+            journal_path.display(),
+            recovery.entries.len()
+        );
+        (j, recovery.entries)
+    } else {
+        (
+            Journal::<TransportVerdict>::create(&journal_path)
+                .unwrap_or_else(|e| die(format!("cannot create {}: {e}", journal_path.display()))),
+            Vec::new(),
+        )
+    };
+    let done: HashSet<u64> = prior
+        .iter()
+        .filter(|v| v.seed == seed)
+        .map(|v| v.index)
+        .collect();
+    let mut failures: Vec<u64> = prior
+        .iter()
+        .filter(|v| v.seed == seed && !v.passed)
+        .map(|v| v.index)
+        .collect();
+
+    let space = TransportFaultSpace::new(TRANSPORT_CELLS as usize);
+    let cells = demo_cells(TRANSPORT_CELLS);
+    let scratch = std::env::temp_dir().join(format!("cpc-transport-chaos-{}", std::process::id()));
+    println!(
+        "transport chaos campaign: seed {seed}, {schedules} schedules, \
+         {TRANSPORT_CELLS} cells per campaign through the HTTP gateway"
+    );
+
+    let mut checked = 0u64;
+    let mut shed_total = 0usize;
+    let mut rejected_total = 0usize;
+    let mut kills_total = 0usize;
+    for index in 0..schedules {
+        if done.contains(&index) {
+            continue;
+        }
+        let plan = space.sample(seed, index);
+        let dir = scratch.join(format!("t{index:05}"));
+        let report =
+            run_gateway_chaos(&dir, || DemoModel, &cells, "demo", &plan, &demo_flood_cells)
+                .unwrap_or_else(|e| die(format!("schedule {index} I/O failure: {e}")));
+        let _ = std::fs::remove_dir_all(&dir);
+        checked += 1;
+        shed_total += report.ledger.shed;
+        rejected_total += report.ledger.rejected;
+        kills_total += report.ledger.kills;
+        let verdict = TransportVerdict {
+            seed,
+            index,
+            passed: report.passed(),
+            violations: report.violations.iter().map(|v| v.to_string()).collect(),
+            ledger: report.ledger.clone(),
+        };
+        if let Err(e) = journal.append(&verdict) {
+            die(format!("cannot journal verdict {index}: {e}"));
+        }
+        if !verdict.passed {
+            println!(
+                "schedule {index} ({:?}): {} VIOLATION(S)",
+                plan.faults,
+                verdict.violations.len()
+            );
+            for v in &verdict.violations {
+                println!("  - {v}");
+            }
+            failures.push(index);
+        } else if (index + 1).is_multiple_of(25) {
+            println!(
+                "schedule {index}: ok ({} conn(s), {} rejected, {} shed, {} incarnation(s))",
+                report.ledger.conns_opened,
+                report.ledger.rejected,
+                report.ledger.shed,
+                report.ledger.incarnations
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!(
+        "checked {checked} fresh schedule(s) ({} total), {} violation(s); \
+         {rejected_total} malformed rejected, {shed_total} shed, {kills_total} kill(s) survived",
+        done.len() as u64 + checked,
+        failures.len()
+    );
+    if !failures.is_empty() {
+        failures.sort_unstable();
+        failures.dedup();
+        println!("failing schedules: {failures:?}");
+        return 1;
+    }
+    println!("all six gateway oracles held on every schedule");
     0
 }
 
@@ -669,6 +833,7 @@ fn main() {
     let straggle_smoke = args.flag("--straggle-smoke");
     let abft_smoke = args.flag("--abft-smoke");
     let service: Option<u64> = args.parsed("--service", "an integer schedule count");
+    let transport: Option<u64> = args.parsed("--transport", "an integer schedule count");
     let schedules: u64 = args
         .parsed("--schedules", "an integer schedule count")
         .unwrap_or(50);
@@ -698,6 +863,9 @@ fn main() {
     }
     if let Some(n) = service {
         std::process::exit(service_mode(&out, n, seed, resume));
+    }
+    if let Some(n) = transport {
+        std::process::exit(transport_mode(&out, n, seed, resume));
     }
 
     let journal_path = out.join("chaos.jsonl");

@@ -1,13 +1,26 @@
 //! Visualizes one PME energy evaluation as a message timeline per rank
 //! — the instrument behind the paper's breakdown, made visible.
+use cpc_bench::cli::Args;
 use cpc_charmm::ParallelPme;
 use cpc_cluster::{
     render_timeline, run_cluster, summarize_trace, ClusterConfig, NetworkKind, Phase, PIII_1GHZ,
 };
 use cpc_mpi::{Comm, Middleware};
 
+const USAGE: &str = "usage: trace_demo [--quick] [--ranks P] [--width COLS]";
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let mut args = Args::parse("trace_demo", USAGE);
+    let quick = args.flag("--quick");
+    let p: usize = args.parsed("--ranks", "an integer rank count").unwrap_or(4);
+    let width: usize = args
+        .parsed("--width", "an integer column count")
+        .unwrap_or(100);
+    if p == 0 {
+        args.conflict("--ranks must be at least 1");
+    }
+    args.finish();
+
     let system = if quick {
         cpc_workload::runner::quick_system()
     } else {
@@ -19,7 +32,6 @@ fn main() {
         cpc_workload::runner::paper_pme_params()
     };
     for network in [NetworkKind::TcpGigE, NetworkKind::MyrinetGm] {
-        let p = 4;
         let mut cfg = ClusterConfig::uni(p, network);
         cfg.record_trace = true;
         let sys = &system;
@@ -44,6 +56,6 @@ fn main() {
             s.control_messages,
             s.mean_payload_wire * 1e3
         );
-        println!("{}", render_timeline(&events, p, 100));
+        println!("{}", render_timeline(&events, p, width));
     }
 }

@@ -237,6 +237,21 @@ mod tests {
     }
 
     #[test]
+    fn a_duplicated_value_flag_is_rejected_not_silently_merged() {
+        // First occurrence wins the accessor; the second survives to
+        // finish() as an unknown leftover, so `--seed 1 --seed 2`
+        // cannot silently mean either one.
+        let mut a = args(&["--seed", "1", "--seed", "2"]);
+        assert_eq!(a.try_value("--seed"), Ok(Some("1".to_string())));
+        assert_eq!(
+            a.try_finish(),
+            Err(CliError::UnknownArgs {
+                args: vec!["--seed".into(), "2".into()]
+            })
+        );
+    }
+
+    #[test]
     fn a_flag_does_not_swallow_a_consumed_neighbor() {
         // `--resume --out`: --out's "value" position holds a flag that
         // was already consumed, so --out is missing its value rather

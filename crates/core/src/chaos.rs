@@ -1053,10 +1053,12 @@ pub struct ServiceLedger {
     pub incarnations: usize,
     /// Process kills the schedule actually delivered.
     pub kills: usize,
-    /// FNV-1a digest of the final results artifact.
-    pub artifact_digest: u64,
+    /// FNV-1a digest of the final results artifact; `None` when the
+    /// artifact was missing or unreadable — which the byte-identity
+    /// oracle treats as a violation, never as a match.
+    pub artifact_digest: Option<u64>,
     /// Same digest from the uninterrupted reference run.
-    pub reference_digest: u64,
+    pub reference_digest: Option<u64>,
 }
 
 /// One violation of the job-service invariants.
@@ -1082,12 +1084,13 @@ pub enum ServiceViolation {
         allowance: usize,
     },
     /// The killed-and-resumed campaign's artifact differs from the
-    /// uninterrupted run's: recovery was not invisible.
+    /// uninterrupted run's — or either artifact was missing/unreadable
+    /// (`None`), which can never count as byte-identical.
     ArtifactMismatch {
-        /// Digest of the chaos run's artifact.
-        artifact: u64,
-        /// Digest of the reference run's artifact.
-        reference: u64,
+        /// Digest of the chaos run's artifact (`None` = unreadable).
+        artifact: Option<u64>,
+        /// Digest of the reference run's artifact (`None` = unreadable).
+        reference: Option<u64>,
     },
     /// A stale or duplicate lease completion was accepted instead of
     /// rejected: double-counted work.
@@ -1122,13 +1125,24 @@ impl std::fmt::Display for ServiceViolation {
                 reference,
             } => write!(
                 f,
-                "artifact mismatch: {artifact:016x} != reference {reference:016x}"
+                "artifact mismatch: {} != reference {}",
+                fmt_digest(*artifact),
+                fmt_digest(*reference)
             ),
             ServiceViolation::StaleLeaseAccepted {
                 presented,
                 rejected,
             } => write!(f, "stale lease accepted: {rejected}/{presented} rejected"),
         }
+    }
+}
+
+/// Renders an artifact digest for violation messages (`None` = the
+/// file could not be read, which is itself a reportable state).
+fn fmt_digest(d: Option<u64>) -> String {
+    match d {
+        Some(d) => format!("{d:016x}"),
+        None => "<unreadable>".to_string(),
     }
 }
 
@@ -1164,7 +1178,12 @@ pub fn check_service_ledger(ledger: &ServiceLedger) -> Vec<ServiceViolation> {
             allowance,
         });
     }
-    if ledger.artifact_digest != ledger.reference_digest {
+    // An unreadable artifact (`None`) is always a violation: two
+    // missing files must never compare "byte-identical".
+    if ledger.artifact_digest.is_none()
+        || ledger.reference_digest.is_none()
+        || ledger.artifact_digest != ledger.reference_digest
+    {
         violations.push(ServiceViolation::ArtifactMismatch {
             artifact: ledger.artifact_digest,
             reference: ledger.reference_digest,
@@ -1174,6 +1193,201 @@ pub fn check_service_ledger(ledger: &ServiceLedger) -> Vec<ServiceViolation> {
         violations.push(ServiceViolation::StaleLeaseAccepted {
             presented: ledger.stale_presented,
             rejected: ledger.stale_rejected,
+        });
+    }
+    violations
+}
+
+/// Cross-incarnation accounting for one campaign driven through the
+/// HTTP/JSON gateway (`cpc-gateway`) under transport-level chaos:
+/// the service-level cell accounting of [`ServiceLedger`] plus the
+/// transport book — connections opened/closed, requests parsed,
+/// malformed/overload rejections, deadline discipline, panics.
+/// [`check_gateway_ledger`] turns a ledger into oracle verdicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct GatewayLedger {
+    /// Cells the campaign comprises.
+    pub total_cells: usize,
+    /// Cells with a durable result when the gateway drained.
+    pub completed: usize,
+    /// Cells dead-lettered (forbidden under the sampled space).
+    pub abandoned: usize,
+    /// Fresh simulations across all gateway incarnations.
+    pub executed: usize,
+    /// Executions whose result never became durable (gateway killed
+    /// before the journal append) — each licenses one re-execution.
+    pub lost_executions: usize,
+    /// Connections the fault injector opened against the gateway.
+    pub conns_opened: usize,
+    /// Connections closed (handler returned and the stream dropped)
+    /// by the end of the campaign. Must equal `conns_opened`: a
+    /// missing close is a leaked fd.
+    pub conns_closed: usize,
+    /// Requests that parsed completely and reached a route.
+    pub requests: usize,
+    /// Malformed / oversized / truncated / timed-out requests the
+    /// gateway answered with a 4xx (or aborted cleanly).
+    pub rejected: usize,
+    /// Requests shed with 429/503 + `Retry-After` under overload or
+    /// drain.
+    pub shed: usize,
+    /// Read or write operations the gateway issued *after* the
+    /// connection's deadline had already passed. Must be zero: a
+    /// slowloris client must not drag a handler past its deadline.
+    pub deadline_overruns: usize,
+    /// Handler panics caught by the chaos driver. Must be zero.
+    pub panics: usize,
+    /// Gateway process kills the schedule delivered.
+    pub kills: usize,
+    /// Gateway incarnations (1 = never killed).
+    pub incarnations: usize,
+    /// FNV-1a digest of the campaign's results journal (`None` =
+    /// unreadable, which is always a violation).
+    pub artifact_digest: Option<u64>,
+    /// Same digest from the direct (no-gateway) reference run.
+    pub reference_digest: Option<u64>,
+}
+
+/// One violation of the gateway invariants under transport chaos.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GatewayViolation {
+    /// A connection handler panicked.
+    Panic {
+        /// Panics caught.
+        count: usize,
+    },
+    /// Connections opened and closed diverge: a leaked fd.
+    FdLeak {
+        /// Connections opened.
+        opened: usize,
+        /// Connections closed.
+        closed: usize,
+    },
+    /// A handler kept reading or writing past its deadline.
+    DeadlineOverrun {
+        /// Operations issued after the deadline.
+        count: usize,
+    },
+    /// A cell vanished (or was dead-lettered) across the campaign.
+    LostCell {
+        /// Cells with durable results.
+        completed: usize,
+        /// Cells dead-lettered.
+        abandoned: usize,
+        /// Cells the campaign comprises.
+        total: usize,
+    },
+    /// More fresh executions than kills license: a doubly-executed
+    /// cell.
+    DuplicateExecution {
+        /// Fresh executions observed.
+        executed: usize,
+        /// The bound: `total + lost_executions`.
+        allowance: usize,
+    },
+    /// The gateway-path artifact differs from the direct-path
+    /// reference (or either was unreadable).
+    ArtifactMismatch {
+        /// Digest of the gateway run's artifact (`None` = unreadable).
+        artifact: Option<u64>,
+        /// Digest of the reference artifact (`None` = unreadable).
+        reference: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for GatewayViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayViolation::Panic { count } => write!(f, "handler panicked {count} time(s)"),
+            GatewayViolation::FdLeak { opened, closed } => {
+                write!(f, "fd leak: {opened} opened, {closed} closed")
+            }
+            GatewayViolation::DeadlineOverrun { count } => {
+                write!(f, "deadline overrun: {count} op(s) past the deadline")
+            }
+            GatewayViolation::LostCell {
+                completed,
+                abandoned,
+                total,
+            } => write!(
+                f,
+                "lost cell: {completed} completed + {abandoned} abandoned of {total}"
+            ),
+            GatewayViolation::DuplicateExecution {
+                executed,
+                allowance,
+            } => write!(
+                f,
+                "duplicate execution: {executed} ran, {allowance} allowed"
+            ),
+            GatewayViolation::ArtifactMismatch {
+                artifact,
+                reference,
+            } => write!(
+                f,
+                "artifact mismatch: {} != reference {}",
+                fmt_digest(*artifact),
+                fmt_digest(*reference)
+            ),
+        }
+    }
+}
+
+/// The gateway chaos oracles, as pure functions of the ledger:
+///
+/// 1. **No panic** — every misbehaving client is answered or dropped,
+///    never a crash.
+/// 2. **No fd leak** — every connection the injector opened was
+///    closed by campaign end.
+/// 3. **No request outlives its deadline** — once a connection's
+///    read/write deadline passes, the handler issues no further I/O
+///    on it.
+/// 4. **No lost or doubly-executed cell** — the service oracles hold
+///    through the HTTP path: every cell durable exactly once, and
+///    fresh executions never exceed `total + lost_executions`.
+/// 5. **Byte-identical artifact** — the campaign journal produced
+///    through the gateway (including kill-resume through HTTP)
+///    digests identically to the direct-path reference; an unreadable
+///    artifact is a violation, never a match.
+pub fn check_gateway_ledger(ledger: &GatewayLedger) -> Vec<GatewayViolation> {
+    let mut violations = Vec::new();
+    if ledger.panics > 0 {
+        violations.push(GatewayViolation::Panic {
+            count: ledger.panics,
+        });
+    }
+    if ledger.conns_opened != ledger.conns_closed {
+        violations.push(GatewayViolation::FdLeak {
+            opened: ledger.conns_opened,
+            closed: ledger.conns_closed,
+        });
+    }
+    if ledger.deadline_overruns > 0 {
+        violations.push(GatewayViolation::DeadlineOverrun {
+            count: ledger.deadline_overruns,
+        });
+    }
+    if ledger.completed + ledger.abandoned < ledger.total_cells || ledger.abandoned > 0 {
+        violations.push(GatewayViolation::LostCell {
+            completed: ledger.completed,
+            abandoned: ledger.abandoned,
+            total: ledger.total_cells,
+        });
+    }
+    let allowance = ledger.total_cells + ledger.lost_executions;
+    if ledger.executed > allowance {
+        violations.push(GatewayViolation::DuplicateExecution {
+            executed: ledger.executed,
+            allowance,
+        });
+    }
+    if ledger.artifact_digest.is_none()
+        || ledger.reference_digest.is_none()
+        || ledger.artifact_digest != ledger.reference_digest
+    {
+        violations.push(GatewayViolation::ArtifactMismatch {
+            artifact: ledger.artifact_digest,
+            reference: ledger.reference_digest,
         });
     }
     violations
@@ -1464,8 +1678,8 @@ mod tests {
             executed: 48,
             journal_preseeded: 0,
             incarnations: 1,
-            artifact_digest: 0xfeed,
-            reference_digest: 0xfeed,
+            artifact_digest: Some(0xfeed),
+            reference_digest: Some(0xfeed),
             ..ServiceLedger::default()
         }
     }
@@ -1525,7 +1739,7 @@ mod tests {
             }]
         ));
         let mismatch = ServiceLedger {
-            artifact_digest: 0xdead,
+            artifact_digest: Some(0xdead),
             ..clean_ledger()
         };
         assert!(matches!(
@@ -1547,6 +1761,157 @@ mod tests {
     }
 
     #[test]
+    fn unreadable_artifacts_never_compare_byte_identical() {
+        // Regression: artifact_digest used to map any read error to
+        // digest 0, so two *missing* artifacts compared equal and the
+        // byte-identity oracle passed vacuously. `None` must violate —
+        // on either side, and especially when both are `None`.
+        for (artifact, reference) in [
+            (None, Some(0xfeed)),
+            (Some(0xfeed), None),
+            (None, None), // both unreadable: the old digest-0 trap
+        ] {
+            let ledger = ServiceLedger {
+                artifact_digest: artifact,
+                reference_digest: reference,
+                ..clean_ledger()
+            };
+            assert!(
+                matches!(
+                    check_service_ledger(&ledger)[..],
+                    [ServiceViolation::ArtifactMismatch { .. }]
+                ),
+                "artifact {artifact:?} vs reference {reference:?} must violate"
+            );
+        }
+        let v = ServiceViolation::ArtifactMismatch {
+            artifact: None,
+            reference: Some(0xfeed),
+        };
+        assert!(v.to_string().contains("<unreadable>"));
+    }
+
+    fn clean_gateway_ledger() -> GatewayLedger {
+        GatewayLedger {
+            total_cells: 6,
+            completed: 6,
+            executed: 6,
+            conns_opened: 9,
+            conns_closed: 9,
+            requests: 3,
+            rejected: 4,
+            shed: 2,
+            incarnations: 1,
+            artifact_digest: Some(0xfeed),
+            reference_digest: Some(0xfeed),
+            ..GatewayLedger::default()
+        }
+    }
+
+    #[test]
+    fn gateway_oracles_pass_clean_and_licensed_kill_resume_ledgers() {
+        assert!(check_gateway_ledger(&clean_gateway_ledger()).is_empty());
+        // A kill-resume run: one execution lost with the process, one
+        // licensed re-execution, a second incarnation.
+        let killed = GatewayLedger {
+            executed: 7,
+            lost_executions: 1,
+            kills: 1,
+            incarnations: 2,
+            ..clean_gateway_ledger()
+        };
+        assert!(check_gateway_ledger(&killed).is_empty());
+    }
+
+    #[test]
+    fn gateway_oracles_catch_each_violation_class() {
+        let panicked = GatewayLedger {
+            panics: 1,
+            ..clean_gateway_ledger()
+        };
+        assert!(matches!(
+            check_gateway_ledger(&panicked)[..],
+            [GatewayViolation::Panic { count: 1 }]
+        ));
+        let leak = GatewayLedger {
+            conns_closed: 8,
+            ..clean_gateway_ledger()
+        };
+        assert!(matches!(
+            check_gateway_ledger(&leak)[..],
+            [GatewayViolation::FdLeak {
+                opened: 9,
+                closed: 8
+            }]
+        ));
+        let overrun = GatewayLedger {
+            deadline_overruns: 2,
+            ..clean_gateway_ledger()
+        };
+        assert!(matches!(
+            check_gateway_ledger(&overrun)[..],
+            [GatewayViolation::DeadlineOverrun { count: 2 }]
+        ));
+        let lost = GatewayLedger {
+            completed: 5,
+            ..clean_gateway_ledger()
+        };
+        assert!(matches!(
+            check_gateway_ledger(&lost)[..],
+            [GatewayViolation::LostCell { completed: 5, .. }]
+        ));
+        let dup = GatewayLedger {
+            executed: 7,
+            ..clean_gateway_ledger()
+        };
+        assert!(matches!(
+            check_gateway_ledger(&dup)[..],
+            [GatewayViolation::DuplicateExecution {
+                executed: 7,
+                allowance: 6
+            }]
+        ));
+        for artifact in [Some(0xdead), None] {
+            let mismatch = GatewayLedger {
+                artifact_digest: artifact,
+                ..clean_gateway_ledger()
+            };
+            assert!(matches!(
+                check_gateway_ledger(&mismatch)[..],
+                [GatewayViolation::ArtifactMismatch { .. }]
+            ));
+        }
+    }
+
+    #[test]
+    fn gateway_ledger_and_violations_roundtrip_json() {
+        let ledger = GatewayLedger {
+            kills: 1,
+            incarnations: 2,
+            lost_executions: 1,
+            executed: 7,
+            ..clean_gateway_ledger()
+        };
+        let parsed: GatewayLedger =
+            serde_json::from_str(&serde_json::to_string(&ledger).unwrap()).unwrap();
+        assert_eq!(parsed, ledger);
+        let v = vec![
+            GatewayViolation::FdLeak {
+                opened: 2,
+                closed: 1,
+            },
+            GatewayViolation::ArtifactMismatch {
+                artifact: None,
+                reference: Some(2),
+            },
+        ];
+        let parsed: Vec<GatewayViolation> =
+            serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+        assert!(v[0].to_string().contains("fd leak"));
+    }
+
+    #[test]
     fn service_ledger_and_violations_roundtrip_json() {
         let ledger = ServiceLedger {
             duplicate_results: 1,
@@ -1564,8 +1929,8 @@ mod tests {
                 total: 2,
             },
             ServiceViolation::ArtifactMismatch {
-                artifact: 1,
-                reference: 2,
+                artifact: Some(1),
+                reference: Some(2),
             },
         ];
         let parsed: Vec<ServiceViolation> =

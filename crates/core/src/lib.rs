@@ -34,8 +34,8 @@ pub mod recover;
 pub mod report;
 
 pub use chaos::{
-    check_service_ledger, minimize, ChaosHarness, Reproducer, ScheduleReport, ServiceLedger,
-    ServiceViolation, Violation,
+    check_gateway_ledger, check_service_ledger, minimize, ChaosHarness, GatewayLedger,
+    GatewayViolation, Reproducer, ScheduleReport, ServiceLedger, ServiceViolation, Violation,
 };
 pub use ckpt::{CheckpointStore, DurableConfig, FallbackNote, RestoreError};
 pub use classic::{classic_energy_parallel, ClassicResult};

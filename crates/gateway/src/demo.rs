@@ -1,0 +1,50 @@
+//! A cheap deterministic campaign model for tests, CI gates and the
+//! transport-chaos harness: cells are integer ids, and executing cell
+//! `id` yields `[id, id²]` at 0.25 virtual seconds — the same
+//! synthetic campaign the service-level chaos tests use, so gateway
+//! behaviour is comparable across layers.
+
+use crate::gateway::CampaignModel;
+use serde_json::Value;
+
+/// The demo model. Stateless; every incarnation behaves identically,
+/// which is what makes kill-resume byte-identity checkable.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DemoModel;
+
+impl CampaignModel for DemoModel {
+    type Task = u64;
+    type Result = Vec<f64>;
+
+    fn parse_cells(&self, cells: &Value) -> Result<Vec<u64>, String> {
+        let arr = cells
+            .as_array()
+            .ok_or_else(|| "cells must be a JSON array".to_string())?;
+        arr.iter()
+            .map(|v| {
+                v.as_u64()
+                    .ok_or_else(|| "cells must be non-negative integers".to_string())
+            })
+            .collect()
+    }
+
+    fn key_of(r: &Vec<f64>) -> String {
+        serde_json::to_string(&(r.first().copied().unwrap_or(0.0) as u64)).unwrap_or_default()
+    }
+
+    fn exec(&mut self, task: &u64) -> (Vec<f64>, f64) {
+        (vec![*task as f64, (*task * *task) as f64], 0.25)
+    }
+}
+
+/// The canonical demo cells JSON: `[0,1,...,n-1]`.
+pub fn demo_cells(n: u64) -> String {
+    let ids: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+    format!("[{}]", ids.join(","))
+}
+
+/// The i-th distinct single-cell flood campaign, far from the
+/// canonical id range.
+pub fn demo_flood_cells(i: usize) -> String {
+    format!("[{}]", 900_000 + i)
+}

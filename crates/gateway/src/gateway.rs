@@ -1,0 +1,816 @@
+//! The overload-safe multi-tenant campaign gateway: HTTP/JSON routes
+//! over the crash-safe [`JobService`], with explicit load shedding,
+//! deficit-round-robin fair scheduling across tenants, idempotent
+//! deduplicated submissions, and graceful drain.
+//!
+//! ## Durability model
+//!
+//! Every campaign lives in its own directory under
+//! `<root>/campaigns/<id>/` holding the service's queue shards,
+//! results journal and cache plus a `meta.json` (tenant + cells)
+//! written atomically *before* the campaign is registered. `kill -9`
+//! of the gateway at any instant therefore loses nothing: the next
+//! incarnation rescans `campaigns/*/meta.json`, reopens each
+//! [`JobService`] (construction is recovery) and resumes stepping.
+//! The campaign id is the content address of the submission —
+//! `fnv1a64(tenant ‖ protocol ‖ canonical cells JSON)` — so a client
+//! that times out and retries its POST lands on the same campaign:
+//! retried submissions deduplicate instead of double-executing.
+//!
+//! ## Overload model
+//!
+//! Admission is bounded per tenant ([`TenantPolicy::max_pending_cells`]);
+//! beyond it the submission is shed with 429. A draining gateway sheds
+//! with 503. Both carry `Retry-After` derived from the Jacobson/Karels
+//! [`RttEstimator`] over observed per-cell execution times — the same
+//! estimator the cluster uses for retransmission timeouts — scaled by
+//! the backlog the client is behind.
+
+use crate::http::{read_request, write_response, Conn, HttpLimits, Response};
+use crate::tenancy::{DrrScheduler, TenantPolicy};
+use cpc_cluster::RttEstimator;
+use cpc_workload::service::{
+    task_key, JobService, KillPoint, ServiceConfig, ServiceOutcome, StepOutcome,
+};
+use serde_json::Value;
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+
+/// How a campaign's task list, execution and result rendering plug
+/// into the gateway. The gateway is generic so the bench binary can
+/// serve real measurement cells while tests and the chaos harness
+/// serve a cheap deterministic model through identical code paths.
+pub trait CampaignModel {
+    /// One cell of work, serializable for the queue key.
+    type Task: serde::Serialize + Clone;
+    /// One durable result, serializable for the journal.
+    type Result: serde::Serialize + serde::Deserialize + Clone;
+
+    /// Parses a submission's `cells` JSON into tasks; `Err` becomes a
+    /// 400 with the message.
+    fn parse_cells(&self, cells: &Value) -> Result<Vec<Self::Task>, String>;
+    /// Maps a journaled result back to its task key (the
+    /// [`JobService`] key extractor).
+    fn key_of(r: &Self::Result) -> String;
+    /// Executes one cell, returning the result and its virtual cost
+    /// in seconds.
+    fn exec(&mut self, task: &Self::Task) -> (Self::Result, f64);
+    /// Renders a result for the results endpoint.
+    fn result_json(r: &Self::Result) -> Value {
+        serde::Serialize::to_value(r)
+    }
+}
+
+/// Gateway configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Root directory; campaigns live under `<root>/campaigns/<id>/`.
+    pub root: PathBuf,
+    /// Protocol string folded into every cache key and campaign id.
+    pub protocol: String,
+    /// HTTP request limits.
+    pub limits: HttpLimits,
+    /// Tenant admission and fair-scheduling policy.
+    pub policy: TenantPolicy,
+    /// Queue journal shards per campaign.
+    pub shards: usize,
+    /// Kill injection applied to campaign services (chaos harness):
+    /// the incarnation dies at the n-th fresh execution.
+    pub kill: Option<(usize, KillPoint)>,
+}
+
+impl GatewayConfig {
+    /// Defaults around a root directory and protocol string.
+    pub fn new(root: impl Into<PathBuf>, protocol: impl Into<String>) -> Self {
+        GatewayConfig {
+            root: root.into(),
+            protocol: protocol.into(),
+            limits: HttpLimits::default(),
+            policy: TenantPolicy::default(),
+            shards: 4,
+            kill: None,
+        }
+    }
+
+    /// The directory of one campaign.
+    pub fn campaign_dir(&self, id: &str) -> PathBuf {
+        self.root.join("campaigns").join(id)
+    }
+
+    /// The results journal of one campaign — the byte-identity
+    /// artifact.
+    pub fn campaign_journal(&self, id: &str) -> PathBuf {
+        self.campaign_dir(id).join("journal.jsonl")
+    }
+}
+
+/// Connection/request accounting for the chaos ledger and operators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Connections the gateway started handling.
+    pub conns_opened: usize,
+    /// Connections it finished handling (every exit path).
+    pub conns_closed: usize,
+    /// Requests handled (including rejected ones).
+    pub requests: usize,
+    /// Responses with status >= 400.
+    pub rejected: usize,
+    /// Load-shed responses (429/503, always with `Retry-After`).
+    pub shed: usize,
+}
+
+/// What one [`Gateway::pump`] call did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PumpReport {
+    /// Cells advanced.
+    pub granted: usize,
+    /// The injected kill fired; the gateway is dead.
+    pub killed: bool,
+}
+
+struct Campaign<M: CampaignModel> {
+    id: String,
+    tenant: String,
+    tasks: Vec<M::Task>,
+    service: JobService<M::Result>,
+    done: bool,
+}
+
+/// The gateway itself. Single-threaded by design: the bench binary
+/// serializes connections through a mutex and pumps execution from a
+/// worker loop; determinism of the underlying service is what makes
+/// kill-resume byte-identical through the HTTP path.
+pub struct Gateway<M: CampaignModel> {
+    cfg: GatewayConfig,
+    model: M,
+    sched: DrrScheduler,
+    campaigns: Vec<Campaign<M>>,
+    index: HashMap<String, usize>,
+    draining: bool,
+    dead: bool,
+    rtt: RttEstimator,
+    stats: GatewayStats,
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn io_err(msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// The content address of a submission — what `POST /campaigns`
+/// computes for idempotent dedup. Exposed so drivers and tests can
+/// predict the campaign id of a canonical cells JSON (as rendered by
+/// `serde_json::to_string`, which this gateway uses as the canonical
+/// form).
+pub fn campaign_id(tenant: &str, protocol: &str, cells_json: &str) -> String {
+    format!(
+        "{:016x}",
+        fnv1a64(format!("{tenant}\n{protocol}\n{cells_json}").as_bytes())
+    )
+}
+
+fn valid_tenant(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+impl<M: CampaignModel> Gateway<M> {
+    /// Opens the gateway, recovering every campaign found under
+    /// `<root>/campaigns/` (sorted by id for a deterministic schedule
+    /// after restart).
+    pub fn open(cfg: GatewayConfig, model: M) -> io::Result<Self> {
+        std::fs::create_dir_all(cfg.root.join("campaigns"))?;
+        let mut gw = Gateway {
+            sched: DrrScheduler::new(&cfg.policy),
+            cfg,
+            model,
+            campaigns: Vec::new(),
+            index: HashMap::new(),
+            draining: false,
+            dead: false,
+            rtt: RttEstimator::new(),
+            stats: GatewayStats::default(),
+        };
+        let mut ids: Vec<String> = std::fs::read_dir(gw.cfg.root.join("campaigns"))?
+            .filter_map(Result::ok)
+            .filter(|e| e.path().join("meta.json").is_file())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        ids.sort();
+        for id in ids {
+            let meta_path = gw.cfg.campaign_dir(&id).join("meta.json");
+            let text = std::fs::read_to_string(&meta_path)?;
+            let meta: Value = serde_json::from_str(&text)
+                .map_err(|e| io_err(format!("corrupt {}: {e}", meta_path.display())))?;
+            let tenant = meta
+                .get("tenant")
+                .and_then(Value::as_str)
+                .ok_or_else(|| io_err("meta.json missing tenant"))?
+                .to_string();
+            let cells = meta
+                .get("cells")
+                .ok_or_else(|| io_err("meta.json missing cells"))?;
+            let tasks = gw.model.parse_cells(cells).map_err(io_err)?;
+            gw.register(id, tenant, tasks)?;
+        }
+        Ok(gw)
+    }
+
+    fn register(&mut self, id: String, tenant: String, tasks: Vec<M::Task>) -> io::Result<()> {
+        let mut scfg = ServiceConfig::new(self.cfg.campaign_dir(&id), &self.cfg.protocol);
+        scfg.shards = self.cfg.shards;
+        scfg.kill = self.cfg.kill;
+        let mut service = JobService::<M::Result>::open(scfg, |r| M::key_of(r))?;
+        service.prepare(&tasks)?;
+        let done = service.outcome().drained;
+        self.sched.register(&tenant);
+        self.index.insert(id.clone(), self.campaigns.len());
+        self.campaigns.push(Campaign {
+            id,
+            tenant,
+            tasks,
+            service,
+            done,
+        });
+        Ok(())
+    }
+
+    fn remaining(c: &Campaign<M>) -> usize {
+        if c.done {
+            return 0;
+        }
+        let out = c.service.outcome();
+        out.total.saturating_sub(out.completed + out.abandoned)
+    }
+
+    fn tenant_backlog(&self, tenant: &str) -> usize {
+        self.campaigns
+            .iter()
+            .filter(|c| c.tenant == tenant)
+            .map(Self::remaining)
+            .sum()
+    }
+
+    fn total_backlog(&self) -> usize {
+        self.campaigns.iter().map(Self::remaining).sum()
+    }
+
+    /// Seconds a shed client should wait before retrying: the
+    /// Jacobson/Karels retransmission timeout over observed per-cell
+    /// costs, scaled by the backlog ahead of the client.
+    fn retry_after(&self, backlog_cells: usize) -> u64 {
+        let per_cell = self.rtt.rto().unwrap_or(1.0);
+        let secs = (per_cell * backlog_cells.max(1) as f64).ceil();
+        (secs as u64).clamp(1, 120)
+    }
+
+    fn shed(&mut self, status: u16, reason: &'static str, why: &str, backlog: usize) -> Response {
+        let retry = self.retry_after(backlog);
+        Response::json(
+            status,
+            reason,
+            format!("{{\"error\":\"{why}\",\"retry_after\":{retry}}}"),
+        )
+        .with_header("Retry-After", retry.to_string())
+    }
+
+    /// Handles one connection end to end: read, route, respond. Every
+    /// exit path (including unwritable responses to vanished peers)
+    /// closes the connection and is accounted in [`GatewayStats`].
+    pub fn handle(&mut self, conn: &mut dyn Conn) {
+        self.stats.conns_opened += 1;
+        self.stats.requests += 1;
+        let limits = self.cfg.limits.clone();
+        let resp = match read_request(conn, &limits) {
+            Ok(req) => self.route(&req.method, &req.path, &req.body),
+            Err(e) => {
+                let (status, reason) = e.status();
+                Response::json(status, reason, format!("{{\"error\":\"{reason}\"}}"))
+            }
+        };
+        if resp.status >= 400 {
+            self.stats.rejected += 1;
+        }
+        if resp.status == 429 || resp.status == 503 {
+            self.stats.shed += 1;
+        }
+        // A peer that disconnected mid-response is its own problem;
+        // the gateway's job is only to never wedge on it.
+        let _ = write_response(conn, &resp);
+        self.stats.conns_closed += 1;
+    }
+
+    fn route(&mut self, method: &str, path: &str, body: &[u8]) -> Response {
+        match (method, path) {
+            ("GET", "/healthz") => Response::json(
+                200,
+                "OK",
+                format!(
+                    "{{\"status\":\"ok\",\"draining\":{},\"campaigns\":{}}}",
+                    self.draining,
+                    self.campaigns.len()
+                ),
+            ),
+            ("GET", "/readyz") => {
+                if self.draining {
+                    let backlog = self.total_backlog();
+                    self.shed(503, "Service Unavailable", "draining", backlog)
+                } else {
+                    Response::json(200, "OK", "{\"ready\":true}")
+                }
+            }
+            ("POST", "/drain") => {
+                self.draining = true;
+                Response::json(200, "OK", "{\"draining\":true}")
+            }
+            ("POST", "/campaigns") => self.submit(body),
+            ("GET", p) if p.starts_with("/campaigns/") => {
+                let rest = &p["/campaigns/".len()..];
+                if let Some(id) = rest.strip_suffix("/results") {
+                    self.results(id)
+                } else if !rest.contains('/') {
+                    self.status(rest)
+                } else {
+                    Response::json(404, "Not Found", "{\"error\":\"no such route\"}")
+                }
+            }
+            ("GET" | "POST", _) => {
+                Response::json(404, "Not Found", "{\"error\":\"no such route\"}")
+            }
+            _ => Response::json(
+                405,
+                "Method Not Allowed",
+                "{\"error\":\"method not allowed\"}",
+            ),
+        }
+    }
+
+    fn submit(&mut self, body: &[u8]) -> Response {
+        let bad =
+            |why: &str| Response::json(400, "Bad Request", format!("{{\"error\":\"{why}\"}}"));
+        let Ok(text) = std::str::from_utf8(body) else {
+            return bad("body is not UTF-8");
+        };
+        let Ok(v) = serde_json::from_str::<Value>(text) else {
+            return bad("body is not valid JSON");
+        };
+        let Some(tenant) = v.get("tenant").and_then(Value::as_str) else {
+            return bad("missing tenant");
+        };
+        if !valid_tenant(tenant) {
+            return bad("invalid tenant name");
+        }
+        let tenant = tenant.to_string();
+        let Some(cells) = v.get("cells") else {
+            return bad("missing cells");
+        };
+        let cells_json = match serde_json::to_string(cells) {
+            Ok(s) => s,
+            Err(_) => return bad("unserializable cells"),
+        };
+        let id = campaign_id(&tenant, &self.cfg.protocol, &cells_json);
+
+        // Idempotent retried submission: the content address already
+        // exists, so the retry maps onto the running campaign instead
+        // of double-executing it.
+        if self.index.contains_key(&id) {
+            let out = self.outcome_of(&id).expect("indexed campaign");
+            return Response::json(
+                200,
+                "OK",
+                format!(
+                    "{{\"campaign\":\"{id}\",\"cells\":{},\"deduplicated\":true,\"completed\":{}}}",
+                    out.total, out.completed
+                ),
+            );
+        }
+        if self.draining {
+            let backlog = self.total_backlog();
+            return self.shed(503, "Service Unavailable", "draining", backlog);
+        }
+        let tasks = match self.model.parse_cells(cells) {
+            Ok(t) => t,
+            Err(why) => {
+                return bad(&why.replace(['"', '\\'], "'"));
+            }
+        };
+        if tasks.is_empty() {
+            return bad("empty campaign");
+        }
+        let backlog = self.tenant_backlog(&tenant);
+        if backlog + tasks.len() > self.cfg.policy.max_pending_cells {
+            return self.shed(429, "Too Many Requests", "tenant backlog full", backlog);
+        }
+
+        // Durable registration: meta.json lands atomically before the
+        // campaign is admitted, so a kill between the two leaves at
+        // worst an idle directory the next incarnation re-adopts.
+        let dir = self.cfg.campaign_dir(&id);
+        let n = tasks.len();
+        let meta = format!("{{\"tenant\":\"{tenant}\",\"cells\":{cells_json}}}");
+        let write = || -> io::Result<()> {
+            std::fs::create_dir_all(&dir)?;
+            let tmp = dir.join("meta.json.tmp");
+            std::fs::write(&tmp, meta.as_bytes())?;
+            std::fs::rename(&tmp, dir.join("meta.json"))
+        };
+        if write().is_err() {
+            return Response::json(
+                500,
+                "Internal Server Error",
+                "{\"error\":\"cannot persist campaign\"}",
+            );
+        }
+        if self.register(id.clone(), tenant, tasks).is_err() {
+            return Response::json(
+                500,
+                "Internal Server Error",
+                "{\"error\":\"cannot open campaign service\"}",
+            );
+        }
+        Response::json(
+            201,
+            "Created",
+            format!("{{\"campaign\":\"{id}\",\"cells\":{n}}}"),
+        )
+    }
+
+    fn status(&self, id: &str) -> Response {
+        let Some(out) = self.outcome_of(id) else {
+            return Response::json(404, "Not Found", "{\"error\":\"no such campaign\"}");
+        };
+        let c = &self.campaigns[self.index[id]];
+        Response::json(
+            200,
+            "OK",
+            format!(
+                "{{\"campaign\":\"{id}\",\"tenant\":\"{}\",\"total\":{},\"completed\":{},\
+                 \"abandoned\":{},\"done\":{}}}",
+                c.tenant, out.total, out.completed, out.abandoned, c.done
+            ),
+        )
+    }
+
+    fn results(&self, id: &str) -> Response {
+        let Some(&idx) = self.index.get(id) else {
+            return Response::json(404, "Not Found", "{\"error\":\"no such campaign\"}");
+        };
+        let c = &self.campaigns[idx];
+        let mut items: Vec<String> = Vec::new();
+        for task in &c.tasks {
+            let Ok(key) = task_key(task) else { continue };
+            if let Some(r) = c.service.results().get(&key) {
+                let v = M::result_json(r);
+                items.push(serde_json::to_string(&v).unwrap_or_else(|_| "null".into()));
+            }
+        }
+        Response::json(
+            200,
+            "OK",
+            format!(
+                "{{\"campaign\":\"{id}\",\"done\":{},\"results\":[{}]}}",
+                c.done,
+                items.join(",")
+            ),
+        )
+    }
+
+    /// Advances up to `budget` cells, one DRR grant each. Returns how
+    /// many advanced and whether the injected kill fired (after which
+    /// the gateway refuses further work, modelling the dead process).
+    pub fn pump(&mut self, budget: usize) -> PumpReport {
+        let mut report = PumpReport::default();
+        for _ in 0..budget {
+            if self.dead {
+                report.killed = true;
+                break;
+            }
+            let backlogs: HashMap<String, usize> = self
+                .sched
+                .tenants()
+                .iter()
+                .map(|t| (t.clone(), self.tenant_backlog(t)))
+                .collect();
+            let Some(tenant) = self.sched.grant(|t| *backlogs.get(t).unwrap_or(&0)) else {
+                break;
+            };
+            let Some(idx) = self
+                .campaigns
+                .iter()
+                .position(|c| c.tenant == tenant && !c.done)
+            else {
+                continue;
+            };
+            let campaign = &mut self.campaigns[idx];
+            let model = &mut self.model;
+            let mut last_cost: Option<f64> = None;
+            let step = campaign.service.step(&campaign.tasks, &mut |t| {
+                let (r, cost) = model.exec(t);
+                last_cost = Some(cost);
+                (r, cost)
+            });
+            match step {
+                Ok(StepOutcome::Progress) => {
+                    report.granted += 1;
+                    if let Some(cost) = last_cost {
+                        // Per-cell cost feeds the shed-back-pressure
+                        // estimator exactly like an RTT sample.
+                        self.rtt.observe(cost.max(1e-6));
+                    }
+                    // The step that completes the last cell leaves the
+                    // queue drained with zero backlog; without marking
+                    // it done here the scheduler would never grant the
+                    // campaign again and it would idle forever.
+                    if campaign.service.outcome().drained {
+                        campaign.done = true;
+                    }
+                }
+                Ok(StepOutcome::Drained) => campaign.done = true,
+                Ok(StepOutcome::Killed) => {
+                    self.dead = true;
+                    report.killed = true;
+                    break;
+                }
+                Err(_) => {
+                    // An I/O failure mid-step: stop driving this
+                    // campaign; the lost-cell oracle will convict the
+                    // schedule if cells went missing.
+                    campaign.done = true;
+                }
+            }
+        }
+        report
+    }
+
+    /// True when every registered campaign has drained.
+    pub fn all_done(&self) -> bool {
+        self.campaigns.iter().all(|c| c.done)
+    }
+
+    /// True after `POST /drain`.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// True after the injected kill fired.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Connection/request accounting.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats
+    }
+
+    /// Registered campaign ids in registration order.
+    pub fn campaign_ids(&self) -> Vec<String> {
+        self.campaigns.iter().map(|c| c.id.clone()).collect()
+    }
+
+    /// The service outcome snapshot of one campaign.
+    pub fn outcome_of(&self, id: &str) -> Option<ServiceOutcome> {
+        self.index
+            .get(id)
+            .map(|&i| self.campaigns[i].service.outcome())
+    }
+
+    /// The gateway configuration.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{http_get, http_post, ScriptedConn};
+    use crate::demo::{demo_cells, DemoModel};
+    use cpc_workload::service::artifact_digest;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cpc-gateway-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn open(root: &PathBuf) -> Gateway<DemoModel> {
+        let mut cfg = GatewayConfig::new(root, "demo");
+        cfg.policy.max_pending_cells = 10;
+        Gateway::open(cfg, DemoModel).unwrap()
+    }
+
+    fn send(gw: &mut Gateway<DemoModel>, bytes: Vec<u8>) -> ScriptedConn {
+        let mut conn = ScriptedConn::request(bytes);
+        gw.handle(&mut conn);
+        conn
+    }
+
+    fn submit_body(tenant: &str, cells: &str) -> Vec<u8> {
+        http_post(
+            "/campaigns",
+            &format!("{{\"tenant\":\"{tenant}\",\"cells\":{cells}}}"),
+        )
+    }
+
+    #[test]
+    fn submit_pump_status_results_roundtrip() {
+        let root = tmp_dir("roundtrip");
+        let mut gw = open(&root);
+        let conn = send(&mut gw, submit_body("alice", &demo_cells(5)));
+        assert_eq!(conn.response_status(), Some(201));
+        let body: Value =
+            serde_json::from_str(&conn.response_body().unwrap()).expect("submit response JSON");
+        let id = body["campaign"].as_str().unwrap().to_string();
+        assert_eq!(id, campaign_id("alice", "demo", &demo_cells(5)));
+
+        let conn = send(&mut gw, http_get(&format!("/campaigns/{id}")));
+        assert!(conn.response_body().unwrap().contains("\"done\":false"));
+
+        while !gw.all_done() {
+            assert!(gw.pump(4).granted > 0 || gw.all_done());
+        }
+        let conn = send(&mut gw, http_get(&format!("/campaigns/{id}")));
+        let status = conn.response_body().unwrap();
+        assert!(status.contains("\"completed\":5") && status.contains("\"done\":true"));
+
+        let conn = send(&mut gw, http_get(&format!("/campaigns/{id}/results")));
+        let results: Value = serde_json::from_str(&conn.response_body().unwrap()).unwrap();
+        let items = results["results"].as_array().unwrap();
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[3][1].as_f64(), Some(9.0), "cell 3 yields [3, 9]");
+
+        // Health endpoints and unknown routes.
+        assert_eq!(
+            send(&mut gw, http_get("/healthz")).response_status(),
+            Some(200)
+        );
+        assert_eq!(
+            send(&mut gw, http_get("/readyz")).response_status(),
+            Some(200)
+        );
+        assert_eq!(
+            send(&mut gw, http_get("/nope")).response_status(),
+            Some(404)
+        );
+        assert_eq!(
+            send(&mut gw, http_get("/campaigns/ffffffffffffffff")).response_status(),
+            Some(404)
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn retried_submission_deduplicates_instead_of_double_executing() {
+        let root = tmp_dir("dedup");
+        let mut gw = open(&root);
+        assert_eq!(
+            send(&mut gw, submit_body("alice", &demo_cells(4))).response_status(),
+            Some(201)
+        );
+        gw.pump(2);
+        let conn = send(&mut gw, submit_body("alice", &demo_cells(4)));
+        assert_eq!(conn.response_status(), Some(200));
+        assert!(conn
+            .response_body()
+            .unwrap()
+            .contains("\"deduplicated\":true"));
+        while !gw.all_done() {
+            gw.pump(4);
+        }
+        let id = campaign_id("alice", "demo", &demo_cells(4));
+        assert_eq!(
+            gw.campaign_ids().len(),
+            1,
+            "the retry registers nothing new"
+        );
+        let out = gw.outcome_of(&id).unwrap();
+        assert_eq!(out.executed, 4, "each cell ran exactly once, never twice");
+        assert_eq!(out.completed, 4);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn overloaded_tenant_is_shed_with_retry_after_and_drain_closes_admission() {
+        let root = tmp_dir("shed");
+        let mut gw = open(&root); // max_pending_cells = 10
+        assert_eq!(
+            send(&mut gw, submit_body("bob", &demo_cells(8))).response_status(),
+            Some(201)
+        );
+        // 8 pending + 5 more would cross the bound of 10: shed.
+        let conn = send(&mut gw, submit_body("bob", "[100,101,102,103,104]"));
+        assert_eq!(conn.response_status(), Some(429));
+        let retry: u64 = conn
+            .response_header("Retry-After")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((1..=120).contains(&retry));
+        // Another tenant is unaffected by bob's backlog.
+        assert_eq!(
+            send(&mut gw, submit_body("carol", "[200,201]")).response_status(),
+            Some(201)
+        );
+        // Drain: readiness and new submissions shed with 503.
+        assert_eq!(
+            send(&mut gw, http_post("/drain", "{}")).response_status(),
+            Some(200)
+        );
+        let conn = send(&mut gw, http_get("/readyz"));
+        assert_eq!(conn.response_status(), Some(503));
+        assert!(conn.response_header("Retry-After").is_some());
+        assert_eq!(
+            send(&mut gw, submit_body("dave", "[300]")).response_status(),
+            Some(503)
+        );
+        // In-flight campaigns still complete under drain.
+        while !gw.all_done() {
+            assert!(gw.pump(8).granted > 0 || gw.all_done());
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn invalid_submissions_get_typed_400s() {
+        let root = tmp_dir("invalid");
+        let mut gw = open(&root);
+        for body in [
+            "not json",
+            "{\"cells\":[1]}",
+            "{\"tenant\":\"x y\",\"cells\":[1]}",
+            "{\"tenant\":\"ok\"}",
+            "{\"tenant\":\"ok\",\"cells\":\"nope\"}",
+            "{\"tenant\":\"ok\",\"cells\":[]}",
+            "{\"tenant\":\"ok\",\"cells\":[-3]}",
+        ] {
+            let conn = send(&mut gw, http_post("/campaigns", body));
+            assert_eq!(conn.response_status(), Some(400), "body {body:?}");
+        }
+        assert_eq!(gw.stats().rejected, 7);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn kill_resume_through_the_gateway_is_byte_identical_to_direct() {
+        // Direct path reference.
+        let ref_dir = tmp_dir("gwkill-ref");
+        let scfg = ServiceConfig::new(&ref_dir, "demo");
+        let ref_journal = scfg.journal_path();
+        let mut svc = JobService::<Vec<f64>>::open(scfg, DemoModel::key_of).unwrap();
+        let mut model = DemoModel;
+        let tasks: Vec<u64> = (0..6).collect();
+        svc.run(&tasks, |t| model.exec(t)).unwrap();
+        drop(svc);
+        let want = artifact_digest(&ref_journal);
+        assert!(want.is_some());
+
+        // Gateway incarnation killed mid-commit after 3 fresh cells.
+        let root = tmp_dir("gwkill");
+        let mut cfg = GatewayConfig::new(&root, "demo");
+        cfg.kill = Some((3, KillPoint::MidCommit));
+        let mut gw = Gateway::open(cfg, DemoModel).unwrap();
+        assert_eq!(
+            send(&mut gw, submit_body("alice", &demo_cells(6))).response_status(),
+            Some(201)
+        );
+        let id = campaign_id("alice", "demo", &demo_cells(6));
+        let mut killed = false;
+        for _ in 0..32 {
+            let r = gw.pump(4);
+            if r.killed {
+                killed = true;
+                break;
+            }
+        }
+        assert!(killed, "the injected kill fires");
+        drop(gw); // SIGKILL: durable state is already synced.
+
+        // Next incarnation recovers from meta.json alone — the client
+        // never resubmits — and drains to a byte-identical artifact.
+        let mut gw = Gateway::open(GatewayConfig::new(&root, "demo"), DemoModel).unwrap();
+        assert_eq!(gw.campaign_ids(), vec![id.clone()], "meta.json recovery");
+        while !gw.all_done() {
+            assert!(
+                gw.pump(8).granted > 0 || gw.all_done(),
+                "resume makes progress"
+            );
+        }
+        assert_eq!(artifact_digest(gw.config().campaign_journal(&id)), want);
+        let conn = send(&mut gw, http_get(&format!("/campaigns/{id}")));
+        assert!(conn.response_body().unwrap().contains("\"done\":true"));
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -427,6 +427,147 @@ impl ServiceFaultSpace {
     }
 }
 
+/// One fault against the *transport layer* of the campaign gateway
+/// (the HTTP/JSON front door above the job service): misbehaving
+/// clients — malformed request lines, truncated bodies, byte-dribbling
+/// slowloris readers, mid-response disconnects, connection floods —
+/// plus kills of the gateway process itself. Interpreted by the
+/// gateway chaos driver (`cpc-gateway`), which turns each fault into
+/// one or more scripted client connections (or a gateway restart)
+/// interleaved with a well-behaved client driving a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TransportFault {
+    /// A client sends one of a fixed set of malformed request heads
+    /// (garbage line, missing version, bare LF, binary noise, an
+    /// oversized URI, an unsupported version). Must be rejected with a
+    /// 4xx/5xx — never a panic or a hang.
+    MalformedRequest {
+        /// Which malformation (reduced modulo the variant count).
+        variant: u8,
+    },
+    /// A client declares `Content-Length: N` but disconnects after
+    /// sending only `keep_frac` of the body.
+    TruncatedBody {
+        /// Fraction of the declared body actually sent.
+        keep_frac: f64,
+    },
+    /// A slowloris client dribbles its request a few bytes at a time
+    /// with a virtual delay between chunks, trying to hold the
+    /// connection open past the read deadline.
+    SlowReader {
+        /// Bytes per dribble.
+        chunk: usize,
+        /// Virtual seconds between dribbles.
+        delay: f64,
+    },
+    /// The client vanishes while the gateway is writing the response
+    /// (write fails with a broken pipe after `after` bytes).
+    MidResponseDisconnect {
+        /// Response bytes accepted before the disconnect.
+        after: usize,
+    },
+    /// A burst of connections that open and send nothing: each must be
+    /// reaped by the read deadline and closed (no fd leak).
+    ConnectionFlood {
+        /// Connections in the burst.
+        conns: usize,
+    },
+    /// `kill -9` of the gateway process at the `cells`-th fresh cell
+    /// execution, at one of the three service commit points
+    /// (0 = before the result is durable, 1 = mid-commit, 2 = after).
+    GatewayKill {
+        /// Fresh execution (1-based) at which the process dies.
+        cells: usize,
+        /// Commit point (reduced modulo 3).
+        point: u8,
+    },
+}
+
+/// A seeded schedule of [`TransportFault`]s, applied in order by the
+/// gateway chaos driver.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TransportFaultPlan {
+    /// The faults, in application order.
+    pub faults: Vec<TransportFault>,
+}
+
+impl TransportFaultPlan {
+    /// The fault-free plan.
+    pub fn none() -> Self {
+        TransportFaultPlan::default()
+    }
+
+    /// Number of gateway kills the plan schedules.
+    pub fn kills(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f, TransportFault::GatewayKill { .. }))
+            .count()
+    }
+}
+
+/// The transport fault envelope of one gateway campaign: bounds on
+/// cell count from which [`TransportFaultSpace::sample`] draws
+/// deterministic [`TransportFaultPlan`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportFaultSpace {
+    /// Cells in the campaign (bounds kill positions).
+    pub cells: usize,
+}
+
+impl TransportFaultSpace {
+    /// Describes the transport fault space of one gateway campaign.
+    pub fn new(cells: usize) -> Self {
+        TransportFaultSpace { cells }
+    }
+
+    /// Draws schedule `index` of the campaign keyed by `seed`. Pure in
+    /// `(space, seed, index)` like the other samplers; a distinct
+    /// sentinel channel keeps the stream independent of both the
+    /// simulation and the service fault streams.
+    pub fn sample(&self, seed: u64, index: u64) -> TransportFaultPlan {
+        let mut rng = SplitMix64::for_message(seed, 0x7C9A, 0x6A7E, index);
+        let mut plan = TransportFaultPlan::none();
+        let cells = self.cells.max(1);
+        // 1..=4 faults per schedule, biased toward fewer.
+        let n = 1 + self.choose(&mut rng, 4);
+        for _ in 0..n {
+            let fault = match rng.next_u64() % 8 {
+                0 | 1 => TransportFault::MalformedRequest {
+                    variant: (rng.next_u64() % 6) as u8,
+                },
+                2 => TransportFault::TruncatedBody {
+                    keep_frac: 0.95 * rng.next_f64(),
+                },
+                3 => TransportFault::SlowReader {
+                    chunk: 1 + (rng.next_u64() as usize) % 4,
+                    delay: 0.5 + 2.0 * rng.next_f64(),
+                },
+                4 => TransportFault::MidResponseDisconnect {
+                    after: (rng.next_u64() as usize) % 64,
+                },
+                5 => TransportFault::ConnectionFlood {
+                    conns: 2 + (rng.next_u64() as usize) % 6,
+                },
+                _ => TransportFault::GatewayKill {
+                    cells: 1 + (rng.next_u64() as usize) % cells,
+                    point: (rng.next_u64() % 3) as u8,
+                },
+            };
+            plan.faults.push(fault);
+        }
+        plan
+    }
+
+    fn choose(&self, rng: &mut SplitMix64, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let u = rng.next_f64();
+        ((u * u) * n as f64) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,6 +714,55 @@ mod tests {
                 && gray.iter().any(|f| f.target == SdcTarget::Forces),
             "gray flips hit both arrays"
         );
+    }
+
+    #[test]
+    fn transport_sampling_is_deterministic_in_bounds_and_explores() {
+        let s = TransportFaultSpace::new(12);
+        let plans: Vec<TransportFaultPlan> = (0..200).map(|i| s.sample(7, i)).collect();
+        for (i, plan) in plans.iter().enumerate() {
+            assert_eq!(*plan, s.sample(7, i as u64), "pure in (seed, index)");
+            assert!((1..=4).contains(&plan.faults.len()));
+            for f in &plan.faults {
+                match *f {
+                    TransportFault::MalformedRequest { variant } => assert!(variant < 6),
+                    TransportFault::TruncatedBody { keep_frac } => {
+                        assert!((0.0..1.0).contains(&keep_frac))
+                    }
+                    TransportFault::SlowReader { chunk, delay } => {
+                        assert!(chunk >= 1 && delay > 0.0)
+                    }
+                    TransportFault::MidResponseDisconnect { after } => assert!(after < 64),
+                    TransportFault::ConnectionFlood { conns } => assert!((2..=7).contains(&conns)),
+                    TransportFault::GatewayKill { cells, point } => {
+                        assert!((1..=s.cells).contains(&cells));
+                        assert!(point < 3);
+                    }
+                }
+            }
+        }
+        // Every fault class appears somewhere in the stream.
+        let has =
+            |pred: &dyn Fn(&TransportFault) -> bool| plans.iter().flat_map(|p| &p.faults).any(pred);
+        assert!(has(&|f| matches!(
+            f,
+            TransportFault::MalformedRequest { .. }
+        )));
+        assert!(has(&|f| matches!(f, TransportFault::TruncatedBody { .. })));
+        assert!(has(&|f| matches!(f, TransportFault::SlowReader { .. })));
+        assert!(has(&|f| matches!(
+            f,
+            TransportFault::MidResponseDisconnect { .. }
+        )));
+        assert!(has(&|f| matches!(
+            f,
+            TransportFault::ConnectionFlood { .. }
+        )));
+        assert!(has(&|f| matches!(f, TransportFault::GatewayKill { .. })));
+        let distinct = (0..50)
+            .filter(|&i| s.sample(7, i) != s.sample(8, i))
+            .count();
+        assert!(distinct > 25, "seed must drive the draw");
     }
 
     #[test]

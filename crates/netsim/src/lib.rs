@@ -61,6 +61,7 @@ pub use faults::{
 };
 pub use fuzz::{
     sdc_class, FaultSpace, SdcClass, ServiceFault, ServiceFaultPlan, ServiceFaultSpace,
+    TransportFault, TransportFaultPlan, TransportFaultSpace,
 };
 pub use netmodel::{
     FaultyTransfer, NetworkKind, NetworkParams, OpShape, TransferCtx, TransferTime,

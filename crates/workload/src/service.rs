@@ -144,6 +144,28 @@ pub struct ServiceOutcome {
     pub drained: bool,
 }
 
+/// What one [`JobService::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One cell advanced: a fresh execution, a cache hit, or a heal
+    /// of a journal-destroyed result.
+    Progress,
+    /// The configured kill fired mid-step; the incarnation must end
+    /// now (the process would be dead).
+    Killed,
+    /// Nothing left to do: every cell is durable or dead-lettered.
+    Drained,
+}
+
+/// Incremental driving state between [`JobService::prepare`] and the
+/// final [`JobService::outcome`].
+struct RunState {
+    keys: Vec<String>,
+    outcome: ServiceOutcome,
+    worker: usize,
+    leases_granted: usize,
+}
+
 /// One incarnation of the campaign job service over results of type
 /// `R`. Construction *is* recovery: opening the service on a
 /// directory with prior state reclaims dead leases, resumes the
@@ -157,6 +179,7 @@ pub struct JobService<R> {
     queue_recovery: QueueRecovery,
     journal_duplicates: usize,
     journal_dropped: usize,
+    run: Option<RunState>,
 }
 
 impl<R: Serialize + Deserialize + Clone> JobService<R> {
@@ -182,19 +205,16 @@ impl<R: Serialize + Deserialize + Clone> JobService<R> {
             queue_recovery,
             journal_duplicates: rec.duplicates,
             journal_dropped: rec.dropped,
+            run: None,
         })
     }
 
-    /// Runs the campaign: enqueues every task (idempotent), pre-seeds
-    /// done cells from the recovered journal, then drains the queue.
-    /// `exec` simulates one cell, returning the result and its virtual
-    /// cost in seconds. Returns when the queue is drained or the
-    /// configured kill fires (check [`ServiceOutcome::killed`]).
-    pub fn run<T: Serialize>(
-        &mut self,
-        tasks: &[T],
-        mut exec: impl FnMut(&T) -> (R, f64),
-    ) -> io::Result<ServiceOutcome> {
+    /// Stages the campaign without draining it: enqueues every task
+    /// (idempotent) and pre-seeds done cells from the recovered
+    /// journal. After this, [`Self::step`] advances one cell at a time
+    /// — the hook an external scheduler (the gateway's deficit
+    /// round-robin) uses to interleave several campaigns fairly.
+    pub fn prepare<T: Serialize>(&mut self, tasks: &[T]) -> io::Result<()> {
         let mut outcome = ServiceOutcome {
             total: tasks.len(),
             reclaimed: self.queue_recovery.reclaimed,
@@ -202,12 +222,9 @@ impl<R: Serialize + Deserialize + Clone> JobService<R> {
             dropped_lines: self.queue_recovery.dropped_lines + self.journal_dropped,
             ..ServiceOutcome::default()
         };
-        let mut by_key: HashMap<String, &T> = HashMap::new();
         let mut keys = Vec::with_capacity(tasks.len());
         for task in tasks {
-            let key = task_key(task)?;
-            by_key.insert(key.clone(), task);
-            keys.push(key);
+            keys.push(task_key(task)?);
         }
         // Every incarnation re-derives the full task list; enqueue is
         // idempotent, so this only adds cells the queue has never seen.
@@ -222,144 +239,192 @@ impl<R: Serialize + Deserialize + Clone> JobService<R> {
                 outcome.journal_preseeded += 1;
             }
         }
-        // Drain in the service's own task order, not the queue's
-        // recovered internal order: the byte layout of the results
-        // artifact must survive any scrambling a torn shard write
-        // could inflict on the queue. The walk interleaves healing
-        // (queue-done cells whose durable result a torn journal write
-        // destroyed) with fresh dispatch, because either may need to
-        // rebuild any position of the artifact — a separate healing
-        // pass would write healed cells ahead of resurrected-pending
-        // earlier ones and scramble the byte layout.
-        let mut worker = 0usize;
-        let mut leases_granted = 0usize;
-        'drain: loop {
-            let mut progress = false;
-            for key in &keys {
-                if self.recovered.contains_key(key) {
-                    continue;
-                }
-                self.queue.reclaim_expired()?;
-                let task = by_key[key.as_str()];
-                let ckey = CacheKey::of(task, &self.cfg.protocol)?;
+        self.run = Some(RunState {
+            keys,
+            outcome,
+            worker: 0,
+            leases_granted: 0,
+        });
+        Ok(())
+    }
 
-                if self.queue.is_done(key) {
-                    // Heal: re-derive the destroyed result — cache
-                    // first, simulate on a miss — in place.
-                    let result = match self.cache.get::<R>(&ckey) {
-                        Some(r) => {
-                            outcome.cache_hits += 1;
-                            r
-                        }
-                        None => {
-                            let (r, _) = exec(task);
-                            outcome.executed += 1;
-                            r
-                        }
-                    };
-                    self.journal.append(&result)?;
-                    if !self.cache.contains(&ckey) {
-                        self.cache.put(&ckey, &result)?;
+    /// Advances the campaign by one cell and returns what happened.
+    /// `tasks` must be the same slice [`Self::prepare`] staged (the
+    /// key list indexes into it). The walk is in the service's own
+    /// task order, not the queue's recovered internal order: the byte
+    /// layout of the results artifact must survive any scrambling a
+    /// torn shard write could inflict on the queue. Healing
+    /// (queue-done cells whose durable result a torn journal write
+    /// destroyed) interleaves with fresh dispatch, because either may
+    /// need to rebuild any position of the artifact — a separate
+    /// healing pass would write healed cells ahead of
+    /// resurrected-pending earlier ones and scramble the byte layout.
+    pub fn step<T: Serialize>(
+        &mut self,
+        tasks: &[T],
+        exec: &mut dyn FnMut(&T) -> (R, f64),
+    ) -> io::Result<StepOutcome> {
+        let mut state = self.run.take().expect("prepare() before step()");
+        let res = self.step_inner(tasks, exec, &mut state);
+        self.run = Some(state);
+        res
+    }
+
+    // Indexed loop: iterating `state.keys` would hold a borrow of
+    // `state` across the `&mut state.outcome` updates below.
+    #[allow(clippy::needless_range_loop)]
+    fn step_inner<T: Serialize>(
+        &mut self,
+        tasks: &[T],
+        exec: &mut dyn FnMut(&T) -> (R, f64),
+        state: &mut RunState,
+    ) -> io::Result<StepOutcome> {
+        for i in 0..state.keys.len() {
+            let key = state.keys[i].clone();
+            if self.recovered.contains_key(&key) {
+                continue;
+            }
+            self.queue.reclaim_expired()?;
+            let task = &tasks[i];
+            let ckey = CacheKey::of(task, &self.cfg.protocol)?;
+            let outcome = &mut state.outcome;
+
+            if self.queue.is_done(&key) {
+                // Heal: re-derive the destroyed result — cache
+                // first, simulate on a miss — in place.
+                let result = match self.cache.get::<R>(&ckey) {
+                    Some(r) => {
+                        outcome.cache_hits += 1;
+                        r
                     }
-                    self.recovered.insert(key.clone(), result);
-                    progress = true;
-                    continue;
-                }
-                if !self.queue.is_pending(key) {
-                    continue; // dead-lettered
-                }
-
-                let lease = self
-                    .queue
-                    .lease_key(key, worker)?
-                    .expect("a pending task leases");
-                worker = (worker + 1) % self.cfg.workers.max(1);
-                leases_granted += 1;
-
-                // Injected stale-lease episode: expire and re-grant
-                // the lease, then present the stale one after
-                // executing.
-                let (current, stale) = if self.cfg.stale_lease_at == Some(leases_granted) {
-                    let dt = (lease.expires - self.queue.now()).max(0.0) + 1e-9;
-                    self.queue.advance_clock(dt);
-                    self.queue.reclaim_expired()?;
-                    let fresh = self
-                        .queue
-                        .lease_key(&lease.key, worker)?
-                        .expect("the reclaimed cell re-leases");
-                    (fresh, Some(lease))
-                } else {
-                    (lease, None)
+                    None => {
+                        let (r, _) = exec(task);
+                        outcome.executed += 1;
+                        r
+                    }
                 };
-
-                // Cache probe: a hit is journaled (keeping the
-                // artifact complete and ordered) but never
-                // re-simulated.
-                if let Some(result) = self.cache.get::<R>(&ckey) {
-                    self.journal.append(&result)?;
-                    let _ = self.queue.complete(&current.key, current.lease, 0.0);
-                    self.recovered.insert(current.key.clone(), result);
-                    outcome.cache_hits += 1;
-                    progress = true;
-                    continue;
-                }
-
-                // Scheduled kill before the result becomes durable:
-                // the execution happens and is lost with the process.
-                let next_execution = outcome.executed + 1;
-                if self.cfg.kill == Some((next_execution, KillPoint::BeforeResult)) {
-                    let _ = exec(task);
-                    outcome.executed += 1;
-                    outcome.lost_executions += 1;
-                    outcome.killed = true;
-                    break 'drain;
-                }
-
-                let (result, elapsed) = exec(task);
-                outcome.executed += 1;
-
-                // Commit step 1: the durable artifact.
                 self.journal.append(&result)?;
-                if self.cfg.kill == Some((outcome.executed, KillPoint::MidCommit)) {
-                    outcome.killed = true;
-                    break 'drain;
+                if !self.cache.contains(&ckey) {
+                    self.cache.put(&ckey, &result)?;
                 }
-                // Commit step 2: the content-addressed cache.
-                self.cache.put(&ckey, &result)?;
-                // Commit step 3: the queue. A stale lease presented
-                // here must bounce; the fresh lease then completes
-                // the cell.
-                if let Some(stale_lease) = &stale {
-                    outcome.stale_presented += 1;
-                    if self
-                        .queue
-                        .complete(&stale_lease.key, stale_lease.lease, elapsed)
-                        == Err(CompleteError::StaleLease)
-                    {
-                        outcome.stale_rejected += 1;
-                    }
-                }
-                let _ = self.queue.complete(&current.key, current.lease, elapsed);
-                self.recovered.insert(current.key.clone(), result);
-                progress = true;
-                if self.cfg.kill == Some((outcome.executed, KillPoint::AfterCommit)) {
-                    outcome.killed = true;
-                    break 'drain;
-                }
+                self.recovered.insert(key, result);
+                return Ok(StepOutcome::Progress);
             }
-            if !progress {
-                break;
+            if !self.queue.is_pending(&key) {
+                continue; // dead-lettered
             }
-        }
 
-        outcome.completed = keys
+            let lease = self
+                .queue
+                .lease_key(&key, state.worker)?
+                .expect("a pending task leases");
+            state.worker = (state.worker + 1) % self.cfg.workers.max(1);
+            state.leases_granted += 1;
+
+            // Injected stale-lease episode: expire and re-grant
+            // the lease, then present the stale one after
+            // executing.
+            let (current, stale) = if self.cfg.stale_lease_at == Some(state.leases_granted) {
+                let dt = (lease.expires - self.queue.now()).max(0.0) + 1e-9;
+                self.queue.advance_clock(dt);
+                self.queue.reclaim_expired()?;
+                let fresh = self
+                    .queue
+                    .lease_key(&lease.key, state.worker)?
+                    .expect("the reclaimed cell re-leases");
+                (fresh, Some(lease))
+            } else {
+                (lease, None)
+            };
+
+            // Cache probe: a hit is journaled (keeping the
+            // artifact complete and ordered) but never
+            // re-simulated.
+            if let Some(result) = self.cache.get::<R>(&ckey) {
+                self.journal.append(&result)?;
+                let _ = self.queue.complete(&current.key, current.lease, 0.0);
+                self.recovered.insert(current.key.clone(), result);
+                outcome.cache_hits += 1;
+                return Ok(StepOutcome::Progress);
+            }
+
+            // Scheduled kill before the result becomes durable:
+            // the execution happens and is lost with the process.
+            let next_execution = outcome.executed + 1;
+            if self.cfg.kill == Some((next_execution, KillPoint::BeforeResult)) {
+                let _ = exec(task);
+                outcome.executed += 1;
+                outcome.lost_executions += 1;
+                outcome.killed = true;
+                return Ok(StepOutcome::Killed);
+            }
+
+            let (result, elapsed) = exec(task);
+            outcome.executed += 1;
+
+            // Commit step 1: the durable artifact.
+            self.journal.append(&result)?;
+            if self.cfg.kill == Some((outcome.executed, KillPoint::MidCommit)) {
+                outcome.killed = true;
+                return Ok(StepOutcome::Killed);
+            }
+            // Commit step 2: the content-addressed cache.
+            self.cache.put(&ckey, &result)?;
+            // Commit step 3: the queue. A stale lease presented
+            // here must bounce; the fresh lease then completes
+            // the cell.
+            if let Some(stale_lease) = &stale {
+                outcome.stale_presented += 1;
+                if self
+                    .queue
+                    .complete(&stale_lease.key, stale_lease.lease, elapsed)
+                    == Err(CompleteError::StaleLease)
+                {
+                    outcome.stale_rejected += 1;
+                }
+            }
+            let _ = self.queue.complete(&current.key, current.lease, elapsed);
+            self.recovered.insert(current.key.clone(), result);
+            if self.cfg.kill == Some((outcome.executed, KillPoint::AfterCommit)) {
+                outcome.killed = true;
+                return Ok(StepOutcome::Killed);
+            }
+            return Ok(StepOutcome::Progress);
+        }
+        Ok(StepOutcome::Drained)
+    }
+
+    /// A snapshot of this incarnation's accounting: live counters plus
+    /// the completed/abandoned/drained state re-derived from the queue.
+    /// Call after the step loop ends for the final outcome, or at any
+    /// point between steps for progress reporting. Panics unless
+    /// [`Self::prepare`] has run.
+    pub fn outcome(&self) -> ServiceOutcome {
+        let state = self.run.as_ref().expect("prepare() before outcome()");
+        let mut outcome = state.outcome.clone();
+        outcome.completed = state
+            .keys
             .iter()
             .filter(|k| self.recovered.contains_key(*k))
             .count();
         outcome.abandoned = self.queue.abandoned_count();
         outcome.cache_stats = self.cache.stats();
         outcome.drained = self.queue.drained();
-        Ok(outcome)
+        outcome
+    }
+
+    /// Runs the campaign: [`Self::prepare`] then [`Self::step`] until
+    /// the queue drains or the configured kill fires (check
+    /// [`ServiceOutcome::killed`]). `exec` simulates one cell,
+    /// returning the result and its virtual cost in seconds.
+    pub fn run<T: Serialize>(
+        &mut self,
+        tasks: &[T],
+        mut exec: impl FnMut(&T) -> (R, f64),
+    ) -> io::Result<ServiceOutcome> {
+        self.prepare(tasks)?;
+        while let StepOutcome::Progress = self.step(tasks, &mut exec)? {}
+        Ok(self.outcome())
     }
 
     /// The recovered + newly-completed results, by task key.
@@ -380,20 +445,19 @@ pub fn task_key<T: Serialize>(task: &T) -> io::Result<String> {
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
-/// FNV-1a digest of a file's bytes (a missing file digests as 0):
-/// the artifact fingerprint the byte-identity oracle compares.
-pub fn artifact_digest(path: impl AsRef<Path>) -> u64 {
-    match std::fs::read(path) {
-        Ok(bytes) => {
-            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-            for &b in &bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-            h
-        }
-        Err(_) => 0,
+/// FNV-1a digest of a file's bytes: the artifact fingerprint the
+/// byte-identity oracle compares. `None` when the file is missing or
+/// unreadable — an unreadable artifact must never compare
+/// byte-identical to anything (the old `0` sentinel let two *failed*
+/// reads pass the oracle silently).
+pub fn artifact_digest(path: impl AsRef<Path>) -> Option<u64> {
+    let bytes = std::fs::read(path).ok()?;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
+    Some(h)
 }
 
 /// Everything a service chaos schedule produced: the aggregated
@@ -618,6 +682,7 @@ mod tests {
         svc.run(&tasks(6), exec).unwrap();
         drop(svc);
         let want = artifact_digest(&ref_journal);
+        assert!(want.is_some(), "the reference artifact is readable");
 
         for (tag, point) in [
             ("before", KillPoint::BeforeResult),
@@ -704,6 +769,68 @@ mod tests {
         assert!(out.drained);
         assert_eq!(out.completed, 4);
         assert_eq!((out.stale_presented, out.stale_rejected), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifact_digest_is_none_for_unreadable_and_some_for_empty() {
+        // Regression: the old signature digested an unreadable file as
+        // 0, so two missing artifacts compared byte-identical and the
+        // oracle passed on a run that produced nothing.
+        let dir = tmp_dir("digest");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(artifact_digest(dir.join("missing.jsonl")), None);
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, b"").unwrap();
+        let got = artifact_digest(&empty);
+        assert!(got.is_some(), "an empty-but-readable artifact digests");
+        assert_ne!(
+            got,
+            artifact_digest(dir.join("missing.jsonl")),
+            "missing and empty must not collide"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stepped_drive_matches_run_byte_for_byte() {
+        // prepare() + step() under an external driver must reproduce
+        // run() exactly: same artifact bytes, same accounting. This is
+        // the contract the gateway's round-robin scheduler relies on.
+        let ref_dir = tmp_dir("step-ref");
+        let ref_cfg = ServiceConfig::new(&ref_dir, "p");
+        let ref_journal = ref_cfg.journal_path();
+        let mut svc = JobService::<Vec<f64>>::open(ref_cfg, key_of).unwrap();
+        let want_outcome = svc.run(&tasks(7), exec).unwrap();
+        drop(svc);
+        let want = artifact_digest(&ref_journal);
+        assert!(want.is_some());
+
+        let dir = tmp_dir("step-drv");
+        let cfg = ServiceConfig::new(&dir, "p");
+        let journal = cfg.journal_path();
+        let mut svc = JobService::<Vec<f64>>::open(cfg, key_of).unwrap();
+        let campaign = tasks(7);
+        svc.prepare(&campaign).unwrap();
+        let mut steps = 0usize;
+        let exec_fn = exec;
+        loop {
+            // outcome() is callable between steps without disturbing
+            // the drive.
+            let _ = svc.outcome();
+            match svc.step(&campaign, &mut |t: &u64| exec_fn(t)).unwrap() {
+                StepOutcome::Progress => steps += 1,
+                StepOutcome::Killed => panic!("no kill configured"),
+                StepOutcome::Drained => break,
+            }
+        }
+        let got_outcome = svc.outcome();
+        assert_eq!(steps, 7, "one step per cell");
+        assert!(got_outcome.drained);
+        assert_eq!(got_outcome.completed, want_outcome.completed);
+        assert_eq!(got_outcome.executed, want_outcome.executed);
+        assert_eq!(artifact_digest(&journal), want, "byte-identical artifact");
+        let _ = std::fs::remove_dir_all(&ref_dir);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
