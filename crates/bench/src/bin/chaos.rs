@@ -42,6 +42,17 @@
 //!   re-execution, and byte-identical artifacts after kill-resume.
 //!   Verdicts are journaled to `DIR/service_chaos.jsonl`; `--resume`
 //!   skips checked schedules. Exit 0 when every schedule passed.
+//! * **Disk mode** (`--disk N`): chaos at the *filesystem* layer.
+//!   Samples N disk fault schedules — transient and persistent ENOSPC,
+//!   EIO on write and fsync, short writes, rename failures, power cuts
+//!   with and without writeback reordering — runs each campaign
+//!   through [`run_disk_chaos`](cpc_workload::run_disk_chaos) on a
+//!   simulated filesystem, and checks the five crash-consistency
+//!   oracles: no acked-then-lost, no corrupt-accept, no panic, no
+//!   post-failed-fsync trust, and byte-identical artifacts once faults
+//!   clear. Verdicts are journaled to `DIR/disk_chaos.jsonl`;
+//!   `--resume` skips checked schedules. Exit 0 when every schedule
+//!   passed.
 //! * **Transport mode** (`--transport N`): chaos at the *HTTP gateway*
 //!   layer. Samples N transport fault schedules — malformed and
 //!   truncated requests, slowloris readers, mid-response disconnects,
@@ -69,19 +80,21 @@
 
 use cpc_bench::cli::Args;
 use cpc_charmm::chaos::{
-    flatten, ChaosHarness, GatewayLedger, Reproducer, ScheduleReport, ServiceLedger,
+    flatten, ChaosHarness, DiskLedger, GatewayLedger, Reproducer, ScheduleReport, ServiceLedger,
 };
 use cpc_charmm::{
     run_parallel_md_faulty, AbftConfig, DurableConfig, FaultConfig, MdConfig, RecoveryConfig,
 };
 use cpc_cluster::{
-    sdc_class, ClusterConfig, FaultPlan, FaultSpace, NetworkKind, SdcClass, SdcTarget,
-    ServiceFaultSpace, TransportFaultSpace,
+    sdc_class, ClusterConfig, DiskFaultSpace, FaultPlan, FaultSpace, NetworkKind, SdcClass,
+    SdcTarget, ServiceFaultSpace, TransportFaultSpace,
 };
 use cpc_gateway::{demo_cells, demo_flood_cells, run_gateway_chaos, DemoModel};
 use cpc_md::EnergyModel;
 use cpc_mpi::Middleware;
+use cpc_vfs::DiskFaultPlan;
 use cpc_workload::journal::Journal;
+use cpc_workload::run_disk_chaos;
 use cpc_workload::service::run_service_chaos;
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
@@ -105,8 +118,8 @@ struct Verdict {
 const STALL_TIMEOUT: f64 = 20.0;
 
 const USAGE: &str = "usage: chaos [--schedules N] [--seed S] [--soak] [--resume] [--out DIR]\n\
-     \x20      [--ranks P] [--steps N] | --service N | --transport N | --plant\n\
-     \x20      | --replay FILE | --straggle-smoke | --abft-smoke";
+     \x20      [--ranks P] [--steps N] | --service N | --transport N | --disk N\n\
+     \x20      | --plant | --replay FILE | --straggle-smoke | --abft-smoke";
 
 /// Exit 2 (usage/environment error) with a message — the typed
 /// replacement for `expect` on malformed inputs and I/O failures.
@@ -652,6 +665,159 @@ fn service_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
     0
 }
 
+/// One journaled disk-chaos verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DiskVerdict {
+    /// Campaign seed.
+    seed: u64,
+    /// Schedule index within the campaign.
+    index: u64,
+    /// Whether all five crash-consistency oracles held.
+    passed: bool,
+    /// Rendered violations (empty when passed).
+    violations: Vec<String>,
+    /// The cross-incarnation accounting the oracles checked.
+    ledger: DiskLedger,
+}
+
+/// Cells per synthetic disk-chaos campaign, matching the service-chaos
+/// campaign so the two layers exercise the same workload.
+const DISK_CELLS: u64 = 6;
+
+/// Disk-level chaos campaign: schedules `0..N` sampled from
+/// `(seed, index)`, each driving a full campaign through the job
+/// service on a simulated filesystem injecting ENOSPC, EIO, short
+/// writes, rename failures and power cuts.
+fn disk_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
+    let journal_path = out.join("disk_chaos.jsonl");
+    let (mut journal, prior) = if resume {
+        let (j, recovery) =
+            Journal::<DiskVerdict>::resume_keyed(&journal_path, |v| (v.seed, v.index))
+                .unwrap_or_else(|e| die(format!("cannot resume {}: {e}", journal_path.display())));
+        if recovery.dropped > 0 {
+            eprintln!(
+                "journal {}: discarded {} torn/damaged trailing line(s)",
+                journal_path.display(),
+                recovery.dropped
+            );
+        }
+        if recovery.duplicates > 0 {
+            eprintln!(
+                "journal {}: scrubbed {} duplicate verdict(s) (first wins)",
+                journal_path.display(),
+                recovery.duplicates
+            );
+        }
+        eprintln!(
+            "journal {}: resuming past {} checked schedule(s)",
+            journal_path.display(),
+            recovery.entries.len()
+        );
+        (j, recovery.entries)
+    } else {
+        (
+            Journal::<DiskVerdict>::create(&journal_path)
+                .unwrap_or_else(|e| die(format!("cannot create {}: {e}", journal_path.display()))),
+            Vec::new(),
+        )
+    };
+    let done: HashSet<u64> = prior
+        .iter()
+        .filter(|v| v.seed == seed)
+        .map(|v| v.index)
+        .collect();
+    let mut failures: Vec<u64> = prior
+        .iter()
+        .filter(|v| v.seed == seed && !v.passed)
+        .map(|v| v.index)
+        .collect();
+
+    let tasks: Vec<u64> = (0..DISK_CELLS).collect();
+    let exec = |t: &u64| -> (Vec<f64>, f64) { (vec![*t as f64, (*t * *t) as f64], 0.25) };
+    let key_of = |r: &Vec<f64>| serde_json::to_string(&(r[0] as u64)).expect("key serializes");
+
+    // Probe the fault-free mutating-op horizon: the index space every
+    // sampled fault position is drawn from. Entirely in memory — the
+    // disk campaign touches no real filesystem beyond its own journal.
+    let probe = run_disk_chaos(&tasks, "chaos-disk", &DiskFaultPlan::none(), key_of, exec)
+        .unwrap_or_else(|e| die(format!("fault-free probe failed: {e}")));
+    if !probe.passed() {
+        println!("fault-free probe FAILED its own oracles:");
+        for v in &probe.violations {
+            println!("  - {v}");
+        }
+        return 1;
+    }
+    let space = DiskFaultSpace::new(probe.ledger.disk.ops);
+    println!(
+        "disk chaos campaign: seed {seed}, {schedules} schedules, \
+         {DISK_CELLS} cells per campaign over a {}-op filesystem horizon",
+        probe.ledger.disk.ops
+    );
+
+    let mut checked = 0u64;
+    let mut power_losses = 0u64;
+    let mut enospc_total = 0u64;
+    let mut restarts_total = 0usize;
+    for index in 0..schedules {
+        if done.contains(&index) {
+            continue;
+        }
+        let plan = space.sample(seed, index);
+        let report = run_disk_chaos(&tasks, "chaos-disk", &plan, key_of, exec)
+            .unwrap_or_else(|e| die(format!("schedule {index} I/O failure: {e}")));
+        checked += 1;
+        power_losses += report.ledger.disk.power_losses;
+        enospc_total += report.ledger.disk.enospc_failures;
+        restarts_total += report.ledger.restarts;
+        let verdict = DiskVerdict {
+            seed,
+            index,
+            passed: report.passed(),
+            violations: report.violations.iter().map(|v| v.to_string()).collect(),
+            ledger: report.ledger.clone(),
+        };
+        if let Err(e) = journal.append(&verdict) {
+            die(format!("cannot journal verdict {index}: {e}"));
+        }
+        if !verdict.passed {
+            println!(
+                "schedule {index} ({:?}): {} VIOLATION(S)",
+                plan.faults,
+                verdict.violations.len()
+            );
+            for v in &verdict.violations {
+                println!("  - {v}");
+            }
+            failures.push(index);
+        } else if (index + 1).is_multiple_of(25) {
+            println!(
+                "schedule {index}: ok ({} incarnation(s), {} restart(s), {} ENOSPC, {} lift(s))",
+                report.ledger.incarnations,
+                report.ledger.restarts,
+                report.ledger.disk.enospc_failures,
+                report.ledger.enospc_lifts
+            );
+        }
+    }
+
+    println!(
+        "checked {checked} fresh schedule(s) ({} total), {} violation(s); \
+         {power_losses} power cut(s) and {enospc_total} ENOSPC failure(s) absorbed \
+         across {restarts_total} restart(s)",
+        done.len() as u64 + checked,
+        failures.len()
+    );
+    if !failures.is_empty() {
+        failures.sort_unstable();
+        failures.dedup();
+        println!("failing schedules: {failures:?}");
+        return 1;
+    }
+    println!("all five crash-consistency oracles held on every schedule");
+    0
+}
+
 /// One journaled transport-chaos verdict.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct TransportVerdict {
@@ -834,6 +1000,7 @@ fn main() {
     let abft_smoke = args.flag("--abft-smoke");
     let service: Option<u64> = args.parsed("--service", "an integer schedule count");
     let transport: Option<u64> = args.parsed("--transport", "an integer schedule count");
+    let disk: Option<u64> = args.parsed("--disk", "an integer schedule count");
     let schedules: u64 = args
         .parsed("--schedules", "an integer schedule count")
         .unwrap_or(50);
@@ -866,6 +1033,9 @@ fn main() {
     }
     if let Some(n) = transport {
         std::process::exit(transport_mode(&out, n, seed, resume));
+    }
+    if let Some(n) = disk {
+        std::process::exit(disk_mode(&out, n, seed, resume));
     }
 
     let journal_path = out.join("chaos.jsonl");

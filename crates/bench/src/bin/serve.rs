@@ -24,7 +24,12 @@
 //!   durable queue alone.
 //! * **Client mode** (`--get` / `--post`): one raw-TCP HTTP request
 //!   against a running server; the response is printed. Exit 0 on
-//!   2xx, 4 on a shed 429/503 (retry later), 1 on any other status.
+//!   2xx, 4 on a shed 429/503/507 (retry later), 1 on any other
+//!   status.
+//! * **`--enospc-while FILE`** (server mode): every write the gateway
+//!   makes fails with ENOSPC while FILE exists — the CI disk-pressure
+//!   smoke touches the file, watches a submission shed 507 over the
+//!   wire, removes it, and watches the same campaign complete.
 //! * **`--demo-campaign`**: prints a submission body for the quick
 //!   campaign, ready to pipe into `--post /campaigns --body`.
 use cpc_bench::cli::Args;
@@ -42,7 +47,8 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-const USAGE: &str = "usage: serve --root DIR [--port N] [--quick] [--kill-after N]\n\
+const USAGE: &str =
+    "usage: serve --root DIR [--port N] [--quick] [--kill-after N] [--enospc-while FILE]\n\
      \x20      | --port N --get PATH | --port N --post PATH --body JSON\n\
      \x20      | --demo-campaign";
 
@@ -127,12 +133,18 @@ fn client(port: u16, method: &str, path: &str, body: Option<&str>) -> i32 {
         .unwrap_or_else(|| die("response carried no status line"));
     match status {
         200..=299 => 0,
-        429 | 503 => 4,
+        429 | 503 | 507 => 4,
         _ => 1,
     }
 }
 
-fn serve(root: &str, port: u16, quick: bool, kill_after: Option<usize>) -> ! {
+fn serve(
+    root: &str,
+    port: u16,
+    quick: bool,
+    kill_after: Option<usize>,
+    enospc_while: Option<String>,
+) -> ! {
     let system = if quick {
         cpc_workload::runner::quick_system()
     } else {
@@ -152,14 +164,18 @@ fn serve(root: &str, port: u16, quick: bool, kill_after: Option<usize>) -> ! {
     let mut cfg = GatewayConfig::new(root, format!("campaign steps={steps} model={model:?}"));
     cfg.kill = kill_after.map(|n| (n, KillPoint::MidCommit));
     let deadline = cfg.limits.deadline;
-    let gw = Gateway::open(
-        cfg,
-        MeasurementModel {
-            system,
-            steps,
-            model,
-        },
-    )
+    let model = MeasurementModel {
+        system,
+        steps,
+        model,
+    };
+    let gw = match enospc_while {
+        Some(trigger) => {
+            eprintln!("serve: disk fills while {trigger} exists");
+            Gateway::open_on(Arc::new(cpc_vfs::EnospcTrigger::new(trigger)), cfg, model)
+        }
+        None => Gateway::open(cfg, model),
+    }
     .unwrap_or_else(|e| die(format!("cannot open gateway in {root}: {e}")));
 
     let listener = TcpListener::bind(("127.0.0.1", port))
@@ -225,9 +241,10 @@ fn main() {
         .unwrap_or_else(|| "results/serve".to_string());
     let quick = args.flag("--quick");
     let kill_after: Option<usize> = args.parsed("--kill-after", "an integer fresh-cell count");
+    let enospc_while = args.value("--enospc-while");
     args.finish();
     if let Err(e) = std::fs::create_dir_all(&root) {
         die(format!("cannot create {root}: {e}"));
     }
-    serve(&root, port, quick, kill_after);
+    serve(&root, port, quick, kill_after, enospc_while);
 }

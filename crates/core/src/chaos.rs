@@ -46,6 +46,7 @@ use crate::driver::MdConfig;
 use crate::recover::{run_parallel_md_faulty, AbftConfig, FaultConfig, FtReport, RecoveryConfig};
 use cpc_cluster::{FaultPlan, LinkDegradation, RankCrash, SdcFault, StorageFault, Straggler};
 use cpc_md::System;
+use cpc_vfs::DiskCounters;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
@@ -1386,6 +1387,225 @@ pub fn check_gateway_ledger(ledger: &GatewayLedger) -> Vec<GatewayViolation> {
         || ledger.artifact_digest != ledger.reference_digest
     {
         violations.push(GatewayViolation::ArtifactMismatch {
+            artifact: ledger.artifact_digest,
+            reference: ledger.reference_digest,
+        });
+    }
+    violations
+}
+
+/// Cross-incarnation accounting for one campaign run against a
+/// fault-injected filesystem (`cpc-vfs::SimFs`): cell and execution
+/// counts summed over every incarnation — power-cut restarts, ENOSPC
+/// quiesce/lift cycles, transient-error retries — plus the
+/// filesystem's own fault counters and the artifact digests.
+/// [`check_disk_ledger`] turns a ledger into oracle verdicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DiskLedger {
+    /// Cells the campaign comprises.
+    pub total_cells: usize,
+    /// Cells with a durable result when the campaign drained.
+    pub completed: usize,
+    /// Cells dead-lettered (forbidden under the sampled space).
+    pub abandoned: usize,
+    /// Fresh simulations across all incarnations.
+    pub executed: usize,
+    /// Executions whose durability is unlicensed to assume: the step
+    /// that ran them failed before acknowledging, so the schedule
+    /// licenses exactly one re-execution each.
+    pub lost_executions: usize,
+    /// Service incarnations (1 = fault-free).
+    pub incarnations: usize,
+    /// Power-cut restarts the driver performed.
+    pub restarts: usize,
+    /// Persistent-ENOSPC lifts the driver performed after observing
+    /// the service quiesce.
+    pub enospc_lifts: usize,
+    /// Transient I/O errors (EIO, short write, failed rename) the
+    /// driver retried past.
+    pub io_retries: usize,
+    /// Results that were durably acknowledged and then missing after a
+    /// restart — the acked-then-lost count, always a violation.
+    pub acked_then_lost: usize,
+    /// Recovered results that differ from a fresh re-execution of
+    /// their cell — corrupt bytes accepted as valid, always a
+    /// violation.
+    pub corrupt_accepted: usize,
+    /// Panics caught while stepping the service under disk faults.
+    pub panics: usize,
+    /// The simulated disk's own accounting: ops, faults fired, and the
+    /// poisoned-publish count (a rename that published a file whose
+    /// fsync had failed — post-failed-fsync trust).
+    pub disk: DiskCounters,
+    /// FNV-1a digest of the final results artifact (`None` =
+    /// missing/unreadable, which never compares equal).
+    pub artifact_digest: Option<u64>,
+    /// Same digest from the fault-free reference run.
+    pub reference_digest: Option<u64>,
+}
+
+/// One violation of the disk-fault durability invariants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DiskViolation {
+    /// A cell vanished: fewer durable results than cells when the
+    /// campaign drained (dead-letters are forbidden too).
+    LostCell {
+        /// Cells with durable results.
+        completed: usize,
+        /// Cells dead-lettered.
+        abandoned: usize,
+        /// Cells the campaign comprises.
+        total: usize,
+    },
+    /// More fresh executions than the fault schedule licenses: a cell
+    /// with a durably-acknowledged result was re-simulated.
+    DuplicateExecution {
+        /// Fresh executions observed.
+        executed: usize,
+        /// The bound: `total + lost_executions`.
+        allowance: usize,
+    },
+    /// A durably-acknowledged result was missing after a restart: the
+    /// ack was a lie (bytes were not on stable storage).
+    AckedThenLost {
+        /// Acked results that vanished.
+        lost: usize,
+    },
+    /// A recovered result differs from a fresh re-execution of its
+    /// cell: corrupt bytes were accepted as valid.
+    CorruptAccepted {
+        /// Corrupt results accepted.
+        accepted: usize,
+    },
+    /// The service panicked under a disk fault instead of returning a
+    /// typed error.
+    Panicked {
+        /// Panics caught.
+        panics: usize,
+    },
+    /// A rename published a file whose fsync had failed — the
+    /// fsyncgate case: retrying (or ignoring) a failed fsync and then
+    /// trusting the file. The write path must abandon the file
+    /// instead.
+    PoisonedPublish {
+        /// Poisoned publishes the filesystem observed.
+        publishes: u64,
+    },
+    /// The drained campaign's artifact differs from the fault-free
+    /// reference run's — or either was unreadable (`None`), which can
+    /// never count as byte-identical.
+    ArtifactMismatch {
+        /// Digest of the chaos run's artifact (`None` = unreadable).
+        artifact: Option<u64>,
+        /// Digest of the reference run's artifact (`None` = unreadable).
+        reference: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for DiskViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskViolation::LostCell {
+                completed,
+                abandoned,
+                total,
+            } => write!(
+                f,
+                "lost cell: {completed} completed + {abandoned} abandoned of {total}"
+            ),
+            DiskViolation::DuplicateExecution {
+                executed,
+                allowance,
+            } => write!(
+                f,
+                "duplicate execution: {executed} ran, {allowance} allowed"
+            ),
+            DiskViolation::AckedThenLost { lost } => {
+                write!(f, "acked then lost: {lost} durable results vanished")
+            }
+            DiskViolation::CorruptAccepted { accepted } => {
+                write!(
+                    f,
+                    "corrupt accept: {accepted} recovered results differ from re-execution"
+                )
+            }
+            DiskViolation::Panicked { panics } => {
+                write!(f, "panic under disk fault: {panics} caught")
+            }
+            DiskViolation::PoisonedPublish { publishes } => write!(
+                f,
+                "post-failed-fsync trust: {publishes} poisoned files published"
+            ),
+            DiskViolation::ArtifactMismatch {
+                artifact,
+                reference,
+            } => write!(
+                f,
+                "artifact mismatch: {} != reference {}",
+                fmt_digest(*artifact),
+                fmt_digest(*reference)
+            ),
+        }
+    }
+}
+
+/// The crash-consistency oracles of the disk-fault campaign, as pure
+/// functions of the ledger:
+///
+/// 1. **No acked-then-lost.** A result acknowledged durable before a
+///    power cut is still there after restart — both directly
+///    (`acked_then_lost`) and through the execution bound (re-running
+///    an acked cell exceeds the allowance).
+/// 2. **No corrupt-accept.** Every recovered result matches a fresh
+///    re-execution of its cell; damaged bytes are quarantined and
+///    re-derived, never served.
+/// 3. **No panic.** Every injected fault surfaces as a typed error.
+/// 4. **No post-failed-fsync trust.** A file whose fsync failed is
+///    abandoned, never renamed into place (`fsyncgate`).
+/// 5. **Graceful completion.** Once faults clear, the campaign drains
+///    every cell and the artifact digests identically to the
+///    fault-free reference.
+pub fn check_disk_ledger(ledger: &DiskLedger) -> Vec<DiskViolation> {
+    let mut violations = Vec::new();
+    if ledger.completed + ledger.abandoned < ledger.total_cells || ledger.abandoned > 0 {
+        violations.push(DiskViolation::LostCell {
+            completed: ledger.completed,
+            abandoned: ledger.abandoned,
+            total: ledger.total_cells,
+        });
+    }
+    let allowance = ledger.total_cells + ledger.lost_executions;
+    if ledger.executed > allowance {
+        violations.push(DiskViolation::DuplicateExecution {
+            executed: ledger.executed,
+            allowance,
+        });
+    }
+    if ledger.acked_then_lost > 0 {
+        violations.push(DiskViolation::AckedThenLost {
+            lost: ledger.acked_then_lost,
+        });
+    }
+    if ledger.corrupt_accepted > 0 {
+        violations.push(DiskViolation::CorruptAccepted {
+            accepted: ledger.corrupt_accepted,
+        });
+    }
+    if ledger.panics > 0 {
+        violations.push(DiskViolation::Panicked {
+            panics: ledger.panics,
+        });
+    }
+    if ledger.disk.poisoned_publishes > 0 {
+        violations.push(DiskViolation::PoisonedPublish {
+            publishes: ledger.disk.poisoned_publishes,
+        });
+    }
+    if ledger.artifact_digest.is_none()
+        || ledger.reference_digest.is_none()
+        || ledger.artifact_digest != ledger.reference_digest
+    {
+        violations.push(DiskViolation::ArtifactMismatch {
             artifact: ledger.artifact_digest,
             reference: ledger.reference_digest,
         });

@@ -6,11 +6,15 @@
 //! process restart. This store persists each checkpoint as an
 //! [`MdSnapshot`] container on disk:
 //!
-//! * **Atomicity** — every write goes to a temporary file in the same
-//!   directory, is `fsync`ed, then renamed over the final name, and
-//!   the directory is `fsync`ed; a crash mid-write leaves either the
-//!   old generation or the new one, never a half-file (unless a
-//!   scheduled [`StorageFaultKind::TornWrite`] models exactly that).
+//! * **Atomicity** — every write goes through
+//!   [`cpc_vfs::atomic_publish`]: a temporary file in the same
+//!   directory, `fsync`ed, renamed over the final name, and the
+//!   directory `fsync`ed — with every failure, *including the
+//!   directory fsync*, propagated to the caller (a swallowed dir-fsync
+//!   error would let a checkpoint silently fail to survive power
+//!   loss). A crash mid-write leaves either the old generation or the
+//!   new one, never a half-file (unless a scheduled
+//!   [`StorageFaultKind::TornWrite`] models exactly that).
 //! * **Rotation** — only the newest `keep` generations are retained,
 //!   bounding disk use over arbitrarily long campaigns.
 //! * **Verified fallback** — restore walks generations newest-first,
@@ -27,8 +31,8 @@
 
 use cpc_cluster::{StorageFault, StorageFaultKind};
 use cpc_md::{MdSnapshot, SnapshotError};
-use std::fs;
-use std::io::{self, Write as _};
+use cpc_vfs::{real_fs, SharedFs};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -130,10 +134,55 @@ impl From<io::Error> for RestoreError {
     }
 }
 
-/// A directory of rotated, checksummed snapshot generations.
+/// Typed failure of a durable checkpoint save. Every phase of the
+/// publish is distinguished so callers can tell a snapshot that never
+/// reached disk from one that reached disk but may not survive power
+/// loss — the directory-fsync failure this store used to swallow with
+/// `let _ = d.sync_all()`.
 #[derive(Debug)]
+pub enum SaveError {
+    /// Writing, fsyncing, or renaming the snapshot failed: the new
+    /// generation is not on disk (the old one, if any, still is).
+    Publish(io::Error),
+    /// The directory fsync after the rename failed: the bytes are
+    /// fsynced but the *name* may not survive power loss, so the
+    /// generation cannot be trusted durable.
+    DirSync(io::Error),
+    /// Deleting rotated-out generations failed; the new generation is
+    /// durable but the store exceeds its retention bound.
+    Rotate(io::Error),
+}
+
+impl std::fmt::Display for SaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SaveError::Publish(e) => write!(f, "checkpoint publish failed: {e}"),
+            SaveError::DirSync(e) => {
+                write!(
+                    f,
+                    "checkpoint directory fsync failed (rename not durable): {e}"
+                )
+            }
+            SaveError::Rotate(e) => write!(f, "checkpoint rotation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SaveError {}
+
+impl SaveError {
+    /// The underlying I/O error, whatever the phase.
+    pub fn io(&self) -> &io::Error {
+        match self {
+            SaveError::Publish(e) | SaveError::DirSync(e) | SaveError::Rotate(e) => e,
+        }
+    }
+}
+
+/// A directory of rotated, checksummed snapshot generations.
 pub struct CheckpointStore {
     dir: PathBuf,
+    fs: SharedFs,
     keep: usize,
     /// Scheduled corruptions, ascending by trigger time; drained from
     /// the front as writes consume them.
@@ -149,14 +198,30 @@ pub struct CheckpointStore {
     next_fault: Arc<AtomicUsize>,
 }
 
+impl std::fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointStore")
+            .field("dir", &self.dir)
+            .field("keep", &self.keep)
+            .field("fault_schedule", &self.fault_schedule)
+            .finish()
+    }
+}
+
 impl CheckpointStore {
     /// Opens (creating if needed) a store in `dir` retaining `keep`
-    /// generations.
+    /// generations, on the real filesystem.
     pub fn open(dir: impl Into<PathBuf>, keep: usize) -> io::Result<Self> {
+        Self::open_on(real_fs(), dir, keep)
+    }
+
+    /// Opens a store on an injected filesystem.
+    pub fn open_on(fs: SharedFs, dir: impl Into<PathBuf>, keep: usize) -> io::Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        fs.create_dir_all(&dir)?;
         Ok(CheckpointStore {
             dir,
+            fs,
             keep: keep.max(1),
             fault_schedule: Vec::new(),
             next_fault: Arc::new(AtomicUsize::new(0)),
@@ -203,9 +268,10 @@ impl CheckpointStore {
     /// Generations currently on disk, ascending.
     pub fn generations(&self) -> io::Result<Vec<u64>> {
         let mut gens = Vec::new();
-        for entry in fs::read_dir(&self.dir)? {
-            let name = entry?.file_name();
-            let name = name.to_string_lossy();
+        for path in self.fs.read_dir(&self.dir)? {
+            let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+                continue;
+            };
             if let Some(num) = name
                 .strip_prefix("ckpt-")
                 .and_then(|rest| rest.strip_suffix(&format!(".{CHECKPOINT_EXT}")))
@@ -222,8 +288,10 @@ impl CheckpointStore {
     /// Durably writes `snapshot` as generation `snapshot.step`,
     /// applying any storage faults due at virtual time `now`, then
     /// rotates old generations. Returns the final path (which may not
-    /// exist if a [`StorageFaultKind::Missing`] fault fired).
-    pub fn save(&mut self, snapshot: &MdSnapshot, now: f64) -> io::Result<PathBuf> {
+    /// exist if a [`StorageFaultKind::Missing`] fault fired). Every
+    /// failure — including the directory fsync that makes the rename
+    /// durable — propagates as a typed [`SaveError`].
+    pub fn save(&mut self, snapshot: &MdSnapshot, now: f64) -> Result<PathBuf, SaveError> {
         let mut bytes = snapshot.encode();
         let mut missing = false;
         let mut pos = self.next_fault.load(Ordering::Acquire);
@@ -250,23 +318,16 @@ impl CheckpointStore {
         if missing {
             // The write is lost entirely; a stale same-generation file
             // would mask the loss, so remove it.
-            let _ = fs::remove_file(&path);
+            let _ = self.fs.remove_file(&path);
         } else {
-            let tmp = self
-                .dir
-                .join(format!("ckpt-{:010}.{CHECKPOINT_EXT}.tmp", snapshot.step));
+            cpc_vfs::atomic_publish_phased(self.fs.as_ref(), &path, &bytes).map_err(|e| match e
+                .phase
             {
-                let mut f = fs::File::create(&tmp)?;
-                f.write_all(&bytes)?;
-                f.sync_all()?;
-            }
-            fs::rename(&tmp, &path)?;
-            // Make the rename itself durable.
-            if let Ok(d) = fs::File::open(&self.dir) {
-                let _ = d.sync_all();
-            }
+                cpc_vfs::PublishPhase::DirSync => SaveError::DirSync(e.error),
+                _ => SaveError::Publish(e.error),
+            })?;
         }
-        self.rotate()?;
+        self.rotate().map_err(SaveError::Rotate)?;
         Ok(path)
     }
 
@@ -274,7 +335,7 @@ impl CheckpointStore {
         let gens = self.generations()?;
         if gens.len() > self.keep {
             for &g in &gens[..gens.len() - self.keep] {
-                fs::remove_file(self.path_for(g))?;
+                self.fs.remove_file(&self.path_for(g))?;
             }
         }
         Ok(())
@@ -283,7 +344,7 @@ impl CheckpointStore {
     /// Restores a specific generation, verifying every checksum.
     pub fn restore_generation(&self, generation: u64) -> Result<MdSnapshot, FallbackNote> {
         let path = self.path_for(generation);
-        let bytes = fs::read(&path).map_err(|e| FallbackNote {
+        let bytes = self.fs.read(&path).map_err(|e| FallbackNote {
             generation,
             reason: format!("read failed: {e}"),
         })?;
@@ -329,6 +390,7 @@ mod tests {
     use cpc_cluster::FaultPlan;
     use cpc_md::builder::water_box;
     use cpc_md::Vec3;
+    use std::fs;
 
     fn snap(step: u64, mark: f64) -> MdSnapshot {
         let sys = water_box(2, 3.1);
@@ -496,6 +558,73 @@ mod tests {
         assert!(notes.is_empty(), "newest generation decodes first");
         assert_eq!(cursor.load(Ordering::Acquire), 1);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_fsync_failure_is_a_typed_error_not_swallowed() {
+        use cpc_vfs::{DiskFault, DiskFaultPlan, SimFs};
+        // Regression for the old `let _ = d.sync_all()`: a failing
+        // directory fsync after the rename must surface as
+        // SaveError::DirSync, because the rename may not survive power
+        // loss and the checkpoint cannot be reported durable. A
+        // fault-free probe finds the dir fsync's op index (the last op
+        // a save issues; rotation reads but never writes here).
+        let dir_sync_at = {
+            let fs = Arc::new(SimFs::new());
+            let mut store = CheckpointStore::open_on(fs.clone(), "ckpt", 3).unwrap();
+            store.save(&snap(1, 1.0), 1.0).unwrap();
+            fs.op_count()
+        };
+        let plan = DiskFaultPlan::none().with(DiskFault::EioFsync { at: dir_sync_at });
+        let fs = Arc::new(SimFs::with_plan(&plan));
+        let mut store = CheckpointStore::open_on(fs, "ckpt", 3).unwrap();
+        match store.save(&snap(1, 1.0), 1.0) {
+            Err(SaveError::DirSync(e)) => assert!(cpc_vfs::is_eio(&e), "{e}"),
+            other => panic!("expected SaveError::DirSync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_crash_point_of_a_save_sequence_leaves_a_restorable_store() {
+        use cpc_vfs::{explore_crashes, SimFs};
+        // Power-cut two consecutive saves at every filesystem op: the
+        // surviving store must always restore cleanly — the newest
+        // intact generation or a legitimate fresh start, never an
+        // all-corrupt store and never a panic.
+        let work = |fs: &SimFs| -> std::io::Result<()> {
+            let fs = Arc::new(fs.clone());
+            let mut store = CheckpointStore::open_on(fs, "ckpt", 2)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            for step in 1..=2u64 {
+                store
+                    .save(&snap(step, step as f64), step as f64)
+                    .map_err(|e| match e {
+                        SaveError::Publish(e) | SaveError::DirSync(e) | SaveError::Rotate(e) => e,
+                    })?;
+            }
+            Ok(())
+        };
+        let check = |fs: &SimFs| -> Result<(), String> {
+            let fs = Arc::new(fs.clone());
+            let store = CheckpointStore::open_on(fs, "ckpt", 2).map_err(|e| e.to_string())?;
+            match store.restore_strict() {
+                Ok(Some((g, s))) => {
+                    if s.forces[0] == Vec3::splat(g as f64) {
+                        Ok(())
+                    } else {
+                        Err(format!("generation {g} restored with foreign payload"))
+                    }
+                }
+                Ok(None) => Ok(()), // nothing durable yet: fresh start
+                Err(e) => Err(format!("store unrecoverable after crash: {e}")),
+            }
+        };
+        let report = explore_crashes(work, check).unwrap();
+        assert!(
+            report.ops >= 10,
+            "two full atomic publishes, got {}",
+            report.ops
+        );
     }
 
     #[test]

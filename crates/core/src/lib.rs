@@ -34,10 +34,11 @@ pub mod recover;
 pub mod report;
 
 pub use chaos::{
-    check_gateway_ledger, check_service_ledger, minimize, ChaosHarness, GatewayLedger,
-    GatewayViolation, Reproducer, ScheduleReport, ServiceLedger, ServiceViolation, Violation,
+    check_disk_ledger, check_gateway_ledger, check_service_ledger, minimize, ChaosHarness,
+    DiskLedger, DiskViolation, GatewayLedger, GatewayViolation, Reproducer, ScheduleReport,
+    ServiceLedger, ServiceViolation, Violation,
 };
-pub use ckpt::{CheckpointStore, DurableConfig, FallbackNote, RestoreError};
+pub use ckpt::{CheckpointStore, DurableConfig, FallbackNote, RestoreError, SaveError};
 pub use classic::{classic_energy_parallel, ClassicResult};
 pub use driver::{run_parallel_md, CommTuning, MdConfig, PmeImpl};
 pub use pme_par::{ParallelPme, PmeParallelResult};

@@ -29,6 +29,7 @@
 use crate::http::{read_request, write_response, Conn, HttpLimits, Response};
 use crate::tenancy::{DrrScheduler, TenantPolicy};
 use cpc_cluster::RttEstimator;
+use cpc_vfs::{atomic_publish, is_enospc, real_fs, SharedFs};
 use cpc_workload::service::{
     task_key, JobService, KillPoint, ServiceConfig, ServiceOutcome, StepOutcome,
 };
@@ -135,6 +136,12 @@ struct Campaign<M: CampaignModel> {
     tasks: Vec<M::Task>,
     service: JobService<M::Result>,
     done: bool,
+    /// A storage failure (ENOSPC, EIO, failed fsync) interrupted a
+    /// step: the campaign is quiesced — no further steps are driven
+    /// through the possibly-poisoned in-memory service. A later pump
+    /// revives it by reopening the service from disk (construction is
+    /// recovery), which resumes byte-identically once the disk heals.
+    stalled: bool,
 }
 
 /// The gateway itself. Single-threaded by design: the bench binary
@@ -143,6 +150,7 @@ struct Campaign<M: CampaignModel> {
 /// kill-resume byte-identical through the HTTP path.
 pub struct Gateway<M: CampaignModel> {
     cfg: GatewayConfig,
+    fs: SharedFs,
     model: M,
     sched: DrrScheduler,
     campaigns: Vec<Campaign<M>>,
@@ -187,14 +195,23 @@ fn valid_tenant(name: &str) -> bool {
 }
 
 impl<M: CampaignModel> Gateway<M> {
-    /// Opens the gateway, recovering every campaign found under
-    /// `<root>/campaigns/` (sorted by id for a deterministic schedule
-    /// after restart).
+    /// Opens the gateway on the real filesystem, recovering every
+    /// campaign found under `<root>/campaigns/` (sorted by id for a
+    /// deterministic schedule after restart).
     pub fn open(cfg: GatewayConfig, model: M) -> io::Result<Self> {
-        std::fs::create_dir_all(cfg.root.join("campaigns"))?;
+        Self::open_on(real_fs(), cfg, model)
+    }
+
+    /// Opens the gateway on an injected filesystem — the hook through
+    /// which the disk chaos campaigns and the live ENOSPC smoke
+    /// ([`cpc_vfs::EnospcTrigger`]) reach every durable write the
+    /// gateway or its campaign services make.
+    pub fn open_on(fs: SharedFs, cfg: GatewayConfig, model: M) -> io::Result<Self> {
+        fs.create_dir_all(&cfg.root.join("campaigns"))?;
         let mut gw = Gateway {
             sched: DrrScheduler::new(&cfg.policy),
             cfg,
+            fs,
             model,
             campaigns: Vec::new(),
             index: HashMap::new(),
@@ -203,15 +220,17 @@ impl<M: CampaignModel> Gateway<M> {
             rtt: RttEstimator::new(),
             stats: GatewayStats::default(),
         };
-        let mut ids: Vec<String> = std::fs::read_dir(gw.cfg.root.join("campaigns"))?
-            .filter_map(Result::ok)
-            .filter(|e| e.path().join("meta.json").is_file())
-            .filter_map(|e| e.file_name().into_string().ok())
+        let mut ids: Vec<String> = gw
+            .fs
+            .read_dir(&gw.cfg.root.join("campaigns"))?
+            .into_iter()
+            .filter(|p| gw.fs.exists(&p.join("meta.json")))
+            .filter_map(|p| p.file_name().map(|n| n.to_string_lossy().into_owned()))
             .collect();
         ids.sort();
         for id in ids {
             let meta_path = gw.cfg.campaign_dir(&id).join("meta.json");
-            let text = std::fs::read_to_string(&meta_path)?;
+            let text = gw.fs.read_to_string(&meta_path)?;
             let meta: Value = serde_json::from_str(&text)
                 .map_err(|e| io_err(format!("corrupt {}: {e}", meta_path.display())))?;
             let tenant = meta
@@ -228,12 +247,21 @@ impl<M: CampaignModel> Gateway<M> {
         Ok(gw)
     }
 
-    fn register(&mut self, id: String, tenant: String, tasks: Vec<M::Task>) -> io::Result<()> {
-        let mut scfg = ServiceConfig::new(self.cfg.campaign_dir(&id), &self.cfg.protocol);
+    /// Opens (recovers) one campaign's service from disk and stages
+    /// its task list — used at registration and when reviving a
+    /// stalled campaign after a storage failure.
+    fn open_service(&self, id: &str, tasks: &[M::Task]) -> io::Result<JobService<M::Result>> {
+        let mut scfg = ServiceConfig::new(self.cfg.campaign_dir(id), &self.cfg.protocol);
         scfg.shards = self.cfg.shards;
         scfg.kill = self.cfg.kill;
-        let mut service = JobService::<M::Result>::open(scfg, |r| M::key_of(r))?;
-        service.prepare(&tasks)?;
+        let mut service =
+            JobService::<M::Result>::open_on(self.fs.clone(), scfg, |r| M::key_of(r))?;
+        service.prepare(tasks)?;
+        Ok(service)
+    }
+
+    fn register(&mut self, id: String, tenant: String, tasks: Vec<M::Task>) -> io::Result<()> {
+        let service = self.open_service(&id, &tasks)?;
         let done = service.outcome().drained;
         self.sched.register(&tenant);
         self.index.insert(id.clone(), self.campaigns.len());
@@ -243,6 +271,7 @@ impl<M: CampaignModel> Gateway<M> {
             tasks,
             service,
             done,
+            stalled: false,
         });
         Ok(())
     }
@@ -303,7 +332,7 @@ impl<M: CampaignModel> Gateway<M> {
         if resp.status >= 400 {
             self.stats.rejected += 1;
         }
-        if resp.status == 429 || resp.status == 503 {
+        if resp.status == 429 || resp.status == 503 || resp.status == 507 {
             self.stats.shed += 1;
         }
         // A peer that disconnected mid-response is its own problem;
@@ -414,37 +443,45 @@ impl<M: CampaignModel> Gateway<M> {
             return self.shed(429, "Too Many Requests", "tenant backlog full", backlog);
         }
 
-        // Durable registration: meta.json lands atomically before the
-        // campaign is admitted, so a kill between the two leaves at
-        // worst an idle directory the next incarnation re-adopts.
+        // Durable registration: meta.json lands via atomic_publish
+        // (write tmp → fsync → rename → fsync dir) before the campaign
+        // is admitted, so a kill — or a power cut — between the two
+        // leaves at worst an idle directory the next incarnation
+        // re-adopts. The directory fsyncs matter: without them the
+        // registration could be acked to the client and then vanish
+        // with the page cache.
         let dir = self.cfg.campaign_dir(&id);
         let n = tasks.len();
         let meta = format!("{{\"tenant\":\"{tenant}\",\"cells\":{cells_json}}}");
-        let write = || -> io::Result<()> {
-            std::fs::create_dir_all(&dir)?;
-            let tmp = dir.join("meta.json.tmp");
-            std::fs::write(&tmp, meta.as_bytes())?;
-            std::fs::rename(&tmp, dir.join("meta.json"))
+        let write = |fs: &SharedFs| -> io::Result<()> {
+            fs.create_dir_all(&dir)?;
+            atomic_publish(fs.as_ref(), &dir.join("meta.json"), meta.as_bytes())?;
+            // The campaign directory itself must survive power loss
+            // before the client is told anything was created.
+            fs.sync_dir(&self.cfg.root.join("campaigns"))
         };
-        if write().is_err() {
-            return Response::json(
+        match write(&self.fs).and_then(|()| self.register(id.clone(), tenant, tasks)) {
+            Ok(()) => Response::json(
+                201,
+                "Created",
+                format!("{{\"campaign\":\"{id}\",\"cells\":{n}}}"),
+            ),
+            Err(e) if is_enospc(&e) => {
+                // Out of disk: shed with 507 + Retry-After instead of
+                // accepting a submission whose durability cannot be
+                // promised. Nothing partial remains admitted in memory;
+                // an orphan meta.json (if the failure hit mid-register)
+                // is re-adopted by a later incarnation once space
+                // returns.
+                let backlog = self.total_backlog();
+                self.shed(507, "Insufficient Storage", "out of disk space", backlog)
+            }
+            Err(_) => Response::json(
                 500,
                 "Internal Server Error",
                 "{\"error\":\"cannot persist campaign\"}",
-            );
+            ),
         }
-        if self.register(id.clone(), tenant, tasks).is_err() {
-            return Response::json(
-                500,
-                "Internal Server Error",
-                "{\"error\":\"cannot open campaign service\"}",
-            );
-        }
-        Response::json(
-            201,
-            "Created",
-            format!("{{\"campaign\":\"{id}\",\"cells\":{n}}}"),
-        )
     }
 
     fn status(&self, id: &str) -> Response {
@@ -513,6 +550,28 @@ impl<M: CampaignModel> Gateway<M> {
             else {
                 continue;
             };
+            // A stalled campaign is revived by reopening its service
+            // from disk — never by trusting the in-memory instance
+            // that saw the storage failure (its journal may be
+            // poisoned; per the fsyncgate policy a retried fsync would
+            // lie). If the disk is still sick the reopen fails and the
+            // campaign stays quiesced for a later pump.
+            if self.campaigns[idx].stalled {
+                let id = self.campaigns[idx].id.clone();
+                let tasks = self.campaigns[idx].tasks.clone();
+                match self.open_service(&id, &tasks) {
+                    Ok(service) => {
+                        let c = &mut self.campaigns[idx];
+                        c.done = service.outcome().drained;
+                        c.service = service;
+                        c.stalled = false;
+                        if c.done {
+                            continue;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
             let campaign = &mut self.campaigns[idx];
             let model = &mut self.model;
             let mut last_cost: Option<f64> = None;
@@ -544,10 +603,15 @@ impl<M: CampaignModel> Gateway<M> {
                     break;
                 }
                 Err(_) => {
-                    // An I/O failure mid-step: stop driving this
-                    // campaign; the lost-cell oracle will convict the
-                    // schedule if cells went missing.
-                    campaign.done = true;
+                    // A storage failure mid-step (ENOSPC, EIO, failed
+                    // fsync): quiesce the campaign. It is NOT done —
+                    // marking it done would silently drop every
+                    // unfinished cell. The durable state on disk
+                    // decides what re-runs when a later pump revives
+                    // the service, and because recovery is
+                    // construction, the resumed artifact is
+                    // byte-identical to an unfaulted run's.
+                    campaign.stalled = true;
                 }
             }
         }
@@ -557,6 +621,17 @@ impl<M: CampaignModel> Gateway<M> {
     /// True when every registered campaign has drained.
     pub fn all_done(&self) -> bool {
         self.campaigns.iter().all(|c| c.done)
+    }
+
+    /// Campaigns currently quiesced by a storage failure, awaiting
+    /// revival.
+    pub fn stalled_count(&self) -> usize {
+        self.campaigns.iter().filter(|c| c.stalled).count()
+    }
+
+    /// The filesystem this gateway runs on.
+    pub fn fs(&self) -> &SharedFs {
+        &self.fs
     }
 
     /// True after `POST /drain`.
@@ -760,6 +835,100 @@ mod tests {
         }
         assert_eq!(gw.stats().rejected, 7);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn submit_under_enospc_sheds_507_with_retry_after_then_recovers() {
+        use cpc_vfs::SimFs;
+        use std::sync::Arc;
+        let fs = Arc::new(SimFs::new());
+        let mut cfg = GatewayConfig::new("gw", "demo");
+        cfg.policy.max_pending_cells = 10;
+        let mut gw = Gateway::open_on(fs.clone(), cfg, DemoModel).unwrap();
+
+        fs.set_enospc(true);
+        let conn = send(&mut gw, submit_body("alice", &demo_cells(3)));
+        assert_eq!(
+            conn.response_status(),
+            Some(507),
+            "full disk sheds, not 500s"
+        );
+        let retry: u64 = conn
+            .response_header("Retry-After")
+            .expect("507 carries Retry-After")
+            .parse()
+            .unwrap();
+        assert!((1..=120).contains(&retry));
+        assert_eq!(gw.stats().shed, 1);
+        assert_eq!(gw.campaign_ids().len(), 0, "nothing half-admitted");
+
+        // Space returns: the identical submission is accepted and runs.
+        fs.set_enospc(false);
+        let conn = send(&mut gw, submit_body("alice", &demo_cells(3)));
+        assert_eq!(conn.response_status(), Some(201));
+        while !gw.all_done() {
+            assert!(gw.pump(4).granted > 0 || gw.all_done());
+        }
+        let id = campaign_id("alice", "demo", &demo_cells(3));
+        assert_eq!(gw.outcome_of(&id).unwrap().completed, 3);
+    }
+
+    #[test]
+    fn enospc_mid_pump_quiesces_then_resumes_byte_identical() {
+        use cpc_vfs::SimFs;
+        use cpc_workload::service::artifact_digest_on;
+        use std::sync::Arc;
+        // Reference: the same campaign driven with no faults.
+        let ref_fs = Arc::new(SimFs::new());
+        let mut gw =
+            Gateway::open_on(ref_fs.clone(), GatewayConfig::new("gw", "demo"), DemoModel).unwrap();
+        assert_eq!(
+            send(&mut gw, submit_body("alice", &demo_cells(6))).response_status(),
+            Some(201)
+        );
+        while !gw.all_done() {
+            gw.pump(4);
+        }
+        let id = campaign_id("alice", "demo", &demo_cells(6));
+        let journal = gw.config().campaign_journal(&id);
+        let want = artifact_digest_on(ref_fs.as_ref(), &journal);
+        assert!(want.is_some());
+
+        // Faulted run: disk fills after two cells complete.
+        let fs = Arc::new(SimFs::new());
+        let mut gw =
+            Gateway::open_on(fs.clone(), GatewayConfig::new("gw", "demo"), DemoModel).unwrap();
+        assert_eq!(
+            send(&mut gw, submit_body("alice", &demo_cells(6))).response_status(),
+            Some(201)
+        );
+        gw.pump(2);
+        fs.set_enospc(true);
+        let r = gw.pump(4);
+        assert_eq!(r.granted, 0, "no progress on a full disk");
+        assert!(!gw.all_done(), "quiesced, never falsely done");
+        assert_eq!(
+            gw.stalled_count(),
+            1,
+            "the campaign stalls instead of dying"
+        );
+        // Pumping while still full keeps it quiesced without panicking.
+        gw.pump(4);
+        assert_eq!(gw.stalled_count(), 1);
+
+        // Space returns: revival drains to the byte-identical artifact.
+        fs.set_enospc(false);
+        while !gw.all_done() {
+            assert!(gw.pump(4).granted > 0 || gw.all_done());
+        }
+        assert_eq!(gw.stalled_count(), 0);
+        assert_eq!(
+            artifact_digest_on(fs.as_ref(), &journal),
+            want,
+            "resume after ENOSPC must be byte-identical to the unfaulted run"
+        );
+        let out = gw.outcome_of(&id).unwrap();
+        assert_eq!(out.completed, 6);
     }
 
     #[test]

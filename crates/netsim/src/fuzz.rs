@@ -35,6 +35,7 @@ use crate::faults::{
     FaultPlan, LinkDegradation, SdcFault, SdcTarget, StorageFaultKind, DEFAULT_WATCHDOG_TIMEOUT,
 };
 use crate::rng::SplitMix64;
+use cpc_vfs::{DiskFault, DiskFaultPlan};
 
 /// Highest mantissa bit the *benign* SDC class may flip: a flip at or
 /// below this bit changes the value by a relative factor of at most
@@ -568,6 +569,77 @@ impl TransportFaultSpace {
     }
 }
 
+/// The disk fault envelope of one durability workload: a bound on the
+/// mutating-op horizon from which [`DiskFaultSpace::sample`] draws
+/// deterministic [`DiskFaultPlan`]s (the types live in `cpc-vfs` so
+/// the simulated filesystem can interpret a plan without a dependency
+/// cycle; the sampler lives here with its siblings so every chaos
+/// stream shares one seeding discipline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskFaultSpace {
+    /// Mutating filesystem operations in the fault-free run (bounds
+    /// fault positions; measure it with `SimFs::op_count` after a
+    /// clean run, or over-estimate — a fault armed past the end of the
+    /// run simply never fires).
+    pub ops: u64,
+}
+
+impl DiskFaultSpace {
+    /// Describes the disk fault space of one durability workload.
+    pub fn new(ops: u64) -> Self {
+        DiskFaultSpace { ops }
+    }
+
+    /// Draws schedule `index` of the campaign keyed by `seed`. Pure in
+    /// `(space, seed, index)` like the other samplers; a distinct
+    /// sentinel channel keeps the stream independent of the
+    /// simulation, service, and transport fault streams.
+    pub fn sample(&self, seed: u64, index: u64) -> DiskFaultPlan {
+        let mut rng = SplitMix64::for_message(seed, 0xD15C, 0x0F5B, index);
+        let mut plan = DiskFaultPlan::none();
+        let ops = self.ops.max(1);
+        // 1..=3 faults per schedule, biased toward fewer.
+        let n = 1 + self.choose(&mut rng, 3);
+        for _ in 0..n {
+            let at = 1 + rng.next_u64() % ops;
+            let fault = match rng.next_u64() % 8 {
+                0 => DiskFault::EnospcTransient {
+                    at,
+                    ops: 1 + rng.next_u64() % 12,
+                },
+                1 => DiskFault::EnospcPersistent { at },
+                2 => DiskFault::EioWrite { at },
+                3 => DiskFault::EioFsync { at },
+                4 => DiskFault::ShortWrite {
+                    at,
+                    keep_frac: 0.95 * rng.next_f64(),
+                },
+                5 => DiskFault::RenameFail { at },
+                // Power loss is the richest fault, so it gets two
+                // lanes: plain (unsynced bytes vanish wholesale) and
+                // reordering writeback (each file keeps an independent
+                // prefix).
+                n => DiskFault::PowerLoss {
+                    at,
+                    reorder: n == 7,
+                    keep_seed: rng.next_u64(),
+                },
+            };
+            plan.faults.push(fault);
+        }
+        debug_assert!(plan.validate().is_ok(), "sampled plans are in-bounds");
+        plan
+    }
+
+    fn choose(&self, rng: &mut SplitMix64, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let u = rng.next_f64();
+        ((u * u) * n as f64) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,6 +831,42 @@ mod tests {
             TransportFault::ConnectionFlood { .. }
         )));
         assert!(has(&|f| matches!(f, TransportFault::GatewayKill { .. })));
+        let distinct = (0..50)
+            .filter(|&i| s.sample(7, i) != s.sample(8, i))
+            .count();
+        assert!(distinct > 25, "seed must drive the draw");
+    }
+
+    #[test]
+    fn disk_sampling_is_deterministic_in_bounds_and_explores() {
+        let s = DiskFaultSpace::new(40);
+        let plans: Vec<DiskFaultPlan> = (0..200).map(|i| s.sample(7, i)).collect();
+        for (i, plan) in plans.iter().enumerate() {
+            assert_eq!(*plan, s.sample(7, i as u64), "pure in (seed, index)");
+            assert!((1..=3).contains(&plan.faults.len()));
+            assert!(plan.validate().is_ok());
+            for f in &plan.faults {
+                assert!((1..=s.ops).contains(&f.at()), "fault inside the horizon");
+            }
+        }
+        // Every fault class appears somewhere in the stream, including
+        // both power-loss lanes.
+        let has =
+            |pred: &dyn Fn(&DiskFault) -> bool| plans.iter().flat_map(|p| &p.faults).any(pred);
+        assert!(has(&|f| matches!(f, DiskFault::EnospcTransient { .. })));
+        assert!(has(&|f| matches!(f, DiskFault::EnospcPersistent { .. })));
+        assert!(has(&|f| matches!(f, DiskFault::EioWrite { .. })));
+        assert!(has(&|f| matches!(f, DiskFault::EioFsync { .. })));
+        assert!(has(&|f| matches!(f, DiskFault::ShortWrite { .. })));
+        assert!(has(&|f| matches!(f, DiskFault::RenameFail { .. })));
+        assert!(has(&|f| matches!(
+            f,
+            DiskFault::PowerLoss { reorder: false, .. }
+        )));
+        assert!(has(&|f| matches!(
+            f,
+            DiskFault::PowerLoss { reorder: true, .. }
+        )));
         let distinct = (0..50)
             .filter(|&i| s.sample(7, i) != s.sample(8, i))
             .count();

@@ -1,0 +1,165 @@
+//! Crash-consistency exploration: power-cut a durable operation at
+//! *every* filesystem op it issues and check a recovery oracle
+//! against each surviving image.
+//!
+//! The sampled disk-fault campaigns cover the space probabilistically;
+//! this explorer covers one operation *exhaustively*. Every durable
+//! primitive (journal append, cache publish, checkpoint save, queue
+//! event, gateway registration) gets an `explore_crashes` test: if any
+//! crash point leaves a state its recovery path mis-handles, the
+//! oracle names the op index, and the failure replays exactly.
+
+use crate::{sim::is_power_cut, SimFs};
+use std::io;
+
+/// What an exploration covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Mutating filesystem ops the fault-free run issued.
+    pub ops: u64,
+    /// Crash points explored (one per op).
+    pub crashes: u64,
+}
+
+/// Runs `work` once fault-free to count its filesystem ops, then once
+/// per op index with power cut at exactly that op, handing each
+/// post-restart image to `check`. `work` receives a fresh [`SimFs`]
+/// every time and must be deterministic; under a cut it will see its
+/// I/O fail — it must propagate the error, not panic. `check` replays
+/// recovery against the surviving bytes and returns `Err` with a
+/// description to convict.
+///
+/// Fails fast with the op index baked into the message, so a failing
+/// crash point is a one-line reproducer.
+pub fn explore_crashes(
+    mut work: impl FnMut(&SimFs) -> io::Result<()>,
+    mut check: impl FnMut(&SimFs) -> Result<(), String>,
+) -> Result<CrashReport, String> {
+    let baseline = SimFs::new();
+    work(&baseline).map_err(|e| format!("fault-free run failed: {e}"))?;
+    let ops = baseline.op_count();
+    check(&baseline).map_err(|e| format!("fault-free image failed recovery: {e}"))?;
+
+    for at in 1..=ops {
+        let fs = SimFs::new();
+        fs.crash_at_op(at);
+        match work(&fs) {
+            Ok(()) => {
+                return Err(format!(
+                    "crash at op {at}/{ops}: work reported success through a power cut"
+                ))
+            }
+            Err(e) if is_power_cut(&e) => {}
+            Err(e) => {
+                // The cut surfaced through a wrapping layer; fine, as
+                // long as the work stopped. A non-cut error before the
+                // scheduled op would mean non-determinism.
+                if !fs.crashed() {
+                    return Err(format!(
+                        "crash at op {at}/{ops}: work failed before the cut: {e}"
+                    ));
+                }
+            }
+        }
+        if !fs.crashed() {
+            return Err(format!(
+                "crash at op {at}/{ops}: the cut never fired (work issued fewer ops than baseline)"
+            ));
+        }
+        fs.restart();
+        check(&fs).map_err(|e| format!("crash at op {at}/{ops}: {e}"))?;
+    }
+
+    // The final crash point: power cut immediately AFTER the work
+    // reported success. This is the acked-then-lost probe — whatever
+    // `work` claims to have made durable must actually survive.
+    let fs = SimFs::new();
+    work(&fs).map_err(|e| format!("fault-free rerun failed: {e}"))?;
+    fs.power_cut_now(false, 0);
+    fs.restart();
+    check(&fs).map_err(|e| format!("cut after success (op {ops}): {e}"))?;
+
+    Ok(CrashReport {
+        ops,
+        crashes: ops + 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atomic_publish, Fs};
+    use std::path::Path;
+
+    #[test]
+    fn atomic_publish_passes_every_crash_point() {
+        // Oracle: after any crash, the final name holds either nothing
+        // or exactly the published bytes — never a torn file.
+        let report = explore_crashes(
+            |fs| {
+                fs.create_dir_all(Path::new("d"))?;
+                atomic_publish(fs, Path::new("d/meta.json"), b"{\"v\":1}")
+            },
+            |fs| {
+                if !fs.exists(Path::new("d/meta.json")) {
+                    return Ok(()); // not yet published: old state, fine
+                }
+                let bytes = fs
+                    .read(Path::new("d/meta.json"))
+                    .map_err(|e| e.to_string())?;
+                if bytes == b"{\"v\":1}" {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "torn publish visible under the final name: {:?}",
+                        String::from_utf8_lossy(&bytes)
+                    ))
+                }
+            },
+        )
+        .unwrap();
+        assert!(
+            report.ops >= 5,
+            "mkdir, create, write, fsync, rename, dir sync"
+        );
+        assert_eq!(
+            report.crashes,
+            report.ops + 1,
+            "plus the cut-after-success probe"
+        );
+    }
+
+    #[test]
+    fn the_explorer_convicts_a_publish_that_skips_fsync() {
+        // The pre-PR gateway bug, reproduced: write + rename with no
+        // fsync at all. Power loss after the rename leaves a file
+        // whose bytes vanished — acked-then-lost, caught by op index.
+        let naive_publish = |fs: &SimFs| -> std::io::Result<()> {
+            fs.create_dir_all(Path::new("d"))?;
+            let mut f = fs.create(Path::new("d/meta.json.tmp"))?;
+            use std::io::Write as _;
+            f.write_all(b"{\"v\":1}")?;
+            drop(f);
+            fs.rename(Path::new("d/meta.json.tmp"), Path::new("d/meta.json"))?;
+            fs.sync_dir(Path::new("d"))
+        };
+        let err = explore_crashes(naive_publish, |fs| {
+            if !fs.exists(Path::new("d/meta.json")) {
+                return Ok(());
+            }
+            let bytes = fs
+                .read(Path::new("d/meta.json"))
+                .map_err(|e| e.to_string())?;
+            if bytes == b"{\"v\":1}" {
+                Ok(())
+            } else {
+                Err("published entry exists with lost bytes".into())
+            }
+        })
+        .unwrap_err();
+        assert!(
+            err.contains("lost bytes"),
+            "the unfsynced publish must be convicted, got: {err}"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! The production filesystem: a passthrough to `std::fs` that issues
+//! every fsync the durability contract requires (file *and* directory
+//! syncs — the latter is what the pre-VFS implementations variously
+//! skipped or discarded).
+
+use crate::{Fs, VfsFile};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Passthrough to the host filesystem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+struct RealFile(File);
+
+impl Write for RealFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl VfsFile for RealFile {
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Fs for RealFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(File::create(path)?)))
+    }
+
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let f = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Opening the directory read-only and fsyncing it is the POSIX
+        // way to make its entries durable. Errors propagate: a failed
+        // directory sync means a rename that may not survive power
+        // loss, which the caller must treat as a failed publish.
+        let dir = if dir.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            dir
+        };
+        File::open(dir)?.sync_all()
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut v: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        v.sort();
+        Ok(v)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cpc-vfs-real-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn create_write_sync_read_roundtrip() {
+        let d = scratch("rw");
+        let fs = RealFs;
+        let p = d.join("f.txt");
+        let mut f = fs.create(&p).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert_eq!(fs.read(&p).unwrap(), b"hello");
+        let mut f = fs.append(&p).unwrap();
+        f.write_all(b" world").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert_eq!(fs.read_to_string(&p).unwrap(), "hello world");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn read_dir_is_sorted_and_sync_dir_succeeds() {
+        let d = scratch("dir");
+        let fs = RealFs;
+        for name in ["b", "a", "c"] {
+            fs.create(&d.join(name)).unwrap();
+        }
+        fs.sync_dir(&d).unwrap();
+        let names: Vec<String> = fs
+            .read_dir(&d)
+            .unwrap()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

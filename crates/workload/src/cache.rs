@@ -8,13 +8,19 @@
 //! JSON of the task together with a protocol string and the crate's
 //! [`code_version`]. Cache entries use the same checksum discipline as
 //! the [`Journal`](crate::journal::Journal) (`{crc:016x} {json}`), are
-//! written atomically (tmp + fsync + rename), and a damaged entry —
-//! torn, bit-flipped, truncated — fails its checksum, is quarantined
-//! (deleted) and counted, and the cell simply re-simulates: corruption
-//! costs one cache miss, never a wrong answer.
+//! published through [`cpc_vfs::atomic_publish`] (tmp, fsync, rename,
+//! directory fsync), and a damaged entry — torn, bit-flipped,
+//! truncated — fails its checksum, is quarantined (renamed aside,
+//! never clobbering an earlier quarantine of the same key) and counted,
+//! and the cell simply re-simulates: corruption costs one cache miss,
+//! never a wrong answer.
+//!
+//! All I/O goes through an injected [`cpc_vfs::Fs`], so the disk-fault
+//! campaigns can subject the cache to ENOSPC, EIO, and power loss.
 
+use cpc_vfs::{atomic_publish, real_fs, SharedFs};
 use serde::{Deserialize, Serialize};
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Bumped whenever the meaning of cached bytes changes (entry format,
@@ -84,19 +90,36 @@ pub struct CacheStats {
 }
 
 /// A directory of checksummed, content-addressed result files.
-#[derive(Debug)]
 pub struct ResultCache {
     dir: PathBuf,
+    fs: SharedFs,
     stats: CacheStats,
 }
 
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("dir", &self.dir)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
 impl ResultCache {
-    /// Opens (creating if needed) the cache directory.
+    /// Opens (creating if needed) the cache directory on the real
+    /// filesystem.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_on(real_fs(), dir)
+    }
+
+    /// Opens (creating if needed) the cache directory on an injected
+    /// filesystem.
+    pub fn open_on(fs: SharedFs, dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        fs.create_dir_all(&dir)?;
         Ok(ResultCache {
             dir,
+            fs,
             stats: CacheStats::default(),
         })
     }
@@ -111,11 +134,13 @@ impl ResultCache {
     }
 
     /// Looks up `key`, verifying the entry's checksum before trusting
-    /// it. A damaged entry is quarantined (deleted) and reported as a
-    /// miss: the caller re-simulates and overwrites it with a good one.
+    /// it. A damaged entry is quarantined (renamed to a `.bad-N` name
+    /// that preserves the corrupt bytes for forensics) and reported as
+    /// a miss: the caller re-simulates and overwrites it with a good
+    /// one.
     pub fn get<T: Deserialize>(&mut self, key: &CacheKey) -> Option<T> {
         let path = self.entry_path(key);
-        let text = match std::fs::read_to_string(&path) {
+        let text = match self.fs.read_to_string(&path) {
             Ok(t) => t,
             Err(_) => {
                 self.stats.misses += 1;
@@ -136,7 +161,7 @@ impl ResultCache {
             }
             None => {
                 // Bit flip, torn write, or foreign bytes: quarantine.
-                let _ = std::fs::remove_file(&path);
+                self.quarantine(key, &path);
                 self.stats.corrupt += 1;
                 self.stats.misses += 1;
                 None
@@ -144,39 +169,47 @@ impl ResultCache {
         }
     }
 
-    /// Stores `value` under `key` atomically: written to a temp file,
-    /// fsynced, then renamed into place — a kill mid-store leaves
-    /// either the old entry or the new one, never a torn file under
-    /// the final name.
+    /// Moves a damaged entry aside under a name no later corruption of
+    /// the same key can clobber: `{hex}.bad-N` for the first free `N`.
+    /// Two corrupt incarnations of one key therefore leave two distinct
+    /// quarantine records. If even the rename fails (e.g. the disk is
+    /// rejecting metadata ops) the entry is deleted so the damaged
+    /// bytes can never be served.
+    fn quarantine(&self, key: &CacheKey, path: &Path) {
+        for n in 0u32.. {
+            let q = self.dir.join(format!("{}.bad-{n}", key.hex()));
+            if !self.fs.exists(&q) {
+                if self.fs.rename(path, &q).is_err() {
+                    let _ = self.fs.remove_file(path);
+                }
+                return;
+            }
+        }
+    }
+
+    /// Stores `value` under `key` atomically via
+    /// [`cpc_vfs::atomic_publish`]: written to a temp file, fsynced,
+    /// renamed into place, and the cache directory fsynced — a kill or
+    /// power cut mid-store leaves either the old entry or the new one,
+    /// never a torn file under the final name, and a completed store
+    /// survives power loss.
     pub fn put<T: Serialize>(&mut self, key: &CacheKey, value: &T) -> io::Result<()> {
         let json = serde_json::to_string(value)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let line = format!("{:016x} {json}\n", fnv1a64(json.as_bytes()));
-        let tmp = self.dir.join(format!("{}.tmp", key.hex()));
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(line.as_bytes())?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, self.entry_path(key))?;
+        atomic_publish(self.fs.as_ref(), &self.entry_path(key), line.as_bytes())?;
         self.stats.stores += 1;
         Ok(())
     }
 
     /// Whether an entry exists on disk (without verifying it).
     pub fn contains(&self, key: &CacheKey) -> bool {
-        self.entry_path(key).exists()
+        self.fs.exists(&self.entry_path(key))
     }
 
     /// Number of entries on disk.
     pub fn len(&self) -> usize {
-        std::fs::read_dir(&self.dir)
-            .map(|rd| {
-                rd.filter_map(Result::ok)
-                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-                    .count()
-            })
-            .unwrap_or(0)
+        self.entry_paths().len()
     }
 
     /// True when the store holds no entries.
@@ -187,11 +220,33 @@ impl ResultCache {
     /// Paths of every entry on disk, sorted by file name (stable order
     /// for fault injection and audits).
     pub fn entry_paths(&self) -> Vec<PathBuf> {
-        let mut v: Vec<PathBuf> = std::fs::read_dir(&self.dir)
-            .map(|rd| {
-                rd.filter_map(Result::ok)
-                    .map(|e| e.path())
+        let mut v: Vec<PathBuf> = self
+            .fs
+            .read_dir(&self.dir)
+            .map(|paths| {
+                paths
+                    .into_iter()
                     .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        v.sort();
+        v
+    }
+
+    /// Paths of quarantined (damaged, moved-aside) entries, sorted.
+    pub fn quarantine_paths(&self) -> Vec<PathBuf> {
+        let mut v: Vec<PathBuf> = self
+            .fs
+            .read_dir(&self.dir)
+            .map(|paths| {
+                paths
+                    .into_iter()
+                    .filter(|p| {
+                        p.extension()
+                            .and_then(|x| x.to_str())
+                            .is_some_and(|x| x.starts_with("bad-"))
+                    })
                     .collect()
             })
             .unwrap_or_default();
@@ -263,6 +318,80 @@ mod tests {
         cache.put(&key, &vec![3.5f64]).unwrap();
         assert_eq!(cache.get::<Vec<f64>>(&key), Some(vec![3.5]));
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn repeated_corruption_of_one_key_keeps_every_quarantine_record() {
+        // Two corrupt incarnations of the same key must leave two
+        // distinct quarantine files — the second must not clobber the
+        // first (the forensics record of what was on disk).
+        let mut cache = ResultCache::open(tmp_dir("quarantine")).unwrap();
+        let key = CacheKey::of(&1u64, "p").unwrap();
+        for round in 0..2 {
+            cache.put(&key, &vec![9.0f64]).unwrap();
+            let path = cache.entry_paths().pop().unwrap();
+            std::fs::write(&path, format!("not a cache entry, round {round}")).unwrap();
+            assert!(cache.get::<Vec<f64>>(&key).is_none());
+        }
+        assert_eq!(cache.stats().corrupt, 2);
+        let quarantined = cache.quarantine_paths();
+        assert_eq!(quarantined.len(), 2, "both corrupt bodies preserved");
+        let bodies: Vec<String> = quarantined
+            .iter()
+            .map(|p| std::fs::read_to_string(p).unwrap())
+            .collect();
+        assert_ne!(bodies[0], bodies[1], "distinct records, not a clobber");
+        assert_eq!(cache.len(), 0, "quarantine files are not entries");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn a_store_survives_every_crash_point() {
+        use cpc_vfs::{explore_crashes, SimFs};
+        use std::sync::Arc;
+        // Cut power at every filesystem op of open + put; recovery must
+        // find either no entry or a verifiable one — and after the
+        // acked-then-lost probe, the entry must still be served.
+        let key = CacheKey::of(&42u64, "p").unwrap();
+        let report = explore_crashes(
+            |fs: &SimFs| {
+                let fs: Arc<SimFs> = Arc::new(fs.clone());
+                let mut cache = ResultCache::open_on(fs, "cache")?;
+                cache.put(&key, &vec![1.0f64, 2.0])
+            },
+            |fs: &SimFs| {
+                let fs: Arc<SimFs> = Arc::new(fs.clone());
+                let mut cache = ResultCache::open_on(fs, "cache").map_err(|e| e.to_string())?;
+                match cache.get::<Vec<f64>>(&key) {
+                    Some(v) if v == vec![1.0, 2.0] => Ok(()),
+                    Some(v) => Err(format!("cache served wrong bytes: {v:?}")),
+                    None if cache.stats().corrupt > 0 => {
+                        Err("a torn entry reached the final name".into())
+                    }
+                    None => Ok(()), // honest miss: the put never landed
+                }
+            },
+        )
+        .unwrap();
+        assert!(
+            report.ops >= 5,
+            "mkdir, create, write, fsync, rename, dir sync"
+        );
+
+        // The oracle above treats a miss as honest, so it cannot catch
+        // acked-then-lost on the explorer's final probe; pin it here:
+        // a put that returned Ok must survive an immediate power cut.
+        let fs = Arc::new(SimFs::new());
+        let mut cache = ResultCache::open_on(fs.clone(), "cache").unwrap();
+        cache.put(&key, &vec![1.0f64, 2.0]).unwrap();
+        fs.power_cut_now(false, 0);
+        fs.restart();
+        let mut cache = ResultCache::open_on(fs, "cache").unwrap();
+        assert_eq!(
+            cache.get::<Vec<f64>>(&key),
+            Some(vec![1.0, 2.0]),
+            "an acked store must survive power loss"
+        );
     }
 
     #[test]

@@ -1,0 +1,359 @@
+//! Disk-fault chaos campaigns: whole job-service runs on a simulated
+//! filesystem ([`cpc_vfs::SimFs`]) under sampled ENOSPC / EIO /
+//! short-write / rename-failure / power-loss schedules
+//! ([`cpc_cluster::DiskFaultSpace`]), checked against the
+//! crash-consistency oracles ([`cpc_charmm::chaos::check_disk_ledger`]):
+//!
+//! 1. a result acknowledged durable is never lost, even across power
+//!    cuts (no acked-then-lost);
+//! 2. a recovered result always matches a fresh re-execution of its
+//!    cell (no corrupt-accept);
+//! 3. every injected fault surfaces as a typed error (no panic);
+//! 4. a file whose fsync failed is abandoned, never published
+//!    (no post-failed-fsync trust — the `fsyncgate` policy);
+//! 5. once faults clear, the campaign drains and its artifact is
+//!    byte-identical to a fault-free reference run.
+//!
+//! The driver plays the role of a supervisor around the service:
+//! power cuts end an incarnation (restart + reopen — recovery is
+//! construction), persistent ENOSPC is lifted only after the service
+//! is observed to quiesce on it, and transient I/O errors are retried
+//! by reopening from disk. The in-memory instance that saw the error
+//! is never trusted again: every retry goes back through
+//! [`JobService::open_on`].
+
+use crate::service::{artifact_digest_on, JobService, ServiceConfig, StepOutcome};
+use cpc_charmm::chaos::{check_disk_ledger, DiskLedger, DiskViolation};
+use cpc_vfs::{is_enospc, DiskFaultPlan, SharedFs, SimFs};
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::collections::HashSet;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Everything one disk-fault schedule produced: the aggregated ledger
+/// and the oracle verdicts over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskChaosReport {
+    /// Cross-incarnation accounting.
+    pub ledger: DiskLedger,
+    /// Oracle violations (empty = the schedule passed).
+    pub violations: Vec<DiskViolation>,
+}
+
+impl DiskChaosReport {
+    /// True when every oracle held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one campaign twice — a fault-free reference on a pristine
+/// [`SimFs`] and a faulted run on a [`SimFs`] interpreting `plan` —
+/// and checks the disk oracles over the result. Entirely in memory:
+/// no real filesystem is touched.
+///
+/// `exec` must be deterministic in its task (it is re-invoked to
+/// cross-check recovered results for the corrupt-accept oracle).
+pub fn run_disk_chaos<T, R>(
+    tasks: &[T],
+    protocol: &str,
+    plan: &DiskFaultPlan,
+    key_of: impl Fn(&R) -> String + Copy,
+    exec: impl Fn(&T) -> (R, f64),
+) -> io::Result<DiskChaosReport>
+where
+    T: Serialize,
+    R: Serialize + Deserialize + Clone,
+{
+    let dir = PathBuf::from("/campaign");
+    let journal_path = ServiceConfig::new(&dir, protocol).journal_path();
+
+    // Reference: one fault-free incarnation on a pristine image.
+    let ref_sim = Arc::new(SimFs::new());
+    let mut reference = JobService::<R>::open_on(
+        ref_sim.clone() as SharedFs,
+        ServiceConfig::new(&dir, protocol),
+        key_of,
+    )?;
+    let ref_outcome = reference.run(tasks, |t| exec(t))?;
+    drop(reference);
+    debug_assert!(ref_outcome.drained);
+    let reference_digest = artifact_digest_on(ref_sim.as_ref(), &journal_path);
+
+    // Chaos: incarnations punctuated by the plan's faults.
+    let sim = Arc::new(SimFs::with_plan(plan));
+    let mut ledger = DiskLedger {
+        total_cells: tasks.len(),
+        reference_digest,
+        ..DiskLedger::default()
+    };
+    let executed = Cell::new(0usize);
+    let counted_exec = |t: &T| {
+        executed.set(executed.get() + 1);
+        exec(t)
+    };
+    // Classifies one I/O error from the service and adjusts the
+    // supervisor's posture: power cuts are restarted at the top of the
+    // next attempt; an active ENOSPC is lifted (the error *is* the
+    // observed quiesce — the service stopped making progress instead
+    // of corrupting state); anything else is a transient to retry
+    // past by reopening.
+    let absorb = |e: &io::Error, ledger: &mut DiskLedger| {
+        if sim.crashed() {
+        } else if sim.enospc_active() && is_enospc(e) {
+            sim.lift_enospc();
+            ledger.enospc_lifts += 1;
+        } else {
+            ledger.io_retries += 1;
+        }
+    };
+    // Keys whose results have been durably acknowledged (a step
+    // returned `Progress` after committing them): the set the
+    // acked-then-lost oracle replays against every reopen.
+    let mut acked: HashSet<String> = HashSet::new();
+    let mut drained_abandoned = 0usize;
+    // Each fault costs at most a handful of reopen cycles (a transient
+    // ENOSPC window can fail several distinct operations before it
+    // closes); the budget bounds the schedule without ever being the
+    // reason a well-behaved service fails to drain.
+    let budget = 12 + 16 * plan.faults.len();
+
+    'schedule: for _ in 0..budget {
+        if sim.crashed() {
+            sim.restart();
+            ledger.restarts += 1;
+        }
+
+        let opened = catch_unwind(AssertUnwindSafe(|| {
+            JobService::<R>::open_on(
+                sim.clone() as SharedFs,
+                ServiceConfig::new(&dir, protocol),
+                key_of,
+            )
+        }));
+        let mut service = match opened {
+            Err(_) => {
+                ledger.panics += 1;
+                break 'schedule;
+            }
+            Ok(Ok(s)) => s,
+            Ok(Err(e)) => {
+                // Recovery itself hit the fault.
+                absorb(&e, &mut ledger);
+                continue;
+            }
+        };
+        ledger.incarnations += 1;
+
+        // Acked-then-lost: every durably acknowledged result must be
+        // recovered by construction, before any re-execution could
+        // paper over the loss.
+        for key in &acked {
+            if !service.results().contains_key(key) {
+                ledger.acked_then_lost += 1;
+            }
+        }
+
+        match catch_unwind(AssertUnwindSafe(|| service.prepare(tasks))) {
+            Err(_) => {
+                ledger.panics += 1;
+                break 'schedule;
+            }
+            Ok(Err(e)) => {
+                absorb(&e, &mut ledger);
+                continue;
+            }
+            Ok(Ok(())) => {}
+        }
+
+        loop {
+            let before = executed.get();
+            let step = catch_unwind(AssertUnwindSafe(|| {
+                service.step(tasks, &mut |t| counted_exec(t))
+            }));
+            match step {
+                Err(_) => {
+                    ledger.panics += 1;
+                    break 'schedule;
+                }
+                Ok(Ok(StepOutcome::Progress)) => {
+                    for key in service.results().keys() {
+                        acked.insert(key.clone());
+                    }
+                }
+                Ok(Ok(StepOutcome::Killed)) => {
+                    unreachable!("disk chaos configures no kill switch")
+                }
+                Ok(Ok(StepOutcome::Drained)) => {
+                    drained_abandoned = service.outcome().abandoned;
+                    break 'schedule;
+                }
+                Ok(Err(e)) => {
+                    // An execution the failed step may have run is not
+                    // licensed to be durable: each one allows exactly
+                    // one re-execution.
+                    ledger.lost_executions += executed.get() - before;
+                    absorb(&e, &mut ledger);
+                    // The instance that saw the error is poisoned;
+                    // every retry reopens from disk.
+                    break;
+                }
+            }
+        }
+    }
+
+    // Final accounting happens from *disk*, never from the in-memory
+    // instance that drained: a fault can fire on the very last
+    // mutating op (a queue completion behind an already-acked
+    // journal append), leaving the image crashed even though the
+    // campaign finished. The verification reopen is the reboot after
+    // that — and a bounded retry loop, because late-armed faults can
+    // fire during it too.
+    let mut final_results = None;
+    for _ in 0..budget {
+        if sim.crashed() {
+            sim.restart();
+            ledger.restarts += 1;
+        }
+        match JobService::<R>::open_on(
+            sim.clone() as SharedFs,
+            ServiceConfig::new(&dir, protocol),
+            key_of,
+        ) {
+            Ok(s) => {
+                final_results = Some(s.results().clone());
+                break;
+            }
+            Err(e) => absorb(&e, &mut ledger),
+        }
+    }
+
+    ledger.executed = executed.get();
+    ledger.disk = sim.counters();
+    ledger.abandoned = drained_abandoned;
+    ledger.artifact_digest = artifact_digest_on(sim.as_ref(), &journal_path);
+
+    if let Some(results) = &final_results {
+        for key in &acked {
+            if !results.contains_key(key) {
+                ledger.acked_then_lost += 1;
+            }
+        }
+        // Corrupt-accept: every recovered result must match a fresh
+        // re-execution of its cell, byte for byte in canonical JSON.
+        for task in tasks {
+            let (expected, _) = exec(task);
+            let key = key_of(&expected);
+            // An absent result is a LostCell, convicted below.
+            if let Some(got) = results.get(&key) {
+                ledger.completed += 1;
+                let same = match (serde_json::to_string(got), serde_json::to_string(&expected)) {
+                    (Ok(a), Ok(b)) => a == b,
+                    _ => false,
+                };
+                if !same {
+                    ledger.corrupt_accepted += 1;
+                }
+            }
+        }
+    }
+
+    let violations = check_disk_ledger(&ledger);
+    Ok(DiskChaosReport { ledger, violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpc_charmm::chaos::DiskViolation;
+    use cpc_cluster::DiskFaultSpace;
+    use cpc_vfs::DiskFault;
+
+    fn tasks(n: u64) -> Vec<u64> {
+        (0..n).collect()
+    }
+
+    fn exec(t: &u64) -> (Vec<f64>, f64) {
+        (vec![*t as f64, (*t * *t) as f64], 0.25)
+    }
+
+    #[allow(clippy::ptr_arg)]
+    fn key_of(r: &Vec<f64>) -> String {
+        serde_json::to_string(&(r[0] as u64)).unwrap()
+    }
+
+    #[test]
+    fn a_fault_free_plan_passes_with_one_incarnation() {
+        let report = run_disk_chaos(&tasks(5), "p", &DiskFaultPlan::none(), key_of, exec).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.ledger.incarnations, 1);
+        assert_eq!(report.ledger.completed, 5);
+        assert_eq!(report.ledger.executed, 5);
+        assert_eq!(report.ledger.restarts, 0);
+    }
+
+    #[test]
+    fn a_power_cut_mid_campaign_restarts_and_stays_byte_identical() {
+        // Probe the fault-free op horizon, then cut power mid-way.
+        let probe = run_disk_chaos(&tasks(6), "p", &DiskFaultPlan::none(), key_of, exec).unwrap();
+        let mid = probe.ledger.disk.ops / 2;
+        let plan = DiskFaultPlan::none().with(DiskFault::PowerLoss {
+            at: mid,
+            reorder: false,
+            keep_seed: 7,
+        });
+        let report = run_disk_chaos(&tasks(6), "p", &plan, key_of, exec).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert_eq!(report.ledger.disk.power_losses, 1);
+        assert!(report.ledger.restarts >= 1);
+        assert_eq!(report.ledger.completed, 6);
+    }
+
+    #[test]
+    fn persistent_enospc_quiesces_then_lifts_then_drains() {
+        let probe = run_disk_chaos(&tasks(6), "p", &DiskFaultPlan::none(), key_of, exec).unwrap();
+        let mid = probe.ledger.disk.ops / 2;
+        let plan = DiskFaultPlan::none().with(DiskFault::EnospcPersistent { at: mid });
+        let report = run_disk_chaos(&tasks(6), "p", &plan, key_of, exec).unwrap();
+        assert!(report.passed(), "violations: {:?}", report.violations);
+        assert!(report.ledger.enospc_lifts >= 1, "the full disk was lifted");
+        assert!(report.ledger.disk.enospc_failures >= 1);
+        assert_eq!(report.ledger.completed, 6);
+    }
+
+    #[test]
+    fn a_planted_artifact_mismatch_is_convicted() {
+        // A ledger whose digests disagree must always be convicted:
+        // the oracle itself, not the driver, is under test here.
+        let ledger = DiskLedger {
+            total_cells: 1,
+            completed: 1,
+            executed: 1,
+            artifact_digest: Some(1),
+            reference_digest: Some(2),
+            ..DiskLedger::default()
+        };
+        let violations = check_disk_ledger(&ledger);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, DiskViolation::ArtifactMismatch { .. })));
+    }
+
+    #[test]
+    fn a_hundred_sampled_schedules_uphold_every_oracle() {
+        let probe = run_disk_chaos(&tasks(4), "p", &DiskFaultPlan::none(), key_of, exec).unwrap();
+        let space = DiskFaultSpace::new(probe.ledger.disk.ops);
+        let mut failed = Vec::new();
+        for index in 0..100u64 {
+            let plan = space.sample(0xD15C, index);
+            let report = run_disk_chaos(&tasks(4), "p", &plan, key_of, exec).unwrap();
+            if !report.passed() {
+                failed.push((index, report.violations.clone()));
+            }
+        }
+        assert!(failed.is_empty(), "failing schedules: {failed:?}");
+    }
+}

@@ -23,6 +23,7 @@
 pub mod analysis;
 pub mod ascii;
 pub mod cache;
+pub mod disk_chaos;
 pub mod expectations;
 pub mod factors;
 pub mod figures;
@@ -33,6 +34,7 @@ pub mod runner;
 pub mod service;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use disk_chaos::{run_disk_chaos, DiskChaosReport};
 pub use factors::{full_factorial, one_factor_at_a_time, ExperimentPoint, NodeConfig};
 pub use figures::Lab;
 pub use journal::{Journal, Recovery};

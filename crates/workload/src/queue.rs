@@ -25,6 +25,7 @@
 
 use crate::journal::Journal;
 use cpc_cluster::RttEstimator;
+use cpc_vfs::{real_fs, SharedFs};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
@@ -206,14 +207,19 @@ impl WorkQueue {
         (fnv1a64(key.as_bytes()) % self.journals.len() as u64) as usize
     }
 
-    /// Creates a fresh queue with `shards` journal shards, truncating
-    /// any previous queue state in `dir`.
+    /// Creates a fresh queue with `shards` journal shards on the real
+    /// filesystem, truncating any previous queue state in `dir`.
     pub fn create(dir: impl Into<PathBuf>, shards: usize) -> io::Result<Self> {
+        Self::create_on(real_fs(), dir, shards)
+    }
+
+    /// Creates a fresh queue on an injected filesystem.
+    pub fn create_on(fs: SharedFs, dir: impl Into<PathBuf>, shards: usize) -> io::Result<Self> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        fs.create_dir_all(&dir)?;
         let shards = shards.max(1);
         let journals = (0..shards)
-            .map(|s| Journal::create(Self::shard_path(&dir, s)))
+            .map(|s| Journal::create_on(fs.clone(), Self::shard_path(&dir, s)))
             .collect::<io::Result<Vec<_>>>()?;
         Ok(WorkQueue {
             dir,
@@ -234,14 +240,24 @@ impl WorkQueue {
     /// and any lease still open — its holder is necessarily dead — is
     /// reclaimed.
     pub fn recover(dir: impl Into<PathBuf>, shards: usize) -> io::Result<(Self, QueueRecovery)> {
+        Self::recover_on(real_fs(), dir, shards)
+    }
+
+    /// [`WorkQueue::recover`] on an injected filesystem.
+    pub fn recover_on(
+        fs: SharedFs,
+        dir: impl Into<PathBuf>,
+        shards: usize,
+    ) -> io::Result<(Self, QueueRecovery)> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        fs.create_dir_all(&dir)?;
         let shards = shards.max(1);
         let mut recovery = QueueRecovery::default();
         let mut journals = Vec::with_capacity(shards);
         let mut events: Vec<QueueEvent> = Vec::new();
         for s in 0..shards {
-            let (journal, rec) = Journal::<QueueEvent>::resume(Self::shard_path(&dir, s))?;
+            let (journal, rec) =
+                Journal::<QueueEvent>::resume_on(fs.clone(), Self::shard_path(&dir, s))?;
             recovery.dropped_lines += rec.dropped;
             events.extend(rec.entries);
             journals.push(journal);

@@ -32,6 +32,7 @@ use crate::journal::Journal;
 use crate::queue::{CompleteError, QueueRecovery, WorkQueue};
 use cpc_charmm::chaos::{check_service_ledger, ServiceLedger, ServiceViolation};
 use cpc_cluster::{ServiceFault, ServiceFaultPlan};
+use cpc_vfs::{real_fs, Fs, SharedFs};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
@@ -172,6 +173,7 @@ struct RunState {
 /// results journal (scrubbing duplicates), and opens the cache.
 pub struct JobService<R> {
     cfg: ServiceConfig,
+    fs: SharedFs,
     queue: WorkQueue,
     cache: ResultCache,
     journal: Journal<R>,
@@ -183,14 +185,27 @@ pub struct JobService<R> {
 }
 
 impl<R: Serialize + Deserialize + Clone> JobService<R> {
-    /// Opens (or recovers) the service in `cfg.dir`. `key_of` maps a
-    /// journaled result back to its task key — the same canonical
-    /// JSON [`task_key`] produces for the task.
+    /// Opens (or recovers) the service in `cfg.dir` on the real
+    /// filesystem. `key_of` maps a journaled result back to its task
+    /// key — the same canonical JSON [`task_key`] produces for the
+    /// task.
     pub fn open(cfg: ServiceConfig, key_of: impl Fn(&R) -> String) -> io::Result<Self> {
-        let (queue, queue_recovery) = WorkQueue::recover(&cfg.dir, cfg.shards)?;
+        Self::open_on(real_fs(), cfg, key_of)
+    }
+
+    /// Opens (or recovers) the service on an injected filesystem — the
+    /// hook through which the disk-fault campaigns drive every durable
+    /// write the service makes through ENOSPC, EIO, and power loss.
+    pub fn open_on(
+        fs: SharedFs,
+        cfg: ServiceConfig,
+        key_of: impl Fn(&R) -> String,
+    ) -> io::Result<Self> {
+        let (queue, queue_recovery) = WorkQueue::recover_on(fs.clone(), &cfg.dir, cfg.shards)?;
         let queue = queue.with_max_attempts(cfg.max_attempts);
-        let cache = ResultCache::open(cfg.cache_dir())?;
-        let (journal, rec) = Journal::<R>::resume_keyed(cfg.journal_path(), &key_of)?;
+        let cache = ResultCache::open_on(fs.clone(), cfg.cache_dir())?;
+        let (journal, rec) =
+            Journal::<R>::resume_keyed_on(fs.clone(), cfg.journal_path(), &key_of)?;
         let recovered = rec
             .entries
             .into_iter()
@@ -198,6 +213,7 @@ impl<R: Serialize + Deserialize + Clone> JobService<R> {
             .collect::<HashMap<_, _>>();
         Ok(JobService {
             cfg,
+            fs,
             queue,
             cache,
             journal,
@@ -436,6 +452,11 @@ impl<R: Serialize + Deserialize + Clone> JobService<R> {
     pub fn config(&self) -> &ServiceConfig {
         &self.cfg
     }
+
+    /// The filesystem this service runs on.
+    pub fn fs(&self) -> &SharedFs {
+        &self.fs
+    }
 }
 
 /// The canonical task key: the task's serialized JSON. Deterministic
@@ -451,7 +472,13 @@ pub fn task_key<T: Serialize>(task: &T) -> io::Result<String> {
 /// byte-identical to anything (the old `0` sentinel let two *failed*
 /// reads pass the oracle silently).
 pub fn artifact_digest(path: impl AsRef<Path>) -> Option<u64> {
-    let bytes = std::fs::read(path).ok()?;
+    artifact_digest_on(&cpc_vfs::RealFs, path)
+}
+
+/// [`artifact_digest`] on an injected filesystem, so the disk-fault
+/// campaigns can fingerprint artifacts living inside a [`SimFs`] image.
+pub fn artifact_digest_on(fs: &dyn Fs, path: impl AsRef<Path>) -> Option<u64> {
+    let bytes = fs.read(path.as_ref()).ok()?;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in &bytes {
         h ^= b as u64;
