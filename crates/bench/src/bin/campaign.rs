@@ -14,16 +14,19 @@
 //! re-run with `--resume`: finished cells are skipped and the final
 //! manifest is identical to an uninterrupted run's.
 //!
-//! Any of `--workers`, `--shards`, `--kill-after` or `--cache` selects
-//! **service mode**: the full factorial of measurement cells is driven
-//! through the crash-safe [`JobService`] — a leased, sharded work
-//! queue plus a content-addressed result cache — before the figures
-//! are rendered from the journal. `--kill-after N` kills the service
-//! mid-commit after its N-th fresh cell (exit 3); re-running with
-//! `--resume` recovers the queue, reclaims the dead incarnation's
-//! leases, and produces byte-identical artifacts. `--cache DIR` points
-//! the result cache at a shared directory so identical cells flow
-//! between campaigns without re-simulation.
+//! Any of `--workers`, `--shards`, `--threads`, `--kill-after` or
+//! `--cache` selects **service mode**: the full factorial of
+//! measurement cells is driven through the crash-safe [`JobService`] —
+//! a leased, sharded work queue plus a content-addressed result cache —
+//! before the figures are rendered from the journal. `--kill-after N`
+//! kills the service mid-commit after its N-th fresh cell (exit 3);
+//! re-running with `--resume` recovers the queue, reclaims the dead
+//! incarnation's leases, and produces byte-identical artifacts.
+//! `--cache DIR` points the result cache at a shared directory so
+//! identical cells flow between campaigns without re-simulation.
+//! `--threads N` executes cells on an N-thread work-stealing pool;
+//! results still commit in task-index order, so the journal is
+//! byte-identical to a `--threads 1` (or plain serial) run.
 use cpc_bench::attach_journal;
 use cpc_bench::cli::Args;
 use cpc_md::{EnergyModel, System};
@@ -37,7 +40,7 @@ use cpc_workload::Measurement;
 use std::path::Path;
 
 const USAGE: &str = "usage: campaign [--quick] [--out DIR] [--resume] [--max-cells N]\n\
-     \x20      [--workers N] [--shards N] [--kill-after N] [--cache DIR]";
+     \x20      [--workers N] [--shards N] [--threads N] [--kill-after N] [--cache DIR]";
 
 fn die(msg: impl std::fmt::Display) -> ! {
     eprintln!("campaign: {msg}");
@@ -57,6 +60,7 @@ fn run_service(
     model: EnergyModel,
     workers: usize,
     shards: usize,
+    threads: usize,
     kill_after: Option<usize>,
     cache_dir: Option<String>,
     resume: bool,
@@ -80,13 +84,17 @@ fn run_service(
     let key_of = |m: &Measurement| task_key(&m.point).expect("experiment point serializes");
     let mut service = JobService::<Measurement>::open(cfg, key_of)
         .unwrap_or_else(|e| die(format!("cannot open job service in {out}: {e}")));
-    let outcome = service
-        .run(&cells, |point| {
-            let m = measure_with_model(system, *point, steps, model);
-            let elapsed = m.energy_time();
-            (m, elapsed)
-        })
-        .unwrap_or_else(|e| die(format!("job service failed: {e}")));
+    let exec = |point: &cpc_workload::factors::ExperimentPoint| {
+        let m = measure_with_model(system, *point, steps, model);
+        let elapsed = m.energy_time();
+        (m, elapsed)
+    };
+    let outcome = if threads > 1 {
+        service.run_pooled(&cells, &cpc_pool::Pool::new(threads), exec)
+    } else {
+        service.run(&cells, exec)
+    }
+    .unwrap_or_else(|e| die(format!("job service failed: {e}")));
 
     println!(
         "service: {}/{} cells durable ({} executed, {} cache hit(s), {} pre-seeded)",
@@ -127,11 +135,15 @@ fn main() {
     let max_cells: Option<usize> = args.parsed("--max-cells", "an integer cell count");
     let workers: Option<usize> = args.parsed("--workers", "an integer worker count");
     let shards: Option<usize> = args.parsed("--shards", "an integer shard count");
+    let threads: Option<usize> = args.parsed("--threads", "an integer thread count");
     let kill_after: Option<usize> = args.parsed("--kill-after", "an integer fresh-cell count");
     let cache_dir: Option<String> = args.value("--cache");
     args.finish();
-    let service_mode =
-        workers.is_some() || shards.is_some() || kill_after.is_some() || cache_dir.is_some();
+    let service_mode = workers.is_some()
+        || shards.is_some()
+        || threads.is_some()
+        || kill_after.is_some()
+        || cache_dir.is_some();
 
     let system = if quick {
         cpc_workload::runner::quick_system()
@@ -161,6 +173,7 @@ fn main() {
             model,
             workers.unwrap_or(1),
             shards.unwrap_or(4),
+            threads.unwrap_or(1).max(1),
             kill_after,
             cache_dir,
             resume,

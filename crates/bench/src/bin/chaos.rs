@@ -63,6 +63,20 @@
 //!   artifacts versus the direct (no-gateway) reference. Verdicts are
 //!   journaled to `DIR/transport_chaos.jsonl`; `--resume` skips
 //!   checked schedules. Exit 0 when every schedule passed.
+//! * **Sched mode** (`--sched N`): chaos at the *work-stealing
+//!   executor* layer. Samples N adversarial thread schedules — steal
+//!   storms, worker pauses at yield points, a worker panic mid-task, a
+//!   mid-campaign thread-count change, a lease expiry racing a slow
+//!   worker — runs each campaign through
+//!   [`run_sched_chaos`](cpc_workload::run_sched_chaos) (a serial
+//!   reference, a fault-free sweep over threads {1,2,4,8}, then the
+//!   chaotic run), and checks the cross-thread determinism oracles:
+//!   byte-identical artifacts at every thread count and interleaving,
+//!   no lost or doubly-committed task, no deadlock, panicked workers
+//!   reclaimed through the lease path, the pool never poisoned, and
+//!   every stale lease rejected. Verdicts are journaled to
+//!   `DIR/sched_chaos.jsonl`; `--resume` skips checked schedules.
+//!   Exit 0 when every schedule passed.
 //! * **Straggle-smoke mode** (`--straggle-smoke`): CI gate for
 //!   degraded-mode rebalancing. Runs a compute-dominated workload
 //!   under a persistent straggler, asserts the mitigation contract
@@ -80,14 +94,15 @@
 
 use cpc_bench::cli::Args;
 use cpc_charmm::chaos::{
-    flatten, ChaosHarness, DiskLedger, GatewayLedger, Reproducer, ScheduleReport, ServiceLedger,
+    flatten, ChaosHarness, DiskLedger, GatewayLedger, Reproducer, SchedLedger, ScheduleReport,
+    ServiceLedger,
 };
 use cpc_charmm::{
     run_parallel_md_faulty, AbftConfig, DurableConfig, FaultConfig, MdConfig, RecoveryConfig,
 };
 use cpc_cluster::{
-    sdc_class, ClusterConfig, DiskFaultSpace, FaultPlan, FaultSpace, NetworkKind, SdcClass,
-    SdcTarget, ServiceFaultSpace, TransportFaultSpace,
+    sdc_class, ClusterConfig, DiskFaultSpace, FaultPlan, FaultSpace, NetworkKind, SchedFaultSpace,
+    SdcClass, SdcTarget, ServiceFaultSpace, TransportFaultSpace,
 };
 use cpc_gateway::{demo_cells, demo_flood_cells, run_gateway_chaos, DemoModel};
 use cpc_md::EnergyModel;
@@ -95,6 +110,7 @@ use cpc_mpi::Middleware;
 use cpc_vfs::DiskFaultPlan;
 use cpc_workload::journal::Journal;
 use cpc_workload::run_disk_chaos;
+use cpc_workload::run_sched_chaos;
 use cpc_workload::service::run_service_chaos;
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
@@ -119,7 +135,7 @@ const STALL_TIMEOUT: f64 = 20.0;
 
 const USAGE: &str = "usage: chaos [--schedules N] [--seed S] [--soak] [--resume] [--out DIR]\n\
      \x20      [--ranks P] [--steps N] | --service N | --transport N | --disk N\n\
-     \x20      | --plant | --replay FILE | --straggle-smoke | --abft-smoke";
+     \x20      | --sched N | --plant | --replay FILE | --straggle-smoke | --abft-smoke";
 
 /// Exit 2 (usage/environment error) with a message — the typed
 /// replacement for `expect` on malformed inputs and I/O failures.
@@ -665,6 +681,152 @@ fn service_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
     0
 }
 
+/// One journaled sched-chaos verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SchedVerdict {
+    /// Campaign seed.
+    seed: u64,
+    /// Schedule index within the campaign.
+    index: u64,
+    /// Whether every cross-thread determinism oracle held.
+    passed: bool,
+    /// Rendered violations (empty when passed).
+    violations: Vec<String>,
+    /// The cross-thread accounting the oracles checked.
+    ledger: SchedLedger,
+}
+
+/// Cells per synthetic sched-chaos campaign: enough that every sampled
+/// fault position (panic latches, pause points, the thread-change
+/// commit threshold, the lease-race lease index) lands inside the run,
+/// small enough that each schedule's six runs (reference + four-count
+/// sweep + chaos) finish in CI time.
+const SCHED_CELLS: u64 = 8;
+
+/// Executor-level chaos campaign: schedules `0..N` sampled from
+/// `(seed, index)`, each driving a full campaign through the
+/// work-stealing pool under an adversarial interleaving.
+fn sched_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
+    let journal_path = out.join("sched_chaos.jsonl");
+    let (mut journal, prior) = if resume {
+        let (j, recovery) =
+            Journal::<SchedVerdict>::resume_keyed(&journal_path, |v| (v.seed, v.index))
+                .unwrap_or_else(|e| die(format!("cannot resume {}: {e}", journal_path.display())));
+        if recovery.dropped > 0 {
+            eprintln!(
+                "journal {}: discarded {} torn/damaged trailing line(s)",
+                journal_path.display(),
+                recovery.dropped
+            );
+        }
+        if recovery.duplicates > 0 {
+            eprintln!(
+                "journal {}: scrubbed {} duplicate verdict(s) (first wins)",
+                journal_path.display(),
+                recovery.duplicates
+            );
+        }
+        eprintln!(
+            "journal {}: resuming past {} checked schedule(s)",
+            journal_path.display(),
+            recovery.entries.len()
+        );
+        (j, recovery.entries)
+    } else {
+        (
+            Journal::<SchedVerdict>::create(&journal_path)
+                .unwrap_or_else(|e| die(format!("cannot create {}: {e}", journal_path.display()))),
+            Vec::new(),
+        )
+    };
+    let done: HashSet<u64> = prior
+        .iter()
+        .filter(|v| v.seed == seed)
+        .map(|v| v.index)
+        .collect();
+    let mut failures: Vec<u64> = prior
+        .iter()
+        .filter(|v| v.seed == seed && !v.passed)
+        .map(|v| v.index)
+        .collect();
+
+    let space = SchedFaultSpace::new(SCHED_CELLS as usize);
+    let tasks: Vec<u64> = (0..SCHED_CELLS).collect();
+    let exec = |t: &u64| -> (Vec<f64>, f64) { (vec![*t as f64, (*t * *t) as f64], 0.25) };
+    let key_of = |r: &Vec<f64>| serde_json::to_string(&(r[0] as u64)).expect("key serializes");
+    let scratch = std::env::temp_dir().join(format!("cpc-sched-chaos-{}", std::process::id()));
+    println!(
+        "sched chaos campaign: seed {seed}, {schedules} schedules, \
+         {SCHED_CELLS} cells per campaign on the work-stealing pool"
+    );
+
+    let mut checked = 0u64;
+    let mut panics_total = 0usize;
+    let mut pauses_total = 0usize;
+    let mut steals_total = 0usize;
+    for index in 0..schedules {
+        if done.contains(&index) {
+            continue;
+        }
+        let plan = space.sample(seed, index);
+        let dir = scratch.join(format!("x{index:05}"));
+        let report = run_sched_chaos(&dir, &tasks, "chaos-sched", &plan, key_of, exec)
+            .unwrap_or_else(|e| die(format!("schedule {index} I/O failure: {e}")));
+        let _ = std::fs::remove_dir_all(&dir);
+        checked += 1;
+        panics_total += report.ledger.panics_injected;
+        pauses_total += report.ledger.pauses_taken;
+        steals_total += report.ledger.steals;
+        let verdict = SchedVerdict {
+            seed,
+            index,
+            passed: report.passed(),
+            violations: report.violations.iter().map(|v| v.to_string()).collect(),
+            ledger: report.ledger.clone(),
+        };
+        if let Err(e) = journal.append(&verdict) {
+            die(format!("cannot journal verdict {index}: {e}"));
+        }
+        if !verdict.passed {
+            println!(
+                "schedule {index} ({} thread(s), {:?}): {} VIOLATION(S)",
+                plan.threads,
+                plan.faults,
+                verdict.violations.len()
+            );
+            for v in &verdict.violations {
+                println!("  - {v}");
+            }
+            failures.push(index);
+        } else if (index + 1).is_multiple_of(25) {
+            println!(
+                "schedule {index}: ok ({} thread(s), {} steal(s), {} pause(s), {} panic(s) contained)",
+                report.ledger.threads,
+                report.ledger.steals,
+                report.ledger.pauses_taken,
+                report.ledger.panics_caught
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    println!(
+        "checked {checked} fresh schedule(s) ({} total), {} violation(s); \
+         {steals_total} steal(s), {pauses_total} forced pause(s), \
+         {panics_total} injected panic(s) contained",
+        done.len() as u64 + checked,
+        failures.len()
+    );
+    if !failures.is_empty() {
+        failures.sort_unstable();
+        failures.dedup();
+        println!("failing schedules: {failures:?}");
+        return 1;
+    }
+    println!("every cross-thread determinism oracle held on every schedule");
+    0
+}
+
 /// One journaled disk-chaos verdict.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct DiskVerdict {
@@ -1001,6 +1163,7 @@ fn main() {
     let service: Option<u64> = args.parsed("--service", "an integer schedule count");
     let transport: Option<u64> = args.parsed("--transport", "an integer schedule count");
     let disk: Option<u64> = args.parsed("--disk", "an integer schedule count");
+    let sched: Option<u64> = args.parsed("--sched", "an integer schedule count");
     let schedules: u64 = args
         .parsed("--schedules", "an integer schedule count")
         .unwrap_or(50);
@@ -1036,6 +1199,9 @@ fn main() {
     }
     if let Some(n) = disk {
         std::process::exit(disk_mode(&out, n, seed, resume));
+    }
+    if let Some(n) = sched {
+        std::process::exit(sched_mode(&out, n, seed, resume));
     }
 
     let journal_path = out.join("chaos.jsonl");

@@ -17,11 +17,15 @@
 //!   processor counts; each count expands to the full factor space,
 //!   so a submission of `[1,2,4,8]` is exactly the direct
 //!   `campaign --workers` task list and the resulting journal is
-//!   byte-identical to the direct path's. A pump thread advances one
-//!   DRR-granted cell at a time. `--kill-after N` arms the service
-//!   kill switch: the process exits with code 3 after its N-th fresh
-//!   cell, and restarting with the same `--root` resumes from the
-//!   durable queue alone.
+//!   byte-identical to the direct path's. A pump thread advances
+//!   DRR-granted cells as they arrive — parked on a condvar between
+//!   grants, woken by each handled request — executing them on an
+//!   N-thread work-stealing pool under `--threads N` (default 1;
+//!   results commit in task-index order, so the journal is
+//!   byte-identical at every thread count). `--kill-after N` arms the
+//!   service kill switch: the process exits with code 3 after its
+//!   N-th fresh cell, and restarting with the same `--root` resumes
+//!   from the durable queue alone.
 //! * **Client mode** (`--get` / `--post`): one raw-TCP HTTP request
 //!   against a running server; the response is printed. Exit 0 on
 //!   2xx, 4 on a shed 429/503/507 (retry later), 1 on any other
@@ -44,11 +48,11 @@ use cpc_workload::Measurement;
 use serde_json::Value;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-const USAGE: &str =
-    "usage: serve --root DIR [--port N] [--quick] [--kill-after N] [--enospc-while FILE]\n\
+const USAGE: &str = "usage: serve --root DIR [--port N] [--quick] [--threads N] [--kill-after N]\n\
+     \x20      [--enospc-while FILE]\n\
      \x20      | --port N --get PATH | --port N --post PATH --body JSON\n\
      \x20      | --demo-campaign";
 
@@ -94,7 +98,7 @@ impl CampaignModel for MeasurementModel {
         task_key(&r.point).expect("experiment point serializes")
     }
 
-    fn exec(&mut self, point: &ExperimentPoint) -> (Measurement, f64) {
+    fn exec(&self, point: &ExperimentPoint) -> (Measurement, f64) {
         let m = measure_with_model(&self.system, *point, self.steps, self.model);
         let elapsed = m.energy_time();
         (m, elapsed)
@@ -142,6 +146,7 @@ fn serve(
     root: &str,
     port: u16,
     quick: bool,
+    threads: usize,
     kill_after: Option<usize>,
     enospc_while: Option<String>,
 ) -> ! {
@@ -162,6 +167,7 @@ fn serve(
         )
     };
     let mut cfg = GatewayConfig::new(root, format!("campaign steps={steps} model={model:?}"));
+    cfg.threads = threads.max(1);
     cfg.kill = kill_after.map(|n| (n, KillPoint::MidCommit));
     let deadline = cfg.limits.deadline;
     let model = MeasurementModel {
@@ -188,22 +194,48 @@ fn serve(
     println!("serve: listening on {addr} (root {root})");
 
     let gw = Arc::new(Mutex::new(gw));
+    // Pump wakeup: every handled request rings the condvar (a new
+    // submission means new work; any other request still deserves
+    // prompt progress on whatever is queued), so the pump parks
+    // between grants instead of sleep-polling. The timed wait is the
+    // liveness backstop: stalled-campaign revival and retry horizons
+    // advance on pump calls alone, with no request to ring the bell.
+    let wake = Arc::new((Mutex::new(false), Condvar::new()));
     let pump_gw = Arc::clone(&gw);
+    let pump_wake = Arc::clone(&wake);
     std::thread::spawn(move || loop {
-        let killed = pump_gw.lock().expect("gateway lock").pump(4).killed;
-        if killed {
+        let report = pump_gw.lock().expect("gateway lock").pump(4);
+        if report.killed {
             eprintln!(
                 "serve: injected kill fired; exiting — restart with the same --root to resume"
             );
             std::process::exit(EXIT_CELL_BUDGET);
         }
-        std::thread::sleep(Duration::from_millis(5));
+        if report.granted > 0 {
+            // Work flowed: pump again immediately.
+            continue;
+        }
+        let (pending, bell) = &*pump_wake;
+        let mut rung = pending.lock().expect("pump wake lock");
+        while !*rung {
+            let (guard, timeout) = bell
+                .wait_timeout(rung, Duration::from_millis(500))
+                .expect("pump wake lock");
+            rung = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        *rung = false;
     });
 
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
         let mut conn = TcpConn::new(stream, deadline);
         gw.lock().expect("gateway lock").handle(&mut conn);
+        let (pending, bell) = &*wake;
+        *pending.lock().expect("pump wake lock") = true;
+        bell.notify_one();
     }
     unreachable!("listener.incoming() never returns None");
 }
@@ -240,11 +272,14 @@ fn main() {
         .value("--root")
         .unwrap_or_else(|| "results/serve".to_string());
     let quick = args.flag("--quick");
+    let threads: usize = args
+        .parsed("--threads", "an integer thread count")
+        .unwrap_or(1);
     let kill_after: Option<usize> = args.parsed("--kill-after", "an integer fresh-cell count");
     let enospc_while = args.value("--enospc-while");
     args.finish();
     if let Err(e) = std::fs::create_dir_all(&root) {
         die(format!("cannot create {root}: {e}"));
     }
-    serve(&root, port, quick, kill_after, enospc_while);
+    serve(&root, port, quick, threads, kill_after, enospc_while);
 }

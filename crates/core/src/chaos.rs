@@ -1199,6 +1199,294 @@ pub fn check_service_ledger(ledger: &ServiceLedger) -> Vec<ServiceViolation> {
     violations
 }
 
+/// The artifact digest one thread count of the fault-free sweep
+/// produced (a struct rather than a tuple so the serde shim journals
+/// it by field name).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ThreadDigest {
+    /// Worker threads the pool ran.
+    pub threads: usize,
+    /// FNV-1a digest of the resulting artifact (`None` = unreadable).
+    pub digest: Option<u64>,
+}
+
+/// Accounting for one campaign run on the `cpc-pool` work-stealing
+/// executor under an adversarial schedule (steal storms, injected
+/// worker pauses and panics, thread-count changes mid-campaign, lease
+/// expiry racing a slow worker). Aggregates the pooled service
+/// outcome, the pool's own counters, the fault-free thread sweep and
+/// the post-chaos reusability probe. [`check_sched_ledger`] turns a
+/// ledger into oracle verdicts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SchedLedger {
+    /// Cells the campaign comprises.
+    pub total_cells: usize,
+    /// Cells with a durable result when the chaos run drained.
+    pub completed: usize,
+    /// Cells dead-lettered.
+    pub abandoned: usize,
+    /// Committed fresh executions (a panicked attempt is counted in
+    /// `panics_caught`, never here).
+    pub executed: usize,
+    /// Worker threads the chaos plan prescribed (after any mid-run
+    /// thread-count change).
+    pub threads: usize,
+    /// Tasks the pool executed across the chaos run.
+    pub pool_tasks: usize,
+    /// Successful steals the pool observed (organic + storm).
+    pub steals: usize,
+    /// Worker panics the plan injected.
+    pub panics_injected: usize,
+    /// Panics the pool contained (must equal the injected count —
+    /// a missing one escaped the `catch_unwind` boundary).
+    pub panics_caught: usize,
+    /// Leases reclaimed through the expiry path while recovering
+    /// panicked cells.
+    pub panic_reclaimed: usize,
+    /// Injected pauses actually taken at yield points.
+    pub pauses_taken: usize,
+    /// Stale-lease completions presented to the queue.
+    pub stale_presented: usize,
+    /// Stale-lease completions the queue rejected.
+    pub stale_rejected: usize,
+    /// Result lines in the final artifact (exactly one per cell, or
+    /// a task was lost / doubly committed).
+    pub journal_lines: usize,
+    /// Whether the pool's stall watchdog convicted the run.
+    pub stalled: bool,
+    /// Whether the chaos pool executed a fresh probe batch afterward
+    /// (a panicked worker must never poison the pool).
+    pub pool_reusable: bool,
+    /// FNV-1a digest of the chaos run's artifact.
+    pub artifact_digest: Option<u64>,
+    /// Digest of the serial (sequential-step) reference artifact.
+    pub reference_digest: Option<u64>,
+    /// Fault-free sweep digests, one per thread count.
+    pub thread_digests: Vec<ThreadDigest>,
+}
+
+/// One violation of the deterministic-scheduling invariants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchedViolation {
+    /// A cell vanished: fewer durable results than campaign cells.
+    LostTask {
+        /// Cells with durable results.
+        completed: usize,
+        /// Cells dead-lettered.
+        abandoned: usize,
+        /// Cells the campaign comprises.
+        total: usize,
+    },
+    /// The artifact holds more or fewer result lines than the
+    /// campaign has cells: a task committed twice or not at all.
+    DoubleCommit {
+        /// Result lines in the artifact.
+        journal_lines: usize,
+        /// Cells the campaign comprises.
+        total: usize,
+    },
+    /// More committed executions than cells: some cell re-ran with
+    /// its result already durable.
+    DuplicateExecution {
+        /// Committed executions observed.
+        executed: usize,
+        /// The bound (one per cell).
+        allowance: usize,
+    },
+    /// The pool's stall watchdog convicted the schedule: a deadlock
+    /// or unbounded stall under chaos.
+    Deadlocked {
+        /// Cells completed before the stall.
+        completed: usize,
+        /// Cells the campaign comprises.
+        total: usize,
+    },
+    /// The chaos run's artifact differs from the serial reference —
+    /// or either was unreadable, which never counts as identical.
+    ArtifactMismatch {
+        /// Digest of the chaos run's artifact.
+        artifact: Option<u64>,
+        /// Digest of the serial reference artifact.
+        reference: Option<u64>,
+    },
+    /// A fault-free run at some thread count produced different
+    /// artifact bytes than the serial reference.
+    ThreadCountMismatch {
+        /// The divergent thread count.
+        threads: usize,
+        /// Its artifact digest.
+        digest: Option<u64>,
+        /// The serial reference digest.
+        reference: Option<u64>,
+    },
+    /// An injected worker panic escaped containment or its cell was
+    /// never reclaimed through the lease path.
+    PanicNotContained {
+        /// Panics the plan injected.
+        injected: usize,
+        /// Panics the pool caught.
+        caught: usize,
+        /// Leases reclaimed recovering them.
+        reclaimed: usize,
+    },
+    /// The pool refused work after a contained panic: a poisoned
+    /// executor.
+    PoolPoisoned,
+    /// A stale lease completion was accepted instead of rejected.
+    StaleLeaseAccepted {
+        /// Stale completions presented.
+        presented: usize,
+        /// Stale completions rejected.
+        rejected: usize,
+    },
+}
+
+impl std::fmt::Display for SchedViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedViolation::LostTask {
+                completed,
+                abandoned,
+                total,
+            } => write!(
+                f,
+                "lost task: {completed} completed + {abandoned} abandoned of {total}"
+            ),
+            SchedViolation::DoubleCommit {
+                journal_lines,
+                total,
+            } => write!(
+                f,
+                "commit miscount: {journal_lines} artifact lines for {total} cells"
+            ),
+            SchedViolation::DuplicateExecution {
+                executed,
+                allowance,
+            } => write!(
+                f,
+                "duplicate execution: {executed} committed, {allowance} allowed"
+            ),
+            SchedViolation::Deadlocked { completed, total } => {
+                write!(
+                    f,
+                    "stalled: watchdog convicted at {completed}/{total} cells"
+                )
+            }
+            SchedViolation::ArtifactMismatch {
+                artifact,
+                reference,
+            } => write!(
+                f,
+                "artifact mismatch: {} != reference {}",
+                fmt_digest(*artifact),
+                fmt_digest(*reference)
+            ),
+            SchedViolation::ThreadCountMismatch {
+                threads,
+                digest,
+                reference,
+            } => write!(
+                f,
+                "threads={threads} artifact {} != reference {}",
+                fmt_digest(*digest),
+                fmt_digest(*reference)
+            ),
+            SchedViolation::PanicNotContained {
+                injected,
+                caught,
+                reclaimed,
+            } => write!(
+                f,
+                "panic not contained: {caught}/{injected} caught, {reclaimed} leases reclaimed"
+            ),
+            SchedViolation::PoolPoisoned => write!(f, "pool poisoned after contained panic"),
+            SchedViolation::StaleLeaseAccepted {
+                presented,
+                rejected,
+            } => write!(f, "stale lease accepted: {rejected}/{presented} rejected"),
+        }
+    }
+}
+
+/// The cross-thread determinism oracles, as pure functions of the
+/// ledger:
+///
+/// 1. **No lost or doubly-committed task.** Every cell ends with
+///    exactly one durable result line, and committed executions never
+///    exceed one per cell — whatever the interleaving did.
+/// 2. **Byte-identical artifacts.** The chaos run and every
+///    fault-free thread count produce the serial reference's exact
+///    bytes: thread count and interleaving are invisible in output.
+/// 3. **No deadlock.** The stall watchdog never convicts.
+/// 4. **Contained panics.** Every injected worker panic is caught at
+///    the task boundary, its cell reclaimed through the lease-expiry
+///    path, and the pool stays usable afterward.
+pub fn check_sched_ledger(ledger: &SchedLedger) -> Vec<SchedViolation> {
+    let mut violations = Vec::new();
+    if ledger.completed + ledger.abandoned < ledger.total_cells || ledger.abandoned > 0 {
+        violations.push(SchedViolation::LostTask {
+            completed: ledger.completed,
+            abandoned: ledger.abandoned,
+            total: ledger.total_cells,
+        });
+    }
+    if ledger.journal_lines != ledger.total_cells {
+        violations.push(SchedViolation::DoubleCommit {
+            journal_lines: ledger.journal_lines,
+            total: ledger.total_cells,
+        });
+    }
+    if ledger.executed > ledger.total_cells {
+        violations.push(SchedViolation::DuplicateExecution {
+            executed: ledger.executed,
+            allowance: ledger.total_cells,
+        });
+    }
+    if ledger.stalled {
+        violations.push(SchedViolation::Deadlocked {
+            completed: ledger.completed,
+            total: ledger.total_cells,
+        });
+    }
+    if ledger.artifact_digest.is_none()
+        || ledger.reference_digest.is_none()
+        || ledger.artifact_digest != ledger.reference_digest
+    {
+        violations.push(SchedViolation::ArtifactMismatch {
+            artifact: ledger.artifact_digest,
+            reference: ledger.reference_digest,
+        });
+    }
+    for td in &ledger.thread_digests {
+        if td.digest.is_none() || td.digest != ledger.reference_digest {
+            violations.push(SchedViolation::ThreadCountMismatch {
+                threads: td.threads,
+                digest: td.digest,
+                reference: ledger.reference_digest,
+            });
+        }
+    }
+    if ledger.panics_caught != ledger.panics_injected
+        || (ledger.panics_injected > 0 && ledger.panic_reclaimed == 0)
+    {
+        violations.push(SchedViolation::PanicNotContained {
+            injected: ledger.panics_injected,
+            caught: ledger.panics_caught,
+            reclaimed: ledger.panic_reclaimed,
+        });
+    }
+    if !ledger.pool_reusable {
+        violations.push(SchedViolation::PoolPoisoned);
+    }
+    if ledger.stale_rejected != ledger.stale_presented {
+        violations.push(SchedViolation::StaleLeaseAccepted {
+            presented: ledger.stale_presented,
+            rejected: ledger.stale_rejected,
+        });
+    }
+    violations
+}
+
 /// Cross-incarnation accounting for one campaign driven through the
 /// HTTP/JSON gateway (`cpc-gateway`) under transport-level chaos:
 /// the service-level cell accounting of [`ServiceLedger`] plus the
@@ -1976,6 +2264,163 @@ mod tests {
             [ServiceViolation::StaleLeaseAccepted {
                 presented: 2,
                 rejected: 1
+            }]
+        ));
+    }
+
+    fn clean_sched_ledger() -> SchedLedger {
+        SchedLedger {
+            total_cells: 16,
+            completed: 16,
+            executed: 16,
+            threads: 4,
+            pool_tasks: 16,
+            journal_lines: 16,
+            pool_reusable: true,
+            artifact_digest: Some(0xfeed),
+            reference_digest: Some(0xfeed),
+            thread_digests: vec![
+                ThreadDigest {
+                    threads: 1,
+                    digest: Some(0xfeed),
+                },
+                ThreadDigest {
+                    threads: 8,
+                    digest: Some(0xfeed),
+                },
+            ],
+            ..SchedLedger::default()
+        }
+    }
+
+    #[test]
+    fn sched_oracles_pass_a_clean_ledger_and_recovered_panics() {
+        assert!(check_sched_ledger(&clean_sched_ledger()).is_empty());
+        // A schedule whose injected panic was caught, its lease
+        // reclaimed, the cell re-executed: no violation.
+        let ledger = SchedLedger {
+            panics_injected: 1,
+            panics_caught: 1,
+            panic_reclaimed: 3,
+            steals: 12,
+            pauses_taken: 2,
+            stale_presented: 1,
+            stale_rejected: 1,
+            ..clean_sched_ledger()
+        };
+        assert!(check_sched_ledger(&ledger).is_empty());
+    }
+
+    #[test]
+    fn sched_oracles_catch_each_violation_class() {
+        let lost = SchedLedger {
+            completed: 15,
+            journal_lines: 15,
+            ..clean_sched_ledger()
+        };
+        let got = check_sched_ledger(&lost);
+        assert!(got
+            .iter()
+            .any(|v| matches!(v, SchedViolation::LostTask { completed: 15, .. })));
+        assert!(got
+            .iter()
+            .any(|v| matches!(v, SchedViolation::DoubleCommit { .. })));
+
+        let doubled = SchedLedger {
+            journal_lines: 17,
+            ..clean_sched_ledger()
+        };
+        assert!(matches!(
+            check_sched_ledger(&doubled)[..],
+            [SchedViolation::DoubleCommit {
+                journal_lines: 17,
+                total: 16
+            }]
+        ));
+        let rerun = SchedLedger {
+            executed: 17,
+            ..clean_sched_ledger()
+        };
+        assert!(matches!(
+            check_sched_ledger(&rerun)[..],
+            [SchedViolation::DuplicateExecution {
+                executed: 17,
+                allowance: 16
+            }]
+        ));
+        let stalled = SchedLedger {
+            stalled: true,
+            ..clean_sched_ledger()
+        };
+        assert!(matches!(
+            check_sched_ledger(&stalled)[..],
+            [SchedViolation::Deadlocked { .. }]
+        ));
+        let diverged = SchedLedger {
+            thread_digests: vec![ThreadDigest {
+                threads: 8,
+                digest: Some(0xdead),
+            }],
+            ..clean_sched_ledger()
+        };
+        assert!(matches!(
+            check_sched_ledger(&diverged)[..],
+            [SchedViolation::ThreadCountMismatch { threads: 8, .. }]
+        ));
+        let escaped = SchedLedger {
+            panics_injected: 1,
+            ..clean_sched_ledger()
+        };
+        assert!(matches!(
+            check_sched_ledger(&escaped)[..],
+            [SchedViolation::PanicNotContained {
+                injected: 1,
+                caught: 0,
+                ..
+            }]
+        ));
+        let unreclaimed = SchedLedger {
+            panics_injected: 1,
+            panics_caught: 1,
+            panic_reclaimed: 0,
+            ..clean_sched_ledger()
+        };
+        assert!(matches!(
+            check_sched_ledger(&unreclaimed)[..],
+            [SchedViolation::PanicNotContained { reclaimed: 0, .. }]
+        ));
+        let poisoned = SchedLedger {
+            pool_reusable: false,
+            ..clean_sched_ledger()
+        };
+        assert!(matches!(
+            check_sched_ledger(&poisoned)[..],
+            [SchedViolation::PoolPoisoned]
+        ));
+        let stale = SchedLedger {
+            stale_presented: 1,
+            ..clean_sched_ledger()
+        };
+        assert!(matches!(
+            check_sched_ledger(&stale)[..],
+            [SchedViolation::StaleLeaseAccepted {
+                presented: 1,
+                rejected: 0
+            }]
+        ));
+        // An unreadable chaos artifact violates even when the
+        // reference is also unreadable.
+        let unreadable = SchedLedger {
+            artifact_digest: None,
+            reference_digest: None,
+            thread_digests: Vec::new(),
+            ..clean_sched_ledger()
+        };
+        assert!(matches!(
+            check_sched_ledger(&unreadable)[..],
+            [SchedViolation::ArtifactMismatch {
+                artifact: None,
+                reference: None
             }]
         ));
     }

@@ -34,9 +34,10 @@ pub mod recover;
 pub mod report;
 
 pub use chaos::{
-    check_disk_ledger, check_gateway_ledger, check_service_ledger, minimize, ChaosHarness,
-    DiskLedger, DiskViolation, GatewayLedger, GatewayViolation, Reproducer, ScheduleReport,
-    ServiceLedger, ServiceViolation, Violation,
+    check_disk_ledger, check_gateway_ledger, check_sched_ledger, check_service_ledger, minimize,
+    ChaosHarness, DiskLedger, DiskViolation, GatewayLedger, GatewayViolation, Reproducer,
+    SchedLedger, SchedViolation, ScheduleReport, ServiceLedger, ServiceViolation, ThreadDigest,
+    Violation,
 };
 pub use ckpt::{CheckpointStore, DurableConfig, FallbackNote, RestoreError, SaveError};
 pub use classic::{classic_energy_parallel, ClassicResult};

@@ -259,7 +259,7 @@ where
     let cells_canonical = serde_json::to_string(&cells_value).map_err(io_err)?;
 
     // Reference: the direct JobService path, no gateway, no faults.
-    let mut ref_model = make_model();
+    let ref_model = make_model();
     let tasks = ref_model.parse_cells(&cells_value).map_err(io_err)?;
     let ref_cfg = ServiceConfig::new(dir.join("reference"), protocol);
     let ref_journal = ref_cfg.journal_path();

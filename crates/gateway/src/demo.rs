@@ -32,7 +32,7 @@ impl CampaignModel for DemoModel {
         serde_json::to_string(&(r.first().copied().unwrap_or(0.0) as u64)).unwrap_or_default()
     }
 
-    fn exec(&mut self, task: &u64) -> (Vec<f64>, f64) {
+    fn exec(&self, task: &u64) -> (Vec<f64>, f64) {
         (vec![*task as f64, (*task * *task) as f64], 0.25)
     }
 }

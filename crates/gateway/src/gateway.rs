@@ -29,6 +29,7 @@
 use crate::http::{read_request, write_response, Conn, HttpLimits, Response};
 use crate::tenancy::{DrrScheduler, TenantPolicy};
 use cpc_cluster::RttEstimator;
+use cpc_pool::Pool;
 use cpc_vfs::{atomic_publish, is_enospc, real_fs, SharedFs};
 use cpc_workload::service::{
     task_key, JobService, KillPoint, ServiceConfig, ServiceOutcome, StepOutcome,
@@ -42,11 +43,14 @@ use std::path::PathBuf;
 /// into the gateway. The gateway is generic so the bench binary can
 /// serve real measurement cells while tests and the chaos harness
 /// serve a cheap deterministic model through identical code paths.
-pub trait CampaignModel {
+/// `Sync` (and the `Sync`/`Send` bounds on the associated types)
+/// because [`Gateway::pump`] executes each DRR grant's batch of cells
+/// concurrently on a `cpc-pool` executor.
+pub trait CampaignModel: Sync {
     /// One cell of work, serializable for the queue key.
-    type Task: serde::Serialize + Clone;
+    type Task: serde::Serialize + Clone + Sync;
     /// One durable result, serializable for the journal.
-    type Result: serde::Serialize + serde::Deserialize + Clone;
+    type Result: serde::Serialize + serde::Deserialize + Clone + Send;
 
     /// Parses a submission's `cells` JSON into tasks; `Err` becomes a
     /// 400 with the message.
@@ -55,8 +59,10 @@ pub trait CampaignModel {
     /// [`JobService`] key extractor).
     fn key_of(r: &Self::Result) -> String;
     /// Executes one cell, returning the result and its virtual cost
-    /// in seconds.
-    fn exec(&mut self, task: &Self::Task) -> (Self::Result, f64);
+    /// in seconds. `&self` because the cells of one batch execute
+    /// concurrently; per-cell determinism must not depend on
+    /// execution order.
+    fn exec(&self, task: &Self::Task) -> (Self::Result, f64);
     /// Renders a result for the results endpoint.
     fn result_json(r: &Self::Result) -> Value {
         serde::Serialize::to_value(r)
@@ -79,6 +85,11 @@ pub struct GatewayConfig {
     /// Kill injection applied to campaign services (chaos harness):
     /// the incarnation dies at the n-th fresh execution.
     pub kill: Option<(usize, KillPoint)>,
+    /// Worker threads per pump grant: each DRR grant advances up to
+    /// this many cells of one campaign concurrently on a `cpc-pool`
+    /// executor. 1 (the default) reproduces the serial one-cell-per-
+    /// grant pump exactly.
+    pub threads: usize,
 }
 
 impl GatewayConfig {
@@ -91,6 +102,7 @@ impl GatewayConfig {
             policy: TenantPolicy::default(),
             shards: 4,
             kill: None,
+            threads: 1,
         }
     }
 
@@ -159,6 +171,7 @@ pub struct Gateway<M: CampaignModel> {
     dead: bool,
     rtt: RttEstimator,
     stats: GatewayStats,
+    pool: Pool,
 }
 
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -210,6 +223,7 @@ impl<M: CampaignModel> Gateway<M> {
         fs.create_dir_all(&cfg.root.join("campaigns"))?;
         let mut gw = Gateway {
             sched: DrrScheduler::new(&cfg.policy),
+            pool: Pool::new(cfg.threads.max(1)),
             cfg,
             fs,
             model,
@@ -524,12 +538,23 @@ impl<M: CampaignModel> Gateway<M> {
         )
     }
 
-    /// Advances up to `budget` cells, one DRR grant each. Returns how
-    /// many advanced and whether the injected kill fired (after which
-    /// the gateway refuses further work, modelling the dead process).
+    /// Advances up to `budget` cells. Each DRR grant drives one batch
+    /// of up to `cfg.threads` cells of the granted tenant's campaign,
+    /// executed concurrently on the gateway's `cpc-pool` executor and
+    /// committed in task order — at the default `threads = 1` this is
+    /// exactly the old serial one-cell-per-grant pump, and at any
+    /// thread count the campaign journals are byte-identical. Returns
+    /// how many cells advanced and whether the injected kill fired
+    /// (after which the gateway refuses further work, modelling the
+    /// dead process).
     pub fn pump(&mut self, budget: usize) -> PumpReport {
         let mut report = PumpReport::default();
+        // Bounded by grants, not cells: a batch that advances nothing
+        // (every cell dead-lettered mid-batch) must not spin forever.
         for _ in 0..budget {
+            if report.granted >= budget {
+                break;
+            }
             if self.dead {
                 report.killed = true;
                 break;
@@ -573,37 +598,45 @@ impl<M: CampaignModel> Gateway<M> {
                 }
             }
             let campaign = &mut self.campaigns[idx];
-            let model = &mut self.model;
-            let mut last_cost: Option<f64> = None;
-            let step = campaign.service.step(&campaign.tasks, &mut |t| {
-                let (r, cost) = model.exec(t);
-                last_cost = Some(cost);
-                (r, cost)
-            });
-            match step {
-                Ok(StepOutcome::Progress) => {
-                    report.granted += 1;
-                    if let Some(cost) = last_cost {
-                        // Per-cell cost feeds the shed-back-pressure
-                        // estimator exactly like an RTT sample.
+            let model = &self.model;
+            let width = self.pool.threads().min(budget - report.granted).max(1);
+            let batch = campaign.service.pooled_batch(
+                &campaign.tasks,
+                &self.pool,
+                width,
+                &|t: &M::Task| model.exec(t),
+            );
+            match batch {
+                Ok(b) => {
+                    report.granted += b.advanced;
+                    // Per-cell costs feed the shed-back-pressure
+                    // estimator exactly like RTT samples, in commit
+                    // order (cache hits cost nothing, as before).
+                    for &cost in &b.exec_costs {
                         self.rtt.observe(cost.max(1e-6));
                     }
-                    // The step that completes the last cell leaves the
-                    // queue drained with zero backlog; without marking
-                    // it done here the scheduler would never grant the
-                    // campaign again and it would idle forever.
-                    if campaign.service.outcome().drained {
-                        campaign.done = true;
+                    match b.step {
+                        StepOutcome::Progress => {
+                            // The batch that completes the last cell
+                            // leaves the queue drained with zero
+                            // backlog; without marking it done here
+                            // the scheduler would never grant the
+                            // campaign again and it would idle
+                            // forever.
+                            if campaign.service.outcome().drained {
+                                campaign.done = true;
+                            }
+                        }
+                        StepOutcome::Drained => campaign.done = true,
+                        StepOutcome::Killed => {
+                            self.dead = true;
+                            report.killed = true;
+                            break;
+                        }
                     }
                 }
-                Ok(StepOutcome::Drained) => campaign.done = true,
-                Ok(StepOutcome::Killed) => {
-                    self.dead = true;
-                    report.killed = true;
-                    break;
-                }
                 Err(_) => {
-                    // A storage failure mid-step (ENOSPC, EIO, failed
+                    // A storage failure mid-batch (ENOSPC, EIO, failed
                     // fsync): quiesce the campaign. It is NOT done —
                     // marking it done would silently drop every
                     // unfinished cell. The durable state on disk
@@ -744,6 +777,48 @@ mod tests {
             Some(404)
         );
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn pooled_pump_is_byte_identical_to_serial_across_thread_counts() {
+        // Serial (threads = 1) reference journal through the gateway.
+        let ref_root = tmp_dir("pump-pool-ref");
+        let mut gw = open(&ref_root);
+        let conn = send(&mut gw, submit_body("alice", &demo_cells(9)));
+        assert_eq!(conn.response_status(), Some(201));
+        let id = campaign_id("alice", "demo", &demo_cells(9));
+        while !gw.all_done() {
+            assert!(gw.pump(4).granted > 0 || gw.all_done());
+        }
+        let want = artifact_digest(gw.config().campaign_journal(&id));
+        assert!(want.is_some());
+        drop(gw);
+
+        for threads in [2usize, 4, 8] {
+            let root = tmp_dir(&format!("pump-pool-{threads}"));
+            let mut cfg = GatewayConfig::new(&root, "demo");
+            cfg.policy.max_pending_cells = 10;
+            cfg.threads = threads;
+            let mut gw = Gateway::open(cfg, DemoModel).unwrap();
+            let conn = send(&mut gw, submit_body("alice", &demo_cells(9)));
+            assert_eq!(conn.response_status(), Some(201));
+            let mut pumps = 0usize;
+            while !gw.all_done() {
+                let r = gw.pump(9);
+                assert!(r.granted > 0 || gw.all_done());
+                pumps += 1;
+                assert!(pumps < 100, "threads={threads}: pump never drains");
+            }
+            assert_eq!(
+                artifact_digest(gw.config().campaign_journal(&id)),
+                want,
+                "threads={threads}: gateway journal must be byte-identical to serial"
+            );
+            let outcome = gw.outcome_of(&id).unwrap();
+            assert_eq!((outcome.completed, outcome.executed), (9, 9));
+            let _ = std::fs::remove_dir_all(&root);
+        }
+        let _ = std::fs::remove_dir_all(&ref_root);
     }
 
     #[test]
@@ -938,7 +1013,7 @@ mod tests {
         let scfg = ServiceConfig::new(&ref_dir, "demo");
         let ref_journal = scfg.journal_path();
         let mut svc = JobService::<Vec<f64>>::open(scfg, DemoModel::key_of).unwrap();
-        let mut model = DemoModel;
+        let model = DemoModel;
         let tasks: Vec<u64> = (0..6).collect();
         svc.run(&tasks, |t| model.exec(t)).unwrap();
         drop(svc);

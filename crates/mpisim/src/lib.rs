@@ -40,6 +40,7 @@ pub use cpc_cluster::CommError;
 pub use detector::{DetectorConfig, FailureDetector, PHI_SCALE};
 pub use group::GroupComm;
 pub use middleware::{CombineAlgo, Middleware};
+pub use nonblocking::PollStats;
 pub use nonblocking::{RecvRequest, SendRequest};
 
 /// Splits `n` items into `p` contiguous, maximally even blocks and

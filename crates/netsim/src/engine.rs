@@ -716,7 +716,10 @@ where
     let mut outcomes: Vec<Option<FaultyOutcome<T>>> = (0..config.ranks).map(|_| None).collect();
     let mut panic_error: Option<SimError> = None;
     let mut stall_error: Option<SimError> = None;
-    std::thread::scope(|scope| {
+    // Per-rank stepping goes through the instrumented cpc-pool scope:
+    // same structured concurrency as std::thread::scope, but spawns
+    // are counted so harnesses can assert the parallel path ran.
+    cpc_pool::scope(|scope| {
         let mut handles = Vec::with_capacity(config.ranks);
         for rank in 0..config.ranks {
             let shared = Arc::clone(&shared);

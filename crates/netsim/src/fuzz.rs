@@ -35,6 +35,7 @@ use crate::faults::{
     FaultPlan, LinkDegradation, SdcFault, SdcTarget, StorageFaultKind, DEFAULT_WATCHDOG_TIMEOUT,
 };
 use crate::rng::SplitMix64;
+use cpc_pool::{SchedFault, SchedFaultPlan};
 use cpc_vfs::{DiskFault, DiskFaultPlan};
 
 /// Highest mantissa bit the *benign* SDC class may flip: a flip at or
@@ -640,6 +641,77 @@ impl DiskFaultSpace {
     }
 }
 
+/// The scheduling fault envelope of one pooled campaign: a bound on
+/// the cell count from which [`SchedFaultSpace::sample`] draws
+/// deterministic [`SchedFaultPlan`]s (the types live in `cpc-pool` so
+/// the executor can interpret a plan without a dependency cycle; the
+/// sampler lives here with its siblings so every chaos stream shares
+/// one seeding discipline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedFaultSpace {
+    /// Cells in the campaign (bounds panic starts, thread-change
+    /// commits and lease positions; every task-keyed fault is drawn
+    /// in `1..=cells` so it is guaranteed to fire).
+    pub cells: usize,
+}
+
+impl SchedFaultSpace {
+    /// Describes the scheduling fault space of one pooled campaign.
+    pub fn new(cells: usize) -> Self {
+        SchedFaultSpace { cells }
+    }
+
+    /// Draws schedule `index` of the campaign keyed by `seed`. Pure in
+    /// `(space, seed, index)` like the other samplers; a distinct
+    /// sentinel channel keeps the stream independent of the
+    /// simulation, service, transport, and disk fault streams.
+    pub fn sample(&self, seed: u64, index: u64) -> SchedFaultPlan {
+        let mut rng = SplitMix64::for_message(seed, 0x5CED, 0x4EDF, index);
+        let cells = self.cells.max(1);
+        let threads = [2, 4, 8][(rng.next_u64() % 3) as usize];
+        let mut plan = SchedFaultPlan::quiet(threads);
+        // 1..=3 faults per schedule, biased toward fewer.
+        let n = 1 + self.choose(&mut rng, 3);
+        for _ in 0..n {
+            let fault = match rng.next_u64() % 6 {
+                0 => SchedFault::StealStorm {
+                    from_task: 1 + (rng.next_u64() as usize) % cells,
+                },
+                // Pauses get two lanes: they are the workhorse that
+                // actually reorders completions. A per-worker yield
+                // point fires once per claimed task and once per
+                // failed claim, so 4x cells over-arms safely (a pause
+                // armed past the end of the run simply never fires).
+                1 | 2 => SchedFault::WorkerPause {
+                    worker: (rng.next_u64() as usize) % threads,
+                    at_point: 1 + rng.next_u64() % (4 * cells as u64),
+                    micros: 1 + rng.next_u64() % 20_000,
+                },
+                3 => SchedFault::TaskPanic {
+                    at_start: 1 + (rng.next_u64() as usize) % cells,
+                },
+                4 => SchedFault::ThreadCountChange {
+                    after_commits: 1 + (rng.next_u64() as usize) % cells,
+                    threads: [1, 2, 4, 8][(rng.next_u64() % 4) as usize],
+                },
+                _ => SchedFault::LeaseExpiryRace {
+                    at_lease: 1 + (rng.next_u64() as usize) % cells,
+                },
+            };
+            plan.faults.push(fault);
+        }
+        plan
+    }
+
+    fn choose(&self, rng: &mut SplitMix64, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let u = rng.next_f64();
+        ((u * u) * n as f64) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -867,6 +939,58 @@ mod tests {
             f,
             DiskFault::PowerLoss { reorder: true, .. }
         )));
+        let distinct = (0..50)
+            .filter(|&i| s.sample(7, i) != s.sample(8, i))
+            .count();
+        assert!(distinct > 25, "seed must drive the draw");
+    }
+
+    #[test]
+    fn sched_sampling_is_deterministic_in_bounds_and_explores() {
+        let s = SchedFaultSpace::new(24);
+        let plans: Vec<SchedFaultPlan> = (0..200).map(|i| s.sample(7, i)).collect();
+        for (i, plan) in plans.iter().enumerate() {
+            assert_eq!(*plan, s.sample(7, i as u64), "pure in (seed, index)");
+            assert!([2, 4, 8].contains(&plan.threads));
+            assert!((1..=3).contains(&plan.faults.len()));
+            for f in &plan.faults {
+                match *f {
+                    SchedFault::StealStorm { from_task } => {
+                        assert!((1..=s.cells).contains(&from_task));
+                    }
+                    SchedFault::WorkerPause {
+                        worker,
+                        at_point,
+                        micros,
+                    } => {
+                        assert!(worker < plan.threads);
+                        assert!((1..=4 * s.cells as u64).contains(&at_point));
+                        assert!((1..=20_000).contains(&micros), "pauses stay short");
+                    }
+                    SchedFault::TaskPanic { at_start } => {
+                        assert!((1..=s.cells).contains(&at_start), "panic must fire");
+                    }
+                    SchedFault::ThreadCountChange {
+                        after_commits,
+                        threads,
+                    } => {
+                        assert!((1..=s.cells).contains(&after_commits));
+                        assert!([1, 2, 4, 8].contains(&threads));
+                    }
+                    SchedFault::LeaseExpiryRace { at_lease } => {
+                        assert!((1..=s.cells).contains(&at_lease));
+                    }
+                }
+            }
+        }
+        // Every fault class appears somewhere in the stream.
+        let has =
+            |pred: &dyn Fn(&SchedFault) -> bool| plans.iter().flat_map(|p| &p.faults).any(pred);
+        assert!(has(&|f| matches!(f, SchedFault::StealStorm { .. })));
+        assert!(has(&|f| matches!(f, SchedFault::WorkerPause { .. })));
+        assert!(has(&|f| matches!(f, SchedFault::TaskPanic { .. })));
+        assert!(has(&|f| matches!(f, SchedFault::ThreadCountChange { .. })));
+        assert!(has(&|f| matches!(f, SchedFault::LeaseExpiryRace { .. })));
         let distinct = (0..50)
             .filter(|&i| s.sample(7, i) != s.sample(8, i))
             .count();

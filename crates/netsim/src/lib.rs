@@ -60,8 +60,8 @@ pub use faults::{
     StorageFaultKind, Straggler,
 };
 pub use fuzz::{
-    sdc_class, DiskFaultSpace, FaultSpace, SdcClass, ServiceFault, ServiceFaultPlan,
-    ServiceFaultSpace, TransportFault, TransportFaultPlan, TransportFaultSpace,
+    sdc_class, DiskFaultSpace, FaultSpace, SchedFaultSpace, SdcClass, ServiceFault,
+    ServiceFaultPlan, ServiceFaultSpace, TransportFault, TransportFaultPlan, TransportFaultSpace,
 };
 pub use netmodel::{
     FaultyTransfer, NetworkKind, NetworkParams, OpShape, TransferCtx, TransferTime,

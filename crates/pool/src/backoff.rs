@@ -1,0 +1,133 @@
+//! Bounded exponential backoff for spin-wait loops.
+//!
+//! Waiting code in this workspace must never burn a core in a bare
+//! `yield_now()` loop: on a one-core host that starves the very thread
+//! being waited on, and on a busy host it hides how long a waiter has
+//! actually been stuck. `Backoff` escalates from cheap CPU spins
+//! through scheduler yields to short timed parks, and keeps counters
+//! for each phase so a stall watchdog can read *how hard* a waiter has
+//! been waiting instead of guessing from wall time.
+
+use std::time::Duration;
+
+/// Spin-phase rounds: round `r` issues `2^r` `spin_loop` hints.
+const SPIN_ROUNDS: u32 = 6;
+/// Yield-phase rounds after the spin phase is exhausted.
+const YIELD_ROUNDS: u32 = 10;
+/// First timed park once spinning and yielding have both failed.
+const PARK_FLOOR: Duration = Duration::from_micros(50);
+/// Parks double up to this cap so a waiter never oversleeps a wakeup
+/// by more than ~1 ms.
+const PARK_CEIL: Duration = Duration::from_millis(1);
+
+/// Escalating waiter: spin → yield → park, with surfaced counters.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    round: u32,
+    park: Option<Duration>,
+    spins: u64,
+    yields: u64,
+    parks: u64,
+}
+
+impl Backoff {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wait one escalation step. Call in a loop around the condition
+    /// being waited for; call [`reset`](Self::reset) once it holds.
+    pub fn snooze(&mut self) {
+        if self.round < SPIN_ROUNDS {
+            let hints = 1u64 << self.round;
+            for _ in 0..hints {
+                std::hint::spin_loop();
+            }
+            self.spins += hints;
+            self.round += 1;
+        } else if self.round < SPIN_ROUNDS + YIELD_ROUNDS {
+            std::thread::yield_now();
+            self.yields += 1;
+            self.round += 1;
+        } else {
+            let dur = self.park.unwrap_or(PARK_FLOOR);
+            std::thread::park_timeout(dur);
+            self.park = Some((dur * 2).min(PARK_CEIL));
+            self.parks += 1;
+        }
+    }
+
+    /// Forget the escalation state (the condition held) but keep the
+    /// lifetime counters.
+    pub fn reset(&mut self) {
+        self.round = 0;
+        self.park = None;
+    }
+
+    /// True once the waiter has escalated past the cheap spin phase —
+    /// the point at which a watchdog should start paying attention.
+    pub fn is_past_spinning(&self) -> bool {
+        self.round >= SPIN_ROUNDS || self.parks > 0
+    }
+
+    /// Total `spin_loop` hints issued over this waiter's lifetime.
+    pub fn spins(&self) -> u64 {
+        self.spins
+    }
+
+    /// Total `yield_now` calls over this waiter's lifetime.
+    pub fn yields(&self) -> u64 {
+        self.yields
+    }
+
+    /// Total timed parks over this waiter's lifetime.
+    pub fn parks(&self) -> u64 {
+        self.parks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalates_through_all_three_phases() {
+        let mut b = Backoff::new();
+        assert!(!b.is_past_spinning());
+        for _ in 0..(SPIN_ROUNDS + YIELD_ROUNDS + 3) {
+            b.snooze();
+        }
+        assert!(b.is_past_spinning());
+        assert_eq!(b.spins(), (1u64 << SPIN_ROUNDS) - 1);
+        assert_eq!(b.yields(), u64::from(YIELD_ROUNDS));
+        assert_eq!(b.parks(), 3);
+    }
+
+    #[test]
+    fn reset_restarts_escalation_but_keeps_counters() {
+        let mut b = Backoff::new();
+        for _ in 0..(SPIN_ROUNDS + 1) {
+            b.snooze();
+        }
+        let spins = b.spins();
+        b.reset();
+        assert!(!b.is_past_spinning());
+        b.snooze();
+        assert_eq!(b.spins(), spins + 1, "round restarted at 2^0 spins");
+    }
+
+    #[test]
+    fn park_duration_is_capped() {
+        let mut b = Backoff::new();
+        for _ in 0..(SPIN_ROUNDS + YIELD_ROUNDS) {
+            b.snooze();
+        }
+        // Drive the park phase well past the doubling horizon (50 us
+        // doubles past 1 ms in five steps); the total wait stays
+        // bounded by rounds * PARK_CEIL.
+        for _ in 0..6 {
+            b.snooze();
+        }
+        assert_eq!(b.park, Some(PARK_CEIL));
+    }
+}

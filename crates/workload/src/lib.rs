@@ -31,6 +31,7 @@ pub mod journal;
 pub mod queue;
 pub mod report;
 pub mod runner;
+pub mod sched;
 pub mod service;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
@@ -40,4 +41,5 @@ pub use figures::Lab;
 pub use journal::{Journal, Recovery};
 pub use queue::{LeasedTask, QueueEvent, QueueRecovery, WorkQueue};
 pub use runner::{measure, measure_with_model, myoglobin_shared, Measurement};
-pub use service::{JobService, ServiceConfig, ServiceOutcome};
+pub use sched::{run_sched_chaos, SchedChaosReport, SWEEP_THREADS};
+pub use service::{BatchReport, JobService, ServiceConfig, ServiceOutcome};

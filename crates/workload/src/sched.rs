@@ -1,0 +1,296 @@
+//! Deterministic-scheduling chaos driver: one campaign run serially as
+//! a reference, swept fault-free across thread counts, then driven
+//! through a sampled adversarial [`SchedFaultPlan`] on the
+//! work-stealing pool — steal storms, worker pauses at yield points,
+//! injected worker panics, a mid-campaign thread-count change, a lease
+//! expiry racing a slow worker — with the cross-thread determinism
+//! oracles of `cpc-charmm` checked over the whole episode.
+//!
+//! The property under test is the executor's core contract: results
+//! commit in task-index order, so the campaign artifact is
+//! **byte-identical** whatever the thread count or interleaving; no
+//! task is lost or doubly committed; a panicked worker's cell is
+//! reclaimed through the ordinary lease-expiry path and the pool stays
+//! usable; and no schedule — however hostile — deadlocks the run.
+
+use crate::service::{artifact_digest, JobService, ServiceConfig, StepOutcome};
+use cpc_charmm::chaos::{check_sched_ledger, SchedLedger, SchedViolation, ThreadDigest};
+use cpc_pool::{quiet_injected_panics, Pool, PoolStats, SchedChaos, SchedFaultPlan};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::PathBuf;
+
+/// Thread counts the fault-free sweep exercises (the paper's 1–8
+/// processor range).
+pub const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Everything a scheduling chaos episode produced: the aggregated
+/// ledger and the oracle verdicts over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedChaosReport {
+    /// Accounting across the reference, the sweep and the chaos run.
+    pub ledger: SchedLedger,
+    /// Oracle violations (empty = the schedule passed).
+    pub violations: Vec<SchedViolation>,
+}
+
+impl SchedChaosReport {
+    /// True when every oracle held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one campaign three ways — a serial reference, a fault-free
+/// pooled sweep over [`SWEEP_THREADS`], and a pooled chaos run driven
+/// through `plan` — and checks the determinism oracles over the
+/// result.
+///
+/// The chaos run honors the plan's driver-level faults: a
+/// [`thread_change`](SchedFaultPlan::thread_change) swaps in a fresh
+/// pool (sharing the same [`SchedChaos`] state, so fault latches and
+/// global counters survive the swap) once enough cells have
+/// committed, and a [`stale_lease_at`](SchedFaultPlan::stale_lease_at)
+/// rides into the service config as the lease-expiry race. A stall
+/// conviction by the pool's watchdog ends the run and is recorded in
+/// the ledger rather than propagated. Afterwards the chaos pool
+/// executes a probe batch: a contained panic must never poison it.
+pub fn run_sched_chaos<T, R>(
+    dir: impl Into<PathBuf>,
+    tasks: &[T],
+    protocol: &str,
+    plan: &SchedFaultPlan,
+    key_of: impl Fn(&R) -> String + Copy,
+    exec: impl Fn(&T) -> (R, f64) + Sync,
+) -> io::Result<SchedChaosReport>
+where
+    T: Serialize + Sync,
+    R: Serialize + Deserialize + Clone + Send,
+{
+    quiet_injected_panics();
+    let dir = dir.into();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Serial reference: the byte layout every other run must hit.
+    let ref_cfg = ServiceConfig::new(dir.join("reference"), protocol);
+    let ref_journal = ref_cfg.journal_path();
+    let mut svc = JobService::<R>::open(ref_cfg, key_of)?;
+    svc.run(tasks, |t| exec(t))?;
+    drop(svc);
+    let reference_digest = artifact_digest(&ref_journal);
+
+    // Fault-free sweep: same campaign at every thread count.
+    let mut thread_digests = Vec::new();
+    for threads in SWEEP_THREADS {
+        let cfg = ServiceConfig::new(dir.join(format!("threads-{threads}")), protocol);
+        let journal = cfg.journal_path();
+        let mut svc = JobService::<R>::open(cfg, key_of)?;
+        let pool = Pool::new(threads);
+        svc.run_pooled(tasks, &pool, &exec)?;
+        drop(svc);
+        thread_digests.push(ThreadDigest {
+            threads,
+            digest: artifact_digest(&journal),
+        });
+    }
+
+    // Chaos run under the sampled schedule.
+    let chaos = SchedChaos::new(plan.clone());
+    let cfg = ServiceConfig {
+        workers: plan.threads.max(1),
+        stale_lease_at: plan.stale_lease_at(),
+        ..ServiceConfig::new(dir.join("chaos"), protocol)
+    };
+    let journal_path = cfg.journal_path();
+    let mut svc = JobService::<R>::open(cfg, key_of)?;
+    svc.prepare(tasks)?;
+
+    let mut pool = Pool::new(plan.threads.max(1)).with_chaos(chaos.clone());
+    let mut carried = PoolStats::default();
+    let mut committed = 0usize;
+    let mut swapped = false;
+    let mut stalled = false;
+    loop {
+        match plan.thread_change() {
+            Some((after, threads)) if !swapped && committed >= after => {
+                // Mid-campaign thread-count change: a fresh pool under
+                // the same chaos state.
+                let s = pool.stats();
+                carried.tasks += s.tasks;
+                carried.steals += s.steals;
+                carried.panics_caught += s.panics_caught;
+                carried.stalls += s.stalls;
+                pool = Pool::new(threads.max(1)).with_chaos(chaos.clone());
+                swapped = true;
+            }
+            _ => {}
+        }
+        match svc.pooled_batch(tasks, &pool, pool.threads(), &exec) {
+            Ok(report) => {
+                committed += report.advanced;
+                match report.step {
+                    StepOutcome::Progress => continue,
+                    _ => break,
+                }
+            }
+            Err(_) => {
+                // A watchdog conviction (or a lost/double claim caught
+                // inside the pool) ends the run; the ledger records it
+                // and the journal line count tells the rest.
+                stalled = true;
+                break;
+            }
+        }
+    }
+    let outcome = svc.outcome();
+    drop(svc);
+
+    // Post-chaos reusability probe: a contained panic must leave the
+    // pool able to run fresh work.
+    let probe: Vec<u64> = (0..8).collect();
+    let pool_reusable = match pool.try_par_map_indexed(&probe, |i, &x| x + i as u64) {
+        Ok(results) => results
+            .into_iter()
+            .enumerate()
+            .all(|(i, r)| matches!(r, Ok(v) if v == probe[i] + i as u64)),
+        Err(_) => false,
+    };
+
+    let s = pool.stats();
+    let journal_lines = std::fs::read(&journal_path)
+        .map(|b| b.iter().filter(|&&c| c == b'\n').count())
+        .unwrap_or(0);
+    let ledger = SchedLedger {
+        total_cells: tasks.len(),
+        completed: outcome.completed,
+        abandoned: outcome.abandoned,
+        executed: outcome.executed,
+        threads: pool.threads(),
+        pool_tasks: (carried.tasks + s.tasks) as usize,
+        steals: (carried.steals + s.steals) as usize,
+        panics_injected: chaos.injected_panics(),
+        panics_caught: (carried.panics_caught + s.panics_caught) as usize,
+        panic_reclaimed: outcome.panic_reclaimed,
+        pauses_taken: chaos.pauses_taken(),
+        stale_presented: outcome.stale_presented,
+        stale_rejected: outcome.stale_rejected,
+        journal_lines,
+        stalled,
+        pool_reusable,
+        artifact_digest: artifact_digest(&journal_path),
+        reference_digest,
+        thread_digests,
+    };
+    let violations = check_sched_ledger(&ledger);
+    Ok(SchedChaosReport { ledger, violations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpc_cluster::SchedFaultSpace;
+    use cpc_pool::SchedFault;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cpc-sched-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn tasks(n: u64) -> Vec<u64> {
+        (0..n).collect()
+    }
+
+    fn exec(t: &u64) -> (Vec<f64>, f64) {
+        (vec![*t as f64, (*t * *t) as f64], 0.25)
+    }
+
+    #[allow(clippy::ptr_arg)]
+    fn key_of(r: &Vec<f64>) -> String {
+        serde_json::to_string(&(r[0] as u64)).unwrap()
+    }
+
+    #[test]
+    fn quiet_plan_passes_all_oracles() {
+        let dir = tmp_dir("quiet");
+        let plan = SchedFaultPlan::quiet(4);
+        let report = run_sched_chaos(&dir, &tasks(8), "p", &plan, key_of, exec).unwrap();
+        assert!(
+            report.passed(),
+            "quiet plan violated: {:?}\nledger: {:?}",
+            report.violations,
+            report.ledger
+        );
+        assert_eq!(report.ledger.completed, 8);
+        assert_eq!(report.ledger.journal_lines, 8);
+        assert!(report.ledger.pool_reusable);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_panic_is_reclaimed_and_invisible_in_the_artifact() {
+        let dir = tmp_dir("panic");
+        let plan = SchedFaultPlan {
+            threads: 4,
+            faults: vec![SchedFault::TaskPanic { at_start: 3 }],
+        };
+        let report = run_sched_chaos(&dir, &tasks(8), "p", &plan, key_of, exec).unwrap();
+        assert!(
+            report.passed(),
+            "panic plan violated: {:?}\nledger: {:?}",
+            report.violations,
+            report.ledger
+        );
+        assert_eq!(report.ledger.panics_injected, 1);
+        assert_eq!(report.ledger.panics_caught, 1);
+        assert!(report.ledger.panic_reclaimed >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn thread_change_and_lease_race_pass_under_one_schedule() {
+        let dir = tmp_dir("mixed");
+        let plan = SchedFaultPlan {
+            threads: 2,
+            faults: vec![
+                SchedFault::ThreadCountChange {
+                    after_commits: 3,
+                    threads: 8,
+                },
+                SchedFault::LeaseExpiryRace { at_lease: 2 },
+                SchedFault::StealStorm { from_task: 1 },
+            ],
+        };
+        let report = run_sched_chaos(&dir, &tasks(10), "p", &plan, key_of, exec).unwrap();
+        assert!(
+            report.passed(),
+            "mixed plan violated: {:?}\nledger: {:?}",
+            report.violations,
+            report.ledger
+        );
+        assert_eq!(report.ledger.threads, 8, "the change took effect");
+        assert_eq!(
+            (report.ledger.stale_presented, report.ledger.stale_rejected),
+            (1, 1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampled_schedules_uphold_the_determinism_oracles() {
+        let space = SchedFaultSpace::new(6);
+        for index in 0..8 {
+            let plan = space.sample(23, index);
+            let dir = tmp_dir(&format!("fuzz-{index}"));
+            let report = run_sched_chaos(&dir, &tasks(6), "p", &plan, key_of, exec).unwrap();
+            assert!(
+                report.passed(),
+                "schedule {index} ({plan:?}) violated: {:?}\nledger: {:?}",
+                report.violations,
+                report.ledger
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -29,9 +29,10 @@
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::journal::Journal;
-use crate::queue::{CompleteError, QueueRecovery, WorkQueue};
+use crate::queue::{CompleteError, LeasedTask, QueueRecovery, WorkQueue};
 use cpc_charmm::chaos::{check_service_ledger, ServiceLedger, ServiceViolation};
 use cpc_cluster::{ServiceFault, ServiceFaultPlan};
+use cpc_pool::Pool;
 use cpc_vfs::{real_fs, Fs, SharedFs};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -60,8 +61,11 @@ pub struct ServiceConfig {
     pub dir: PathBuf,
     /// Queue journal shards.
     pub shards: usize,
-    /// Logical workers (leases rotate across worker ids; execution is
-    /// sequential and deterministic).
+    /// Logical workers (leases rotate across worker ids). Under
+    /// [`JobService::step`] execution is sequential; under
+    /// [`JobService::pooled_batch`] the leased cells of a batch
+    /// execute concurrently on a `cpc-pool` executor, each worker
+    /// holding a real lease whose expiry races its execution.
     pub workers: usize,
     /// Protocol string folded into every cache key (step count,
     /// energy model — whatever the task type leaves implicit).
@@ -137,6 +141,12 @@ pub struct ServiceOutcome {
     pub stale_presented: usize,
     /// Stale-lease completions the queue rejected.
     pub stale_rejected: usize,
+    /// Pooled executions that panicked mid-task (each one's cell is
+    /// reclaimed via the lease path and re-executed).
+    pub panicked: usize,
+    /// Leases reclaimed through expiry while recovering panicked
+    /// pooled executions.
+    pub panic_reclaimed: usize,
     /// Cache counters for this incarnation.
     pub cache_stats: CacheStats,
     /// Whether the scheduled kill fired.
@@ -165,6 +175,83 @@ struct RunState {
     outcome: ServiceOutcome,
     worker: usize,
     leases_granted: usize,
+}
+
+/// A leased, cache-missed cell awaiting execution and commit. The
+/// worker holding it is a real lease holder: the lease can expire,
+/// be reclaimed and re-granted while the execution is in flight.
+struct LeasedCell {
+    /// Index into the campaign's task slice.
+    index: usize,
+    /// The canonical task key.
+    key: String,
+    /// The content address of the (future) result.
+    ckey: CacheKey,
+    /// The lease the commit will present.
+    current: LeasedTask,
+    /// An injected stale lease to present — and have bounced — at
+    /// commit.
+    stale: Option<LeasedTask>,
+}
+
+/// What [`JobService::acquire_inner`] found at the next actionable
+/// cell.
+enum Acquired {
+    /// A heal or cache hit committed in place.
+    Progress,
+    /// Nothing actionable remains.
+    Drained,
+    /// A queue-done cell whose durable result was destroyed and is
+    /// absent from the cache: it must be re-executed, then committed
+    /// through [`JobService::commit_heal_inner`] (no lease — the
+    /// queue already considers it done).
+    HealMiss {
+        index: usize,
+        key: String,
+        ckey: CacheKey,
+    },
+    /// A leased cell for the caller to execute and commit through
+    /// [`JobService::commit_leased_inner`].
+    Leased(LeasedCell),
+}
+
+/// One cell of a pooled batch, collected in task-walk order. Journal
+/// writes are deferred to the commit phase so the artifact's byte
+/// layout is identical to the serial walk's regardless of which
+/// worker finishes first.
+enum BatchItem<R> {
+    /// Heal served from the cache; commit journals it.
+    HealHit { key: String, result: R },
+    /// Heal needing re-execution (queue-done, cache-missed).
+    HealExec {
+        index: usize,
+        key: String,
+        ckey: CacheKey,
+    },
+    /// Leased cell served from the cache; commit journals and
+    /// completes it (the injected stale token, if any, is dropped —
+    /// exactly as in the serial cache-hit path).
+    CacheHit { cell: LeasedCell, result: R },
+    /// Leased cell needing execution on the pool.
+    Exec { cell: LeasedCell },
+    /// A cell the queue dead-lettered mid-batch (its journal line is
+    /// lost; the artifact oracle surfaces that honestly).
+    Skip,
+}
+
+/// What one [`JobService::pooled_batch`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Batch-level outcome: [`StepOutcome::Drained`] when nothing was
+    /// collected, [`StepOutcome::Killed`] when the configured kill
+    /// fired mid-commit, [`StepOutcome::Progress`] otherwise.
+    pub step: StepOutcome,
+    /// Cells this batch made durable (journal lines appended).
+    pub advanced: usize,
+    /// Virtual cost of every fresh execution committed by this batch,
+    /// in commit order — the stream a driver feeds its RTT estimator,
+    /// matching what the serial `exec` closure would have reported.
+    pub exec_costs: Vec<f64>,
 }
 
 /// One incarnation of the campaign job service over results of type
@@ -281,20 +368,37 @@ impl<R: Serialize + Deserialize + Clone> JobService<R> {
         exec: &mut dyn FnMut(&T) -> (R, f64),
     ) -> io::Result<StepOutcome> {
         let mut state = self.run.take().expect("prepare() before step()");
-        let res = self.step_inner(tasks, exec, &mut state);
+        let res = (|| match self.acquire_inner(tasks, &mut state)? {
+            Acquired::Progress => Ok(StepOutcome::Progress),
+            Acquired::Drained => Ok(StepOutcome::Drained),
+            Acquired::HealMiss { index, key, ckey } => {
+                let (result, _) = exec(&tasks[index]);
+                self.commit_heal_inner(key, ckey, result, &mut state)
+            }
+            Acquired::Leased(cell) => {
+                let (result, elapsed) = exec(&tasks[cell.index]);
+                self.commit_leased_inner(cell, result, elapsed, &mut state)
+            }
+        })();
         self.run = Some(state);
         res
     }
 
+    /// The acquire half of a step: walk the campaign in task order to
+    /// the next actionable cell. Heals and cache hits commit in place
+    /// (they never need fresh execution); a pending cell is leased —
+    /// with the injected stale-lease episode applied at grant time —
+    /// and returned for the caller to execute and
+    /// [`commit_leased_inner`](Self::commit_leased_inner).
+    //
     // Indexed loop: iterating `state.keys` would hold a borrow of
     // `state` across the `&mut state.outcome` updates below.
     #[allow(clippy::needless_range_loop)]
-    fn step_inner<T: Serialize>(
+    fn acquire_inner<T: Serialize>(
         &mut self,
         tasks: &[T],
-        exec: &mut dyn FnMut(&T) -> (R, f64),
         state: &mut RunState,
-    ) -> io::Result<StepOutcome> {
+    ) -> io::Result<Acquired> {
         for i in 0..state.keys.len() {
             let key = state.keys[i].clone();
             if self.recovered.contains_key(&key) {
@@ -307,107 +411,453 @@ impl<R: Serialize + Deserialize + Clone> JobService<R> {
 
             if self.queue.is_done(&key) {
                 // Heal: re-derive the destroyed result — cache
-                // first, simulate on a miss — in place.
-                let result = match self.cache.get::<R>(&ckey) {
-                    Some(r) => {
-                        outcome.cache_hits += 1;
-                        r
-                    }
-                    None => {
-                        let (r, _) = exec(task);
-                        outcome.executed += 1;
-                        r
-                    }
-                };
-                self.journal.append(&result)?;
-                if !self.cache.contains(&ckey) {
-                    self.cache.put(&ckey, &result)?;
+                // first, simulate on a miss — in place. The hit
+                // commits here; the miss needs execution, which
+                // the caller owns.
+                if let Some(result) = self.cache.get::<R>(&ckey) {
+                    outcome.cache_hits += 1;
+                    self.journal.append(&result)?;
+                    self.recovered.insert(key, result);
+                    return Ok(Acquired::Progress);
                 }
-                self.recovered.insert(key, result);
-                return Ok(StepOutcome::Progress);
+                return Ok(Acquired::HealMiss {
+                    index: i,
+                    key,
+                    ckey,
+                });
             }
             if !self.queue.is_pending(&key) {
                 continue; // dead-lettered
             }
 
-            let lease = self
-                .queue
-                .lease_key(&key, state.worker)?
-                .expect("a pending task leases");
-            state.worker = (state.worker + 1) % self.cfg.workers.max(1);
-            state.leases_granted += 1;
-
-            // Injected stale-lease episode: expire and re-grant
-            // the lease, then present the stale one after
-            // executing.
-            let (current, stale) = if self.cfg.stale_lease_at == Some(state.leases_granted) {
-                let dt = (lease.expires - self.queue.now()).max(0.0) + 1e-9;
-                self.queue.advance_clock(dt);
-                self.queue.reclaim_expired()?;
-                let fresh = self
-                    .queue
-                    .lease_key(&lease.key, state.worker)?
-                    .expect("the reclaimed cell re-leases");
-                (fresh, Some(lease))
-            } else {
-                (lease, None)
+            let (current, stale) = self.grant_lease(&key, state)?;
+            let cell = LeasedCell {
+                index: i,
+                key,
+                ckey,
+                current,
+                stale,
             };
 
             // Cache probe: a hit is journaled (keeping the
             // artifact complete and ordered) but never
             // re-simulated.
-            if let Some(result) = self.cache.get::<R>(&ckey) {
+            if let Some(result) = self.cache.get::<R>(&cell.ckey) {
                 self.journal.append(&result)?;
-                let _ = self.queue.complete(&current.key, current.lease, 0.0);
-                self.recovered.insert(current.key.clone(), result);
-                outcome.cache_hits += 1;
-                return Ok(StepOutcome::Progress);
-            }
-
-            // Scheduled kill before the result becomes durable:
-            // the execution happens and is lost with the process.
-            let next_execution = outcome.executed + 1;
-            if self.cfg.kill == Some((next_execution, KillPoint::BeforeResult)) {
-                let _ = exec(task);
-                outcome.executed += 1;
-                outcome.lost_executions += 1;
-                outcome.killed = true;
-                return Ok(StepOutcome::Killed);
-            }
-
-            let (result, elapsed) = exec(task);
-            outcome.executed += 1;
-
-            // Commit step 1: the durable artifact.
-            self.journal.append(&result)?;
-            if self.cfg.kill == Some((outcome.executed, KillPoint::MidCommit)) {
-                outcome.killed = true;
-                return Ok(StepOutcome::Killed);
-            }
-            // Commit step 2: the content-addressed cache.
-            self.cache.put(&ckey, &result)?;
-            // Commit step 3: the queue. A stale lease presented
-            // here must bounce; the fresh lease then completes
-            // the cell.
-            if let Some(stale_lease) = &stale {
-                outcome.stale_presented += 1;
-                if self
+                let _ = self
                     .queue
-                    .complete(&stale_lease.key, stale_lease.lease, elapsed)
-                    == Err(CompleteError::StaleLease)
-                {
-                    outcome.stale_rejected += 1;
+                    .complete(&cell.current.key, cell.current.lease, 0.0);
+                self.recovered.insert(cell.key.clone(), result);
+                state.outcome.cache_hits += 1;
+                return Ok(Acquired::Progress);
+            }
+            return Ok(Acquired::Leased(cell));
+        }
+        Ok(Acquired::Drained)
+    }
+
+    /// Grants the lease for `key`, rotating the worker label and
+    /// applying the injected stale-lease episode when this is the
+    /// configured grant: the lease is expired and re-granted so the
+    /// original token can be presented — and must bounce — at commit.
+    fn grant_lease(
+        &mut self,
+        key: &str,
+        state: &mut RunState,
+    ) -> io::Result<(LeasedTask, Option<LeasedTask>)> {
+        let lease = self
+            .queue
+            .lease_key(key, state.worker)?
+            .expect("a pending task leases");
+        state.worker = (state.worker + 1) % self.cfg.workers.max(1);
+        state.leases_granted += 1;
+
+        if self.cfg.stale_lease_at == Some(state.leases_granted) {
+            let dt = (lease.expires - self.queue.now()).max(0.0) + 1e-9;
+            self.queue.advance_clock(dt);
+            self.queue.reclaim_expired()?;
+            let fresh = self
+                .queue
+                .lease_key(&lease.key, state.worker)?
+                .expect("the reclaimed cell re-leases");
+            Ok((fresh, Some(lease)))
+        } else {
+            Ok((lease, None))
+        }
+    }
+
+    /// The commit half of a step: take an executed cell through the
+    /// three-step commit (journal → cache → queue) with the configured
+    /// kill points applied. The result of a `BeforeResult` kill is
+    /// discarded — the execution happened and is lost with the
+    /// process, exactly as in the serial path.
+    fn commit_leased_inner(
+        &mut self,
+        cell: LeasedCell,
+        result: R,
+        elapsed: f64,
+        state: &mut RunState,
+    ) -> io::Result<StepOutcome> {
+        let outcome = &mut state.outcome;
+        // Scheduled kill before the result becomes durable: the
+        // execution happened and is lost with the process.
+        let next_execution = outcome.executed + 1;
+        if self.cfg.kill == Some((next_execution, KillPoint::BeforeResult)) {
+            outcome.executed += 1;
+            outcome.lost_executions += 1;
+            outcome.killed = true;
+            return Ok(StepOutcome::Killed);
+        }
+        outcome.executed += 1;
+
+        // Commit step 1: the durable artifact.
+        self.journal.append(&result)?;
+        if self.cfg.kill == Some((state.outcome.executed, KillPoint::MidCommit)) {
+            state.outcome.killed = true;
+            return Ok(StepOutcome::Killed);
+        }
+        // Commit step 2: the content-addressed cache.
+        self.cache.put(&cell.ckey, &result)?;
+        // Commit step 3: the queue. A stale lease presented here must
+        // bounce; the fresh lease then completes the cell.
+        if let Some(stale_lease) = &cell.stale {
+            state.outcome.stale_presented += 1;
+            if self
+                .queue
+                .complete(&stale_lease.key, stale_lease.lease, elapsed)
+                == Err(CompleteError::StaleLease)
+            {
+                state.outcome.stale_rejected += 1;
+            }
+        }
+        let _ = self
+            .queue
+            .complete(&cell.current.key, cell.current.lease, elapsed);
+        self.recovered.insert(cell.key, result);
+        if self.cfg.kill == Some((state.outcome.executed, KillPoint::AfterCommit)) {
+            state.outcome.killed = true;
+            return Ok(StepOutcome::Killed);
+        }
+        Ok(StepOutcome::Progress)
+    }
+
+    /// Commits a re-executed heal (queue-done cell whose durable
+    /// result was destroyed): journal, cache backfill, recovered map.
+    /// No lease and no kill points — exactly the serial heal path.
+    fn commit_heal_inner(
+        &mut self,
+        key: String,
+        ckey: CacheKey,
+        result: R,
+        state: &mut RunState,
+    ) -> io::Result<StepOutcome> {
+        state.outcome.executed += 1;
+        self.journal.append(&result)?;
+        if !self.cache.contains(&ckey) {
+            self.cache.put(&ckey, &result)?;
+        }
+        self.recovered.insert(key, result);
+        Ok(StepOutcome::Progress)
+    }
+
+    /// Collects up to `width` execution-costing cells (plus any heals
+    /// and cache hits encountered on the way) in task-walk order,
+    /// leasing each pending cell. Nothing is journaled here: the
+    /// commit phase writes in this collection order, so the artifact
+    /// bytes are independent of execution interleaving.
+    #[allow(clippy::needless_range_loop)]
+    fn collect_batch<T: Serialize>(
+        &mut self,
+        tasks: &[T],
+        state: &mut RunState,
+        width: usize,
+    ) -> io::Result<Vec<BatchItem<R>>> {
+        let mut items: Vec<BatchItem<R>> = Vec::new();
+        let mut execs = 0usize;
+        for i in 0..state.keys.len() {
+            if execs >= width {
+                break;
+            }
+            let key = state.keys[i].clone();
+            if self.recovered.contains_key(&key) {
+                continue;
+            }
+            self.queue.reclaim_expired()?;
+            let ckey = CacheKey::of(&tasks[i], &self.cfg.protocol)?;
+
+            if self.queue.is_done(&key) {
+                match self.cache.get::<R>(&ckey) {
+                    Some(result) => items.push(BatchItem::HealHit { key, result }),
+                    None => {
+                        items.push(BatchItem::HealExec {
+                            index: i,
+                            key,
+                            ckey,
+                        });
+                        execs += 1;
+                    }
+                }
+                continue;
+            }
+            if !self.queue.is_pending(&key) {
+                continue; // dead-lettered or leased by an earlier batch slot
+            }
+
+            let (current, stale) = self.grant_lease(&key, state)?;
+            let injected = stale.is_some();
+            let cell = LeasedCell {
+                index: i,
+                key,
+                ckey,
+                current,
+                stale,
+            };
+            match self.cache.get::<R>(&cell.ckey) {
+                Some(result) => items.push(BatchItem::CacheHit { cell, result }),
+                None => {
+                    items.push(BatchItem::Exec { cell });
+                    execs += 1;
                 }
             }
-            let _ = self.queue.complete(&current.key, current.lease, elapsed);
-            self.recovered.insert(current.key.clone(), result);
-            if self.cfg.kill == Some((outcome.executed, KillPoint::AfterCommit)) {
-                outcome.killed = true;
-                return Ok(StepOutcome::Killed);
+            // The injected stale-lease episode advanced the virtual
+            // clock past every outstanding lease: earlier cells of
+            // this batch were reclaimed and must be re-leased before
+            // their commits present dead tokens.
+            if injected {
+                self.refresh_leases(&mut items, state)?;
             }
-            return Ok(StepOutcome::Progress);
         }
-        Ok(StepOutcome::Drained)
+        Ok(items)
+    }
+
+    /// Re-leases every uncommitted leased cell of a batch after the
+    /// virtual clock advanced past their expiries (stale-lease
+    /// injection, or the lease-path recovery of a panicked worker).
+    /// A cell the queue dead-lettered in the meantime degrades to
+    /// [`BatchItem::Skip`]; a cell whose current token is still live
+    /// is left alone.
+    fn refresh_leases(
+        &mut self,
+        items: &mut [BatchItem<R>],
+        state: &mut RunState,
+    ) -> io::Result<()> {
+        for item in items.iter_mut() {
+            let cell = match item {
+                BatchItem::Exec { cell } | BatchItem::CacheHit { cell, .. } => cell,
+                _ => continue,
+            };
+            if self.recovered.contains_key(&cell.key) || self.queue.is_done(&cell.key) {
+                continue; // already committed
+            }
+            if self.queue.is_pending(&cell.key) {
+                // Refresh grants don't rotate the worker label or
+                // count toward `leases_granted`: the stale-lease
+                // injection targets real grants, not repairs.
+                match self.queue.lease_key(&cell.key, state.worker)? {
+                    Some(fresh) => cell.current = fresh,
+                    None => *item = BatchItem::Skip,
+                }
+            } else if cell.current.expires <= self.queue.now() {
+                // Expired but not reclaimed back to pending: the
+                // retry budget dead-lettered it.
+                *item = BatchItem::Skip;
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the campaign by one *batch*: up to `width`
+    /// execution-costing cells collected in task-walk order, executed
+    /// concurrently on `pool` — each a real lease holder — and
+    /// committed in collection order. The artifact bytes are
+    /// therefore identical to the serial [`Self::step`] walk whatever
+    /// the thread count or interleaving. A worker panic is contained
+    /// by the pool; its cell's lease is expired, reclaimed through
+    /// the queue's expiry path and re-granted, and the cell
+    /// re-executes — the pool itself is never poisoned.
+    pub fn pooled_batch<T>(
+        &mut self,
+        tasks: &[T],
+        pool: &Pool,
+        width: usize,
+        exec: &(dyn Fn(&T) -> (R, f64) + Sync),
+    ) -> io::Result<BatchReport>
+    where
+        T: Serialize + Sync,
+        R: Send,
+    {
+        let mut state = self.run.take().expect("prepare() before pooled_batch()");
+        let res = self.pooled_batch_inner(tasks, pool, width.max(1), exec, &mut state);
+        self.run = Some(state);
+        res
+    }
+
+    fn pooled_batch_inner<T>(
+        &mut self,
+        tasks: &[T],
+        pool: &Pool,
+        width: usize,
+        exec: &(dyn Fn(&T) -> (R, f64) + Sync),
+        state: &mut RunState,
+    ) -> io::Result<BatchReport>
+    where
+        T: Serialize + Sync,
+        R: Send,
+    {
+        let mut items = self.collect_batch(tasks, state, width)?;
+        if items.is_empty() {
+            return Ok(BatchReport {
+                step: StepOutcome::Drained,
+                advanced: 0,
+                exec_costs: Vec::new(),
+            });
+        }
+
+        // Execution phase: run every exec-needing item on the pool,
+        // re-executing panicked cells (their leases reclaimed via the
+        // expiry path) until the batch is clean or the retry budget
+        // is spent.
+        let task_index_of = |item: &BatchItem<R>| match item {
+            BatchItem::HealExec { index, .. } => Some(*index),
+            BatchItem::Exec { cell } => Some(cell.index),
+            _ => None,
+        };
+        let mut results: Vec<Option<(R, f64)>> = items.iter().map(|_| None).collect();
+        let mut pending: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter_map(|(p, item)| task_index_of(item).map(|_| p))
+            .collect();
+        let mut attempts = 0usize;
+        while !pending.is_empty() {
+            let jobs: Vec<usize> = pending
+                .iter()
+                .map(|&p| task_index_of(&items[p]).expect("pending items cost an execution"))
+                .collect();
+            let outcomes = pool
+                .try_par_map_indexed(&jobs, |_, &ti| exec(&tasks[ti]))
+                .map_err(|e| io::Error::other(format!("pool: {e}")))?;
+            let mut panicked: Vec<usize> = Vec::new();
+            for (slot, outcome) in outcomes.into_iter().enumerate() {
+                let p = pending[slot];
+                match outcome {
+                    Ok(rv) => results[p] = Some(rv),
+                    Err(_) => {
+                        state.outcome.panicked += 1;
+                        panicked.push(p);
+                    }
+                }
+            }
+            if panicked.is_empty() {
+                break;
+            }
+            attempts += 1;
+            if attempts > self.cfg.max_attempts {
+                break; // their cells stay unexecuted; commits skip them
+            }
+            // Lease-path recovery: the panicked workers' leases are
+            // still outstanding. Advance the virtual clock past every
+            // batch lease, reclaim them through the ordinary expiry
+            // path, and re-lease the uncommitted cells.
+            let max_expiry = items
+                .iter()
+                .filter_map(|item| match item {
+                    BatchItem::Exec { cell } | BatchItem::CacheHit { cell, .. } => {
+                        Some(cell.current.expires)
+                    }
+                    _ => None,
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            if max_expiry > f64::NEG_INFINITY {
+                let dt = (max_expiry - self.queue.now()).max(0.0) + 1e-9;
+                self.queue.advance_clock(dt);
+                let (reclaimed, _) = self.queue.reclaim_expired()?;
+                state.outcome.panic_reclaimed += reclaimed;
+                self.refresh_leases(&mut items, state)?;
+            }
+            pending = panicked
+                .into_iter()
+                .filter(|&p| task_index_of(&items[p]).is_some())
+                .collect();
+        }
+
+        // Commit phase: walk order, byte-identical to serial.
+        let mut advanced = 0usize;
+        let mut exec_costs = Vec::new();
+        let mut step = StepOutcome::Progress;
+        for (p, item) in items.into_iter().enumerate() {
+            match item {
+                BatchItem::HealHit { key, result } => {
+                    state.outcome.cache_hits += 1;
+                    self.journal.append(&result)?;
+                    self.recovered.insert(key, result);
+                    advanced += 1;
+                }
+                BatchItem::HealExec { key, ckey, .. } => {
+                    let Some((result, elapsed)) = results[p].take() else {
+                        continue;
+                    };
+                    self.commit_heal_inner(key, ckey, result, state)?;
+                    exec_costs.push(elapsed);
+                    advanced += 1;
+                }
+                BatchItem::CacheHit { cell, result } => {
+                    state.outcome.cache_hits += 1;
+                    self.journal.append(&result)?;
+                    let _ = self
+                        .queue
+                        .complete(&cell.current.key, cell.current.lease, 0.0);
+                    self.recovered.insert(cell.key, result);
+                    advanced += 1;
+                }
+                BatchItem::Exec { cell } => {
+                    let Some((result, elapsed)) = results[p].take() else {
+                        continue;
+                    };
+                    let got = self.commit_leased_inner(cell, result, elapsed, state)?;
+                    if got == StepOutcome::Killed {
+                        // The process is dead: uncommitted batch
+                        // results die with it. A `BeforeResult` kill
+                        // wrote no journal line, so it advanced
+                        // nothing.
+                        if !matches!(self.cfg.kill, Some((_, KillPoint::BeforeResult))) {
+                            exec_costs.push(elapsed);
+                            advanced += 1;
+                        }
+                        step = StepOutcome::Killed;
+                        break;
+                    }
+                    exec_costs.push(elapsed);
+                    advanced += 1;
+                }
+                BatchItem::Skip => {}
+            }
+        }
+        Ok(BatchReport {
+            step,
+            advanced,
+            exec_costs,
+        })
+    }
+
+    /// Runs the campaign on a `cpc-pool` executor: [`Self::prepare`]
+    /// then [`Self::pooled_batch`] at the pool's width until the
+    /// queue drains or the configured kill fires. Produces an
+    /// artifact byte-identical to [`Self::run`] at any thread count.
+    pub fn run_pooled<T>(
+        &mut self,
+        tasks: &[T],
+        pool: &Pool,
+        exec: impl Fn(&T) -> (R, f64) + Sync,
+    ) -> io::Result<ServiceOutcome>
+    where
+        T: Serialize + Sync,
+        R: Send,
+    {
+        self.prepare(tasks)?;
+        while self.pooled_batch(tasks, pool, pool.threads(), &exec)?.step == StepOutcome::Progress {
+        }
+        Ok(self.outcome())
     }
 
     /// A snapshot of this incarnation's accounting: live counters plus
@@ -858,6 +1308,54 @@ mod tests {
         assert_eq!(got_outcome.executed, want_outcome.executed);
         assert_eq!(artifact_digest(&journal), want, "byte-identical artifact");
         let _ = std::fs::remove_dir_all(&ref_dir);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pooled_run_matches_serial_artifact_at_every_thread_count() {
+        let ref_dir = tmp_dir("pool-ref");
+        let ref_cfg = ServiceConfig::new(&ref_dir, "p");
+        let ref_journal = ref_cfg.journal_path();
+        let mut svc = JobService::<Vec<f64>>::open(ref_cfg, key_of).unwrap();
+        svc.run(&tasks(9), exec).unwrap();
+        drop(svc);
+        let want = artifact_digest(&ref_journal);
+        assert!(want.is_some());
+
+        for threads in [1usize, 2, 4, 8] {
+            let dir = tmp_dir(&format!("pool-{threads}"));
+            let cfg = ServiceConfig::new(&dir, "p");
+            let journal = cfg.journal_path();
+            let mut svc = JobService::<Vec<f64>>::open(cfg, key_of).unwrap();
+            let pool = Pool::new(threads);
+            let out = svc.run_pooled(&tasks(9), &pool, exec).unwrap();
+            assert!(out.drained, "threads={threads}");
+            assert_eq!(out.completed, 9);
+            assert_eq!(out.executed, 9);
+            assert_eq!(
+                artifact_digest(&journal),
+                want,
+                "threads={threads}: pooled artifact must be byte-identical to serial"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let _ = std::fs::remove_dir_all(&ref_dir);
+    }
+
+    #[test]
+    fn pooled_stale_lease_injection_is_rejected_and_accounted() {
+        let dir = tmp_dir("pool-stale");
+        let cfg = ServiceConfig {
+            stale_lease_at: Some(2),
+            workers: 4,
+            ..ServiceConfig::new(&dir, "p")
+        };
+        let mut svc = JobService::<Vec<f64>>::open(cfg, key_of).unwrap();
+        let pool = Pool::new(4);
+        let out = svc.run_pooled(&tasks(6), &pool, exec).unwrap();
+        assert!(out.drained);
+        assert_eq!(out.completed, 6);
+        assert_eq!((out.stale_presented, out.stale_rejected), (1, 1));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

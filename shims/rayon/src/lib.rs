@@ -1,35 +1,104 @@
-//! Offline stand-in for the `rayon` crate. `into_par_iter()` degrades
-//! to the plain sequential iterator — same results, no thread pool —
-//! which is all this workspace needs (the virtual cluster supplies its
-//! own parallelism model; rayon is only a host-side convenience).
+//! Offline stand-in for the `rayon` crate, now backed by the real
+//! `cpc-pool` work-stealing executor. `into_par_iter()` materializes
+//! the items and maps them through the process-wide pool with results
+//! committed in task-index order, so the output is byte-identical to
+//! the old sequential shim at any thread count. `CPC_THREADS` selects
+//! the worker count and `CPC_POOL_SEQUENTIAL=1` restores the
+//! sequential fallback for bisection.
 
 /// The traits the workspace imports via `use rayon::prelude::*`.
 pub mod prelude {
-    pub use super::iter::{IntoParallelIterator, ParallelIterator};
+    pub use super::iter::{IntoParallelIterator, ParIter, ParallelIterator};
 }
 
-/// Sequential re-implementations of the rayon iterator entry points.
+/// Pool-backed re-implementations of the rayon iterator entry points.
 pub mod iter {
-    /// Conversion into a "parallel" iterator (here: the sequential one).
+    /// Conversion into a parallel iterator over the global `cpc-pool`.
     pub trait IntoParallelIterator {
         /// The element type.
         type Item;
-        /// The iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Converts `self` into an iterator; sequential in this shim.
+        /// The parallel iterator type produced.
+        type Iter;
+        /// Converts `self` into a pool-backed parallel iterator.
         fn into_par_iter(self) -> Self::Iter;
     }
 
     impl<I: IntoIterator> IntoParallelIterator for I {
         type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+        type Iter = ParIter<I::Item>;
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 
-    /// Marker alias so `ParallelIterator` method chains (`filter_map`,
-    /// `map`, `collect`, ...) resolve to the std `Iterator` methods.
-    pub trait ParallelIterator: Iterator {}
-    impl<I: Iterator> ParallelIterator for I {}
+    /// A materialized parallel iterator: adapters execute eagerly on
+    /// the global pool, index order preserved end to end.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone + Send + Sync> ParIter<T> {
+        /// Parallel `map`, results in input order.
+        pub fn map<R, F>(self, f: F) -> ParIter<R>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParIter {
+                items: cpc_pool::global().par_map_indexed(&self.items, |_, t| f(t.clone())),
+            }
+        }
+
+        /// Parallel `filter_map`, survivors in input order.
+        pub fn filter_map<R, F>(self, f: F) -> ParIter<R>
+        where
+            R: Send,
+            F: Fn(T) -> Option<R> + Sync,
+        {
+            let mapped = cpc_pool::global().par_map_indexed(&self.items, |_, t| f(t.clone()));
+            ParIter {
+                items: mapped.into_iter().flatten().collect(),
+            }
+        }
+    }
+
+    impl<T> ParIter<T> {
+        /// Gather into any `FromIterator` collection, in order.
+        pub fn collect<C: FromIterator<T>>(self) -> C {
+            self.items.into_iter().collect()
+        }
+    }
+
+    /// Marker trait kept so `use rayon::prelude::*` stays valid; the
+    /// adapters are inherent methods on [`ParIter`].
+    pub trait ParallelIterator {}
+    impl<T> ParallelIterator for ParIter<T> {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::iter::IntoParallelIterator;
+
+    #[test]
+    fn filter_map_collect_matches_sequential_iterator() {
+        let par: Vec<usize> = (0..1000usize)
+            .into_par_iter()
+            .filter_map(|i| (i % 7 == 0).then_some(i * 2))
+            .collect();
+        let seq: Vec<usize> = (0..1000usize)
+            .filter_map(|i| (i % 7 == 0).then_some(i * 2))
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let par: Vec<i64> = vec![5i64, -3, 9, 0]
+            .into_par_iter()
+            .map(|x| x * x)
+            .collect();
+        assert_eq!(par, vec![25, 9, 81, 0]);
+    }
 }

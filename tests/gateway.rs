@@ -184,7 +184,7 @@ impl CampaignModel for QuickModel {
         task_key(&r.point).expect("experiment point serializes")
     }
 
-    fn exec(&mut self, point: &ExperimentPoint) -> (Measurement, f64) {
+    fn exec(&self, point: &ExperimentPoint) -> (Measurement, f64) {
         let m = measure_with_model(&self.system, *point, self.steps, self.model);
         let elapsed = m.energy_time();
         (m, elapsed)
@@ -197,7 +197,7 @@ fn direct_reference(dir: &PathBuf, protocol: &str, counts: &[usize]) -> Option<u
     let mut cfg = ServiceConfig::new(dir, protocol);
     cfg.shards = 4;
     let journal = cfg.journal_path();
-    let (mut model, _) = QuickModel::new();
+    let (model, _) = QuickModel::new();
     let tasks = full_factorial(counts);
     let mut service =
         JobService::<Measurement>::open(cfg, QuickModel::key_of).expect("service opens");
