@@ -91,28 +91,59 @@
 //!   at most 5% wall clock on the compute-dominated workload while
 //!   leaving fault-free physics bit-identical. Journals
 //!   `DIR/abft_smoke.json`; deterministic, CI `cmp`s two runs.
+//! * **Composed mode** (`--composed N`): the cross-layer conductor.
+//!   Samples N [`ComposedPlan`]s — a joint schedule drawing every
+//!   layer's faults from its own seeded sub-channel, so masking one
+//!   layer never perturbs another's draws — and drives each through
+//!   [`run_composed_chaos`](cpc_gateway::run_composed_chaos) with all
+//!   five layers (disk, transport, sched, service, MD) armed at once.
+//!   Every per-layer ledger is absorbed into one [`CrossLedger`] and
+//!   checked against the union of the single-layer oracles plus the
+//!   interaction oracles: global counted executions within the
+//!   composed allowance, no acked-then-lost across a disk fault + a
+//!   kill, and the drained artifact byte-identical to a fault-free
+//!   serial reference. Failures minimize layer-first (drop whole
+//!   layers, then events within survivors) and land in
+//!   `DIR/repro-cross-IIIII.json`. Verdicts journal to
+//!   `DIR/composed_chaos.jsonl`; `--resume` skips checked schedules.
+//! * **Plant-composed mode** (`--plant-composed [--corpus DIR]`):
+//!   self-test of the cross-layer oracles and the layer-first
+//!   minimizer. Buries a gray-zone SDC flip under sampled noise from
+//!   the other four layers, asserts the conductor convicts it, that
+//!   minimization prunes every noise layer, and that the pin replays
+//!   with a byte-identical verdict. With `--corpus DIR` the pin and a
+//!   passing determinism pin are (re)planted into the checked-in
+//!   reproducer corpus.
+//! * **Replay-corpus mode** (`--replay-corpus DIR`): CI gate over the
+//!   reproducer corpus. Replays every `*.json` cross reproducer in
+//!   DIR and exits 0 only if each one's verdict (pass or the recorded
+//!   failure) is byte-identical to what the corpus recorded.
+//! * **Bench mode** (`--bench [--out DIR]`): times the chaos harnesses
+//!   themselves — schedules/second for each single-layer mode and the
+//!   composed conductor — asserting every timed schedule passes its
+//!   oracles, and writes `DIR/BENCH_chaos.json`.
 
-use cpc_bench::cli::Args;
+use cpc_bench::cli::{open_verdict_journal, Args};
 use cpc_charmm::chaos::{
-    flatten, ChaosHarness, DiskLedger, GatewayLedger, Reproducer, SchedLedger, ScheduleReport,
-    ServiceLedger,
+    flatten, minimize_composed, ChaosHarness, CrossLedger, CrossReproducer, DiskLedger,
+    GatewayLedger, Reproducer, SchedLedger, ScheduleReport, ServiceLedger,
 };
 use cpc_charmm::{
     run_parallel_md_faulty, AbftConfig, DurableConfig, FaultConfig, MdConfig, RecoveryConfig,
 };
 use cpc_cluster::{
-    sdc_class, ClusterConfig, DiskFaultSpace, FaultPlan, FaultSpace, NetworkKind, SchedFaultSpace,
-    SdcClass, SdcTarget, ServiceFaultSpace, TransportFaultSpace,
+    sdc_class, ClusterConfig, ComposedFaultSpace, ComposedPlan, DiskFaultSpace, FaultPlan,
+    FaultSpace, Layer, NetworkKind, SchedFaultSpace, SdcClass, SdcTarget, ServiceFaultSpace,
+    TransportFaultSpace, LAYERS,
 };
-use cpc_gateway::{demo_cells, demo_flood_cells, run_gateway_chaos, DemoModel};
+use cpc_gateway::{demo_cells, demo_flood_cells, run_composed_chaos, run_gateway_chaos, DemoModel};
 use cpc_md::EnergyModel;
 use cpc_mpi::Middleware;
 use cpc_vfs::DiskFaultPlan;
-use cpc_workload::journal::Journal;
 use cpc_workload::run_disk_chaos;
 use cpc_workload::run_sched_chaos;
 use cpc_workload::service::run_service_chaos;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
@@ -134,14 +165,58 @@ struct Verdict {
 const STALL_TIMEOUT: f64 = 20.0;
 
 const USAGE: &str = "usage: chaos [--schedules N] [--seed S] [--soak] [--resume] [--out DIR]\n\
-     \x20      [--ranks P] [--steps N] | --service N | --transport N | --disk N\n\
-     \x20      | --sched N | --plant | --replay FILE | --straggle-smoke | --abft-smoke";
+     \x20      [--journal FILE] [--ranks P] [--steps N]\n\
+     \x20      | --service N | --transport N | --disk N | --sched N | --composed N\n\
+     \x20      | --plant | --plant-composed | --replay FILE | --replay-corpus DIR\n\
+     \x20      | --corpus DIR | --straggle-smoke | --abft-smoke | --bench";
 
 /// Exit 2 (usage/environment error) with a message — the typed
 /// replacement for `expect` on malformed inputs and I/O failures.
 fn die(msg: impl std::fmt::Display) -> ! {
     eprintln!("chaos: {msg}");
     std::process::exit(2);
+}
+
+/// The flags every journaled campaign mode shares: where artifacts
+/// go, which seed keys the sampler, whether to resume the verdict
+/// journal, and an optional journal-path override replacing the
+/// mode's default `DIR/<mode>_chaos.jsonl`.
+struct ModeOpts {
+    out: PathBuf,
+    seed: u64,
+    resume: bool,
+    journal: Option<PathBuf>,
+}
+
+impl ModeOpts {
+    fn journal_path(&self, default_name: &str) -> PathBuf {
+        self.journal
+            .clone()
+            .unwrap_or_else(|| self.out.join(default_name))
+    }
+}
+
+/// Splits a recovered journal prefix into the schedules already
+/// checked under `seed` and the ones among them that failed — the
+/// resume bookkeeping every campaign mode repeats.
+fn split_prior<V>(
+    prior: &[V],
+    seed: u64,
+    key: impl Fn(&V) -> (u64, u64),
+    passed: impl Fn(&V) -> bool,
+) -> (HashSet<u64>, Vec<u64>) {
+    let done = prior
+        .iter()
+        .map(&key)
+        .filter(|k| k.0 == seed)
+        .map(|k| k.1)
+        .collect();
+    let failures = prior
+        .iter()
+        .filter(|v| key(v).0 == seed && !passed(v))
+        .map(|v| key(v).1)
+        .collect();
+    (done, failures)
 }
 
 /// The chaos workload: a small water box on a uniprocessor GigE
@@ -562,49 +637,16 @@ const SERVICE_SHARDS: usize = 4;
 /// Service-level chaos campaign: schedules `0..N` sampled from
 /// `(seed, index)`, each driving a full campaign through the crash-safe
 /// job service under kills, torn writes, stale leases and cache rot.
-fn service_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
-    let journal_path = out.join("service_chaos.jsonl");
-    let (mut journal, prior) = if resume {
-        let (j, recovery) =
-            Journal::<ServiceVerdict>::resume_keyed(&journal_path, |v| (v.seed, v.index))
-                .unwrap_or_else(|e| die(format!("cannot resume {}: {e}", journal_path.display())));
-        if recovery.dropped > 0 {
-            eprintln!(
-                "journal {}: discarded {} torn/damaged trailing line(s)",
-                journal_path.display(),
-                recovery.dropped
-            );
-        }
-        if recovery.duplicates > 0 {
-            eprintln!(
-                "journal {}: scrubbed {} duplicate verdict(s) (first wins)",
-                journal_path.display(),
-                recovery.duplicates
-            );
-        }
-        eprintln!(
-            "journal {}: resuming past {} checked schedule(s)",
-            journal_path.display(),
-            recovery.entries.len()
-        );
-        (j, recovery.entries)
-    } else {
-        (
-            Journal::<ServiceVerdict>::create(&journal_path)
-                .unwrap_or_else(|e| die(format!("cannot create {}: {e}", journal_path.display()))),
-            Vec::new(),
-        )
-    };
-    let done: HashSet<u64> = prior
-        .iter()
-        .filter(|v| v.seed == seed)
-        .map(|v| v.index)
-        .collect();
-    let mut failures: Vec<u64> = prior
-        .iter()
-        .filter(|v| v.seed == seed && !v.passed)
-        .map(|v| v.index)
-        .collect();
+fn service_mode(opts: &ModeOpts, schedules: u64) -> i32 {
+    let seed = opts.seed;
+    let journal_path = opts.journal_path("service_chaos.jsonl");
+    let (mut journal, prior) = open_verdict_journal::<ServiceVerdict, _>(
+        "chaos",
+        &journal_path,
+        opts.resume,
+        |v| (v.seed, v.index),
+    );
+    let (done, mut failures) = split_prior(&prior, seed, |v| (v.seed, v.index), |v| v.passed);
     // Duplicates the recovery scrub dropped inside each schedule's
     // campaign: the quiet half of the exactly-once story, surfaced in
     // the summary so a regression in the scrub is visible in CI logs.
@@ -706,49 +748,16 @@ const SCHED_CELLS: u64 = 8;
 /// Executor-level chaos campaign: schedules `0..N` sampled from
 /// `(seed, index)`, each driving a full campaign through the
 /// work-stealing pool under an adversarial interleaving.
-fn sched_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
-    let journal_path = out.join("sched_chaos.jsonl");
-    let (mut journal, prior) = if resume {
-        let (j, recovery) =
-            Journal::<SchedVerdict>::resume_keyed(&journal_path, |v| (v.seed, v.index))
-                .unwrap_or_else(|e| die(format!("cannot resume {}: {e}", journal_path.display())));
-        if recovery.dropped > 0 {
-            eprintln!(
-                "journal {}: discarded {} torn/damaged trailing line(s)",
-                journal_path.display(),
-                recovery.dropped
-            );
-        }
-        if recovery.duplicates > 0 {
-            eprintln!(
-                "journal {}: scrubbed {} duplicate verdict(s) (first wins)",
-                journal_path.display(),
-                recovery.duplicates
-            );
-        }
-        eprintln!(
-            "journal {}: resuming past {} checked schedule(s)",
-            journal_path.display(),
-            recovery.entries.len()
-        );
-        (j, recovery.entries)
-    } else {
-        (
-            Journal::<SchedVerdict>::create(&journal_path)
-                .unwrap_or_else(|e| die(format!("cannot create {}: {e}", journal_path.display()))),
-            Vec::new(),
-        )
-    };
-    let done: HashSet<u64> = prior
-        .iter()
-        .filter(|v| v.seed == seed)
-        .map(|v| v.index)
-        .collect();
-    let mut failures: Vec<u64> = prior
-        .iter()
-        .filter(|v| v.seed == seed && !v.passed)
-        .map(|v| v.index)
-        .collect();
+fn sched_mode(opts: &ModeOpts, schedules: u64) -> i32 {
+    let seed = opts.seed;
+    let journal_path = opts.journal_path("sched_chaos.jsonl");
+    let (mut journal, prior) = open_verdict_journal::<SchedVerdict, _>(
+        "chaos",
+        &journal_path,
+        opts.resume,
+        |v| (v.seed, v.index),
+    );
+    let (done, mut failures) = split_prior(&prior, seed, |v| (v.seed, v.index), |v| v.passed);
 
     let space = SchedFaultSpace::new(SCHED_CELLS as usize);
     let tasks: Vec<u64> = (0..SCHED_CELLS).collect();
@@ -850,49 +859,16 @@ const DISK_CELLS: u64 = 6;
 /// `(seed, index)`, each driving a full campaign through the job
 /// service on a simulated filesystem injecting ENOSPC, EIO, short
 /// writes, rename failures and power cuts.
-fn disk_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
-    let journal_path = out.join("disk_chaos.jsonl");
-    let (mut journal, prior) = if resume {
-        let (j, recovery) =
-            Journal::<DiskVerdict>::resume_keyed(&journal_path, |v| (v.seed, v.index))
-                .unwrap_or_else(|e| die(format!("cannot resume {}: {e}", journal_path.display())));
-        if recovery.dropped > 0 {
-            eprintln!(
-                "journal {}: discarded {} torn/damaged trailing line(s)",
-                journal_path.display(),
-                recovery.dropped
-            );
-        }
-        if recovery.duplicates > 0 {
-            eprintln!(
-                "journal {}: scrubbed {} duplicate verdict(s) (first wins)",
-                journal_path.display(),
-                recovery.duplicates
-            );
-        }
-        eprintln!(
-            "journal {}: resuming past {} checked schedule(s)",
-            journal_path.display(),
-            recovery.entries.len()
-        );
-        (j, recovery.entries)
-    } else {
-        (
-            Journal::<DiskVerdict>::create(&journal_path)
-                .unwrap_or_else(|e| die(format!("cannot create {}: {e}", journal_path.display()))),
-            Vec::new(),
-        )
-    };
-    let done: HashSet<u64> = prior
-        .iter()
-        .filter(|v| v.seed == seed)
-        .map(|v| v.index)
-        .collect();
-    let mut failures: Vec<u64> = prior
-        .iter()
-        .filter(|v| v.seed == seed && !v.passed)
-        .map(|v| v.index)
-        .collect();
+fn disk_mode(opts: &ModeOpts, schedules: u64) -> i32 {
+    let seed = opts.seed;
+    let journal_path = opts.journal_path("disk_chaos.jsonl");
+    let (mut journal, prior) = open_verdict_journal::<DiskVerdict, _>(
+        "chaos",
+        &journal_path,
+        opts.resume,
+        |v| (v.seed, v.index),
+    );
+    let (done, mut failures) = split_prior(&prior, seed, |v| (v.seed, v.index), |v| v.passed);
 
     let tasks: Vec<u64> = (0..DISK_CELLS).collect();
     let exec = |t: &u64| -> (Vec<f64>, f64) { (vec![*t as f64, (*t * *t) as f64], 0.25) };
@@ -1003,49 +979,16 @@ const TRANSPORT_CELLS: u64 = 6;
 /// `(seed, index)`, each driving a full campaign through the HTTP
 /// gateway under malformed requests, slowloris readers, disconnects,
 /// floods and process kills.
-fn transport_mode(out: &Path, schedules: u64, seed: u64, resume: bool) -> i32 {
-    let journal_path = out.join("transport_chaos.jsonl");
-    let (mut journal, prior) = if resume {
-        let (j, recovery) =
-            Journal::<TransportVerdict>::resume_keyed(&journal_path, |v| (v.seed, v.index))
-                .unwrap_or_else(|e| die(format!("cannot resume {}: {e}", journal_path.display())));
-        if recovery.dropped > 0 {
-            eprintln!(
-                "journal {}: discarded {} torn/damaged trailing line(s)",
-                journal_path.display(),
-                recovery.dropped
-            );
-        }
-        if recovery.duplicates > 0 {
-            eprintln!(
-                "journal {}: scrubbed {} duplicate verdict(s) (first wins)",
-                journal_path.display(),
-                recovery.duplicates
-            );
-        }
-        eprintln!(
-            "journal {}: resuming past {} checked schedule(s)",
-            journal_path.display(),
-            recovery.entries.len()
-        );
-        (j, recovery.entries)
-    } else {
-        (
-            Journal::<TransportVerdict>::create(&journal_path)
-                .unwrap_or_else(|e| die(format!("cannot create {}: {e}", journal_path.display()))),
-            Vec::new(),
-        )
-    };
-    let done: HashSet<u64> = prior
-        .iter()
-        .filter(|v| v.seed == seed)
-        .map(|v| v.index)
-        .collect();
-    let mut failures: Vec<u64> = prior
-        .iter()
-        .filter(|v| v.seed == seed && !v.passed)
-        .map(|v| v.index)
-        .collect();
+fn transport_mode(opts: &ModeOpts, schedules: u64) -> i32 {
+    let seed = opts.seed;
+    let journal_path = opts.journal_path("transport_chaos.jsonl");
+    let (mut journal, prior) = open_verdict_journal::<TransportVerdict, _>(
+        "chaos",
+        &journal_path,
+        opts.resume,
+        |v| (v.seed, v.index),
+    );
+    let (done, mut failures) = split_prior(&prior, seed, |v| (v.seed, v.index), |v| v.passed);
 
     let space = TransportFaultSpace::new(TRANSPORT_CELLS as usize);
     let cells = demo_cells(TRANSPORT_CELLS);
@@ -1151,19 +1094,588 @@ fn replay_mode(file: &str) -> i32 {
     }
 }
 
+/// One journaled composed-chaos verdict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ComposedVerdict {
+    /// Campaign seed.
+    seed: u64,
+    /// Schedule index within the campaign.
+    index: u64,
+    /// Whether the full cross-layer oracle union held.
+    passed: bool,
+    /// Layers the schedule exercised (unmasked and non-empty).
+    armed: Vec<String>,
+    /// Rendered violations (empty when passed).
+    violations: Vec<String>,
+    /// The unified cross-layer book the oracles checked.
+    ledger: CrossLedger,
+}
+
+/// Cells per composed campaign, matching the single-layer service,
+/// disk and transport campaigns so the conductor stresses the same
+/// workload they do — just all at once.
+const COMPOSED_CELLS: u64 = 6;
+
+/// Probes the fault-free composed campaign for its disk-op horizon
+/// (the index space disk faults are drawn from), then assembles the
+/// joint five-layer envelope around the given MD envelope.
+fn composed_space(md: FaultSpace) -> ComposedFaultSpace {
+    let cells = demo_cells(COMPOSED_CELLS);
+    let probe = run_composed_chaos(
+        || DemoModel,
+        &cells,
+        "demo",
+        &ComposedPlan::quiet(2),
+        &demo_flood_cells,
+        None,
+    )
+    .unwrap_or_else(|e| die(format!("fault-free composed probe failed: {e}")));
+    if !probe.passed() {
+        for v in &probe.violations {
+            eprintln!("  - {v}");
+        }
+        die("fault-free composed probe failed its own oracles");
+    }
+    ComposedFaultSpace::new(
+        md,
+        ServiceFaultSpace::new(COMPOSED_CELLS as usize, SERVICE_SHARDS),
+        TransportFaultSpace::new(COMPOSED_CELLS as usize),
+        DiskFaultSpace::new(probe.ledger.disk.disk.ops),
+        SchedFaultSpace::new(COMPOSED_CELLS as usize),
+    )
+}
+
+/// Runs one composed schedule through the conductor, wiring the MD
+/// layer to `harness` when one is supplied (corpus entries and bench
+/// rows that never arm the MD layer skip the engine entirely).
+fn run_composed(
+    harness: Option<&ChaosHarness>,
+    cells: &str,
+    plan: &ComposedPlan,
+) -> cpc_gateway::ComposedChaosReport {
+    let result = match harness {
+        Some(h) => {
+            let mut md_check = |p: &FaultPlan| h.check(p);
+            run_composed_chaos(
+                || DemoModel,
+                cells,
+                "demo",
+                plan,
+                &demo_flood_cells,
+                Some(&mut md_check),
+            )
+        }
+        None => run_composed_chaos(|| DemoModel, cells, "demo", plan, &demo_flood_cells, None),
+    };
+    result.unwrap_or_else(|e| die(format!("composed campaign I/O failure: {e}")))
+}
+
+/// Accumulates pairwise interaction coverage: a schedule covers the
+/// layer pair `(a, b)` when both layers carried armed events.
+fn cover_pairs(pairs: &mut [[u64; 5]; 5], events: &[usize; 5]) {
+    for a in 0..5 {
+        for b in (a + 1)..5 {
+            if events[a] > 0 && events[b] > 0 {
+                pairs[a][b] += 1;
+            }
+        }
+    }
+}
+
+/// Composed-chaos campaign (`--composed N`): every schedule arms all
+/// five fault layers against one serve-backed campaign, the unified
+/// `CrossLedger` is checked against the union of the single-layer
+/// oracles plus the interaction oracles, failures are triaged by the
+/// cross-layer minimizer (whole layers dropped first, then events
+/// within the survivors) into `DIR/cross-repro-IIIII.json`, and the
+/// run fails unless every pairwise layer interaction was exercised at
+/// least once.
+fn composed_mode(opts: &ModeOpts, schedules: u64) -> i32 {
+    let seed = opts.seed;
+    let journal_path = opts.journal_path("composed_chaos.jsonl");
+    let (mut journal, prior) = open_verdict_journal::<ComposedVerdict, _>(
+        "chaos",
+        &journal_path,
+        opts.resume,
+        |v| (v.seed, v.index),
+    );
+    let (done, mut failures) = split_prior(&prior, seed, |v| (v.seed, v.index), |v| v.passed);
+
+    let h = make_harness(4, 8);
+    let md_space = FaultSpace::new(
+        h.cfg().cluster.ranks,
+        h.cfg().cluster.nodes(),
+        8,
+        h.golden_wall(),
+        24,
+    );
+    let space = composed_space(md_space);
+    let cells = demo_cells(COMPOSED_CELLS);
+    println!(
+        "composed chaos campaign: seed {seed}, {schedules} schedules, all five layers \
+         armed against one {COMPOSED_CELLS}-cell campaign"
+    );
+
+    let mut pairs = [[0u64; 5]; 5];
+    for v in prior.iter().filter(|v| v.seed == seed) {
+        cover_pairs(&mut pairs, &v.ledger.layer_events);
+    }
+    let mut checked = 0u64;
+    for index in 0..schedules {
+        if done.contains(&index) {
+            continue;
+        }
+        let plan = space.sample(seed, index);
+        let report = run_composed(Some(&h), &cells, &plan);
+        checked += 1;
+        cover_pairs(&mut pairs, &report.ledger.layer_events);
+        let verdict = ComposedVerdict {
+            seed,
+            index,
+            passed: report.passed(),
+            armed: plan
+                .armed_layers()
+                .iter()
+                .map(|l| l.name().to_string())
+                .collect(),
+            violations: report.violations.iter().map(|v| v.to_string()).collect(),
+            ledger: report.ledger.clone(),
+        };
+        if let Err(e) = journal.append(&verdict) {
+            die(format!("cannot journal verdict {index}: {e}"));
+        }
+        if !verdict.passed {
+            println!("schedule {index}: {} VIOLATION(S)", verdict.violations.len());
+            for v in &verdict.violations {
+                println!("  - {v}");
+            }
+            let (min_plan, probes) =
+                minimize_composed(&plan, |cand| !run_composed(Some(&h), &cells, cand).passed());
+            let min_report = run_composed(Some(&h), &cells, &min_plan);
+            let survivors: Vec<&str> = min_plan.armed_layers().iter().map(|l| l.name()).collect();
+            let repro = CrossReproducer {
+                seed,
+                index,
+                cells: COMPOSED_CELLS as usize,
+                ranks: h.cfg().cluster.ranks,
+                nodes: h.cfg().cluster.nodes(),
+                steps: 8,
+                abft: true,
+                expect_fail: true,
+                events: min_plan.events(),
+                probes,
+                violations: min_report.violations.iter().map(|v| v.to_string()).collect(),
+                plan: min_plan,
+            };
+            let path = opts.out.join(format!("cross-repro-{index:05}.json"));
+            if let Err(e) = std::fs::write(&path, repro.to_json()) {
+                die(format!("cannot write {}: {e}", path.display()));
+            }
+            println!(
+                "  minimized to {} event(s) in layer(s) [{}] in {} probe(s): {}",
+                repro.events,
+                survivors.join(", "),
+                probes,
+                path.display()
+            );
+            failures.push(index);
+        } else if (index + 1).is_multiple_of(10) {
+            println!(
+                "schedule {index}: ok ({} incarnation(s), {} kill(s), executed {} within license {})",
+                report.ledger.gateway.incarnations,
+                report.ledger.service.kills + report.ledger.gateway.kills,
+                report.ledger.executed_true,
+                report.ledger.exec_allowance
+            );
+        }
+    }
+
+    let mut coverage = Vec::new();
+    let mut missing = Vec::new();
+    for a in 0..5 {
+        for b in (a + 1)..5 {
+            let pair = format!("{}x{}", LAYERS[a].name(), LAYERS[b].name());
+            coverage.push(format!("{pair} {}", pairs[a][b]));
+            if pairs[a][b] == 0 {
+                missing.push(pair);
+            }
+        }
+    }
+    println!("pairwise interaction coverage: {}", coverage.join(", "));
+    println!(
+        "checked {checked} fresh schedule(s) ({} total), {} violation(s)",
+        done.len() as u64 + checked,
+        failures.len()
+    );
+    if !failures.is_empty() {
+        failures.sort_unstable();
+        failures.dedup();
+        println!("failing schedules: {failures:?}");
+        return 1;
+    }
+    if done.len() as u64 + checked > 0 && !missing.is_empty() {
+        println!(
+            "COVERAGE FAILURE: pairwise interaction(s) never exercised: {}",
+            missing.join(", ")
+        );
+        return 1;
+    }
+    println!("the full cross-layer oracle union held on every schedule");
+    0
+}
+
+/// Composed plant self-test (`--plant-composed`): proves the
+/// cross-layer oracles and minimizer catch a known-bad composed
+/// schedule, then seeds the replayable reproducer corpus with a
+/// regression pin (must still fail) and a determinism pin (must still
+/// pass, byte-identical verdict).
+fn plant_composed_mode(corpus: &Path) -> i32 {
+    if let Err(e) = std::fs::create_dir_all(corpus) {
+        die(format!("cannot create {}: {e}", corpus.display()));
+    }
+    let cells = demo_cells(COMPOSED_CELLS);
+
+    // (a) Regression pin: the gray-zone MD flip the single-layer plant
+    // uses, checked with ABFT disarmed so it is actually harmful —
+    // buried under sampled noise in the other four layers, so the
+    // minimizer has whole layers to discard before it can shrink.
+    let h = make_disarmed_harness(4, 8);
+    let md_space = FaultSpace::new(
+        h.cfg().cluster.ranks,
+        h.cfg().cluster.nodes(),
+        8,
+        h.golden_wall(),
+        24,
+    );
+    let space = composed_space(md_space);
+    let (index, planted_md) = planted_from_space(&space.md, 7);
+    let mut plan = space.sample(7, index);
+    plan.md = planted_md;
+    println!(
+        "planted composed schedule: campaign index {index}, gray flip {:?} buried under \
+         {} noise event(s) across the other four layers",
+        plan.md.sdc[0],
+        plan.events() - 1
+    );
+    let report = run_composed(Some(&h), &cells, &plan);
+    if report.passed() {
+        eprintln!("PLANT FAILURE: the known-bad composed schedule passed every oracle");
+        return 1;
+    }
+    println!(
+        "caught: {} violation(s), first: {}",
+        report.violations.len(),
+        report.violations[0]
+    );
+    let (min_plan, probes) =
+        minimize_composed(&plan, |cand| !run_composed(Some(&h), &cells, cand).passed());
+    let min_report = run_composed(Some(&h), &cells, &min_plan);
+    if min_report.passed() {
+        eprintln!("PLANT FAILURE: minimized reproducer no longer fails");
+        return 1;
+    }
+    let survivors: Vec<&str> = min_plan.armed_layers().iter().map(|l| l.name()).collect();
+    println!(
+        "minimized {} -> {} event(s) in layer(s) [{}] in {} probe(s)",
+        plan.events(),
+        min_plan.events(),
+        survivors.join(", "),
+        probes
+    );
+    if min_plan.events() > 10 {
+        eprintln!(
+            "PLANT FAILURE: reproducer kept {} events (> 10)",
+            min_plan.events()
+        );
+        return 1;
+    }
+    let repro = CrossReproducer {
+        seed: 7,
+        index,
+        cells: COMPOSED_CELLS as usize,
+        ranks: h.cfg().cluster.ranks,
+        nodes: h.cfg().cluster.nodes(),
+        steps: 8,
+        abft: false,
+        expect_fail: true,
+        events: min_plan.events(),
+        probes,
+        violations: min_report.violations.iter().map(|v| v.to_string()).collect(),
+        plan: min_plan,
+    };
+    let path = corpus.join("planted_cross.json");
+    if let Err(e) = std::fs::write(&path, repro.to_json()) {
+        die(format!("cannot write {}: {e}", path.display()));
+    }
+    println!("regression pin: {}", path.display());
+
+    // The artifact must replay with a byte-identical verdict.
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| die(format!("cannot read {}: {e}", path.display())));
+    let parsed = CrossReproducer::from_json(&text)
+        .unwrap_or_else(|e| die(format!("cannot parse {}: {e}", path.display())));
+    let replayed = run_composed(Some(&h), &cells, &parsed.plan);
+    let rendered: Vec<String> = replayed.violations.iter().map(|v| v.to_string()).collect();
+    if replayed.passed() || rendered != repro.violations {
+        eprintln!("PLANT FAILURE: reproducer replay diverged from the recorded verdict");
+        return 1;
+    }
+    println!("replay of the regression pin still fails with a byte-identical verdict");
+
+    // (b) Determinism pin: a passing sampled schedule with all five
+    // layers armed and ABFT armed; replay must pass with an empty,
+    // byte-identical verdict.
+    let armed = make_harness(4, 8);
+    let armed_space = composed_space(FaultSpace::new(
+        armed.cfg().cluster.ranks,
+        armed.cfg().cluster.nodes(),
+        8,
+        armed.golden_wall(),
+        24,
+    ));
+    let pin_plan = armed_space.sample(7, 0);
+    let pin_report = run_composed(Some(&armed), &cells, &pin_plan);
+    if !pin_report.passed() {
+        eprintln!("PLANT FAILURE: the determinism-pin schedule fails its oracles:");
+        for v in &pin_report.violations {
+            eprintln!("  - {v}");
+        }
+        return 1;
+    }
+    let pin = CrossReproducer {
+        seed: 7,
+        index: 0,
+        cells: COMPOSED_CELLS as usize,
+        ranks: armed.cfg().cluster.ranks,
+        nodes: armed.cfg().cluster.nodes(),
+        steps: 8,
+        abft: true,
+        expect_fail: false,
+        events: pin_plan.events(),
+        probes: 0,
+        violations: Vec::new(),
+        plan: pin_plan,
+    };
+    let path = corpus.join("determinism_pin.json");
+    if let Err(e) = std::fs::write(&path, pin.to_json()) {
+        die(format!("cannot write {}: {e}", path.display()));
+    }
+    println!("determinism pin: {}", path.display());
+    0
+}
+
+/// Corpus replay (`--replay-corpus DIR`): re-runs every reproducer in
+/// the checked-in corpus and holds each to its recorded expectation —
+/// regression pins must still fail, determinism pins must still pass,
+/// and in both cases the rendered verdict must be byte-identical to
+/// the one recorded in the artifact.
+fn replay_corpus_mode(dir: &Path) -> i32 {
+    let entries = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| die(format!("cannot read corpus {}: {e}", dir.display())));
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        die(format!("corpus {} holds no reproducers", dir.display()));
+    }
+    let mut harnesses: HashMap<(usize, usize, bool), ChaosHarness> = HashMap::new();
+    let mut bad = 0usize;
+    for path in &paths {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(format!("cannot read {}: {e}", path.display())));
+        let repro = CrossReproducer::from_json(&text)
+            .unwrap_or_else(|e| die(format!("cannot parse {}: {e}", path.display())));
+        let cells = demo_cells(repro.cells as u64);
+        let report = if repro.plan.armed(Layer::Md) {
+            let h = harnesses
+                .entry((repro.ranks, repro.steps, repro.abft))
+                .or_insert_with(|| {
+                    if repro.abft {
+                        make_harness(repro.ranks, repro.steps)
+                    } else {
+                        make_disarmed_harness(repro.ranks, repro.steps)
+                    }
+                });
+            run_composed(Some(h), &cells, &repro.plan)
+        } else {
+            run_composed(None, &cells, &repro.plan)
+        };
+        let failed = !report.passed();
+        let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+        let name = path.file_name().unwrap_or_default().to_string_lossy();
+        if failed != repro.expect_fail {
+            println!(
+                "{name}: MISMATCH — expected {}, got {}",
+                if repro.expect_fail { "fail" } else { "pass" },
+                if failed { "fail" } else { "pass" }
+            );
+            bad += 1;
+        } else if rendered != repro.violations {
+            println!("{name}: NONDETERMINISTIC — verdict diverged from the recorded one");
+            bad += 1;
+        } else {
+            println!(
+                "{name}: ok ({} as recorded, {} armed event(s))",
+                if failed { "fails" } else { "passes" },
+                repro.plan.events()
+            );
+        }
+    }
+    println!("replayed {} reproducer(s), {} mismatch(es)", paths.len(), bad);
+    if bad == 0 {
+        0
+    } else {
+        1
+    }
+}
+
+/// One timed row of `BENCH_chaos.json`.
+#[derive(Debug, Clone, Serialize)]
+struct BenchRow {
+    mode: &'static str,
+    schedules: u64,
+    wall_s: f64,
+    schedules_per_sec: f64,
+}
+
+/// The `BENCH_chaos.json` artifact.
+#[derive(Debug, Clone, Serialize)]
+struct BenchOut {
+    host_cpus: usize,
+    note: &'static str,
+    modes: Vec<BenchRow>,
+}
+
+/// Throughput snapshot (`--bench`): schedules/second for each
+/// single-layer chaos harness and for the composed conductor, written
+/// to `DIR/BENCH_chaos.json`. The composed rows drive the full
+/// five-layer conductor but skip the MD engine (the campaign rows of
+/// the MD harness are what price that layer).
+fn bench_mode(out: &Path) -> i32 {
+    use std::time::Instant;
+    const K: u64 = 12;
+    let scratch = std::env::temp_dir().join(format!("cpc-bench-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let time = |mode: &'static str, n: u64, run: &mut dyn FnMut(u64)| -> BenchRow {
+        let t0 = Instant::now();
+        for i in 0..n {
+            run(i);
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        let row = BenchRow {
+            mode,
+            schedules: n,
+            wall_s,
+            schedules_per_sec: n as f64 / wall_s,
+        };
+        println!(
+            "{mode}: {n} schedule(s) in {wall_s:.3} s = {:.1} schedules/s",
+            row.schedules_per_sec
+        );
+        row
+    };
+
+    let key_of = |r: &Vec<f64>| serde_json::to_string(&(r[0] as u64)).expect("key serializes");
+    let exec = |t: &u64| -> (Vec<f64>, f64) { (vec![*t as f64, (*t * *t) as f64], 0.25) };
+
+    let tasks: Vec<u64> = (0..SERVICE_CELLS).collect();
+    let sspace = ServiceFaultSpace::new(SERVICE_CELLS as usize, SERVICE_SHARDS);
+    let mut sexec = exec;
+    let row = time("service", K, &mut |i| {
+        let dir = scratch.join(format!("sv{i}"));
+        let plan = sspace.sample(7, i);
+        let r = run_service_chaos(&dir, &tasks, "bench-service", &plan, key_of, &mut sexec)
+            .unwrap_or_else(|e| die(format!("service bench schedule {i} failed: {e}")));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(r.passed(), "service bench schedule {i} violated an oracle");
+    });
+    rows.push(row);
+
+    let probe = run_disk_chaos(&tasks, "bench-disk", &DiskFaultPlan::none(), key_of, exec)
+        .unwrap_or_else(|e| die(format!("disk bench probe failed: {e}")));
+    let dspace = DiskFaultSpace::new(probe.ledger.disk.ops);
+    let row = time("disk", K, &mut |i| {
+        let plan = dspace.sample(7, i);
+        let r = run_disk_chaos(&tasks, "bench-disk", &plan, key_of, exec)
+            .unwrap_or_else(|e| die(format!("disk bench schedule {i} failed: {e}")));
+        assert!(r.passed(), "disk bench schedule {i} violated an oracle");
+    });
+    rows.push(row);
+
+    let cells = demo_cells(COMPOSED_CELLS);
+    let tspace = TransportFaultSpace::new(COMPOSED_CELLS as usize);
+    let row = time("transport", K, &mut |i| {
+        let dir = scratch.join(format!("tr{i}"));
+        let plan = tspace.sample(7, i);
+        let r = run_gateway_chaos(&dir, || DemoModel, &cells, "demo", &plan, &demo_flood_cells)
+            .unwrap_or_else(|e| die(format!("transport bench schedule {i} failed: {e}")));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(r.passed(), "transport bench schedule {i} violated an oracle");
+    });
+    rows.push(row);
+
+    let stasks: Vec<u64> = (0..SCHED_CELLS).collect();
+    let xspace = SchedFaultSpace::new(SCHED_CELLS as usize);
+    let row = time("sched", K, &mut |i| {
+        let dir = scratch.join(format!("sc{i}"));
+        let plan = xspace.sample(7, i);
+        let r = run_sched_chaos(&dir, &stasks, "bench-sched", &plan, key_of, exec)
+            .unwrap_or_else(|e| die(format!("sched bench schedule {i} failed: {e}")));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(r.passed(), "sched bench schedule {i} violated an oracle");
+    });
+    rows.push(row);
+
+    let cspace = composed_space(FaultSpace::new(4, 4, 8, 2.0, 24));
+    let row = time("composed", K, &mut |i| {
+        let plan = cspace.sample(7, i);
+        let r = run_composed(None, &cells, &plan);
+        assert!(r.passed(), "composed bench schedule {i} violated an oracle");
+    });
+    rows.push(row);
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let artifact = BenchOut {
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        note: "schedules/second per chaos harness; composed rows drive the full \
+               five-layer conductor with the MD engine unwired",
+        modes: rows,
+    };
+    let path = out.join("BENCH_chaos.json");
+    let json = serde_json::to_string_pretty(&artifact).expect("bench artifact serializes");
+    if let Err(e) = std::fs::write(&path, json) {
+        die(format!("cannot write {}: {e}", path.display()));
+    }
+    println!("artifact: {}", path.display());
+    0
+}
+
 fn main() {
     let mut args = Args::parse("chaos", USAGE);
     let out = args
         .value("--out")
         .unwrap_or_else(|| "results/chaos".to_string());
     let replay = args.value("--replay");
+    let replay_corpus = args.value("--replay-corpus");
+    let corpus = args
+        .value("--corpus")
+        .unwrap_or_else(|| "reproducers".to_string());
     let plant = args.flag("--plant");
+    let plant_composed = args.flag("--plant-composed");
     let straggle_smoke = args.flag("--straggle-smoke");
     let abft_smoke = args.flag("--abft-smoke");
+    let bench = args.flag("--bench");
     let service: Option<u64> = args.parsed("--service", "an integer schedule count");
     let transport: Option<u64> = args.parsed("--transport", "an integer schedule count");
     let disk: Option<u64> = args.parsed("--disk", "an integer schedule count");
     let sched: Option<u64> = args.parsed("--sched", "an integer schedule count");
+    let composed: Option<u64> = args.parsed("--composed", "an integer schedule count");
     let schedules: u64 = args
         .parsed("--schedules", "an integer schedule count")
         .unwrap_or(50);
@@ -1172,18 +1684,45 @@ fn main() {
     let steps: usize = args.parsed("--steps", "an integer step count").unwrap_or(8);
     let soak = args.flag("--soak");
     let resume = args.flag("--resume");
+    let journal = args.value("--journal").map(PathBuf::from);
+    args.exclusive(&[
+        ("--service", service.is_some()),
+        ("--transport", transport.is_some()),
+        ("--disk", disk.is_some()),
+        ("--sched", sched.is_some()),
+        ("--composed", composed.is_some()),
+        ("--plant", plant),
+        ("--plant-composed", plant_composed),
+        ("--replay", replay.is_some()),
+        ("--replay-corpus", replay_corpus.is_some()),
+        ("--straggle-smoke", straggle_smoke),
+        ("--abft-smoke", abft_smoke),
+        ("--bench", bench),
+    ]);
     args.finish();
 
     let out = PathBuf::from(out);
     if let Err(e) = std::fs::create_dir_all(&out) {
         die(format!("cannot create {}: {e}", out.display()));
     }
+    let opts = ModeOpts {
+        out: out.clone(),
+        seed,
+        resume,
+        journal,
+    };
 
     if let Some(file) = replay {
         std::process::exit(replay_mode(&file));
     }
+    if let Some(dir) = replay_corpus {
+        std::process::exit(replay_corpus_mode(Path::new(&dir)));
+    }
     if plant {
         std::process::exit(plant_mode(&out));
+    }
+    if plant_composed {
+        std::process::exit(plant_composed_mode(Path::new(&corpus)));
     }
     if straggle_smoke {
         std::process::exit(straggle_smoke_mode(&out));
@@ -1191,60 +1730,40 @@ fn main() {
     if abft_smoke {
         std::process::exit(abft_smoke_mode(&out));
     }
+    if bench {
+        std::process::exit(bench_mode(&out));
+    }
     if let Some(n) = service {
-        std::process::exit(service_mode(&out, n, seed, resume));
+        std::process::exit(service_mode(&opts, n));
     }
     if let Some(n) = transport {
-        std::process::exit(transport_mode(&out, n, seed, resume));
+        std::process::exit(transport_mode(&opts, n));
     }
     if let Some(n) = disk {
-        std::process::exit(disk_mode(&out, n, seed, resume));
+        std::process::exit(disk_mode(&opts, n));
     }
     if let Some(n) = sched {
-        std::process::exit(sched_mode(&out, n, seed, resume));
+        std::process::exit(sched_mode(&opts, n));
     }
+    if let Some(n) = composed {
+        std::process::exit(composed_mode(&opts, n));
+    }
+    std::process::exit(campaign_mode(&opts, schedules, soak, ranks, steps));
+}
 
-    let journal_path = out.join("chaos.jsonl");
-    let (mut journal, prior) = if resume {
-        let (j, recovery) = Journal::<Verdict>::resume_keyed(&journal_path, |v| (v.seed, v.index))
-            .unwrap_or_else(|e| die(format!("cannot resume {}: {e}", journal_path.display())));
-        if recovery.dropped > 0 {
-            eprintln!(
-                "journal {}: discarded {} torn/damaged trailing line(s)",
-                journal_path.display(),
-                recovery.dropped
-            );
-        }
-        if recovery.duplicates > 0 {
-            eprintln!(
-                "journal {}: scrubbed {} duplicate verdict(s) (first wins)",
-                journal_path.display(),
-                recovery.duplicates
-            );
-        }
-        eprintln!(
-            "journal {}: resuming past {} checked schedule(s)",
-            journal_path.display(),
-            recovery.entries.len()
-        );
-        (j, recovery.entries)
-    } else {
-        (
-            Journal::<Verdict>::create(&journal_path)
-                .unwrap_or_else(|e| die(format!("cannot create {}: {e}", journal_path.display()))),
-            Vec::new(),
-        )
-    };
-    let done: HashSet<u64> = prior
-        .iter()
-        .filter(|v| v.seed == seed)
-        .map(|v| v.index)
-        .collect();
-    let mut failures: Vec<u64> = prior
-        .iter()
-        .filter(|v| v.seed == seed && !v.report.passed())
-        .map(|v| v.index)
-        .collect();
+/// The default MD-layer campaign: schedules `0..N` (or unbounded under
+/// `--soak`) sampled from `(seed, index)`, checked by the full oracle
+/// suite, failures minimized to reproducer artifacts.
+fn campaign_mode(opts: &ModeOpts, schedules: u64, soak: bool, ranks: usize, steps: usize) -> i32 {
+    let seed = opts.seed;
+    let out = &opts.out;
+    let journal_path = opts.journal_path("chaos.jsonl");
+    let (mut journal, prior) =
+        open_verdict_journal::<Verdict, _>("chaos", &journal_path, opts.resume, |v| {
+            (v.seed, v.index)
+        });
+    let (done, mut failures) =
+        split_prior(&prior, seed, |v| (v.seed, v.index), |v| v.report.passed());
 
     let h = make_harness(ranks, steps);
     let space = FaultSpace::new(
@@ -1292,7 +1811,7 @@ fn main() {
                 println!("  - {v}");
             }
             let repro = h.minimize_to_reproducer(&plan, seed, index);
-            let path = write_reproducer(&out, &format!("repro-{index:05}.json"), &repro);
+            let path = write_reproducer(out, &format!("repro-{index:05}.json"), &repro);
             println!(
                 "  minimized to {} event(s) in {} probe(s): {}",
                 repro.events,
@@ -1318,7 +1837,8 @@ fn main() {
         failures.sort_unstable();
         failures.dedup();
         println!("failing schedules: {failures:?}");
-        std::process::exit(1);
+        return 1;
     }
     println!("all oracles held");
+    0
 }

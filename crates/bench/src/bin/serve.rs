@@ -22,7 +22,11 @@
 //!   grants, woken by each handled request — executing them on an
 //!   N-thread work-stealing pool under `--threads N` (default 1;
 //!   results commit in task-index order, so the journal is
-//!   byte-identical at every thread count). `--kill-after N` arms the
+//!   byte-identical at every thread count). Connections are accepted
+//!   by a bounded worker pool (the global `cpc_pool` width, clamped
+//!   to 1..=8) that reads requests and writes responses outside the
+//!   gateway lock, so a slow client stalls one worker, not the
+//!   server. `--kill-after N` arms the
 //!   service kill switch: the process exits with code 3 after its
 //!   N-th fresh cell, and restarting with the same `--root` resumes
 //!   from the durable queue alone.
@@ -229,15 +233,33 @@ fn serve(
         *rung = false;
     });
 
-    for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
-        let mut conn = TcpConn::new(stream, deadline);
-        gw.lock().expect("gateway lock").handle(&mut conn);
-        let (pending, bell) = &*wake;
-        *pending.lock().expect("pump wake lock") = true;
-        bell.notify_one();
-    }
-    unreachable!("listener.incoming() never returns None");
+    // Bounded accept-worker pool: `accept` is thread-safe on a shared
+    // listener, so each worker loops accept -> handle -> ring the pump
+    // bell. Requests are read and responses written outside the
+    // gateway lock (`handle_shared`), so one slowloris peer stalls
+    // only its own worker; routing itself stays serialized, which
+    // keeps admission order — and therefore the journal bytes —
+    // identical to the single-threaded accept loop's.
+    let workers = cpc_pool::global().threads().clamp(1, 8);
+    eprintln!("serve: {workers} accept worker(s)");
+    let listener = &listener;
+    cpc_pool::scope(|s| {
+        for _ in 0..workers {
+            let gw = Arc::clone(&gw);
+            let wake = Arc::clone(&wake);
+            s.spawn(move || loop {
+                let Ok((stream, _)) = listener.accept() else {
+                    continue;
+                };
+                let mut conn = TcpConn::new(stream, deadline);
+                Gateway::handle_shared(&gw, &mut conn);
+                let (pending, bell) = &*wake;
+                *pending.lock().expect("pump wake lock") = true;
+                bell.notify_one();
+            });
+        }
+    });
+    unreachable!("accept workers never exit");
 }
 
 fn main() {

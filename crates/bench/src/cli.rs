@@ -9,7 +9,10 @@
 //! 1 = a gate failed, 2 = the run never validly started, 3 =
 //! [`EXIT_CELL_BUDGET`](cpc_workload::figures::EXIT_CELL_BUDGET)).
 
+use cpc_workload::journal::{Journal, Recovery};
+use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
 use std::str::FromStr;
 
 /// Exit code for usage and environment errors.
@@ -166,6 +169,30 @@ impl Args {
         })
     }
 
+    /// Rejects an invocation selecting more than one of a set of
+    /// mutually exclusive modes. `selected` pairs each mode flag with
+    /// whether the invocation chose it.
+    pub fn exclusive(&self, selected: &[(&str, bool)]) {
+        if let Err(e) = Self::try_exclusive(selected) {
+            self.die(e);
+        }
+    }
+
+    fn try_exclusive(selected: &[(&str, bool)]) -> Result<(), CliError> {
+        let on: Vec<&str> = selected
+            .iter()
+            .filter(|(_, chosen)| *chosen)
+            .map(|(flag, _)| *flag)
+            .collect();
+        if on.len() > 1 {
+            Err(CliError::Conflict {
+                message: format!("{} are mutually exclusive", on.join(" and ")),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
     /// Fails on anything no accessor consumed.
     pub fn finish(self) {
         if let Err(e) = self.try_finish() {
@@ -182,6 +209,60 @@ impl Args {
             Ok(())
         } else {
             Err(CliError::UnknownArgs { args: leftover })
+        }
+    }
+}
+
+/// Opens (or resumes) a per-mode verdict journal with the recovery
+/// discipline every chaos campaign shares: `resume` recovers the
+/// intact prefix through [`Journal::resume_keyed`] (torn tails
+/// discarded and counted, duplicate verdicts scrubbed first-wins) and
+/// reports what recovery did on stderr; a fresh run truncates. Any
+/// journal I/O failure is a [`EXIT_USAGE`] environment error — the
+/// campaign never validly started.
+pub fn open_verdict_journal<V, K>(
+    tool: &str,
+    path: &Path,
+    resume: bool,
+    key_of: impl Fn(&V) -> K,
+) -> (Journal<V>, Vec<V>)
+where
+    V: Serialize + Deserialize,
+    K: std::hash::Hash + Eq,
+{
+    let fail = |verb: &str, e: std::io::Error| -> ! {
+        eprintln!("{tool}: cannot {verb} {}: {e}", path.display());
+        std::process::exit(EXIT_USAGE);
+    };
+    if resume {
+        let (journal, recovery): (_, Recovery<V>) = match Journal::resume_keyed(path, key_of) {
+            Ok(pair) => pair,
+            Err(e) => fail("resume", e),
+        };
+        if recovery.dropped > 0 {
+            eprintln!(
+                "journal {}: discarded {} torn/damaged trailing line(s)",
+                path.display(),
+                recovery.dropped
+            );
+        }
+        if recovery.duplicates > 0 {
+            eprintln!(
+                "journal {}: scrubbed {} duplicate verdict(s) (first wins)",
+                path.display(),
+                recovery.duplicates
+            );
+        }
+        eprintln!(
+            "journal {}: resuming past {} checked schedule(s)",
+            path.display(),
+            recovery.entries.len()
+        );
+        (journal, recovery.entries)
+    } else {
+        match Journal::create(path) {
+            Ok(journal) => (journal, Vec::new()),
+            Err(e) => fail("create", e),
         }
     }
 }
@@ -247,6 +328,18 @@ mod tests {
             a.try_finish(),
             Err(CliError::UnknownArgs {
                 args: vec!["--seed".into(), "2".into()]
+            })
+        );
+    }
+
+    #[test]
+    fn exclusive_modes_conflict_only_when_two_are_chosen() {
+        assert_eq!(Args::try_exclusive(&[("--a", false), ("--b", false)]), Ok(()));
+        assert_eq!(Args::try_exclusive(&[("--a", true), ("--b", false)]), Ok(()));
+        assert_eq!(
+            Args::try_exclusive(&[("--a", true), ("--b", true), ("--c", false)]),
+            Err(CliError::Conflict {
+                message: "--a and --b are mutually exclusive".into()
             })
         );
     }

@@ -44,7 +44,10 @@
 use crate::ckpt::DurableConfig;
 use crate::driver::MdConfig;
 use crate::recover::{run_parallel_md_faulty, AbftConfig, FaultConfig, FtReport, RecoveryConfig};
-use cpc_cluster::{FaultPlan, LinkDegradation, RankCrash, SdcFault, StorageFault, Straggler};
+use cpc_cluster::{
+    ComposedPlan, FaultPlan, Layer, LinkDegradation, RankCrash, SdcFault, StorageFault, Straggler,
+    LAYERS,
+};
 use cpc_md::System;
 use cpc_vfs::DiskCounters;
 use serde::{Deserialize, Serialize};
@@ -1901,6 +1904,424 @@ pub fn check_disk_ledger(ledger: &DiskLedger) -> Vec<DiskViolation> {
     violations
 }
 
+/// Every single-layer ledger of one composed chaos schedule absorbed
+/// into a single book, plus the conductor's own ground-truth
+/// execution accounting. Filled by `run_composed_chaos`
+/// (`cpc-gateway`), convicted by [`check_cross_ledger`].
+///
+/// The sub-ledgers are kept to their own layers' contracts: the
+/// service, transport and disk books sum the per-incarnation
+/// outcome-derived counters exactly as their single-layer
+/// drivers do (a service instance the gateway revives internally is
+/// absorbed conservatively — its executions under-count, never
+/// over-count), while `executed_true` counts **every** model
+/// execution across every incarnation and revival via the
+/// conductor's counting wrapper, and is bounded by the composed
+/// re-execution license `exec_allowance`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CrossLedger {
+    /// MD-layer verdict (`None` when the MD layer is masked).
+    pub md: Option<ScheduleReport>,
+    /// Service-layer book (kills, torn writes, stale leases).
+    pub service: ServiceLedger,
+    /// Transport-layer book (the gateway's connection accounting).
+    pub gateway: GatewayLedger,
+    /// Disk-layer book (restarts, ENOSPC lifts, acked-then-lost).
+    pub disk: DiskLedger,
+    /// Scheduler-layer book (steals, pauses, panic containment).
+    pub sched: SchedLedger,
+    /// Armed events per layer, in [`LAYERS`] order
+    /// (md, service, transport, disk, sched) — the pairwise
+    /// interaction-coverage record of this schedule.
+    pub layer_events: [usize; 5],
+    /// Ground truth: model executions observed by the conductor's
+    /// counting wrapper, across every incarnation and revival.
+    pub executed_true: usize,
+    /// The composed re-execution license: `total_cells` plus one
+    /// stranded batch per incarnation/restart/retry boundary plus one
+    /// re-execution per destroyed or dropped durable line, reclaimed
+    /// lease, injected panic and stale lease. Computed by the
+    /// conductor, which sees every boundary.
+    pub exec_allowance: usize,
+    /// FNV-1a digest of the drained campaign artifact.
+    pub artifact_digest: Option<u64>,
+    /// FNV-1a digest of the fault-free serial reference artifact.
+    pub reference_digest: Option<u64>,
+}
+
+/// One violation of the composed chaos oracles: a single-layer
+/// conviction lifted into its layer, or one of the cross-layer
+/// interaction oracles only a composed schedule can exercise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CrossViolation {
+    /// An MD-layer oracle fired.
+    Md {
+        /// The underlying violation.
+        violation: Violation,
+    },
+    /// A service-layer oracle fired.
+    Service {
+        /// The underlying violation.
+        violation: ServiceViolation,
+    },
+    /// A transport-layer (gateway) oracle fired.
+    Transport {
+        /// The underlying violation.
+        violation: GatewayViolation,
+    },
+    /// A disk-layer oracle fired.
+    Disk {
+        /// The underlying violation.
+        violation: DiskViolation,
+    },
+    /// A scheduler-layer oracle fired.
+    Sched {
+        /// The underlying violation.
+        violation: SchedViolation,
+    },
+    /// A durably-acknowledged result vanished while both a disk fault
+    /// and a process kill were armed — the interaction the disk
+    /// layer's own oracle cannot attribute: the loss needed a fault
+    /// *and* a recovery racing it.
+    AckedThenLostAcrossLayers {
+        /// Acked results that vanished.
+        lost: usize,
+        /// Disk events armed in the schedule.
+        disk_events: usize,
+        /// Process kills (service + gateway) in the schedule.
+        kills: usize,
+    },
+    /// Ground-truth executions exceeded the composed re-execution
+    /// license — duplicate work that no single layer's book convicts
+    /// (each absorbs only its own instances' counters).
+    DuplicateExecutionAcrossLayers {
+        /// Executions the conductor observed.
+        executed: usize,
+        /// The composed license.
+        allowance: usize,
+    },
+    /// The drained artifact is not byte-identical to the fault-free
+    /// serial reference — the composed end-to-end identity statement.
+    DrainedArtifactDiverged {
+        /// Digest of the drained artifact.
+        artifact: Option<u64>,
+        /// Digest of the reference artifact.
+        reference: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for CrossViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrossViolation::Md { violation } => write!(f, "md: {violation}"),
+            CrossViolation::Service { violation } => write!(f, "service: {violation}"),
+            CrossViolation::Transport { violation } => write!(f, "transport: {violation}"),
+            CrossViolation::Disk { violation } => write!(f, "disk: {violation}"),
+            CrossViolation::Sched { violation } => write!(f, "sched: {violation}"),
+            CrossViolation::AckedThenLostAcrossLayers {
+                lost,
+                disk_events,
+                kills,
+            } => write!(
+                f,
+                "cross: {lost} acked results lost under {disk_events} disk events x {kills} kills"
+            ),
+            CrossViolation::DuplicateExecutionAcrossLayers {
+                executed,
+                allowance,
+            } => write!(
+                f,
+                "cross: duplicate execution: {executed} ran, {allowance} licensed across layers"
+            ),
+            CrossViolation::DrainedArtifactDiverged {
+                artifact,
+                reference,
+            } => write!(
+                f,
+                "cross: drained artifact {} != serial reference {}",
+                fmt_digest(*artifact),
+                fmt_digest(*reference)
+            ),
+        }
+    }
+}
+
+/// Checks the union of every single-layer oracle plus the
+/// cross-layer interaction oracles over one [`CrossLedger`].
+///
+/// The scheduler book is the one place the union is not verbatim:
+/// its single-layer `DuplicateExecution` bound (`executed <=
+/// total_cells`, no license term) presumes a kill-free, disk-free
+/// world, and in a composed schedule kills and storage faults
+/// legitimately license re-execution. That bound is filtered out
+/// here and carried instead by [`CrossViolation::
+/// DuplicateExecutionAcrossLayers`], whose allowance accounts for
+/// every layer's licenses. Every other scheduler oracle (ordered
+/// commits, deadlock, panic containment, pool reusability, stale
+/// leases, artifact identity) applies unchanged.
+pub fn check_cross_ledger(ledger: &CrossLedger) -> Vec<CrossViolation> {
+    let mut violations = Vec::new();
+    if let Some(md) = &ledger.md {
+        violations.extend(
+            md.violations
+                .iter()
+                .cloned()
+                .map(|violation| CrossViolation::Md { violation }),
+        );
+    }
+    violations.extend(
+        check_service_ledger(&ledger.service)
+            .into_iter()
+            .map(|violation| CrossViolation::Service { violation }),
+    );
+    violations.extend(
+        check_gateway_ledger(&ledger.gateway)
+            .into_iter()
+            .map(|violation| CrossViolation::Transport { violation }),
+    );
+    violations.extend(
+        check_disk_ledger(&ledger.disk)
+            .into_iter()
+            .map(|violation| CrossViolation::Disk { violation }),
+    );
+    violations.extend(
+        check_sched_ledger(&ledger.sched)
+            .into_iter()
+            .filter(|v| !matches!(v, SchedViolation::DuplicateExecution { .. }))
+            .map(|violation| CrossViolation::Sched { violation }),
+    );
+
+    // Interaction oracle 1: acked-then-lost across a disk fault and a
+    // process kill. (With only the disk layer armed the disk book's
+    // own AckedThenLost conviction stands alone.)
+    let kills = ledger.service.kills + ledger.gateway.kills;
+    if ledger.disk.acked_then_lost > 0 && ledger.layer_events[3] > 0 && kills > 0 {
+        violations.push(CrossViolation::AckedThenLostAcrossLayers {
+            lost: ledger.disk.acked_then_lost,
+            disk_events: ledger.layer_events[3],
+            kills,
+        });
+    }
+    // Interaction oracle 2: the global execution bound.
+    if ledger.executed_true > ledger.exec_allowance {
+        violations.push(CrossViolation::DuplicateExecutionAcrossLayers {
+            executed: ledger.executed_true,
+            allowance: ledger.exec_allowance,
+        });
+    }
+    // Interaction oracle 3: end-to-end byte identity. `None` never
+    // matches — two unreadable artifacts are not "identical".
+    if ledger.artifact_digest.is_none()
+        || ledger.reference_digest.is_none()
+        || ledger.artifact_digest != ledger.reference_digest
+    {
+        violations.push(CrossViolation::DrainedArtifactDiverged {
+            artifact: ledger.artifact_digest,
+            reference: ledger.reference_digest,
+        });
+    }
+    violations
+}
+
+/// Generic ddmin over one layer's fault list: remove complements of
+/// progressively finer chunks while `fails` keeps returning true.
+/// Never probes the empty list (removing a layer's every event is
+/// the layer-drop probe, which phase 0 of [`minimize_composed`]
+/// already refuted for surviving layers).
+fn ddmin_layer<E: Clone, F>(events: Vec<E>, mut fails: F, probes: &mut usize) -> Vec<E>
+where
+    F: FnMut(&[E]) -> bool,
+{
+    let mut events = events;
+    let mut n = 2usize;
+    while events.len() >= 2 {
+        let chunk = events.len().div_ceil(n);
+        let mut reduced = false;
+        for i in 0..n {
+            let (lo, hi) = (i * chunk, ((i + 1) * chunk).min(events.len()));
+            if lo >= hi {
+                continue;
+            }
+            let complement: Vec<E> = events[..lo].iter().chain(&events[hi..]).cloned().collect();
+            if complement.is_empty() {
+                continue;
+            }
+            *probes += 1;
+            if fails(&complement) {
+                events = complement;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            n = n.saturating_sub(1).max(2);
+        } else {
+            if n >= events.len() {
+                break;
+            }
+            n = (n * 2).min(events.len());
+        }
+    }
+    events
+}
+
+/// Cross-layer delta-debugging minimization: given a composed plan
+/// whose schedule makes `fails` return true, returns a (locally)
+/// minimal composed plan that still fails, plus the number of probes
+/// spent.
+///
+/// Phase 0 triages **whole layers**: in [`LAYERS`] order, to a
+/// fixpoint, each armed layer is masked out and the mask kept
+/// whenever the failure persists — masking is a pure projection
+/// (per-layer sub-channels), so dropping one layer never perturbs
+/// another's events. Phase 1 then runs ddmin over the event list of
+/// each surviving layer (the MD layer additionally gets the scalar
+/// severity-halving pass of [`minimize`]). The empty schedule is
+/// never probed.
+pub fn minimize_composed<F>(plan: &ComposedPlan, mut fails: F) -> (ComposedPlan, usize)
+where
+    F: FnMut(&ComposedPlan) -> bool,
+{
+    let mut current = plan.clone();
+    let mut probes = 0usize;
+
+    // Phase 0: drop whole layers.
+    loop {
+        let mut changed = false;
+        for layer in LAYERS {
+            if !current.armed(layer) {
+                continue;
+            }
+            let candidate = current.masked(current.mask.without(layer));
+            if candidate.armed_layers().is_empty() {
+                continue;
+            }
+            probes += 1;
+            if fails(&candidate) {
+                current = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Phase 1: ddmin events within each surviving layer.
+    if current.armed(Layer::Md) {
+        let base = current.clone();
+        let (md, md_probes) = minimize(&current.md, |candidate| {
+            let mut probe = base.clone();
+            probe.md = candidate.clone();
+            fails(&probe)
+        });
+        current.md = md;
+        probes += md_probes;
+    }
+    if current.armed(Layer::Service) {
+        let base = current.clone();
+        current.service.faults = ddmin_layer(
+            current.service.faults.clone(),
+            |kept| {
+                let mut probe = base.clone();
+                probe.service.faults = kept.to_vec();
+                fails(&probe)
+            },
+            &mut probes,
+        );
+    }
+    if current.armed(Layer::Transport) {
+        let base = current.clone();
+        current.transport.faults = ddmin_layer(
+            current.transport.faults.clone(),
+            |kept| {
+                let mut probe = base.clone();
+                probe.transport.faults = kept.to_vec();
+                fails(&probe)
+            },
+            &mut probes,
+        );
+    }
+    if current.armed(Layer::Disk) {
+        let base = current.clone();
+        current.disk.faults = ddmin_layer(
+            current.disk.faults.clone(),
+            |kept| {
+                let mut probe = base.clone();
+                probe.disk.faults = kept.to_vec();
+                fails(&probe)
+            },
+            &mut probes,
+        );
+    }
+    if current.armed(Layer::Sched) {
+        let base = current.clone();
+        current.sched.faults = ddmin_layer(
+            current.sched.faults.clone(),
+            |kept| {
+                let mut probe = base.clone();
+                probe.sched.faults = kept.to_vec();
+                fails(&probe)
+            },
+            &mut probes,
+        );
+    }
+
+    (current, probes)
+}
+
+/// A minimized failing composed schedule — or a deliberately pinned
+/// passing one — serialized as a replayable corpus artifact
+/// (`reproducers/*.json`). Replay reconstructs the same campaign
+/// workload, drives `run_composed_chaos` under
+/// [`CrossReproducer::plan`], and asserts the verdict matches
+/// [`CrossReproducer::expect_fail`]; determinism makes the verdict
+/// JSON byte-identical on every replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossReproducer {
+    /// Campaign seed the schedule was sampled with (0 for
+    /// hand-planted schedules).
+    pub seed: u64,
+    /// Campaign index of the schedule.
+    pub index: u64,
+    /// Cells of the serve-backed campaign.
+    pub cells: usize,
+    /// Cluster ranks of the MD workload.
+    pub ranks: usize,
+    /// Cluster nodes of the MD workload.
+    pub nodes: usize,
+    /// MD steps of the workload.
+    pub steps: usize,
+    /// Whether the MD layer ran with ABFT checksums armed — replay
+    /// must match (an armed engine repairs the very corruptions a
+    /// disarmed-engine reproducer provokes).
+    pub abft: bool,
+    /// Corpus expectation: `true` pins a regression (replay must
+    /// still fail), `false` pins determinism (replay must pass, with
+    /// a byte-identical verdict).
+    pub expect_fail: bool,
+    /// Armed fault events remaining after minimization.
+    pub events: usize,
+    /// Oracle probes the minimizer spent.
+    pub probes: usize,
+    /// The violations the plan provokes (Debug-rendered, stable).
+    pub violations: Vec<String>,
+    /// The minimized composed plan (mask included).
+    pub plan: ComposedPlan,
+}
+
+impl CrossReproducer {
+    /// Serializes the reproducer as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("cross reproducer serializes")
+    }
+
+    /// Parses a reproducer back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2602,5 +3023,213 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
         assert_eq!(parsed, v);
         assert!(v[0].to_string().contains("lost cell"));
+    }
+
+    /// A cross ledger whose every sub-book and interaction bound
+    /// holds: the fixture the cross-oracle tests perturb.
+    fn clean_cross_ledger() -> CrossLedger {
+        let digest = Some(0xABCD_u64);
+        CrossLedger {
+            md: None,
+            service: ServiceLedger {
+                total_cells: 4,
+                completed: 4,
+                executed: 4,
+                incarnations: 1,
+                artifact_digest: digest,
+                reference_digest: digest,
+                ..ServiceLedger::default()
+            },
+            gateway: GatewayLedger {
+                total_cells: 4,
+                completed: 4,
+                executed: 4,
+                conns_opened: 5,
+                conns_closed: 5,
+                requests: 5,
+                incarnations: 1,
+                artifact_digest: digest,
+                reference_digest: digest,
+                ..GatewayLedger::default()
+            },
+            disk: DiskLedger {
+                total_cells: 4,
+                completed: 4,
+                executed: 4,
+                incarnations: 1,
+                artifact_digest: digest,
+                reference_digest: digest,
+                ..DiskLedger::default()
+            },
+            sched: SchedLedger {
+                total_cells: 4,
+                completed: 4,
+                executed: 4,
+                threads: 2,
+                journal_lines: 4,
+                pool_reusable: true,
+                artifact_digest: digest,
+                reference_digest: digest,
+                ..SchedLedger::default()
+            },
+            layer_events: [1, 1, 1, 1, 1],
+            executed_true: 4,
+            exec_allowance: 4,
+            artifact_digest: digest,
+            reference_digest: digest,
+        }
+    }
+
+    #[test]
+    fn clean_cross_ledger_passes_every_oracle() {
+        let violations = check_cross_ledger(&clean_cross_ledger());
+        assert!(violations.is_empty(), "clean ledger convicted: {violations:?}");
+    }
+
+    #[test]
+    fn acked_then_lost_under_disk_and_kill_fires_both_oracles() {
+        let mut ledger = clean_cross_ledger();
+        ledger.disk.acked_then_lost = 1;
+        ledger.service.kills = 1;
+        let violations = check_cross_ledger(&ledger);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, CrossViolation::Disk { violation: DiskViolation::AckedThenLost { .. } })));
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, CrossViolation::AckedThenLostAcrossLayers { lost: 1, kills: 1, .. })),
+            "the interaction oracle must attribute the loss: {violations:?}"
+        );
+        // Without a kill in the schedule, only the disk book convicts.
+        ledger.service.kills = 0;
+        let violations = check_cross_ledger(&ledger);
+        assert!(!violations
+            .iter()
+            .any(|v| matches!(v, CrossViolation::AckedThenLostAcrossLayers { .. })));
+    }
+
+    #[test]
+    fn cross_execution_bound_and_artifact_identity_convict() {
+        let mut ledger = clean_cross_ledger();
+        ledger.executed_true = 9;
+        ledger.artifact_digest = Some(1);
+        let violations = check_cross_ledger(&ledger);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            CrossViolation::DuplicateExecutionAcrossLayers { executed: 9, allowance: 4 }
+        )));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, CrossViolation::DrainedArtifactDiverged { .. })));
+        // An unreadable artifact must never compare identical.
+        ledger.artifact_digest = None;
+        ledger.reference_digest = None;
+        assert!(check_cross_ledger(&ledger)
+            .iter()
+            .any(|v| matches!(v, CrossViolation::DrainedArtifactDiverged { .. })));
+    }
+
+    #[test]
+    fn sched_duplicate_bound_is_replaced_by_the_composed_license() {
+        // A kill licenses one re-execution: the single-layer sched
+        // bound (executed <= total) would falsely convict, the
+        // composed license must not.
+        let mut ledger = clean_cross_ledger();
+        ledger.sched.executed = 5;
+        ledger.executed_true = 5;
+        ledger.exec_allowance = 5;
+        ledger.service.kills = 1;
+        let violations = check_cross_ledger(&ledger);
+        assert!(
+            violations.is_empty(),
+            "licensed re-execution convicted: {violations:?}"
+        );
+        // Every other sched oracle still lifts into the union.
+        ledger.sched.journal_lines = 6;
+        assert!(check_cross_ledger(&ledger).iter().any(|v| matches!(
+            v,
+            CrossViolation::Sched {
+                violation: SchedViolation::DoubleCommit { .. }
+            }
+        )));
+    }
+
+    #[test]
+    fn composed_minimizer_drops_layers_then_events() {
+        use cpc_cluster::{ComposedPlan, ServiceFault, TransportFault};
+        use cpc_pool::SchedFault;
+        use cpc_vfs::DiskFault;
+
+        let mut plan = ComposedPlan::quiet(4);
+        plan.md.loss = 0.05;
+        plan.service.faults = vec![ServiceFault::StaleLease { at_lease: 1 }];
+        plan.transport.faults = vec![TransportFault::MalformedRequest { variant: 0 }];
+        plan.disk.faults = vec![
+            DiskFault::ShortWrite {
+                at: 1,
+                keep_frac: 0.5,
+            },
+            DiskFault::EioWrite { at: 3 },
+            DiskFault::RenameFail { at: 5 },
+        ];
+        plan.sched.faults = vec![SchedFault::TaskPanic { at_start: 2 }];
+
+        // The "bug": any schedule whose *effective* disk layer still
+        // contains the EioWrite fails.
+        let fails = |p: &ComposedPlan| {
+            p.effective_disk()
+                .faults
+                .iter()
+                .any(|f| matches!(f, DiskFault::EioWrite { .. }))
+        };
+        let (minimized, probes) = minimize_composed(&plan, fails);
+        assert!(probes >= 4, "layer drops alone need 4+ probes");
+        assert_eq!(
+            minimized.armed_layers(),
+            vec![Layer::Disk],
+            "every other layer must be masked out"
+        );
+        assert_eq!(
+            minimized.disk.faults,
+            vec![DiskFault::EioWrite { at: 3 }],
+            "ddmin must isolate the one deciding event"
+        );
+        assert_eq!(minimized.events(), 1);
+        // Masking is a projection: the untouched layers' schedules
+        // survive in the reproducer for forensics.
+        assert_eq!(minimized.service.faults, plan.service.faults);
+        assert_eq!(minimized.md.loss, plan.md.loss);
+    }
+
+    #[test]
+    fn cross_reproducer_round_trips_and_violations_render() {
+        use cpc_cluster::ComposedPlan;
+        let repro = CrossReproducer {
+            seed: 7,
+            index: 3,
+            cells: 6,
+            ranks: 4,
+            nodes: 4,
+            steps: 8,
+            abft: true,
+            expect_fail: false,
+            events: 2,
+            probes: 11,
+            violations: vec![],
+            plan: ComposedPlan::quiet(2),
+        };
+        let back = CrossReproducer::from_json(&repro.to_json()).unwrap();
+        assert_eq!(back, repro);
+
+        let v = CrossViolation::DrainedArtifactDiverged {
+            artifact: Some(1),
+            reference: Some(2),
+        };
+        assert!(v.to_string().contains("drained artifact"));
+        let lifted = CrossViolation::Disk {
+            violation: DiskViolation::AckedThenLost { lost: 2 },
+        };
+        assert!(lifted.to_string().starts_with("disk: "));
     }
 }

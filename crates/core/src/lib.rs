@@ -34,8 +34,9 @@ pub mod recover;
 pub mod report;
 
 pub use chaos::{
-    check_disk_ledger, check_gateway_ledger, check_sched_ledger, check_service_ledger, minimize,
-    ChaosHarness, DiskLedger, DiskViolation, GatewayLedger, GatewayViolation, Reproducer,
+    check_cross_ledger, check_disk_ledger, check_gateway_ledger, check_sched_ledger,
+    check_service_ledger, minimize, minimize_composed, ChaosHarness, CrossLedger, CrossReproducer,
+    CrossViolation, DiskLedger, DiskViolation, GatewayLedger, GatewayViolation, Reproducer,
     SchedLedger, SchedViolation, ScheduleReport, ServiceLedger, ServiceViolation, ThreadDigest,
     Violation,
 };

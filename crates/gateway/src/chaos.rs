@@ -184,7 +184,7 @@ fn io_err(msg: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-fn kill_point(point: u8) -> KillPoint {
+pub(crate) fn kill_point(point: u8) -> KillPoint {
     match point % 3 {
         0 => KillPoint::BeforeResult,
         1 => KillPoint::MidCommit,
@@ -195,7 +195,7 @@ fn kill_point(point: u8) -> KillPoint {
 /// One connection through the gateway with panic containment; panics
 /// and deadline overruns are charged to the ledger, and the connection
 /// is returned for response inspection.
-fn drive<M: CampaignModel>(
+pub(crate) fn drive<M: CampaignModel>(
     gw: &mut Gateway<M>,
     mut conn: ScriptedConn,
     ledger: &mut GatewayLedger,
@@ -483,6 +483,111 @@ mod tests {
             );
             let _ = std::fs::remove_dir_all(&dir);
         }
+    }
+
+    /// The fd-leak and deadline oracles extended to concurrent
+    /// connections: several accept workers drive submissions, status
+    /// polls and armed slowloris readers through one shared gateway
+    /// via [`Gateway::handle_shared`]. Every connection must still be
+    /// closed (opened == closed), no read may land past its deadline
+    /// on any worker, concurrent identical submissions must
+    /// deduplicate onto one campaign, and the drained artifact must
+    /// match the direct single-connection reference byte for byte.
+    #[test]
+    fn concurrent_connections_leak_no_fds_and_hold_deadlines() {
+        let dir = tmp_dir("concurrent");
+        let protocol = "demo";
+        let cells_value: Value = serde_json::from_str(&demo_cells(6)).unwrap();
+        let cells_canonical = serde_json::to_string(&cells_value).unwrap();
+        let submission = format!("{{\"tenant\":\"alice\",\"cells\":{cells_canonical}}}");
+        let id = campaign_id("alice", protocol, &cells_canonical);
+        let deadline = 8.0;
+
+        let mut cfg = GatewayConfig::new(dir.join("gw"), protocol);
+        cfg.limits = HttpLimits {
+            deadline,
+            ..HttpLimits::default()
+        };
+        let gw = std::sync::Mutex::new(Gateway::open(cfg, DemoModel).unwrap());
+
+        const WORKERS: usize = 4;
+        const CONNS_PER_WORKER: usize = 3;
+        let overruns: usize = cpc_pool::scope(|s| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|_| {
+                    let gw = &gw;
+                    let submission = submission.clone();
+                    let id = id.clone();
+                    s.spawn(move || {
+                        let mut overruns = 0;
+                        // Same submission from every worker: the race
+                        // must deduplicate, never double-admit.
+                        let mut conn =
+                            ScriptedConn::request(http_post("/campaigns", &submission));
+                        Gateway::handle_shared(gw, &mut conn);
+                        assert!(
+                            matches!(conn.response_status(), Some(200..=299)),
+                            "submission must be admitted or deduplicated, got {:?}",
+                            conn.response_status()
+                        );
+                        // A slowloris reader with the overrun counter
+                        // armed: the handler must give up at the
+                        // deadline without one read past it.
+                        let mut slow = ScriptedConn::request(http_post("/campaigns", &submission))
+                            .dribble(2, 1.0)
+                            .with_deadline(deadline);
+                        Gateway::handle_shared(gw, &mut slow);
+                        overruns += slow.overruns();
+                        let mut poll =
+                            ScriptedConn::request(http_get(&format!("/campaigns/{id}")));
+                        Gateway::handle_shared(gw, &mut poll);
+                        overruns
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(overruns, 0, "no read may be issued past its deadline");
+
+        while !gw.lock().unwrap().all_done() {
+            let report = gw.lock().unwrap().pump(8);
+            if report.granted == 0 && !report.killed {
+                break;
+            }
+        }
+        let g = gw.lock().unwrap();
+        let stats = g.stats();
+        assert_eq!(
+            stats.conns_opened,
+            WORKERS * CONNS_PER_WORKER,
+            "every connection is accounted"
+        );
+        assert_eq!(
+            stats.conns_opened, stats.conns_closed,
+            "fd leak: a concurrent connection was never closed"
+        );
+        let out = g.outcome_of(&id).expect("the deduplicated campaign exists");
+        assert_eq!(out.completed, 6, "the shared campaign drains fully");
+        assert_eq!(out.executed, 6, "racing submissions must not double-execute");
+
+        // Byte-identity against the direct single-connection path.
+        let ref_cfg = ServiceConfig::new(dir.join("reference"), protocol);
+        let ref_journal = ref_cfg.journal_path();
+        let mut reference =
+            JobService::<<DemoModel as CampaignModel>::Result>::open(ref_cfg, |r| {
+                <DemoModel as CampaignModel>::key_of(r)
+            })
+            .unwrap();
+        let tasks = DemoModel.parse_cells(&cells_value).unwrap();
+        reference.run(&tasks, |t| DemoModel.exec(t)).unwrap();
+        drop(reference);
+        assert_eq!(
+            artifact_digest(g.config().campaign_journal(&id)),
+            artifact_digest(&ref_journal),
+            "concurrent admission must not move a byte of the artifact"
+        );
+        drop(g);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

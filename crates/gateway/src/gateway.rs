@@ -29,7 +29,7 @@
 use crate::http::{read_request, write_response, Conn, HttpLimits, Response};
 use crate::tenancy::{DrrScheduler, TenantPolicy};
 use cpc_cluster::RttEstimator;
-use cpc_pool::Pool;
+use cpc_pool::{Pool, SchedChaos};
 use cpc_vfs::{atomic_publish, is_enospc, real_fs, SharedFs};
 use cpc_workload::service::{
     task_key, JobService, KillPoint, ServiceConfig, ServiceOutcome, StepOutcome,
@@ -90,6 +90,10 @@ pub struct GatewayConfig {
     /// executor. 1 (the default) reproduces the serial one-cell-per-
     /// grant pump exactly.
     pub threads: usize,
+    /// Stale-lease injection passed through to every campaign service
+    /// (chaos harness): the n-th lease is also completed through a
+    /// stale duplicate handle, which the queue must reject.
+    pub stale_lease_at: Option<usize>,
 }
 
 impl GatewayConfig {
@@ -103,6 +107,7 @@ impl GatewayConfig {
             shards: 4,
             kill: None,
             threads: 1,
+            stale_lease_at: None,
         }
     }
 
@@ -131,6 +136,15 @@ pub struct GatewayStats {
     pub rejected: usize,
     /// Load-shed responses (429/503, always with `Retry-After`).
     pub shed: usize,
+    /// Campaigns quiesced by a storage failure mid-batch (cumulative
+    /// transitions, not currently-stalled count — see
+    /// [`Gateway::stalled_count`] for the latter). Each stall can
+    /// strand up to a pool width of in-flight executions whose
+    /// commits never became durable.
+    pub stalls: usize,
+    /// Stalled campaigns revived by reopening their service from
+    /// disk (cumulative).
+    pub revives: usize,
 }
 
 /// What one [`Gateway::pump`] call did.
@@ -268,15 +282,26 @@ impl<M: CampaignModel> Gateway<M> {
         let mut scfg = ServiceConfig::new(self.cfg.campaign_dir(id), &self.cfg.protocol);
         scfg.shards = self.cfg.shards;
         scfg.kill = self.cfg.kill;
+        scfg.stale_lease_at = self.cfg.stale_lease_at;
         let mut service =
             JobService::<M::Result>::open_on(self.fs.clone(), scfg, |r| M::key_of(r))?;
         service.prepare(tasks)?;
         Ok(service)
     }
 
+    /// Whether a campaign is truly finished: the queue drained AND
+    /// every cell is accounted for by a durable result or a
+    /// dead-letter. A drained queue alone is not enough — a torn
+    /// result-journal write can destroy committed results while the
+    /// queue still carries their done markers, and such a campaign
+    /// must keep pumping so [`JobService::step`] heals the misses.
+    fn settled(out: &ServiceOutcome) -> bool {
+        out.drained && out.completed + out.abandoned >= out.total
+    }
+
     fn register(&mut self, id: String, tenant: String, tasks: Vec<M::Task>) -> io::Result<()> {
         let service = self.open_service(&id, &tasks)?;
-        let done = service.outcome().drained;
+        let done = Self::settled(&service.outcome());
         self.sched.register(&tenant);
         self.index.insert(id.clone(), self.campaigns.len());
         self.campaigns.push(Campaign {
@@ -353,6 +378,44 @@ impl<M: CampaignModel> Gateway<M> {
         // the gateway's job is only to never wedge on it.
         let _ = write_response(conn, &resp);
         self.stats.conns_closed += 1;
+    }
+
+    /// [`handle`](Self::handle) for a gateway shared across accept
+    /// workers: the request is read and the response written OUTSIDE
+    /// the lock, so a slow or hostile peer stalls only its own worker
+    /// while the others keep routing. The lock is held exactly for
+    /// routing and the stats bumps; every exit path still closes the
+    /// connection in [`GatewayStats`], so the fd-leak oracle
+    /// (`conns_opened == conns_closed`) covers concurrent connections
+    /// unchanged.
+    pub fn handle_shared(gw: &std::sync::Mutex<Self>, conn: &mut dyn Conn) {
+        let limits = {
+            let mut g = gw.lock().expect("gateway lock");
+            g.stats.conns_opened += 1;
+            g.stats.requests += 1;
+            g.cfg.limits.clone()
+        };
+        let resp = match read_request(conn, &limits) {
+            Ok(req) => gw
+                .lock()
+                .expect("gateway lock")
+                .route(&req.method, &req.path, &req.body),
+            Err(e) => {
+                let (status, reason) = e.status();
+                Response::json(status, reason, format!("{{\"error\":\"{reason}\"}}"))
+            }
+        };
+        {
+            let mut g = gw.lock().expect("gateway lock");
+            if resp.status >= 400 {
+                g.stats.rejected += 1;
+            }
+            if resp.status == 429 || resp.status == 503 || resp.status == 507 {
+                g.stats.shed += 1;
+            }
+        }
+        let _ = write_response(conn, &resp);
+        gw.lock().expect("gateway lock").stats.conns_closed += 1;
     }
 
     fn route(&mut self, method: &str, path: &str, body: &[u8]) -> Response {
@@ -586,8 +649,9 @@ impl<M: CampaignModel> Gateway<M> {
                 let tasks = self.campaigns[idx].tasks.clone();
                 match self.open_service(&id, &tasks) {
                     Ok(service) => {
+                        self.stats.revives += 1;
                         let c = &mut self.campaigns[idx];
-                        c.done = service.outcome().drained;
+                        c.done = Self::settled(&service.outcome());
                         c.service = service;
                         c.stalled = false;
                         if c.done {
@@ -623,7 +687,7 @@ impl<M: CampaignModel> Gateway<M> {
                             // the scheduler would never grant the
                             // campaign again and it would idle
                             // forever.
-                            if campaign.service.outcome().drained {
+                            if Self::settled(&campaign.service.outcome()) {
                                 campaign.done = true;
                             }
                         }
@@ -645,6 +709,7 @@ impl<M: CampaignModel> Gateway<M> {
                     // construction, the resumed artifact is
                     // byte-identical to an unfaulted run's.
                     campaign.stalled = true;
+                    self.stats.stalls += 1;
                 }
             }
         }
@@ -660,6 +725,33 @@ impl<M: CampaignModel> Gateway<M> {
     /// revival.
     pub fn stalled_count(&self) -> usize {
         self.campaigns.iter().filter(|c| c.stalled).count()
+    }
+
+    /// Rebuilds the pump executor with an adversarial-schedule
+    /// injector armed (chaos harness): steal storms, worker pauses and
+    /// injected panics now land inside the gateway's own pump batches.
+    /// The injector's counters are shared, so one `SchedChaos` can
+    /// span every incarnation of a composed schedule.
+    pub fn arm_sched_chaos(&mut self, chaos: std::sync::Arc<SchedChaos>) {
+        self.pool = Pool::new(self.cfg.threads.max(1)).with_chaos(chaos);
+    }
+
+    /// Replaces the pump executor with one of `threads` workers
+    /// (chaos harness: a mid-campaign thread-count change), keeping
+    /// `chaos` armed when given. Batch width follows the new count.
+    pub fn swap_pool(&mut self, threads: usize, chaos: Option<std::sync::Arc<SchedChaos>>) {
+        self.cfg.threads = threads.max(1);
+        let pool = Pool::new(self.cfg.threads);
+        self.pool = match chaos {
+            Some(c) => pool.with_chaos(c),
+            None => pool,
+        };
+    }
+
+    /// The pump executor — exposed so chaos drivers can absorb its
+    /// panic/steal counters and probe post-chaos reusability.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// The filesystem this gateway runs on.
@@ -692,6 +784,17 @@ impl<M: CampaignModel> Gateway<M> {
         self.index
             .get(id)
             .map(|&i| self.campaigns[i].service.outcome())
+    }
+
+    /// The committed result keys of one campaign. The underlying
+    /// service records a result only after its journal append has
+    /// been fsynced, so every key returned here is durably
+    /// acknowledged — chaos drivers replay this set across restarts
+    /// for the acked-then-lost oracle.
+    pub fn result_keys(&self, id: &str) -> Option<Vec<String>> {
+        self.index
+            .get(id)
+            .map(|&i| self.campaigns[i].service.results().keys().cloned().collect())
     }
 
     /// The gateway configuration.

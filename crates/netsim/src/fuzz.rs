@@ -37,6 +37,7 @@ use crate::faults::{
 use crate::rng::SplitMix64;
 use cpc_pool::{SchedFault, SchedFaultPlan};
 use cpc_vfs::{DiskFault, DiskFaultPlan};
+use serde::{Deserialize, Serialize};
 
 /// Highest mantissa bit the *benign* SDC class may flip: a flip at or
 /// below this bit changes the value by a relative factor of at most
@@ -282,7 +283,7 @@ impl FaultSpace {
 /// interpreted by the service chaos driver (`cpc-workload`), which
 /// applies kills by ending an incarnation and storage faults by
 /// damaging the on-disk files between incarnations.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ServiceFault {
     /// A worker dies mid-cell: the `cells`-th fresh execution of the
     /// incarnation runs but its result never becomes durable.
@@ -336,7 +337,7 @@ pub enum ServiceFault {
 
 /// A seeded schedule of [`ServiceFault`]s, applied in order by the
 /// service chaos driver.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServiceFaultPlan {
     /// The faults, in application order.
     pub faults: Vec<ServiceFault>,
@@ -437,7 +438,7 @@ impl ServiceFaultSpace {
 /// gateway chaos driver (`cpc-gateway`), which turns each fault into
 /// one or more scripted client connections (or a gateway restart)
 /// interleaved with a well-behaved client driving a campaign.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum TransportFault {
     /// A client sends one of a fixed set of malformed request heads
     /// (garbage line, missing version, bare LF, binary noise, an
@@ -487,7 +488,7 @@ pub enum TransportFault {
 
 /// A seeded schedule of [`TransportFault`]s, applied in order by the
 /// gateway chaos driver.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct TransportFaultPlan {
     /// The faults, in application order.
     pub faults: Vec<TransportFault>,
@@ -709,6 +710,330 @@ impl SchedFaultSpace {
         }
         let u = rng.next_f64();
         ((u * u) * n as f64) as u64
+    }
+}
+
+/// One of the five chaos layers the composed conductor arms: the MD
+/// simulation itself, the campaign job service, the HTTP transport,
+/// the durable storage underneath everything, and the work-stealing
+/// scheduler driving execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layer {
+    /// MD/network fault schedule ([`FaultPlan`]).
+    Md,
+    /// Campaign-service kills, torn writes, stale leases
+    /// ([`ServiceFaultPlan`]).
+    Service,
+    /// HTTP transport chaos against the gateway
+    /// ([`TransportFaultPlan`]).
+    Transport,
+    /// Disk faults on the simulated filesystem ([`DiskFaultPlan`]).
+    Disk,
+    /// Scheduling chaos on the work-stealing pool
+    /// ([`SchedFaultPlan`]).
+    Sched,
+}
+
+/// Every layer, in the canonical order the cross-layer minimizer
+/// probes them (and the order pairwise coverage is reported in).
+pub const LAYERS: [Layer; 5] = [
+    Layer::Md,
+    Layer::Service,
+    Layer::Transport,
+    Layer::Disk,
+    Layer::Sched,
+];
+
+impl Layer {
+    /// Stable lower-case name (journals, reproducer JSON, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Md => "md",
+            Layer::Service => "service",
+            Layer::Transport => "transport",
+            Layer::Disk => "disk",
+            Layer::Sched => "sched",
+        }
+    }
+}
+
+/// Which layers of a composed schedule are armed. Masking a layer
+/// substitutes its quiet plan at run time **without** touching the
+/// other layers' sampled schedules — each layer draws from its own
+/// sentinel channel, so the mask is a pure projection. This is what
+/// lets the cross-layer minimizer drop whole layers first and lets
+/// the property tests assert that an all-masked schedule is
+/// byte-identical to the fault-free reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerMask {
+    /// MD layer armed.
+    pub md: bool,
+    /// Service layer armed.
+    pub service: bool,
+    /// Transport layer armed.
+    pub transport: bool,
+    /// Disk layer armed.
+    pub disk: bool,
+    /// Scheduler layer armed.
+    pub sched: bool,
+}
+
+impl LayerMask {
+    /// Every layer armed (how schedules are sampled).
+    pub fn all() -> Self {
+        LayerMask {
+            md: true,
+            service: true,
+            transport: true,
+            disk: true,
+            sched: true,
+        }
+    }
+
+    /// Every layer masked out (the fault-free projection).
+    pub fn none() -> Self {
+        LayerMask {
+            md: false,
+            service: false,
+            transport: false,
+            disk: false,
+            sched: false,
+        }
+    }
+
+    /// Whether `layer` is armed.
+    pub fn get(self, layer: Layer) -> bool {
+        match layer {
+            Layer::Md => self.md,
+            Layer::Service => self.service,
+            Layer::Transport => self.transport,
+            Layer::Disk => self.disk,
+            Layer::Sched => self.sched,
+        }
+    }
+
+    /// A copy with `layer` set to `on`.
+    #[must_use = "set returns a new mask; it does not mutate in place"]
+    pub fn set(self, layer: Layer, on: bool) -> Self {
+        let mut m = self;
+        match layer {
+            Layer::Md => m.md = on,
+            Layer::Service => m.service = on,
+            Layer::Transport => m.transport = on,
+            Layer::Disk => m.disk = on,
+            Layer::Sched => m.sched = on,
+        }
+        m
+    }
+
+    /// A copy with `layer` masked out.
+    #[must_use = "without returns a new mask; it does not mutate in place"]
+    pub fn without(self, layer: Layer) -> Self {
+        self.set(layer, false)
+    }
+
+    /// Number of armed layers.
+    pub fn armed(self) -> usize {
+        LAYERS.iter().filter(|&&l| self.get(l)).count()
+    }
+}
+
+impl Default for LayerMask {
+    fn default() -> Self {
+        LayerMask::all()
+    }
+}
+
+/// One joint fault schedule across all five layers, plus the mask
+/// that projects it. The composed conductor (`cpc-gateway`) drives a
+/// full serve-backed campaign under the masked projection; the
+/// cross-layer minimizer (`cpc-charmm`) shrinks failing plans by
+/// masking layers first, then ddmin-ing events within the survivors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComposedPlan {
+    /// Which layers are armed (a pure projection over the schedules
+    /// below — masking never changes them).
+    pub mask: LayerMask,
+    /// MD/network layer schedule.
+    pub md: FaultPlan,
+    /// Campaign-service layer schedule.
+    pub service: ServiceFaultPlan,
+    /// HTTP transport layer schedule.
+    pub transport: TransportFaultPlan,
+    /// Disk layer schedule.
+    pub disk: DiskFaultPlan,
+    /// Scheduler layer schedule (also fixes the pool thread count).
+    pub sched: SchedFaultPlan,
+}
+
+impl ComposedPlan {
+    /// The fault-free composed plan: empty schedules in every layer,
+    /// all layers nominally armed, `threads` pool workers.
+    pub fn quiet(threads: usize) -> Self {
+        ComposedPlan {
+            mask: LayerMask::all(),
+            md: FaultPlan::none(),
+            service: ServiceFaultPlan::none(),
+            transport: TransportFaultPlan::none(),
+            disk: DiskFaultPlan::none(),
+            sched: SchedFaultPlan::quiet(threads),
+        }
+    }
+
+    /// A copy under a different mask (the schedules are untouched).
+    pub fn masked(&self, mask: LayerMask) -> Self {
+        ComposedPlan {
+            mask,
+            ..self.clone()
+        }
+    }
+
+    /// Raw event count of one layer's schedule, ignoring the mask.
+    pub fn events_in(&self, layer: Layer) -> usize {
+        match layer {
+            Layer::Md => {
+                (self.md.loss > 0.0) as usize
+                    + self.md.degradations.len()
+                    + self.md.stragglers.len()
+                    + self.md.crashes.len()
+                    + self.md.storage.len()
+                    + self.md.sdc.len()
+            }
+            Layer::Service => self.service.faults.len(),
+            Layer::Transport => self.transport.faults.len(),
+            Layer::Disk => self.disk.faults.len(),
+            Layer::Sched => self.sched.faults.len(),
+        }
+    }
+
+    /// Armed event count: the sum over unmasked layers. A minimized
+    /// reproducer's size is measured in these.
+    pub fn events(&self) -> usize {
+        LAYERS
+            .iter()
+            .filter(|&&l| self.mask.get(l))
+            .map(|&l| self.events_in(l))
+            .sum()
+    }
+
+    /// True when `layer` is both unmasked and non-empty — the
+    /// definition of "exercised" for pairwise interaction coverage.
+    pub fn armed(&self, layer: Layer) -> bool {
+        self.mask.get(layer) && self.events_in(layer) > 0
+    }
+
+    /// The layers this plan actually exercises.
+    pub fn armed_layers(&self) -> Vec<Layer> {
+        LAYERS.iter().copied().filter(|&l| self.armed(l)).collect()
+    }
+
+    /// The MD schedule the conductor runs: the sampled plan when the
+    /// layer is armed, the empty plan when masked.
+    pub fn effective_md(&self) -> FaultPlan {
+        if self.mask.md {
+            self.md.clone()
+        } else {
+            FaultPlan::none()
+        }
+    }
+
+    /// The service schedule under the mask.
+    pub fn effective_service(&self) -> ServiceFaultPlan {
+        if self.mask.service {
+            self.service.clone()
+        } else {
+            ServiceFaultPlan::none()
+        }
+    }
+
+    /// The transport schedule under the mask.
+    pub fn effective_transport(&self) -> TransportFaultPlan {
+        if self.mask.transport {
+            self.transport.clone()
+        } else {
+            TransportFaultPlan::none()
+        }
+    }
+
+    /// The disk schedule under the mask.
+    pub fn effective_disk(&self) -> DiskFaultPlan {
+        if self.mask.disk {
+            self.disk.clone()
+        } else {
+            DiskFaultPlan::none()
+        }
+    }
+
+    /// The scheduler schedule under the mask. The thread count is
+    /// kept even when the layer is masked: determinism across thread
+    /// counts is the executor's contract, and keeping it makes the
+    /// masked projection a pure fault removal, not a topology change.
+    pub fn effective_sched(&self) -> SchedFaultPlan {
+        if self.mask.sched {
+            self.sched.clone()
+        } else {
+            SchedFaultPlan::quiet(self.sched.threads)
+        }
+    }
+}
+
+/// The joint fault envelope of one composed campaign: the five
+/// single-layer spaces side by side. [`ComposedFaultSpace::sample`]
+/// draws one schedule per layer at the same `(seed, index)` — each
+/// sampler already keys its `SplitMix64` stream with a distinct
+/// sentinel channel, so the five draws are independent **by
+/// construction**: the composed schedule of layer L equals the
+/// single-layer campaign's schedule L at the same `(seed, index)`,
+/// and masking or minimizing one layer can never perturb another's
+/// events. That structural property is what the mask-independence
+/// test pins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComposedFaultSpace {
+    /// MD/network fault envelope.
+    pub md: FaultSpace,
+    /// Campaign-service fault envelope.
+    pub service: ServiceFaultSpace,
+    /// Transport fault envelope.
+    pub transport: TransportFaultSpace,
+    /// Disk fault envelope.
+    pub disk: DiskFaultSpace,
+    /// Scheduler fault envelope.
+    pub sched: SchedFaultSpace,
+}
+
+impl ComposedFaultSpace {
+    /// Describes the joint envelope from the five per-layer
+    /// envelopes.
+    pub fn new(
+        md: FaultSpace,
+        service: ServiceFaultSpace,
+        transport: TransportFaultSpace,
+        disk: DiskFaultSpace,
+        sched: SchedFaultSpace,
+    ) -> Self {
+        ComposedFaultSpace {
+            md,
+            service,
+            transport,
+            disk,
+            sched,
+        }
+    }
+
+    /// Draws composed schedule `index` of the campaign keyed by
+    /// `seed`, every layer armed. Pure in `(space, seed, index)`.
+    /// Every single-layer sampler draws at least one fault, so an
+    /// unmasked composed schedule exercises all ten pairwise layer
+    /// interactions.
+    pub fn sample(&self, seed: u64, index: u64) -> ComposedPlan {
+        ComposedPlan {
+            mask: LayerMask::all(),
+            md: self.md.sample(seed, index),
+            service: self.service.sample(seed, index),
+            transport: self.transport.sample(seed, index),
+            disk: self.disk.sample(seed, index),
+            sched: self.sched.sample(seed, index),
+        }
     }
 }
 
@@ -1031,5 +1356,86 @@ mod tests {
                 "bit {bit}"
             );
         }
+    }
+
+    fn composed_space() -> ComposedFaultSpace {
+        ComposedFaultSpace::new(
+            space(),
+            ServiceFaultSpace::new(6, 4),
+            TransportFaultSpace::new(6),
+            DiskFaultSpace::new(200),
+            SchedFaultSpace::new(6),
+        )
+    }
+
+    #[test]
+    fn composed_sampling_is_deterministic_and_every_layer_armed() {
+        let s = composed_space();
+        for i in 0..50 {
+            let plan = s.sample(42, i);
+            assert_eq!(plan, s.sample(42, i), "pure in (seed, index)");
+            assert_eq!(plan.mask, LayerMask::all());
+            for layer in LAYERS {
+                assert!(
+                    plan.armed(layer),
+                    "schedule {i}: layer {} must draw at least one fault",
+                    layer.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composed_layers_match_the_single_layer_campaigns() {
+        // Structural independence: the composed draw of each layer IS
+        // the single-layer campaign's draw at the same (seed, index) —
+        // the sentinel channels never share stream state.
+        let s = composed_space();
+        for i in 0..20 {
+            let plan = s.sample(7, i);
+            assert_eq!(plan.md, s.md.sample(7, i));
+            assert_eq!(plan.service, s.service.sample(7, i));
+            assert_eq!(plan.transport, s.transport.sample(7, i));
+            assert_eq!(plan.disk, s.disk.sample(7, i));
+            assert_eq!(plan.sched, s.sched.sample(7, i));
+        }
+    }
+
+    #[test]
+    fn masking_projects_without_perturbing_other_layers() {
+        let s = composed_space();
+        let plan = s.sample(11, 3);
+        for layer in LAYERS {
+            let masked = plan.masked(plan.mask.without(layer));
+            assert!(!masked.armed(layer));
+            assert_eq!(masked.events(), plan.events() - plan.events_in(layer));
+            // The un-masked layers' schedules are byte-for-byte the
+            // originals.
+            assert_eq!(masked.md, plan.md);
+            assert_eq!(masked.service, plan.service);
+            assert_eq!(masked.transport, plan.transport);
+            assert_eq!(masked.disk, plan.disk);
+            assert_eq!(masked.sched, plan.sched);
+        }
+        let quiet = plan.masked(LayerMask::none());
+        assert_eq!(quiet.events(), 0);
+        assert_eq!(quiet.effective_md(), FaultPlan::none());
+        assert_eq!(quiet.effective_service(), ServiceFaultPlan::none());
+        assert_eq!(quiet.effective_transport(), TransportFaultPlan::none());
+        assert_eq!(quiet.effective_disk(), DiskFaultPlan::none());
+        assert_eq!(
+            quiet.effective_sched(),
+            SchedFaultPlan::quiet(plan.sched.threads),
+            "masking the sched layer keeps the thread count"
+        );
+    }
+
+    #[test]
+    fn composed_plan_round_trips_through_json() {
+        let s = composed_space();
+        let plan = s.sample(23, 5).masked(LayerMask::all().without(Layer::Disk));
+        let json = serde_json::to_string(&plan).expect("serializes");
+        let back: ComposedPlan = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, plan);
     }
 }

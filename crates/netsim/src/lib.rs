@@ -60,8 +60,9 @@ pub use faults::{
     StorageFaultKind, Straggler,
 };
 pub use fuzz::{
-    sdc_class, DiskFaultSpace, FaultSpace, SchedFaultSpace, SdcClass, ServiceFault,
-    ServiceFaultPlan, ServiceFaultSpace, TransportFault, TransportFaultPlan, TransportFaultSpace,
+    sdc_class, ComposedFaultSpace, ComposedPlan, DiskFaultSpace, FaultSpace, Layer, LayerMask,
+    SchedFaultSpace, SdcClass, ServiceFault, ServiceFaultPlan, ServiceFaultSpace, TransportFault,
+    TransportFaultPlan, TransportFaultSpace, LAYERS,
 };
 pub use netmodel::{
     FaultyTransfer, NetworkKind, NetworkParams, OpShape, TransferCtx, TransferTime,

@@ -15,6 +15,7 @@
 //! executor commits in task-index order, so no interleaving — however
 //! adversarial — may change what is written.
 
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Once};
 use std::time::Duration;
@@ -28,7 +29,7 @@ pub const INJECTED_PANIC: &str = "cpc-pool chaos: injected worker panic";
 const PAUSE_CEIL: Duration = Duration::from_secs(1);
 
 /// One adversarial scheduling event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SchedFault {
     /// From the `from_task`-th task start onward, thieves take one
     /// task at a time instead of half a victim's range, maximizing
@@ -59,7 +60,7 @@ pub enum SchedFault {
 }
 
 /// A sampled schedule: a worker count plus a handful of faults.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SchedFaultPlan {
     /// Worker threads the chaos run starts with.
     pub threads: usize,

@@ -140,14 +140,17 @@ impl ResultCache {
     /// one.
     pub fn get<T: Deserialize>(&mut self, key: &CacheKey) -> Option<T> {
         let path = self.entry_path(key);
-        let text = match self.fs.read_to_string(&path) {
-            Ok(t) => t,
+        let bytes = match self.fs.read(&path) {
+            Ok(b) => b,
             Err(_) => {
                 self.stats.misses += 1;
                 return None;
             }
         };
-        let parsed = text.trim_end().split_once(' ').and_then(|(crc, json)| {
+        // Bytes first: a bit flip can leave the entry invalid UTF-8,
+        // which is corruption to quarantine, not an absent entry.
+        let parsed = std::str::from_utf8(&bytes).ok().and_then(|text| {
+            let (crc, json) = text.trim_end().split_once(' ')?;
             let stored = u64::from_str_radix(crc, 16).ok()?;
             if stored != fnv1a64(json.as_bytes()) {
                 return None;

@@ -196,15 +196,24 @@ impl<T: Serialize + Deserialize> Journal<T> {
 
     /// [`Journal::load`] on an explicit filesystem.
     pub fn load_on(fs: &dyn Fs, path: impl AsRef<Path>) -> io::Result<Recovery<T>> {
-        let text = match fs.read_to_string(path.as_ref()) {
-            Ok(t) => t,
+        let bytes = match fs.read(path.as_ref()) {
+            Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Recovery::empty()),
             Err(e) => return Err(e),
         };
+        // Split the raw bytes rather than decoding the whole file:
+        // a single bit-damaged line can be invalid UTF-8, and that
+        // must read as *that line's* damage (checksum discipline),
+        // never as an unreadable journal.
+        let mut raw: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+        if raw.last().is_some_and(|l| l.is_empty()) {
+            raw.pop();
+        }
         let mut recovery = Recovery::empty();
-        let mut lines = text.lines();
-        for line in &mut lines {
-            let parsed = line.split_once(' ').and_then(|(crc, json)| {
+        for (i, line_bytes) in raw.iter().enumerate() {
+            let line_bytes = line_bytes.strip_suffix(b"\r").unwrap_or(line_bytes);
+            let parsed = std::str::from_utf8(line_bytes).ok().and_then(|line| {
+                let (crc, json) = line.split_once(' ')?;
                 let stored = u64::from_str_radix(crc, 16).ok()?;
                 if stored != fnv1a64(json.as_bytes()) {
                     return None;
@@ -215,7 +224,7 @@ impl<T: Serialize + Deserialize> Journal<T> {
                 Some(entry) => recovery.entries.push(entry),
                 None => {
                     // First bad line: discard it and the rest.
-                    recovery.dropped = 1 + lines.count();
+                    recovery.dropped = raw.len() - i;
                     break;
                 }
             }
